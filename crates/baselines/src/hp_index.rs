@@ -1,0 +1,373 @@
+//! HP-Index: hot-point indexing for constrained path enumeration
+//! (Qiu et al., VLDB 2018).
+//!
+//! HP-Index designates high-degree vertices as *hot points* and maintains an
+//! index of the pairwise paths among them. A query is answered by
+//!
+//! 1. a forward DFS from `s` that records segments ending at the *first* hot
+//!    point encountered (or directly at `t`),
+//! 2. a backward DFS from `t` that records segments starting at the *last*
+//!    hot point encountered,
+//! 3. looking up the indexed hot-point-to-hot-point paths, and
+//! 4. concatenating the three pieces and validating length and simplicity.
+//!
+//! Because the forward segments contain no hot point after their first vertex
+//! following `s` reaches one, and the backward segments contain none before
+//! their last, the decomposition *(s-segment, indexed middle, t-segment)* of a
+//! result path is unique, so no deduplication is required.
+//!
+//! The PEFP paper notes that HP-Index only wins on extremely skewed graphs
+//! with few results (Section III-B); it is included here for completeness and
+//! as a further correctness cross-check.
+
+use pefp_graph::paths::Path;
+use pefp_graph::{CsrGraph, VertexId};
+use std::collections::HashMap;
+
+/// Hot-point index for one graph and a maximum path length.
+#[derive(Debug, Clone)]
+pub struct HpIndex {
+    /// Hot-point flag per vertex.
+    is_hot: Vec<bool>,
+    /// The hot points in id order.
+    hot_points: Vec<VertexId>,
+    /// Indexed simple paths between ordered pairs of hot points, keyed by
+    /// `(from, to)`. Paths may pass through other hot points.
+    pairwise: HashMap<(VertexId, VertexId), Vec<Path>>,
+    /// Maximum number of hops the index covers.
+    max_hops: u32,
+}
+
+impl HpIndex {
+    /// Builds an index over the `hot_count` highest-out-degree vertices,
+    /// storing all pairwise hot-point paths of length `≤ max_hops`.
+    ///
+    /// Index construction enumerates paths between hot points and is therefore
+    /// expensive — exactly the maintenance cost the original system pays
+    /// continuously and the PEFP paper criticises.
+    pub fn build(g: &CsrGraph, hot_count: usize, max_hops: u32) -> Self {
+        let mut by_degree: Vec<VertexId> = g.vertices().collect();
+        by_degree.sort_by_key(|&v| std::cmp::Reverse(g.out_degree(v)));
+        let hot_points: Vec<VertexId> = by_degree.into_iter().take(hot_count).collect();
+        let mut is_hot = vec![false; g.num_vertices()];
+        for &h in &hot_points {
+            is_hot[h.index()] = true;
+        }
+
+        let mut pairwise: HashMap<(VertexId, VertexId), Vec<Path>> = HashMap::new();
+        for &h in &hot_points {
+            // Bounded DFS from each hot point, recording every arrival at a hot
+            // point (paths may continue through it, so recursion does not stop).
+            let mut stack = vec![h];
+            let mut on_path = vec![false; g.num_vertices()];
+            on_path[h.index()] = true;
+            Self::index_dfs(g, max_hops, &is_hot, &mut stack, &mut on_path, &mut pairwise);
+        }
+        HpIndex { is_hot, hot_points, pairwise, max_hops }
+    }
+
+    fn index_dfs(
+        g: &CsrGraph,
+        max_hops: u32,
+        is_hot: &[bool],
+        stack: &mut Vec<VertexId>,
+        on_path: &mut [bool],
+        pairwise: &mut HashMap<(VertexId, VertexId), Vec<Path>>,
+    ) {
+        let current = *stack.last().expect("stack never empty");
+        let hops = (stack.len() - 1) as u32;
+        if hops >= max_hops {
+            return;
+        }
+        for &next in g.successors(current) {
+            if on_path[next.index()] {
+                continue;
+            }
+            stack.push(next);
+            on_path[next.index()] = true;
+            if is_hot[next.index()] {
+                pairwise.entry((stack[0], next)).or_default().push(stack.clone());
+            }
+            Self::index_dfs(g, max_hops, is_hot, stack, on_path, pairwise);
+            stack.pop();
+            on_path[next.index()] = false;
+        }
+    }
+
+    /// The hot points of this index.
+    pub fn hot_points(&self) -> &[VertexId] {
+        &self.hot_points
+    }
+
+    /// Number of indexed hot-point-to-hot-point paths.
+    pub fn indexed_paths(&self) -> usize {
+        self.pairwise.values().map(Vec::len).sum()
+    }
+
+    /// Enumerates all s-t simple paths with at most `k` hops (`k` must not
+    /// exceed the `max_hops` the index was built for).
+    pub fn enumerate(&self, g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> Vec<Path> {
+        assert!(k <= self.max_hops, "index only covers paths up to {} hops", self.max_hops);
+        let mut results = Vec::new();
+        if s.index() >= g.num_vertices() || t.index() >= g.num_vertices() {
+            return results;
+        }
+        if s == t {
+            results.push(vec![s]);
+            return results;
+        }
+
+        // Step 1: forward segments from s. Each ends at the first hot point
+        // reached after leaving s, or at t with no hot point in between.
+        let forward = self.collect_forward(g, s, t, k);
+        // Step 2: backward segments to t (computed on the reverse graph), each
+        // starting at the last hot point before t, or at s.
+        let backward = self.collect_backward(g, s, t, k);
+
+        // Case A: segments that already run from s to t without internal hot points.
+        for seg in forward.direct.iter() {
+            results.push(seg.clone());
+        }
+
+        // Case B: s-segment to hot point h1 + t-segment from hot point h2,
+        // where h1 == h2 (no indexed middle needed).
+        for (h, pres) in &forward.to_hot {
+            if let Some(sufs) = backward.from_hot.get(h) {
+                for pre in pres {
+                    for suf in sufs {
+                        Self::try_emit(&mut results, k, &[pre, suf]);
+                    }
+                }
+            }
+        }
+
+        // Case C: s-segment to h1 + indexed path h1 ⇝ h2 + t-segment from h2.
+        for (h1, pres) in &forward.to_hot {
+            for (h2, sufs) in &backward.from_hot {
+                if h1 == h2 {
+                    continue;
+                }
+                let Some(middles) = self.pairwise.get(&(*h1, *h2)) else { continue };
+                for pre in pres {
+                    for mid in middles {
+                        for suf in sufs {
+                            Self::try_emit(&mut results, k, &[pre, mid, suf]);
+                        }
+                    }
+                }
+            }
+        }
+        results
+    }
+
+    /// Concatenates the segments (adjacent segments share exactly one vertex),
+    /// and emits the result if it is simple and within the hop budget.
+    fn try_emit(results: &mut Vec<Path>, k: u32, segments: &[&Path]) {
+        let total_hops: usize = segments.iter().map(|s| s.len() - 1).sum();
+        if total_hops as u32 > k {
+            return;
+        }
+        let mut path: Path = Vec::with_capacity(total_hops + 1);
+        path.extend_from_slice(segments[0]);
+        for seg in &segments[1..] {
+            debug_assert_eq!(path.last(), seg.first(), "segments must chain on a shared vertex");
+            path.extend_from_slice(&seg[1..]);
+        }
+        if pefp_graph::paths::is_simple(&path) {
+            results.push(path);
+        }
+    }
+
+    fn collect_forward(&self, g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> ForwardSegments {
+        let mut out = ForwardSegments::default();
+        let mut stack = vec![s];
+        let mut on_path = vec![false; g.num_vertices()];
+        on_path[s.index()] = true;
+        // Note: even when `s` itself is hot, segments still run until the
+        // first hot vertex *strictly after* `s` — the decomposition is defined
+        // on internal hot vertices only, which keeps it unique.
+        self.forward_dfs(g, t, k, &mut stack, &mut on_path, &mut out);
+        out
+    }
+
+    /// Forward DFS that *stops* at hot points and at `t` (segments have no
+    /// internal hot vertices).
+    fn forward_dfs(
+        &self,
+        g: &CsrGraph,
+        t: VertexId,
+        k: u32,
+        stack: &mut Vec<VertexId>,
+        on_path: &mut [bool],
+        out: &mut ForwardSegments,
+    ) {
+        let current = *stack.last().expect("stack never empty");
+        let hops = (stack.len() - 1) as u32;
+        if hops >= k {
+            return;
+        }
+        for &next in g.successors(current) {
+            if on_path[next.index()] {
+                continue;
+            }
+            if next == t {
+                let mut seg = stack.clone();
+                seg.push(t);
+                out.direct.push(seg);
+                continue;
+            }
+            if self.is_hot[next.index()] {
+                let mut seg = stack.clone();
+                seg.push(next);
+                out.to_hot.entry(next).or_default().push(seg);
+                continue; // backtrack at the hot point
+            }
+            stack.push(next);
+            on_path[next.index()] = true;
+            self.forward_dfs(g, t, k, stack, on_path, out);
+            stack.pop();
+            on_path[next.index()] = false;
+        }
+    }
+
+    fn collect_backward(&self, g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> BackwardSegments {
+        let rev = g.reverse();
+        let mut out = BackwardSegments::default();
+        let mut stack = vec![t];
+        let mut on_path = vec![false; g.num_vertices()];
+        on_path[t.index()] = true;
+        // Symmetric to the forward pass: `t`'s own hotness is irrelevant, the
+        // decomposition is anchored on the last hot vertex strictly before `t`.
+        self.backward_dfs(&rev, s, k, &mut stack, &mut on_path, &mut out);
+        // Reverse every collected segment so it reads hot-point → … → t.
+        for segs in out.from_hot.values_mut() {
+            for seg in segs {
+                seg.reverse();
+            }
+        }
+        out
+    }
+
+    /// Backward DFS on the reverse graph, stopping at hot points (segments are
+    /// recorded reversed and flipped afterwards). Segments that reach `s`
+    /// without a hot point are *not* recorded here — they are exactly the
+    /// `direct` forward segments and would be double-counted.
+    fn backward_dfs(
+        &self,
+        rev: &CsrGraph,
+        s: VertexId,
+        k: u32,
+        stack: &mut Vec<VertexId>,
+        on_path: &mut [bool],
+        out: &mut BackwardSegments,
+    ) {
+        let current = *stack.last().expect("stack never empty");
+        let hops = (stack.len() - 1) as u32;
+        if hops >= k {
+            return;
+        }
+        for &next in rev.successors(current) {
+            if on_path[next.index()] || next == s {
+                continue;
+            }
+            if self.is_hot[next.index()] {
+                let mut seg = stack.clone();
+                seg.push(next);
+                out.from_hot.entry(next).or_default().push(seg);
+                continue;
+            }
+            stack.push(next);
+            on_path[next.index()] = true;
+            self.backward_dfs(rev, s, k, stack, on_path, out);
+            stack.pop();
+            on_path[next.index()] = false;
+        }
+    }
+}
+
+#[derive(Default)]
+struct ForwardSegments {
+    /// Segments from s that reach t with no internal hot point.
+    direct: Vec<Path>,
+    /// Segments from s ending at their first hot point, grouped by that vertex.
+    to_hot: HashMap<VertexId, Vec<Path>>,
+}
+
+#[derive(Default)]
+struct BackwardSegments {
+    /// Segments from a hot point to t with no other hot point after it.
+    from_hot: HashMap<VertexId, Vec<Path>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_dfs_enumerate;
+    use pefp_graph::generators::chung_lu;
+    use pefp_graph::paths::{canonicalize, validate_result};
+
+    fn check(g: &CsrGraph, hot: usize, s: u32, t: u32, k: u32) {
+        let index = HpIndex::build(g, hot, k);
+        let a = canonicalize(index.enumerate(g, VertexId(s), VertexId(t), k));
+        let b = canonicalize(naive_dfs_enumerate(g, VertexId(s), VertexId(t), k));
+        assert_eq!(a, b, "HP-Index mismatch for ({s},{t},{k}) with {hot} hot points");
+        assert!(validate_result(g, VertexId(s), VertexId(t), k as usize, &a).is_empty());
+    }
+
+    #[test]
+    fn matches_naive_with_various_hot_point_counts() {
+        let g = CsrGraph::from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 7), (0, 3), (3, 4), (4, 7), (1, 4), (3, 2), (2, 5), (5, 7)],
+        );
+        for hot in [0, 1, 2, 4, 8] {
+            check(&g, hot, 0, 7, 4);
+            check(&g, hot, 0, 7, 6);
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        for seed in 0..3u64 {
+            let g = chung_lu(60, 4.0, 2.1, seed + 300).to_csr();
+            check(&g, 5, 0, 31, 4);
+            check(&g, 10, 2, 17, 5);
+        }
+    }
+
+    #[test]
+    fn hot_endpoints_are_handled() {
+        // Make both s and t the highest-degree vertices so they become hot.
+        let g = CsrGraph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (1, 5), (2, 5), (3, 5), (1, 2), (2, 3)],
+        );
+        check(&g, 2, 0, 5, 3);
+        check(&g, 2, 0, 5, 4);
+    }
+
+    #[test]
+    fn index_statistics_are_reported() {
+        let g = chung_lu(60, 5.0, 2.1, 9).to_csr();
+        let index = HpIndex::build(&g, 6, 4);
+        assert_eq!(index.hot_points().len(), 6);
+        // With 6 hot points on a graph this dense there is at least one indexed path.
+        assert!(index.indexed_paths() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index only covers")]
+    fn querying_beyond_the_index_bound_panics() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let index = HpIndex::build(&g, 1, 2);
+        let _ = index.enumerate(&g, VertexId(0), VertexId(2), 3);
+    }
+
+    #[test]
+    fn trivial_queries() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let index = HpIndex::build(&g, 1, 3);
+        assert_eq!(index.enumerate(&g, VertexId(1), VertexId(1), 3), vec![vec![VertexId(1)]]);
+        assert!(index.enumerate(&g, VertexId(2), VertexId(0), 3).is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! Naive enumeration algorithms used as correctness oracles.
+//!
+//! These implement the problem definition directly with no pruning other than
+//! the hop budget and the simple-path requirement. They are exponentially
+//! slower than the real algorithms on large inputs but are obviously correct,
+//! which makes them the reference every optimised implementation is compared
+//! against in tests.
+
+use pefp_graph::paths::Path;
+use pefp_graph::{CsrGraph, VertexId};
+
+/// Enumerates all s-t simple paths with at most `k` hops by depth-first
+/// search, checking the simple-path property against the current stack.
+pub fn naive_dfs_enumerate(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> Vec<Path> {
+    let mut results = Vec::new();
+    if s.index() >= g.num_vertices() || t.index() >= g.num_vertices() {
+        return results;
+    }
+    if s == t {
+        // A single vertex is a 0-hop path from s to itself.
+        results.push(vec![s]);
+        return results;
+    }
+    let mut stack = vec![s];
+    let mut on_path = vec![false; g.num_vertices()];
+    on_path[s.index()] = true;
+    dfs(g, t, k, &mut stack, &mut on_path, &mut results);
+    results
+}
+
+fn dfs(
+    g: &CsrGraph,
+    t: VertexId,
+    k: u32,
+    stack: &mut Vec<VertexId>,
+    on_path: &mut [bool],
+    results: &mut Vec<Path>,
+) {
+    let current = *stack.last().expect("stack never empty");
+    let hops = (stack.len() - 1) as u32;
+    if hops >= k {
+        return;
+    }
+    for &next in g.successors(current) {
+        if next == t {
+            let mut path = stack.clone();
+            path.push(t);
+            results.push(path);
+            continue;
+        }
+        if on_path[next.index()] {
+            continue;
+        }
+        stack.push(next);
+        on_path[next.index()] = true;
+        dfs(g, t, k, stack, on_path, results);
+        stack.pop();
+        on_path[next.index()] = false;
+    }
+}
+
+/// Enumerates all s-t simple paths with at most `k` hops by breadth-first
+/// expansion of partial paths (the unoptimised version of what PEFP does on
+/// the device).
+///
+/// Memory usage is proportional to the number of intermediate paths, which is
+/// exactly the blow-up the paper's buffer-and-batch design addresses.
+pub fn naive_bfs_enumerate(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> Vec<Path> {
+    let mut results = Vec::new();
+    if s.index() >= g.num_vertices() || t.index() >= g.num_vertices() {
+        return results;
+    }
+    if s == t {
+        results.push(vec![s]);
+        return results;
+    }
+    let mut frontier: Vec<Path> = vec![vec![s]];
+    for _hop in 0..k {
+        let mut next_frontier = Vec::new();
+        for path in &frontier {
+            let last = *path.last().expect("paths are non-empty");
+            for &succ in g.successors(last) {
+                if succ == t {
+                    let mut done = path.clone();
+                    done.push(t);
+                    results.push(done);
+                } else if !path.contains(&succ) {
+                    let mut extended = path.clone();
+                    extended.push(succ);
+                    next_frontier.push(extended);
+                }
+            }
+        }
+        frontier = next_frontier;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pefp_graph::generators::{layered_dag, layered_full_path_count, layered_sink, layered_source};
+    use pefp_graph::paths::{canonicalize, validate_result};
+
+    fn diamond() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn diamond_has_two_paths() {
+        let g = diamond();
+        let r = naive_dfs_enumerate(&g, VertexId(0), VertexId(3), 3);
+        assert_eq!(r.len(), 2);
+        assert!(validate_result(&g, VertexId(0), VertexId(3), 3, &r).is_empty());
+    }
+
+    #[test]
+    fn hop_constraint_excludes_long_paths() {
+        // 0->3 direct plus 0->1->2->3
+        let g = CsrGraph::from_edges(4, &[(0, 3), (0, 1), (1, 2), (2, 3)]);
+        assert_eq!(naive_dfs_enumerate(&g, VertexId(0), VertexId(3), 1).len(), 1);
+        assert_eq!(naive_dfs_enumerate(&g, VertexId(0), VertexId(3), 3).len(), 2);
+        assert_eq!(naive_dfs_enumerate(&g, VertexId(0), VertexId(3), 2).len(), 1);
+    }
+
+    #[test]
+    fn cycles_are_not_traversed_twice() {
+        // 0 -> 1 -> 0 cycle plus 1 -> 2
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2)]);
+        let r = naive_dfs_enumerate(&g, VertexId(0), VertexId(2), 5);
+        assert_eq!(r, vec![vec![VertexId(0), VertexId(1), VertexId(2)]]);
+    }
+
+    #[test]
+    fn dfs_and_bfs_agree() {
+        let g = pefp_graph::generators::chung_lu(120, 4.0, 2.2, 7).to_csr();
+        for (s, t, k) in [(0u32, 5u32, 4u32), (3, 40, 5), (10, 11, 3)] {
+            let a = canonicalize(naive_dfs_enumerate(&g, VertexId(s), VertexId(t), k));
+            let b = canonicalize(naive_bfs_enumerate(&g, VertexId(s), VertexId(t), k));
+            assert_eq!(a, b, "mismatch for ({s},{t},{k})");
+        }
+    }
+
+    #[test]
+    fn layered_dag_count_matches_formula() {
+        let g = layered_dag(3, 3, 3, 1).to_csr();
+        let s = layered_source();
+        let t = layered_sink(3, 3);
+        let r = naive_dfs_enumerate(&g, s, t, 4);
+        assert_eq!(r.len() as u64, layered_full_path_count(3, 3));
+        // With a hop budget below the only possible length there are no paths.
+        assert_eq!(naive_dfs_enumerate(&g, s, t, 3).len(), 0);
+    }
+
+    #[test]
+    fn source_equals_target_yields_the_trivial_path() {
+        let g = diamond();
+        let r = naive_dfs_enumerate(&g, VertexId(1), VertexId(1), 3);
+        assert_eq!(r, vec![vec![VertexId(1)]]);
+        let r = naive_bfs_enumerate(&g, VertexId(1), VertexId(1), 3);
+        assert_eq!(r, vec![vec![VertexId(1)]]);
+    }
+
+    #[test]
+    fn unreachable_target_gives_empty_result() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        assert!(naive_dfs_enumerate(&g, VertexId(0), VertexId(2), 10).is_empty());
+        assert!(naive_bfs_enumerate(&g, VertexId(0), VertexId(2), 10).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_endpoints_are_rejected_gracefully() {
+        let g = diamond();
+        assert!(naive_dfs_enumerate(&g, VertexId(9), VertexId(3), 3).is_empty());
+        assert!(naive_bfs_enumerate(&g, VertexId(0), VertexId(9), 3).is_empty());
+    }
+
+    #[test]
+    fn zero_hop_budget_only_allows_trivial_queries() {
+        let g = diamond();
+        assert!(naive_dfs_enumerate(&g, VertexId(0), VertexId(3), 0).is_empty());
+        assert_eq!(naive_dfs_enumerate(&g, VertexId(2), VertexId(2), 0).len(), 1);
+    }
+}

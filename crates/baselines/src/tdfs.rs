@@ -1,0 +1,121 @@
+//! T-DFS: aggressive verification with path-avoiding shortest distances
+//! (Rizzi, Sacomoto, Sagot — IWOCA 2014).
+//!
+//! T-DFS guarantees that every search branch eventually emits at least one
+//! result ("never fall in the trap", Section III-B of the PEFP paper): before
+//! exploring a successor `u` of the current path `p`, it computes the shortest
+//! distance `sd(u, t | p)` that avoids every vertex already on `p`, and prunes
+//! `u` when `len(p) + 1 + sd(u, t | p) > k`. This yields polynomial delay but
+//! each check is a full (bounded) BFS, which is why T-DFS loses to JOIN in
+//! practice.
+
+use pefp_graph::bfs::constrained_distance;
+use pefp_graph::paths::Path;
+use pefp_graph::{CsrGraph, VertexId};
+
+/// Enumerates all s-t simple paths with at most `k` hops using T-DFS.
+pub fn tdfs_enumerate(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> Vec<Path> {
+    let mut results = Vec::new();
+    if s.index() >= g.num_vertices() || t.index() >= g.num_vertices() {
+        return results;
+    }
+    if s == t {
+        results.push(vec![s]);
+        return results;
+    }
+    // The initial feasibility check: is t reachable from s at all within k hops?
+    if constrained_distance(g, s, t, k, |_| false).is_none() {
+        return results;
+    }
+    let mut stack = vec![s];
+    let mut on_path = vec![false; g.num_vertices()];
+    on_path[s.index()] = true;
+    search(g, t, k, &mut stack, &mut on_path, &mut results);
+    results
+}
+
+fn search(
+    g: &CsrGraph,
+    t: VertexId,
+    k: u32,
+    stack: &mut Vec<VertexId>,
+    on_path: &mut [bool],
+    results: &mut Vec<Path>,
+) {
+    let current = *stack.last().expect("stack never empty");
+    let hops = (stack.len() - 1) as u32;
+    if hops >= k {
+        return;
+    }
+    for &next in g.successors(current) {
+        if next == t {
+            let mut path = stack.clone();
+            path.push(t);
+            results.push(path);
+            continue;
+        }
+        if on_path[next.index()] {
+            continue;
+        }
+        let remaining = k - (hops + 1);
+        // Aggressive verification: sd(next, t | p) avoiding the current path.
+        let feasible = constrained_distance(g, next, t, remaining, |v| on_path[v.index()])
+            .is_some_and(|d| d <= remaining);
+        if !feasible {
+            continue;
+        }
+        stack.push(next);
+        on_path[next.index()] = true;
+        search(g, t, k, stack, on_path, results);
+        stack.pop();
+        on_path[next.index()] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_dfs_enumerate;
+    use pefp_graph::generators::chung_lu;
+    use pefp_graph::paths::canonicalize;
+
+    #[test]
+    fn matches_naive_on_small_graphs() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5), (1, 4)]);
+        for k in [2, 3, 4, 5] {
+            let a = canonicalize(tdfs_enumerate(&g, VertexId(0), VertexId(5), k));
+            let b = canonicalize(naive_dfs_enumerate(&g, VertexId(0), VertexId(5), k));
+            assert_eq!(a, b, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        for seed in 0..3u64 {
+            let g = chung_lu(70, 4.0, 2.2, seed + 100).to_csr();
+            let a = canonicalize(tdfs_enumerate(&g, VertexId(1), VertexId(42), 5));
+            let b = canonicalize(naive_dfs_enumerate(&g, VertexId(1), VertexId(42), 5));
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_branch_yields_a_result_on_a_trap_graph() {
+        // A graph with a long dead-end branch: T-DFS must not enter it.
+        let mut edges = vec![(0u32, 1u32), (1, 5)];
+        for i in 0..20u32 {
+            edges.push((1 + i * 0, 6 + i)); // 1 -> 6.., dead ends
+        }
+        let g = CsrGraph::from_edges(30, &edges);
+        let r = tdfs_enumerate(&g, VertexId(0), VertexId(5), 3);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn trivial_and_unreachable_cases() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        assert_eq!(tdfs_enumerate(&g, VertexId(2), VertexId(2), 2), vec![vec![VertexId(2)]]);
+        assert!(tdfs_enumerate(&g, VertexId(0), VertexId(2), 4).is_empty());
+        assert!(tdfs_enumerate(&g, VertexId(5), VertexId(1), 4).is_empty());
+    }
+}

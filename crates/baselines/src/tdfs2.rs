@@ -1,0 +1,197 @@
+//! T-DFS2: T-DFS with reduced shortest-distance recomputation
+//! (Grossi, Marino, Versari — LATIN 2018).
+//!
+//! T-DFS2 keeps T-DFS's guarantee that every explored branch produces at least
+//! one result but avoids many of the expensive path-avoiding BFS computations.
+//! The reproduction implements the central idea as a *certificate reuse*
+//! shortcut: a shortest s-t path tree towards `t` is computed once; when the
+//! tree path from a successor `u` to `t` does not touch the current stack, the
+//! unconstrained distance `sd(u, t)` is already a valid certificate and no
+//! per-step BFS is needed. Only when the certificate is invalidated by the
+//! current path does the algorithm fall back to the constrained BFS that
+//! T-DFS performs on every step.
+
+use pefp_graph::bfs::{constrained_distance, UNREACHED};
+use pefp_graph::paths::Path;
+use pefp_graph::{CsrGraph, VertexId};
+
+/// Enumerates all s-t simple paths with at most `k` hops using T-DFS2.
+pub fn tdfs2_enumerate(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> Vec<Path> {
+    let mut results = Vec::new();
+    if s.index() >= g.num_vertices() || t.index() >= g.num_vertices() {
+        return results;
+    }
+    if s == t {
+        results.push(vec![s]);
+        return results;
+    }
+
+    // Shortest-path certificates towards t: distances and BFS parents on the
+    // reverse graph. parent[u] is the next vertex on one shortest u -> t path.
+    let rev = g.reverse();
+    let (dist_to_t, next_on_sp) = bfs_with_parents(&rev, t, k);
+    if dist_to_t[s.index()] == UNREACHED {
+        return results;
+    }
+
+    let mut ctx = Ctx { g, t, k, dist_to_t, next_on_sp, results: &mut results, fallback_bfs: 0 };
+    let mut stack = vec![s];
+    let mut on_path = vec![false; g.num_vertices()];
+    on_path[s.index()] = true;
+    ctx.search(&mut stack, &mut on_path);
+    results
+}
+
+/// BFS from `t` on the reverse graph returning `(distance, next-hop)` arrays:
+/// `next_on_sp[u]` is the successor of `u` (in the original graph) on one
+/// shortest path from `u` to `t`.
+fn bfs_with_parents(rev: &CsrGraph, t: VertexId, k: u32) -> (Vec<u32>, Vec<VertexId>) {
+    let n = rev.num_vertices();
+    let mut dist = vec![UNREACHED; n];
+    let mut next = vec![VertexId::INVALID; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[t.index()] = 0;
+    queue.push_back(t);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        if du >= k {
+            continue;
+        }
+        for &v in rev.successors(u) {
+            if dist[v.index()] == UNREACHED {
+                dist[v.index()] = du + 1;
+                // In the original graph the edge is v -> u, so u is v's next hop.
+                next[v.index()] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    (dist, next)
+}
+
+struct Ctx<'a> {
+    g: &'a CsrGraph,
+    t: VertexId,
+    k: u32,
+    dist_to_t: Vec<u32>,
+    next_on_sp: Vec<VertexId>,
+    results: &'a mut Vec<Path>,
+    /// Number of constrained-BFS fallbacks performed (certificate misses).
+    fallback_bfs: u64,
+}
+
+impl Ctx<'_> {
+    fn search(&mut self, stack: &mut Vec<VertexId>, on_path: &mut [bool]) {
+        let current = *stack.last().expect("stack never empty");
+        let hops = (stack.len() - 1) as u32;
+        if hops >= self.k {
+            return;
+        }
+        for i in 0..self.g.successors(current).len() {
+            let next = self.g.successors(current)[i];
+            if next == self.t {
+                let mut path = stack.clone();
+                path.push(self.t);
+                self.results.push(path);
+                continue;
+            }
+            if on_path[next.index()] {
+                continue;
+            }
+            let remaining = self.k - (hops + 1);
+            if !self.feasible(next, remaining, on_path) {
+                continue;
+            }
+            stack.push(next);
+            on_path[next.index()] = true;
+            self.search(stack, on_path);
+            stack.pop();
+            on_path[next.index()] = false;
+        }
+    }
+
+    /// Is there a simple path from `u` to `t` of length `≤ remaining` that
+    /// avoids the current stack?
+    fn feasible(&mut self, u: VertexId, remaining: u32, on_path: &[bool]) -> bool {
+        let d = self.dist_to_t[u.index()];
+        if d == UNREACHED || d > remaining {
+            // The unconstrained distance is a lower bound on the constrained one.
+            return false;
+        }
+        // Certificate check: walk the shortest-path tree towards t; if it does
+        // not touch the current path, the unconstrained distance is achievable.
+        let mut v = u;
+        let mut clean = true;
+        while v != self.t {
+            if on_path[v.index()] && v != u {
+                clean = false;
+                break;
+            }
+            v = self.next_on_sp[v.index()];
+            if !v.is_valid() {
+                clean = false;
+                break;
+            }
+        }
+        if clean {
+            return true;
+        }
+        // Certificate invalidated: fall back to the constrained BFS (T-DFS step).
+        self.fallback_bfs += 1;
+        constrained_distance(self.g, u, self.t, remaining, |v| on_path[v.index()])
+            .is_some_and(|d| d <= remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_dfs_enumerate;
+    use crate::tdfs::tdfs_enumerate;
+    use pefp_graph::generators::{chung_lu, small_world};
+    use pefp_graph::paths::canonicalize;
+
+    #[test]
+    fn matches_naive_and_tdfs_on_small_graphs() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5), (1, 4)]);
+        for k in [2, 3, 4, 5] {
+            let a = canonicalize(tdfs2_enumerate(&g, VertexId(0), VertexId(5), k));
+            let b = canonicalize(naive_dfs_enumerate(&g, VertexId(0), VertexId(5), k));
+            let c = canonicalize(tdfs_enumerate(&g, VertexId(0), VertexId(5), k));
+            assert_eq!(a, b, "k = {k}");
+            assert_eq!(a, c, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        for seed in 0..3u64 {
+            let g = chung_lu(70, 4.0, 2.2, seed + 200).to_csr();
+            let a = canonicalize(tdfs2_enumerate(&g, VertexId(3), VertexId(30), 5));
+            let b = canonicalize(naive_dfs_enumerate(&g, VertexId(3), VertexId(30), 5));
+            assert_eq!(a, b, "seed {seed}");
+        }
+        let g = small_world(90, 2, 0.3, 17).to_csr();
+        let a = canonicalize(tdfs2_enumerate(&g, VertexId(0), VertexId(45), 5));
+        let b = canonicalize(naive_dfs_enumerate(&g, VertexId(0), VertexId(45), 5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn certificate_avoids_fallbacks_on_a_dag() {
+        // A wide DAG where shortest paths never clash with the current stack.
+        let g = pefp_graph::generators::layered_dag(3, 4, 4, 3).to_csr();
+        let s = pefp_graph::generators::layered_source();
+        let t = pefp_graph::generators::layered_sink(3, 4);
+        let r = tdfs2_enumerate(&g, s, t, 4);
+        assert_eq!(r.len(), 64);
+    }
+
+    #[test]
+    fn trivial_and_unreachable_cases() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        assert_eq!(tdfs2_enumerate(&g, VertexId(1), VertexId(1), 2), vec![vec![VertexId(1)]]);
+        assert!(tdfs2_enumerate(&g, VertexId(0), VertexId(2), 4).is_empty());
+        assert!(tdfs2_enumerate(&g, VertexId(7), VertexId(1), 4).is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! Fig. 8 — query processing time, PEFP vs JOIN.
+//!
+//! For each representative dataset the bench measures the *query phase* of
+//! both systems on a fixed prepared workload: PEFP's simulated device run
+//! (which also performs the full enumeration in software) and JOIN's query
+//! phase. Preprocessing is excluded here (it is covered by `preprocess_time`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pefp_baselines::Join;
+use pefp_bench::make_runner;
+use pefp_core::{prepare, run_prepared, PefpVariant};
+use pefp_fpga::DeviceConfig;
+use pefp_graph::{Dataset, ScaleProfile};
+use std::hint::black_box;
+
+fn bench_query_time(c: &mut Criterion) {
+    let mut runner = make_runner(ScaleProfile::Tiny, 3);
+    let device = DeviceConfig::alveo_u200();
+    let cases = [
+        (Dataset::WikiTalk, 4u32),
+        (Dataset::TwitterSocial, 5),
+        (Dataset::Amazon, 8),
+        (Dataset::Skitter, 5),
+    ];
+
+    let mut group = c.benchmark_group("fig8_query_time");
+    group.sample_size(10);
+    for (dataset, k) in cases {
+        if runner.exceeds_budget(dataset, k) {
+            continue;
+        }
+        let g = runner.graph(dataset).clone();
+        let queries = runner.queries(dataset, k);
+        let Some(q) = queries.first().copied() else { continue };
+
+        // PEFP: preprocessing hoisted out, device run measured.
+        let prep = prepare(&g, q.s, q.t, k, PefpVariant::Full);
+        let mut opts = PefpVariant::Full.engine_options();
+        opts.collect_paths = false;
+        group.bench_with_input(BenchmarkId::new("PEFP", dataset.code()), &k, |b, _| {
+            b.iter(|| black_box(run_prepared(&prep, opts.clone(), &device).num_paths))
+        });
+
+        // JOIN: preprocessing hoisted out, query phase measured.
+        let join_prep = Join::new().preprocess(&g, q.s, q.t, k);
+        group.bench_with_input(BenchmarkId::new("JOIN", dataset.code()), &k, |b, _| {
+            b.iter(|| {
+                let mut join = Join::new();
+                black_box(join.query(&g, q.s, q.t, k, &join_prep).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_time);
+criterion_main!(benches);

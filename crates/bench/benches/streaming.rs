@@ -1,0 +1,72 @@
+//! Streaming cycle-detection throughput (the paper's motivating application,
+//! not a numbered figure): per-transaction detection cost with the PEFP
+//! engine on the simulated device versus the JOIN CPU baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pefp_streaming::{
+    CycleDetector, DetectorConfig, DetectorEngine, TransactionGenerator,
+    TransactionGeneratorConfig,
+};
+use std::hint::black_box;
+
+fn bench_detector_engines(c: &mut Criterion) {
+    let stream = TransactionGenerator::new(TransactionGeneratorConfig {
+        num_accounts: 400,
+        fraud_probability: 0.03,
+        ring_size: 4,
+        seed: 77,
+    })
+    .stream(400);
+
+    let mut group = c.benchmark_group("streaming_detection");
+    group.sample_size(10);
+    for engine in [DetectorEngine::PefpSimulated, DetectorEngine::JoinCpu, DetectorEngine::NaiveDfs]
+    {
+        let label = match engine {
+            DetectorEngine::PefpSimulated => "pefp",
+            DetectorEngine::JoinCpu => "join",
+            DetectorEngine::NaiveDfs => "naive",
+        };
+        group.bench_with_input(BenchmarkId::new(label, stream.len()), &stream, |b, stream| {
+            b.iter(|| {
+                let mut detector = CycleDetector::new(DetectorConfig {
+                    max_cycle_hops: 5,
+                    window_size: 10_000,
+                    engine,
+                    ..DetectorConfig::default()
+                });
+                let alerts = detector.ingest_stream(black_box(stream));
+                black_box(alerts.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_window_maintenance(c: &mut Criterion) {
+    let stream = TransactionGenerator::new(TransactionGeneratorConfig {
+        num_accounts: 2_000,
+        fraud_probability: 0.0,
+        ring_size: 4,
+        seed: 5,
+    })
+    .stream(5_000);
+
+    let mut group = c.benchmark_group("streaming_window");
+    group.sample_size(10);
+    for window in [100u64, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("ingest", window), &window, |b, &window| {
+            b.iter(|| {
+                let mut w = pefp_streaming::SlidingWindow::new(window);
+                for tx in &stream {
+                    w.ingest(black_box(tx));
+                }
+                black_box(w.graph().num_edges())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detector_engines, bench_window_maintenance);
+criterion_main!(benches);

@@ -1,0 +1,434 @@
+//! The PEFP device-side engine (Algorithm 1 of the paper).
+//!
+//! The engine follows the expansion-and-verification framework:
+//!
+//! 1. fetch a batch of intermediate paths into the *processing area* `P'`
+//!    ([`batch`], Algorithms 3 and 4),
+//! 2. expand every path in the batch with its one-hop successors,
+//! 3. verify each expansion with the three-stage check ([`verify`],
+//!    Algorithm 2),
+//! 4. write valid expansions back to the *buffer area* `P`, spilling to DRAM
+//!    (`PD`) when the buffer is full, and emit result paths.
+//!
+//! All real computation happens in ordinary Rust data structures; every
+//! memory access and pipeline execution is *charged* against the simulated
+//! [`Device`] so the run produces both the exact result set and a simulated
+//! device time (see `pefp-fpga` for the cost model and `DESIGN.md` for the
+//! justification of the substitution).
+
+pub mod batch;
+pub mod memory;
+pub mod verify;
+
+use crate::options::{BatchStrategy, EngineOptions};
+use crate::path::{TempPath, MAX_K};
+use crate::result::{EngineOutput, EngineStats};
+use memory::MemoryLayout;
+use pefp_fpga::Device;
+use pefp_graph::{CsrGraph, VertexId};
+use std::collections::VecDeque;
+use verify::Verdict;
+
+/// Device-side enumeration engine for one prepared query.
+pub struct PefpEngine<'a> {
+    /// The (preprocessed) graph in CSR form.
+    graph: &'a CsrGraph,
+    /// Barrier array: `bar[u] = sd(u, t)` clamped to `k + 1`.
+    barrier: &'a [u32],
+    /// Source vertex (device ids).
+    s: VertexId,
+    /// Target vertex (device ids).
+    t: VertexId,
+    /// Hop constraint.
+    k: u32,
+    /// Engine configuration.
+    opts: EngineOptions,
+    /// Simulated device used for cost accounting.
+    device: Device,
+    /// Placement decisions (what ended up cached in BRAM).
+    layout: MemoryLayout,
+    /// Buffer area `P` (front = oldest / bottom of the stack).
+    buffer: VecDeque<TempPath>,
+    /// DRAM-resident intermediate path set `PD`.
+    dram_paths: Vec<TempPath>,
+    /// Collected result paths (device ids); empty in counting mode.
+    results: Vec<Vec<VertexId>>,
+    /// Number of results emitted (also filled in counting mode).
+    num_results: u64,
+    /// Behavioural counters.
+    stats: EngineStats,
+}
+
+impl<'a> PefpEngine<'a> {
+    /// Creates an engine for one query.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the options are invalid, `k` exceeds [`MAX_K`], or the
+    /// barrier array does not cover the graph.
+    pub fn new(
+        graph: &'a CsrGraph,
+        barrier: &'a [u32],
+        s: VertexId,
+        t: VertexId,
+        k: u32,
+        opts: EngineOptions,
+        mut device: Device,
+    ) -> Self {
+        let problems = opts.validate();
+        assert!(problems.is_empty(), "invalid engine options: {problems:?}");
+        assert!(k as usize <= MAX_K, "hop constraint {k} exceeds MAX_K = {MAX_K}");
+        assert_eq!(barrier.len(), graph.num_vertices(), "barrier array must cover every vertex");
+        assert!(s.index() < graph.num_vertices(), "source {s} out of range");
+        assert!(t.index() < graph.num_vertices(), "target {t} out of range");
+        let layout = MemoryLayout::plan(&mut device, graph, &opts);
+        PefpEngine {
+            graph,
+            barrier,
+            s,
+            t,
+            k,
+            opts,
+            device,
+            layout,
+            buffer: VecDeque::new(),
+            dram_paths: Vec::new(),
+            results: Vec::new(),
+            num_results: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The memory placement the engine planned for this query.
+    pub fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    /// Consumes nothing; returns the simulated device report accumulated so far.
+    pub fn device_report(&self) -> pefp_fpga::DeviceReport {
+        self.device.report()
+    }
+
+    /// Runs the full enumeration (Algorithm 1) and returns the results.
+    pub fn run(&mut self) -> EngineOutput {
+        // Trivial queries never reach the device in the real system; handle
+        // them here so the engine is total.
+        if self.s == self.t {
+            self.emit_result_path(&[self.s]);
+            return self.take_output();
+        }
+        if self.k == 0 {
+            return self.take_output();
+        }
+
+        // Line 2: P'.push({s}).
+        let mut processing: Vec<TempPath> = Vec::new();
+        let mut initial = TempPath::initial(self.graph, self.s);
+        // The initial path may itself exceed the processing capacity (a super
+        // node source); split it exactly like any buffered path.
+        while let Some(copy) = initial.take_window(self.opts.processing_capacity) {
+            if processing.is_empty() {
+                processing.push(copy);
+            } else {
+                // Remaining windows go to the buffer to be scheduled later.
+                self.buffer.push_back(copy);
+            }
+        }
+        self.device.charge_cycles(1);
+
+        // Lines 3-15: expand, verify, write back, fetch next batch.
+        while !processing.is_empty() {
+            self.stats.batches += 1;
+            self.process_batch(&processing);
+            processing = self.next_batch();
+        }
+        self.take_output()
+    }
+
+    /// Expands and verifies one batch from the processing area.
+    ///
+    /// The functional work (successor lookup, three-stage verification, result
+    /// emission, buffer writes) is done in software; the device is charged a
+    /// *throughput-oriented* schedule: all inputs of the batch stream through
+    /// the replicated, pipelined expansion/verification lanes, BRAM-resident
+    /// data feeds the pipeline without serial cost (its latency sits in the
+    /// pipeline depth), and only the accesses that genuinely leave the chip —
+    /// uncached graph/barrier lookups (as an initiation-interval stall),
+    /// intermediate paths written to DRAM, and result paths shipped to the
+    /// host — appear as extra DRAM cost.
+    fn process_batch(&mut self, batch: &[TempPath]) {
+        let mut total_inputs: u64 = 0;
+        let mut result_words: u64 = 0;
+        let mut dram_intermediate_words: u64 = 0;
+
+        for path in batch {
+            let window = path.window_start()..path.window_end();
+            let window_len = (window.end - window.start) as u64;
+            if window_len == 0 {
+                continue;
+            }
+            total_inputs += window_len;
+            // Traffic bookkeeping for the graph/barrier lookups; their timing
+            // impact is folded into the pipeline initiation interval below.
+            if self.layout.graph_cached {
+                self.device.note_cache_hits(1);
+            } else {
+                self.device.note_cache_misses(1, window_len);
+            }
+            if self.layout.barrier_cached {
+                self.device.note_cache_hits(window_len);
+            } else {
+                self.device.note_cache_misses(window_len, window_len);
+            }
+
+            for edge_idx in window {
+                let nbr = self.graph.edge_target(edge_idx);
+                self.stats.expansions += 1;
+                match verify::verify(path, nbr, self.t, self.k, self.barrier[nbr.index()]) {
+                    Verdict::Result => {
+                        let mut full = path.to_vec();
+                        full.push(nbr);
+                        result_words += full.len() as u64;
+                        self.emit_result_path(&full);
+                    }
+                    Verdict::Valid => {
+                        let extended = path.extended(self.graph, nbr);
+                        dram_intermediate_words += self.push_intermediate(extended);
+                    }
+                    Verdict::PrunedBarrier => self.stats.pruned_by_barrier += 1,
+                    Verdict::PrunedVisited => self.stats.pruned_by_visited += 1,
+                }
+            }
+        }
+
+        // Compute schedule: the batch streams through the replicated lanes.
+        let lanes = self.device.verification_lanes() as u64;
+        let lane_iterations = total_inputs.div_ceil(lanes.max(1));
+        let memory_stall_ii = if self.layout.graph_cached && self.layout.barrier_cached {
+            1
+        } else {
+            self.device.config().dram_read_latency
+        };
+        verify::charge_expansion_schedule(
+            &mut self.device,
+            self.opts.verification,
+            lane_iterations,
+            memory_stall_ii,
+        );
+
+        // Off-chip writes produced by this batch, issued as contiguous bursts.
+        if result_words > 0 {
+            self.device.charge_write(pefp_fpga::MemoryKind::Dram, result_words);
+        }
+        if dram_intermediate_words > 0 {
+            self.device.charge_write(pefp_fpga::MemoryKind::Dram, dram_intermediate_words);
+        }
+    }
+
+    /// Emits one result path (device ids). The DRAM write that ships results
+    /// back to the host is charged per batch by [`Self::process_batch`].
+    fn emit_result_path(&mut self, path: &[VertexId]) {
+        self.num_results += 1;
+        self.stats.results += 1;
+        if self.opts.collect_paths {
+            self.results.push(path.to_vec());
+        }
+    }
+
+    /// Writes a freshly validated intermediate path to the buffer area,
+    /// spilling to DRAM when the buffer is full (Algorithm 1, lines 12-14).
+    ///
+    /// Returns the number of words this push sent directly to DRAM (non-zero
+    /// only when intermediate-path caching is disabled), so the caller can
+    /// charge the transfer as one burst per batch.
+    fn push_intermediate(&mut self, path: TempPath) -> u64 {
+        self.stats.intermediate_paths += 1;
+        if !self.layout.paths_in_bram {
+            // No caching of intermediate paths: everything lives in DRAM.
+            let words = path.words();
+            self.dram_paths.push(path);
+            self.stats.peak_dram_paths = self.stats.peak_dram_paths.max(self.dram_paths.len());
+            return words;
+        }
+        if self.buffer.len() >= self.opts.buffer_capacity {
+            self.flush_buffer();
+        }
+        self.buffer.push_back(path);
+        self.stats.peak_buffer_paths = self.stats.peak_buffer_paths.max(self.buffer.len());
+        0
+    }
+
+    /// Flushes part of the buffer area to DRAM. Batch-DFS keeps the newest
+    /// (longest) paths on-chip and spills the oldest; FIFO keeps the oldest
+    /// and spills the newest, consistent with its processing order.
+    fn flush_buffer(&mut self) {
+        let to_flush = (self.opts.buffer_capacity / 2).max(1);
+        let mut words = 0u64;
+        for _ in 0..to_flush.min(self.buffer.len()) {
+            let p = match self.opts.batch_strategy {
+                BatchStrategy::LongestFirst => self.buffer.pop_front(),
+                BatchStrategy::Fifo => self.buffer.pop_back(),
+            };
+            let Some(p) = p else { break };
+            words += p.words();
+            self.dram_paths.push(p);
+        }
+        self.device.charge_buffer_flush(words);
+        self.stats.peak_dram_paths = self.stats.peak_dram_paths.max(self.dram_paths.len());
+    }
+
+    fn take_output(&mut self) -> EngineOutput {
+        EngineOutput {
+            paths: std::mem::take(&mut self.results),
+            num_paths: self.num_results,
+            stats: self.stats,
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::VerificationPipeline;
+    use crate::preprocess::pre_bfs;
+    use pefp_fpga::DeviceConfig;
+    use pefp_graph::paths::{canonicalize, validate_result};
+
+    fn run_engine(g: &CsrGraph, s: u32, t: u32, k: u32, opts: EngineOptions) -> EngineOutput {
+        let prep = pre_bfs(g, VertexId(s), VertexId(t), k);
+        let device = Device::new(DeviceConfig::alveo_u200());
+        let mut engine = PefpEngine::new(&prep.graph, &prep.barrier, prep.s, prep.t, k, opts, device);
+        let mut out = engine.run();
+        // Translate back to original ids for comparison.
+        out.paths = out.paths.iter().map(|p| prep.translate_path(p)).collect();
+        out
+    }
+
+    #[test]
+    fn diamond_enumeration() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let out = run_engine(&g, 0, 3, 3, EngineOptions::default());
+        assert_eq!(out.num_paths, 2);
+        assert!(validate_result(&g, VertexId(0), VertexId(3), 3, &out.paths).is_empty());
+    }
+
+    #[test]
+    fn matches_naive_dfs_on_random_graphs() {
+        use pefp_baselines::naive_dfs_enumerate;
+        for seed in 0..3u64 {
+            let g = pefp_graph::generators::chung_lu(80, 4.0, 2.2, seed + 500).to_csr();
+            for &(s, t, k) in &[(0u32, 17u32, 4u32), (3, 60, 5)] {
+                let out = run_engine(&g, s, t, k, EngineOptions::default());
+                let expected = canonicalize(naive_dfs_enumerate(&g, VertexId(s), VertexId(t), k));
+                assert_eq!(canonicalize(out.paths), expected, "seed {seed} query ({s},{t},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn all_option_combinations_agree() {
+        use pefp_baselines::naive_dfs_enumerate;
+        let g = pefp_graph::generators::chung_lu(70, 5.0, 2.1, 42).to_csr();
+        let (s, t, k) = (1u32, 30u32, 5u32);
+        let expected = canonicalize(naive_dfs_enumerate(&g, VertexId(s), VertexId(t), k));
+        for strategy in [BatchStrategy::LongestFirst, BatchStrategy::Fifo] {
+            for cache in [true, false] {
+                for pipeline in [VerificationPipeline::Basic, VerificationPipeline::Dataflow] {
+                    let opts = EngineOptions {
+                        batch_strategy: strategy,
+                        use_cache: cache,
+                        verification: pipeline,
+                        processing_capacity: 16,
+                        buffer_capacity: 32,
+                        dram_fetch_batch: 16,
+                        collect_paths: true,
+                    };
+                    let out = run_engine(&g, s, t, k, opts);
+                    assert_eq!(
+                        canonicalize(out.paths),
+                        expected,
+                        "strategy {strategy:?} cache {cache} pipeline {pipeline:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_capacities_force_spills_but_keep_correctness() {
+        use pefp_baselines::naive_dfs_enumerate;
+        let g = pefp_graph::generators::chung_lu(100, 6.0, 2.1, 77).to_csr();
+        let (s, t, k) = (0u32, 40u32, 5u32);
+        let opts = EngineOptions {
+            processing_capacity: 4,
+            buffer_capacity: 8,
+            dram_fetch_batch: 8,
+            ..EngineOptions::default()
+        };
+        let out = run_engine(&g, s, t, k, opts);
+        let expected = canonicalize(naive_dfs_enumerate(&g, VertexId(s), VertexId(t), k));
+        assert_eq!(canonicalize(out.paths), expected);
+    }
+
+    #[test]
+    fn counting_mode_reports_without_materialising() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let opts = EngineOptions { collect_paths: false, ..EngineOptions::default() };
+        let out = run_engine(&g, 0, 3, 3, opts);
+        assert_eq!(out.num_paths, 2);
+        assert!(out.paths.is_empty());
+    }
+
+    #[test]
+    fn trivial_queries() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let out = run_engine(&g, 1, 1, 3, EngineOptions::default());
+        assert_eq!(out.num_paths, 1);
+        let out = run_engine(&g, 0, 2, 0, EngineOptions::default());
+        assert_eq!(out.num_paths, 0);
+    }
+
+    #[test]
+    fn stats_track_pruning_and_batches() {
+        let g = pefp_graph::generators::chung_lu(120, 6.0, 2.1, 13).to_csr();
+        let out = run_engine(&g, 0, 50, 4, EngineOptions::default());
+        assert!(out.stats.batches >= 1);
+        assert!(out.stats.expansions >= out.stats.intermediate_paths + out.stats.results);
+        assert_eq!(out.stats.results, out.num_paths);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_K")]
+    fn k_beyond_max_is_rejected() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let barrier = vec![0, 0];
+        let device = Device::new(DeviceConfig::alveo_u200());
+        let _ = PefpEngine::new(
+            &g,
+            &barrier,
+            VertexId(0),
+            VertexId(1),
+            99,
+            EngineOptions::default(),
+            device,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier array")]
+    fn short_barrier_is_rejected() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let barrier = vec![0];
+        let device = Device::new(DeviceConfig::alveo_u200());
+        let _ = PefpEngine::new(
+            &g,
+            &barrier,
+            VertexId(0),
+            VertexId(2),
+            2,
+            EngineOptions::default(),
+            device,
+        );
+    }
+}

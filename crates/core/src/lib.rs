@@ -1,0 +1,64 @@
+//! # pefp-core
+//!
+//! The paper's primary contribution: **PEFP**, k-hop constrained s-t simple
+//! path enumeration designed for an FPGA, reproduced in Rust against the
+//! simulated device of `pefp-fpga`.
+//!
+//! The crate is organised along the paper's own structure:
+//!
+//! * [`preprocess`] — host-side **Pre-BFS** (Section V): `(k-1)`-hop
+//!   bidirectional BFS, Theorem 1 vertex cut, induced subgraph + barrier.
+//! * [`path`] — fixed-width intermediate path rows with the neighbour-pointer
+//!   windows Batch-DFS needs.
+//! * [`engine`] — the device-side expansion-and-verification engine
+//!   (Section VI): buffer/processing areas, DRAM spilling, Batch-DFS and FIFO
+//!   batching, BRAM caching, and the basic / data-separated verification
+//!   pipelines, all charged against the simulated device.
+//! * [`variants`] — the full system plus the four ablation variants
+//!   (No-Pre-BFS, No-Batch-DFS, No-Cache, No-DataSep) and the high-level
+//!   [`run_query`] entry point.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pefp_core::{run_query, PefpVariant};
+//! use pefp_fpga::DeviceConfig;
+//! use pefp_graph::{CsrGraph, VertexId};
+//!
+//! // A diamond: two 2-hop paths from 0 to 3.
+//! let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+//! let result = run_query(
+//!     &g,
+//!     VertexId(0),
+//!     VertexId(3),
+//!     3,
+//!     PefpVariant::Full,
+//!     &DeviceConfig::alveo_u200(),
+//! );
+//! assert_eq!(result.num_paths, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod counting;
+pub mod engine;
+pub mod labeled;
+pub mod multi_query;
+pub mod options;
+pub mod path;
+pub mod planner;
+pub mod preprocess;
+pub mod result;
+pub mod variants;
+
+pub use counting::{count_simple_paths, count_st_walks, walk_profile, QueryEstimate};
+pub use engine::PefpEngine;
+pub use labeled::{filter_by_labels, run_labeled_query};
+pub use planner::{plan_query, QueryPlan};
+pub use multi_query::{run_query_batch, BatchReport};
+pub use options::{BatchStrategy, EngineOptions, VerificationPipeline};
+pub use path::{TempPath, MAX_K};
+pub use preprocess::{no_prebfs_preprocess, pre_bfs, PreparedQuery};
+pub use result::{EngineOutput, EngineStats, PefpRunResult};
+pub use variants::{prepare, run_prepared, run_query, run_query_with_options, PefpVariant};

@@ -1,0 +1,121 @@
+//! Engine configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Order in which batches are drawn from the buffer area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchStrategy {
+    /// **Batch-DFS** (Algorithm 4): treat the buffer area as a stack and fetch
+    /// from its top, i.e. always process a batch of the *longest* paths first.
+    /// Longest-first expansion produces the fewest new intermediate paths
+    /// (Observation 1 / Table III of the paper), which minimises buffer
+    /// overflows and DRAM spills.
+    LongestFirst,
+    /// First-in-first-out batching ("always process a batch of the shortest
+    /// paths first") — the strawman the Batch-DFS ablation (Fig. 13) compares
+    /// against.
+    Fifo,
+}
+
+/// How the engine's verification module is scheduled on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VerificationPipeline {
+    /// Basic pipeline (Fig. 6): the three checks (target, barrier, visited)
+    /// run back to back for each input, so an input occupies the module for
+    /// the full stage depth before the next can enter.
+    Basic,
+    /// Data-separated dataflow pipeline (Fig. 7): the input is split into
+    /// `(path, successor)`, `(path, barrier)` and `(path, successor)` streams
+    /// so the three checks run concurrently and a merge stage combines the
+    /// verdicts; consecutive inputs enter every cycle.
+    Dataflow,
+}
+
+/// Tunable parameters of the device-side engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineOptions {
+    /// Batching order (Batch-DFS vs FIFO).
+    pub batch_strategy: BatchStrategy,
+    /// Whether the graph, barrier and intermediate paths are cached in BRAM
+    /// (the paper's caching techniques, Section VI-B). With caching disabled
+    /// every access is charged at DRAM cost — the Fig. 14 ablation.
+    pub use_cache: bool,
+    /// Verification scheduling — the Fig. 15 ablation.
+    pub verification: VerificationPipeline,
+    /// Θ2: capacity of the processing area, in *successor slots* (the number
+    /// of one-hop expansions a batch may contain).
+    pub processing_capacity: u32,
+    /// Capacity of the BRAM buffer area, in paths.
+    pub buffer_capacity: usize,
+    /// Θ1: number of paths fetched back from DRAM when the buffer runs dry.
+    pub dram_fetch_batch: usize,
+    /// Collect the actual result paths (`true`) or only count them (`false`);
+    /// counting mode avoids result materialisation in the largest sweeps.
+    pub collect_paths: bool,
+}
+
+impl EngineOptions {
+    /// The full PEFP configuration used for the headline results.
+    pub fn pefp_default() -> Self {
+        EngineOptions {
+            batch_strategy: BatchStrategy::LongestFirst,
+            use_cache: true,
+            verification: VerificationPipeline::Dataflow,
+            processing_capacity: 1024,
+            buffer_capacity: 8192,
+            dram_fetch_batch: 4096,
+            collect_paths: true,
+        }
+    }
+
+    /// Sanity-checks the option values, returning human-readable problems.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.processing_capacity == 0 {
+            problems.push("processing_capacity (Θ2) must be positive".to_string());
+        }
+        if self.buffer_capacity == 0 {
+            problems.push("buffer_capacity must be positive".to_string());
+        }
+        if self.dram_fetch_batch == 0 {
+            problems.push("dram_fetch_batch (Θ1) must be positive".to_string());
+        }
+        if self.dram_fetch_batch > self.buffer_capacity {
+            problems.push("Θ1 must not exceed the buffer capacity".to_string());
+        }
+        problems
+    }
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self::pefp_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_valid_and_full_featured() {
+        let o = EngineOptions::default();
+        assert!(o.validate().is_empty());
+        assert_eq!(o.batch_strategy, BatchStrategy::LongestFirst);
+        assert!(o.use_cache);
+        assert_eq!(o.verification, VerificationPipeline::Dataflow);
+    }
+
+    #[test]
+    fn validation_flags_bad_capacities() {
+        let mut o = EngineOptions::default();
+        o.processing_capacity = 0;
+        o.buffer_capacity = 0;
+        o.dram_fetch_batch = 0;
+        assert_eq!(o.validate().len(), 3);
+
+        let mut o = EngineOptions::default();
+        o.dram_fetch_batch = o.buffer_capacity + 1;
+        assert_eq!(o.validate().len(), 1);
+    }
+}

@@ -1,0 +1,311 @@
+//! Host-side preprocessing.
+//!
+//! Section V of the paper: before a query is shipped to the device, the host
+//! runs **Pre-BFS** — a `(k-1)`-hop bidirectional BFS — to
+//!
+//! 1. compute `sd(s, ·)` on `G` and `sd(·, t)` on `G_rev`,
+//! 2. keep only the vertices with `sd(s,u) + sd(u,t) ≤ k` (Theorem 1),
+//! 3. extract the induced subgraph `G'` in CSR form, and
+//! 4. send `s`, `t`, `G'` and the *barrier* array `bar[u] = sd(u, t)` to the
+//!    device.
+//!
+//! `(k-1)` hops suffice because the only valid vertices a `k`-hop BFS could
+//! additionally discover are `s` and `t` themselves (the paper's second proof
+//! in Section V); the implementation force-keeps the two endpoints to cover
+//! that corner case.
+//!
+//! The module also provides the *no-Pre-BFS* preprocessing used by the
+//! ablation in Fig. 12 (barrier from a full k-hop reverse BFS, no subgraph
+//! extraction) and re-exports timing helpers used by the experiment runner.
+
+use pefp_graph::bfs::{khop_bfs, UNREACHED};
+use pefp_graph::induced::{induce_subgraph, InducedSubgraph};
+use pefp_graph::{CsrGraph, VertexId};
+use std::time::Instant;
+
+/// Everything the device needs to run one query.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    /// The graph the device will search (the induced subgraph `G'` for
+    /// Pre-BFS, or the full graph for the no-Pre-BFS ablation), with densely
+    /// remapped vertex ids.
+    pub graph: CsrGraph,
+    /// Mapping between original and device vertex ids (`None` when the full
+    /// graph is used unchanged).
+    pub mapping: Option<InducedSubgraph>,
+    /// Source vertex in device ids.
+    pub s: VertexId,
+    /// Target vertex in device ids.
+    pub t: VertexId,
+    /// Hop constraint.
+    pub k: u32,
+    /// Barrier array: `bar[u] = sd(u, t)` in device ids, clamped to `k + 1`
+    /// for vertices that cannot reach `t` within `k` hops.
+    pub barrier: Vec<u32>,
+    /// `false` when preprocessing already proved the result set is empty
+    /// (e.g. `t` unreachable); the device run can then be skipped.
+    pub feasible: bool,
+    /// Host wall-clock time spent preprocessing, in milliseconds.
+    pub host_millis: f64,
+}
+
+impl PreparedQuery {
+    /// Number of bytes that must be transferred to device DRAM for this query
+    /// (CSR arrays + barrier + query parameters), used for the PCIe model.
+    pub fn transfer_bytes(&self) -> usize {
+        self.graph.byte_size() + self.barrier.len() * 4 + 4 * 4
+    }
+
+    /// Translates a path expressed in device ids back to original graph ids.
+    pub fn translate_path(&self, path: &[VertexId]) -> Vec<VertexId> {
+        match &self.mapping {
+            Some(m) => m.translate_path(path),
+            None => path.to_vec(),
+        }
+    }
+}
+
+/// Pre-BFS preprocessing (the paper's Algorithm in Section V).
+pub fn pre_bfs(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> PreparedQuery {
+    let start = Instant::now();
+    assert!(s.index() < g.num_vertices(), "source {s} out of range");
+    assert!(t.index() < g.num_vertices(), "target {t} out of range");
+
+    // Degenerate hop budgets: k = 0 only ever admits the trivial s == t path.
+    if k == 0 || s == t {
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        return trivial_prepared(g, s, t, k, elapsed);
+    }
+
+    // (k-1)-hop bidirectional BFS.
+    let bound = k - 1;
+    let sds = khop_bfs(g, s, bound);
+    let rev = g.reverse();
+    let sdt = khop_bfs(&rev, t, bound);
+
+    // Theorem 1 cut, with s and t force-kept (they are the only valid vertices
+    // a k-hop BFS could still add).
+    let keep = |u: VertexId| {
+        if u == s || u == t {
+            return true;
+        }
+        let a = sds[u.index()];
+        let b = sdt[u.index()];
+        a != UNREACHED && b != UNREACHED && a + b <= k
+    };
+    let mapping = induce_subgraph(g, keep);
+
+    let new_s = mapping.to_new(s).expect("s is force-kept");
+    let new_t = mapping.to_new(t).expect("t is force-kept");
+
+    // Barrier in the new id space: sd(u, t) clamped to k + 1. For vertices
+    // whose distance was not discovered by the (k-1)-hop reverse BFS the true
+    // distance is at least k, which only matters for s (see module docs); the
+    // barrier check never reads bar[s], so the clamp is harmless.
+    let barrier: Vec<u32> = mapping
+        .old_of_new
+        .iter()
+        .map(|&old| {
+            let d = sdt[old.index()];
+            if d == UNREACHED || d > k {
+                k + 1
+            } else {
+                d
+            }
+        })
+        .collect();
+
+    // Feasible iff t is reachable from s within k hops: either the BFS saw it
+    // directly, or (distance exactly k) both frontiers meet.
+    let feasible = sds[t.index()] != UNREACHED
+        || g.successors(s).iter().any(|&v| {
+            v == t || (sdt[v.index()] != UNREACHED && 1 + sdt[v.index()] <= k)
+        });
+
+    let host_millis = start.elapsed().as_secs_f64() * 1e3;
+    PreparedQuery {
+        graph: mapping.graph.clone(),
+        s: new_s,
+        t: new_t,
+        k,
+        barrier,
+        feasible,
+        mapping: Some(mapping),
+        host_millis,
+    }
+}
+
+/// Preprocessing for the PEFP-No-Pre-BFS ablation (Fig. 12): the device
+/// receives the *full* graph; only the barrier array is computed (k-hop BFS
+/// from `t` on the reverse graph), because the barrier check is part of the
+/// core algorithm rather than of the Pre-BFS optimisation.
+pub fn no_prebfs_preprocess(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> PreparedQuery {
+    let start = Instant::now();
+    assert!(s.index() < g.num_vertices(), "source {s} out of range");
+    assert!(t.index() < g.num_vertices(), "target {t} out of range");
+    if k == 0 || s == t {
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        return trivial_prepared(g, s, t, k, elapsed);
+    }
+    let rev = g.reverse();
+    let mut barrier = khop_bfs(&rev, t, k);
+    for b in &mut barrier {
+        if *b == UNREACHED {
+            *b = k + 1;
+        }
+    }
+    let feasible = barrier[s.index()] <= k;
+    let host_millis = start.elapsed().as_secs_f64() * 1e3;
+    PreparedQuery {
+        graph: g.clone(),
+        mapping: None,
+        s,
+        t,
+        k,
+        barrier,
+        feasible,
+        host_millis,
+    }
+}
+
+/// Shared handling of `k == 0` and `s == t`.
+fn trivial_prepared(g: &CsrGraph, s: VertexId, t: VertexId, k: u32, host_millis: f64) -> PreparedQuery {
+    PreparedQuery {
+        graph: g.clone(),
+        mapping: None,
+        s,
+        t,
+        k,
+        barrier: vec![k + 1; g.num_vertices()],
+        feasible: s == t,
+        host_millis,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pefp_graph::generators::chung_lu;
+
+    fn sample() -> CsrGraph {
+        // The Fig. 3 example in miniature: a short s->t corridor plus a bundle
+        // of vertices reachable from s that can never reach t.
+        CsrGraph::from_edges(
+            10,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 9), // corridor 0 -> 1 -> 2 -> 9 (t)
+                (0, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8), // dead-end tail
+            ],
+        )
+    }
+
+    #[test]
+    fn prebfs_removes_vertices_that_cannot_reach_t() {
+        let g = sample();
+        let prep = pre_bfs(&g, VertexId(0), VertexId(9), 5);
+        assert!(prep.feasible);
+        // Only the corridor 0,1,2,9 can satisfy sds + sdt <= 5.
+        assert_eq!(prep.graph.num_vertices(), 4);
+        let mapping = prep.mapping.as_ref().unwrap();
+        for dead in 3..=8u32 {
+            assert_eq!(mapping.to_new(VertexId(dead)), None);
+        }
+    }
+
+    #[test]
+    fn barrier_equals_distance_to_t_in_new_ids() {
+        let g = sample();
+        let prep = pre_bfs(&g, VertexId(0), VertexId(9), 5);
+        let mapping = prep.mapping.as_ref().unwrap();
+        let new2 = mapping.to_new(VertexId(2)).unwrap();
+        assert_eq!(prep.barrier[new2.index()], 1);
+        assert_eq!(prep.barrier[prep.t.index()], 0);
+    }
+
+    #[test]
+    fn exact_distance_k_keeps_the_endpoints() {
+        // Chain of length 4; k = 4 means sd(s, t) == k exactly.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let prep = pre_bfs(&g, VertexId(0), VertexId(4), 4);
+        assert!(prep.feasible);
+        assert_eq!(prep.graph.num_vertices(), 5);
+        // s itself is outside the (k-1)-hop reverse frontier, so its barrier is
+        // clamped to k + 1; that slot is never read by the barrier check.
+        assert_eq!(prep.barrier[prep.s.index()], 5);
+    }
+
+    #[test]
+    fn infeasible_query_is_detected() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let prep = pre_bfs(&g, VertexId(0), VertexId(3), 6);
+        assert!(!prep.feasible);
+    }
+
+    #[test]
+    fn no_prebfs_keeps_the_whole_graph() {
+        let g = sample();
+        let prep = no_prebfs_preprocess(&g, VertexId(0), VertexId(9), 5);
+        assert_eq!(prep.graph.num_vertices(), g.num_vertices());
+        assert!(prep.mapping.is_none());
+        assert_eq!(prep.barrier[9], 0);
+        assert_eq!(prep.barrier[2], 1);
+        assert_eq!(prep.barrier[8], 6); // cannot reach t -> clamped to k + 1
+    }
+
+    #[test]
+    fn prebfs_subgraph_is_never_larger_than_no_prebfs() {
+        let g = chung_lu(300, 6.0, 2.2, 5).to_csr();
+        for &(s, t, k) in &[(0u32, 100u32, 4u32), (5, 200, 5), (10, 20, 3)] {
+            let a = pre_bfs(&g, VertexId(s), VertexId(t), k);
+            let b = no_prebfs_preprocess(&g, VertexId(s), VertexId(t), k);
+            assert!(a.graph.num_vertices() <= b.graph.num_vertices());
+            assert!(a.graph.num_edges() <= b.graph.num_edges());
+        }
+    }
+
+    #[test]
+    fn trivial_queries_short_circuit() {
+        let g = sample();
+        let same = pre_bfs(&g, VertexId(3), VertexId(3), 4);
+        assert!(same.feasible);
+        let zero = pre_bfs(&g, VertexId(0), VertexId(9), 0);
+        assert!(!zero.feasible);
+    }
+
+    #[test]
+    fn transfer_bytes_counts_graph_and_barrier() {
+        let g = sample();
+        let prep = pre_bfs(&g, VertexId(0), VertexId(9), 5);
+        let expected = prep.graph.byte_size() + prep.barrier.len() * 4 + 16;
+        assert_eq!(prep.transfer_bytes(), expected);
+    }
+
+    #[test]
+    fn translate_path_maps_back_to_original_ids() {
+        let g = sample();
+        let prep = pre_bfs(&g, VertexId(0), VertexId(9), 5);
+        let m = prep.mapping.as_ref().unwrap();
+        let device_path: Vec<VertexId> = [0u32, 1, 2, 9]
+            .iter()
+            .map(|&v| m.to_new(VertexId(v)).unwrap())
+            .collect();
+        assert_eq!(
+            prep.translate_path(&device_path),
+            vec![VertexId(0), VertexId(1), VertexId(2), VertexId(9)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_source_panics() {
+        let g = sample();
+        pre_bfs(&g, VertexId(99), VertexId(9), 5);
+    }
+}

@@ -1,0 +1,242 @@
+//! High-level query runner and the PEFP variants used by the ablations.
+//!
+//! The experiments in Section VII compare the full PEFP system against four
+//! degraded variants, each disabling exactly one technique:
+//!
+//! | variant            | disabled technique                | paper figure |
+//! |---------------------|-----------------------------------|--------------|
+//! | `Full`              | —                                 | Fig. 8–11    |
+//! | `NoPreBfs`          | Pre-BFS preprocessing             | Fig. 12      |
+//! | `NoBatchDfs`        | Batch-DFS (uses FIFO batching)    | Fig. 13      |
+//! | `NoCache`           | BRAM caching (paths/graph/barrier)| Fig. 14      |
+//! | `NoDataSep`         | data separation (basic pipeline)  | Fig. 15      |
+//!
+//! [`run_query`] ties everything together: preprocessing on the host, PCIe
+//! transfer, the device engine run, and result translation back to original
+//! vertex ids.
+
+use crate::engine::PefpEngine;
+use crate::options::{BatchStrategy, EngineOptions, VerificationPipeline};
+use crate::preprocess::{no_prebfs_preprocess, pre_bfs, PreparedQuery};
+use crate::result::PefpRunResult;
+use pefp_fpga::{Device, DeviceConfig};
+use pefp_graph::{CsrGraph, VertexId};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The PEFP system configurations evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PefpVariant {
+    /// Full PEFP: Pre-BFS + Batch-DFS + caching + data separation.
+    Full,
+    /// PEFP without the Pre-BFS preprocessing (Fig. 12).
+    NoPreBfs,
+    /// PEFP with FIFO batching instead of Batch-DFS (Fig. 13).
+    NoBatchDfs,
+    /// PEFP without BRAM caching (Fig. 14).
+    NoCache,
+    /// PEFP with the basic (non-dataflow) verification pipeline (Fig. 15).
+    NoDataSep,
+}
+
+impl PefpVariant {
+    /// All variants, full system first.
+    pub fn all() -> [PefpVariant; 5] {
+        [
+            PefpVariant::Full,
+            PefpVariant::NoPreBfs,
+            PefpVariant::NoBatchDfs,
+            PefpVariant::NoCache,
+            PefpVariant::NoDataSep,
+        ]
+    }
+
+    /// The name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            PefpVariant::Full => "PEFP",
+            PefpVariant::NoPreBfs => "PEFP-No-Pre-BFS",
+            PefpVariant::NoBatchDfs => "PEFP-No-Batch-DFS",
+            PefpVariant::NoCache => "PEFP-No-Cache",
+            PefpVariant::NoDataSep => "PEFP-No-DataSep",
+        }
+    }
+
+    /// Whether this variant runs the Pre-BFS preprocessing.
+    pub fn uses_prebfs(self) -> bool {
+        !matches!(self, PefpVariant::NoPreBfs)
+    }
+
+    /// Engine options implementing this variant.
+    pub fn engine_options(self) -> EngineOptions {
+        let mut opts = EngineOptions::pefp_default();
+        match self {
+            PefpVariant::Full | PefpVariant::NoPreBfs => {}
+            PefpVariant::NoBatchDfs => opts.batch_strategy = BatchStrategy::Fifo,
+            PefpVariant::NoCache => opts.use_cache = false,
+            PefpVariant::NoDataSep => opts.verification = VerificationPipeline::Basic,
+        }
+        opts
+    }
+}
+
+/// Runs the host preprocessing for `variant` (Pre-BFS or the full-graph
+/// fallback), returning the prepared query with its host timing filled in.
+pub fn prepare(g: &CsrGraph, s: VertexId, t: VertexId, k: u32, variant: PefpVariant) -> PreparedQuery {
+    if variant.uses_prebfs() {
+        pre_bfs(g, s, t, k)
+    } else {
+        no_prebfs_preprocess(g, s, t, k)
+    }
+}
+
+/// Runs one complete PEFP query: preprocessing, PCIe transfer, device
+/// enumeration and result translation.
+pub fn run_query(
+    g: &CsrGraph,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+    variant: PefpVariant,
+    device_config: &DeviceConfig,
+) -> PefpRunResult {
+    run_query_with_options(g, s, t, k, variant, variant.engine_options(), device_config)
+}
+
+/// [`run_query`] with explicit engine options (used by the parameter-sweep
+/// benchmarks; the options still inherit the variant's preprocessing choice).
+pub fn run_query_with_options(
+    g: &CsrGraph,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+    variant: PefpVariant,
+    options: EngineOptions,
+    device_config: &DeviceConfig,
+) -> PefpRunResult {
+    let prep = prepare(g, s, t, k, variant);
+    run_prepared(&prep, options, device_config)
+}
+
+/// Runs the device phase for an already prepared query. Splitting this out
+/// lets the benchmarks amortise preprocessing across repeated device runs.
+pub fn run_prepared(
+    prep: &PreparedQuery,
+    options: EngineOptions,
+    device_config: &DeviceConfig,
+) -> PefpRunResult {
+    let mut device = Device::new(device_config.clone());
+    // Host -> device DMA of the subgraph, barrier and query parameters.
+    device.charge_pcie_transfer(prep.transfer_bytes());
+
+    let host_start = Instant::now();
+    let (output, report) = if prep.feasible {
+        let mut engine =
+            PefpEngine::new(&prep.graph, &prep.barrier, prep.s, prep.t, prep.k, options, device);
+        let output = engine.run();
+        let report = engine.device_report();
+        (output, report)
+    } else {
+        (crate::result::EngineOutput::default(), device.report())
+    };
+    let host_engine_millis = host_start.elapsed().as_secs_f64() * 1e3;
+
+    let paths: Vec<Vec<VertexId>> =
+        output.paths.iter().map(|p| prep.translate_path(p)).collect();
+    PefpRunResult {
+        num_paths: output.num_paths,
+        paths,
+        preprocess_millis: prep.host_millis,
+        query_millis: report.total_millis,
+        host_engine_millis,
+        device: report,
+        stats: output.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pefp_baselines::naive_dfs_enumerate;
+    use pefp_graph::generators::chung_lu;
+    use pefp_graph::paths::{canonicalize, validate_result};
+
+    #[test]
+    fn every_variant_produces_the_same_result_set() {
+        let g = chung_lu(120, 5.0, 2.2, 31).to_csr();
+        let (s, t, k) = (VertexId(0), VertexId(55), 5);
+        let expected = canonicalize(naive_dfs_enumerate(&g, s, t, k));
+        let cfg = DeviceConfig::alveo_u200();
+        for variant in PefpVariant::all() {
+            let result = run_query(&g, s, t, k, variant, &cfg);
+            assert_eq!(
+                canonicalize(result.paths.clone()),
+                expected,
+                "variant {} diverged",
+                variant.name()
+            );
+            assert_eq!(result.num_paths as usize, expected.len());
+            assert!(validate_result(&g, s, t, k as usize, &result.paths).is_empty());
+        }
+    }
+
+    #[test]
+    fn full_variant_is_fastest_in_simulated_time() {
+        let g = chung_lu(300, 7.0, 2.1, 8).to_csr();
+        let (s, t, k) = (VertexId(0), VertexId(150), 5);
+        let cfg = DeviceConfig::alveo_u200();
+        let full = run_query(&g, s, t, k, PefpVariant::Full, &cfg);
+        for variant in [PefpVariant::NoCache, PefpVariant::NoDataSep] {
+            let degraded = run_query(&g, s, t, k, variant, &cfg);
+            assert!(
+                degraded.device.cycles >= full.device.cycles,
+                "{} ({} cycles) should not beat the full system ({} cycles)",
+                variant.name(),
+                degraded.device.cycles,
+                full.device.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn prebfs_reduces_preprocess_plus_transfer_work() {
+        let g = chung_lu(400, 6.0, 2.2, 3).to_csr();
+        let (s, t, k) = (VertexId(2), VertexId(200), 4);
+        let with = prepare(&g, s, t, k, PefpVariant::Full);
+        let without = prepare(&g, s, t, k, PefpVariant::NoPreBfs);
+        assert!(with.transfer_bytes() <= without.transfer_bytes());
+        assert!(with.graph.num_vertices() <= without.graph.num_vertices());
+    }
+
+    #[test]
+    fn infeasible_queries_return_quickly_and_empty() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (4, 5)]);
+        let cfg = DeviceConfig::alveo_u200();
+        let r = run_query(&g, VertexId(0), VertexId(5), 8, PefpVariant::Full, &cfg);
+        assert_eq!(r.num_paths, 0);
+        assert!(r.paths.is_empty());
+    }
+
+    #[test]
+    fn variant_metadata_is_consistent() {
+        assert_eq!(PefpVariant::all().len(), 5);
+        assert_eq!(PefpVariant::Full.name(), "PEFP");
+        assert!(PefpVariant::Full.uses_prebfs());
+        assert!(!PefpVariant::NoPreBfs.uses_prebfs());
+        assert_eq!(PefpVariant::NoBatchDfs.engine_options().batch_strategy, BatchStrategy::Fifo);
+        assert!(!PefpVariant::NoCache.engine_options().use_cache);
+        assert_eq!(
+            PefpVariant::NoDataSep.engine_options().verification,
+            VerificationPipeline::Basic
+        );
+    }
+
+    #[test]
+    fn total_time_combines_both_phases() {
+        let g = chung_lu(100, 4.0, 2.2, 12).to_csr();
+        let cfg = DeviceConfig::alveo_u200();
+        let r = run_query(&g, VertexId(0), VertexId(50), 4, PefpVariant::Full, &cfg);
+        assert!((r.total_millis() - (r.preprocess_millis + r.query_millis)).abs() < 1e-12);
+        assert!(r.query_millis > 0.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Multi-bank DRAM model.
+//!
+//! The Alveo U200 the paper runs on carries four 16 GB DDR4 banks. The single
+//! [`crate::Dram`] latency model is enough for the headline experiments, but
+//! the buffer-and-batch design decisions (how big a flush, how big a fetch)
+//! also interact with *where* the data lands: spreading sequential bursts
+//! round-robin across banks multiplies effective bandwidth, while repeatedly
+//! hitting the same bank serialises them. This module models that effect so
+//! the ablation benches can show the sensitivity of PEFP to DRAM layout.
+
+use serde::{Deserialize, Serialize};
+
+/// Address-to-bank interleaving policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Interleaving {
+    /// Consecutive stripes of `stripe_words` go to consecutive banks
+    /// (round-robin). This is how the paper's separate read/write buffers are
+    /// mapped by the shell.
+    RoundRobin,
+    /// Everything goes to bank 0 — the pathological layout used as the
+    /// "no banking" ablation.
+    SingleBank,
+}
+
+/// A set of DRAM banks with per-bank occupancy and conflict accounting.
+#[derive(Debug, Clone)]
+pub struct DramBanks {
+    num_banks: usize,
+    stripe_words: u64,
+    read_latency: u64,
+    burst_words_per_cycle: u64,
+    interleaving: Interleaving,
+    /// Words stored per bank (capacity accounting only; contents live in the
+    /// engine's ordinary Rust structures).
+    words_per_bank: Vec<u64>,
+    conflicts: u64,
+    accesses: u64,
+}
+
+/// Summary of bank activity for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankReport {
+    /// Number of burst accesses issued.
+    pub accesses: u64,
+    /// Number of accesses that collided with the previously used bank.
+    pub conflicts: u64,
+    /// Words resident per bank at the time of the report.
+    pub max_bank_words: u64,
+    /// Words resident in the least loaded bank.
+    pub min_bank_words: u64,
+}
+
+impl DramBanks {
+    /// Creates `num_banks` banks with the given stripe width (in 32-bit
+    /// words), per-access latency and burst bandwidth.
+    pub fn new(
+        num_banks: usize,
+        stripe_words: u64,
+        read_latency: u64,
+        burst_words_per_cycle: u64,
+        interleaving: Interleaving,
+    ) -> Self {
+        assert!(num_banks > 0, "at least one DRAM bank is required");
+        assert!(stripe_words > 0, "stripe width must be positive");
+        DramBanks {
+            num_banks,
+            stripe_words,
+            read_latency,
+            burst_words_per_cycle: burst_words_per_cycle.max(1),
+            interleaving,
+            words_per_bank: vec![0; num_banks],
+            conflicts: 0,
+            accesses: 0,
+        }
+    }
+
+    /// The U200 configuration: 4 banks, 512-word stripes, the same latency
+    /// and burst width as [`crate::config::DeviceConfig::alveo_u200`].
+    pub fn alveo_u200() -> Self {
+        DramBanks::new(4, 512, 8, 8, Interleaving::RoundRobin)
+    }
+
+    /// Number of banks.
+    pub fn num_banks(&self) -> usize {
+        self.num_banks
+    }
+
+    /// The bank a word address maps to under the configured interleaving.
+    pub fn bank_of(&self, word_addr: u64) -> usize {
+        match self.interleaving {
+            Interleaving::SingleBank => 0,
+            Interleaving::RoundRobin => {
+                ((word_addr / self.stripe_words) % self.num_banks as u64) as usize
+            }
+        }
+    }
+
+    /// Charges a sequential burst of `words` starting at `start_word` and
+    /// returns its cost in cycles. Bursts that span several banks overlap
+    /// their transfers: the cost is the largest per-bank share plus one
+    /// latency, matching a shell that issues the per-bank requests in
+    /// parallel. Consecutive calls that start on the bank the previous call
+    /// ended on are charged one extra latency (a bank conflict).
+    pub fn burst_cost(&mut self, start_word: u64, words: u64) -> u64 {
+        if words == 0 {
+            return 0;
+        }
+        self.accesses += 1;
+        let start_bank = self.bank_of(start_word);
+        // Distribute the words over banks stripe by stripe.
+        let mut per_bank = vec![0u64; self.num_banks];
+        let mut remaining = words;
+        let mut addr = start_word;
+        while remaining > 0 {
+            let bank = self.bank_of(addr);
+            let stripe_off = addr % self.stripe_words;
+            let in_stripe = (self.stripe_words - stripe_off).min(remaining);
+            per_bank[bank] += in_stripe;
+            self.words_per_bank[bank] += in_stripe;
+            addr += in_stripe;
+            remaining -= in_stripe;
+        }
+        let max_share = per_bank.iter().copied().max().unwrap_or(0);
+        let mut cost = self.read_latency + max_share.div_ceil(self.burst_words_per_cycle);
+
+        // Conflict: this burst starts on the same bank the previous one ended
+        // on (tracked by checking the previously-touched last bank).
+        if self.accesses > 1 && start_bank == self.last_bank_touched(start_word, words) {
+            self.conflicts += 1;
+            cost += self.read_latency;
+        }
+        cost
+    }
+
+    fn last_bank_touched(&self, start_word: u64, words: u64) -> usize {
+        self.bank_of(start_word + words.saturating_sub(1))
+    }
+
+    /// Report of the activity so far.
+    pub fn report(&self) -> BankReport {
+        BankReport {
+            accesses: self.accesses,
+            conflicts: self.conflicts,
+            max_bank_words: self.words_per_bank.iter().copied().max().unwrap_or(0),
+            min_bank_words: self.words_per_bank.iter().copied().min().unwrap_or(0),
+        }
+    }
+
+    /// Clears occupancy and statistics.
+    pub fn reset(&mut self) {
+        self.words_per_bank.iter_mut().for_each(|w| *w = 0);
+        self.conflicts = 0;
+        self.accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_striping_cycles_through_banks() {
+        let banks = DramBanks::new(4, 8, 8, 8, Interleaving::RoundRobin);
+        assert_eq!(banks.bank_of(0), 0);
+        assert_eq!(banks.bank_of(7), 0);
+        assert_eq!(banks.bank_of(8), 1);
+        assert_eq!(banks.bank_of(16), 2);
+        assert_eq!(banks.bank_of(24), 3);
+        assert_eq!(banks.bank_of(32), 0);
+    }
+
+    #[test]
+    fn single_bank_maps_everything_to_bank_zero() {
+        let banks = DramBanks::new(4, 8, 8, 8, Interleaving::SingleBank);
+        for addr in [0u64, 5, 100, 10_000] {
+            assert_eq!(banks.bank_of(addr), 0);
+        }
+    }
+
+    #[test]
+    fn striped_burst_is_cheaper_than_single_bank_burst() {
+        let mut striped = DramBanks::new(4, 8, 8, 8, Interleaving::RoundRobin);
+        let mut single = DramBanks::new(4, 8, 8, 8, Interleaving::SingleBank);
+        // 64 words spread over 4 banks: each bank serves 16 words in parallel.
+        let c_striped = striped.burst_cost(0, 64);
+        let c_single = single.burst_cost(0, 64);
+        assert!(c_striped < c_single, "{c_striped} !< {c_single}");
+        assert_eq!(c_striped, 8 + 16u64.div_ceil(8));
+        assert_eq!(c_single, 8 + 64u64.div_ceil(8));
+    }
+
+    #[test]
+    fn zero_word_burst_is_free_and_not_counted() {
+        let mut banks = DramBanks::alveo_u200();
+        assert_eq!(banks.burst_cost(0, 0), 0);
+        assert_eq!(banks.report().accesses, 0);
+    }
+
+    #[test]
+    fn repeated_same_bank_bursts_record_conflicts() {
+        let mut banks = DramBanks::new(4, 8, 8, 8, Interleaving::SingleBank);
+        banks.burst_cost(0, 8);
+        let c2 = banks.burst_cost(0, 8);
+        let report = banks.report();
+        assert_eq!(report.conflicts, 1);
+        // The conflicting burst pays the latency twice.
+        assert_eq!(c2, 8 + 1 + 8);
+    }
+
+    #[test]
+    fn occupancy_is_balanced_under_round_robin() {
+        let mut banks = DramBanks::new(4, 8, 8, 8, Interleaving::RoundRobin);
+        banks.burst_cost(0, 32 * 8);
+        let report = banks.report();
+        assert_eq!(report.max_bank_words, report.min_bank_words);
+    }
+
+    #[test]
+    fn reset_clears_all_accounting() {
+        let mut banks = DramBanks::alveo_u200();
+        banks.burst_cost(0, 100);
+        banks.reset();
+        let report = banks.report();
+        assert_eq!(report.accesses, 0);
+        assert_eq!(report.conflicts, 0);
+        assert_eq!(report.max_bank_words, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one DRAM bank")]
+    fn zero_banks_are_rejected() {
+        DramBanks::new(0, 8, 8, 8, Interleaving::RoundRobin);
+    }
+}

@@ -1,0 +1,160 @@
+//! On-chip BRAM model: capacity-checked region allocation plus access-cost
+//! accounting.
+//!
+//! The engine in `pefp-core` carves BRAM into named regions exactly as the
+//! paper does: the *buffer area* `P`, the *processing area* `P'`, and the
+//! caches for the CSR vertex array, CSR edge array and barrier array
+//! (Section VI-B). Allocation is capacity-checked so an attempt to cache a
+//! graph that does not fit is visible to the engine, which must then fall
+//! back to DRAM accesses — mirroring the real design decision.
+
+use serde::{Deserialize, Serialize};
+
+/// A named, fixed-size region of BRAM.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BramAllocation {
+    /// Region name (for reports), e.g. `"buffer_area"`.
+    pub name: String,
+    /// Size in bytes.
+    pub bytes: usize,
+}
+
+/// On-chip memory with a hard capacity limit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bram {
+    capacity: usize,
+    allocations: Vec<BramAllocation>,
+    read_latency: u64,
+    write_latency: u64,
+}
+
+impl Bram {
+    /// Creates a BRAM of `capacity` bytes with the given per-access latencies.
+    pub fn new(capacity: usize, read_latency: u64, write_latency: u64) -> Self {
+        Bram { capacity, allocations: Vec::new(), read_latency, write_latency }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.allocations.iter().map(|a| a.bytes).sum()
+    }
+
+    /// Bytes still available.
+    pub fn free(&self) -> usize {
+        self.capacity - self.used()
+    }
+
+    /// Attempts to reserve `bytes` under `name`.
+    ///
+    /// Returns `false` (and allocates nothing) when the region does not fit —
+    /// the caller is expected to degrade gracefully (e.g. keep the data in
+    /// DRAM), just like the real design would have to.
+    pub fn try_allocate(&mut self, name: &str, bytes: usize) -> bool {
+        if bytes > self.free() {
+            return false;
+        }
+        self.allocations.push(BramAllocation { name: name.to_string(), bytes });
+        true
+    }
+
+    /// Releases the region named `name` (no-op if absent). Returns the number
+    /// of bytes freed.
+    pub fn release(&mut self, name: &str) -> usize {
+        let mut freed = 0;
+        self.allocations.retain(|a| {
+            if a.name == name {
+                freed += a.bytes;
+                false
+            } else {
+                true
+            }
+        });
+        freed
+    }
+
+    /// Releases every region.
+    pub fn release_all(&mut self) {
+        self.allocations.clear();
+    }
+
+    /// Current allocations, in allocation order.
+    pub fn allocations(&self) -> &[BramAllocation] {
+        &self.allocations
+    }
+
+    /// Cycle cost of reading `words` 32-bit words.
+    ///
+    /// BRAM ports are dual-ported and fully pipelined, so after the first
+    /// access the remaining words stream at one per cycle.
+    pub fn read_cost(&self, words: u64) -> u64 {
+        if words == 0 {
+            0
+        } else {
+            self.read_latency + (words - 1)
+        }
+    }
+
+    /// Cycle cost of writing `words` 32-bit words.
+    pub fn write_cost(&self, words: u64) -> u64 {
+        if words == 0 {
+            0
+        } else {
+            self.write_latency + (words - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_respects_capacity() {
+        let mut b = Bram::new(1000, 1, 1);
+        assert!(b.try_allocate("buffer", 600));
+        assert!(!b.try_allocate("cache", 600));
+        assert!(b.try_allocate("cache", 400));
+        assert_eq!(b.free(), 0);
+        assert_eq!(b.allocations().len(), 2);
+    }
+
+    #[test]
+    fn release_frees_bytes() {
+        let mut b = Bram::new(1000, 1, 1);
+        b.try_allocate("buffer", 600);
+        assert_eq!(b.release("buffer"), 600);
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.release("missing"), 0);
+    }
+
+    #[test]
+    fn release_all_clears_everything() {
+        let mut b = Bram::new(100, 1, 1);
+        b.try_allocate("a", 10);
+        b.try_allocate("b", 20);
+        b.release_all();
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.free(), 100);
+    }
+
+    #[test]
+    fn costs_follow_the_pipelined_model() {
+        let b = Bram::new(100, 1, 1);
+        assert_eq!(b.read_cost(0), 0);
+        assert_eq!(b.read_cost(1), 1);
+        assert_eq!(b.read_cost(10), 10);
+        assert_eq!(b.write_cost(4), 4);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut b = Bram::new(0, 1, 1);
+        assert!(!b.try_allocate("x", 1));
+        assert!(b.try_allocate("empty", 0));
+    }
+}

@@ -1,0 +1,74 @@
+//! Simulated kernel clock.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing cycle counter for the simulated device.
+///
+/// Every memory access, pipeline execution and PCIe transfer advances the
+/// clock; at the end of a query the accumulated cycle count is converted to
+/// simulated wall-clock time through the configured frequency.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleClock {
+    cycles: u64,
+}
+
+impl CycleClock {
+    /// A clock at cycle zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `cycles`.
+    #[inline]
+    pub fn advance(&mut self, cycles: u64) {
+        self.cycles = self.cycles.saturating_add(cycles);
+    }
+
+    /// Current cycle count.
+    #[inline]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Resets the clock to zero (used between queries).
+    pub fn reset(&mut self) {
+        self.cycles = 0;
+    }
+
+    /// Cycles elapsed since an earlier reading.
+    pub fn since(&self, earlier: u64) -> u64 {
+        self.cycles.saturating_sub(earlier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_and_reports() {
+        let mut c = CycleClock::new();
+        assert_eq!(c.cycles(), 0);
+        c.advance(10);
+        c.advance(5);
+        assert_eq!(c.cycles(), 15);
+        assert_eq!(c.since(10), 5);
+    }
+
+    #[test]
+    fn reset_goes_back_to_zero() {
+        let mut c = CycleClock::new();
+        c.advance(100);
+        c.reset();
+        assert_eq!(c.cycles(), 0);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut c = CycleClock::new();
+        c.advance(u64::MAX);
+        c.advance(10);
+        assert_eq!(c.cycles(), u64::MAX);
+        assert_eq!(c.since(u64::MAX), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Device configuration profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Which physical memory a transfer touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryKind {
+    /// On-chip block RAM.
+    Bram,
+    /// Off-chip DRAM on the FPGA card.
+    Dram,
+}
+
+/// Static description of the modelled FPGA card.
+///
+/// The default profile mirrors the paper's experimental platform (Section
+/// VII-A): Xilinx Alveo U200, 300 MHz kernel clock, 4×16 GB DRAM, PCIe at
+/// 77 GB/s aggregate as drawn in Fig. 2. BRAM capacity is the U200's ~35 MB of
+/// on-chip storage (BRAM + URAM) with a safety margin for the kernel logic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Kernel clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// Usable on-chip memory in bytes.
+    pub bram_bytes: usize,
+    /// Off-chip DRAM capacity in bytes.
+    pub dram_bytes: usize,
+    /// Read latency of BRAM in cycles (1 on real hardware).
+    pub bram_read_latency: u64,
+    /// Write latency of BRAM in cycles.
+    pub bram_write_latency: u64,
+    /// Read latency of a random DRAM access in cycles (7–8 on the U200 per the paper).
+    pub dram_read_latency: u64,
+    /// Write latency of a random DRAM access in cycles.
+    pub dram_write_latency: u64,
+    /// Number of additional 32-bit words streamed per cycle once a DRAM burst
+    /// is open (sequential accesses amortise the initial latency).
+    pub dram_burst_words_per_cycle: u64,
+    /// PCIe bandwidth in GB/s for host→device and device→host transfers.
+    pub pcie_gbps: f64,
+    /// Fixed PCIe/DMA setup latency per transfer, in microseconds.
+    pub pcie_setup_us: f64,
+    /// Number of parallel expansion/verification lanes instantiated on the
+    /// device (the `n` replicated validity-check modules of Fig. 6/7).
+    pub verification_lanes: usize,
+    /// Pipeline depth (in stages) of the basic, serial verification module:
+    /// target check + barrier check + visited check executed back-to-back.
+    pub basic_verify_depth: u64,
+    /// Pipeline depth of one *separated* verification stage once dataflow
+    /// optimisation lets the three checks run concurrently.
+    pub dataflow_verify_depth: u64,
+    /// Pipeline depth of the merge-result stage that ANDs the three verdicts.
+    pub merge_depth: u64,
+}
+
+impl DeviceConfig {
+    /// Profile of the paper's Xilinx Alveo U200 card.
+    pub fn alveo_u200() -> Self {
+        DeviceConfig {
+            clock_mhz: 300.0,
+            bram_bytes: 32 * 1024 * 1024,
+            dram_bytes: 64 * 1024 * 1024 * 1024,
+            bram_read_latency: 1,
+            bram_write_latency: 1,
+            dram_read_latency: 8,
+            dram_write_latency: 8,
+            dram_burst_words_per_cycle: 2,
+            pcie_gbps: 77.0,
+            pcie_setup_us: 10.0,
+            verification_lanes: 16,
+            basic_verify_depth: 3,
+            dataflow_verify_depth: 1,
+            merge_depth: 1,
+        }
+    }
+
+    /// A deliberately tiny device used by unit tests to force DRAM spills and
+    /// cache misses on small graphs (BRAM in the low kilobytes).
+    pub fn tiny_for_tests() -> Self {
+        DeviceConfig {
+            bram_bytes: 16 * 1024,
+            dram_bytes: 8 * 1024 * 1024,
+            verification_lanes: 4,
+            ..Self::alveo_u200()
+        }
+    }
+
+    /// Cycle duration in seconds.
+    pub fn cycle_seconds(&self) -> f64 {
+        1.0 / (self.clock_mhz * 1.0e6)
+    }
+
+    /// Converts a cycle count into simulated seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.cycle_seconds()
+    }
+
+    /// Converts a cycle count into simulated milliseconds.
+    pub fn cycles_to_millis(&self, cycles: u64) -> f64 {
+        self.cycles_to_seconds(cycles) * 1.0e3
+    }
+
+    /// Validates internal consistency (positive latencies, non-zero clock).
+    ///
+    /// Returns a list of human-readable problems; empty means the profile is
+    /// usable.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.clock_mhz <= 0.0 {
+            problems.push("clock frequency must be positive".to_string());
+        }
+        if self.bram_bytes == 0 {
+            problems.push("BRAM capacity must be non-zero".to_string());
+        }
+        if self.dram_bytes < self.bram_bytes {
+            problems.push("DRAM should not be smaller than BRAM".to_string());
+        }
+        if self.bram_read_latency == 0 || self.dram_read_latency == 0 {
+            problems.push("memory latencies must be at least one cycle".to_string());
+        }
+        if self.dram_read_latency < self.bram_read_latency {
+            problems.push("DRAM latency below BRAM latency is not a realistic profile".to_string());
+        }
+        if self.verification_lanes == 0 {
+            problems.push("at least one verification lane is required".to_string());
+        }
+        problems
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::alveo_u200()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u200_profile_matches_the_paper() {
+        let c = DeviceConfig::alveo_u200();
+        assert_eq!(c.clock_mhz, 300.0);
+        assert!(c.dram_read_latency >= 7 && c.dram_read_latency <= 8);
+        assert_eq!(c.bram_read_latency, 1);
+        assert!(c.validate().is_empty());
+    }
+
+    #[test]
+    fn cycle_conversion_is_consistent() {
+        let c = DeviceConfig::alveo_u200();
+        // 300 MHz -> 300e6 cycles per second.
+        assert!((c.cycles_to_seconds(300_000_000) - 1.0).abs() < 1e-9);
+        assert!((c.cycles_to_millis(300_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_profile_still_validates() {
+        assert!(DeviceConfig::tiny_for_tests().validate().is_empty());
+    }
+
+    #[test]
+    fn validation_catches_nonsense() {
+        let mut c = DeviceConfig::alveo_u200();
+        c.clock_mhz = 0.0;
+        c.bram_bytes = 0;
+        c.verification_lanes = 0;
+        c.dram_read_latency = 0;
+        let problems = c.validate();
+        assert!(problems.len() >= 3, "{problems:?}");
+    }
+
+    #[test]
+    fn default_is_u200() {
+        assert_eq!(DeviceConfig::default(), DeviceConfig::alveo_u200());
+    }
+}

@@ -1,0 +1,104 @@
+//! Memory-traffic counters.
+//!
+//! The paper's caching and Batch-DFS techniques are justified entirely by the
+//! number of DRAM accesses they avoid; these counters make that visible in
+//! the reproduction's reports (`DeviceReport` in [`crate::device`]).
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Counts of memory operations performed by the engine, in 32-bit words.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryCounters {
+    /// Number of BRAM read operations.
+    pub bram_reads: u64,
+    /// Number of BRAM write operations.
+    pub bram_writes: u64,
+    /// Number of DRAM read operations (random or burst-start).
+    pub dram_reads: u64,
+    /// Number of DRAM write operations (random or burst-start).
+    pub dram_writes: u64,
+    /// Total 32-bit words read from DRAM (including burst payloads).
+    pub dram_words_read: u64,
+    /// Total 32-bit words written to DRAM (including burst payloads).
+    pub dram_words_written: u64,
+    /// Number of times the buffer area overflowed and was flushed to DRAM.
+    pub buffer_flushes: u64,
+    /// Number of batches fetched back from DRAM into BRAM.
+    pub dram_batch_fetches: u64,
+    /// Graph/barrier cache hits served from BRAM.
+    pub cache_hits: u64,
+    /// Graph/barrier cache misses that had to go to DRAM.
+    pub cache_misses: u64,
+}
+
+impl MemoryCounters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total DRAM words moved in either direction.
+    pub fn dram_words_total(&self) -> u64 {
+        self.dram_words_read + self.dram_words_written
+    }
+
+    /// Cache hit rate in `[0, 1]`; `1.0` when no lookups happened.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl AddAssign for MemoryCounters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.bram_reads += rhs.bram_reads;
+        self.bram_writes += rhs.bram_writes;
+        self.dram_reads += rhs.dram_reads;
+        self.dram_writes += rhs.dram_writes;
+        self.dram_words_read += rhs.dram_words_read;
+        self.dram_words_written += rhs.dram_words_written;
+        self.buffer_flushes += rhs.buffer_flushes;
+        self.dram_batch_fetches += rhs.dram_batch_fetches;
+        self.cache_hits += rhs.cache_hits;
+        self.cache_misses += rhs.cache_misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_hit_rate() {
+        let c = MemoryCounters {
+            dram_words_read: 100,
+            dram_words_written: 50,
+            cache_hits: 9,
+            cache_misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(c.dram_words_total(), 150);
+        assert!((c.cache_hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_one() {
+        assert_eq!(MemoryCounters::new().cache_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates_all_fields() {
+        let mut a = MemoryCounters { bram_reads: 1, dram_reads: 2, buffer_flushes: 3, ..Default::default() };
+        let b = MemoryCounters { bram_reads: 10, dram_reads: 20, buffer_flushes: 30, cache_hits: 5, ..Default::default() };
+        a += b;
+        assert_eq!(a.bram_reads, 11);
+        assert_eq!(a.dram_reads, 22);
+        assert_eq!(a.buffer_flushes, 33);
+        assert_eq!(a.cache_hits, 5);
+    }
+}

@@ -1,0 +1,363 @@
+//! The assembled device: BRAM + DRAM + PCIe + clock + counters.
+//!
+//! `pefp-core` talks to the simulated card exclusively through [`Device`]:
+//! it allocates BRAM regions, charges reads/writes against the right memory,
+//! charges pipelined loops and dataflow regions, and finally asks for a
+//! [`DeviceReport`] containing the simulated time and traffic statistics for
+//! one query.
+
+use crate::bram::Bram;
+use crate::clock::CycleClock;
+use crate::config::{DeviceConfig, MemoryKind};
+use crate::counters::MemoryCounters;
+use crate::dram::Dram;
+use crate::pcie::Pcie;
+use crate::pipeline::{dataflow_cycles, pipeline_cycles, sequential_cycles};
+use serde::{Deserialize, Serialize};
+
+/// Simulated FPGA card.
+#[derive(Debug, Clone)]
+pub struct Device {
+    config: DeviceConfig,
+    bram: Bram,
+    dram: Dram,
+    pcie: Pcie,
+    clock: CycleClock,
+    counters: MemoryCounters,
+    /// Simulated seconds spent in PCIe transfers (kept separate from kernel
+    /// cycles because DMA overlaps with neither the host nor the kernel in
+    /// the paper's measurements).
+    pcie_seconds: f64,
+}
+
+/// Summary of one query's device activity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Kernel cycles consumed.
+    pub cycles: u64,
+    /// Kernel time in simulated milliseconds.
+    pub kernel_millis: f64,
+    /// PCIe transfer time in simulated milliseconds.
+    pub pcie_millis: f64,
+    /// Total simulated device time (kernel + PCIe) in milliseconds.
+    pub total_millis: f64,
+    /// Memory traffic counters.
+    pub counters: MemoryCounters,
+    /// Bytes of BRAM currently allocated.
+    pub bram_used: usize,
+    /// BRAM capacity in bytes.
+    pub bram_capacity: usize,
+}
+
+impl Device {
+    /// Instantiates a device from a configuration profile.
+    pub fn new(config: DeviceConfig) -> Self {
+        let problems = config.validate();
+        assert!(problems.is_empty(), "invalid device config: {problems:?}");
+        let bram = Bram::new(config.bram_bytes, config.bram_read_latency, config.bram_write_latency);
+        let dram = Dram::new(
+            config.dram_bytes,
+            config.dram_read_latency,
+            config.dram_write_latency,
+            config.dram_burst_words_per_cycle,
+        );
+        let pcie = Pcie::new(config.pcie_gbps, config.pcie_setup_us);
+        Device {
+            config,
+            bram,
+            dram,
+            pcie,
+            clock: CycleClock::new(),
+            counters: MemoryCounters::new(),
+            pcie_seconds: 0.0,
+        }
+    }
+
+    /// A device with the paper's Alveo U200 profile.
+    pub fn alveo_u200() -> Self {
+        Self::new(DeviceConfig::alveo_u200())
+    }
+
+    /// The configuration this device was built from.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Mutable access to the BRAM allocator.
+    pub fn bram_mut(&mut self) -> &mut Bram {
+        &mut self.bram
+    }
+
+    /// Read-only access to the BRAM allocator.
+    pub fn bram(&self) -> &Bram {
+        &self.bram
+    }
+
+    /// Resets clock, counters and PCIe time (BRAM allocations are kept, since
+    /// the graph cache persists across queries on the same graph).
+    pub fn reset_query_state(&mut self) {
+        self.clock.reset();
+        self.counters = MemoryCounters::new();
+        self.pcie_seconds = 0.0;
+    }
+
+    /// Fully resets the device, including BRAM allocations.
+    pub fn reset_all(&mut self) {
+        self.reset_query_state();
+        self.bram.release_all();
+    }
+
+    // ---- memory access charging -------------------------------------------------
+
+    /// Charges a read of `words` consecutive 32-bit words from `kind`.
+    pub fn charge_read(&mut self, kind: MemoryKind, words: u64) {
+        match kind {
+            MemoryKind::Bram => {
+                self.counters.bram_reads += 1;
+                self.clock.advance(self.bram.read_cost(words));
+            }
+            MemoryKind::Dram => {
+                self.counters.dram_reads += 1;
+                self.counters.dram_words_read += words;
+                self.clock.advance(self.dram.read_cost(words));
+            }
+        }
+    }
+
+    /// Charges a write of `words` consecutive 32-bit words to `kind`.
+    pub fn charge_write(&mut self, kind: MemoryKind, words: u64) {
+        match kind {
+            MemoryKind::Bram => {
+                self.counters.bram_writes += 1;
+                self.clock.advance(self.bram.write_cost(words));
+            }
+            MemoryKind::Dram => {
+                self.counters.dram_writes += 1;
+                self.counters.dram_words_written += words;
+                self.clock.advance(self.dram.write_cost(words));
+            }
+        }
+    }
+
+    /// Charges `accesses` scattered single-word reads from `kind` (the
+    /// random-access pattern of uncached graph lookups).
+    pub fn charge_random_reads(&mut self, kind: MemoryKind, accesses: u64) {
+        match kind {
+            MemoryKind::Bram => {
+                self.counters.bram_reads += accesses;
+                self.clock.advance(accesses * self.bram.read_cost(1));
+            }
+            MemoryKind::Dram => {
+                self.counters.dram_reads += accesses;
+                self.counters.dram_words_read += accesses;
+                self.clock.advance(self.dram.random_read_cost(accesses));
+            }
+        }
+    }
+
+    /// Records `accesses` cache hits without advancing the clock.
+    ///
+    /// Used by the engine when the BRAM reads are fully overlapped with the
+    /// expansion pipeline (their latency is part of the pipeline depth, not a
+    /// serial cost); only the traffic statistics need updating.
+    pub fn note_cache_hits(&mut self, accesses: u64) {
+        self.counters.cache_hits += accesses;
+        self.counters.bram_reads += accesses;
+    }
+
+    /// Records `accesses` cache misses totalling `words` DRAM words without
+    /// advancing the clock. The timing impact of the misses is modelled by the
+    /// caller as a pipeline initiation-interval stall (see `pefp-core`).
+    pub fn note_cache_misses(&mut self, accesses: u64, words: u64) {
+        self.counters.cache_misses += accesses;
+        self.counters.dram_reads += accesses;
+        self.counters.dram_words_read += words;
+    }
+
+    /// Records a cache hit (data served from BRAM) and charges the BRAM read.
+    pub fn charge_cache_hit(&mut self, words: u64) {
+        self.counters.cache_hits += 1;
+        self.counters.bram_reads += 1;
+        self.clock.advance(self.bram.read_cost(words));
+    }
+
+    /// Records a cache miss (data fetched from DRAM) and charges the DRAM read.
+    pub fn charge_cache_miss(&mut self, words: u64) {
+        self.counters.cache_misses += 1;
+        self.counters.dram_reads += 1;
+        self.counters.dram_words_read += words;
+        self.clock.advance(self.dram.read_cost(words));
+    }
+
+    /// Records a buffer-area flush of `words` to DRAM.
+    pub fn charge_buffer_flush(&mut self, words: u64) {
+        self.counters.buffer_flushes += 1;
+        self.counters.dram_writes += 1;
+        self.counters.dram_words_written += words;
+        self.clock.advance(self.dram.write_cost(words));
+    }
+
+    /// Records fetching a batch of `words` back from DRAM into BRAM.
+    pub fn charge_dram_batch_fetch(&mut self, words: u64) {
+        self.counters.dram_batch_fetches += 1;
+        self.counters.dram_reads += 1;
+        self.counters.dram_words_read += words;
+        self.clock.advance(self.dram.read_cost(words));
+    }
+
+    // ---- compute charging -------------------------------------------------------
+
+    /// Charges a fully pipelined loop of `iterations` iterations with the
+    /// given pipeline depth (II = 1).
+    pub fn charge_pipelined_loop(&mut self, iterations: u64, depth: u64) {
+        self.clock.advance(pipeline_cycles(iterations, depth, 1));
+    }
+
+    /// Charges a loop that could not be pipelined (II = depth).
+    pub fn charge_unpipelined_loop(&mut self, iterations: u64, depth: u64) {
+        self.clock.advance(pipeline_cycles(iterations, depth, depth));
+    }
+
+    /// Charges a dataflow region whose stages execute concurrently.
+    pub fn charge_dataflow(&mut self, stage_cycles: &[u64]) {
+        self.clock.advance(dataflow_cycles(stage_cycles));
+    }
+
+    /// Charges the same stages executed sequentially (no dataflow).
+    pub fn charge_sequential(&mut self, stage_cycles: &[u64]) {
+        self.clock.advance(sequential_cycles(stage_cycles));
+    }
+
+    /// Charges a raw cycle count (setup logic, FSM transitions, …).
+    pub fn charge_cycles(&mut self, cycles: u64) {
+        self.clock.advance(cycles);
+    }
+
+    // ---- PCIe -------------------------------------------------------------------
+
+    /// Charges a host→device or device→host DMA transfer of `bytes`.
+    pub fn charge_pcie_transfer(&mut self, bytes: usize) {
+        self.pcie_seconds += self.pcie.transfer_seconds(bytes);
+    }
+
+    // ---- reporting --------------------------------------------------------------
+
+    /// Kernel cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.clock.cycles()
+    }
+
+    /// Number of parallel verification lanes configured for this device.
+    pub fn verification_lanes(&self) -> usize {
+        self.config.verification_lanes
+    }
+
+    /// Produces the per-query report.
+    pub fn report(&self) -> DeviceReport {
+        let kernel_millis = self.config.cycles_to_millis(self.clock.cycles());
+        let pcie_millis = self.pcie_seconds * 1.0e3;
+        DeviceReport {
+            cycles: self.clock.cycles(),
+            kernel_millis,
+            pcie_millis,
+            total_millis: kernel_millis + pcie_millis,
+            counters: self.counters,
+            bram_used: self.bram.used(),
+            bram_capacity: self.bram.capacity(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bram_access_is_cheaper_than_dram_access() {
+        let mut d = Device::alveo_u200();
+        d.charge_read(MemoryKind::Bram, 1);
+        let bram_cycles = d.cycles();
+        d.reset_query_state();
+        d.charge_read(MemoryKind::Dram, 1);
+        let dram_cycles = d.cycles();
+        assert!(dram_cycles > bram_cycles * 5, "{dram_cycles} vs {bram_cycles}");
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut d = Device::alveo_u200();
+        d.charge_write(MemoryKind::Dram, 64);
+        d.charge_buffer_flush(128);
+        d.charge_dram_batch_fetch(128);
+        d.charge_cache_hit(1);
+        d.charge_cache_miss(1);
+        let r = d.report();
+        assert_eq!(r.counters.dram_writes, 2);
+        assert_eq!(r.counters.dram_words_written, 192);
+        assert_eq!(r.counters.buffer_flushes, 1);
+        assert_eq!(r.counters.dram_batch_fetches, 1);
+        assert_eq!(r.counters.cache_hits, 1);
+        assert_eq!(r.counters.cache_misses, 1);
+    }
+
+    #[test]
+    fn dataflow_charge_is_cheaper_than_sequential() {
+        let stages = [100u64, 80, 60];
+        let mut a = Device::alveo_u200();
+        a.charge_dataflow(&stages);
+        let mut b = Device::alveo_u200();
+        b.charge_sequential(&stages);
+        assert!(a.cycles() < b.cycles());
+        assert_eq!(a.cycles(), 100);
+        assert_eq!(b.cycles(), 240);
+    }
+
+    #[test]
+    fn report_converts_cycles_to_time() {
+        let mut d = Device::alveo_u200();
+        d.charge_cycles(300_000); // 1 ms at 300 MHz
+        d.charge_pcie_transfer(77_000_000); // ~1 ms at 77 GB/s
+        let r = d.report();
+        assert!((r.kernel_millis - 1.0).abs() < 1e-9);
+        assert!((r.pcie_millis - 1.01).abs() < 0.1);
+        assert!((r.total_millis - (r.kernel_millis + r.pcie_millis)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_query_state_keeps_bram_allocations() {
+        let mut d = Device::alveo_u200();
+        assert!(d.bram_mut().try_allocate("graph_cache", 1024));
+        d.charge_cycles(10);
+        d.reset_query_state();
+        assert_eq!(d.cycles(), 0);
+        assert_eq!(d.bram().used(), 1024);
+        d.reset_all();
+        assert_eq!(d.bram().used(), 0);
+    }
+
+    #[test]
+    fn random_reads_cost_more_than_a_burst() {
+        let mut burst = Device::alveo_u200();
+        burst.charge_read(MemoryKind::Dram, 256);
+        let mut random = Device::alveo_u200();
+        random.charge_random_reads(MemoryKind::Dram, 256);
+        assert!(random.cycles() > 4 * burst.cycles());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid device config")]
+    fn invalid_config_is_rejected() {
+        let mut cfg = DeviceConfig::alveo_u200();
+        cfg.clock_mhz = 0.0;
+        Device::new(cfg);
+    }
+
+    #[test]
+    fn unpipelined_loop_costs_more_than_pipelined() {
+        let mut a = Device::alveo_u200();
+        a.charge_pipelined_loop(1000, 3);
+        let mut b = Device::alveo_u200();
+        b.charge_unpipelined_loop(1000, 3);
+        assert!(b.cycles() > 2 * a.cycles());
+    }
+}

@@ -1,0 +1,225 @@
+//! FIFO stream channels for the dataflow model.
+//!
+//! The paper's "data separation" optimisation (Section VI-D) turns the path
+//! verification module into an HLS *dataflow* region: the target, barrier and
+//! visited checkers each receive their own copy of the input through a stream
+//! and a merge stage ANDs their verdicts. In Vitis HLS such stages communicate
+//! through `hls::stream` FIFOs; a stage stalls when the FIFO it reads from is
+//! empty or the FIFO it writes to is full. This module models those channels
+//! so the engine's dataflow accounting can expose the effect of FIFO depth
+//! (too shallow → back-pressure stalls, deeper → more BRAM).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A bounded FIFO channel carrying items of a fixed word width, with
+/// stall/occupancy accounting.
+#[derive(Debug, Clone)]
+pub struct FifoChannel<T> {
+    name: String,
+    depth: usize,
+    word_width: usize,
+    queue: VecDeque<T>,
+    stats: FifoStats,
+}
+
+/// Occupancy and stall statistics of one FIFO channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FifoStats {
+    /// Number of successful pushes.
+    pub pushes: u64,
+    /// Number of successful pops.
+    pub pops: u64,
+    /// Number of push attempts rejected because the FIFO was full
+    /// (write-side back-pressure stalls).
+    pub full_stalls: u64,
+    /// Number of pop attempts rejected because the FIFO was empty
+    /// (read-side starvation stalls).
+    pub empty_stalls: u64,
+    /// Highest occupancy observed.
+    pub high_water_mark: usize,
+}
+
+impl FifoStats {
+    /// Total stall events on either side of the channel.
+    pub fn total_stalls(&self) -> u64 {
+        self.full_stalls + self.empty_stalls
+    }
+}
+
+impl<T> FifoChannel<T> {
+    /// Creates a channel named `name` with capacity `depth` items, each
+    /// `word_width` 32-bit words wide (used for BRAM sizing).
+    pub fn new(name: impl Into<String>, depth: usize, word_width: usize) -> Self {
+        assert!(depth > 0, "FIFO depth must be positive");
+        assert!(word_width > 0, "FIFO word width must be positive");
+        FifoChannel {
+            name: name.into(),
+            depth,
+            word_width,
+            queue: VecDeque::with_capacity(depth),
+            stats: FifoStats::default(),
+        }
+    }
+
+    /// The channel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Configured capacity in items.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Current number of buffered items.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the channel currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the channel is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.depth
+    }
+
+    /// Attempts to push an item. Returns `false` (and records a full-stall)
+    /// when the channel is full.
+    pub fn try_push(&mut self, item: T) -> bool {
+        if self.is_full() {
+            self.stats.full_stalls += 1;
+            return false;
+        }
+        self.queue.push_back(item);
+        self.stats.pushes += 1;
+        self.stats.high_water_mark = self.stats.high_water_mark.max(self.queue.len());
+        true
+    }
+
+    /// Attempts to pop an item. Returns `None` (and records an empty-stall)
+    /// when the channel is empty.
+    pub fn try_pop(&mut self) -> Option<T> {
+        match self.queue.pop_front() {
+            Some(item) => {
+                self.stats.pops += 1;
+                Some(item)
+            }
+            None => {
+                self.stats.empty_stalls += 1;
+                None
+            }
+        }
+    }
+
+    /// The channel's BRAM footprint in bytes (depth × width × 4 bytes/word).
+    pub fn bram_bytes(&self) -> usize {
+        self.depth * self.word_width * 4
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> FifoStats {
+        self.stats
+    }
+
+    /// Clears the buffered items and resets statistics.
+    pub fn reset(&mut self) {
+        self.queue.clear();
+        self.stats = FifoStats::default();
+    }
+}
+
+/// Estimated extra cycles a dataflow region loses to FIFO back-pressure.
+///
+/// Each stall event costs one initiation-interval bubble; this helper converts
+/// the per-channel stall counts collected by the engine into a cycle penalty
+/// that [`crate::Device::charge_cycles`] can be charged with.
+pub fn stall_penalty_cycles(stats: &[FifoStats], initiation_interval: u64) -> u64 {
+    stats.iter().map(|s| s.total_stalls()).sum::<u64>() * initiation_interval.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_is_fifo_ordered() {
+        let mut ch: FifoChannel<u32> = FifoChannel::new("pi", 4, 1);
+        assert!(ch.try_push(1));
+        assert!(ch.try_push(2));
+        assert!(ch.try_push(3));
+        assert_eq!(ch.try_pop(), Some(1));
+        assert_eq!(ch.try_pop(), Some(2));
+        assert_eq!(ch.try_pop(), Some(3));
+        assert_eq!(ch.try_pop(), None);
+        assert_eq!(ch.stats().pushes, 3);
+        assert_eq!(ch.stats().pops, 3);
+        assert_eq!(ch.stats().empty_stalls, 1);
+    }
+
+    #[test]
+    fn full_channel_rejects_and_counts_stalls() {
+        let mut ch: FifoChannel<u64> = FifoChannel::new("si", 2, 2);
+        assert!(ch.try_push(10));
+        assert!(ch.try_push(11));
+        assert!(ch.is_full());
+        assert!(!ch.try_push(12));
+        assert!(!ch.try_push(13));
+        assert_eq!(ch.stats().full_stalls, 2);
+        assert_eq!(ch.len(), 2);
+        // Draining frees space again.
+        assert_eq!(ch.try_pop(), Some(10));
+        assert!(ch.try_push(12));
+    }
+
+    #[test]
+    fn high_water_mark_tracks_peak_occupancy() {
+        let mut ch: FifoChannel<u8> = FifoChannel::new("bi", 8, 1);
+        for i in 0..5 {
+            ch.try_push(i);
+        }
+        ch.try_pop();
+        ch.try_pop();
+        for i in 0..3 {
+            ch.try_push(i);
+        }
+        assert_eq!(ch.stats().high_water_mark, 6);
+    }
+
+    #[test]
+    fn bram_footprint_scales_with_depth_and_width() {
+        let ch: FifoChannel<u32> = FifoChannel::new("paths", 64, 8);
+        assert_eq!(ch.bram_bytes(), 64 * 8 * 4);
+    }
+
+    #[test]
+    fn reset_clears_items_and_statistics() {
+        let mut ch: FifoChannel<u32> = FifoChannel::new("x", 4, 1);
+        ch.try_push(1);
+        ch.try_pop();
+        ch.try_pop();
+        ch.reset();
+        assert!(ch.is_empty());
+        assert_eq!(ch.stats(), FifoStats::default());
+    }
+
+    #[test]
+    fn stall_penalty_sums_both_stall_kinds() {
+        let a = FifoStats { full_stalls: 3, empty_stalls: 2, ..Default::default() };
+        let b = FifoStats { full_stalls: 0, empty_stalls: 5, ..Default::default() };
+        assert_eq!(stall_penalty_cycles(&[a, b], 1), 10);
+        assert_eq!(stall_penalty_cycles(&[a, b], 2), 20);
+        assert_eq!(stall_penalty_cycles(&[], 4), 0);
+        // An II of zero is clamped to one so stalls are never free.
+        assert_eq!(stall_penalty_cycles(&[a], 0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_is_rejected() {
+        let _ch: FifoChannel<u32> = FifoChannel::new("bad", 0, 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! HLS-style kernel synthesis report.
+//!
+//! The paper's artifact is a Vitis/SDAccel kernel, and the natural way its
+//! authors reason about the design is through the HLS synthesis report:
+//! per-module pipeline depth, initiation interval, trip counts and resource
+//! utilisation. This module renders the equivalent report for a simulated
+//! configuration so users of the reproduction can see — in a familiar format —
+//! how the verification lanes, the dataflow region and the on-chip areas were
+//! "synthesised" by the cost model.
+
+use crate::config::DeviceConfig;
+use crate::pipeline::PipelineSpec;
+use crate::resources::{OnChipAreas, ResourceEstimate};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One row of the latency section: a loop or function instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleLatency {
+    /// Module (loop/function) name, e.g. `verify_dataflow`.
+    pub name: String,
+    /// Pipeline depth in cycles.
+    pub depth: u64,
+    /// Initiation interval (0 = not pipelined).
+    pub initiation_interval: u64,
+    /// Representative trip count used for the latency estimate.
+    pub trip_count: u64,
+}
+
+impl ModuleLatency {
+    /// Builds a row from a [`PipelineSpec`] and a trip count.
+    pub fn from_spec(name: impl Into<String>, spec: PipelineSpec, trip_count: u64) -> Self {
+        ModuleLatency {
+            name: name.into(),
+            depth: spec.depth,
+            initiation_interval: spec.initiation_interval,
+            trip_count,
+        }
+    }
+
+    /// Estimated latency of the module in cycles for its trip count.
+    pub fn latency_cycles(&self) -> u64 {
+        if self.trip_count == 0 {
+            return 0;
+        }
+        if self.initiation_interval == 0 {
+            // Not pipelined: sequential iterations.
+            self.depth * self.trip_count
+        } else {
+            self.depth + (self.trip_count - 1) * self.initiation_interval
+        }
+    }
+}
+
+/// A complete synthesis-style report for one kernel configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelReport {
+    /// Kernel name (e.g. `pefp_enumerate`).
+    pub kernel: String,
+    /// Target clock in MHz.
+    pub clock_mhz: f64,
+    /// Per-module latency rows.
+    pub modules: Vec<ModuleLatency>,
+    /// On-chip memory areas requested by the configuration.
+    pub areas: OnChipAreas,
+    /// Resource estimate against the card budget.
+    pub resources: ResourceEstimate,
+}
+
+impl KernelReport {
+    /// Creates a report skeleton for `kernel` on `config`.
+    pub fn new(
+        kernel: impl Into<String>,
+        config: &DeviceConfig,
+        areas: OnChipAreas,
+        resources: ResourceEstimate,
+    ) -> Self {
+        KernelReport {
+            kernel: kernel.into(),
+            clock_mhz: config.clock_mhz,
+            modules: Vec::new(),
+            areas,
+            resources,
+        }
+    }
+
+    /// Adds a module latency row.
+    pub fn push_module(&mut self, module: ModuleLatency) {
+        self.modules.push(module);
+    }
+
+    /// Total estimated latency (sum over modules, i.e. assuming the modules
+    /// execute sequentially — a conservative upper bound).
+    pub fn total_latency_cycles(&self) -> u64 {
+        self.modules.iter().map(|m| m.latency_cycles()).sum()
+    }
+
+    /// Renders the report in a fixed-width, HLS-report-like layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== Kernel: {} ==", self.kernel);
+        let _ = writeln!(out, "Target clock : {:.0} MHz", self.clock_mhz);
+        let _ = writeln!(out, "Fits budget  : {}", if self.resources.fits() { "yes" } else { "NO" });
+        let _ = writeln!(out);
+        let _ = writeln!(out, "-- Latency (per module) --");
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>6} {:>12} {:>14}",
+            "module", "depth", "II", "trip count", "latency (cyc)"
+        );
+        for m in &self.modules {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>6} {:>12} {:>14}",
+                m.name,
+                m.depth,
+                m.initiation_interval,
+                m.trip_count,
+                m.latency_cycles()
+            );
+        }
+        let _ = writeln!(out, "{:<24} {:>44}", "total (sequential bound)", self.total_latency_cycles());
+        let _ = writeln!(out);
+        let _ = writeln!(out, "-- On-chip memory (bytes) --");
+        let _ = writeln!(out, "buffer area     : {}", self.areas.buffer_bytes);
+        let _ = writeln!(out, "processing area : {}", self.areas.processing_bytes);
+        let _ = writeln!(out, "graph cache     : {}", self.areas.graph_cache_bytes);
+        let _ = writeln!(out, "barrier cache   : {}", self.areas.barrier_cache_bytes);
+        let _ = writeln!(out, "dataflow FIFOs  : {}", self.areas.fifo_bytes);
+        let _ = writeln!(out, "total           : {}", self.areas.total_bytes());
+        let _ = writeln!(out);
+        let _ = writeln!(out, "-- Utilisation --");
+        let _ = writeln!(
+            out,
+            "LUT    : {:>10} / {:>10} ({:.1}%)",
+            self.resources.luts,
+            self.resources.budget.luts,
+            self.resources.lut_utilisation() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "FF     : {:>10} / {:>10}",
+            self.resources.flip_flops, self.resources.budget.flip_flops
+        );
+        let _ = writeln!(
+            out,
+            "BRAM36 : {:>10} / {:>10} ({:.1}%)",
+            self.resources.bram36,
+            self.resources.budget.bram36,
+            self.resources.bram_utilisation() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "DSP    : {:>10} / {:>10}",
+            self.resources.dsp, self.resources.budget.dsp
+        );
+        for violation in self.resources.violations() {
+            let _ = writeln!(out, "VIOLATION: {violation}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::{ModuleCosts, ResourceBudget};
+
+    fn sample_report() -> KernelReport {
+        let config = DeviceConfig::alveo_u200();
+        let areas = OnChipAreas {
+            buffer_bytes: 64 * 1024,
+            processing_bytes: 16 * 1024,
+            graph_cache_bytes: 128 * 1024,
+            barrier_cache_bytes: 32 * 1024,
+            fifo_bytes: 4 * 1024,
+        };
+        let resources = ResourceEstimate::estimate(
+            8,
+            &areas,
+            &ModuleCosts::default(),
+            ResourceBudget::alveo_u200(),
+        );
+        let mut report = KernelReport::new("pefp_enumerate", &config, areas, resources);
+        report.push_module(ModuleLatency::from_spec(
+            "expansion",
+            PipelineSpec::fully_pipelined(4),
+            1_000,
+        ));
+        report.push_module(ModuleLatency::from_spec(
+            "verify_dataflow",
+            PipelineSpec::fully_pipelined(6),
+            1_000,
+        ));
+        report.push_module(ModuleLatency {
+            name: "flush_to_dram".into(),
+            depth: 10,
+            initiation_interval: 0,
+            trip_count: 3,
+        });
+        report
+    }
+
+    #[test]
+    fn pipelined_module_latency_follows_the_hls_formula() {
+        let m = ModuleLatency::from_spec("x", PipelineSpec::fully_pipelined(5), 100);
+        assert_eq!(m.latency_cycles(), 5 + 99);
+        let m = ModuleLatency { name: "y".into(), depth: 5, initiation_interval: 2, trip_count: 100 };
+        assert_eq!(m.latency_cycles(), 5 + 99 * 2);
+    }
+
+    #[test]
+    fn unpipelined_module_latency_is_sequential() {
+        let m = ModuleLatency { name: "z".into(), depth: 7, initiation_interval: 0, trip_count: 10 };
+        assert_eq!(m.latency_cycles(), 70);
+    }
+
+    #[test]
+    fn zero_trip_count_is_free() {
+        let m = ModuleLatency::from_spec("none", PipelineSpec::fully_pipelined(9), 0);
+        assert_eq!(m.latency_cycles(), 0);
+    }
+
+    #[test]
+    fn total_latency_sums_modules() {
+        let report = sample_report();
+        let expected: u64 = report.modules.iter().map(|m| m.latency_cycles()).sum();
+        assert_eq!(report.total_latency_cycles(), expected);
+        assert!(expected > 2_000);
+    }
+
+    #[test]
+    fn rendered_report_contains_all_sections_and_modules() {
+        let report = sample_report();
+        let text = report.render();
+        assert!(text.contains("Kernel: pefp_enumerate"));
+        assert!(text.contains("300 MHz"));
+        assert!(text.contains("expansion"));
+        assert!(text.contains("verify_dataflow"));
+        assert!(text.contains("flush_to_dram"));
+        assert!(text.contains("BRAM36"));
+        assert!(text.contains("Fits budget  : yes"));
+        assert!(!text.contains("VIOLATION"));
+    }
+
+    #[test]
+    fn violations_show_up_in_the_rendered_report() {
+        let config = DeviceConfig::alveo_u200();
+        let areas = OnChipAreas { buffer_bytes: 64 << 20, ..Default::default() };
+        let resources = ResourceEstimate::estimate(
+            4,
+            &areas,
+            &ModuleCosts::default(),
+            ResourceBudget::alveo_u200(),
+        );
+        let report = KernelReport::new("too_big", &config, areas, resources);
+        let text = report.render();
+        assert!(text.contains("Fits budget  : NO"));
+        assert!(text.contains("VIOLATION: BRAM36"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Multiple compute units (CUs) on one card.
+//!
+//! The paper instantiates a single PEFP kernel. A natural extension — and the
+//! obvious way to serve the batched workloads of Section VII-A faster — is to
+//! place several independent kernel instances (compute units, in Vitis
+//! terminology) on the same card, each with its own BRAM areas, and to
+//! distribute the queries of a batch across them. The card's DRAM bandwidth
+//! is shared, so the speedup saturates once the aggregated traffic of the CUs
+//! exceeds what the memory system can deliver. This module models exactly
+//! that trade-off: longest-processing-time scheduling of per-query kernel
+//! times onto `n` CUs plus a bandwidth-sharing correction, together with a
+//! resource check for how many CUs actually fit the card.
+
+use crate::resources::{ModuleCosts, OnChipAreas, ResourceBudget, ResourceEstimate};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a multi-CU deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiCuConfig {
+    /// Number of compute units instantiated.
+    pub compute_units: usize,
+    /// Fraction of the total DRAM bandwidth one CU can absorb on its own
+    /// (e.g. 0.5 means two CUs already saturate the memory system).
+    pub per_cu_bandwidth_share: f64,
+}
+
+impl Default for MultiCuConfig {
+    fn default() -> Self {
+        MultiCuConfig { compute_units: 1, per_cu_bandwidth_share: 0.5 }
+    }
+}
+
+/// Predicted execution of one batch on a multi-CU card.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiCuSchedule {
+    /// Number of compute units used.
+    pub compute_units: usize,
+    /// Cycles each CU is busy (after bandwidth correction), indexed by CU.
+    pub per_cu_cycles: Vec<u64>,
+    /// The batch makespan in cycles (the maximum over CUs).
+    pub makespan_cycles: u64,
+    /// Sum of the uncorrected per-query cycles (the single-CU makespan).
+    pub serial_cycles: u64,
+    /// The bandwidth-contention factor that was applied (≥ 1.0).
+    pub contention_factor: f64,
+}
+
+impl MultiCuSchedule {
+    /// Speedup of the schedule over running every query on one CU.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            1.0
+        } else {
+            self.serial_cycles as f64 / self.makespan_cycles as f64
+        }
+    }
+}
+
+/// Schedules a batch of per-query kernel cycle counts onto the CUs of
+/// `config` using longest-processing-time-first assignment, then inflates the
+/// result by the DRAM-contention factor
+/// `max(1, active_cus × per_cu_bandwidth_share)`.
+pub fn schedule_batch(query_cycles: &[u64], config: &MultiCuConfig) -> MultiCuSchedule {
+    let cus = config.compute_units.max(1);
+    let serial_cycles: u64 = query_cycles.iter().sum();
+
+    // LPT: sort descending, always give the next query to the least-loaded CU.
+    let mut sorted: Vec<u64> = query_cycles.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut per_cu = vec![0u64; cus];
+    for cycles in sorted {
+        let min_idx = per_cu
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &load)| load)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        per_cu[min_idx] += cycles;
+    }
+
+    let active_cus = per_cu.iter().filter(|&&load| load > 0).count().max(1);
+    let contention_factor =
+        (active_cus as f64 * config.per_cu_bandwidth_share).max(1.0);
+    let per_cu_cycles: Vec<u64> =
+        per_cu.iter().map(|&c| (c as f64 * contention_factor).round() as u64).collect();
+    let makespan_cycles = per_cu_cycles.iter().copied().max().unwrap_or(0);
+
+    MultiCuSchedule {
+        compute_units: cus,
+        per_cu_cycles,
+        makespan_cycles,
+        serial_cycles,
+        contention_factor,
+    }
+}
+
+/// The largest number of compute units of the given per-CU shape that fits the
+/// card budget (each CU replicates its verification lanes and on-chip areas).
+pub fn max_compute_units(
+    lanes_per_cu: usize,
+    areas_per_cu: &OnChipAreas,
+    costs: &ModuleCosts,
+    budget: ResourceBudget,
+) -> usize {
+    let mut fits = 0usize;
+    for cus in 1..=256usize {
+        let areas = OnChipAreas {
+            buffer_bytes: areas_per_cu.buffer_bytes * cus,
+            processing_bytes: areas_per_cu.processing_bytes * cus,
+            graph_cache_bytes: areas_per_cu.graph_cache_bytes * cus,
+            barrier_cache_bytes: areas_per_cu.barrier_cache_bytes * cus,
+            fifo_bytes: areas_per_cu.fifo_bytes * cus,
+        };
+        let estimate = ResourceEstimate::estimate(lanes_per_cu * cus, &areas, costs, budget);
+        if estimate.fits() {
+            fits = cus;
+        } else {
+            break;
+        }
+    }
+    fits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn areas() -> OnChipAreas {
+        OnChipAreas {
+            buffer_bytes: 8_192 * 136,
+            processing_bytes: 1_024 * 136,
+            graph_cache_bytes: 512 * 1024,
+            barrier_cache_bytes: 64 * 1024,
+            fifo_bytes: 16 * 2 * 136,
+        }
+    }
+
+    #[test]
+    fn one_cu_schedule_is_just_the_serial_sum() {
+        let schedule = schedule_batch(&[100, 200, 300], &MultiCuConfig::default());
+        assert_eq!(schedule.makespan_cycles, 600);
+        assert_eq!(schedule.serial_cycles, 600);
+        assert!((schedule.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_work_splits_evenly_without_contention() {
+        let config = MultiCuConfig { compute_units: 4, per_cu_bandwidth_share: 0.0 };
+        let schedule = schedule_batch(&[100; 8], &config);
+        assert_eq!(schedule.per_cu_cycles, vec![200; 4]);
+        assert_eq!(schedule.makespan_cycles, 200);
+        assert!((schedule.speedup() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lpt_handles_skewed_batches_sensibly() {
+        // One giant query dominates: the makespan cannot beat it.
+        let config = MultiCuConfig { compute_units: 4, per_cu_bandwidth_share: 0.0 };
+        let schedule = schedule_batch(&[1_000, 10, 10, 10, 10], &config);
+        assert_eq!(schedule.makespan_cycles, 1_000);
+        assert!(schedule.speedup() < 1.05);
+    }
+
+    #[test]
+    fn bandwidth_contention_caps_the_speedup() {
+        // With each CU able to absorb half the bandwidth, 4 active CUs double
+        // every CU's cycles: the ideal 4x speedup collapses to 2x.
+        let config = MultiCuConfig { compute_units: 4, per_cu_bandwidth_share: 0.5 };
+        let schedule = schedule_batch(&[100; 8], &config);
+        assert_eq!(schedule.contention_factor, 2.0);
+        assert_eq!(schedule.makespan_cycles, 400);
+        assert!((schedule.speedup() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let schedule = schedule_batch(&[], &MultiCuConfig { compute_units: 8, per_cu_bandwidth_share: 0.5 });
+        assert_eq!(schedule.makespan_cycles, 0);
+        assert_eq!(schedule.serial_cycles, 0);
+        assert_eq!(schedule.speedup(), 1.0);
+    }
+
+    #[test]
+    fn more_cus_never_hurt_without_contention() {
+        let work: Vec<u64> = (1..=40).map(|i| i * 17).collect();
+        let mut previous = u64::MAX;
+        for cus in 1..=8 {
+            let config = MultiCuConfig { compute_units: cus, per_cu_bandwidth_share: 0.0 };
+            let schedule = schedule_batch(&work, &config);
+            assert!(schedule.makespan_cycles <= previous, "cus = {cus}");
+            previous = schedule.makespan_cycles;
+        }
+    }
+
+    #[test]
+    fn u200_fits_a_handful_of_default_cus_but_not_hundreds() {
+        let max = max_compute_units(
+            16,
+            &areas(),
+            &ModuleCosts::default(),
+            ResourceBudget::alveo_u200(),
+        );
+        assert!(max >= 2, "at least two CUs should fit, got {max}");
+        assert!(max < 64, "the model must not claim absurd replication, got {max}");
+        // The returned value really is the tipping point.
+        let areas_at = |cus: usize| OnChipAreas {
+            buffer_bytes: areas().buffer_bytes * cus,
+            processing_bytes: areas().processing_bytes * cus,
+            graph_cache_bytes: areas().graph_cache_bytes * cus,
+            barrier_cache_bytes: areas().barrier_cache_bytes * cus,
+            fifo_bytes: areas().fifo_bytes * cus,
+        };
+        assert!(ResourceEstimate::estimate(
+            16 * max,
+            &areas_at(max),
+            &ModuleCosts::default(),
+            ResourceBudget::alveo_u200()
+        )
+        .fits());
+        assert!(!ResourceEstimate::estimate(
+            16 * (max + 1),
+            &areas_at(max + 1),
+            &ModuleCosts::default(),
+            ResourceBudget::alveo_u200()
+        )
+        .fits());
+    }
+
+    #[test]
+    fn tiny_budget_fits_no_cu() {
+        let max = max_compute_units(
+            16,
+            &areas(),
+            &ModuleCosts::default(),
+            ResourceBudget::tiny_for_tests(),
+        );
+        assert_eq!(max, 0);
+    }
+}

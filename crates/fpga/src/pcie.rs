@@ -1,0 +1,73 @@
+//! PCIe host↔device transfer model.
+//!
+//! The paper measures 100–300 ms to transfer 1 000 queries plus their
+//! preprocessed subgraphs to the card at once, i.e. ~0.1–0.3 ms per query,
+//! and argues this is negligible against preprocessing and query time
+//! (Section VII-A). The model reproduces that behaviour: a fixed DMA setup
+//! latency plus a bandwidth term.
+
+use serde::{Deserialize, Serialize};
+
+/// PCIe link between host and FPGA card.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pcie {
+    bandwidth_gbps: f64,
+    setup_us: f64,
+}
+
+impl Pcie {
+    /// Creates a link with the given bandwidth (GB/s) and per-transfer setup
+    /// latency (µs).
+    pub fn new(bandwidth_gbps: f64, setup_us: f64) -> Self {
+        assert!(bandwidth_gbps > 0.0, "bandwidth must be positive");
+        assert!(setup_us >= 0.0, "setup latency cannot be negative");
+        Pcie { bandwidth_gbps, setup_us }
+    }
+
+    /// Simulated seconds needed to move `bytes` across the link in one DMA
+    /// transfer.
+    pub fn transfer_seconds(&self, bytes: usize) -> f64 {
+        self.setup_us * 1.0e-6 + bytes as f64 / (self.bandwidth_gbps * 1.0e9)
+    }
+
+    /// Simulated milliseconds for one transfer of `bytes`.
+    pub fn transfer_millis(&self, bytes: usize) -> f64 {
+        self.transfer_seconds(bytes) * 1.0e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_transfers_are_dominated_by_setup() {
+        let p = Pcie::new(77.0, 10.0);
+        let t = p.transfer_seconds(4 * 1024);
+        assert!(t > 9.0e-6 && t < 20.0e-6, "t = {t}");
+    }
+
+    #[test]
+    fn large_transfers_scale_with_bandwidth() {
+        let p = Pcie::new(77.0, 10.0);
+        // 7.7 GB at 77 GB/s ≈ 0.1 s.
+        let t = p.transfer_seconds(7_700_000_000);
+        assert!((t - 0.1).abs() < 0.001, "t = {t}");
+    }
+
+    #[test]
+    fn per_query_cost_matches_the_paper_ballpark() {
+        // ~1000 queries with ~20 MB of subgraph+barrier data in total:
+        // the paper reports 100-300 ms for the batch, 0.1-0.3 ms per query.
+        let p = Pcie::new(77.0, 10.0);
+        let per_query_bytes = 200 * 1024;
+        let ms = p.transfer_millis(per_query_bytes);
+        assert!(ms < 0.3, "per-query transfer {ms} ms should be negligible");
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_is_rejected() {
+        Pcie::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Power and energy model.
+//!
+//! One of the paper's motivations for choosing an FPGA over a GPU (Section I)
+//! is energy efficiency. The evaluation itself never reports watts, but a
+//! reproduction that exposes a first-order energy estimate lets users reason
+//! about the total-cost-of-ownership claim: the device model already counts
+//! cycles and memory events, so converting them to joules only needs per-event
+//! energy constants. The defaults are representative figures for a 16 nm
+//! UltraScale+ part and a Xeon-class host and can be overridden.
+
+use crate::counters::MemoryCounters;
+use serde::{Deserialize, Serialize};
+
+/// Energy/power constants of the accelerator card and the host CPU used for
+/// comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Static power of the FPGA card in watts (shell + idle logic + DRAM
+    /// refresh).
+    pub fpga_static_watts: f64,
+    /// Dynamic energy per active kernel cycle in nanojoules (toggling logic,
+    /// clock tree) for a mid-size design.
+    pub fpga_nj_per_cycle: f64,
+    /// Energy per 32-bit BRAM access in nanojoules.
+    pub fpga_nj_per_bram_access: f64,
+    /// Energy per 32-bit word moved to or from card DRAM in nanojoules.
+    pub fpga_nj_per_dram_word: f64,
+    /// Average package power of the host CPU while running the baseline, in
+    /// watts (a single active Xeon E5-2620 v4 core plus its uncore share).
+    pub cpu_watts: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            fpga_static_watts: 25.0,
+            fpga_nj_per_cycle: 30.0,
+            fpga_nj_per_bram_access: 0.05,
+            fpga_nj_per_dram_word: 2.5,
+            cpu_watts: 45.0,
+        }
+    }
+}
+
+/// Energy estimate for one query (or one batch of queries).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// FPGA energy in millijoules.
+    pub fpga_millijoules: f64,
+    /// Host-CPU energy in millijoules for the baseline runtime supplied to
+    /// [`PowerModel::compare`] (0 when no baseline time was given).
+    pub cpu_millijoules: f64,
+    /// `cpu_millijoules / fpga_millijoules` (0 when either side is 0).
+    pub efficiency_ratio: f64,
+}
+
+impl PowerModel {
+    /// Estimates the FPGA energy of a kernel run: `cycles` active cycles at
+    /// the given clock, plus the memory traffic recorded in `counters`.
+    pub fn fpga_energy_mj(&self, cycles: u64, clock_mhz: f64, counters: &MemoryCounters) -> f64 {
+        let seconds = if clock_mhz > 0.0 { cycles as f64 / (clock_mhz * 1e6) } else { 0.0 };
+        let static_mj = self.fpga_static_watts * seconds * 1e3;
+        let dynamic_mj = cycles as f64 * self.fpga_nj_per_cycle * 1e-6;
+        let bram_mj = (counters.bram_reads + counters.bram_writes) as f64
+            * self.fpga_nj_per_bram_access
+            * 1e-6;
+        let dram_mj = counters.dram_words_total() as f64 * self.fpga_nj_per_dram_word * 1e-6;
+        static_mj + dynamic_mj + bram_mj + dram_mj
+    }
+
+    /// Estimates the host CPU energy of a baseline that ran for
+    /// `cpu_millis` milliseconds.
+    pub fn cpu_energy_mj(&self, cpu_millis: f64) -> f64 {
+        self.cpu_watts * cpu_millis
+    }
+
+    /// Builds the FPGA-vs-CPU energy comparison the introduction's
+    /// energy-efficiency argument is about.
+    pub fn compare(
+        &self,
+        cycles: u64,
+        clock_mhz: f64,
+        counters: &MemoryCounters,
+        cpu_millis: f64,
+    ) -> EnergyReport {
+        let fpga_millijoules = self.fpga_energy_mj(cycles, clock_mhz, counters);
+        let cpu_millijoules = self.cpu_energy_mj(cpu_millis);
+        let efficiency_ratio = if fpga_millijoules > 0.0 && cpu_millijoules > 0.0 {
+            cpu_millijoules / fpga_millijoules
+        } else {
+            0.0
+        };
+        EnergyReport { fpga_millijoules, cpu_millijoules, efficiency_ratio }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(bram: u64, dram_words: u64) -> MemoryCounters {
+        MemoryCounters {
+            bram_reads: bram,
+            dram_words_read: dram_words,
+            ..MemoryCounters::new()
+        }
+    }
+
+    #[test]
+    fn zero_work_costs_zero_energy() {
+        let model = PowerModel::default();
+        let e = model.fpga_energy_mj(0, 300.0, &MemoryCounters::new());
+        assert_eq!(e, 0.0);
+        assert_eq!(model.cpu_energy_mj(0.0), 0.0);
+    }
+
+    #[test]
+    fn energy_grows_monotonically_with_cycles_and_traffic() {
+        let model = PowerModel::default();
+        let little = model.fpga_energy_mj(1_000, 300.0, &counters(100, 100));
+        let more_cycles = model.fpga_energy_mj(10_000, 300.0, &counters(100, 100));
+        let more_traffic = model.fpga_energy_mj(1_000, 300.0, &counters(100, 100_000));
+        assert!(more_cycles > little);
+        assert!(more_traffic > little);
+    }
+
+    #[test]
+    fn dram_traffic_is_much_more_expensive_than_bram_traffic() {
+        let model = PowerModel::default();
+        let bram_heavy = model.fpga_energy_mj(0, 300.0, &counters(10_000, 0));
+        let dram_heavy = model.fpga_energy_mj(0, 300.0, &counters(0, 10_000));
+        assert!(dram_heavy > 10.0 * bram_heavy);
+    }
+
+    #[test]
+    fn comparison_reports_the_cpu_to_fpga_ratio() {
+        let model = PowerModel::default();
+        // 3 ms of kernel time at 300 MHz = 900k cycles; 50 ms of CPU time.
+        let report = model.compare(900_000, 300.0, &counters(10_000, 5_000), 50.0);
+        assert!(report.fpga_millijoules > 0.0);
+        assert!((report.cpu_millijoules - 45.0 * 50.0).abs() < 1e-9);
+        assert!(report.efficiency_ratio > 1.0, "FPGA should be more efficient here");
+        let expected = report.cpu_millijoules / report.fpga_millijoules;
+        assert!((report.efficiency_ratio - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_baseline_gives_zero_ratio() {
+        let model = PowerModel::default();
+        let report = model.compare(1_000, 300.0, &MemoryCounters::new(), 0.0);
+        assert_eq!(report.cpu_millijoules, 0.0);
+        assert_eq!(report.efficiency_ratio, 0.0);
+    }
+
+    #[test]
+    fn zero_clock_contributes_no_static_energy() {
+        let model = PowerModel::default();
+        let e = model.fpga_energy_mj(1_000, 0.0, &MemoryCounters::new());
+        // Only the dynamic per-cycle term remains.
+        assert!((e - 1_000.0 * model.fpga_nj_per_cycle * 1e-6).abs() < 1e-12);
+    }
+}

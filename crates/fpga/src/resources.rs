@@ -1,0 +1,319 @@
+//! FPGA resource budgeting: does a given PEFP engine configuration fit on the
+//! target card?
+//!
+//! The paper reports results for a Xilinx Alveo U200 and never varies the
+//! card, but any reproduction that wants to sweep the number of verification
+//! lanes or the BRAM area sizes (our ablation benches do) needs to know when a
+//! configuration stops being implementable. This module provides a
+//! first-order utilisation model in the spirit of an HLS resource report:
+//! BRAM36 blocks for the on-chip areas and FIFOs, LUT/FF/DSP estimates per
+//! replicated module, checked against the published U200 budget.
+
+use serde::{Deserialize, Serialize};
+
+/// The programmable-logic resources available on a card.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceBudget {
+    /// Look-up tables.
+    pub luts: u64,
+    /// Flip-flops (registers).
+    pub flip_flops: u64,
+    /// BRAM36 blocks (36 Kbit each).
+    pub bram36: u64,
+    /// UltraRAM blocks (288 Kbit each).
+    pub uram: u64,
+    /// DSP slices.
+    pub dsp: u64,
+}
+
+impl ResourceBudget {
+    /// The Xilinx Alveo U200 (XCU200 / VU9P) budget as published in the data
+    /// sheet: ~1.18 M LUTs, ~2.36 M FFs, 2,160 BRAM36, 960 URAM, 6,840 DSPs.
+    pub fn alveo_u200() -> Self {
+        ResourceBudget {
+            luts: 1_182_000,
+            flip_flops: 2_364_000,
+            bram36: 2_160,
+            uram: 960,
+            dsp: 6_840,
+        }
+    }
+
+    /// A deliberately tiny budget used by tests that need to exercise the
+    /// "does not fit" path without building huge configurations.
+    pub fn tiny_for_tests() -> Self {
+        ResourceBudget { luts: 10_000, flip_flops: 20_000, bram36: 16, uram: 0, dsp: 32 }
+    }
+}
+
+/// Per-module LUT/FF/DSP cost constants for the estimator. These are
+/// first-order figures typical of small HLS kernels of the corresponding
+/// complexity; absolute accuracy is not required, only that the totals scale
+/// correctly with the replication factors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModuleCosts {
+    /// LUTs per verification lane (target + barrier + visited checker + merge).
+    pub luts_per_lane: u64,
+    /// Flip-flops per verification lane.
+    pub ffs_per_lane: u64,
+    /// DSPs per verification lane (address arithmetic).
+    pub dsps_per_lane: u64,
+    /// LUTs for the expansion module and batch controller (fixed).
+    pub luts_fixed: u64,
+    /// Flip-flops for the expansion module and batch controller (fixed).
+    pub ffs_fixed: u64,
+    /// LUTs for the DRAM/PCIe interface logic (fixed).
+    pub luts_memory_interface: u64,
+}
+
+impl Default for ModuleCosts {
+    fn default() -> Self {
+        ModuleCosts {
+            luts_per_lane: 4_500,
+            ffs_per_lane: 6_000,
+            dsps_per_lane: 4,
+            luts_fixed: 18_000,
+            ffs_fixed: 24_000,
+            luts_memory_interface: 45_000,
+        }
+    }
+}
+
+/// The on-chip memory areas a PEFP engine configuration asks for, in bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnChipAreas {
+    /// Buffer area for intermediate paths (`P` in the paper).
+    pub buffer_bytes: usize,
+    /// Processing area (`P'`).
+    pub processing_bytes: usize,
+    /// Cached CSR vertex + edge arrays.
+    pub graph_cache_bytes: usize,
+    /// Cached barrier array.
+    pub barrier_cache_bytes: usize,
+    /// All dataflow FIFOs.
+    pub fifo_bytes: usize,
+}
+
+impl OnChipAreas {
+    /// Total on-chip bytes requested.
+    pub fn total_bytes(&self) -> usize {
+        self.buffer_bytes
+            + self.processing_bytes
+            + self.graph_cache_bytes
+            + self.barrier_cache_bytes
+            + self.fifo_bytes
+    }
+}
+
+/// The estimated utilisation of one configuration against one budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceEstimate {
+    /// Estimated LUT usage.
+    pub luts: u64,
+    /// Estimated flip-flop usage.
+    pub flip_flops: u64,
+    /// Estimated BRAM36 blocks.
+    pub bram36: u64,
+    /// Estimated DSP slices.
+    pub dsp: u64,
+    /// The budget the estimate was checked against.
+    pub budget: ResourceBudget,
+}
+
+/// Number of BRAM36 blocks needed to hold `bytes` (each block stores 4 KiB
+/// when configured as 36 Kbit × 1).
+pub fn bram36_blocks_for(bytes: usize) -> u64 {
+    const BYTES_PER_BLOCK: usize = 36 * 1024 / 8; // 4,608 bytes
+    (bytes.div_ceil(BYTES_PER_BLOCK)) as u64
+}
+
+impl ResourceEstimate {
+    /// Estimates the resource usage of a configuration with
+    /// `verification_lanes` replicated validity-check modules and the given
+    /// on-chip areas, using `costs` for the logic constants.
+    pub fn estimate(
+        verification_lanes: usize,
+        areas: &OnChipAreas,
+        costs: &ModuleCosts,
+        budget: ResourceBudget,
+    ) -> ResourceEstimate {
+        let lanes = verification_lanes as u64;
+        let luts = costs.luts_fixed + costs.luts_memory_interface + lanes * costs.luts_per_lane;
+        let flip_flops = costs.ffs_fixed + lanes * costs.ffs_per_lane;
+        let dsp = lanes * costs.dsps_per_lane;
+        let bram36 = bram36_blocks_for(areas.total_bytes());
+        ResourceEstimate { luts, flip_flops, bram36, dsp, budget }
+    }
+
+    /// LUT utilisation as a fraction of the budget.
+    pub fn lut_utilisation(&self) -> f64 {
+        self.luts as f64 / self.budget.luts as f64
+    }
+
+    /// BRAM utilisation as a fraction of the budget.
+    pub fn bram_utilisation(&self) -> f64 {
+        self.bram36 as f64 / self.budget.bram36 as f64
+    }
+
+    /// Whether every resource fits within the budget.
+    pub fn fits(&self) -> bool {
+        self.luts <= self.budget.luts
+            && self.flip_flops <= self.budget.flip_flops
+            && self.bram36 <= self.budget.bram36
+            && self.dsp <= self.budget.dsp
+    }
+
+    /// Human-readable list of the resources that exceed the budget
+    /// (empty when the configuration fits).
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.luts > self.budget.luts {
+            v.push(format!("LUT: {} > {}", self.luts, self.budget.luts));
+        }
+        if self.flip_flops > self.budget.flip_flops {
+            v.push(format!("FF: {} > {}", self.flip_flops, self.budget.flip_flops));
+        }
+        if self.bram36 > self.budget.bram36 {
+            v.push(format!("BRAM36: {} > {}", self.bram36, self.budget.bram36));
+        }
+        if self.dsp > self.budget.dsp {
+            v.push(format!("DSP: {} > {}", self.dsp, self.budget.dsp));
+        }
+        v
+    }
+
+    /// The largest number of verification lanes that still fits the budget
+    /// with the given areas and costs (0 when even one lane does not fit).
+    pub fn max_lanes(
+        areas: &OnChipAreas,
+        costs: &ModuleCosts,
+        budget: ResourceBudget,
+    ) -> usize {
+        let mut lo = 0usize;
+        let mut hi = 4_096usize;
+        while lo < hi {
+            let mid = (lo + hi + 1) / 2;
+            if ResourceEstimate::estimate(mid, areas, costs, budget).fits() {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn areas_kb(buffer: usize, processing: usize, graph: usize, barrier: usize) -> OnChipAreas {
+        OnChipAreas {
+            buffer_bytes: buffer * 1024,
+            processing_bytes: processing * 1024,
+            graph_cache_bytes: graph * 1024,
+            barrier_cache_bytes: barrier * 1024,
+            fifo_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn bram_block_rounding_is_exact_at_boundaries() {
+        assert_eq!(bram36_blocks_for(0), 0);
+        assert_eq!(bram36_blocks_for(1), 1);
+        assert_eq!(bram36_blocks_for(4_608), 1);
+        assert_eq!(bram36_blocks_for(4_609), 2);
+        assert_eq!(bram36_blocks_for(46_080), 10);
+    }
+
+    #[test]
+    fn default_u200_configuration_fits_comfortably() {
+        let areas = areas_kb(512, 128, 2_048, 256);
+        let est = ResourceEstimate::estimate(
+            8,
+            &areas,
+            &ModuleCosts::default(),
+            ResourceBudget::alveo_u200(),
+        );
+        assert!(est.fits(), "violations: {:?}", est.violations());
+        assert!(est.lut_utilisation() < 0.25);
+        assert!(est.bram_utilisation() < 0.5);
+    }
+
+    #[test]
+    fn logic_scales_linearly_with_lanes() {
+        let areas = areas_kb(64, 16, 64, 16);
+        let costs = ModuleCosts::default();
+        let budget = ResourceBudget::alveo_u200();
+        let one = ResourceEstimate::estimate(1, &areas, &costs, budget);
+        let four = ResourceEstimate::estimate(4, &areas, &costs, budget);
+        assert_eq!(four.luts - one.luts, 3 * costs.luts_per_lane);
+        assert_eq!(four.flip_flops - one.flip_flops, 3 * costs.ffs_per_lane);
+        assert_eq!(four.dsp, 4 * costs.dsps_per_lane);
+        // BRAM does not depend on the lane count.
+        assert_eq!(four.bram36, one.bram36);
+    }
+
+    #[test]
+    fn oversized_areas_violate_the_bram_budget() {
+        // 2,160 blocks × 4,608 B ≈ 9.95 MB; ask for 32 MB of buffer.
+        let areas = OnChipAreas { buffer_bytes: 32 << 20, ..Default::default() };
+        let est = ResourceEstimate::estimate(
+            4,
+            &areas,
+            &ModuleCosts::default(),
+            ResourceBudget::alveo_u200(),
+        );
+        assert!(!est.fits());
+        let v = est.violations();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].starts_with("BRAM36"));
+    }
+
+    #[test]
+    fn too_many_lanes_violate_the_lut_budget() {
+        let areas = areas_kb(8, 8, 8, 8);
+        let est = ResourceEstimate::estimate(
+            2,
+            &areas,
+            &ModuleCosts::default(),
+            ResourceBudget::tiny_for_tests(),
+        );
+        assert!(!est.fits());
+        assert!(est.violations().iter().any(|v| v.starts_with("LUT")));
+    }
+
+    #[test]
+    fn max_lanes_is_the_tipping_point() {
+        let areas = areas_kb(16, 8, 32, 8);
+        let costs = ModuleCosts::default();
+        let budget = ResourceBudget::alveo_u200();
+        let max = ResourceEstimate::max_lanes(&areas, &costs, budget);
+        assert!(max > 0);
+        assert!(ResourceEstimate::estimate(max, &areas, &costs, budget).fits());
+        assert!(!ResourceEstimate::estimate(max + 1, &areas, &costs, budget).fits());
+    }
+
+    #[test]
+    fn max_lanes_is_zero_when_nothing_fits() {
+        let areas = OnChipAreas { buffer_bytes: 1 << 20, ..Default::default() };
+        let max = ResourceEstimate::max_lanes(
+            &areas,
+            &ModuleCosts::default(),
+            ResourceBudget::tiny_for_tests(),
+        );
+        assert_eq!(max, 0);
+    }
+
+    #[test]
+    fn onchip_total_adds_every_area() {
+        let areas = OnChipAreas {
+            buffer_bytes: 10,
+            processing_bytes: 20,
+            graph_cache_bytes: 30,
+            barrier_cache_bytes: 40,
+            fifo_bytes: 50,
+        };
+        assert_eq!(areas.total_bytes(), 150);
+    }
+}

@@ -1,0 +1,181 @@
+//! Bounded (k-hop) breadth-first search primitives.
+//!
+//! Both the paper's preprocessing (Pre-BFS, Section V) and the JOIN baseline's
+//! preprocessing are built from hop-bounded BFS distance computations; the
+//! reproduction shares one implementation here.
+
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+use std::collections::VecDeque;
+
+/// Distance value used for vertices not reached within the hop bound.
+///
+/// The paper sets unreached distances to `k + 1`; using `u32::MAX` instead
+/// keeps the sentinel independent of `k` — callers clamp when they need the
+/// paper's convention.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Runs a BFS from `source` that explores at most `max_hops` hops and returns
+/// the distance array (`UNREACHED` for vertices not reached within the bound).
+pub fn khop_bfs(g: &CsrGraph, source: VertexId, max_hops: u32) -> Vec<u32> {
+    khop_bfs_multi(g, std::slice::from_ref(&source), max_hops)
+}
+
+/// Multi-source variant of [`khop_bfs`]: every source starts at distance 0.
+pub fn khop_bfs_multi(g: &CsrGraph, sources: &[VertexId], max_hops: u32) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![UNREACHED; n];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s.index()] != 0 {
+            dist[s.index()] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        if du >= max_hops {
+            continue;
+        }
+        for &v in g.successors(u) {
+            if dist[v.index()] == UNREACHED {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest distance from `source` to `target` with at most `max_hops` hops,
+/// ignoring every vertex for which `blocked` returns `true` (except the
+/// endpoints themselves).
+///
+/// This is `sd(v, v'|p)` from the paper's notation table and the primitive
+/// behind the T-DFS baseline's aggressive verification.
+pub fn constrained_distance<F>(
+    g: &CsrGraph,
+    source: VertexId,
+    target: VertexId,
+    max_hops: u32,
+    mut blocked: F,
+) -> Option<u32>
+where
+    F: FnMut(VertexId) -> bool,
+{
+    if source == target {
+        return Some(0);
+    }
+    let n = g.num_vertices();
+    let mut dist = vec![UNREACHED; n];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        if du >= max_hops {
+            continue;
+        }
+        for &v in g.successors(u) {
+            if dist[v.index()] != UNREACHED {
+                continue;
+            }
+            if v == target {
+                return Some(du + 1);
+            }
+            if blocked(v) {
+                continue;
+            }
+            dist[v.index()] = du + 1;
+            queue.push_back(v);
+        }
+    }
+    None
+}
+
+/// Convenience: distances clamped to the paper's `k + 1` convention for
+/// unreached vertices.
+pub fn clamp_unreached(dist: &mut [u32], k: u32) {
+    for d in dist {
+        if *d == UNREACHED || *d > k {
+            *d = k + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> CsrGraph {
+        // 0 -> 1 -> 2 -> 3 -> 4
+        CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn bfs_distances_on_a_chain() {
+        let g = chain();
+        let d = khop_bfs(&g, VertexId(0), 10);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn hop_bound_stops_exploration() {
+        let g = chain();
+        let d = khop_bfs(&g, VertexId(0), 2);
+        assert_eq!(d[0..3], [0, 1, 2]);
+        assert_eq!(d[3], UNREACHED);
+        assert_eq!(d[4], UNREACHED);
+    }
+
+    #[test]
+    fn multi_source_takes_the_minimum() {
+        let g = chain();
+        let d = khop_bfs_multi(&g, &[VertexId(0), VertexId(3)], 10);
+        assert_eq!(d, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn clamping_applies_the_paper_convention() {
+        let g = chain();
+        let mut d = khop_bfs(&g, VertexId(0), 2);
+        clamp_unreached(&mut d, 2);
+        assert_eq!(d, vec![0, 1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn constrained_distance_avoids_blocked_vertices() {
+        // 0 -> 1 -> 3 and 0 -> 2 -> 3
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
+        let unconstrained = constrained_distance(&g, VertexId(0), VertexId(3), 5, |_| false);
+        assert_eq!(unconstrained, Some(2));
+        // Block vertex 1: the path through 2 still works.
+        let avoid1 = constrained_distance(&g, VertexId(0), VertexId(3), 5, |v| v == VertexId(1));
+        assert_eq!(avoid1, Some(2));
+        // Block both middles: unreachable.
+        let blocked =
+            constrained_distance(&g, VertexId(0), VertexId(3), 5, |v| v == VertexId(1) || v == VertexId(2));
+        assert_eq!(blocked, None);
+    }
+
+    #[test]
+    fn constrained_distance_respects_the_hop_bound() {
+        let g = chain();
+        assert_eq!(constrained_distance(&g, VertexId(0), VertexId(4), 3, |_| false), None);
+        assert_eq!(constrained_distance(&g, VertexId(0), VertexId(4), 4, |_| false), Some(4));
+    }
+
+    #[test]
+    fn source_equals_target_is_distance_zero() {
+        let g = chain();
+        assert_eq!(constrained_distance(&g, VertexId(2), VertexId(2), 0, |_| false), Some(0));
+    }
+
+    #[test]
+    fn reverse_bfs_gives_distance_to_target() {
+        let g = chain();
+        let rev = g.reverse();
+        let d = khop_bfs(&rev, VertexId(4), 10);
+        assert_eq!(d, vec![4, 3, 2, 1, 0]);
+    }
+}

@@ -1,0 +1,262 @@
+//! Weakly connected components and reachability summaries.
+//!
+//! The host-side workload tooling uses weak connectivity to validate that the
+//! synthetic dataset stand-ins are not shattered into many tiny pieces (which
+//! would make the random reachable query pairs of Section VII-A meaningless),
+//! and the streaming layer uses it as a cheap necessary condition before
+//! attempting any path enumeration.
+
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+
+/// A classic union-find (disjoint-set) structure over vertex ids with path
+/// compression and union by size.
+#[derive(Debug, Clone)]
+pub struct DisjointSets {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    num_sets: usize,
+}
+
+impl DisjointSets {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        DisjointSets {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            num_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently present.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Finds the representative of `x`, compressing paths along the way.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Unions the sets containing `a` and `b`; returns `true` if they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.num_sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+}
+
+/// Weakly connected components of a directed graph (connectivity ignoring
+/// edge direction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WccDecomposition {
+    /// Component id of every vertex, compacted to `0..num_components`.
+    pub component_of: Vec<u32>,
+    /// Number of weakly connected components.
+    pub num_components: usize,
+}
+
+impl WccDecomposition {
+    /// The component of vertex `v`.
+    #[inline]
+    pub fn component(&self, v: VertexId) -> u32 {
+        self.component_of[v.index()]
+    }
+
+    /// Whether `a` and `b` lie in the same weakly connected component.
+    #[inline]
+    pub fn same_component(&self, a: VertexId, b: VertexId) -> bool {
+        self.component_of[a.index()] == self.component_of[b.index()]
+    }
+
+    /// Sizes of all components indexed by component id.
+    pub fn component_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_components];
+        for &c in &self.component_of {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest weakly connected component.
+    pub fn largest_component_size(&self) -> usize {
+        self.component_sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Fraction of vertices inside the largest component (1.0 when the whole
+    /// graph is weakly connected, 0.0 for an empty graph).
+    pub fn largest_component_fraction(&self) -> f64 {
+        if self.component_of.is_empty() {
+            return 0.0;
+        }
+        self.largest_component_size() as f64 / self.component_of.len() as f64
+    }
+}
+
+/// Computes the weakly connected components of `g` with union-find.
+pub fn weakly_connected_components(g: &CsrGraph) -> WccDecomposition {
+    let n = g.num_vertices();
+    let mut dsu = DisjointSets::new(n);
+    for e in g.edges() {
+        dsu.union(e.from.0, e.to.0);
+    }
+    // Compact representatives into dense component ids.
+    let mut remap = vec![u32::MAX; n];
+    let mut component_of = vec![0u32; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        let r = dsu.find(v);
+        if remap[r as usize] == u32::MAX {
+            remap[r as usize] = next;
+            next += 1;
+        }
+        component_of[v as usize] = remap[r as usize];
+    }
+    WccDecomposition { component_of, num_components: next as usize }
+}
+
+/// Counts the vertices reachable from `source` within `max_hops` hops
+/// (including `source` itself). `max_hops == u32::MAX` means unbounded.
+pub fn reachable_count(g: &CsrGraph, source: VertexId, max_hops: u32) -> usize {
+    let n = g.num_vertices();
+    if source.index() >= n {
+        return 0;
+    }
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    let mut count = 1usize;
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        if du >= max_hops {
+            continue;
+        }
+        for &v in g.successors(u) {
+            if dist[v.index()] == u32::MAX {
+                dist[v.index()] = du + 1;
+                count += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vid(v: u32) -> VertexId {
+        VertexId(v)
+    }
+
+    #[test]
+    fn union_find_merges_and_counts_sets() {
+        let mut dsu = DisjointSets::new(5);
+        assert_eq!(dsu.num_sets(), 5);
+        assert!(dsu.union(0, 1));
+        assert!(dsu.union(1, 2));
+        assert!(!dsu.union(0, 2), "already merged");
+        assert_eq!(dsu.num_sets(), 3);
+        assert!(dsu.same_set(0, 2));
+        assert!(!dsu.same_set(0, 3));
+        assert_eq!(dsu.set_size(2), 3);
+        assert_eq!(dsu.set_size(4), 1);
+    }
+
+    #[test]
+    fn wcc_ignores_edge_direction() {
+        // 0->1, 2->1: all weakly connected even though 0 cannot reach 2.
+        let g = CsrGraph::from_edges(3, &[(0, 1), (2, 1)]);
+        let wcc = weakly_connected_components(&g);
+        assert_eq!(wcc.num_components, 1);
+        assert!(wcc.same_component(vid(0), vid(2)));
+    }
+
+    #[test]
+    fn wcc_separates_disconnected_parts() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let wcc = weakly_connected_components(&g);
+        // {0,1,2}, {3,4}, {5}
+        assert_eq!(wcc.num_components, 3);
+        assert_eq!(wcc.largest_component_size(), 3);
+        assert!((wcc.largest_component_fraction() - 0.5).abs() < 1e-12);
+        assert!(!wcc.same_component(vid(2), vid(3)));
+    }
+
+    #[test]
+    fn wcc_component_ids_are_dense() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let wcc = weakly_connected_components(&g);
+        let mut ids: Vec<u32> = wcc.component_of.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids, (0..wcc.num_components as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reachable_count_respects_hop_limit() {
+        // 0 -> 1 -> 2 -> 3
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(reachable_count(&g, vid(0), 0), 1);
+        assert_eq!(reachable_count(&g, vid(0), 1), 2);
+        assert_eq!(reachable_count(&g, vid(0), 2), 3);
+        assert_eq!(reachable_count(&g, vid(0), u32::MAX), 4);
+        assert_eq!(reachable_count(&g, vid(3), u32::MAX), 1);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = CsrGraph::empty(0);
+        let wcc = weakly_connected_components(&g);
+        assert_eq!(wcc.num_components, 0);
+        assert_eq!(wcc.largest_component_fraction(), 0.0);
+        let dsu = DisjointSets::new(0);
+        assert!(dsu.is_empty());
+    }
+}

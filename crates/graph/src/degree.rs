@@ -1,0 +1,222 @@
+//! Degree-distribution analytics.
+//!
+//! The paper motivates the FPGA design with the power-law degree distribution
+//! of real-life graphs (Section I): most vertices have a small degree while a
+//! few "super nodes" have a very large one, which is exactly what Batch-DFS's
+//! neighbour windows are designed for. This module measures the degree
+//! distribution of a graph so dataset stand-ins can be checked against that
+//! assumption and so experiments can report how skewed each input is.
+
+use crate::csr::CsrGraph;
+use serde::{Deserialize, Serialize};
+
+/// Histogram and summary statistics of the out-degree distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeDistribution {
+    /// `histogram[d]` = number of vertices with out-degree `d`.
+    pub histogram: Vec<usize>,
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Minimum out-degree.
+    pub min_degree: usize,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Mean out-degree.
+    pub mean_degree: f64,
+    /// Median out-degree.
+    pub median_degree: usize,
+    /// Fraction of all edges that leave the top 1% highest-degree vertices
+    /// (rounded up to at least one vertex). A high value indicates a skewed,
+    /// power-law-like graph.
+    pub top1pct_edge_fraction: f64,
+    /// Gini coefficient of the out-degree distribution (0 = perfectly uniform,
+    /// → 1 = extremely skewed).
+    pub gini: f64,
+}
+
+impl DegreeDistribution {
+    /// Computes the out-degree distribution of `g`.
+    pub fn compute(g: &CsrGraph) -> DegreeDistribution {
+        let n = g.num_vertices();
+        let mut degrees: Vec<usize> = g.vertices().map(|v| g.out_degree(v)).collect();
+        degrees.sort_unstable();
+
+        let max_degree = degrees.last().copied().unwrap_or(0);
+        let min_degree = degrees.first().copied().unwrap_or(0);
+        let total_edges: usize = degrees.iter().sum();
+        let mean_degree = if n == 0 { 0.0 } else { total_edges as f64 / n as f64 };
+        let median_degree = if n == 0 { 0 } else { degrees[n / 2] };
+
+        let mut histogram = vec![0usize; max_degree + 1];
+        for &d in &degrees {
+            histogram[d] += 1;
+        }
+
+        // Fraction of edges owned by the top 1% of vertices by degree.
+        let top1pct_edge_fraction = if n == 0 || total_edges == 0 {
+            0.0
+        } else {
+            let top = ((n as f64 * 0.01).ceil() as usize).max(1).min(n);
+            let top_edges: usize = degrees.iter().rev().take(top).sum();
+            top_edges as f64 / total_edges as f64
+        };
+
+        // Gini coefficient over the sorted degree sequence.
+        let gini = if n == 0 || total_edges == 0 {
+            0.0
+        } else {
+            let n_f = n as f64;
+            let mut weighted = 0.0;
+            for (i, &d) in degrees.iter().enumerate() {
+                weighted += (i as f64 + 1.0) * d as f64;
+            }
+            (2.0 * weighted) / (n_f * total_edges as f64) - (n_f + 1.0) / n_f
+        };
+
+        DegreeDistribution {
+            histogram,
+            num_vertices: n,
+            min_degree,
+            max_degree,
+            mean_degree,
+            median_degree,
+            top1pct_edge_fraction,
+            gini,
+        }
+    }
+
+    /// The `q`-quantile of the out-degree distribution, `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> usize {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.num_vertices == 0 {
+            return 0;
+        }
+        let target = ((self.num_vertices as f64 - 1.0) * q).round() as usize;
+        let mut seen = 0usize;
+        for (d, &count) in self.histogram.iter().enumerate() {
+            seen += count;
+            if seen > target {
+                return d;
+            }
+        }
+        self.max_degree
+    }
+
+    /// Number of vertices whose out-degree is at least `threshold` (the "hot
+    /// points" of the HP-Index baseline).
+    pub fn vertices_with_degree_at_least(&self, threshold: usize) -> usize {
+        self.histogram
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| *d >= threshold)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Maximum-likelihood estimate of the power-law exponent `alpha` of the
+    /// tail `d >= d_min`, using the discrete Clauset–Shalizi–Newman
+    /// approximation `alpha ≈ 1 + n_tail / Σ ln(d / (d_min - 0.5))`.
+    ///
+    /// Returns `None` when fewer than two vertices have degree `>= d_min` or
+    /// when `d_min < 1`.
+    pub fn power_law_exponent(&self, d_min: usize) -> Option<f64> {
+        if d_min < 1 {
+            return None;
+        }
+        let mut n_tail = 0usize;
+        let mut log_sum = 0.0f64;
+        for (d, &count) in self.histogram.iter().enumerate() {
+            if d >= d_min && count > 0 {
+                n_tail += count;
+                log_sum += count as f64 * (d as f64 / (d_min as f64 - 0.5)).ln();
+            }
+        }
+        if n_tail < 2 || log_sum <= 0.0 {
+            return None;
+        }
+        Some(1.0 + n_tail as f64 / log_sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::chung_lu;
+
+    #[test]
+    fn uniform_degree_graph_has_zero_gini() {
+        // A 4-cycle: every vertex has out-degree 1.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let d = DegreeDistribution::compute(&g);
+        assert_eq!(d.min_degree, 1);
+        assert_eq!(d.max_degree, 1);
+        assert_eq!(d.median_degree, 1);
+        assert!((d.mean_degree - 1.0).abs() < 1e-12);
+        assert!(d.gini.abs() < 1e-12);
+        assert_eq!(d.histogram, vec![0, 4]);
+    }
+
+    #[test]
+    fn star_graph_is_maximally_skewed() {
+        // Vertex 0 points at everyone else.
+        let edges: Vec<(u32, u32)> = (1..100u32).map(|v| (0, v)).collect();
+        let g = CsrGraph::from_edges(100, &edges);
+        let d = DegreeDistribution::compute(&g);
+        assert_eq!(d.max_degree, 99);
+        assert_eq!(d.min_degree, 0);
+        assert_eq!(d.top1pct_edge_fraction, 1.0);
+        assert!(d.gini > 0.95, "gini = {}", d.gini);
+        assert_eq!(d.vertices_with_degree_at_least(50), 1);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let g = chung_lu(300, 6.0, 2.2, 7).to_csr();
+        let d = DegreeDistribution::compute(&g);
+        let q10 = d.quantile(0.1);
+        let q50 = d.quantile(0.5);
+        let q90 = d.quantile(0.9);
+        let q100 = d.quantile(1.0);
+        assert!(q10 <= q50 && q50 <= q90 && q90 <= q100);
+        assert_eq!(q50, d.median_degree);
+        assert!(q100 <= d.max_degree);
+        assert_eq!(d.quantile(0.0), d.min_degree);
+    }
+
+    #[test]
+    fn histogram_counts_every_vertex_exactly_once() {
+        let g = chung_lu(250, 5.0, 2.3, 11).to_csr();
+        let d = DegreeDistribution::compute(&g);
+        let total: usize = d.histogram.iter().sum();
+        assert_eq!(total, g.num_vertices());
+    }
+
+    #[test]
+    fn power_law_generator_yields_plausible_exponent() {
+        let g = chung_lu(2000, 8.0, 2.2, 3).to_csr();
+        let d = DegreeDistribution::compute(&g);
+        let alpha = d.power_law_exponent(2).expect("enough tail vertices");
+        // Chung-Lu with target exponent 2.2: the MLE should land in a broad
+        // but clearly power-law-like band.
+        assert!(alpha > 1.3 && alpha < 4.0, "alpha = {alpha}");
+    }
+
+    #[test]
+    fn power_law_exponent_handles_degenerate_inputs() {
+        let g = CsrGraph::empty(5);
+        let d = DegreeDistribution::compute(&g);
+        assert!(d.power_law_exponent(1).is_none());
+        assert!(d.power_law_exponent(0).is_none());
+    }
+
+    #[test]
+    fn empty_graph_statistics_are_all_zero() {
+        let g = CsrGraph::empty(0);
+        let d = DegreeDistribution::compute(&g);
+        assert_eq!(d.num_vertices, 0);
+        assert_eq!(d.max_degree, 0);
+        assert_eq!(d.mean_degree, 0.0);
+        assert_eq!(d.gini, 0.0);
+        assert_eq!(d.quantile(0.5), 0);
+    }
+}

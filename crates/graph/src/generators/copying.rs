@@ -1,0 +1,89 @@
+//! Linear copying model for web-like graphs.
+//!
+//! The copying model (Kumar et al.) produces graphs with power-law in-degrees
+//! and pronounced local density — new vertices copy a prototype's
+//! out-neighbourhood with probability `1 - beta` and link uniformly at random
+//! with probability `beta`. It is the stand-in for the paper's web crawls
+//! (BerkStan, web-google, Baidu, DBpedia) which exhibit "extremely dense
+//! subgraphs" (Section VII-B).
+
+use super::rng_from_seed;
+use crate::digraph::DiGraph;
+use crate::ids::VertexId;
+use rand::Rng;
+
+/// Generates a directed graph with `n` vertices where each new vertex emits
+/// `out_deg` edges, each copied from a random earlier prototype vertex with
+/// probability `1 - beta` or chosen uniformly among earlier vertices with
+/// probability `beta`.
+///
+/// `beta` close to 0 produces heavy copying (dense clusters around early
+/// vertices); `beta` close to 1 degenerates to uniform attachment.
+pub fn copying_model(n: usize, out_deg: usize, beta: f64, seed: u64) -> DiGraph {
+    assert!((0.0..=1.0).contains(&beta), "beta must lie in [0, 1]");
+    assert!(n >= 2, "copying model needs at least two vertices");
+    let mut rng = rng_from_seed(seed);
+    let mut g = DiGraph::new(n);
+    // Seed clique among the first few vertices so early prototypes have edges.
+    let seed_core = out_deg.clamp(2, n.min(out_deg + 2));
+    for u in 0..seed_core {
+        for v in 0..seed_core {
+            if u != v {
+                g.add_edge_unique(VertexId::from_index(u), VertexId::from_index(v));
+            }
+        }
+    }
+    for u in seed_core..n {
+        let prototype = rng.gen_range(0..u);
+        let proto_targets: Vec<VertexId> = g.successors(VertexId::from_index(prototype)).to_vec();
+        for j in 0..out_deg {
+            let copy = !proto_targets.is_empty() && rng.gen::<f64>() >= beta;
+            let target = if copy {
+                proto_targets[j % proto_targets.len()]
+            } else {
+                VertexId::from_index(rng.gen_range(0..u))
+            };
+            g.add_edge_unique(VertexId::from_index(u), target);
+        }
+        // Give earlier vertices occasional back-links so s-t paths exist in
+        // both directions (real web graphs are not DAGs).
+        if rng.gen::<f64>() < 0.3 {
+            let back_src = rng.gen_range(0..u);
+            g.add_edge_unique(VertexId::from_index(back_src), VertexId::from_index(u));
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_requested_vertex_count() {
+        let g = copying_model(100, 5, 0.2, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert!(g.num_edges() > 100);
+    }
+
+    #[test]
+    fn copying_creates_popular_targets() {
+        let g = copying_model(500, 6, 0.1, 2).to_csr();
+        let rev = g.reverse();
+        let max_in = rev.max_out_degree() as f64;
+        let avg_in = rev.num_edges() as f64 / rev.num_vertices() as f64;
+        assert!(max_in > 3.0 * avg_in, "max_in {max_in} avg_in {avg_in}");
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn beta_out_of_range_panics() {
+        copying_model(10, 2, 1.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_graph_panics() {
+        copying_model(1, 2, 0.5, 0);
+    }
+}

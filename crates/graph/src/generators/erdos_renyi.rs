@@ -1,0 +1,82 @@
+//! Erdős–Rényi `G(n, m)` random directed graphs.
+//!
+//! Used for uniform-density stand-ins and as a stress workload where the
+//! barrier check has uniform pruning power (no hubs, low variance degrees).
+
+use super::rng_from_seed;
+use crate::digraph::DiGraph;
+use crate::ids::VertexId;
+use rand::Rng;
+
+/// Generates a directed graph with exactly `m` distinct directed edges chosen
+/// uniformly at random among the `n*(n-1)` possible non-loop edges.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds the number of possible edges.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> DiGraph {
+    let possible = n.saturating_mul(n.saturating_sub(1));
+    assert!(m <= possible, "requested {m} edges but only {possible} are possible");
+    let mut rng = rng_from_seed(seed);
+    let mut g = DiGraph::new(n);
+    let mut added = 0usize;
+    // Rejection sampling is fine for the sparse graphs used in the evaluation
+    // (m << n^2); guard against pathological density with a bounded retry loop.
+    let mut attempts = 0usize;
+    let max_attempts = m.saturating_mul(50).max(1000);
+    while added < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && g.add_edge_unique(VertexId::from_index(u), VertexId::from_index(v)) {
+            added += 1;
+        }
+        attempts += 1;
+        if attempts > max_attempts && added < m {
+            // Fall back to dense enumeration for the remaining edges.
+            'outer: for uu in 0..n {
+                for vv in 0..n {
+                    if uu != vv
+                        && g.add_edge_unique(VertexId::from_index(uu), VertexId::from_index(vv))
+                    {
+                        added += 1;
+                        if added == m {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            break;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi(50, 200, 3);
+        assert_eq!(g.to_csr().num_edges(), 200);
+    }
+
+    #[test]
+    fn dense_request_is_satisfied_via_fallback() {
+        // 10 vertices -> 90 possible edges; ask for 85 (rejection alone would thrash).
+        let g = erdos_renyi(10, 85, 4);
+        assert_eq!(g.to_csr().num_edges(), 85);
+    }
+
+    #[test]
+    #[should_panic(expected = "possible")]
+    fn impossible_edge_count_panics() {
+        erdos_renyi(3, 10, 0);
+    }
+
+    #[test]
+    fn zero_edges_is_fine() {
+        let g = erdos_renyi(5, 0, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

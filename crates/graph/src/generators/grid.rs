@@ -1,0 +1,72 @@
+//! Directed grid graphs.
+//!
+//! Grids give a *high*-diameter, low-degree extreme (the "Amazon-like" regime
+//! in the paper, where the result count barely grows with `k` and JOIN's
+//! preprocessing dominates total time). They are also convenient for hand
+//! verification: the number of monotone s-t paths in a grid is a binomial
+//! coefficient.
+
+use crate::digraph::DiGraph;
+use crate::ids::VertexId;
+
+/// Generates a `rows x cols` directed grid where each cell links to its right
+/// and down neighbours. Vertex `(r, c)` has id `r * cols + c`.
+pub fn grid_graph(rows: usize, cols: usize) -> DiGraph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut g = DiGraph::new(rows * cols);
+    let id = |r: usize, c: usize| VertexId::from_index(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// Number of shortest (monotone) paths from the top-left to the bottom-right
+/// corner of a `rows x cols` grid: `C(rows + cols - 2, rows - 1)`.
+///
+/// Every monotone path has exactly `rows + cols - 2` hops, so for
+/// `k >= rows + cols - 2` this is the exact k-hop s-t simple path count
+/// between the two corners (longer non-monotone paths do not exist because
+/// all edges point right/down).
+pub fn grid_corner_path_count(rows: usize, cols: usize) -> u64 {
+    let n = (rows + cols - 2) as u64;
+    let k = (rows - 1) as u64;
+    let mut result = 1u64;
+    for i in 0..k {
+        result = result * (n - i) / (i + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_expected_edge_count() {
+        // rows*(cols-1) horizontal + (rows-1)*cols vertical
+        let g = grid_graph(3, 4);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+    }
+
+    #[test]
+    fn corner_path_counts_match_binomials() {
+        assert_eq!(grid_corner_path_count(2, 2), 2);
+        assert_eq!(grid_corner_path_count(3, 3), 6);
+        assert_eq!(grid_corner_path_count(4, 4), 20);
+        assert_eq!(grid_corner_path_count(1, 5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        grid_graph(0, 3);
+    }
+}

@@ -1,0 +1,105 @@
+//! Layered DAG generator with a single source and sink.
+//!
+//! Layered DAGs have a *known closed-form* s-t path count
+//! (`width^layers` when fully connected), which makes them the workhorse for
+//! correctness tests: any enumeration algorithm must return exactly that many
+//! paths, each of length `layers + 1`.
+
+use super::rng_from_seed;
+use crate::digraph::DiGraph;
+use crate::ids::VertexId;
+use rand::Rng;
+
+/// Builds a DAG of `layers` layers each containing `width` vertices, plus a
+/// dedicated source (id 0) and sink (last id). Each vertex connects to
+/// `fanout` random vertices of the next layer (all of them if
+/// `fanout >= width`); the source connects to every vertex of the first layer
+/// and every vertex of the last layer connects to the sink.
+pub fn layered_dag(layers: usize, width: usize, fanout: usize, seed: u64) -> DiGraph {
+    assert!(layers > 0 && width > 0, "layers and width must be positive");
+    let mut rng = rng_from_seed(seed);
+    let n = layers * width + 2;
+    let mut g = DiGraph::new(n);
+    let source = VertexId(0);
+    let sink = VertexId::from_index(n - 1);
+    let layer_vertex = |layer: usize, slot: usize| VertexId::from_index(1 + layer * width + slot);
+
+    for slot in 0..width {
+        g.add_edge(source, layer_vertex(0, slot));
+        g.add_edge(layer_vertex(layers - 1, slot), sink);
+    }
+    for layer in 0..layers.saturating_sub(1) {
+        for slot in 0..width {
+            if fanout >= width {
+                for next in 0..width {
+                    g.add_edge(layer_vertex(layer, slot), layer_vertex(layer + 1, next));
+                }
+            } else {
+                let mut chosen = 0;
+                while chosen < fanout {
+                    let next = rng.gen_range(0..width);
+                    if g.add_edge_unique(layer_vertex(layer, slot), layer_vertex(layer + 1, next)) {
+                        chosen += 1;
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// The source vertex id of a graph produced by [`layered_dag`].
+pub fn layered_source() -> VertexId {
+    VertexId(0)
+}
+
+/// The sink vertex id of a graph produced by [`layered_dag`] with the given
+/// dimensions.
+pub fn layered_sink(layers: usize, width: usize) -> VertexId {
+    VertexId::from_index(layers * width + 1)
+}
+
+/// Exact number of source→sink paths in a *fully connected* layered DAG
+/// (`fanout >= width`): `width^layers`. Every path has `layers + 1` hops.
+pub fn layered_full_path_count(layers: usize, width: usize) -> u64 {
+    (width as u64).pow(layers as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_and_degrees() {
+        let g = layered_dag(3, 4, 4, 1);
+        assert_eq!(g.num_vertices(), 14);
+        assert_eq!(g.out_degree(layered_source()), 4);
+        // Fully connected: inner vertices have out-degree `width`.
+        assert_eq!(g.out_degree(VertexId(1)), 4);
+        assert_eq!(g.out_degree(layered_sink(3, 4)), 0);
+    }
+
+    #[test]
+    fn partial_fanout_respects_limit() {
+        let g = layered_dag(4, 6, 2, 5);
+        for layer in 0..3 {
+            for slot in 0..6 {
+                let v = VertexId::from_index(1 + layer * 6 + slot);
+                assert_eq!(g.out_degree(v), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn full_path_count_formula() {
+        assert_eq!(layered_full_path_count(3, 4), 64);
+        assert_eq!(layered_full_path_count(1, 7), 7);
+        assert_eq!(layered_full_path_count(5, 2), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_layers_panics() {
+        layered_dag(0, 3, 2, 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Induced-subgraph extraction with vertex remapping.
+//!
+//! Theorem 1 of the paper: enumeration on `G` is equivalent to enumeration on
+//! the subgraph induced by `{u | sd(s,u) + sd(u,t) <= k}`. Pre-BFS computes
+//! that vertex set and this module extracts the induced subgraph, remapping
+//! surviving vertices to a dense `0..n'` id space so that the device-side
+//! arrays (CSR, barrier) stay small and contiguous.
+
+use crate::csr::{CsrBuilder, CsrGraph};
+use crate::ids::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// An induced subgraph together with the old↔new vertex id mappings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InducedSubgraph {
+    /// The induced subgraph with densely remapped vertex ids.
+    pub graph: CsrGraph,
+    /// `new_of_old[v_old]` is the new id of `v_old`, or [`VertexId::INVALID`]
+    /// if `v_old` was removed.
+    pub new_of_old: Vec<VertexId>,
+    /// `old_of_new[v_new]` is the original id of new vertex `v_new`.
+    pub old_of_new: Vec<VertexId>,
+}
+
+impl InducedSubgraph {
+    /// Maps an original vertex id into the subgraph, if it survived.
+    #[inline]
+    pub fn to_new(&self, old: VertexId) -> Option<VertexId> {
+        let mapped = *self.new_of_old.get(old.index())?;
+        mapped.is_valid().then_some(mapped)
+    }
+
+    /// Maps a subgraph vertex id back to the original graph.
+    #[inline]
+    pub fn to_old(&self, new: VertexId) -> VertexId {
+        self.old_of_new[new.index()]
+    }
+
+    /// Number of vertices kept.
+    pub fn num_kept(&self) -> usize {
+        self.old_of_new.len()
+    }
+
+    /// Translates a path over subgraph ids back into original ids.
+    pub fn translate_path(&self, path: &[VertexId]) -> Vec<VertexId> {
+        path.iter().map(|&v| self.to_old(v)).collect()
+    }
+}
+
+/// Extracts the subgraph of `g` induced by the vertices for which `keep`
+/// returns `true`.
+///
+/// An edge `(u, v)` survives iff both endpoints are kept, exactly matching the
+/// induced-subgraph definition in Section III of the paper.
+pub fn induce_subgraph<F>(g: &CsrGraph, mut keep: F) -> InducedSubgraph
+where
+    F: FnMut(VertexId) -> bool,
+{
+    let n = g.num_vertices();
+    let mut new_of_old = vec![VertexId::INVALID; n];
+    let mut old_of_new = Vec::new();
+    for v in g.vertices() {
+        if keep(v) {
+            new_of_old[v.index()] = VertexId::from_index(old_of_new.len());
+            old_of_new.push(v);
+        }
+    }
+
+    let mut builder = CsrBuilder::new(old_of_new.len());
+    for &old_u in &old_of_new {
+        let new_u = new_of_old[old_u.index()];
+        for &old_v in g.successors(old_u) {
+            let new_v = new_of_old[old_v.index()];
+            if new_v.is_valid() {
+                builder.add_edge(new_u, new_v);
+            }
+        }
+    }
+
+    InducedSubgraph { graph: builder.build(), new_of_old, old_of_new }
+}
+
+/// Extracts the subgraph induced by an explicit vertex set given as a boolean
+/// mask (`mask[v] == true` keeps `v`).
+pub fn induce_from_mask(g: &CsrGraph, mask: &[bool]) -> InducedSubgraph {
+    assert_eq!(mask.len(), g.num_vertices(), "mask length must equal |V|");
+    induce_subgraph(g, |v| mask[v.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrGraph {
+        // 0 -> 1 -> 2 -> 3, 0 -> 3, 1 -> 4 (4 is a dead end)
+        CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (0, 3), (1, 4)])
+    }
+
+    #[test]
+    fn keeping_everything_is_identity_up_to_ids() {
+        let g = sample();
+        let ind = induce_subgraph(&g, |_| true);
+        assert_eq!(ind.graph.num_vertices(), g.num_vertices());
+        assert_eq!(ind.graph.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            assert_eq!(ind.to_new(v), Some(v));
+            assert_eq!(ind.to_old(v), v);
+        }
+    }
+
+    #[test]
+    fn removed_vertices_drop_their_edges() {
+        let g = sample();
+        let ind = induce_subgraph(&g, |v| v != VertexId(4));
+        assert_eq!(ind.graph.num_vertices(), 4);
+        assert_eq!(ind.graph.num_edges(), 4); // the edge 1->4 is gone
+        assert_eq!(ind.to_new(VertexId(4)), None);
+    }
+
+    #[test]
+    fn ids_are_remapped_densely() {
+        let g = sample();
+        let ind = induce_subgraph(&g, |v| v.0 % 2 == 0); // keep 0, 2, 4
+        assert_eq!(ind.num_kept(), 3);
+        assert_eq!(ind.to_old(VertexId(0)), VertexId(0));
+        assert_eq!(ind.to_old(VertexId(1)), VertexId(2));
+        assert_eq!(ind.to_old(VertexId(2)), VertexId(4));
+        // only 2->3 and 0->1, 1->2 cross removed vertices; no kept-kept edges remain
+        assert_eq!(ind.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn translate_path_round_trips() {
+        let g = sample();
+        let ind = induce_subgraph(&g, |v| v != VertexId(4));
+        let new_path: Vec<VertexId> = [0u32, 1, 2, 3]
+            .iter()
+            .map(|&v| ind.to_new(VertexId(v)).unwrap())
+            .collect();
+        let old = ind.translate_path(&new_path);
+        assert_eq!(old, vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
+    }
+
+    #[test]
+    fn mask_variant_matches_closure_variant() {
+        let g = sample();
+        let mask = vec![true, true, false, true, false];
+        let a = induce_from_mask(&g, &mask);
+        let b = induce_subgraph(&g, |v| mask[v.index()]);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.old_of_new, b.old_of_new);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn mask_length_is_checked() {
+        let g = sample();
+        induce_from_mask(&g, &[true, false]);
+    }
+
+    #[test]
+    fn empty_selection_yields_empty_graph() {
+        let g = sample();
+        let ind = induce_subgraph(&g, |_| false);
+        assert_eq!(ind.graph.num_vertices(), 0);
+        assert_eq!(ind.graph.num_edges(), 0);
+        assert_eq!(ind.num_kept(), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Vertex labels and label constraints.
+//!
+//! The paper studies unlabelled graphs but points out (Section I) that label
+//! constraints — e.g. "only consider users of a specific type" in a social
+//! network — can be handled in the preprocessing stage by filtering out the
+//! vertices and edges that do not satisfy the constraint. This module provides
+//! the vertex labelling and the constraint predicate used by that extension
+//! (`pefp_core::labeled`).
+
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// A vertex label (application-defined small integer, e.g. a user type or a
+/// substance category).
+pub type Label = u16;
+
+/// Dense label assignment for one graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexLabels {
+    labels: Vec<Label>,
+}
+
+impl VertexLabels {
+    /// Assigns `label` to every one of `n` vertices.
+    pub fn uniform(n: usize, label: Label) -> Self {
+        VertexLabels { labels: vec![label; n] }
+    }
+
+    /// Builds a labelling from an explicit vector (one entry per vertex).
+    pub fn from_vec(labels: Vec<Label>) -> Self {
+        VertexLabels { labels }
+    }
+
+    /// Assigns labels round-robin from `palette` (deterministic, handy for
+    /// tests and synthetic workloads).
+    pub fn cyclic(n: usize, palette: &[Label]) -> Self {
+        assert!(!palette.is_empty(), "palette must contain at least one label");
+        VertexLabels { labels: (0..n).map(|i| palette[i % palette.len()]).collect() }
+    }
+
+    /// Number of labelled vertices.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the labelling is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The label of vertex `v`.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v.index()]
+    }
+
+    /// Sets the label of vertex `v`.
+    pub fn set(&mut self, v: VertexId, label: Label) {
+        self.labels[v.index()] = label;
+    }
+
+    /// Checks that the labelling covers every vertex of `g`.
+    pub fn covers(&self, g: &CsrGraph) -> bool {
+        self.labels.len() == g.num_vertices()
+    }
+}
+
+/// A label constraint on the *intermediate* vertices of a path (the endpoints
+/// `s` and `t` are always admissible, matching the usual query semantics).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LabelConstraint {
+    /// No constraint: every vertex is admissible.
+    Any,
+    /// Only vertices whose label is in the given set are admissible.
+    OneOf(Vec<Label>),
+    /// Vertices whose label is in the given set are *excluded*.
+    NoneOf(Vec<Label>),
+}
+
+impl LabelConstraint {
+    /// Whether a vertex with `label` may appear as an intermediate vertex.
+    pub fn admits(&self, label: Label) -> bool {
+        match self {
+            LabelConstraint::Any => true,
+            LabelConstraint::OneOf(set) => set.contains(&label),
+            LabelConstraint::NoneOf(set) => !set.contains(&label),
+        }
+    }
+
+    /// Whether the constraint admits every label (i.e. is trivially true).
+    pub fn is_trivial(&self) -> bool {
+        match self {
+            LabelConstraint::Any => true,
+            LabelConstraint::OneOf(_) => false,
+            LabelConstraint::NoneOf(set) => set.is_empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_and_cyclic_labelling() {
+        let u = VertexLabels::uniform(4, 7);
+        assert_eq!(u.label(VertexId(3)), 7);
+        assert_eq!(u.len(), 4);
+        let c = VertexLabels::cyclic(5, &[1, 2]);
+        assert_eq!(c.label(VertexId(0)), 1);
+        assert_eq!(c.label(VertexId(1)), 2);
+        assert_eq!(c.label(VertexId(4)), 1);
+    }
+
+    #[test]
+    fn set_and_covers() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut l = VertexLabels::uniform(3, 0);
+        l.set(VertexId(1), 9);
+        assert_eq!(l.label(VertexId(1)), 9);
+        assert!(l.covers(&g));
+        assert!(!VertexLabels::uniform(2, 0).covers(&g));
+    }
+
+    #[test]
+    fn constraints_admit_the_right_labels() {
+        let one_of = LabelConstraint::OneOf(vec![1, 2]);
+        assert!(one_of.admits(1));
+        assert!(!one_of.admits(3));
+        let none_of = LabelConstraint::NoneOf(vec![5]);
+        assert!(none_of.admits(1));
+        assert!(!none_of.admits(5));
+        assert!(LabelConstraint::Any.admits(42));
+    }
+
+    #[test]
+    fn triviality() {
+        assert!(LabelConstraint::Any.is_trivial());
+        assert!(LabelConstraint::NoneOf(vec![]).is_trivial());
+        assert!(!LabelConstraint::NoneOf(vec![1]).is_trivial());
+        assert!(!LabelConstraint::OneOf(vec![1]).is_trivial());
+    }
+
+    #[test]
+    #[should_panic(expected = "palette")]
+    fn empty_palette_is_rejected() {
+        VertexLabels::cyclic(3, &[]);
+    }
+}

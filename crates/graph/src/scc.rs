@@ -1,0 +1,292 @@
+//! Strongly connected components (Tarjan) and graph condensation.
+//!
+//! The fraud-detection application of the paper (Section I) looks for cycles
+//! through a newly inserted edge `(t, s)`: every s-t k-path closes one cycle.
+//! A cycle can only exist inside a strongly connected component, so SCC
+//! analysis is a useful host-side sanity check and lets the streaming layer
+//! skip enumeration entirely when `s` and `t` sit in different components.
+//! The condensation (the DAG of components) is also used by the dataset
+//! stand-in validation to compare the macro-structure of generated graphs.
+
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+
+/// The strongly connected components of a directed graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccDecomposition {
+    /// Component id of every vertex, in `0..num_components`.
+    ///
+    /// Components are numbered in *reverse topological order* of the
+    /// condensation (a property of Tarjan's algorithm): if there is an edge
+    /// from component `a` to component `b` with `a != b`, then `a > b`.
+    pub component_of: Vec<u32>,
+    /// Number of components found.
+    pub num_components: usize,
+}
+
+impl SccDecomposition {
+    /// The component id of vertex `v`.
+    #[inline]
+    pub fn component(&self, v: VertexId) -> u32 {
+        self.component_of[v.index()]
+    }
+
+    /// Whether `a` and `b` belong to the same strongly connected component,
+    /// i.e. whether there is a cycle through both.
+    #[inline]
+    pub fn same_component(&self, a: VertexId, b: VertexId) -> bool {
+        self.component_of[a.index()] == self.component_of[b.index()]
+    }
+
+    /// Sizes of every component, indexed by component id.
+    pub fn component_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_components];
+        for &c in &self.component_of {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest strongly connected component (0 for an empty graph).
+    pub fn largest_component_size(&self) -> usize {
+        self.component_sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Number of non-trivial components (size ≥ 2), i.e. components that can
+    /// contain a cycle of distinct vertices.
+    pub fn num_nontrivial_components(&self) -> usize {
+        self.component_sizes().into_iter().filter(|&s| s >= 2).count()
+    }
+
+    /// The members of component `c`.
+    pub fn members(&self, c: u32) -> Vec<VertexId> {
+        self.component_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &cc)| cc == c)
+            .map(|(i, _)| VertexId::from_index(i))
+            .collect()
+    }
+}
+
+/// Computes the strongly connected components of `g` using an iterative
+/// Tarjan algorithm (no recursion, so deep graphs cannot overflow the stack).
+pub fn strongly_connected_components(g: &CsrGraph) -> SccDecomposition {
+    let n = g.num_vertices();
+    const UNVISITED: u32 = u32::MAX;
+
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component_of = vec![UNVISITED; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut num_components = 0usize;
+
+    // Explicit DFS frame: (vertex, next successor offset to explore).
+    let mut frames: Vec<(u32, u32)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            let vi = v as usize;
+            if *child == 0 {
+                // First visit of v.
+                index[vi] = next_index;
+                lowlink[vi] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[vi] = true;
+            }
+            let succs = g.successors(VertexId(v));
+            let mut advanced = false;
+            while (*child as usize) < succs.len() {
+                let w = succs[*child as usize];
+                *child += 1;
+                let wi = w.index();
+                if index[wi] == UNVISITED {
+                    frames.push((w.0, 0));
+                    advanced = true;
+                    break;
+                } else if on_stack[wi] {
+                    lowlink[vi] = lowlink[vi].min(index[wi]);
+                }
+            }
+            if advanced {
+                continue;
+            }
+            // All successors of v explored.
+            frames.pop();
+            if let Some(&(parent, _)) = frames.last() {
+                let pi = parent as usize;
+                lowlink[pi] = lowlink[pi].min(lowlink[vi]);
+            }
+            if lowlink[vi] == index[vi] {
+                // v is the root of a component.
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w as usize] = false;
+                    component_of[w as usize] = num_components as u32;
+                    if w == v {
+                        break;
+                    }
+                }
+                num_components += 1;
+            }
+        }
+    }
+
+    SccDecomposition { component_of, num_components }
+}
+
+/// The condensation of a graph: one vertex per strongly connected component,
+/// one edge per pair of components connected by at least one original edge.
+/// The result is always a DAG.
+pub fn condensation(g: &CsrGraph, scc: &SccDecomposition) -> CsrGraph {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for e in g.edges() {
+        let a = scc.component(e.from);
+        let b = scc.component(e.to);
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    CsrGraph::from_edges(scc.num_components, &edges)
+}
+
+/// Returns `true` iff a cycle through both `s` and `t` can exist in `g`,
+/// i.e. `t` can reach `s` and `s` can reach `t`. Used by the streaming cycle
+/// detector to skip hopeless enumerations cheaply.
+pub fn cycle_possible(scc: &SccDecomposition, s: VertexId, t: VertexId) -> bool {
+    scc.same_component(s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vid(v: u32) -> VertexId {
+        VertexId(v)
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components, 1);
+        assert!(scc.same_component(vid(0), vid(3)));
+        assert_eq!(scc.largest_component_size(), 4);
+    }
+
+    #[test]
+    fn dag_has_one_component_per_vertex() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components, 5);
+        assert_eq!(scc.num_nontrivial_components(), 0);
+        assert!(!scc.same_component(vid(0), vid(4)));
+    }
+
+    #[test]
+    fn two_cycles_bridged_by_an_edge_are_two_components() {
+        // 0<->1 and 2<->3, bridge 1->2.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components, 2);
+        assert!(scc.same_component(vid(0), vid(1)));
+        assert!(scc.same_component(vid(2), vid(3)));
+        assert!(!scc.same_component(vid(1), vid(2)));
+        assert_eq!(scc.num_nontrivial_components(), 2);
+    }
+
+    #[test]
+    fn component_numbering_is_reverse_topological() {
+        // 0->1->2 chain of singleton components: edge (a,b) implies comp(a) > comp(b).
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let scc = strongly_connected_components(&g);
+        for e in g.edges() {
+            assert!(scc.component(e.from) > scc.component(e.to));
+        }
+    }
+
+    #[test]
+    fn condensation_is_acyclic_and_collapses_cycles() {
+        // Cycle {0,1,2} -> cycle {3,4} -> vertex 5.
+        let g = CsrGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5)],
+        );
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components, 3);
+        let dag = condensation(&g, &scc);
+        assert_eq!(dag.num_vertices(), 3);
+        assert_eq!(dag.num_edges(), 2);
+        let dag_scc = strongly_connected_components(&dag);
+        assert_eq!(dag_scc.num_components, dag.num_vertices());
+    }
+
+    #[test]
+    fn condensation_deduplicates_parallel_component_edges() {
+        // Two edges from component {0,1} to component {2,3} produce one DAG edge.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (0, 2), (1, 3)]);
+        let scc = strongly_connected_components(&g);
+        let dag = condensation(&g, &scc);
+        assert_eq!(dag.num_edges(), 1);
+    }
+
+    #[test]
+    fn cycle_possible_matches_component_membership() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3)]);
+        let scc = strongly_connected_components(&g);
+        assert!(cycle_possible(&scc, vid(0), vid(1)));
+        assert!(!cycle_possible(&scc, vid(0), vid(3)));
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let g = CsrGraph::empty(0);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components, 0);
+        assert_eq!(scc.largest_component_size(), 0);
+
+        let g = CsrGraph::empty(1);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components, 1);
+        assert_eq!(scc.largest_component_size(), 1);
+    }
+
+    #[test]
+    fn self_loop_is_a_singleton_component() {
+        let g = CsrGraph::from_edges(2, &[(0, 0), (0, 1)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components, 2);
+        assert_eq!(scc.largest_component_size(), 1);
+    }
+
+    #[test]
+    fn members_returns_exactly_the_component() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 0), (2, 3), (3, 4), (4, 2)]);
+        let scc = strongly_connected_components(&g);
+        let c01 = scc.component(vid(0));
+        let mut members = scc.members(c01);
+        members.sort();
+        assert_eq!(members, vec![vid(0), vid(1)]);
+        let c234 = scc.component(vid(2));
+        assert_eq!(scc.members(c234).len(), 3);
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_the_stack() {
+        // 50 000-vertex path: a recursive Tarjan would overflow here.
+        let n = 50_000u32;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components, n as usize);
+    }
+}

@@ -1,0 +1,195 @@
+//! Graph statistics matching the columns of the paper's Table II.
+//!
+//! Table II reports `|V|`, `|E|`, average degree `d_avg`, diameter `D` and the
+//! 90-percentile effective diameter `D90` for each dataset. The reproduction
+//! computes the same statistics for its synthetic stand-ins so `figures --
+//! table2` can print the analogous table, and so dataset generation can be
+//! sanity-checked (e.g. low-diameter stand-ins really are low-diameter).
+//!
+//! Exact diameter is infeasible on larger graphs, so `D` and `D90` are
+//! estimated by BFS from a deterministic sample of source vertices — the same
+//! approach the original dataset-hosting sites (SNAP/KONECT) use for the
+//! published "effective diameter" figures.
+
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Summary statistics of a directed graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of directed edges.
+    pub num_edges: usize,
+    /// Average out-degree `|E| / |V|`.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Estimated diameter: the largest finite BFS eccentricity observed from
+    /// the sampled sources (0 when the graph is empty).
+    pub diameter_estimate: usize,
+    /// Estimated 90-percentile effective diameter: the smallest distance `d`
+    /// such that at least 90% of the *reachable* sampled pairs are within `d`
+    /// hops, linearly interpolated as in the SNAP convention.
+    pub effective_diameter_90: f64,
+    /// Number of BFS sources sampled for the two diameter estimates.
+    pub sampled_sources: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`, sampling `samples` BFS sources for the
+    /// diameter estimates (`0` means "all vertices", which is exact but only
+    /// sensible on small graphs).
+    pub fn compute(g: &CsrGraph, samples: usize) -> GraphStats {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let avg_degree = if n == 0 { 0.0 } else { m as f64 / n as f64 };
+        let max_out_degree = g.max_out_degree();
+
+        let sources: Vec<VertexId> = if samples == 0 || samples >= n {
+            g.vertices().collect()
+        } else {
+            // Deterministic stride sample so stats are reproducible without an RNG.
+            let stride = (n / samples).max(1);
+            (0..n).step_by(stride).take(samples).map(VertexId::from_index).collect()
+        };
+
+        let mut distance_histogram: Vec<u64> = Vec::new();
+        let mut diameter = 0usize;
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        for &s in &sources {
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            queue.clear();
+            dist[s.index()] = 0;
+            queue.push_back(s);
+            while let Some(u) = queue.pop_front() {
+                let du = dist[u.index()];
+                for &v in g.successors(u) {
+                    if dist[v.index()] == u32::MAX {
+                        dist[v.index()] = du + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for &d in dist.iter() {
+                if d != u32::MAX && d > 0 {
+                    let d = d as usize;
+                    if d >= distance_histogram.len() {
+                        distance_histogram.resize(d + 1, 0);
+                    }
+                    distance_histogram[d] += 1;
+                    diameter = diameter.max(d);
+                }
+            }
+        }
+
+        let effective_diameter_90 = effective_diameter(&distance_histogram, 0.9);
+
+        GraphStats {
+            num_vertices: n,
+            num_edges: m,
+            avg_degree,
+            max_out_degree,
+            diameter_estimate: diameter,
+            effective_diameter_90,
+            sampled_sources: sources.len(),
+        }
+    }
+}
+
+/// Computes the `q`-percentile effective diameter from a histogram of pairwise
+/// distances (`histogram[d]` = number of reachable ordered pairs at distance
+/// `d`), with linear interpolation between the two straddling hop counts.
+fn effective_diameter(histogram: &[u64], q: f64) -> f64 {
+    let total: u64 = histogram.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let threshold = q * total as f64;
+    let mut cumulative = 0u64;
+    for (d, &count) in histogram.iter().enumerate() {
+        let next = cumulative + count;
+        if next as f64 >= threshold {
+            if count == 0 {
+                return d as f64;
+            }
+            let prev_frac = cumulative as f64;
+            // Interpolate within hop distance d.
+            let need = threshold - prev_frac;
+            let frac = need / count as f64;
+            return (d as f64 - 1.0) + frac.clamp(0.0, 1.0) + if d == 0 { 1.0 } else { 0.0 };
+        }
+        cumulative = next;
+    }
+    (histogram.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid_graph, small_world};
+
+    #[test]
+    fn path_graph_statistics_are_exact() {
+        // 0 -> 1 -> 2 -> 3
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let s = GraphStats::compute(&g, 0);
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.diameter_estimate, 3);
+        assert!((s.avg_degree - 0.75).abs() < 1e-9);
+        assert_eq!(s.max_out_degree, 1);
+    }
+
+    #[test]
+    fn empty_graph_yields_zero_stats() {
+        let g = CsrGraph::empty(0);
+        let s = GraphStats::compute(&g, 0);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.diameter_estimate, 0);
+        assert_eq!(s.effective_diameter_90, 0.0);
+    }
+
+    #[test]
+    fn effective_diameter_is_below_diameter() {
+        let g = grid_graph(8, 8).to_csr();
+        let s = GraphStats::compute(&g, 0);
+        assert_eq!(s.diameter_estimate, 14);
+        assert!(s.effective_diameter_90 <= 14.0);
+        assert!(s.effective_diameter_90 > 2.0);
+    }
+
+    #[test]
+    fn sampling_uses_at_most_the_requested_sources() {
+        let g = small_world(500, 3, 0.1, 1).to_csr();
+        let s = GraphStats::compute(&g, 16);
+        assert!(s.sampled_sources <= 17);
+        assert!(s.diameter_estimate > 0);
+    }
+
+    #[test]
+    fn effective_diameter_handles_point_mass() {
+        // All pairs at distance 2.
+        let h = vec![0, 0, 100];
+        let d = effective_diameter(&h, 0.9);
+        assert!(d > 1.0 && d <= 2.0, "d = {d}");
+    }
+
+    #[test]
+    fn effective_diameter_empty_histogram_is_zero() {
+        assert_eq!(effective_diameter(&[], 0.9), 0.0);
+        assert_eq!(effective_diameter(&[0, 0, 0], 0.9), 0.0);
+    }
+
+    #[test]
+    fn star_graph_has_diameter_one() {
+        let edges: Vec<(u32, u32)> = (1..10u32).map(|v| (0, v)).collect();
+        let g = CsrGraph::from_edges(10, &edges);
+        let s = GraphStats::compute(&g, 0);
+        assert_eq!(s.diameter_estimate, 1);
+        assert_eq!(s.max_out_degree, 9);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type shared by the host runtime.
+
+use std::fmt;
+
+/// Errors produced by the host-side runtime.
+#[derive(Debug)]
+pub enum HostError {
+    /// Loading or parsing a graph file failed.
+    GraphLoad(String),
+    /// A query string could not be parsed.
+    QueryParse(String),
+    /// A query referenced vertices outside the loaded graph or an unsupported
+    /// hop constraint.
+    QueryInvalid(String),
+    /// A serialised device payload was malformed (bad magic, version,
+    /// truncation or checksum mismatch).
+    PayloadCorrupt(String),
+    /// The prepared payload does not fit into the device DRAM.
+    DeviceCapacity(String),
+    /// No graph has been loaded into the session yet.
+    NoGraphLoaded,
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::GraphLoad(msg) => write!(f, "graph load failed: {msg}"),
+            HostError::QueryParse(msg) => write!(f, "cannot parse query: {msg}"),
+            HostError::QueryInvalid(msg) => write!(f, "invalid query: {msg}"),
+            HostError::PayloadCorrupt(msg) => write!(f, "corrupt device payload: {msg}"),
+            HostError::DeviceCapacity(msg) => write!(f, "device capacity exceeded: {msg}"),
+            HostError::NoGraphLoaded => write!(f, "no graph loaded in this session"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_identify_the_error_class() {
+        let cases: Vec<(HostError, &str)> = vec![
+            (HostError::GraphLoad("x".into()), "graph load failed"),
+            (HostError::QueryParse("x".into()), "cannot parse query"),
+            (HostError::QueryInvalid("x".into()), "invalid query"),
+            (HostError::PayloadCorrupt("x".into()), "corrupt device payload"),
+            (HostError::DeviceCapacity("x".into()), "device capacity exceeded"),
+            (HostError::NoGraphLoaded, "no graph loaded"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn error_trait_object_is_usable() {
+        let err: Box<dyn std::error::Error> = Box::new(HostError::NoGraphLoaded);
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! # pefp-host
+//!
+//! The host side of the CPU–FPGA system described in the paper's framework
+//! overview (Section IV, Fig. 2). The FPGA never sees a file or a text query:
+//! the host loads the graph into main memory, parses incoming queries,
+//! runs the Pre-BFS preprocessing, serialises the prepared subgraph + barrier
+//! into the device's DRAM layout, frames the transfer into DMA descriptors
+//! over PCIe, launches the kernel and collects the results. This crate
+//! implements that runtime around the simulated device of `pefp-fpga`:
+//!
+//! * [`loader`] — load graphs from edge-list files (SNAP/KONECT/plain) or the
+//!   synthetic dataset catalog, with basic validation and statistics.
+//! * [`query`] — parse and validate `QUERY s t k` requests.
+//! * [`binfmt`] — the versioned, checksummed binary layout of the prepared
+//!   query payload written to device DRAM.
+//! * [`dma`] — descriptor-based DMA framing of a payload over the PCIe model.
+//! * [`session`] — a long-lived host session: one loaded graph, many queries,
+//!   per-query records and aggregate statistics.
+//! * [`scheduler`] — batch scheduling of many queries into a single transfer
+//!   (the methodology of Section VII-A), with optional parallel host-side
+//!   preprocessing.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pefp_host::session::{HostSession, SessionConfig};
+//! use pefp_graph::{CsrGraph, VertexId};
+//!
+//! let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+//! let mut session = HostSession::with_graph(g, SessionConfig::default());
+//! let outcome = session.run_text_query("QUERY 0 3 3").unwrap();
+//! assert_eq!(outcome.num_paths, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod binfmt;
+pub mod dma;
+pub mod error;
+pub mod loader;
+pub mod query;
+pub mod scheduler;
+pub mod server;
+pub mod session;
+
+pub use binfmt::{DevicePayload, PayloadHeader};
+pub use dma::{DmaEngine, DmaTransferReport};
+pub use error::HostError;
+pub use loader::{load_dataset, load_edge_list_file, GraphHandle};
+pub use query::QueryRequest;
+pub use scheduler::{BatchOutcome, BatchScheduler, SchedulerConfig};
+pub use server::{handle_line, serve, Reply};
+pub use session::{HostSession, QueryOutcome, SessionConfig, SessionStats};

@@ -1,0 +1,357 @@
+//! Batch scheduling of many queries into one transfer.
+//!
+//! The paper's evaluation methodology (Section VII-A) transfers "the 1,000
+//! queries and their corresponding data graphs (after preprocessing) from the
+//! host to FPGA DRAM at once", which amortises the PCIe setup cost to
+//! 0.1–0.3 ms per query. This module reproduces that batching: it runs the
+//! host-side Pre-BFS for a whole query set (optionally across host threads —
+//! preprocessing is embarrassingly parallel across queries), deduplicates
+//! identical requests, ships the concatenated payloads as a single DMA
+//! transfer and then runs the queries back to back on the device.
+
+use crate::dma::{DmaEngine, DmaTransferReport};
+use crate::error::HostError;
+use crate::loader::GraphHandle;
+use crate::query::QueryRequest;
+use pefp_core::{prepare, run_prepared, PefpVariant, PreparedQuery};
+use pefp_fpga::{DeviceConfig, Pcie};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Device profile.
+    pub device: DeviceConfig,
+    /// PEFP variant used for every query.
+    pub variant: PefpVariant,
+    /// Number of host threads used for preprocessing (1 = sequential).
+    pub preprocess_threads: usize,
+    /// Collapse duplicate `(s, t, k)` requests into one execution.
+    pub dedup: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            device: DeviceConfig::alveo_u200(),
+            variant: PefpVariant::Full,
+            preprocess_threads: 1,
+            dedup: true,
+        }
+    }
+}
+
+/// Per-query result row of a batch run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchQueryResult {
+    /// The request.
+    pub request: QueryRequest,
+    /// Number of result paths.
+    pub num_paths: u64,
+    /// Simulated device time for this query in milliseconds.
+    pub device_millis: f64,
+}
+
+/// The outcome of scheduling one batch.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-query results, in the order the requests were submitted
+    /// (duplicates resolved to the same numbers when deduplication is on).
+    pub results: Vec<BatchQueryResult>,
+    /// Host wall-clock spent in preprocessing for the whole batch (ms).
+    pub preprocess_millis: f64,
+    /// The single batched DMA transfer.
+    pub transfer: DmaTransferReport,
+    /// Total simulated device time (ms).
+    pub device_millis: f64,
+    /// Number of requests that were served from a duplicate's result.
+    pub deduplicated: usize,
+}
+
+impl BatchOutcome {
+    /// Total batch time in milliseconds (preprocess + transfer + device).
+    pub fn total_millis(&self) -> f64 {
+        self.preprocess_millis + self.transfer.total_millis + self.device_millis
+    }
+
+    /// Average per-query total time in milliseconds.
+    pub fn avg_query_millis(&self) -> f64 {
+        if self.results.is_empty() {
+            0.0
+        } else {
+            self.total_millis() / self.results.len() as f64
+        }
+    }
+
+    /// Total number of result paths across the batch.
+    pub fn total_paths(&self) -> u64 {
+        self.results.iter().map(|r| r.num_paths).sum()
+    }
+}
+
+/// Runs batches of queries against one graph.
+#[derive(Debug)]
+pub struct BatchScheduler {
+    config: SchedulerConfig,
+}
+
+impl BatchScheduler {
+    /// Creates a scheduler with `config`.
+    pub fn new(config: SchedulerConfig) -> Self {
+        BatchScheduler { config }
+    }
+
+    /// The scheduler's configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Preprocesses the unique queries, possibly across several host threads.
+    fn preprocess_all(
+        &self,
+        graph: &GraphHandle,
+        unique: &[QueryRequest],
+    ) -> Vec<PreparedQuery> {
+        let threads = self.config.preprocess_threads.max(1).min(unique.len().max(1));
+        if threads <= 1 || unique.len() <= 1 {
+            return unique
+                .iter()
+                .map(|q| prepare(&graph.csr, q.s, q.t, q.k, self.config.variant))
+                .collect();
+        }
+        // Static round-robin split across scoped threads; order is restored
+        // by index so the output lines up with `unique`.
+        let mut prepared: Vec<Option<PreparedQuery>> = vec![None; unique.len()];
+        let chunks: Vec<Vec<(usize, QueryRequest)>> = {
+            let mut chunks = vec![Vec::new(); threads];
+            for (i, q) in unique.iter().enumerate() {
+                chunks[i % threads].push((i, *q));
+            }
+            chunks
+        };
+        let csr = &graph.csr;
+        let variant = self.config.variant;
+        let results: Vec<Vec<(usize, PreparedQuery)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .map(|(i, q)| (i, prepare(csr, q.s, q.t, q.k, variant)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("preprocess thread panicked")).collect()
+        });
+        for chunk in results {
+            for (i, p) in chunk {
+                prepared[i] = Some(p);
+            }
+        }
+        prepared.into_iter().map(|p| p.expect("every query preprocessed")).collect()
+    }
+
+    /// Runs a batch of queries against `graph` and returns the batch outcome.
+    ///
+    /// Every request is validated first; the whole batch is rejected if any
+    /// request is invalid (matching the all-or-nothing transfer).
+    pub fn run_batch(
+        &self,
+        graph: &GraphHandle,
+        requests: &[QueryRequest],
+    ) -> Result<BatchOutcome, HostError> {
+        for q in requests {
+            q.validate(&graph.csr)?;
+        }
+
+        // Deduplicate while remembering each request's slot.
+        let mut unique: Vec<QueryRequest> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(requests.len());
+        if self.config.dedup {
+            let mut index: HashMap<QueryRequest, usize> = HashMap::new();
+            for q in requests {
+                let slot = *index.entry(*q).or_insert_with(|| {
+                    unique.push(*q);
+                    unique.len() - 1
+                });
+                slot_of.push(slot);
+            }
+        } else {
+            unique = requests.to_vec();
+            slot_of = (0..requests.len()).collect();
+        }
+        let deduplicated = requests.len() - unique.len();
+
+        // Host preprocessing (timed as a whole, like the paper's T1).
+        let started = Instant::now();
+        let prepared = self.preprocess_all(graph, &unique);
+        let preprocess_millis = started.elapsed().as_secs_f64() * 1e3;
+
+        // One batched transfer of all payloads.
+        let total_bytes: usize = prepared.iter().map(crate::binfmt::payload_bytes).sum();
+        if total_bytes > self.config.device.dram_bytes {
+            return Err(HostError::DeviceCapacity(format!(
+                "batched payload is {total_bytes} bytes but device DRAM holds {}",
+                self.config.device.dram_bytes
+            )));
+        }
+        let pcie = Pcie::new(self.config.device.pcie_gbps, self.config.device.pcie_setup_us);
+        let mut dma = DmaEngine::with_defaults(pcie);
+        let transfer = dma.transfer(total_bytes);
+
+        // Device execution, one query at a time (the device is a single
+        // kernel; per-query results are what Fig. 8 averages over).
+        let mut options = self.config.variant.engine_options();
+        options.collect_paths = false;
+        let mut unique_results = Vec::with_capacity(unique.len());
+        let mut device_millis = 0.0;
+        for (q, prep) in unique.iter().zip(&prepared) {
+            let result = run_prepared(prep, options.clone(), &self.config.device);
+            device_millis += result.query_millis;
+            unique_results.push(BatchQueryResult {
+                request: *q,
+                num_paths: result.num_paths,
+                device_millis: result.query_millis,
+            });
+        }
+
+        let results = slot_of.iter().map(|&slot| unique_results[slot]).collect();
+        Ok(BatchOutcome { results, preprocess_millis, transfer, device_millis, deduplicated })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pefp_baselines::naive_dfs_enumerate;
+    use pefp_graph::generators::chung_lu;
+    use pefp_graph::sampling::sample_reachable_pairs;
+    use pefp_graph::CsrGraph;
+
+    fn handle() -> GraphHandle {
+        GraphHandle::from_csr("test", chung_lu(250, 5.0, 2.2, 61).to_csr())
+    }
+
+    fn requests(handle: &GraphHandle, k: u32, count: usize) -> Vec<QueryRequest> {
+        sample_reachable_pairs(&handle.csr, k, count, 99)
+            .into_iter()
+            .map(|(s, t)| QueryRequest { s, t, k })
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_match_the_naive_oracle() {
+        let handle = handle();
+        let reqs = requests(&handle, 3, 10);
+        assert!(!reqs.is_empty());
+        let scheduler = BatchScheduler::new(SchedulerConfig::default());
+        let outcome = scheduler.run_batch(&handle, &reqs).unwrap();
+        assert_eq!(outcome.results.len(), reqs.len());
+        for (req, res) in reqs.iter().zip(&outcome.results) {
+            let oracle = naive_dfs_enumerate(&handle.csr, req.s, req.t, req.k).len() as u64;
+            assert_eq!(res.num_paths, oracle, "query {req:?}");
+        }
+        assert!(outcome.transfer.bytes > 0);
+        assert!(outcome.total_millis() > 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_collapsed_but_answered_for_every_slot() {
+        let handle = handle();
+        let base = requests(&handle, 3, 3);
+        assert!(base.len() >= 2);
+        let mut reqs = base.clone();
+        reqs.extend_from_slice(&base); // every query twice
+        let scheduler = BatchScheduler::new(SchedulerConfig::default());
+        let outcome = scheduler.run_batch(&handle, &reqs).unwrap();
+        assert_eq!(outcome.deduplicated, base.len());
+        assert_eq!(outcome.results.len(), reqs.len());
+        for i in 0..base.len() {
+            assert_eq!(outcome.results[i].num_paths, outcome.results[i + base.len()].num_paths);
+        }
+    }
+
+    #[test]
+    fn dedup_can_be_disabled() {
+        let handle = handle();
+        let base = requests(&handle, 3, 2);
+        let mut reqs = base.clone();
+        reqs.extend_from_slice(&base);
+        let scheduler = BatchScheduler::new(SchedulerConfig { dedup: false, ..Default::default() });
+        let outcome = scheduler.run_batch(&handle, &reqs).unwrap();
+        assert_eq!(outcome.deduplicated, 0);
+        assert_eq!(outcome.results.len(), reqs.len());
+    }
+
+    #[test]
+    fn parallel_preprocessing_gives_identical_results() {
+        let handle = handle();
+        let reqs = requests(&handle, 4, 12);
+        let sequential = BatchScheduler::new(SchedulerConfig {
+            preprocess_threads: 1,
+            ..Default::default()
+        })
+        .run_batch(&handle, &reqs)
+        .unwrap();
+        let parallel = BatchScheduler::new(SchedulerConfig {
+            preprocess_threads: 4,
+            ..Default::default()
+        })
+        .run_batch(&handle, &reqs)
+        .unwrap();
+        let seq_counts: Vec<u64> = sequential.results.iter().map(|r| r.num_paths).collect();
+        let par_counts: Vec<u64> = parallel.results.iter().map(|r| r.num_paths).collect();
+        assert_eq!(seq_counts, par_counts);
+    }
+
+    #[test]
+    fn invalid_request_rejects_the_whole_batch() {
+        let handle = handle();
+        let mut reqs = requests(&handle, 3, 3);
+        reqs.push(QueryRequest::new(0, 999_999, 3));
+        let scheduler = BatchScheduler::new(SchedulerConfig::default());
+        assert!(matches!(
+            scheduler.run_batch(&handle, &reqs),
+            Err(HostError::QueryInvalid(_))
+        ));
+    }
+
+    #[test]
+    fn empty_batch_is_a_cheap_no_op() {
+        let handle = handle();
+        let scheduler = BatchScheduler::new(SchedulerConfig::default());
+        let outcome = scheduler.run_batch(&handle, &[]).unwrap();
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.total_paths(), 0);
+        assert_eq!(outcome.avg_query_millis(), 0.0);
+        assert_eq!(outcome.deduplicated, 0);
+    }
+
+    #[test]
+    fn batched_transfer_is_cheaper_than_per_query_transfers() {
+        let handle = GraphHandle::from_csr(
+            "dense",
+            CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5), (1, 4)]),
+        );
+        let reqs: Vec<QueryRequest> = (0..50).map(|_| QueryRequest::new(0, 5, 4)).collect();
+        let scheduler =
+            BatchScheduler::new(SchedulerConfig { dedup: false, ..Default::default() });
+        let outcome = scheduler.run_batch(&handle, &reqs).unwrap();
+        // One transfer for the whole batch, so the per-query share of the
+        // setup cost is far below the standalone setup cost.
+        assert_eq!(outcome.transfer.descriptors >= 1, true);
+        let per_query_transfer = outcome.transfer.total_millis / reqs.len() as f64;
+        let single = {
+            let pcie = Pcie::new(
+                scheduler.config.device.pcie_gbps,
+                scheduler.config.device.pcie_setup_us,
+            );
+            let mut dma = DmaEngine::with_defaults(pcie);
+            dma.transfer(outcome.transfer.bytes / reqs.len()).total_millis
+        };
+        assert!(per_query_transfer < single);
+    }
+}

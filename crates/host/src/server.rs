@@ -1,0 +1,246 @@
+//! Line-oriented query server.
+//!
+//! The paper's system is interactive: a user submits path queries against a
+//! loaded graph and expects answers with low latency (Fig. 2). This module
+//! wraps a [`HostSession`] in a small text protocol so the session can be
+//! driven from a terminal, a pipe or a test harness:
+//!
+//! ```text
+//! > QUERY 0 42 5          enumerate 0 -> 42 paths with at most 5 hops
+//! > COUNT 0 42 5          same, but only report the number of paths
+//! > STATS                  session statistics so far
+//! > GRAPH                  one-line summary of the loaded graph
+//! > HELP                   list the commands
+//! > QUIT                   stop serving
+//! ```
+//!
+//! Every request produces exactly one reply line starting with `OK` or `ERR`,
+//! so the protocol is trivially scriptable.
+
+use crate::error::HostError;
+use crate::query::QueryRequest;
+use crate::session::HostSession;
+use std::io::{BufRead, Write};
+
+/// Maximum number of paths printed inline on an `OK` reply; the rest are
+/// summarised by their count.
+pub const MAX_INLINE_PATHS: usize = 5;
+
+/// The reply to one protocol line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Successful command with a human/machine readable payload.
+    Ok(String),
+    /// Failed command with an error message.
+    Err(String),
+    /// The client asked to stop (`QUIT`); contains the farewell payload.
+    Quit(String),
+}
+
+impl Reply {
+    /// Renders the reply as the single protocol line sent to the client.
+    pub fn render(&self) -> String {
+        match self {
+            Reply::Ok(msg) => format!("OK {msg}"),
+            Reply::Err(msg) => format!("ERR {msg}"),
+            Reply::Quit(msg) => format!("OK {msg}"),
+        }
+    }
+}
+
+fn format_paths(paths: &[Vec<pefp_graph::VertexId>]) -> String {
+    paths
+        .iter()
+        .take(MAX_INLINE_PATHS)
+        .map(|p| {
+            p.iter().map(|v| v.0.to_string()).collect::<Vec<_>>().join("->")
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Executes one protocol line against `session` and returns the reply.
+pub fn handle_line(session: &mut HostSession, line: &str) -> Reply {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Reply::Err("empty command; try HELP".to_string());
+    }
+    let mut parts = trimmed.split_whitespace();
+    let command = parts.next().unwrap_or_default().to_ascii_uppercase();
+    let rest: Vec<&str> = parts.collect();
+
+    match command.as_str() {
+        "HELP" => Reply::Ok(
+            "commands: QUERY <s> <t> <k> | COUNT <s> <t> <k> | GRAPH | STATS | HELP | QUIT"
+                .to_string(),
+        ),
+        "QUIT" | "EXIT" => Reply::Quit("bye".to_string()),
+        "GRAPH" => match session.graph() {
+            Some(handle) => Reply::Ok(handle.summary()),
+            None => Reply::Err(HostError::NoGraphLoaded.to_string()),
+        },
+        "STATS" => {
+            let stats = session.stats();
+            Reply::Ok(format!(
+                "queries={} rejected={} paths={} avg_total_ms={:.3}",
+                stats.queries,
+                stats.rejected,
+                stats.total_paths,
+                stats.avg_total_millis()
+            ))
+        }
+        "QUERY" | "COUNT" => {
+            let spec = rest.join(" ");
+            let request = match QueryRequest::parse(&spec) {
+                Ok(r) => r,
+                Err(e) => return Reply::Err(e.to_string()),
+            };
+            match session.run_query(request) {
+                Ok(outcome) => {
+                    let timing = format!(
+                        "t1_ms={:.3} transfer_ms={:.3} t2_ms={:.3}",
+                        outcome.preprocess_millis,
+                        outcome.transfer.total_millis,
+                        outcome.device_millis
+                    );
+                    if command == "COUNT" || outcome.paths.is_empty() {
+                        Reply::Ok(format!("paths={} {timing}", outcome.num_paths))
+                    } else {
+                        Reply::Ok(format!(
+                            "paths={} {timing} sample: {}",
+                            outcome.num_paths,
+                            format_paths(&outcome.paths)
+                        ))
+                    }
+                }
+                Err(e) => Reply::Err(e.to_string()),
+            }
+        }
+        other => Reply::Err(format!("unknown command {other:?}; try HELP")),
+    }
+}
+
+/// Serves the protocol over a reader/writer pair until `QUIT` or end of
+/// input. Returns the number of lines processed.
+pub fn serve<R: BufRead, W: Write>(
+    session: &mut HostSession,
+    reader: R,
+    mut writer: W,
+) -> std::io::Result<usize> {
+    let mut served = 0usize;
+    for line in reader.lines() {
+        let line = line?;
+        let reply = handle_line(session, &line);
+        writeln!(writer, "{}", reply.render())?;
+        served += 1;
+        if matches!(reply, Reply::Quit(_)) {
+            break;
+        }
+    }
+    Ok(served)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionConfig;
+    use pefp_graph::CsrGraph;
+    use std::io::Cursor;
+
+    fn session() -> HostSession {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        HostSession::with_graph(g, SessionConfig::default())
+    }
+
+    #[test]
+    fn query_command_reports_paths_and_timing() {
+        let mut s = session();
+        let reply = handle_line(&mut s, "QUERY 0 3 3");
+        match reply {
+            Reply::Ok(msg) => {
+                assert!(msg.contains("paths=2"), "{msg}");
+                assert!(msg.contains("t2_ms="));
+                assert!(msg.contains("sample:"));
+                assert!(msg.contains("0->1->3") || msg.contains("0->2->3"));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_command_omits_the_sample() {
+        let mut s = session();
+        match handle_line(&mut s, "count 0 3 3") {
+            Reply::Ok(msg) => {
+                assert!(msg.contains("paths=2"));
+                assert!(!msg.contains("sample:"));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let mut s = session();
+        assert!(matches!(handle_line(&mut s, ""), Reply::Err(_)));
+        assert!(matches!(handle_line(&mut s, "FROBNICATE 1 2 3"), Reply::Err(_)));
+        assert!(matches!(handle_line(&mut s, "QUERY 0 99 3"), Reply::Err(_)));
+        assert!(matches!(handle_line(&mut s, "QUERY a b c"), Reply::Err(_)));
+        // The session is still usable afterwards.
+        assert!(matches!(handle_line(&mut s, "QUERY 0 3 3"), Reply::Ok(_)));
+    }
+
+    #[test]
+    fn stats_and_graph_commands_summarise_the_session() {
+        let mut s = session();
+        handle_line(&mut s, "QUERY 0 3 3");
+        match handle_line(&mut s, "STATS") {
+            Reply::Ok(msg) => {
+                assert!(msg.contains("queries=1"));
+                assert!(msg.contains("paths=2"));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match handle_line(&mut s, "GRAPH") {
+            Reply::Ok(msg) => assert!(msg.contains("4 vertices")),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_processes_a_script_and_stops_at_quit() {
+        let mut s = session();
+        let script = "HELP\nQUERY 0 3 3\nSTATS\nQUIT\nQUERY 0 3 3\n";
+        let mut output = Vec::new();
+        let served = serve(&mut s, Cursor::new(script), &mut output).unwrap();
+        assert_eq!(served, 4, "the line after QUIT is not processed");
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.starts_with("OK") || l.starts_with("ERR")));
+        assert!(lines[1].contains("paths=2"));
+        assert!(lines[3].contains("bye"));
+    }
+
+    #[test]
+    fn serve_handles_end_of_input_without_quit() {
+        let mut s = session();
+        let mut output = Vec::new();
+        let served = serve(&mut s, Cursor::new("GRAPH\n"), &mut output).unwrap();
+        assert_eq!(served, 1);
+    }
+
+    #[test]
+    fn reply_rendering_prefixes_ok_and_err() {
+        assert_eq!(Reply::Ok("x".into()).render(), "OK x");
+        assert_eq!(Reply::Err("y".into()).render(), "ERR y");
+        assert_eq!(Reply::Quit("bye".into()).render(), "OK bye");
+    }
+
+    #[test]
+    fn query_without_a_loaded_graph_is_an_error_reply() {
+        let mut s = HostSession::new(SessionConfig::default());
+        assert!(matches!(handle_line(&mut s, "QUERY 0 1 2"), Reply::Err(_)));
+        assert!(matches!(handle_line(&mut s, "GRAPH"), Reply::Err(_)));
+    }
+}

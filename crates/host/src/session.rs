@@ -1,0 +1,314 @@
+//! Long-lived host sessions.
+//!
+//! A session owns one loaded graph and serves many queries against it — the
+//! shape of the paper's fraud-detection deployment, where the graph stays
+//! resident and `s-t k`-path queries arrive continuously. Each query walks
+//! the full workflow of Fig. 2: parse → Pre-BFS → serialise → DMA transfer →
+//! device enumeration → result collection, and the session keeps a per-query
+//! record plus aggregate statistics.
+
+use crate::binfmt::{encode_payload, payload_bytes};
+use crate::dma::{DmaEngine, DmaTransferReport};
+use crate::error::HostError;
+use crate::loader::GraphHandle;
+use crate::query::QueryRequest;
+use pefp_core::{plan_query, prepare, run_prepared, PefpVariant};
+use pefp_fpga::{DeviceConfig, Pcie};
+use pefp_graph::{CsrGraph, Path};
+use serde::{Deserialize, Serialize};
+
+/// Session-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Device profile queries run against.
+    pub device: DeviceConfig,
+    /// Which PEFP variant to run (the full system by default; the ablation
+    /// variants are exposed for experimentation).
+    pub variant: PefpVariant,
+    /// Use the host-side planner to size the engine per query instead of the
+    /// variant's fixed defaults.
+    pub use_planner: bool,
+    /// Materialise result paths (`true`) or only count them.
+    pub collect_paths: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            device: DeviceConfig::alveo_u200(),
+            variant: PefpVariant::Full,
+            use_planner: false,
+            collect_paths: true,
+        }
+    }
+}
+
+/// The outcome of one query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The request that was served.
+    pub request: QueryRequest,
+    /// Number of result paths.
+    pub num_paths: u64,
+    /// The result paths in the original graph's vertex ids (empty when the
+    /// session runs in counting mode).
+    pub paths: Vec<Path>,
+    /// Host-side preprocessing time (Pre-BFS) in milliseconds — the paper's `T1`.
+    pub preprocess_millis: f64,
+    /// PCIe/DMA transfer report for the prepared payload.
+    pub transfer: DmaTransferReport,
+    /// Simulated device time in milliseconds — the paper's `T2`.
+    pub device_millis: f64,
+}
+
+impl QueryOutcome {
+    /// Total time `T = T1 + transfer + T2` in milliseconds.
+    pub fn total_millis(&self) -> f64 {
+        self.preprocess_millis + self.transfer.total_millis + self.device_millis
+    }
+}
+
+/// Aggregate statistics over all queries served by a session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Queries served successfully.
+    pub queries: u64,
+    /// Queries rejected by parsing/validation.
+    pub rejected: u64,
+    /// Total result paths across all queries.
+    pub total_paths: u64,
+    /// Sum of preprocessing times (ms).
+    pub preprocess_millis: f64,
+    /// Sum of transfer times (ms).
+    pub transfer_millis: f64,
+    /// Sum of device times (ms).
+    pub device_millis: f64,
+}
+
+impl SessionStats {
+    /// Average total time per served query in milliseconds.
+    pub fn avg_total_millis(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            (self.preprocess_millis + self.transfer_millis + self.device_millis)
+                / self.queries as f64
+        }
+    }
+}
+
+/// A host session: one graph, many queries.
+#[derive(Debug)]
+pub struct HostSession {
+    config: SessionConfig,
+    graph: Option<GraphHandle>,
+    dma: DmaEngine,
+    stats: SessionStats,
+}
+
+impl HostSession {
+    /// Creates an empty session (no graph loaded yet).
+    pub fn new(config: SessionConfig) -> Self {
+        let pcie = Pcie::new(config.device.pcie_gbps, config.device.pcie_setup_us);
+        HostSession { config, graph: None, dma: DmaEngine::with_defaults(pcie), stats: SessionStats::default() }
+    }
+
+    /// Creates a session already holding `graph`.
+    pub fn with_graph(graph: CsrGraph, config: SessionConfig) -> Self {
+        let mut session = HostSession::new(config);
+        session.set_graph(GraphHandle::from_csr("inline", graph));
+        session
+    }
+
+    /// Installs (or replaces) the session's graph.
+    pub fn set_graph(&mut self, handle: GraphHandle) {
+        self.graph = Some(handle);
+    }
+
+    /// The loaded graph, if any.
+    pub fn graph(&self) -> Option<&GraphHandle> {
+        self.graph.as_ref()
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Parses, validates and runs a text query (`QUERY s t k`).
+    pub fn run_text_query(&mut self, text: &str) -> Result<QueryOutcome, HostError> {
+        let request = match QueryRequest::parse(text) {
+            Ok(r) => r,
+            Err(e) => {
+                self.stats.rejected += 1;
+                return Err(e);
+            }
+        };
+        self.run_query(request)
+    }
+
+    /// Runs an already-parsed query.
+    pub fn run_query(&mut self, request: QueryRequest) -> Result<QueryOutcome, HostError> {
+        let Some(handle) = self.graph.as_ref() else {
+            self.stats.rejected += 1;
+            return Err(HostError::NoGraphLoaded);
+        };
+        if let Err(e) = request.validate(&handle.csr) {
+            self.stats.rejected += 1;
+            return Err(e);
+        }
+
+        // Host-side preprocessing (Pre-BFS or the variant's fallback).
+        let prepared = prepare(&handle.csr, request.s, request.t, request.k, self.config.variant);
+
+        // Serialise and "transfer" the prepared payload. The encode step also
+        // exercises the binary format so corruption bugs surface in tests.
+        let bytes = payload_bytes(&prepared);
+        debug_assert_eq!(bytes, encode_payload(&prepared).len());
+        if bytes > self.config.device.dram_bytes {
+            self.stats.rejected += 1;
+            return Err(HostError::DeviceCapacity(format!(
+                "prepared payload is {bytes} bytes but device DRAM holds {}",
+                self.config.device.dram_bytes
+            )));
+        }
+        let transfer = self.dma.transfer(bytes);
+
+        // Engine options: planner or the variant's fixed configuration.
+        let mut options = if self.config.use_planner {
+            plan_query(&prepared, &self.config.device).options
+        } else {
+            self.config.variant.engine_options()
+        };
+        options.collect_paths = self.config.collect_paths;
+
+        let result = run_prepared(&prepared, options, &self.config.device);
+
+        let outcome = QueryOutcome {
+            request,
+            num_paths: result.num_paths,
+            paths: result.paths,
+            preprocess_millis: result.preprocess_millis,
+            transfer,
+            device_millis: result.query_millis,
+        };
+        self.stats.queries += 1;
+        self.stats.total_paths += outcome.num_paths;
+        self.stats.preprocess_millis += outcome.preprocess_millis;
+        self.stats.transfer_millis += outcome.transfer.total_millis;
+        self.stats.device_millis += outcome.device_millis;
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pefp_baselines::naive_dfs_enumerate;
+    use pefp_graph::generators::chung_lu;
+    use pefp_graph::paths::canonicalize;
+    use pefp_graph::VertexId;
+
+    fn diamond_session() -> HostSession {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        HostSession::with_graph(g, SessionConfig::default())
+    }
+
+    #[test]
+    fn serves_a_simple_query_end_to_end() {
+        let mut session = diamond_session();
+        let outcome = session.run_text_query("QUERY 0 3 3").unwrap();
+        assert_eq!(outcome.num_paths, 2);
+        assert_eq!(outcome.paths.len(), 2);
+        assert!(outcome.total_millis() > 0.0);
+        assert!(outcome.transfer.bytes > 0);
+        let stats = session.stats();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.total_paths, 2);
+        assert!(stats.avg_total_millis() > 0.0);
+    }
+
+    #[test]
+    fn rejects_queries_without_a_graph() {
+        let mut session = HostSession::new(SessionConfig::default());
+        let err = session.run_query(QueryRequest::new(0, 1, 3)).unwrap_err();
+        assert!(matches!(err, HostError::NoGraphLoaded));
+        assert_eq!(session.stats().rejected, 1);
+    }
+
+    #[test]
+    fn rejects_invalid_queries_and_counts_them() {
+        let mut session = diamond_session();
+        assert!(session.run_text_query("garbage").is_err());
+        assert!(session.run_query(QueryRequest::new(0, 99, 3)).is_err());
+        assert!(session.run_query(QueryRequest::new(0, 0, 3)).is_err());
+        assert_eq!(session.stats().rejected, 3);
+        assert_eq!(session.stats().queries, 0);
+    }
+
+    #[test]
+    fn results_agree_with_the_naive_oracle() {
+        let g = chung_lu(200, 5.0, 2.2, 41).to_csr();
+        let mut session = HostSession::with_graph(g.clone(), SessionConfig::default());
+        for (s, t, k) in [(0u32, 100u32, 4u32), (3, 50, 3), (7, 150, 5)] {
+            let outcome = session.run_query(QueryRequest::new(s, t, k)).unwrap();
+            let oracle = naive_dfs_enumerate(&g, VertexId(s), VertexId(t), k);
+            assert_eq!(outcome.num_paths, oracle.len() as u64, "query {s}->{t} k={k}");
+            assert_eq!(canonicalize(outcome.paths.clone()), canonicalize(oracle));
+        }
+    }
+
+    #[test]
+    fn planner_mode_returns_the_same_results() {
+        let g = chung_lu(200, 5.0, 2.2, 43).to_csr();
+        let mut default_session = HostSession::with_graph(g.clone(), SessionConfig::default());
+        let mut planner_session = HostSession::with_graph(
+            g,
+            SessionConfig { use_planner: true, ..SessionConfig::default() },
+        );
+        let q = QueryRequest::new(0, 120, 4);
+        let a = default_session.run_query(q).unwrap();
+        let b = planner_session.run_query(q).unwrap();
+        assert_eq!(a.num_paths, b.num_paths);
+    }
+
+    #[test]
+    fn counting_mode_omits_path_materialisation() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let mut session = HostSession::with_graph(
+            g,
+            SessionConfig { collect_paths: false, ..SessionConfig::default() },
+        );
+        let outcome = session.run_query(QueryRequest::new(0, 3, 3)).unwrap();
+        assert_eq!(outcome.num_paths, 2);
+        assert!(outcome.paths.is_empty());
+    }
+
+    #[test]
+    fn session_accumulates_statistics_across_queries() {
+        let mut session = diamond_session();
+        for _ in 0..5 {
+            session.run_query(QueryRequest::new(0, 3, 3)).unwrap();
+        }
+        let stats = session.stats();
+        assert_eq!(stats.queries, 5);
+        assert_eq!(stats.total_paths, 10);
+        assert!(stats.preprocess_millis >= 0.0);
+        assert!(stats.device_millis > 0.0);
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_by_capacity_check() {
+        let g = chung_lu(500, 6.0, 2.2, 3).to_csr();
+        let mut config = SessionConfig::default();
+        config.device.dram_bytes = 64; // absurdly small DRAM
+        let mut session = HostSession::with_graph(g, config);
+        let err = session.run_query(QueryRequest::new(0, 250, 5)).unwrap_err();
+        assert!(matches!(err, HostError::DeviceCapacity(_)));
+    }
+}

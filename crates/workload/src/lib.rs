@@ -1,0 +1,28 @@
+//! # pefp-workload
+//!
+//! Experiment infrastructure for the PEFP reproduction: query-pair generation
+//! matching the paper's methodology, a runner that times PEFP (and its
+//! ablation variants) against the JOIN baseline, and per-figure drivers that
+//! regenerate every table and figure of the paper's evaluation (Section VII).
+//!
+//! The crate deliberately mirrors the paper's measurement conventions:
+//!
+//! * `T1` — preprocessing time (host wall-clock for both systems),
+//! * `T2` — query processing time (simulated device time for PEFP, host
+//!   wall-clock for JOIN),
+//! * `T = T1 + T2` — total time,
+//! * 1 000 random reachable `(s, t)` pairs per dataset in the paper; the
+//!   number is configurable here so the suite stays laptop-sized.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod figures;
+pub mod queries;
+pub mod report;
+pub mod runner;
+
+pub use figures::{FigureResult, FigureSpec};
+pub use queries::{generate_queries, QueryPair};
+pub use report::{Series, TableReport};
+pub use runner::{ExperimentConfig, MethodTiming, QueryComparison, Runner};

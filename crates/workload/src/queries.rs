@@ -1,0 +1,93 @@
+//! Query-pair generation.
+//!
+//! Section VII-A: "We randomly generate 1,000 query pairs {s, t} for each
+//! dataset with hop constraint k, where the source vertex s could reach target
+//! vertex t in k hops." This module reproduces that sampling procedure with a
+//! seedable RNG so every experiment is repeatable.
+
+use pefp_graph::bfs::{khop_bfs, UNREACHED};
+use pefp_graph::{CsrGraph, VertexId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One query: enumerate all s-t simple paths with at most `k` hops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QueryPair {
+    /// Source vertex.
+    pub s: VertexId,
+    /// Target vertex.
+    pub t: VertexId,
+}
+
+/// Generates `count` query pairs such that `t` is reachable from `s` within
+/// `k` hops and `s != t`.
+///
+/// Sources are sampled uniformly; for each accepted source a target is drawn
+/// uniformly from its k-hop forward ball. Sources whose ball contains no other
+/// vertex are rejected and re-drawn (bounded retries so pathological graphs
+/// cannot loop forever — if the graph has no reachable pair at all the
+/// returned vector is simply shorter than requested).
+pub fn generate_queries(g: &CsrGraph, k: u32, count: usize, seed: u64) -> Vec<QueryPair> {
+    let n = g.num_vertices();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut queries = Vec::with_capacity(count);
+    let max_attempts = count * 50 + 100;
+    let mut attempts = 0;
+    while queries.len() < count && attempts < max_attempts {
+        attempts += 1;
+        let s = VertexId(rng.gen_range(0..n as u32));
+        let dist = khop_bfs(g, s, k);
+        let reachable: Vec<VertexId> = g
+            .vertices()
+            .filter(|v| *v != s && dist[v.index()] != UNREACHED)
+            .collect();
+        if reachable.is_empty() {
+            continue;
+        }
+        let t = *reachable.choose(&mut rng).expect("non-empty");
+        queries.push(QueryPair { s, t });
+    }
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pefp_graph::generators::chung_lu;
+
+    #[test]
+    fn queries_are_reachable_within_k() {
+        let g = chung_lu(200, 5.0, 2.2, 1).to_csr();
+        let k = 4;
+        let qs = generate_queries(&g, k, 25, 7);
+        assert_eq!(qs.len(), 25);
+        for q in &qs {
+            assert_ne!(q.s, q.t);
+            let dist = khop_bfs(&g, q.s, k);
+            assert_ne!(dist[q.t.index()], UNREACHED, "target not reachable for {q:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = chung_lu(150, 5.0, 2.2, 2).to_csr();
+        let a = generate_queries(&g, 4, 10, 99);
+        let b = generate_queries(&g, 4, 10, 99);
+        let c = generate_queries(&g, 4, 10, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn graphs_without_reachable_pairs_return_fewer_queries() {
+        let g = CsrGraph::empty(10);
+        assert!(generate_queries(&g, 3, 5, 1).is_empty());
+        let tiny = CsrGraph::empty(1);
+        assert!(generate_queries(&tiny, 3, 5, 1).is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! # pefp
+//!
+//! Facade crate for the PEFP reproduction ("PEFP: Efficient k-hop Constrained
+//! s-t Simple Path Enumeration on FPGA", ICDE 2021). It re-exports the public
+//! API of the workspace crates so applications can depend on a single crate:
+//!
+//! * [`graph`] — graph substrate: CSR graphs, generators, dataset catalog.
+//! * [`fpga`] — the simulated FPGA device (BRAM/DRAM/PCIe/pipeline cost model).
+//! * [`core`] — Pre-BFS preprocessing and the PEFP enumeration engine.
+//! * [`baselines`] — CPU baselines (JOIN, BC-DFS, T-DFS, T-DFS2, HP-Index).
+//! * [`workload`] — query workloads, experiment runner and figure drivers.
+//!
+//! The most common entry point is [`enumerate_paths`], which runs the full
+//! PEFP pipeline (Pre-BFS + simulated device enumeration) and returns the
+//! result paths:
+//!
+//! ```
+//! use pefp::{enumerate_paths, graph::CsrGraph, graph::VertexId};
+//!
+//! let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+//! let result = enumerate_paths(&g, VertexId(0), VertexId(3), 3);
+//! assert_eq!(result.num_paths, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Re-export of `pefp-graph`.
+pub use pefp_graph as graph;
+
+/// Re-export of `pefp-fpga`.
+pub use pefp_fpga as fpga;
+
+/// Re-export of `pefp-core`.
+pub use pefp_core as core;
+
+/// Re-export of `pefp-baselines`.
+pub use pefp_baselines as baselines;
+
+/// Re-export of `pefp-workload`.
+pub use pefp_workload as workload;
+
+/// Re-export of `pefp-host` (host runtime: loading, sessions, DMA, batching).
+pub use pefp_host as host;
+
+/// Re-export of `pefp-streaming` (dynamic graphs and real-time cycle detection).
+pub use pefp_streaming as streaming;
+
+use pefp_core::{run_query, PefpRunResult, PefpVariant};
+use pefp_fpga::DeviceConfig;
+use pefp_graph::{CsrGraph, VertexId};
+
+/// Enumerates all s-t simple paths with at most `k` hops using the full PEFP
+/// system on the default Alveo U200 device profile.
+///
+/// This is the one-call entry point used by the examples; for finer control
+/// (variants, engine options, custom device profiles) use
+/// [`core::run_query_with_options`].
+pub fn enumerate_paths(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> PefpRunResult {
+    run_query(g, s, t, k, PefpVariant::Full, &DeviceConfig::alveo_u200())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_entry_point_runs_the_full_pipeline() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 4), (0, 3), (3, 4)]);
+        let result = enumerate_paths(&g, VertexId(0), VertexId(4), 4);
+        assert_eq!(result.num_paths, 2);
+        assert!(result.query_millis > 0.0);
+    }
+}

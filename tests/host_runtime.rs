@@ -1,0 +1,131 @@
+//! Cross-crate integration tests of the host runtime: text query → session →
+//! payload serialisation → DMA → simulated device → results, checked against
+//! the CPU baselines.
+
+use pefp::baselines::{naive_dfs_enumerate, Join};
+use pefp::core::pre_bfs;
+use pefp::graph::paths::canonicalize;
+use pefp::graph::sampling::sample_reachable_pairs;
+use pefp::graph::{Dataset, ScaleProfile};
+use pefp::host::binfmt::{decode_payload, encode_payload};
+use pefp::host::{
+    BatchScheduler, GraphHandle, HostError, HostSession, QueryRequest, SchedulerConfig,
+    SessionConfig,
+};
+
+fn dataset_handle(dataset: Dataset) -> GraphHandle {
+    GraphHandle::from_csr(
+        format!("test:{}", dataset.code()),
+        dataset.generate(ScaleProfile::Tiny).to_csr(),
+    )
+}
+
+#[test]
+fn session_results_match_join_and_naive_on_a_dataset_standin() {
+    let handle = dataset_handle(Dataset::SocEpinions);
+    let g = handle.csr.clone();
+    let mut session = HostSession::with_graph(g.clone(), SessionConfig::default());
+
+    let k = 4;
+    let pairs = sample_reachable_pairs(&g, k, 5, 0xA11CE);
+    assert!(!pairs.is_empty(), "workload sampler found no reachable pairs");
+    for (s, t) in pairs {
+        let outcome = session.run_query(QueryRequest { s, t, k }).unwrap();
+        let naive = naive_dfs_enumerate(&g, s, t, k);
+        let join = Join::new().enumerate(&g, s, t, k);
+        assert_eq!(outcome.num_paths, naive.len() as u64, "{s}->{t}");
+        assert_eq!(canonicalize(outcome.paths.clone()), canonicalize(naive));
+        assert_eq!(outcome.num_paths, join.len() as u64);
+    }
+    assert_eq!(session.stats().rejected, 0);
+}
+
+#[test]
+fn text_protocol_round_trips_through_the_session() {
+    let handle = dataset_handle(Dataset::TwitterSocial);
+    let mut session = HostSession::with_graph(handle.csr.clone(), SessionConfig::default());
+    let pairs = sample_reachable_pairs(&handle.csr, 5, 1, 7);
+    let Some(&(s, t)) = pairs.first() else {
+        panic!("no reachable pair in the stand-in");
+    };
+    let text = format!("QUERY {} {} 5", s.0, t.0);
+    let outcome = session.run_text_query(&text).unwrap();
+    assert_eq!(outcome.request.to_wire(), text);
+    let oracle = naive_dfs_enumerate(&handle.csr, s, t, 5);
+    assert_eq!(outcome.num_paths, oracle.len() as u64);
+}
+
+#[test]
+fn payload_survives_the_wire_for_every_dataset_standin() {
+    for dataset in Dataset::all() {
+        let g = dataset.generate(ScaleProfile::Tiny).to_csr();
+        let pairs = sample_reachable_pairs(&g, 4, 1, 0xBEEF);
+        let Some(&(s, t)) = pairs.first() else { continue };
+        let prepared = pre_bfs(&g, s, t, 4);
+        if prepared.graph.num_vertices() == 0 {
+            continue;
+        }
+        let bytes = encode_payload(&prepared);
+        let decoded = decode_payload(&bytes)
+            .unwrap_or_else(|e| panic!("{}: decode failed: {e}", dataset.code()));
+        assert_eq!(decoded.graph, prepared.graph, "{}", dataset.code());
+        assert_eq!(decoded.barrier, prepared.barrier, "{}", dataset.code());
+        assert_eq!(decoded.header.k, 4);
+    }
+}
+
+#[test]
+fn batch_scheduler_agrees_with_interactive_sessions() {
+    let handle = dataset_handle(Dataset::Amazon);
+    let k = 6;
+    let requests: Vec<QueryRequest> = sample_reachable_pairs(&handle.csr, k, 8, 42)
+        .into_iter()
+        .map(|(s, t)| QueryRequest { s, t, k })
+        .collect();
+    assert!(!requests.is_empty());
+
+    let scheduler = BatchScheduler::new(SchedulerConfig {
+        preprocess_threads: 2,
+        ..SchedulerConfig::default()
+    });
+    let outcome = scheduler.run_batch(&handle, &requests).unwrap();
+
+    let mut session = HostSession::with_graph(
+        handle.csr.clone(),
+        SessionConfig { collect_paths: false, ..SessionConfig::default() },
+    );
+    for (req, batch_row) in requests.iter().zip(&outcome.results) {
+        let interactive = session.run_query(*req).unwrap();
+        assert_eq!(interactive.num_paths, batch_row.num_paths, "{req:?}");
+    }
+}
+
+#[test]
+fn invalid_input_is_rejected_at_every_layer() {
+    let handle = dataset_handle(Dataset::Reactome);
+    let n = handle.csr.num_vertices() as u32;
+    let mut session = HostSession::with_graph(handle.csr.clone(), SessionConfig::default());
+
+    // Parse layer.
+    assert!(matches!(
+        session.run_text_query("QUERY one two three"),
+        Err(HostError::QueryParse(_))
+    ));
+    // Validation layer.
+    assert!(matches!(
+        session.run_query(QueryRequest::new(0, n + 5, 3)),
+        Err(HostError::QueryInvalid(_))
+    ));
+    // Payload layer (corrupted bytes).
+    let pairs = sample_reachable_pairs(&handle.csr, 3, 1, 1);
+    let (s, t) = pairs[0];
+    let prepared = pre_bfs(&handle.csr, s, t, 3);
+    let mut bytes = encode_payload(&prepared).to_vec();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    assert!(matches!(decode_payload(&bytes), Err(HostError::PayloadCorrupt(_))));
+    // Scheduler layer (whole batch rejected).
+    let scheduler = BatchScheduler::new(SchedulerConfig::default());
+    let bad = vec![QueryRequest::new(0, 1, 3), QueryRequest::new(0, n + 1, 3)];
+    assert!(scheduler.run_batch(&handle, &bad).is_err());
+}

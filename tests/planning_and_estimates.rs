@@ -1,0 +1,108 @@
+//! Integration tests for the host-side planner, the result-size estimators
+//! and the resource model: sizing decisions must never change query answers,
+//! estimates must bound reality, and the default configuration must fit the
+//! card the paper uses.
+
+use pefp::core::{
+    count_simple_paths, count_st_walks, plan_query, prepare, run_prepared, PefpVariant,
+    QueryEstimate,
+};
+use pefp::fpga::{DeviceConfig, ModuleCosts, ResourceBudget, ResourceEstimate};
+use pefp::graph::sampling::sample_reachable_pairs;
+use pefp::graph::{Dataset, ScaleProfile};
+
+#[test]
+fn planner_never_changes_the_answer_across_datasets() {
+    let device = DeviceConfig::alveo_u200();
+    for dataset in [Dataset::Reactome, Dataset::WikiTalk, Dataset::BerkStan, Dataset::Amazon] {
+        let g = dataset.generate(ScaleProfile::Tiny).to_csr();
+        let k = 4;
+        for (s, t) in sample_reachable_pairs(&g, k, 3, 0xD1CE) {
+            let prepared = prepare(&g, s, t, k, PefpVariant::Full);
+            let plan = plan_query(&prepared, &device);
+            assert!(plan.options.validate().is_empty(), "{}", dataset.code());
+            let planned = run_prepared(&prepared, plan.options.clone(), &device);
+            let default = run_prepared(&prepared, PefpVariant::Full.engine_options(), &device);
+            assert_eq!(planned.num_paths, default.num_paths, "{} {s}->{t}", dataset.code());
+        }
+    }
+}
+
+#[test]
+fn walk_count_bounds_the_simple_path_count_and_the_engine_output() {
+    let device = DeviceConfig::alveo_u200();
+    let g = Dataset::SocEpinions.generate(ScaleProfile::Tiny).to_csr();
+    let k = 4;
+    for (s, t) in sample_reachable_pairs(&g, k, 5, 3) {
+        let walks = count_st_walks(&g, s, t, k);
+        let exact = count_simple_paths(&g, s, t, k);
+        assert!(walks >= exact, "walks {walks} < exact {exact}");
+
+        let prepared = prepare(&g, s, t, k, PefpVariant::Full);
+        let result = run_prepared(&prepared, PefpVariant::Full.engine_options(), &device);
+        assert_eq!(result.num_paths, exact, "engine must be exact");
+
+        let estimate = QueryEstimate::compute(&prepared.graph, prepared.s, prepared.t, prepared.k);
+        assert!(estimate.max_results >= result.num_paths);
+        assert!(estimate.max_intermediate_paths >= result.stats.intermediate_paths.min(u64::MAX));
+    }
+}
+
+#[test]
+fn pruned_graph_estimates_are_never_larger_than_raw_graph_estimates() {
+    let g = Dataset::Baidu.generate(ScaleProfile::Tiny).to_csr();
+    let k = 5;
+    for (s, t) in sample_reachable_pairs(&g, k, 5, 17) {
+        let raw = QueryEstimate::compute(&g, s, t, k);
+        let prepared = prepare(&g, s, t, k, PefpVariant::Full);
+        let pruned =
+            QueryEstimate::compute(&prepared.graph, prepared.s, prepared.t, prepared.k);
+        assert!(pruned.max_results <= raw.max_results);
+        assert!(pruned.max_intermediate_paths <= raw.max_intermediate_paths);
+    }
+}
+
+#[test]
+fn planned_configurations_fit_the_alveo_u200_budget() {
+    let device = DeviceConfig::alveo_u200();
+    for dataset in Dataset::all() {
+        let g = dataset.generate(ScaleProfile::Tiny).to_csr();
+        let Some(&(s, t)) = sample_reachable_pairs(&g, 5, 1, 23).first() else { continue };
+        let prepared = prepare(&g, s, t, 5, PefpVariant::Full);
+        let plan = plan_query(&prepared, &device);
+        assert!(
+            plan.fits_device(),
+            "{}: {:?}",
+            dataset.code(),
+            plan.resources.violations()
+        );
+    }
+}
+
+#[test]
+fn default_engine_configuration_fits_with_headroom_but_an_absurd_one_does_not() {
+    let device = DeviceConfig::alveo_u200();
+    let areas = pefp::fpga::OnChipAreas {
+        buffer_bytes: 8_192 * 136,
+        processing_bytes: 1_024 * 136,
+        graph_cache_bytes: 2 << 20,
+        barrier_cache_bytes: 256 << 10,
+        fifo_bytes: device.verification_lanes * 2 * 136,
+    };
+    let default_estimate = ResourceEstimate::estimate(
+        device.verification_lanes,
+        &areas,
+        &ModuleCosts::default(),
+        ResourceBudget::alveo_u200(),
+    );
+    assert!(default_estimate.fits());
+    assert!(default_estimate.lut_utilisation() < 0.5);
+
+    let monster = ResourceEstimate::estimate(
+        4_000,
+        &areas,
+        &ModuleCosts::default(),
+        ResourceBudget::alveo_u200(),
+    );
+    assert!(!monster.fits());
+}

@@ -1,0 +1,136 @@
+//! Property-based tests over randomly generated graphs and streams, covering
+//! the invariants introduced by the host and streaming layers plus the new
+//! baselines and estimators.
+
+use proptest::prelude::*;
+
+use pefp::baselines::{naive_dfs_enumerate, yen_enumerate};
+use pefp::core::{count_simple_paths, count_st_walks, pre_bfs};
+use pefp::enumerate_paths;
+use pefp::graph::paths::canonicalize;
+use pefp::graph::{CsrGraph, VertexId};
+use pefp::host::binfmt::{decode_payload, encode_payload};
+use pefp::streaming::DynamicGraph;
+
+/// Strategy: a random directed graph with up to `max_n` vertices and a
+/// bounded number of random edges (self-loops filtered out).
+fn arb_graph(max_n: u32, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_m).prop_map(move |mut edges| {
+            edges.retain(|(a, b)| a != b);
+            edges.sort_unstable();
+            edges.dedup();
+            CsrGraph::from_edges(n as usize, &edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Yen's ranking reduction enumerates exactly the same path set as the
+    /// bounded-DFS oracle.
+    #[test]
+    fn yen_matches_naive_dfs((g, s, t, k) in arb_graph(24, 70).prop_flat_map(|g| {
+        let n = g.num_vertices() as u32;
+        (Just(g), 0..n, 0..n, 1u32..5)
+    })) {
+        prop_assume!(s != t);
+        let yen = canonicalize(yen_enumerate(&g, VertexId(s), VertexId(t), k));
+        let oracle = canonicalize(naive_dfs_enumerate(&g, VertexId(s), VertexId(t), k));
+        prop_assert_eq!(yen, oracle);
+    }
+
+    /// The walk-count estimator upper-bounds the exact simple-path count, and
+    /// the exact count matches the enumeration length.
+    #[test]
+    fn counting_bounds_hold((g, s, t, k) in arb_graph(20, 60).prop_flat_map(|g| {
+        let n = g.num_vertices() as u32;
+        (Just(g), 0..n, 0..n, 1u32..5)
+    })) {
+        prop_assume!(s != t);
+        let s = VertexId(s);
+        let t = VertexId(t);
+        let exact = count_simple_paths(&g, s, t, k);
+        let walks = count_st_walks(&g, s, t, k);
+        prop_assert!(walks >= exact);
+        let enumerated = naive_dfs_enumerate(&g, s, t, k).len() as u64;
+        prop_assert_eq!(exact, enumerated);
+    }
+
+    /// The full pipeline (facade entry point) agrees with the oracle on
+    /// arbitrary graphs.
+    #[test]
+    fn pefp_pipeline_matches_oracle((g, s, t, k) in arb_graph(22, 66).prop_flat_map(|g| {
+        let n = g.num_vertices() as u32;
+        (Just(g), 0..n, 0..n, 1u32..5)
+    })) {
+        prop_assume!(s != t);
+        let s = VertexId(s);
+        let t = VertexId(t);
+        let result = enumerate_paths(&g, s, t, k);
+        let oracle = naive_dfs_enumerate(&g, s, t, k);
+        prop_assert_eq!(result.num_paths, oracle.len() as u64);
+        prop_assert_eq!(canonicalize(result.paths), canonicalize(oracle));
+    }
+
+    /// The device payload format round-trips every prepared query.
+    #[test]
+    fn payload_round_trip((g, s, t, k) in arb_graph(30, 90).prop_flat_map(|g| {
+        let n = g.num_vertices() as u32;
+        (Just(g), 0..n, 0..n, 1u32..6)
+    })) {
+        prop_assume!(s != t);
+        let prepared = pre_bfs(&g, VertexId(s), VertexId(t), k);
+        let bytes = encode_payload(&prepared);
+        let decoded = decode_payload(&bytes).unwrap();
+        prop_assert_eq!(decoded.graph, prepared.graph);
+        prop_assert_eq!(decoded.barrier, prepared.barrier);
+        prop_assert_eq!(decoded.header.k, prepared.k);
+    }
+
+    /// Building a graph through dynamic insertions (in any order, with
+    /// duplicate inserts) snapshots to exactly the statically built CSR.
+    #[test]
+    fn dynamic_graph_snapshot_equals_static_build(
+        edges in proptest::collection::vec((0u32..40, 0u32..40), 0..160),
+    ) {
+        let clean: Vec<(u32, u32)> = {
+            let mut e: Vec<(u32, u32)> = edges.iter().copied().filter(|(a, b)| a != b).collect();
+            e.sort_unstable();
+            e.dedup();
+            e
+        };
+        let n = 40usize;
+        let static_graph = CsrGraph::from_edges(n, &clean);
+        let mut dynamic = DynamicGraph::with_vertices(n);
+        for (i, &(a, b)) in edges.iter().enumerate() {
+            if a != b {
+                dynamic.insert_edge(VertexId(a), VertexId(b), i as u64);
+            }
+        }
+        prop_assert_eq!(dynamic.snapshot_csr(), static_graph);
+        prop_assert_eq!(dynamic.num_edges(), clean.len());
+    }
+
+    /// Pre-BFS never drops a result: enumeration on the pruned graph
+    /// (translated back) equals enumeration on the original graph.
+    #[test]
+    fn pre_bfs_preserves_all_results((g, s, t, k) in arb_graph(26, 80).prop_flat_map(|g| {
+        let n = g.num_vertices() as u32;
+        (Just(g), 0..n, 0..n, 1u32..5)
+    })) {
+        prop_assume!(s != t);
+        let s = VertexId(s);
+        let t = VertexId(t);
+        let prepared = pre_bfs(&g, s, t, k);
+        let original = canonicalize(naive_dfs_enumerate(&g, s, t, k));
+        let pruned = if prepared.feasible {
+            let on_sub = naive_dfs_enumerate(&prepared.graph, prepared.s, prepared.t, prepared.k);
+            canonicalize(on_sub.iter().map(|p| prepared.translate_path(p)).collect())
+        } else {
+            Vec::new()
+        };
+        prop_assert_eq!(pruned, original);
+    }
+}
