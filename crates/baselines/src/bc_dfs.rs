@@ -66,7 +66,13 @@ impl BcDfs {
 
     /// Enumerates all simple paths from `s` to `t` with at most `max_hops`
     /// hops (`max_hops <= k`), using and updating the learned barriers.
-    pub fn enumerate(&mut self, g: &CsrGraph, s: VertexId, t: VertexId, max_hops: u32) -> Vec<Path> {
+    pub fn enumerate(
+        &mut self,
+        g: &CsrGraph,
+        s: VertexId,
+        t: VertexId,
+        max_hops: u32,
+    ) -> Vec<Path> {
         assert!(max_hops <= self.k, "max_hops {} exceeds the preprocessed k {}", max_hops, self.k);
         let mut results = Vec::new();
         if s.index() >= g.num_vertices() || t.index() >= g.num_vertices() {
@@ -219,10 +225,7 @@ mod tests {
     fn learned_barriers_increase_monotonically() {
         // A graph where vertex 2 can reach t but only via a path longer than
         // the remaining budget when entered deep in the search.
-        let g = CsrGraph::from_edges(
-            7,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 2), (5, 6)],
-        );
+        let g = CsrGraph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 2), (5, 6)]);
         let t = VertexId(6);
         let mut searcher = BcDfs::new(&g, t, 4);
         let before = searcher.barrier(VertexId(2));

@@ -119,7 +119,7 @@ impl Join {
         // from sdt) is shared across all suffix enumerations.
         let mut searcher = BcDfs::with_barrier(prep.sdt.clone(), k);
         let mut suffixes: HashMap<VertexId, Vec<Path>> = HashMap::new();
-        for (&u, _) in &prefixes {
+        for &u in prefixes.keys() {
             let paths = searcher.enumerate(g, u, t, half_ceil);
             if !paths.is_empty() {
                 suffixes.insert(u, paths);
@@ -177,8 +177,7 @@ impl Join {
         max_hops: u32,
         is_middle: &[bool],
     ) -> HashMap<VertexId, Vec<Path>> {
-        let middles: Vec<VertexId> =
-            g.vertices().filter(|v| is_middle[v.index()]).collect();
+        let middles: Vec<VertexId> = g.vertices().filter(|v| is_middle[v.index()]).collect();
         let rev = g.reverse();
         let dist_to_middle = khop_bfs_multi(&rev, &middles, max_hops);
 
@@ -192,7 +191,15 @@ impl Join {
         if is_middle[s.index()] {
             grouped.entry(s).or_default().push(vec![s]);
         }
-        Self::prefix_dfs(g, max_hops, is_middle, &dist_to_middle, &mut stack, &mut on_path, &mut grouped);
+        Self::prefix_dfs(
+            g,
+            max_hops,
+            is_middle,
+            &dist_to_middle,
+            &mut stack,
+            &mut on_path,
+            &mut grouped,
+        );
         grouped
     }
 
@@ -247,7 +254,9 @@ impl Join {
 mod tests {
     use super::*;
     use crate::naive::naive_dfs_enumerate;
-    use pefp_graph::generators::{chung_lu, layered_dag, layered_sink, layered_source, small_world};
+    use pefp_graph::generators::{
+        chung_lu, layered_dag, layered_sink, layered_source, small_world,
+    };
     use pefp_graph::paths::{canonicalize, validate_result};
 
     fn check_against_naive(g: &CsrGraph, s: u32, t: u32, k: u32) {

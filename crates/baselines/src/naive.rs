@@ -102,7 +102,9 @@ pub fn naive_bfs_enumerate(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> Ve
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pefp_graph::generators::{layered_dag, layered_full_path_count, layered_sink, layered_source};
+    use pefp_graph::generators::{
+        layered_dag, layered_full_path_count, layered_sink, layered_source,
+    };
     use pefp_graph::paths::{canonicalize, validate_result};
 
     fn diamond() -> CsrGraph {

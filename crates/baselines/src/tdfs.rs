@@ -104,7 +104,7 @@ mod tests {
         // A graph with a long dead-end branch: T-DFS must not enter it.
         let mut edges = vec![(0u32, 1u32), (1, 5)];
         for i in 0..20u32 {
-            edges.push((1 + i * 0, 6 + i)); // 1 -> 6.., dead ends
+            edges.push((1, 6 + i)); // 1 -> 6.., dead ends
         }
         let g = CsrGraph::from_edges(30, &edges);
         let r = tdfs_enumerate(&g, VertexId(0), VertexId(5), 3);

@@ -27,11 +27,7 @@ struct Candidate {
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; invert so shorter paths pop first.
-        other
-            .path
-            .len()
-            .cmp(&self.path.len())
-            .then_with(|| other.path.cmp(&self.path))
+        other.path.len().cmp(&self.path.len()).then_with(|| other.path.cmp(&self.path))
     }
 }
 
@@ -111,9 +107,7 @@ pub fn yen_enumerate(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> Vec<Path
     }
 
     // First shortest path.
-    let Some(first) =
-        restricted_shortest_path(g, s, t, &HashSet::new(), &HashSet::new())
-    else {
+    let Some(first) = restricted_shortest_path(g, s, t, &HashSet::new(), &HashSet::new()) else {
         return results;
     };
     if (first.len() - 1) as u32 > k {
@@ -141,8 +135,7 @@ pub fn yen_enumerate(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> Vec<Path
                 }
             }
             // Vertices removed: the root path minus the spur node itself.
-            let forbidden_vertices: HashSet<VertexId> =
-                root_path[..i].iter().copied().collect();
+            let forbidden_vertices: HashSet<VertexId> = root_path[..i].iter().copied().collect();
 
             if let Some(spur) =
                 restricted_shortest_path(g, spur_node, t, &forbidden_vertices, &forbidden_edges)

@@ -42,11 +42,9 @@ fn bench_ablations(c: &mut Criterion) {
             let prep = prepare(&g, q.s, q.t, k, variant);
             let mut opts = variant.engine_options();
             opts.collect_paths = false;
-            group.bench_with_input(
-                BenchmarkId::new(variant.name(), dataset.code()),
-                &k,
-                |b, _| b.iter(|| black_box(run_prepared(&prep, opts.clone(), &device).device.cycles)),
-            );
+            group.bench_with_input(BenchmarkId::new(variant.name(), dataset.code()), &k, |b, _| {
+                b.iter(|| black_box(run_prepared(&prep, opts.clone(), &device).device.cycles))
+            });
         }
         group.finish();
     }

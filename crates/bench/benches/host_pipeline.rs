@@ -73,15 +73,11 @@ fn bench_prebfs_vs_graph_size(c: &mut Criterion) {
         let g = dataset.generate(ScaleProfile::Tiny).to_csr();
         let pairs = sample_reachable_pairs(&g, 5, 1, 13);
         let Some(&(s, t)) = pairs.first() else { continue };
-        group.bench_with_input(
-            BenchmarkId::new("k5", dataset.code()),
-            &g,
-            |b, g| {
-                b.iter(|| {
-                    black_box(pre_bfs(black_box(g), VertexId(s.0), VertexId(t.0), 5).graph.num_edges())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("k5", dataset.code()), &g, |b, g| {
+            b.iter(|| {
+                black_box(pre_bfs(black_box(g), VertexId(s.0), VertexId(t.0), 5).graph.num_edges())
+            })
+        });
     }
     group.finish();
 }

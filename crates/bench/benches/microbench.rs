@@ -59,9 +59,8 @@ fn bench_path_rows(c: &mut Criterion) {
     let succ = g.successors(VertexId(0)).first().copied().unwrap_or(VertexId(1));
     let mut group = c.benchmark_group("path_rows");
     group.throughput(Throughput::Elements(1));
-    group.bench_function("extend", |b| {
-        b.iter(|| black_box(base.extended(&g, succ).num_vertices()))
-    });
+    group
+        .bench_function("extend", |b| b.iter(|| black_box(base.extended(&g, succ).num_vertices())));
     let long = (1..=10u32).fold(base, |p, i| {
         let v = VertexId(i % g.num_vertices() as u32);
         if p.contains(v) {
@@ -70,9 +69,7 @@ fn bench_path_rows(c: &mut Criterion) {
             p.extended(&g, v)
         }
     });
-    group.bench_function("visited_check", |b| {
-        b.iter(|| black_box(long.contains(VertexId(999))))
-    });
+    group.bench_function("visited_check", |b| b.iter(|| black_box(long.contains(VertexId(999)))));
     group.finish();
 }
 

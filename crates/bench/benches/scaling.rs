@@ -81,5 +81,10 @@ fn bench_processing_capacity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_verification_lanes, bench_buffer_capacity, bench_processing_capacity);
+criterion_group!(
+    benches,
+    bench_verification_lanes,
+    bench_buffer_capacity,
+    bench_processing_capacity
+);
 criterion_main!(benches);

@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pefp_streaming::{
-    CycleDetector, DetectorConfig, DetectorEngine, TransactionGenerator,
-    TransactionGeneratorConfig,
+    CycleDetector, DetectorConfig, DetectorEngine, TransactionGenerator, TransactionGeneratorConfig,
 };
 use std::hint::black_box;
 

@@ -46,7 +46,8 @@ fn main() {
             }
             "--json" => {
                 i += 1;
-                json_dir = Some(args.get(i).cloned().unwrap_or_else(|| die("--json expects a directory")));
+                json_dir =
+                    Some(args.get(i).cloned().unwrap_or_else(|| die("--json expects a directory")));
             }
             "all" => specs.extend(FigureSpec::all()),
             "--help" | "-h" => {

@@ -42,10 +42,9 @@ pub fn walk_profile(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> Vec<u64> 
     current[s.index()] = 1;
     profile[0] = if s == t { 1 } else { 0 };
     let mut next = vec![0u64; n];
-    for h in 1..=k as usize {
+    for p in profile.iter_mut().skip(1) {
         next.iter_mut().for_each(|c| *c = 0);
-        for v in 0..n {
-            let c = current[v];
+        for (v, &c) in current.iter().enumerate() {
             if c == 0 {
                 continue;
             }
@@ -54,7 +53,7 @@ pub fn walk_profile(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> Vec<u64> 
                 *slot = slot.saturating_add(c);
             }
         }
-        profile[h] = next[t.index()];
+        *p = next[t.index()];
         std::mem::swap(&mut current, &mut next);
     }
     profile
@@ -75,8 +74,7 @@ pub fn count_walks_from(g: &CsrGraph, s: VertexId, k: u32) -> u64 {
     for _ in 1..=k {
         next.iter_mut().for_each(|c| *c = 0);
         let mut frontier_total: u64 = 0;
-        for v in 0..n {
-            let c = current[v];
+        for (v, &c) in current.iter().enumerate() {
             if c == 0 {
                 continue;
             }

@@ -101,10 +101,17 @@ mod tests {
     use pefp_graph::paths::canonicalize;
     use pefp_graph::{CsrGraph, VertexId};
 
-    fn run_with(g: &CsrGraph, s: u32, t: u32, k: u32, opts: EngineOptions) -> (Vec<Vec<VertexId>>, pefp_fpga::DeviceReport, crate::result::EngineStats) {
+    fn run_with(
+        g: &CsrGraph,
+        s: u32,
+        t: u32,
+        k: u32,
+        opts: EngineOptions,
+    ) -> (Vec<Vec<VertexId>>, pefp_fpga::DeviceReport, crate::result::EngineStats) {
         let prep = pre_bfs(g, VertexId(s), VertexId(t), k);
         let device = Device::new(DeviceConfig::alveo_u200());
-        let mut engine = PefpEngine::new(&prep.graph, &prep.barrier, prep.s, prep.t, k, opts, device);
+        let mut engine =
+            PefpEngine::new(&prep.graph, &prep.barrier, prep.s, prep.t, k, opts, device);
         let out = engine.run();
         let report = engine.device_report();
         let paths = out.paths.iter().map(|p| prep.translate_path(p)).collect();
@@ -142,7 +149,8 @@ mod tests {
             collect_paths: false,
             ..EngineOptions::default()
         };
-        let dfs_opts = EngineOptions { batch_strategy: BatchStrategy::LongestFirst, ..base.clone() };
+        let dfs_opts =
+            EngineOptions { batch_strategy: BatchStrategy::LongestFirst, ..base.clone() };
         let fifo_opts = EngineOptions { batch_strategy: BatchStrategy::Fifo, ..base };
         let (_, _, dfs_stats) = run_with(&g, s, t, k, dfs_opts);
         let (_, _, fifo_stats) = run_with(&g, s, t, k, fifo_opts);
@@ -168,7 +176,8 @@ mod tests {
             collect_paths: false,
             ..EngineOptions::default()
         };
-        let dfs_opts = EngineOptions { batch_strategy: BatchStrategy::LongestFirst, ..base.clone() };
+        let dfs_opts =
+            EngineOptions { batch_strategy: BatchStrategy::LongestFirst, ..base.clone() };
         let fifo_opts = EngineOptions { batch_strategy: BatchStrategy::Fifo, ..base };
         let (_, dfs_report, _) = run_with(&g, s, t, k, dfs_opts);
         let (_, fifo_report, _) = run_with(&g, s, t, k, fifo_opts);
@@ -198,6 +207,10 @@ mod tests {
         };
         let (paths, _, stats) = run_with(&g, 0, 41, 2, opts);
         assert_eq!(paths.len(), 40);
-        assert!(stats.batches >= 5, "expected the star to need >= 5 batches, got {}", stats.batches);
+        assert!(
+            stats.batches >= 5,
+            "expected the star to need >= 5 batches, got {}",
+            stats.batches
+        );
     }
 }

@@ -130,7 +130,10 @@ mod tests {
             ..EngineOptions::default()
         };
         let layout = MemoryLayout::plan(&mut device, &g, &opts);
-        assert!(!layout.graph_cached, "a 200-vertex CSR cannot fit in 16 KiB next to the path areas");
+        assert!(
+            !layout.graph_cached,
+            "a 200-vertex CSR cannot fit in 16 KiB next to the path areas"
+        );
     }
 
     #[test]

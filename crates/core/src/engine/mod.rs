@@ -284,7 +284,6 @@ impl<'a> PefpEngine<'a> {
             stats: self.stats,
         }
     }
-
 }
 
 #[cfg(test)]
@@ -298,7 +297,8 @@ mod tests {
     fn run_engine(g: &CsrGraph, s: u32, t: u32, k: u32, opts: EngineOptions) -> EngineOutput {
         let prep = pre_bfs(g, VertexId(s), VertexId(t), k);
         let device = Device::new(DeviceConfig::alveo_u200());
-        let mut engine = PefpEngine::new(&prep.graph, &prep.barrier, prep.s, prep.t, k, opts, device);
+        let mut engine =
+            PefpEngine::new(&prep.graph, &prep.barrier, prep.s, prep.t, k, opts, device);
         let mut out = engine.run();
         // Translate back to original ids for comparison.
         out.paths = out.paths.iter().map(|p| prep.translate_path(p)).collect();

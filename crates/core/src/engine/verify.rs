@@ -61,7 +61,11 @@ pub fn verify(path: &TempPath, successor: VertexId, t: VertexId, k: u32, barrier
 /// Charges the verification module's schedule for `lane_iterations` inputs per
 /// lane (the engine divides the batch across the replicated validity-check
 /// modules before calling this).
-pub fn charge_verification(device: &mut Device, pipeline: VerificationPipeline, lane_iterations: u64) {
+pub fn charge_verification(
+    device: &mut Device,
+    pipeline: VerificationPipeline,
+    lane_iterations: u64,
+) {
     charge_expansion_schedule(device, pipeline, lane_iterations, 1);
 }
 
@@ -117,7 +121,7 @@ mod tests {
     fn barrier_check_prunes_budget_violations() {
         let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
         let p = path_0_1(&g); // 1 hop used
-        // Needs 2 more hops after the expansion, but only 3 total allowed: 1+1+2 > 3.
+                              // Needs 2 more hops after the expansion, but only 3 total allowed: 1+1+2 > 3.
         assert_eq!(verify(&p, VertexId(2), VertexId(9), 3, 2), Verdict::PrunedBarrier);
         // With k = 4 the same expansion survives.
         assert_eq!(verify(&p, VertexId(2), VertexId(9), 4, 2), Verdict::Valid);

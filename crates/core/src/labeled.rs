@@ -39,6 +39,7 @@ pub fn filter_by_labels(
 /// Returns the run result with paths expressed in the original graph ids. The
 /// reported preprocessing time includes the label filtering pass (it is part
 /// of the host preprocessing stage, as prescribed by the paper).
+#[allow(clippy::too_many_arguments)]
 pub fn run_labeled_query(
     g: &CsrGraph,
     labels: &VertexLabels,
@@ -105,7 +106,16 @@ mod tests {
         let (g, labels) = labelled_sample();
         let constraint = LabelConstraint::OneOf(vec![1]);
         let device = DeviceConfig::alveo_u200();
-        let r = run_labeled_query(&g, &labels, &constraint, VertexId(0), VertexId(5), 4, PefpVariant::Full, &device);
+        let r = run_labeled_query(
+            &g,
+            &labels,
+            &constraint,
+            VertexId(0),
+            VertexId(5),
+            4,
+            PefpVariant::Full,
+            &device,
+        );
         // Direct edge 0 -> 5 (no intermediates) + the label-1 corridor.
         assert_eq!(r.num_paths, 2);
         assert_eq!(
@@ -119,7 +129,16 @@ mod tests {
         let (g, labels) = labelled_sample();
         let constraint = LabelConstraint::NoneOf(vec![2]);
         let device = DeviceConfig::alveo_u200();
-        let r = run_labeled_query(&g, &labels, &constraint, VertexId(0), VertexId(5), 4, PefpVariant::Full, &device);
+        let r = run_labeled_query(
+            &g,
+            &labels,
+            &constraint,
+            VertexId(0),
+            VertexId(5),
+            4,
+            PefpVariant::Full,
+            &device,
+        );
         assert_eq!(r.num_paths, 2);
         assert!(r.paths.iter().all(|p| !p.contains(&VertexId(3)) && !p.contains(&VertexId(4))));
     }
@@ -138,7 +157,8 @@ mod tests {
             PefpVariant::Full,
             &device,
         );
-        let plain = crate::variants::run_query(&g, VertexId(0), VertexId(5), 4, PefpVariant::Full, &device);
+        let plain =
+            crate::variants::run_query(&g, VertexId(0), VertexId(5), 4, PefpVariant::Full, &device);
         assert_eq!(canonicalize(constrained.paths), canonicalize(plain.paths));
     }
 
@@ -148,7 +168,16 @@ mod tests {
         // Exclude label 0, which is the label of both endpoints.
         let constraint = LabelConstraint::OneOf(vec![1]);
         let device = DeviceConfig::alveo_u200();
-        let r = run_labeled_query(&g, &labels, &constraint, VertexId(0), VertexId(5), 4, PefpVariant::Full, &device);
+        let r = run_labeled_query(
+            &g,
+            &labels,
+            &constraint,
+            VertexId(0),
+            VertexId(5),
+            4,
+            PefpVariant::Full,
+            &device,
+        );
         assert!(r.num_paths > 0, "endpoint labels must not disqualify the query");
     }
 
@@ -162,8 +191,13 @@ mod tests {
             let labels = VertexLabels::cyclic(g.num_vertices(), &palette);
             let constraint = LabelConstraint::OneOf(vec![0, 1]);
             let (s, t, k) = (VertexId(0), VertexId(45), 5);
-            let r = run_labeled_query(&g, &labels, &constraint, s, t, k, PefpVariant::Full, &device);
-            assert_eq!(canonicalize(r.paths), oracle(&g, &labels, &constraint, s, t, k), "seed {seed}");
+            let r =
+                run_labeled_query(&g, &labels, &constraint, s, t, k, PefpVariant::Full, &device);
+            assert_eq!(
+                canonicalize(r.paths),
+                oracle(&g, &labels, &constraint, s, t, k),
+                "seed {seed}"
+            );
         }
     }
 

@@ -55,10 +55,10 @@ pub mod variants;
 pub use counting::{count_simple_paths, count_st_walks, walk_profile, QueryEstimate};
 pub use engine::PefpEngine;
 pub use labeled::{filter_by_labels, run_labeled_query};
-pub use planner::{plan_query, QueryPlan};
 pub use multi_query::{run_query_batch, BatchReport};
 pub use options::{BatchStrategy, EngineOptions, VerificationPipeline};
 pub use path::{TempPath, MAX_K};
+pub use planner::{plan_query, QueryPlan};
 pub use preprocess::{no_prebfs_preprocess, pre_bfs, PreparedQuery};
 pub use result::{EngineOutput, EngineStats, PefpRunResult};
 pub use variants::{prepare, run_prepared, run_query, run_query_with_options, PefpVariant};

@@ -9,7 +9,7 @@
 //!
 //! [`run_query_batch`] reproduces that workflow. Host-side preprocessing is
 //! embarrassingly parallel across queries, so it is spread over a configurable
-//! number of CPU worker threads (crossbeam scoped threads); the device phase
+//! number of CPU worker threads (std scoped threads); the device phase
 //! stays sequential and deterministic, matching the single-kernel design of
 //! the paper.
 
@@ -120,19 +120,15 @@ fn parallel_prepare(
     let mut slots: Vec<Option<PreparedQuery>> = Vec::new();
     slots.resize_with(queries.len(), || None);
     let chunk = queries.len().div_ceil(workers);
-    crossbeam::thread::scope(|scope| {
-        for (chunk_index, (query_chunk, slot_chunk)) in
-            queries.chunks(chunk).zip(slots.chunks_mut(chunk)).enumerate()
-        {
-            let _ = chunk_index;
-            scope.spawn(move |_| {
+    std::thread::scope(|scope| {
+        for (query_chunk, slot_chunk) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            scope.spawn(move || {
                 for (&(s, t), slot) in query_chunk.iter().zip(slot_chunk.iter_mut()) {
                     *slot = Some(prepare(g, s, t, k, variant));
                 }
             });
         }
-    })
-    .expect("preprocessing worker panicked");
+    });
     slots.into_iter().map(|p| p.expect("every slot is filled")).collect()
 }
 
@@ -173,8 +169,10 @@ mod tests {
         let g = chung_lu(200, 5.0, 2.2, 77).to_csr();
         let queries = sample_queries(&g, 9);
         let device = DeviceConfig::alveo_u200();
-        let (seq_report, seq_results) = run_query_batch(&g, &queries, 4, PefpVariant::Full, &device, 1);
-        let (par_report, par_results) = run_query_batch(&g, &queries, 4, PefpVariant::Full, &device, 4);
+        let (seq_report, seq_results) =
+            run_query_batch(&g, &queries, 4, PefpVariant::Full, &device, 1);
+        let (par_report, par_results) =
+            run_query_batch(&g, &queries, 4, PefpVariant::Full, &device, 4);
         assert_eq!(seq_report.total_paths, par_report.total_paths);
         for (a, b) in seq_results.iter().zip(&par_results) {
             assert_eq!(canonicalize(a.paths.clone()), canonicalize(b.paths.clone()));

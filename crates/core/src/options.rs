@@ -108,14 +108,16 @@ mod tests {
 
     #[test]
     fn validation_flags_bad_capacities() {
-        let mut o = EngineOptions::default();
-        o.processing_capacity = 0;
-        o.buffer_capacity = 0;
-        o.dram_fetch_batch = 0;
+        let o = EngineOptions {
+            processing_capacity: 0,
+            buffer_capacity: 0,
+            dram_fetch_batch: 0,
+            ..EngineOptions::default()
+        };
         assert_eq!(o.validate().len(), 3);
 
-        let mut o = EngineOptions::default();
-        o.dram_fetch_batch = o.buffer_capacity + 1;
+        let defaults = EngineOptions::default();
+        let o = EngineOptions { dram_fetch_batch: defaults.buffer_capacity + 1, ..defaults };
         assert_eq!(o.validate().len(), 1);
     }
 }

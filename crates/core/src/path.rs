@@ -170,7 +170,7 @@ mod tests {
         assert_eq!(q.last(), VertexId(1));
         assert_eq!(q.vertices(), &[VertexId(0), VertexId(1)]);
         assert_eq!(q.window_len(), 1); // vertex 1 has a single successor
-        // The original is unchanged (value semantics).
+                                       // The original is unchanged (value semantics).
         assert_eq!(p.window_len(), 3);
     }
 
@@ -217,7 +217,8 @@ mod tests {
     #[test]
     fn to_vec_round_trips() {
         let g = graph();
-        let p = TempPath::initial(&g, VertexId(0)).extended(&g, VertexId(1)).extended(&g, VertexId(4));
+        let p =
+            TempPath::initial(&g, VertexId(0)).extended(&g, VertexId(1)).extended(&g, VertexId(4));
         assert_eq!(p.to_vec(), vec![VertexId(0), VertexId(1), VertexId(4)]);
     }
 

@@ -14,9 +14,7 @@ use crate::counting::QueryEstimate;
 use crate::engine::memory::PATH_ROW_BYTES;
 use crate::options::{BatchStrategy, EngineOptions, VerificationPipeline};
 use crate::preprocess::PreparedQuery;
-use pefp_fpga::{
-    DeviceConfig, ModuleCosts, OnChipAreas, ResourceBudget, ResourceEstimate,
-};
+use pefp_fpga::{DeviceConfig, ModuleCosts, OnChipAreas, ResourceBudget, ResourceEstimate};
 
 /// The plan the host ships together with the query.
 #[derive(Debug, Clone)]

@@ -118,9 +118,9 @@ pub fn pre_bfs(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> PreparedQuery 
     // Feasible iff t is reachable from s within k hops: either the BFS saw it
     // directly, or (distance exactly k) both frontiers meet.
     let feasible = sds[t.index()] != UNREACHED
-        || g.successors(s).iter().any(|&v| {
-            v == t || (sdt[v.index()] != UNREACHED && 1 + sdt[v.index()] <= k)
-        });
+        || g.successors(s)
+            .iter()
+            .any(|&v| v == t || (sdt[v.index()] != UNREACHED && sdt[v.index()] < k));
 
     let host_millis = start.elapsed().as_secs_f64() * 1e3;
     PreparedQuery {
@@ -156,20 +156,17 @@ pub fn no_prebfs_preprocess(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> P
     }
     let feasible = barrier[s.index()] <= k;
     let host_millis = start.elapsed().as_secs_f64() * 1e3;
-    PreparedQuery {
-        graph: g.clone(),
-        mapping: None,
-        s,
-        t,
-        k,
-        barrier,
-        feasible,
-        host_millis,
-    }
+    PreparedQuery { graph: g.clone(), mapping: None, s, t, k, barrier, feasible, host_millis }
 }
 
 /// Shared handling of `k == 0` and `s == t`.
-fn trivial_prepared(g: &CsrGraph, s: VertexId, t: VertexId, k: u32, host_millis: f64) -> PreparedQuery {
+fn trivial_prepared(
+    g: &CsrGraph,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+    host_millis: f64,
+) -> PreparedQuery {
     PreparedQuery {
         graph: g.clone(),
         mapping: None,
@@ -292,10 +289,8 @@ mod tests {
         let g = sample();
         let prep = pre_bfs(&g, VertexId(0), VertexId(9), 5);
         let m = prep.mapping.as_ref().unwrap();
-        let device_path: Vec<VertexId> = [0u32, 1, 2, 9]
-            .iter()
-            .map(|&v| m.to_new(VertexId(v)).unwrap())
-            .collect();
+        let device_path: Vec<VertexId> =
+            [0u32, 1, 2, 9].iter().map(|&v| m.to_new(VertexId(v)).unwrap()).collect();
         assert_eq!(
             prep.translate_path(&device_path),
             vec![VertexId(0), VertexId(1), VertexId(2), VertexId(9)]

@@ -82,7 +82,13 @@ impl PefpVariant {
 
 /// Runs the host preprocessing for `variant` (Pre-BFS or the full-graph
 /// fallback), returning the prepared query with its host timing filled in.
-pub fn prepare(g: &CsrGraph, s: VertexId, t: VertexId, k: u32, variant: PefpVariant) -> PreparedQuery {
+pub fn prepare(
+    g: &CsrGraph,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+    variant: PefpVariant,
+) -> PreparedQuery {
     if variant.uses_prebfs() {
         pre_bfs(g, s, t, k)
     } else {
@@ -141,8 +147,7 @@ pub fn run_prepared(
     };
     let host_engine_millis = host_start.elapsed().as_secs_f64() * 1e3;
 
-    let paths: Vec<Vec<VertexId>> =
-        output.paths.iter().map(|p| prep.translate_path(p)).collect();
+    let paths: Vec<Vec<VertexId>> = output.paths.iter().map(|p| prep.translate_path(p)).collect();
     PefpRunResult {
         num_paths: output.num_paths,
         paths,

@@ -93,8 +93,19 @@ mod tests {
 
     #[test]
     fn add_assign_accumulates_all_fields() {
-        let mut a = MemoryCounters { bram_reads: 1, dram_reads: 2, buffer_flushes: 3, ..Default::default() };
-        let b = MemoryCounters { bram_reads: 10, dram_reads: 20, buffer_flushes: 30, cache_hits: 5, ..Default::default() };
+        let mut a = MemoryCounters {
+            bram_reads: 1,
+            dram_reads: 2,
+            buffer_flushes: 3,
+            ..Default::default()
+        };
+        let b = MemoryCounters {
+            bram_reads: 10,
+            dram_reads: 20,
+            buffer_flushes: 30,
+            cache_hits: 5,
+            ..Default::default()
+        };
         a += b;
         assert_eq!(a.bram_reads, 11);
         assert_eq!(a.dram_reads, 22);

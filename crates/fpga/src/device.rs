@@ -54,7 +54,8 @@ impl Device {
     pub fn new(config: DeviceConfig) -> Self {
         let problems = config.validate();
         assert!(problems.is_empty(), "invalid device config: {problems:?}");
-        let bram = Bram::new(config.bram_bytes, config.bram_read_latency, config.bram_write_latency);
+        let bram =
+            Bram::new(config.bram_bytes, config.bram_read_latency, config.bram_write_latency);
         let dram = Dram::new(
             config.dram_bytes,
             config.dram_read_latency,

@@ -100,7 +100,8 @@ impl KernelReport {
         let mut out = String::new();
         let _ = writeln!(out, "== Kernel: {} ==", self.kernel);
         let _ = writeln!(out, "Target clock : {:.0} MHz", self.clock_mhz);
-        let _ = writeln!(out, "Fits budget  : {}", if self.resources.fits() { "yes" } else { "NO" });
+        let _ =
+            writeln!(out, "Fits budget  : {}", if self.resources.fits() { "yes" } else { "NO" });
         let _ = writeln!(out);
         let _ = writeln!(out, "-- Latency (per module) --");
         let _ = writeln!(
@@ -119,7 +120,8 @@ impl KernelReport {
                 m.latency_cycles()
             );
         }
-        let _ = writeln!(out, "{:<24} {:>44}", "total (sequential bound)", self.total_latency_cycles());
+        let _ =
+            writeln!(out, "{:<24} {:>44}", "total (sequential bound)", self.total_latency_cycles());
         let _ = writeln!(out);
         let _ = writeln!(out, "-- On-chip memory (bytes) --");
         let _ = writeln!(out, "buffer area     : {}", self.areas.buffer_bytes);
@@ -205,13 +207,15 @@ mod tests {
     fn pipelined_module_latency_follows_the_hls_formula() {
         let m = ModuleLatency::from_spec("x", PipelineSpec::fully_pipelined(5), 100);
         assert_eq!(m.latency_cycles(), 5 + 99);
-        let m = ModuleLatency { name: "y".into(), depth: 5, initiation_interval: 2, trip_count: 100 };
+        let m =
+            ModuleLatency { name: "y".into(), depth: 5, initiation_interval: 2, trip_count: 100 };
         assert_eq!(m.latency_cycles(), 5 + 99 * 2);
     }
 
     #[test]
     fn unpipelined_module_latency_is_sequential() {
-        let m = ModuleLatency { name: "z".into(), depth: 7, initiation_interval: 0, trip_count: 10 };
+        let m =
+            ModuleLatency { name: "z".into(), depth: 7, initiation_interval: 0, trip_count: 10 };
         assert_eq!(m.latency_cycles(), 70);
     }
 

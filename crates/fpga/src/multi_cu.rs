@@ -69,18 +69,13 @@ pub fn schedule_batch(query_cycles: &[u64], config: &MultiCuConfig) -> MultiCuSc
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     let mut per_cu = vec![0u64; cus];
     for cycles in sorted {
-        let min_idx = per_cu
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &load)| load)
-            .map(|(i, _)| i)
-            .unwrap_or(0);
+        let min_idx =
+            per_cu.iter().enumerate().min_by_key(|(_, &load)| load).map(|(i, _)| i).unwrap_or(0);
         per_cu[min_idx] += cycles;
     }
 
     let active_cus = per_cu.iter().filter(|&&load| load > 0).count().max(1);
-    let contention_factor =
-        (active_cus as f64 * config.per_cu_bandwidth_share).max(1.0);
+    let contention_factor = (active_cus as f64 * config.per_cu_bandwidth_share).max(1.0);
     let per_cu_cycles: Vec<u64> =
         per_cu.iter().map(|&c| (c as f64 * contention_factor).round() as u64).collect();
     let makespan_cycles = per_cu_cycles.iter().copied().max().unwrap_or(0);
@@ -174,7 +169,8 @@ mod tests {
 
     #[test]
     fn empty_batch_is_a_noop() {
-        let schedule = schedule_batch(&[], &MultiCuConfig { compute_units: 8, per_cu_bandwidth_share: 0.5 });
+        let schedule =
+            schedule_batch(&[], &MultiCuConfig { compute_units: 8, per_cu_bandwidth_share: 0.5 });
         assert_eq!(schedule.makespan_cycles, 0);
         assert_eq!(schedule.serial_cycles, 0);
         assert_eq!(schedule.speedup(), 1.0);
@@ -194,12 +190,8 @@ mod tests {
 
     #[test]
     fn u200_fits_a_handful_of_default_cus_but_not_hundreds() {
-        let max = max_compute_units(
-            16,
-            &areas(),
-            &ModuleCosts::default(),
-            ResourceBudget::alveo_u200(),
-        );
+        let max =
+            max_compute_units(16, &areas(), &ModuleCosts::default(), ResourceBudget::alveo_u200());
         assert!(max >= 2, "at least two CUs should fit, got {max}");
         assert!(max < 64, "the model must not claim absurd replication, got {max}");
         // The returned value really is the tipping point.

@@ -99,11 +99,7 @@ mod tests {
     use super::*;
 
     fn counters(bram: u64, dram_words: u64) -> MemoryCounters {
-        MemoryCounters {
-            bram_reads: bram,
-            dram_words_read: dram_words,
-            ..MemoryCounters::new()
-        }
+        MemoryCounters { bram_reads: bram, dram_words_read: dram_words, ..MemoryCounters::new() }
     }
 
     #[test]

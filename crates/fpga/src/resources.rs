@@ -184,15 +184,11 @@ impl ResourceEstimate {
 
     /// The largest number of verification lanes that still fits the budget
     /// with the given areas and costs (0 when even one lane does not fit).
-    pub fn max_lanes(
-        areas: &OnChipAreas,
-        costs: &ModuleCosts,
-        budget: ResourceBudget,
-    ) -> usize {
+    pub fn max_lanes(areas: &OnChipAreas, costs: &ModuleCosts, budget: ResourceBudget) -> usize {
         let mut lo = 0usize;
         let mut hi = 4_096usize;
         while lo < hi {
-            let mid = (lo + hi + 1) / 2;
+            let mid = (lo + hi).div_ceil(2);
             if ResourceEstimate::estimate(mid, areas, costs, budget).fits() {
                 lo = mid;
             } else {

@@ -153,8 +153,9 @@ mod tests {
         let avoid1 = constrained_distance(&g, VertexId(0), VertexId(3), 5, |v| v == VertexId(1));
         assert_eq!(avoid1, Some(2));
         // Block both middles: unreachable.
-        let blocked =
-            constrained_distance(&g, VertexId(0), VertexId(3), 5, |v| v == VertexId(1) || v == VertexId(2));
+        let blocked = constrained_distance(&g, VertexId(0), VertexId(3), 5, |v| {
+            v == VertexId(1) || v == VertexId(2)
+        });
         assert_eq!(blocked, None);
     }
 

@@ -21,11 +21,7 @@ pub struct DisjointSets {
 impl DisjointSets {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        DisjointSets {
-            parent: (0..n as u32).collect(),
-            size: vec![1; n],
-            num_sets: n,
-        }
+        DisjointSets { parent: (0..n as u32).collect(), size: vec![1; n], num_sets: n }
     }
 
     /// Number of elements.
@@ -67,11 +63,8 @@ impl DisjointSets {
         if ra == rb {
             return false;
         }
-        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
+        let (big, small) =
+            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
         self.parent[small as usize] = big;
         self.size[big as usize] += self.size[small as usize];
         self.num_sets -= 1;

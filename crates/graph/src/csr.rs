@@ -97,9 +97,7 @@ impl CsrGraph {
 
     /// Iterator over every directed edge.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.vertices().flat_map(move |u| {
-            self.successors(u).iter().map(move |&v| Edge::new(u, v))
-        })
+        self.vertices().flat_map(move |u| self.successors(u).iter().map(move |&v| Edge::new(u, v)))
     }
 
     /// The reverse graph `G_rev` in CSR form.

@@ -105,12 +105,7 @@ impl DegreeDistribution {
     /// Number of vertices whose out-degree is at least `threshold` (the "hot
     /// points" of the HP-Index baseline).
     pub fn vertices_with_degree_at_least(&self, threshold: usize) -> usize {
-        self.histogram
-            .iter()
-            .enumerate()
-            .filter(|(d, _)| *d >= threshold)
-            .map(|(_, &c)| c)
-            .sum()
+        self.histogram.iter().enumerate().filter(|(d, _)| *d >= threshold).map(|(_, &c)| c).sum()
     }
 
     /// Maximum-likelihood estimate of the power-law exponent `alpha` of the

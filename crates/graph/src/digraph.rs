@@ -132,9 +132,10 @@ impl DiGraph {
 
     /// Iterator over every directed edge.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.out.iter().enumerate().flat_map(|(u, ns)| {
-            ns.iter().map(move |&v| Edge::new(VertexId::from_index(u), v))
-        })
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(u, ns)| ns.iter().map(move |&v| Edge::new(VertexId::from_index(u), v)))
     }
 
     /// Iterator over all vertex ids `0..n`.

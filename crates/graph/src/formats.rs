@@ -97,10 +97,7 @@ pub struct LoadedGraph {
 impl LoadedGraph {
     /// Looks up the internal id assigned to an external vertex identifier.
     pub fn internal_id(&self, external: u64) -> Option<VertexId> {
-        self.external_ids
-            .iter()
-            .position(|&e| e == external)
-            .map(VertexId::from_index)
+        self.external_ids.iter().position(|&e| e == external).map(VertexId::from_index)
     }
 
     /// The external identifier of an internal vertex.
@@ -196,13 +193,7 @@ pub fn read_graph<R: BufRead>(reader: R, format: GraphFormat) -> Result<LoadedGr
         graph.add_edge(VertexId(f), VertexId(t));
     }
 
-    Ok(LoadedGraph {
-        graph,
-        external_ids,
-        duplicate_edges,
-        self_loops,
-        comment_lines,
-    })
+    Ok(LoadedGraph { graph, external_ids, duplicate_edges, self_loops, comment_lines })
 }
 
 /// Reads a graph from a string, auto-detecting the dialect.

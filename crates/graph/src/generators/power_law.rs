@@ -62,8 +62,7 @@ pub fn chung_lu(n: usize, avg_degree: f64, gamma: f64, seed: u64) -> DiGraph {
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| w_in[b].partial_cmp(&w_in[a]).unwrap());
 
-    for u in 0..n {
-        let wu = w_out[u];
+    for (u, &wu) in w_out.iter().enumerate() {
         if wu <= 0.0 {
             continue;
         }
@@ -76,7 +75,8 @@ pub fn chung_lu(n: usize, avg_degree: f64, gamma: f64, seed: u64) -> DiGraph {
             }
             // Geometric skip: number of candidates to jump over.
             let r: f64 = rng.gen::<f64>();
-            let skip = if p_max >= 1.0 { 0 } else { (r.ln() / (1.0 - p_max).ln()).floor() as usize };
+            let skip =
+                if p_max >= 1.0 { 0 } else { (r.ln() / (1.0 - p_max).ln()).floor() as usize };
             idx += skip;
             if idx >= n {
                 break;

@@ -133,10 +133,8 @@ mod tests {
     fn translate_path_round_trips() {
         let g = sample();
         let ind = induce_subgraph(&g, |v| v != VertexId(4));
-        let new_path: Vec<VertexId> = [0u32, 1, 2, 3]
-            .iter()
-            .map(|&v| ind.to_new(VertexId(v)).unwrap())
-            .collect();
+        let new_path: Vec<VertexId> =
+            [0u32, 1, 2, 3].iter().map(|&v| ind.to_new(VertexId(v)).unwrap()).collect();
         let old = ind.translate_path(&new_path);
         assert_eq!(old, vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
     }

@@ -89,7 +89,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<DiGraph, EdgeListE
 
 /// Writes a graph as a SNAP-style edge list with a small header comment.
 pub fn write_edge_list<W: Write>(g: &DiGraph, mut writer: W) -> io::Result<()> {
-    writeln!(writer, "# Directed edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        writer,
+        "# Directed edge list: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for e in g.edges() {
         writeln!(writer, "{}\t{}", e.from.0, e.to.0)?;
     }

@@ -153,13 +153,13 @@ mod tests {
     fn validate_flags_every_kind_of_problem() {
         let g = diamond();
         let paths = vec![
-            vec![],                 // empty
-            v(&[1, 3]),             // wrong source
-            v(&[0, 1]),             // wrong target
-            v(&[0, 1, 3]),          // fine
-            v(&[0, 1, 3]),          // duplicate
-            v(&[0, 3]),             // missing edge
-            v(&[0, 1, 0, 1, 3]),    // not simple (and missing edge 1->0? no, 1->0 missing too)
+            vec![],              // empty
+            v(&[1, 3]),          // wrong source
+            v(&[0, 1]),          // wrong target
+            v(&[0, 1, 3]),       // fine
+            v(&[0, 1, 3]),       // duplicate
+            v(&[0, 3]),          // missing edge
+            v(&[0, 1, 0, 1, 3]), // not simple (and missing edge 1->0? no, 1->0 missing too)
         ];
         let violations = validate_result(&g, VertexId(0), VertexId(3), 2, &paths);
         let kinds: Vec<_> = violations.iter().map(|(i, k)| (*i, k.clone())).collect();

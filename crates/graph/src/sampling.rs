@@ -22,15 +22,12 @@ pub fn sampler_rng(seed: u64) -> ChaCha8Rng {
 /// non-isolated vertices of `g` — vertices with at least one outgoing edge.
 /// Returns fewer than `count` only when the graph has no such vertex.
 pub fn sample_source_vertices(g: &CsrGraph, count: usize, seed: u64) -> Vec<VertexId> {
-    let candidates: Vec<VertexId> =
-        g.vertices().filter(|&v| g.out_degree(v) > 0).collect();
+    let candidates: Vec<VertexId> = g.vertices().filter(|&v| g.out_degree(v) > 0).collect();
     if candidates.is_empty() {
         return Vec::new();
     }
     let mut rng = sampler_rng(seed);
-    (0..count)
-        .map(|_| candidates[rng.gen_range(0..candidates.len())])
-        .collect()
+    (0..count).map(|_| candidates[rng.gen_range(0..candidates.len())]).collect()
 }
 
 /// Samples up to `count` pairs `(s, t)` such that `t` is reachable from `s`
@@ -113,8 +110,7 @@ pub fn simple_random_walk<R: Rng>(
         }
         // Collect unvisited successors; a Vec is fine because paths are short
         // (bounded by the hop constraint, MAX 30 in pefp-core).
-        let fresh: Vec<VertexId> =
-            succ.iter().copied().filter(|v| !walk.contains(v)).collect();
+        let fresh: Vec<VertexId> = succ.iter().copied().filter(|v| !walk.contains(v)).collect();
         if fresh.is_empty() {
             return None;
         }
@@ -189,10 +185,7 @@ mod tests {
         for (s, t) in &pairs {
             assert_ne!(s, t);
             let dist = crate::bfs::khop_bfs(&g, *s, k);
-            assert!(
-                dist[t.index()] <= k,
-                "target {t} not reachable from {s} within {k} hops"
-            );
+            assert!(dist[t.index()] <= k, "target {t} not reachable from {s} within {k} hops");
         }
     }
 

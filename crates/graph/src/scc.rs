@@ -217,10 +217,7 @@ mod tests {
     #[test]
     fn condensation_is_acyclic_and_collapses_cycles() {
         // Cycle {0,1,2} -> cycle {3,4} -> vertex 5.
-        let g = CsrGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5)],
-        );
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5)]);
         let scc = strongly_connected_components(&g);
         assert_eq!(scc.num_components, 3);
         let dag = condensation(&g, &scc);

@@ -82,11 +82,7 @@ fn fnv1a_words(words: impl Iterator<Item = u32>) -> u32 {
 fn body_checksum(graph: &CsrGraph, barrier: &[u32]) -> u32 {
     let (offsets, targets) = graph.raw_parts();
     fnv1a_words(
-        offsets
-            .iter()
-            .copied()
-            .chain(targets.iter().map(|v| v.0))
-            .chain(barrier.iter().copied()),
+        offsets.iter().copied().chain(targets.iter().map(|v| v.0)).chain(barrier.iter().copied()),
     )
 }
 
@@ -142,9 +138,7 @@ pub fn decode_payload(bytes: &[u8]) -> Result<DevicePayload, HostError> {
     }
     let version = cur.get_u16_le();
     if version != FORMAT_VERSION {
-        return Err(HostError::PayloadCorrupt(format!(
-            "unsupported format version {version}"
-        )));
+        return Err(HostError::PayloadCorrupt(format!("unsupported format version {version}")));
     }
     let _flags = cur.get_u16_le();
     let s = cur.get_u32_le();
@@ -180,11 +174,7 @@ pub fn decode_payload(bytes: &[u8]) -> Result<DevicePayload, HostError> {
 
     // Checksum over the body as transmitted.
     let actual = fnv1a_words(
-        offsets
-            .iter()
-            .copied()
-            .chain(targets.iter().copied())
-            .chain(barrier.iter().copied()),
+        offsets.iter().copied().chain(targets.iter().copied()).chain(barrier.iter().copied()),
     );
     if actual != checksum {
         return Err(HostError::PayloadCorrupt(format!(
@@ -215,9 +205,7 @@ pub fn decode_payload(bytes: &[u8]) -> Result<DevicePayload, HostError> {
         }
     }
     if s >= num_vertices || t >= num_vertices {
-        return Err(HostError::PayloadCorrupt(format!(
-            "query endpoints ({s}, {t}) out of range"
-        )));
+        return Err(HostError::PayloadCorrupt(format!("query endpoints ({s}, {t}) out of range")));
     }
 
     let graph = CsrGraph::from_edges(num_vertices as usize, &edges);

@@ -90,10 +90,7 @@ pub fn load_edge_list_file<P: AsRef<Path>>(path: P) -> Result<GraphHandle, HostE
     let loaded = read_graph_auto(&content)
         .map_err(|e| HostError::GraphLoad(format!("{}: {e}", path.display())))?;
     if loaded.graph.num_vertices() == 0 {
-        return Err(HostError::GraphLoad(format!(
-            "{}: file contains no edges",
-            path.display()
-        )));
+        return Err(HostError::GraphLoad(format!("{}: file contains no edges", path.display())));
     }
     Ok(handle_from_loaded(path.display().to_string(), loaded))
 }

@@ -108,11 +108,7 @@ impl BatchScheduler {
     }
 
     /// Preprocesses the unique queries, possibly across several host threads.
-    fn preprocess_all(
-        &self,
-        graph: &GraphHandle,
-        unique: &[QueryRequest],
-    ) -> Vec<PreparedQuery> {
+    fn preprocess_all(&self, graph: &GraphHandle, unique: &[QueryRequest]) -> Vec<PreparedQuery> {
         let threads = self.config.preprocess_threads.max(1).min(unique.len().max(1));
         if threads <= 1 || unique.len() <= 1 {
             return unique
@@ -290,18 +286,14 @@ mod tests {
     fn parallel_preprocessing_gives_identical_results() {
         let handle = handle();
         let reqs = requests(&handle, 4, 12);
-        let sequential = BatchScheduler::new(SchedulerConfig {
-            preprocess_threads: 1,
-            ..Default::default()
-        })
-        .run_batch(&handle, &reqs)
-        .unwrap();
-        let parallel = BatchScheduler::new(SchedulerConfig {
-            preprocess_threads: 4,
-            ..Default::default()
-        })
-        .run_batch(&handle, &reqs)
-        .unwrap();
+        let sequential =
+            BatchScheduler::new(SchedulerConfig { preprocess_threads: 1, ..Default::default() })
+                .run_batch(&handle, &reqs)
+                .unwrap();
+        let parallel =
+            BatchScheduler::new(SchedulerConfig { preprocess_threads: 4, ..Default::default() })
+                .run_batch(&handle, &reqs)
+                .unwrap();
         let seq_counts: Vec<u64> = sequential.results.iter().map(|r| r.num_paths).collect();
         let par_counts: Vec<u64> = parallel.results.iter().map(|r| r.num_paths).collect();
         assert_eq!(seq_counts, par_counts);
@@ -313,10 +305,7 @@ mod tests {
         let mut reqs = requests(&handle, 3, 3);
         reqs.push(QueryRequest::new(0, 999_999, 3));
         let scheduler = BatchScheduler::new(SchedulerConfig::default());
-        assert!(matches!(
-            scheduler.run_batch(&handle, &reqs),
-            Err(HostError::QueryInvalid(_))
-        ));
+        assert!(matches!(scheduler.run_batch(&handle, &reqs), Err(HostError::QueryInvalid(_))));
     }
 
     #[test]
@@ -337,18 +326,15 @@ mod tests {
             CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5), (1, 4)]),
         );
         let reqs: Vec<QueryRequest> = (0..50).map(|_| QueryRequest::new(0, 5, 4)).collect();
-        let scheduler =
-            BatchScheduler::new(SchedulerConfig { dedup: false, ..Default::default() });
+        let scheduler = BatchScheduler::new(SchedulerConfig { dedup: false, ..Default::default() });
         let outcome = scheduler.run_batch(&handle, &reqs).unwrap();
         // One transfer for the whole batch, so the per-query share of the
         // setup cost is far below the standalone setup cost.
-        assert_eq!(outcome.transfer.descriptors >= 1, true);
+        assert!(outcome.transfer.descriptors >= 1);
         let per_query_transfer = outcome.transfer.total_millis / reqs.len() as f64;
         let single = {
-            let pcie = Pcie::new(
-                scheduler.config.device.pcie_gbps,
-                scheduler.config.device.pcie_setup_us,
-            );
+            let pcie =
+                Pcie::new(scheduler.config.device.pcie_gbps, scheduler.config.device.pcie_setup_us);
             let mut dma = DmaEngine::with_defaults(pcie);
             dma.transfer(outcome.transfer.bytes / reqs.len()).total_millis
         };

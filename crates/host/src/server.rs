@@ -52,9 +52,7 @@ fn format_paths(paths: &[Vec<pefp_graph::VertexId>]) -> String {
     paths
         .iter()
         .take(MAX_INLINE_PATHS)
-        .map(|p| {
-            p.iter().map(|v| v.0.to_string()).collect::<Vec<_>>().join("->")
-        })
+        .map(|p| p.iter().map(|v| v.0.to_string()).collect::<Vec<_>>().join("->"))
         .collect::<Vec<_>>()
         .join(" ")
 }

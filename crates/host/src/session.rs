@@ -110,7 +110,12 @@ impl HostSession {
     /// Creates an empty session (no graph loaded yet).
     pub fn new(config: SessionConfig) -> Self {
         let pcie = Pcie::new(config.device.pcie_gbps, config.device.pcie_setup_us);
-        HostSession { config, graph: None, dma: DmaEngine::with_defaults(pcie), stats: SessionStats::default() }
+        HostSession {
+            config,
+            graph: None,
+            dma: DmaEngine::with_defaults(pcie),
+            stats: SessionStats::default(),
+        }
     }
 
     /// Creates a session already holding `graph`.

@@ -190,8 +190,7 @@ impl CycleDetector {
             // Cheap pre-check: is t reachable from s within the budget at all?
             let dist = khop_bfs(&snapshot, path_source, path_budget);
             if dist[path_target.index()] <= path_budget {
-                let (paths, dev) =
-                    self.enumerate(&snapshot, path_source, path_target, path_budget);
+                let (paths, dev) = self.enumerate(&snapshot, path_source, path_target, path_budget);
                 cycles = paths;
                 device_millis = dev;
             } else {
@@ -298,17 +297,12 @@ mod tests {
         });
         let stream = generator.stream(300);
         let mut counts = Vec::new();
-        for engine in [
-            DetectorEngine::PefpSimulated,
-            DetectorEngine::JoinCpu,
-            DetectorEngine::NaiveDfs,
-        ] {
+        for engine in
+            [DetectorEngine::PefpSimulated, DetectorEngine::JoinCpu, DetectorEngine::NaiveDfs]
+        {
             let mut d = detector(engine, 5);
             let alerts = d.ingest_stream(&stream);
-            counts.push((
-                alerts.len(),
-                alerts.iter().map(|a| a.cycles.len()).sum::<usize>(),
-            ));
+            counts.push((alerts.len(), alerts.iter().map(|a| a.cycles.len()).sum::<usize>()));
         }
         assert_eq!(counts[0], counts[1], "PEFP vs JOIN");
         assert_eq!(counts[0], counts[2], "PEFP vs naive DFS");

@@ -74,9 +74,7 @@ impl DynamicGraph {
 
     /// Whether the edge `from → to` is currently present.
     pub fn has_edge(&self, from: VertexId, to: VertexId) -> bool {
-        self.adjacency
-            .get(from.index())
-            .is_some_and(|succ| succ.contains_key(&to.0))
+        self.adjacency.get(from.index()).is_some_and(|succ| succ.contains_key(&to.0))
     }
 
     /// The timestamp stored on edge `from → to`, if present.

@@ -176,8 +176,8 @@ mod tests {
         let a = TransactionGenerator::new(config).stream(500);
         let b = TransactionGenerator::new(config).stream(500);
         assert_eq!(a, b);
-        let c = TransactionGenerator::new(TransactionGeneratorConfig { seed: 1, ..config })
-            .stream(500);
+        let c =
+            TransactionGenerator::new(TransactionGeneratorConfig { seed: 1, ..config }).stream(500);
         assert_ne!(a, c);
     }
 

@@ -75,8 +75,7 @@ impl SlidingWindow {
     pub fn ingest(&mut self, tx: &Transaction) -> bool {
         self.ingested += 1;
         self.latest_timestamp = self.latest_timestamp.max(tx.timestamp);
-        let inserted =
-            self.graph.insert_edge(VertexId(tx.from), VertexId(tx.to), tx.timestamp);
+        let inserted = self.graph.insert_edge(VertexId(tx.from), VertexId(tx.to), tx.timestamp);
         let cutoff = self.window_start();
         self.expired_edges += self.graph.expire_older_than(cutoff) as u64;
         inserted

@@ -149,13 +149,19 @@ pub fn run_figure(spec: FigureSpec, runner: &mut Runner) -> FigureResult {
         FigureSpec::Fig9 => comparison_figure(spec, runner, &four_datasets(), Metric::Preprocess),
         FigureSpec::Fig10 => comparison_figure(spec, runner, &four_datasets(), Metric::Total),
         FigureSpec::Fig11 => fig11(runner),
-        FigureSpec::Fig12 => {
-            ablation_figure(spec, runner, &[Dataset::BerkStan, Dataset::Baidu], PefpVariant::NoPreBfs)
-        }
+        FigureSpec::Fig12 => ablation_figure(
+            spec,
+            runner,
+            &[Dataset::BerkStan, Dataset::Baidu],
+            PefpVariant::NoPreBfs,
+        ),
         FigureSpec::Table3 => table3(runner),
-        FigureSpec::Fig13 => {
-            ablation_figure(spec, runner, &[Dataset::BerkStan, Dataset::Baidu], PefpVariant::NoBatchDfs)
-        }
+        FigureSpec::Fig13 => ablation_figure(
+            spec,
+            runner,
+            &[Dataset::BerkStan, Dataset::Baidu],
+            PefpVariant::NoBatchDfs,
+        ),
         FigureSpec::Fig14 => ablation_figure(
             spec,
             runner,
@@ -193,7 +199,20 @@ fn k_values(runner: &mut Runner, dataset: Dataset) -> Vec<u32> {
 fn table2(runner: &mut Runner) -> FigureResult {
     let mut table = TableReport::new(
         "Synthetic stand-in statistics next to the published Table II values",
-        &["Code", "Name", "|V|", "|E|", "d_avg", "D", "D90", "paper |V|", "paper |E|", "paper d_avg", "paper D", "paper D90"],
+        &[
+            "Code",
+            "Name",
+            "|V|",
+            "|E|",
+            "d_avg",
+            "D",
+            "D90",
+            "paper |V|",
+            "paper |E|",
+            "paper d_avg",
+            "paper D",
+            "paper D90",
+        ],
     );
     for dataset in Dataset::all() {
         let spec = dataset.spec();
@@ -284,7 +303,17 @@ fn comparison_figure(
 fn fig11(runner: &mut Runner) -> FigureResult {
     let mut table = TableReport::new(
         "Fig. 11 — average total time per query (preprocess + query, ms); k = 5 (8 for AM/TS)",
-        &["Dataset", "k", "JOIN pre", "JOIN query", "JOIN total", "PEFP pre", "PEFP query", "PEFP total", "speedup"],
+        &[
+            "Dataset",
+            "k",
+            "JOIN pre",
+            "JOIN query",
+            "JOIN total",
+            "PEFP pre",
+            "PEFP query",
+            "PEFP total",
+            "speedup",
+        ],
     );
     let mut panels = Vec::new();
     for dataset in Dataset::all() {

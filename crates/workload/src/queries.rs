@@ -42,10 +42,8 @@ pub fn generate_queries(g: &CsrGraph, k: u32, count: usize, seed: u64) -> Vec<Qu
         attempts += 1;
         let s = VertexId(rng.gen_range(0..n as u32));
         let dist = khop_bfs(g, s, k);
-        let reachable: Vec<VertexId> = g
-            .vertices()
-            .filter(|v| *v != s && dist[v.index()] != UNREACHED)
-            .collect();
+        let reachable: Vec<VertexId> =
+            g.vertices().filter(|v| *v != s && dist[v.index()] != UNREACHED).collect();
         if reachable.is_empty() {
             continue;
         }

@@ -35,7 +35,11 @@ impl Series {
             .zip(&self.y)
             .map(|(b, a)| if *a > 0.0 { b / a } else { f64::INFINITY })
             .collect();
-        Series { label: format!("speedup ({} / {})", baseline.label, self.label), x: self.x.clone(), y }
+        Series {
+            label: format!("speedup ({} / {})", baseline.label, self.label),
+            x: self.x.clone(),
+            y,
+        }
     }
 
     /// Geometric mean of the series values (ignoring non-positive entries).

@@ -138,7 +138,12 @@ impl Runner {
 
     /// Times one PEFP variant at `(dataset, k)`, averaged over the workload.
     /// Result paths are only counted, not materialised.
-    pub fn time_pefp_variant(&mut self, dataset: Dataset, k: u32, variant: PefpVariant) -> MethodTiming {
+    pub fn time_pefp_variant(
+        &mut self,
+        dataset: Dataset,
+        k: u32,
+        variant: PefpVariant,
+    ) -> MethodTiming {
         let queries = self.queries(dataset, k);
         let g = self.graph(dataset).clone();
         let device = self.config.device.clone();
@@ -227,7 +232,7 @@ impl Runner {
                 attempts += 1;
                 // Random simple walk of length l starting at the query source
                 // (falling back to a random vertex when the source stalls).
-                let start = if attempts % 4 == 0 {
+                let start = if attempts.is_multiple_of(4) {
                     VertexId(rng.gen_range(0..sub.num_vertices() as u32))
                 } else {
                     prep.s

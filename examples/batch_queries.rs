@@ -29,10 +29,10 @@ fn main() {
     println!("workload: {} reachable (s, t) pairs with k = {k}\n", queries.len());
 
     // Deployment A: a plain session, one query (and one transfer) at a time.
-    let mut session = HostSession::with_graph(handle.csr.clone(), SessionConfig {
-        collect_paths: false,
-        ..SessionConfig::default()
-    });
+    let mut session = HostSession::with_graph(
+        handle.csr.clone(),
+        SessionConfig { collect_paths: false, ..SessionConfig::default() },
+    );
     for q in &queries {
         session.run_query(*q).expect("query validated against the loaded graph");
     }

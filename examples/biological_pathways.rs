@@ -29,7 +29,10 @@ fn main() {
     let device = DeviceConfig::alveo_u200();
 
     println!("\npathway query: interaction chains {s} -> {t}\n");
-    println!("{:>3}  {:>10}  {:>14}  {:>14}  {:>22}", "k", "pathways", "preprocess", "device time", "subgraph (V / E)");
+    println!(
+        "{:>3}  {:>10}  {:>14}  {:>14}  {:>22}",
+        "k", "pathways", "preprocess", "device time", "subgraph (V / E)"
+    );
     for k in 2..=5u32 {
         // Show what Pre-BFS keeps for this hop budget.
         let prep = pre_bfs(&graph, s, t, k);

@@ -12,8 +12,8 @@
 
 use pefp::core::{count_st_walks, plan_query, prepare, run_prepared, PefpVariant};
 use pefp::fpga::{
-    DeviceConfig, KernelReport, ModuleCosts, OnChipAreas, PipelineSpec, PowerModel,
-    ResourceBudget, ResourceEstimate, ModuleLatency,
+    DeviceConfig, KernelReport, ModuleCosts, ModuleLatency, OnChipAreas, PipelineSpec, PowerModel,
+    ResourceBudget, ResourceEstimate,
 };
 use pefp::graph::{sampling::sample_reachable_pairs, Dataset, ScaleProfile};
 
@@ -38,7 +38,10 @@ fn main() {
 
     // --- Sweep 1: verification lanes -------------------------------------
     println!("== verification-lane sweep (buffer fixed at the default) ==");
-    println!("{:<8} {:>12} {:>14} {:>12} {:>10}", "lanes", "kernel ms", "DRAM words", "LUT util", "fits");
+    println!(
+        "{:<8} {:>12} {:>14} {:>12} {:>10}",
+        "lanes", "kernel ms", "DRAM words", "LUT util", "fits"
+    );
     for lanes in [1usize, 2, 4, 8, 16, 32] {
         let mut device = DeviceConfig::alveo_u200();
         device.verification_lanes = lanes;
@@ -69,7 +72,10 @@ fn main() {
 
     // --- Sweep 2: buffer-area capacity ------------------------------------
     println!("\n== buffer-area sweep (Batch-DFS, default lanes) ==");
-    println!("{:<14} {:>12} {:>14} {:>14}", "buffer paths", "kernel ms", "buffer flushes", "DRAM fetches");
+    println!(
+        "{:<14} {:>12} {:>14} {:>14}",
+        "buffer paths", "kernel ms", "buffer flushes", "DRAM fetches"
+    );
     for buffer in [512usize, 2_048, 8_192, 32_768] {
         let device = DeviceConfig::alveo_u200();
         let prepared = prepare(&graph, s, t, k, PefpVariant::Full);

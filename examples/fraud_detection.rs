@@ -34,9 +34,9 @@ fn main() {
     // existing s ⇝ t paths of bounded length: together with the new edge they
     // form short cycles, the classic money-laundering signature.
     let incoming = [
-        Transaction { from: VertexId(17), to: VertexId(3), amount_cents: 950_00 },
-        Transaction { from: VertexId(250), to: VertexId(12), amount_cents: 12_400_00 },
-        Transaction { from: VertexId(999), to: VertexId(40), amount_cents: 80_00 },
+        Transaction { from: VertexId(17), to: VertexId(3), amount_cents: 95_000 },
+        Transaction { from: VertexId(250), to: VertexId(12), amount_cents: 1_240_000 },
+        Transaction { from: VertexId(999), to: VertexId(40), amount_cents: 8_000 },
     ];
     let k = 5;
     let device = DeviceConfig::alveo_u200();

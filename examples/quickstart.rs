@@ -35,7 +35,8 @@ fn main() {
     println!("graph: {} vertices, {} edges", csr.num_vertices(), csr.num_edges());
 
     // 2. Pick the query.
-    let parse = |i: usize, default: u32| args.get(i).and_then(|v| v.parse().ok()).unwrap_or(default);
+    let parse =
+        |i: usize, default: u32| args.get(i).and_then(|v| v.parse().ok()).unwrap_or(default);
     let s = VertexId(parse(1, 0));
     let t = VertexId(parse(2, (csr.num_vertices() as u32 / 2).max(1)));
     let k = parse(3, 5);

@@ -17,13 +17,13 @@ use pefp::graph::{generators, VertexId};
 fn main() {
     // Follower graph: low diameter, power-law degrees (twitter-like).
     let graph = generators::small_world(3_000, 3, 0.5, 11).to_csr();
-    println!(
-        "social graph: {} users, {} follow edges",
-        graph.num_vertices(),
-        graph.num_edges()
-    );
+    println!("social graph: {} users, {} follow edges", graph.num_vertices(), graph.num_edges());
 
-    let pairs = [(VertexId(0), VertexId(1500)), (VertexId(42), VertexId(43)), (VertexId(7), VertexId(2900))];
+    let pairs = [
+        (VertexId(0), VertexId(1500)),
+        (VertexId(42), VertexId(43)),
+        (VertexId(7), VertexId(2900)),
+    ];
     let k = 4;
     let device = DeviceConfig::alveo_u200();
 

@@ -44,8 +44,7 @@ fn run_engine(engine: DetectorEngine, stream: &[Transaction]) -> (String, f64, f
         stats.device_millis
     );
     if let Some(alert) = alerts.first() {
-        let path: Vec<String> =
-            alert.cycles[0].iter().map(|v| v.0.to_string()).collect();
+        let path: Vec<String> = alert.cycles[0].iter().map(|v| v.0.to_string()).collect();
         println!(
             "first alert: txn {} -> {} closes cycle [{} -> {}]",
             alert.transaction.from,

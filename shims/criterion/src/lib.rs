@@ -1,0 +1,183 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Presents the same registration API (`criterion_group!`, `criterion_main!`,
+//! benchmark groups, `Bencher::iter`) but replaces the statistical machinery
+//! with a simple mean-of-N wall-clock measurement printed to stdout. Good
+//! enough to keep every bench target compiling and runnable; swap in the real
+//! crate for publication-quality numbers.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Top-level benchmark context (shim: only carries configuration defaults).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Registers a standalone benchmark (group of one).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.to_string());
+        group.bench_function("", f);
+        group.finish();
+        self
+    }
+}
+
+/// Identifier for one benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: function.to_string(), parameter: Some(parameter.to_string()) }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) => write!(f, "{}/{}", self.function, p),
+            None => write!(f, "{}", self.function),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { function: s.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { function: s, parameter: None }
+    }
+}
+
+/// Declared throughput of a benchmark, echoed in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput (recorded, not analysed).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { iters: 0, nanos: 0.0, sample_size: self.sample_size };
+        f(&mut bencher);
+        bencher.report(&self.name, &id);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { iters: 0, nanos: 0.0, sample_size: self.sample_size };
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id);
+        self
+    }
+
+    /// Ends the group (the real crate emits summary statistics here).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    nanos: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `sample_size` calls of `routine` and records the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up call.
+        std::hint::black_box(routine());
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            std::hint::black_box(routine());
+        }
+        self.nanos += started.elapsed().as_nanos() as f64;
+        self.iters += self.sample_size as u64;
+    }
+
+    fn report(&self, group: &str, id: &BenchmarkId) {
+        if self.iters == 0 {
+            println!("{group}/{id}: no samples");
+        } else {
+            let mean = self.nanos / self.iters as f64;
+            println!("{group}/{id}: mean {:.1} ns over {} iters", mean, self.iters);
+        }
+    }
+}
+
+/// Collects benchmark functions into a callable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits a `main` that runs the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,63 @@
+//! Offline stand-in for the real `serde_derive` crate.
+//!
+//! This build environment has no access to a crates.io registry, so the
+//! workspace vendors a minimal shim: the derive macros here emit *marker*
+//! implementations (`impl serde::Serialize for T {}`) rather than real
+//! serialisation code. That is enough to satisfy `T: Serialize` bounds across
+//! the workspace; actual wire formats are provided elsewhere (e.g. the
+//! hand-written device payload codec in `pefp-host::binfmt`).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the struct/enum a derive is attached to, skipping
+/// attributes and visibility. Returns `None` for generic types (none exist in
+/// this workspace); the caller then emits nothing rather than a broken impl.
+fn derived_type_name(input: TokenStream) -> Option<String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // `#[attr]` / doc comments: skip the '#' and the bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" || kw == "union" {
+                    if let Some(TokenTree::Ident(name)) = iter.next() {
+                        if let Some(TokenTree::Punct(p)) = iter.peek() {
+                            if p.as_char() == '<' {
+                                return None;
+                            }
+                        }
+                        return Some(name.to_string());
+                    }
+                    return None;
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Emits `impl serde::Serialize for T {}` for the annotated type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match derived_type_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("shim derive emits valid tokens"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Emits `impl serde::Deserialize for T {}` for the annotated type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match derived_type_name(input) {
+        Some(name) => format!("impl ::serde::Deserialize for {name} {{}}")
+            .parse()
+            .expect("shim derive emits valid tokens"),
+        None => TokenStream::new(),
+    }
+}

@@ -1,0 +1,55 @@
+//! Offline stand-in for the real `serde_json` crate.
+//!
+//! The serde shim's derives are no-ops, so real JSON emission is impossible
+//! here. Instead the pretty printer falls back to Rust's `{:#?}` debug
+//! formatting, which preserves every field name and value in a structured,
+//! diffable (if not JSON-parseable) form. Callers that persist these files
+//! should treat them as debug artefacts until the real serde stack is
+//! restored.
+
+use std::fmt;
+
+/// Error type matching `serde_json::Error`'s role in signatures.
+///
+/// The shim never fails, so this is only ever constructed in tests.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders a value in pretty debug format (stand-in for pretty JSON).
+pub fn to_string_pretty<T: serde::Serialize + fmt::Debug>(value: &T) -> Result<String, Error> {
+    Ok(format!("{value:#?}"))
+}
+
+/// Renders a value in compact debug format (stand-in for compact JSON).
+pub fn to_string<T: serde::Serialize + fmt::Debug>(value: &T) -> Result<String, Error> {
+    Ok(format!("{value:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::Serialize;
+
+    // Fields are consumed through `Debug` formatting only.
+    #[allow(dead_code)]
+    #[derive(Debug, Serialize)]
+    struct Sample {
+        x: u32,
+        name: String,
+    }
+
+    #[test]
+    fn pretty_output_contains_fields() {
+        let s = Sample { x: 7, name: "fig8".to_string() };
+        let out = super::to_string_pretty(&s).unwrap();
+        assert!(out.contains("x: 7"));
+        assert!(out.contains("fig8"));
+    }
+}

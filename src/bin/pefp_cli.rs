@@ -20,8 +20,7 @@ use pefp::host::{
     QueryRequest, SchedulerConfig, SessionConfig,
 };
 use pefp::streaming::{
-    CycleDetector, DetectorConfig, DetectorEngine, TransactionGenerator,
-    TransactionGeneratorConfig,
+    CycleDetector, DetectorConfig, DetectorEngine, TransactionGenerator, TransactionGeneratorConfig,
 };
 
 const HELP: &str = "\
@@ -60,7 +59,9 @@ fn parse_graph_spec(spec: &str) -> Result<GraphHandle, String> {
 }
 
 fn parse_u32(value: &str, name: &str) -> Result<u32, String> {
-    value.parse::<u32>().map_err(|_| format!("{name} must be a non-negative integer, got {value:?}"))
+    value
+        .parse::<u32>()
+        .map_err(|_| format!("{name} must be a non-negative integer, got {value:?}"))
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
@@ -69,11 +70,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     };
     let handle = parse_graph_spec(graph_spec)?;
     println!("loaded {}", handle.summary());
-    let request = QueryRequest::new(
-        parse_u32(s, "s")?,
-        parse_u32(t, "t")?,
-        parse_u32(k, "k")?,
-    );
+    let request = QueryRequest::new(parse_u32(s, "s")?, parse_u32(t, "t")?, parse_u32(k, "k")?);
     let mut session = HostSession::with_graph(handle.csr.clone(), SessionConfig::default());
     let outcome = session.run_query(request).map_err(|e| e.to_string())?;
     println!("paths found           : {}", outcome.num_paths);
@@ -85,7 +82,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         println!("  ... and {} more", outcome.paths.len() - 10);
     }
     println!("preprocessing (T1)    : {:9.3} ms", outcome.preprocess_millis);
-    println!("PCIe transfer         : {:9.3} ms ({} bytes)", outcome.transfer.total_millis, outcome.transfer.bytes);
+    println!(
+        "PCIe transfer         : {:9.3} ms ({} bytes)",
+        outcome.transfer.total_millis, outcome.transfer.bytes
+    );
     println!("device enumeration(T2): {:9.3} ms", outcome.device_millis);
     println!("total                 : {:9.3} ms", outcome.total_millis());
     Ok(())
@@ -138,16 +138,9 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_detect(args: &[String]) -> Result<(), String> {
-    let transactions = args
-        .first()
-        .map(|v| parse_u32(v, "transactions"))
-        .transpose()?
-        .unwrap_or(2_000) as usize;
-    let accounts = args
-        .get(1)
-        .map(|v| parse_u32(v, "accounts"))
-        .transpose()?
-        .unwrap_or(500);
+    let transactions =
+        args.first().map(|v| parse_u32(v, "transactions")).transpose()?.unwrap_or(2_000) as usize;
+    let accounts = args.get(1).map(|v| parse_u32(v, "accounts")).transpose()?.unwrap_or(500);
     if accounts < 4 {
         return Err("accounts must be at least 4".to_string());
     }
@@ -262,12 +255,8 @@ mod tests {
         // Find a reachable pair first so the command always succeeds.
         let handle = parse_graph_spec("dataset:TS:tiny").unwrap();
         let (s, t) = sample_reachable_pairs(&handle.csr, 4, 1, 1)[0];
-        let args = vec![
-            "dataset:TS:tiny".to_string(),
-            s.0.to_string(),
-            t.0.to_string(),
-            "4".to_string(),
-        ];
+        let args =
+            vec!["dataset:TS:tiny".to_string(), s.0.to_string(), t.0.to_string(), "4".to_string()];
         assert!(cmd_query(&args).is_ok());
     }
 

@@ -32,7 +32,11 @@ fn assert_all_agree(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) {
         ("HP-Index", HpIndex::build(g, 8, k).enumerate(g, s, t, k)),
     ];
     for (name, paths) in candidates {
-        assert_eq!(canonicalize(paths), reference, "{name} disagrees with naive DFS on ({s},{t},{k})");
+        assert_eq!(
+            canonicalize(paths),
+            reference,
+            "{name} disagrees with naive DFS on ({s},{t},{k})"
+        );
     }
 
     let device = DeviceConfig::alveo_u200();

@@ -1,0 +1,53 @@
+//! Guards the documented quickstart contract: the `run_query` doc example on
+//! `crates/core/src/lib.rs` (and the README) promises exactly 2 paths on the
+//! diamond graph. Doctests may be skipped in some CI configurations, so the
+//! promise is also pinned here as a plain integration test.
+
+use pefp::core::{run_query, PefpVariant};
+use pefp::fpga::DeviceConfig;
+use pefp::graph::{CsrGraph, VertexId};
+
+/// The diamond from the doc example: 0 → {1, 2} → 3.
+fn diamond() -> CsrGraph {
+    CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+}
+
+#[test]
+fn doc_example_diamond_has_exactly_two_paths() {
+    let result = run_query(
+        &diamond(),
+        VertexId(0),
+        VertexId(3),
+        3,
+        PefpVariant::Full,
+        &DeviceConfig::alveo_u200(),
+    );
+    assert_eq!(result.num_paths, 2);
+    assert_eq!(result.paths.len(), 2);
+
+    let mut paths = result.paths.clone();
+    paths.sort();
+    assert_eq!(
+        paths,
+        vec![
+            vec![VertexId(0), VertexId(1), VertexId(3)],
+            vec![VertexId(0), VertexId(2), VertexId(3)],
+        ]
+    );
+}
+
+#[test]
+fn every_variant_agrees_on_the_diamond() {
+    let g = diamond();
+    let device = DeviceConfig::alveo_u200();
+    for variant in PefpVariant::all() {
+        let result = run_query(&g, VertexId(0), VertexId(3), 3, variant, &device);
+        assert_eq!(result.num_paths, 2, "variant {}", variant.name());
+    }
+}
+
+#[test]
+fn facade_entry_point_matches_the_doc_example() {
+    let result = pefp::enumerate_paths(&diamond(), VertexId(0), VertexId(3), 3);
+    assert_eq!(result.num_paths, 2);
+}

@@ -107,10 +107,7 @@ fn invalid_input_is_rejected_at_every_layer() {
     let mut session = HostSession::with_graph(handle.csr.clone(), SessionConfig::default());
 
     // Parse layer.
-    assert!(matches!(
-        session.run_text_query("QUERY one two three"),
-        Err(HostError::QueryParse(_))
-    ));
+    assert!(matches!(session.run_text_query("QUERY one two three"), Err(HostError::QueryParse(_))));
     // Validation layer.
     assert!(matches!(
         session.run_query(QueryRequest::new(0, n + 5, 3)),

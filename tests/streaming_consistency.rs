@@ -8,8 +8,8 @@ use pefp::enumerate_paths;
 use pefp::graph::paths::{canonicalize, is_simple};
 use pefp::graph::VertexId;
 use pefp::streaming::{
-    CycleDetector, DetectorConfig, DetectorEngine, DynamicGraph, Transaction,
-    TransactionGenerator, TransactionGeneratorConfig,
+    CycleDetector, DetectorConfig, DetectorEngine, DynamicGraph, Transaction, TransactionGenerator,
+    TransactionGeneratorConfig,
 };
 
 fn stream(seed: u64, count: usize) -> Vec<Transaction> {
@@ -38,14 +38,12 @@ fn detector_cycles_match_offline_enumeration_on_the_same_snapshot() {
         // Offline check on the shadow graph *before* inserting the new edge.
         let s = VertexId(tx.to);
         let t = VertexId(tx.from);
-        let expected = if s != t
-            && s.index() < shadow.num_vertices()
-            && t.index() < shadow.num_vertices()
-        {
-            naive_dfs_enumerate(&shadow.snapshot_csr(), s, t, 4)
-        } else {
-            Vec::new()
-        };
+        let expected =
+            if s != t && s.index() < shadow.num_vertices() && t.index() < shadow.num_vertices() {
+                naive_dfs_enumerate(&shadow.snapshot_csr(), s, t, 4)
+            } else {
+                Vec::new()
+            };
         assert_eq!(
             canonicalize(alert.cycles.clone()),
             canonicalize(expected),
@@ -62,11 +60,8 @@ fn detector_cycles_match_offline_enumeration_on_the_same_snapshot() {
 fn engines_report_identical_alert_sets() {
     let txs = stream(11, 400);
     let mut reference: Option<Vec<(u64, usize)>> = None;
-    for engine in [
-        DetectorEngine::NaiveDfs,
-        DetectorEngine::JoinCpu,
-        DetectorEngine::PefpSimulated,
-    ] {
+    for engine in [DetectorEngine::NaiveDfs, DetectorEngine::JoinCpu, DetectorEngine::PefpSimulated]
+    {
         let mut detector = CycleDetector::new(DetectorConfig {
             max_cycle_hops: 6,
             window_size: 1_000_000,
@@ -74,10 +69,8 @@ fn engines_report_identical_alert_sets() {
             ..DetectorConfig::default()
         });
         let alerts = detector.ingest_stream(&txs);
-        let signature: Vec<(u64, usize)> = alerts
-            .iter()
-            .map(|a| (a.transaction.timestamp, a.cycles.len()))
-            .collect();
+        let signature: Vec<(u64, usize)> =
+            alerts.iter().map(|a| (a.transaction.timestamp, a.cycles.len())).collect();
         match &reference {
             None => reference = Some(signature),
             Some(expected) => assert_eq!(&signature, expected, "engine {engine:?}"),
@@ -102,7 +95,11 @@ fn every_reported_cycle_is_simple_and_closed_by_the_new_edge() {
             assert!(cycle.len() >= 2);
             assert!(cycle.len() - 1 <= 4, "path part must be at most k-1 hops");
             assert_eq!(cycle[0], VertexId(tx.to), "path starts at the new edge's head");
-            assert_eq!(*cycle.last().unwrap(), VertexId(tx.from), "path ends at the new edge's tail");
+            assert_eq!(
+                *cycle.last().unwrap(),
+                VertexId(tx.from),
+                "path ends at the new edge's tail"
+            );
         }
         total_cycles += alert.cycles.len();
     }
