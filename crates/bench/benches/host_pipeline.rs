@@ -5,12 +5,13 @@
 //! the setup cost) can be checked against measured numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pefp_core::{pre_bfs, PefpVariant};
+use pefp_core::{pre_bfs, pre_bfs_with, PefpVariant, PrepareContext};
 use pefp_graph::sampling::sample_reachable_pairs;
 use pefp_graph::{Dataset, ScaleProfile, VertexId};
 use pefp_host::binfmt::{decode_payload, encode_payload};
 use pefp_host::{BatchScheduler, GraphHandle, QueryRequest, SchedulerConfig};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_payload_codec(c: &mut Criterion) {
     let g = Dataset::SocEpinions.generate(ScaleProfile::Tiny).to_csr();
@@ -70,12 +71,22 @@ fn bench_prebfs_vs_graph_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("host_prebfs");
     group.sample_size(10);
     for dataset in [Dataset::Amazon, Dataset::WikiTalk, Dataset::Skitter] {
-        let g = dataset.generate(ScaleProfile::Tiny).to_csr();
+        let g = Arc::new(dataset.generate(ScaleProfile::Tiny).to_csr());
         let pairs = sample_reachable_pairs(&g, 5, 1, 13);
         let Some(&(s, t)) = pairs.first() else { continue };
         group.bench_with_input(BenchmarkId::new("k5", dataset.code()), &g, |b, g| {
             b.iter(|| {
                 black_box(pre_bfs(black_box(g), VertexId(s.0), VertexId(t.0), 5).graph.num_edges())
+            })
+        });
+        let mut ctx = PrepareContext::new();
+        group.bench_with_input(BenchmarkId::new("k5_ctx", dataset.code()), &g, |b, g| {
+            b.iter(|| {
+                black_box(
+                    pre_bfs_with(&mut ctx, black_box(g), VertexId(s.0), VertexId(t.0), 5)
+                        .graph
+                        .num_edges(),
+                )
             })
         });
     }

@@ -7,10 +7,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pefp_core::engine::verify::{verify, Verdict};
-use pefp_core::{pre_bfs, TempPath};
-use pefp_graph::bfs::khop_bfs;
+use pefp_core::{pre_bfs, pre_bfs_with, PrepareContext, TempPath};
+use pefp_graph::bfs::{khop_bfs, BfsScratch};
 use pefp_graph::{generators, CsrBuilder, VertexId};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_csr_construction(c: &mut Criterion) {
     let graph = generators::chung_lu(5_000, 8.0, 2.2, 1);
@@ -38,16 +39,35 @@ fn bench_khop_bfs(c: &mut Criterion) {
         group.bench_function(format!("k{k}"), |b| {
             b.iter(|| black_box(khop_bfs(&g, VertexId(0), k).len()))
         });
+        // Epoch-stamped scratch: O(touched) per run instead of a fresh O(|V|)
+        // distance array.
+        let mut scratch = BfsScratch::new();
+        group.bench_function(format!("k{k}_scratch"), |b| {
+            b.iter(|| {
+                scratch.run(&g, VertexId(0), k);
+                black_box(scratch.touched_len())
+            })
+        });
     }
     group.finish();
 }
 
 fn bench_prebfs(c: &mut Criterion) {
-    let g = generators::chung_lu(10_000, 8.0, 2.2, 3).to_csr();
+    let g = Arc::new(generators::chung_lu(10_000, 8.0, 2.2, 3).to_csr());
     let mut group = c.benchmark_group("pre_bfs");
     for k in [3u32, 5] {
         group.bench_function(format!("k{k}"), |b| {
             b.iter(|| black_box(pre_bfs(&g, VertexId(0), VertexId(5_000), k).graph.num_edges()))
+        });
+        // The repeated-query path: scratch and the reverse CSR amortised
+        // across queries by a reused PrepareContext.
+        let mut ctx = PrepareContext::new();
+        group.bench_function(format!("k{k}_ctx"), |b| {
+            b.iter(|| {
+                black_box(
+                    pre_bfs_with(&mut ctx, &g, VertexId(0), VertexId(5_000), k).graph.num_edges(),
+                )
+            })
         });
     }
     group.finish();

@@ -7,7 +7,9 @@
 //! The crate is organised along the paper's own structure:
 //!
 //! * [`preprocess`] — host-side **Pre-BFS** (Section V): `(k-1)`-hop
-//!   bidirectional BFS, Theorem 1 vertex cut, induced subgraph + barrier.
+//!   bidirectional BFS, Theorem 1 vertex cut, induced subgraph + barrier,
+//!   with a reusable [`PrepareContext`] that makes repeated preparation
+//!   O(touched subgraph) instead of O(|V| + |E|).
 //! * [`path`] — fixed-width intermediate path rows with the neighbour-pointer
 //!   windows Batch-DFS needs.
 //! * [`engine`] — the device-side expansion-and-verification engine
@@ -59,6 +61,11 @@ pub use multi_query::{run_query_batch, BatchReport};
 pub use options::{BatchStrategy, EngineOptions, VerificationPipeline};
 pub use path::{TempPath, MAX_K};
 pub use planner::{plan_query, QueryPlan};
-pub use preprocess::{no_prebfs_preprocess, pre_bfs, PreparedQuery};
+pub use preprocess::{
+    no_prebfs_preprocess, no_prebfs_with, pre_bfs, pre_bfs_with, PrepareContext, PrepareStats,
+    PreparedQuery,
+};
 pub use result::{EngineOutput, EngineStats, PefpRunResult};
-pub use variants::{prepare, run_prepared, run_query, run_query_with_options, PefpVariant};
+pub use variants::{
+    prepare, prepare_with, run_prepared, run_query, run_query_with_options, PefpVariant,
+};

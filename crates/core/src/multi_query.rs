@@ -13,12 +13,13 @@
 //! stays sequential and deterministic, matching the single-kernel design of
 //! the paper.
 
-use crate::preprocess::PreparedQuery;
+use crate::preprocess::{PrepareContext, PreparedQuery};
 use crate::result::PefpRunResult;
-use crate::variants::{prepare, run_prepared, PefpVariant};
+use crate::variants::{prepare_with, run_prepared, PefpVariant};
 use pefp_fpga::{Device, DeviceConfig};
 use pefp_graph::{CsrGraph, VertexId};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Aggregate report for a batch of queries.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,10 +59,15 @@ impl BatchReport {
 /// Preprocesses `queries` on `workers` host threads and runs them on the
 /// simulated device, shipping all prepared data in one DMA transfer.
 ///
+/// The graph is taken as `Arc` so the no-Pre-BFS ablation and trivial queries
+/// share it per query instead of cloning it, and each worker amortises one
+/// [`PrepareContext`] (epoch-stamped BFS scratch + the reverse CSR, built
+/// once per batch rather than once per query) across its whole slice.
+///
 /// Returns the aggregate report and the individual per-query results (paths
 /// in original vertex ids), in the same order as the input.
 pub fn run_query_batch(
-    g: &CsrGraph,
+    g: &Arc<CsrGraph>,
     queries: &[(VertexId, VertexId)],
     k: u32,
     variant: PefpVariant,
@@ -71,7 +77,8 @@ pub fn run_query_batch(
     let workers = workers.max(1);
     let start = std::time::Instant::now();
     let prepared: Vec<PreparedQuery> = if workers == 1 || queries.len() <= 1 {
-        queries.iter().map(|&(s, t)| prepare(g, s, t, k, variant)).collect()
+        let mut ctx = PrepareContext::new();
+        queries.iter().map(|&(s, t)| prepare_with(&mut ctx, g, s, t, k, variant)).collect()
     } else {
         parallel_prepare(g, queries, k, variant, workers)
     };
@@ -110,21 +117,26 @@ pub fn run_query_batch(
 }
 
 /// Preprocesses the queries on `workers` scoped threads, preserving order.
+/// The reverse CSR is built once up front and shared read-only; each worker
+/// owns one [`PrepareContext`] for the lifetime of its slice.
 fn parallel_prepare(
-    g: &CsrGraph,
+    g: &Arc<CsrGraph>,
     queries: &[(VertexId, VertexId)],
     k: u32,
     variant: PefpVariant,
     workers: usize,
 ) -> Vec<PreparedQuery> {
+    let reverse = Arc::new(g.reverse());
     let mut slots: Vec<Option<PreparedQuery>> = Vec::new();
     slots.resize_with(queries.len(), || None);
     let chunk = queries.len().div_ceil(workers);
     std::thread::scope(|scope| {
         for (query_chunk, slot_chunk) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            let reverse = Arc::clone(&reverse);
             scope.spawn(move || {
+                let mut ctx = PrepareContext::with_reverse(g, reverse);
                 for (&(s, t), slot) in query_chunk.iter().zip(slot_chunk.iter_mut()) {
-                    *slot = Some(prepare(g, s, t, k, variant));
+                    *slot = Some(prepare_with(&mut ctx, g, s, t, k, variant));
                 }
             });
         }
@@ -151,7 +163,7 @@ mod tests {
 
     #[test]
     fn batch_results_match_individual_queries() {
-        let g = chung_lu(100, 5.0, 2.2, 1234).to_csr();
+        let g = Arc::new(chung_lu(100, 5.0, 2.2, 1234).to_csr());
         let queries = sample_queries(&g, 6);
         let device = DeviceConfig::alveo_u200();
         let (report, results) = run_query_batch(&g, &queries, 4, PefpVariant::Full, &device, 1);
@@ -166,7 +178,7 @@ mod tests {
 
     #[test]
     fn parallel_preprocessing_matches_sequential() {
-        let g = chung_lu(200, 5.0, 2.2, 77).to_csr();
+        let g = Arc::new(chung_lu(200, 5.0, 2.2, 77).to_csr());
         let queries = sample_queries(&g, 9);
         let device = DeviceConfig::alveo_u200();
         let (seq_report, seq_results) =
@@ -184,7 +196,7 @@ mod tests {
     fn transfer_time_matches_the_paper_ballpark() {
         // The paper reports 0.1-0.3 ms of amortised transfer per query; a
         // batch of small prepared subgraphs must stay in that regime.
-        let g = chung_lu(300, 6.0, 2.2, 5).to_csr();
+        let g = Arc::new(chung_lu(300, 6.0, 2.2, 5).to_csr());
         let queries = sample_queries(&g, 20);
         let device = DeviceConfig::alveo_u200();
         let (report, _) = run_query_batch(&g, &queries, 4, PefpVariant::Full, &device, 2);
@@ -196,7 +208,7 @@ mod tests {
 
     #[test]
     fn empty_batch_is_handled() {
-        let g = chung_lu(50, 4.0, 2.2, 3).to_csr();
+        let g = Arc::new(chung_lu(50, 4.0, 2.2, 3).to_csr());
         let device = DeviceConfig::alveo_u200();
         let (report, results) = run_query_batch(&g, &[], 4, PefpVariant::Full, &device, 4);
         assert_eq!(report.queries, 0);

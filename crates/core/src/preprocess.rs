@@ -14,24 +14,48 @@
 //! in Section V); the implementation force-keeps the two endpoints to cover
 //! that corner case.
 //!
-//! The module also provides the *no-Pre-BFS* preprocessing used by the
-//! ablation in Fig. 12 (barrier from a full k-hop reverse BFS, no subgraph
-//! extraction) and re-exports timing helpers used by the experiment runner.
+//! ## Per-query cost: O(touched), not O(|V|)
+//!
+//! The paper's headline claim covers preprocessing as much as enumeration, so
+//! the host side must not spend O(|V| + |E|) per query when the k-hop
+//! frontier reaches a few hundred vertices. [`PrepareContext`] is the
+//! reusable state that makes repeated preparation output-sensitive:
+//!
+//! * two epoch-stamped [`BfsScratch`] instances (forward from `s`, backward
+//!   from `t` on `G_rev`) whose allocations persist across queries and whose
+//!   touched-vertex lists replace full-vertex scans,
+//! * a build-once-share-many reverse CSR (`Arc<CsrGraph>`), either installed
+//!   by the caller (the host loader already builds one per graph) or computed
+//!   lazily on the first query and reused for every subsequent query on the
+//!   same graph,
+//! * Theorem 1's cut evaluated over the forward frontier only, feeding
+//!   `induce_subgraph_from_vertices` so `G'` is built from the kept list.
+//!
+//! [`pre_bfs_with`] / [`no_prebfs_with`] are the real implementations;
+//! [`pre_bfs`] and [`no_prebfs_preprocess`] remain as one-shot wrappers with
+//! their original signatures. The module also provides the *no-Pre-BFS*
+//! preprocessing used by the ablation in Fig. 12 (barrier from a full k-hop
+//! reverse BFS, no subgraph extraction).
 
-use pefp_graph::bfs::{khop_bfs, UNREACHED};
-use pefp_graph::induced::{induce_subgraph, InducedSubgraph};
+use pefp_graph::bfs::{BfsScratch, UNREACHED};
+use pefp_graph::induced::{induce_subgraph_from_vertices_with, InducedSubgraph, RemapScratch};
 use pefp_graph::{CsrGraph, VertexId};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Everything the device needs to run one query.
+///
+/// The graph is held behind an `Arc`: the Pre-BFS path shares it with the
+/// mapping (one copy of `G'`, not two), and the no-Pre-BFS / trivial paths
+/// share the caller's data graph instead of cloning all of `G`.
 #[derive(Debug, Clone)]
 pub struct PreparedQuery {
     /// The graph the device will search (the induced subgraph `G'` for
     /// Pre-BFS, or the full graph for the no-Pre-BFS ablation), with densely
     /// remapped vertex ids.
-    pub graph: CsrGraph,
+    pub graph: Arc<CsrGraph>,
     /// Mapping between original and device vertex ids (`None` when the full
-    /// graph is used unchanged).
+    /// graph is used unchanged). Shares its graph with the `graph` field.
     pub mapping: Option<InducedSubgraph>,
     /// Source vertex in device ids.
     pub s: VertexId,
@@ -65,35 +89,160 @@ impl PreparedQuery {
     }
 }
 
-/// Pre-BFS preprocessing (the paper's Algorithm in Section V).
+/// Counters describing the work a [`PrepareContext`] has performed; used by
+/// tests and benches to verify the O(touched) contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrepareStats {
+    /// Queries prepared through this context.
+    pub queries: u64,
+    /// Reverse-CSR constructions paid by this context (0 when the caller
+    /// installed a prebuilt reverse). The cache holds one graph's reverse —
+    /// the context-per-served-graph design — so this counts one build per
+    /// *graph switch*: a context alternating between two graphs rebuilds on
+    /// every alternation and wants to be split into one context per graph.
+    pub reverse_builds: u64,
+    /// Vertices reached by the BFS frontiers of the most recent preparation
+    /// (forward + backward for Pre-BFS, endpoints included; backward only
+    /// for no-Pre-BFS; 0 for trivial queries, which run no BFS).
+    pub last_touched: usize,
+}
+
+/// Reusable preprocessing state: BFS scratch, kept-list buffer and the shared
+/// reverse CSR for the graph currently being served.
+///
+/// One context per worker thread; it is deliberately `!Sync`-free (plain owned
+/// buffers), so batch runners hand each thread its own.
+#[derive(Debug, Default)]
+pub struct PrepareContext {
+    forward: BfsScratch,
+    backward: BfsScratch,
+    remap: RemapScratch,
+    reverse: Option<(Arc<CsrGraph>, Arc<CsrGraph>)>,
+    stats: PrepareStats,
+}
+
+impl PrepareContext {
+    /// A fresh context with empty scratch buffers.
+    pub fn new() -> Self {
+        PrepareContext::default()
+    }
+
+    /// A context that already knows the reverse CSR of `g` — the host loader
+    /// builds one per loaded graph; wiring it here means no query ever pays
+    /// for `g.reverse()` again.
+    pub fn with_reverse(g: &Arc<CsrGraph>, reverse: Arc<CsrGraph>) -> Self {
+        let mut ctx = PrepareContext::new();
+        ctx.install_reverse(g, reverse);
+        ctx
+    }
+
+    /// Installs (or replaces) the shared reverse CSR for `g`. A no-op when
+    /// the same graph's reverse is already installed.
+    pub fn install_reverse(&mut self, g: &Arc<CsrGraph>, reverse: Arc<CsrGraph>) {
+        debug_assert_eq!(g.num_vertices(), reverse.num_vertices());
+        if !matches!(&self.reverse, Some((cached, _)) if Arc::ptr_eq(cached, g)) {
+            self.reverse = Some((Arc::clone(g), reverse));
+        }
+    }
+
+    /// The reverse CSR for `g`: the installed/cached one when it matches,
+    /// otherwise computed once and cached for subsequent queries.
+    fn reverse_for(&mut self, g: &Arc<CsrGraph>) -> Arc<CsrGraph> {
+        if let Some((cached, rev)) = &self.reverse {
+            if Arc::ptr_eq(cached, g) {
+                return Arc::clone(rev);
+            }
+        }
+        let rev = Arc::new(g.reverse());
+        self.stats.reverse_builds += 1;
+        self.reverse = Some((Arc::clone(g), Arc::clone(&rev)));
+        rev
+    }
+
+    /// Work counters accumulated by this context.
+    pub fn stats(&self) -> PrepareStats {
+        self.stats
+    }
+}
+
+/// Pre-BFS preprocessing (the paper's Algorithm in Section V) against a
+/// reusable [`PrepareContext`]; cost is proportional to the BFS frontier.
+pub fn pre_bfs_with(
+    ctx: &mut PrepareContext,
+    g: &Arc<CsrGraph>,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+) -> PreparedQuery {
+    let start = Instant::now();
+    assert!(s.index() < g.num_vertices(), "source {s} out of range");
+    assert!(t.index() < g.num_vertices(), "target {t} out of range");
+    ctx.stats.queries += 1;
+
+    // Degenerate hop budgets: k = 0 only ever admits the trivial s == t path.
+    if k == 0 || s == t {
+        ctx.stats.last_touched = 0;
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        return trivial_prepared(Arc::clone(g), s, t, k, elapsed);
+    }
+    let rev = ctx.reverse_for(g);
+    pre_bfs_core(ctx, g, &rev, s, t, k, start)
+}
+
+/// Pre-BFS preprocessing (the paper's Algorithm in Section V), one-shot form:
+/// allocates fresh scratch and recomputes the reverse CSR. Kept for callers
+/// that prepare a single query; batch and server workloads should reuse a
+/// [`PrepareContext`] via [`pre_bfs_with`].
 pub fn pre_bfs(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> PreparedQuery {
     let start = Instant::now();
     assert!(s.index() < g.num_vertices(), "source {s} out of range");
     assert!(t.index() < g.num_vertices(), "target {t} out of range");
 
-    // Degenerate hop budgets: k = 0 only ever admits the trivial s == t path.
     if k == 0 || s == t {
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
-        return trivial_prepared(g, s, t, k, elapsed);
+        return trivial_prepared(Arc::new(g.clone()), s, t, k, elapsed);
     }
+    let mut ctx = PrepareContext::new();
+    ctx.stats.queries += 1;
+    let rev = g.reverse();
+    pre_bfs_core(&mut ctx, g, &rev, s, t, k, start)
+}
 
+/// Shared non-trivial Pre-BFS implementation. Touches only the vertices the
+/// two bounded BFS frontiers reach: the Theorem 1 cut iterates the forward
+/// frontier (every kept vertex other than the force-kept endpoints has a
+/// finite `sd(s, ·)`), and the subgraph is induced from the kept list.
+fn pre_bfs_core(
+    ctx: &mut PrepareContext,
+    g: &CsrGraph,
+    rev: &CsrGraph,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+    start: Instant,
+) -> PreparedQuery {
     // (k-1)-hop bidirectional BFS.
     let bound = k - 1;
-    let sds = khop_bfs(g, s, bound);
-    let rev = g.reverse();
-    let sdt = khop_bfs(&rev, t, bound);
+    ctx.forward.run(g, s, bound);
+    ctx.backward.run(rev, t, bound);
+    ctx.stats.last_touched = ctx.forward.touched_len() + ctx.backward.touched_len();
 
     // Theorem 1 cut, with s and t force-kept (they are the only valid vertices
-    // a k-hop BFS could still add).
-    let keep = |u: VertexId| {
+    // a k-hop BFS could still add). `induce_subgraph_from_vertices` sorts and
+    // deduplicates, so the kept order matches the old full-scan extraction.
+    let mut kept: Vec<VertexId> = Vec::with_capacity(ctx.forward.touched_len() + 2);
+    kept.push(s);
+    kept.push(t);
+    for &u in ctx.forward.touched() {
         if u == s || u == t {
-            return true;
+            continue;
         }
-        let a = sds[u.index()];
-        let b = sdt[u.index()];
-        a != UNREACHED && b != UNREACHED && a + b <= k
-    };
-    let mapping = induce_subgraph(g, keep);
+        let b = ctx.backward.dist(u);
+        if b != UNREACHED && ctx.forward.dist(u) + b <= k {
+            kept.push(u);
+        }
+    }
+    let mapping = induce_subgraph_from_vertices_with(&mut ctx.remap, g, kept);
 
     let new_s = mapping.to_new(s).expect("s is force-kept");
     let new_t = mapping.to_new(t).expect("t is force-kept");
@@ -106,7 +255,7 @@ pub fn pre_bfs(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> PreparedQuery 
         .old_of_new
         .iter()
         .map(|&old| {
-            let d = sdt[old.index()];
+            let d = ctx.backward.dist(old);
             if d == UNREACHED || d > k {
                 k + 1
             } else {
@@ -117,14 +266,14 @@ pub fn pre_bfs(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> PreparedQuery 
 
     // Feasible iff t is reachable from s within k hops: either the BFS saw it
     // directly, or (distance exactly k) both frontiers meet.
-    let feasible = sds[t.index()] != UNREACHED
+    let feasible = ctx.forward.dist(t) != UNREACHED
         || g.successors(s)
             .iter()
-            .any(|&v| v == t || (sdt[v.index()] != UNREACHED && sdt[v.index()] < k));
+            .any(|&v| v == t || (ctx.backward.dist(v) != UNREACHED && ctx.backward.dist(v) < k));
 
     let host_millis = start.elapsed().as_secs_f64() * 1e3;
     PreparedQuery {
-        graph: mapping.graph.clone(),
+        graph: Arc::clone(&mapping.graph),
         s: new_s,
         t: new_t,
         k,
@@ -135,48 +284,59 @@ pub fn pre_bfs(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> PreparedQuery 
     }
 }
 
-/// Preprocessing for the PEFP-No-Pre-BFS ablation (Fig. 12): the device
-/// receives the *full* graph; only the barrier array is computed (k-hop BFS
-/// from `t` on the reverse graph), because the barrier check is part of the
-/// core algorithm rather than of the Pre-BFS optimisation.
-pub fn no_prebfs_preprocess(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> PreparedQuery {
+/// Preprocessing for the PEFP-No-Pre-BFS ablation (Fig. 12) against a
+/// reusable [`PrepareContext`]: the device receives the *full* graph (shared,
+/// not cloned); only the barrier array is computed (k-hop BFS from `t` on the
+/// reverse graph), because the barrier check is part of the core algorithm
+/// rather than of the Pre-BFS optimisation.
+pub fn no_prebfs_with(
+    ctx: &mut PrepareContext,
+    g: &Arc<CsrGraph>,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+) -> PreparedQuery {
     let start = Instant::now();
     assert!(s.index() < g.num_vertices(), "source {s} out of range");
     assert!(t.index() < g.num_vertices(), "target {t} out of range");
+    ctx.stats.queries += 1;
     if k == 0 || s == t {
+        ctx.stats.last_touched = 0;
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
-        return trivial_prepared(g, s, t, k, elapsed);
+        return trivial_prepared(Arc::clone(g), s, t, k, elapsed);
     }
-    let rev = g.reverse();
-    let mut barrier = khop_bfs(&rev, t, k);
-    for b in &mut barrier {
-        if *b == UNREACHED {
-            *b = k + 1;
-        }
+    let rev = ctx.reverse_for(g);
+    ctx.backward.run(&rev, t, k);
+    ctx.stats.last_touched = ctx.backward.touched_len();
+
+    // The ablation ships a full-length barrier by design; fill the clamp
+    // default and overwrite only the reached vertices.
+    let mut barrier = vec![k + 1; g.num_vertices()];
+    for &v in ctx.backward.touched() {
+        barrier[v.index()] = ctx.backward.dist(v);
     }
     let feasible = barrier[s.index()] <= k;
     let host_millis = start.elapsed().as_secs_f64() * 1e3;
-    PreparedQuery { graph: g.clone(), mapping: None, s, t, k, barrier, feasible, host_millis }
+    PreparedQuery { graph: Arc::clone(g), mapping: None, s, t, k, barrier, feasible, host_millis }
+}
+
+/// One-shot form of [`no_prebfs_with`] with the original borrowed-graph
+/// signature; clones `g` once into shared ownership (the ablation ships the
+/// full graph, so that copy existed before the context API too).
+pub fn no_prebfs_preprocess(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> PreparedQuery {
+    no_prebfs_with(&mut PrepareContext::new(), &Arc::new(g.clone()), s, t, k)
 }
 
 /// Shared handling of `k == 0` and `s == t`.
 fn trivial_prepared(
-    g: &CsrGraph,
+    graph: Arc<CsrGraph>,
     s: VertexId,
     t: VertexId,
     k: u32,
     host_millis: f64,
 ) -> PreparedQuery {
-    PreparedQuery {
-        graph: g.clone(),
-        mapping: None,
-        s,
-        t,
-        k,
-        barrier: vec![k + 1; g.num_vertices()],
-        feasible: s == t,
-        host_millis,
-    }
+    let barrier = vec![k + 1; graph.num_vertices()];
+    PreparedQuery { graph, mapping: None, s, t, k, barrier, feasible: s == t, host_millis }
 }
 
 #[cfg(test)]
@@ -302,5 +462,62 @@ mod tests {
     fn out_of_range_source_panics() {
         let g = sample();
         pre_bfs(&g, VertexId(99), VertexId(9), 5);
+    }
+
+    #[test]
+    fn reused_context_matches_one_shot_across_queries() {
+        let g = Arc::new(chung_lu(400, 6.0, 2.2, 7).to_csr());
+        let mut ctx = PrepareContext::new();
+        for &(s, t, k) in
+            &[(0u32, 200u32, 4u32), (3, 17, 5), (250, 9, 3), (0, 200, 4), (5, 5, 4), (1, 2, 0)]
+        {
+            let with_ctx = pre_bfs_with(&mut ctx, &g, VertexId(s), VertexId(t), k);
+            let one_shot = pre_bfs(&g, VertexId(s), VertexId(t), k);
+            assert_eq!(with_ctx.graph, one_shot.graph, "query ({s},{t},{k})");
+            assert_eq!(with_ctx.barrier, one_shot.barrier);
+            assert_eq!(with_ctx.feasible, one_shot.feasible);
+            assert_eq!((with_ctx.s, with_ctx.t, with_ctx.k), (one_shot.s, one_shot.t, one_shot.k));
+        }
+        assert_eq!(ctx.stats().queries, 6);
+        assert_eq!(ctx.stats().reverse_builds, 1, "reverse CSR must be built once, not per query");
+    }
+
+    #[test]
+    fn context_reuses_an_installed_reverse() {
+        let g = Arc::new(sample());
+        let rev = Arc::new(g.reverse());
+        let mut ctx = PrepareContext::with_reverse(&g, rev);
+        for _ in 0..3 {
+            let prep = pre_bfs_with(&mut ctx, &g, VertexId(0), VertexId(9), 5);
+            assert!(prep.feasible);
+        }
+        assert_eq!(ctx.stats().reverse_builds, 0, "installed reverse must be reused");
+    }
+
+    #[test]
+    fn context_rebuilds_reverse_when_the_graph_changes() {
+        let a = Arc::new(sample());
+        let b = Arc::new(CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]));
+        let mut ctx = PrepareContext::new();
+        pre_bfs_with(&mut ctx, &a, VertexId(0), VertexId(9), 5);
+        pre_bfs_with(&mut ctx, &b, VertexId(0), VertexId(3), 4);
+        pre_bfs_with(&mut ctx, &b, VertexId(1), VertexId(3), 4);
+        assert_eq!(ctx.stats().reverse_builds, 2, "one build per distinct graph");
+    }
+
+    #[test]
+    fn shared_paths_do_not_clone_the_data_graph() {
+        let g = Arc::new(chung_lu(500, 5.0, 2.2, 11).to_csr());
+        let mut ctx = PrepareContext::new();
+        // No-Pre-BFS ships the full graph: it must be the same allocation.
+        let no_prebfs = no_prebfs_with(&mut ctx, &g, VertexId(0), VertexId(250), 4);
+        assert!(Arc::ptr_eq(&no_prebfs.graph, &g));
+        // Trivial queries share the data graph too.
+        let trivial = pre_bfs_with(&mut ctx, &g, VertexId(7), VertexId(7), 4);
+        assert!(Arc::ptr_eq(&trivial.graph, &g));
+        // Pre-BFS stores G' exactly once: the query and its mapping share it.
+        let full = pre_bfs_with(&mut ctx, &g, VertexId(0), VertexId(250), 4);
+        let mapping = full.mapping.as_ref().unwrap();
+        assert!(Arc::ptr_eq(&full.graph, &mapping.graph));
     }
 }

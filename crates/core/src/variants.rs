@@ -17,11 +17,14 @@
 
 use crate::engine::PefpEngine;
 use crate::options::{BatchStrategy, EngineOptions, VerificationPipeline};
-use crate::preprocess::{no_prebfs_preprocess, pre_bfs, PreparedQuery};
+use crate::preprocess::{
+    no_prebfs_preprocess, no_prebfs_with, pre_bfs, pre_bfs_with, PrepareContext, PreparedQuery,
+};
 use crate::result::PefpRunResult;
 use pefp_fpga::{Device, DeviceConfig};
 use pefp_graph::{CsrGraph, VertexId};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The PEFP system configurations evaluated in the paper.
@@ -82,6 +85,9 @@ impl PefpVariant {
 
 /// Runs the host preprocessing for `variant` (Pre-BFS or the full-graph
 /// fallback), returning the prepared query with its host timing filled in.
+///
+/// One-shot form; repeated-query callers should reuse a [`PrepareContext`]
+/// via [`prepare_with`], which amortises BFS scratch and the reverse CSR.
 pub fn prepare(
     g: &CsrGraph,
     s: VertexId,
@@ -93,6 +99,24 @@ pub fn prepare(
         pre_bfs(g, s, t, k)
     } else {
         no_prebfs_preprocess(g, s, t, k)
+    }
+}
+
+/// [`prepare`] against a reusable [`PrepareContext`] and a shared graph:
+/// per-query cost is proportional to the touched subgraph, and the full-graph
+/// paths (no-Pre-BFS, trivial queries) share `g` instead of cloning it.
+pub fn prepare_with(
+    ctx: &mut PrepareContext,
+    g: &Arc<CsrGraph>,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+    variant: PefpVariant,
+) -> PreparedQuery {
+    if variant.uses_prebfs() {
+        pre_bfs_with(ctx, g, s, t, k)
+    } else {
+        no_prebfs_with(ctx, g, s, t, k)
     }
 }
 

@@ -22,6 +22,11 @@ pub fn khop_bfs(g: &CsrGraph, source: VertexId, max_hops: u32) -> Vec<u32> {
 }
 
 /// Multi-source variant of [`khop_bfs`]: every source starts at distance 0.
+///
+/// Kept as a direct dense implementation: callers that want a full distance
+/// array (JOIN preprocessing, barrier construction over all of `G`) pay
+/// O(|V|) for the output anyway, so the epoch-stamping of [`BfsScratch`]
+/// would only add bookkeeping here.
 pub fn khop_bfs_multi(g: &CsrGraph, sources: &[VertexId], max_hops: u32) -> Vec<u32> {
     let n = g.num_vertices();
     let mut dist = vec![UNREACHED; n];
@@ -45,6 +50,118 @@ pub fn khop_bfs_multi(g: &CsrGraph, sources: &[VertexId], max_hops: u32) -> Vec<
         }
     }
     dist
+}
+
+/// Reusable hop-bounded BFS scratch space with epoch-stamped distances.
+///
+/// A fresh `khop_bfs` call pays O(|V|) to allocate and initialise its distance
+/// array even when the hop bound confines the traversal to a handful of
+/// vertices. `BfsScratch` amortises that cost across queries: the distance
+/// array is allocated once and validated per run through a generation counter
+/// (`mark[v] == epoch` means `dist[v]` belongs to the current run), so a new
+/// run costs O(touched), not O(|V|). The scratch also records the exact set of
+/// reached vertices, which is what the Pre-BFS vertex cut iterates instead of
+/// scanning every vertex of the data graph.
+#[derive(Debug, Default, Clone)]
+pub struct BfsScratch {
+    dist: Vec<u32>,
+    mark: Vec<u32>,
+    epoch: u32,
+    touched: Vec<VertexId>,
+    queue: VecDeque<VertexId>,
+}
+
+impl BfsScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        BfsScratch::default()
+    }
+
+    /// Opens a new epoch sized for `n` vertices, invalidating all previous
+    /// distances in O(1) (except on counter wrap-around or graph resize).
+    fn begin(&mut self, n: usize) {
+        if self.dist.len() != n {
+            self.dist = vec![0; n];
+            self.mark = vec![0; n];
+            self.epoch = 0;
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                // Counter wrapped: every stale mark could alias the new epoch,
+                // so pay one O(|V|) reset and restart the generation sequence.
+                self.mark.fill(0);
+                1
+            }
+        };
+        self.touched.clear();
+        self.queue.clear();
+    }
+
+    #[inline]
+    fn visit(&mut self, v: VertexId, d: u32) {
+        self.mark[v.index()] = self.epoch;
+        self.dist[v.index()] = d;
+        self.touched.push(v);
+        self.queue.push_back(v);
+    }
+
+    /// Runs a hop-bounded BFS from `source`, replacing any previous run.
+    pub fn run(&mut self, g: &CsrGraph, source: VertexId, max_hops: u32) {
+        self.run_multi(g, std::slice::from_ref(&source), max_hops);
+    }
+
+    /// Multi-source variant of [`BfsScratch::run`].
+    pub fn run_multi(&mut self, g: &CsrGraph, sources: &[VertexId], max_hops: u32) {
+        self.begin(g.num_vertices());
+        for &s in sources {
+            if self.mark[s.index()] != self.epoch {
+                self.visit(s, 0);
+            }
+        }
+        while let Some(u) = self.queue.pop_front() {
+            let du = self.dist[u.index()];
+            if du >= max_hops {
+                continue;
+            }
+            for &v in g.successors(u) {
+                if self.mark[v.index()] != self.epoch {
+                    self.visit(v, du + 1);
+                }
+            }
+        }
+    }
+
+    /// Distance of `v` in the most recent run (`UNREACHED` if not reached).
+    #[inline]
+    pub fn dist(&self, v: VertexId) -> u32 {
+        if self.mark.get(v.index()) == Some(&self.epoch) {
+            self.dist[v.index()]
+        } else {
+            UNREACHED
+        }
+    }
+
+    /// The vertices reached by the most recent run, in discovery order
+    /// (sources first, then by increasing distance).
+    pub fn touched(&self) -> &[VertexId] {
+        &self.touched
+    }
+
+    /// Number of vertices reached by the most recent run.
+    pub fn touched_len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Materialises the most recent run as a dense distance array (the
+    /// [`khop_bfs`] output format).
+    pub fn to_dense(&self, n: usize) -> Vec<u32> {
+        let mut dense = vec![UNREACHED; n];
+        for &v in &self.touched {
+            dense[v.index()] = self.dist[v.index()];
+        }
+        dense
+    }
 }
 
 /// Shortest distance from `source` to `target` with at most `max_hops` hops,
@@ -178,5 +295,50 @@ mod tests {
         let rev = g.reverse();
         let d = khop_bfs(&rev, VertexId(4), 10);
         assert_eq!(d, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_bfs() {
+        let g = chain();
+        let mut scratch = BfsScratch::new();
+        // Deliberately dirty the scratch with a different run first.
+        scratch.run(&g, VertexId(3), 10);
+        assert_eq!(scratch.to_dense(5), vec![UNREACHED, UNREACHED, UNREACHED, 0, 1]);
+        for (source, bound) in [(0u32, 2u32), (1, 10), (4, 3)] {
+            scratch.run(&g, VertexId(source), bound);
+            assert_eq!(scratch.to_dense(5), khop_bfs(&g, VertexId(source), bound));
+        }
+    }
+
+    #[test]
+    fn scratch_records_only_reached_vertices() {
+        let g = chain();
+        let mut scratch = BfsScratch::new();
+        scratch.run(&g, VertexId(0), 2);
+        assert_eq!(scratch.touched(), &[VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(scratch.touched_len(), 3);
+        assert_eq!(scratch.dist(VertexId(2)), 2);
+        assert_eq!(scratch.dist(VertexId(3)), UNREACHED);
+    }
+
+    #[test]
+    fn scratch_adapts_to_graphs_of_different_sizes() {
+        let mut scratch = BfsScratch::new();
+        assert_eq!(scratch.dist(VertexId(0)), UNREACHED);
+        scratch.run(&chain(), VertexId(0), 10);
+        assert_eq!(scratch.dist(VertexId(4)), 4);
+        let small = CsrGraph::from_edges(2, &[(0, 1)]);
+        scratch.run(&small, VertexId(1), 10);
+        assert_eq!(scratch.dist(VertexId(1)), 0);
+        assert_eq!(scratch.dist(VertexId(0)), UNREACHED);
+        assert_eq!(scratch.dist(VertexId(4)), UNREACHED); // out of range, not stale
+    }
+
+    #[test]
+    fn scratch_multi_source_matches_dense_multi_source() {
+        let g = chain();
+        let mut scratch = BfsScratch::new();
+        scratch.run_multi(&g, &[VertexId(0), VertexId(3)], 10);
+        assert_eq!(scratch.to_dense(5), khop_bfs_multi(&g, &[VertexId(0), VertexId(3)], 10));
     }
 }

@@ -54,7 +54,7 @@ pub mod sampling;
 pub mod scc;
 pub mod stats;
 
-pub use bfs::{constrained_distance, khop_bfs, khop_bfs_multi, UNREACHED};
+pub use bfs::{constrained_distance, khop_bfs, khop_bfs_multi, BfsScratch, UNREACHED};
 pub use components::{weakly_connected_components, DisjointSets, WccDecomposition};
 pub use csr::{CsrBuilder, CsrGraph};
 pub use datasets::{Dataset, DatasetSpec, ScaleProfile};
@@ -62,7 +62,10 @@ pub use degree::DegreeDistribution;
 pub use digraph::DiGraph;
 pub use formats::{detect_format, read_graph_auto, read_graph_file, GraphFormat, LoadedGraph};
 pub use ids::VertexId;
-pub use induced::{induce_subgraph, InducedSubgraph};
+pub use induced::{
+    induce_subgraph, induce_subgraph_from_vertices, induce_subgraph_from_vertices_with,
+    InducedSubgraph, RemapScratch,
+};
 pub use labels::{Label, LabelConstraint, VertexLabels};
 pub use paths::Path;
 pub use sampling::{sample_reachable_pairs, sample_simple_paths};

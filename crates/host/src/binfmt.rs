@@ -245,7 +245,7 @@ mod tests {
         let bytes = encode_payload(&p);
         assert_eq!(bytes.len(), payload_bytes(&p));
         let decoded = decode_payload(&bytes).unwrap();
-        assert_eq!(decoded.graph, p.graph);
+        assert_eq!(decoded.graph, *p.graph);
         assert_eq!(decoded.barrier, p.barrier);
         assert_eq!(decoded.source(), p.s);
         assert_eq!(decoded.target(), p.t);
@@ -302,7 +302,7 @@ mod tests {
         // Either the pruned graph is empty (endpoints out of range is also a
         // legal rejection) or it decodes consistently.
         if let Ok(d) = decoded {
-            assert_eq!(d.graph, p.graph);
+            assert_eq!(d.graph, *p.graph);
         }
     }
 

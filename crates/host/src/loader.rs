@@ -11,17 +11,22 @@ use crate::error::HostError;
 use pefp_graph::formats::{read_graph_auto, LoadedGraph};
 use pefp_graph::{CsrGraph, Dataset, GraphStats, ScaleProfile};
 use std::path::Path;
+use std::sync::Arc;
 
 /// A graph resident in host main memory, ready to serve queries.
+///
+/// Both CSR directions are shared (`Arc`), so sessions, schedulers and their
+/// per-worker [`pefp_core::PrepareContext`]s reference one resident copy
+/// instead of cloning graph arrays per component or per query.
 #[derive(Debug, Clone)]
 pub struct GraphHandle {
     /// Where the graph came from (file path, dataset code, or "inline").
     pub source: String,
     /// The CSR representation every algorithm runs on.
-    pub csr: CsrGraph,
+    pub csr: Arc<CsrGraph>,
     /// Reverse CSR, built once so each query's backward BFS does not pay for
-    /// it again.
-    pub reverse: CsrGraph,
+    /// it again; wired into every `PrepareContext` serving this graph.
+    pub reverse: Arc<CsrGraph>,
     /// Basic statistics (computed from a small BFS sample).
     pub stats: GraphStats,
     /// Number of duplicate edges dropped at load time (0 for generated data).
@@ -32,9 +37,11 @@ pub struct GraphHandle {
 
 impl GraphHandle {
     /// Wraps an already-built CSR graph (used by tests, examples and the
-    /// streaming layer, which maintains its own graph).
-    pub fn from_csr(source: impl Into<String>, csr: CsrGraph) -> GraphHandle {
-        let reverse = csr.reverse();
+    /// streaming layer, which maintains its own graph). Accepts either an
+    /// owned graph or an existing shared handle.
+    pub fn from_csr(source: impl Into<String>, csr: impl Into<Arc<CsrGraph>>) -> GraphHandle {
+        let csr = csr.into();
+        let reverse = Arc::new(csr.reverse());
         let stats = GraphStats::compute(&csr, 16);
         GraphHandle {
             source: source.into(),
@@ -69,17 +76,10 @@ impl GraphHandle {
 }
 
 fn handle_from_loaded(source: String, loaded: LoadedGraph) -> GraphHandle {
-    let csr = loaded.graph.to_csr();
-    let reverse = csr.reverse();
-    let stats = GraphStats::compute(&csr, 16);
-    GraphHandle {
-        source,
-        csr,
-        reverse,
-        stats,
-        duplicate_edges: loaded.duplicate_edges,
-        self_loops: loaded.self_loops,
-    }
+    let mut handle = GraphHandle::from_csr(source, loaded.graph.to_csr());
+    handle.duplicate_edges = loaded.duplicate_edges;
+    handle.self_loops = loaded.self_loops;
+    handle
 }
 
 /// Loads an edge-list file from disk, auto-detecting its dialect.

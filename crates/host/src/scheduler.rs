@@ -13,9 +13,10 @@ use crate::dma::{DmaEngine, DmaTransferReport};
 use crate::error::HostError;
 use crate::loader::GraphHandle;
 use crate::query::QueryRequest;
-use pefp_core::{prepare, run_prepared, PefpVariant, PreparedQuery};
+use pefp_core::{prepare_with, run_prepared, PefpVariant, PrepareContext, PreparedQuery};
 use pefp_fpga::{DeviceConfig, Pcie};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Scheduler configuration.
@@ -108,12 +109,16 @@ impl BatchScheduler {
     }
 
     /// Preprocesses the unique queries, possibly across several host threads.
+    /// Each thread owns one [`PrepareContext`] seeded with the graph's
+    /// prebuilt reverse CSR, so scratch allocations amortise across the batch
+    /// and no worker ever recomputes `g.reverse()`.
     fn preprocess_all(&self, graph: &GraphHandle, unique: &[QueryRequest]) -> Vec<PreparedQuery> {
         let threads = self.config.preprocess_threads.max(1).min(unique.len().max(1));
         if threads <= 1 || unique.len() <= 1 {
+            let mut ctx = PrepareContext::with_reverse(&graph.csr, Arc::clone(&graph.reverse));
             return unique
                 .iter()
-                .map(|q| prepare(&graph.csr, q.s, q.t, q.k, self.config.variant))
+                .map(|q| prepare_with(&mut ctx, &graph.csr, q.s, q.t, q.k, self.config.variant))
                 .collect();
         }
         // Static round-robin split across scoped threads; order is restored
@@ -127,15 +132,17 @@ impl BatchScheduler {
             chunks
         };
         let csr = &graph.csr;
+        let reverse = &graph.reverse;
         let variant = self.config.variant;
         let results: Vec<Vec<(usize, PreparedQuery)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
                     scope.spawn(move || {
+                        let mut ctx = PrepareContext::with_reverse(csr, Arc::clone(reverse));
                         chunk
                             .into_iter()
-                            .map(|(i, q)| (i, prepare(csr, q.s, q.t, q.k, variant)))
+                            .map(|(i, q)| (i, prepare_with(&mut ctx, csr, q.s, q.t, q.k, variant)))
                             .collect::<Vec<_>>()
                     })
                 })

@@ -12,10 +12,13 @@ use crate::dma::{DmaEngine, DmaTransferReport};
 use crate::error::HostError;
 use crate::loader::GraphHandle;
 use crate::query::QueryRequest;
-use pefp_core::{plan_query, prepare, run_prepared, PefpVariant};
+use pefp_core::{plan_query, prepare_with, run_prepared, PefpVariant, PrepareContext};
 use pefp_fpga::{DeviceConfig, Pcie};
 use pefp_graph::{CsrGraph, Path};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Session-wide configuration.
 #[derive(Debug, Clone)]
@@ -30,6 +33,9 @@ pub struct SessionConfig {
     pub use_planner: bool,
     /// Materialise result paths (`true`) or only count them.
     pub collect_paths: bool,
+    /// Capacity of the `(s, t, k)`-keyed [`pefp_core::PreparedQuery`] LRU:
+    /// repeated queries skip preprocessing entirely. `0` disables caching.
+    pub prepared_cache_capacity: usize,
 }
 
 impl Default for SessionConfig {
@@ -39,7 +45,56 @@ impl Default for SessionConfig {
             variant: PefpVariant::Full,
             use_planner: false,
             collect_paths: true,
+            prepared_cache_capacity: 128,
         }
+    }
+}
+
+/// A small `(s, t, k)`-keyed LRU of prepared queries. Entries are `Arc`s:
+/// the induced subgraph inside a cached entry is O(touched), so even a full
+/// cache stays proportional to the served working set, not to `|V|`.
+#[derive(Debug, Default)]
+struct PreparedCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<QueryRequest, (u64, Arc<pefp_core::PreparedQuery>)>,
+}
+
+impl PreparedCache {
+    fn new(capacity: usize) -> Self {
+        PreparedCache { capacity, tick: 0, entries: HashMap::new() }
+    }
+
+    fn get(&mut self, key: &QueryRequest) -> Option<Arc<pefp_core::PreparedQuery>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(stamp, prep)| {
+            *stamp = tick;
+            Arc::clone(prep)
+        })
+    }
+
+    fn insert(&mut self, key: QueryRequest, prep: Arc<pefp_core::PreparedQuery>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(oldest) =
+                self.entries.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| *k)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (self.tick, prep));
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
     }
 }
 
@@ -75,6 +130,8 @@ pub struct SessionStats {
     pub queries: u64,
     /// Queries rejected by parsing/validation.
     pub rejected: u64,
+    /// Queries whose preprocessing was served from the prepared-query cache.
+    pub cache_hits: u64,
     /// Total result paths across all queries.
     pub total_paths: u64,
     /// Sum of preprocessing times (ms).
@@ -98,36 +155,55 @@ impl SessionStats {
 }
 
 /// A host session: one graph, many queries.
+///
+/// The session owns one [`PrepareContext`] (epoch-stamped BFS scratch plus
+/// the graph's shared reverse CSR), so per-query preprocessing work is
+/// proportional to the touched subgraph, and an `(s, t, k)`-keyed LRU of
+/// prepared queries so repeated requests skip preprocessing entirely.
 #[derive(Debug)]
 pub struct HostSession {
     config: SessionConfig,
     graph: Option<GraphHandle>,
     dma: DmaEngine,
     stats: SessionStats,
+    ctx: PrepareContext,
+    cache: PreparedCache,
 }
 
 impl HostSession {
     /// Creates an empty session (no graph loaded yet).
     pub fn new(config: SessionConfig) -> Self {
         let pcie = Pcie::new(config.device.pcie_gbps, config.device.pcie_setup_us);
+        let cache = PreparedCache::new(config.prepared_cache_capacity);
         HostSession {
             config,
             graph: None,
             dma: DmaEngine::with_defaults(pcie),
             stats: SessionStats::default(),
+            ctx: PrepareContext::new(),
+            cache,
         }
     }
 
-    /// Creates a session already holding `graph`.
-    pub fn with_graph(graph: CsrGraph, config: SessionConfig) -> Self {
+    /// Creates a session already holding `graph` (owned or shared).
+    pub fn with_graph(graph: impl Into<Arc<CsrGraph>>, config: SessionConfig) -> Self {
         let mut session = HostSession::new(config);
         session.set_graph(GraphHandle::from_csr("inline", graph));
         session
     }
 
-    /// Installs (or replaces) the session's graph.
+    /// Installs (or replaces) the session's graph; cached prepared queries
+    /// belong to the old graph and are dropped, and the new graph's prebuilt
+    /// reverse CSR is wired into the preprocessing context.
     pub fn set_graph(&mut self, handle: GraphHandle) {
+        self.cache.clear();
+        self.ctx.install_reverse(&handle.csr, Arc::clone(&handle.reverse));
         self.graph = Some(handle);
+    }
+
+    /// Number of prepared queries currently cached.
+    pub fn cached_prepared_queries(&self) -> usize {
+        self.cache.len()
     }
 
     /// The loaded graph, if any.
@@ -168,8 +244,28 @@ impl HostSession {
             return Err(e);
         }
 
-        // Host-side preprocessing (Pre-BFS or the variant's fallback).
-        let prepared = prepare(&handle.csr, request.s, request.t, request.k, self.config.variant);
+        // Host-side preprocessing (Pre-BFS or the variant's fallback), served
+        // from the LRU when the same (s, t, k) was prepared before.
+        let preprocess_started = Instant::now();
+        let (prepared, cache_hit) = match self.cache.get(&request) {
+            Some(hit) => (hit, true),
+            None => {
+                let prep = Arc::new(prepare_with(
+                    &mut self.ctx,
+                    &handle.csr,
+                    request.s,
+                    request.t,
+                    request.k,
+                    self.config.variant,
+                ));
+                (prep, false)
+            }
+        };
+        let preprocess_millis = if cache_hit {
+            preprocess_started.elapsed().as_secs_f64() * 1e3
+        } else {
+            prepared.host_millis
+        };
 
         // Serialise and "transfer" the prepared payload. The encode step also
         // exercises the binary format so corruption bugs surface in tests.
@@ -181,6 +277,11 @@ impl HostSession {
                 "prepared payload is {bytes} bytes but device DRAM holds {}",
                 self.config.device.dram_bytes
             )));
+        }
+        // Cache only payloads the device can actually accept, so oversized
+        // (permanently rejectable) queries never occupy LRU slots.
+        if !cache_hit {
+            self.cache.insert(request, Arc::clone(&prepared));
         }
         let transfer = self.dma.transfer(bytes);
 
@@ -198,10 +299,13 @@ impl HostSession {
             request,
             num_paths: result.num_paths,
             paths: result.paths,
-            preprocess_millis: result.preprocess_millis,
+            preprocess_millis,
             transfer,
             device_millis: result.query_millis,
         };
+        if cache_hit {
+            self.stats.cache_hits += 1;
+        }
         self.stats.queries += 1;
         self.stats.total_paths += outcome.num_paths;
         self.stats.preprocess_millis += outcome.preprocess_millis;
@@ -308,6 +412,64 @@ mod tests {
     }
 
     #[test]
+    fn repeated_queries_hit_the_prepared_cache() {
+        let g = chung_lu(200, 5.0, 2.2, 41).to_csr();
+        let mut session = HostSession::with_graph(g.clone(), SessionConfig::default());
+        let q = QueryRequest::new(0, 100, 4);
+        let first = session.run_query(q).unwrap();
+        for _ in 0..4 {
+            let again = session.run_query(q).unwrap();
+            assert_eq!(again.num_paths, first.num_paths);
+            assert_eq!(canonicalize(again.paths), canonicalize(first.paths.clone()));
+        }
+        assert_eq!(session.stats().cache_hits, 4);
+        assert_eq!(session.cached_prepared_queries(), 1);
+        // A different query misses the cache.
+        session.run_query(QueryRequest::new(0, 50, 4)).unwrap();
+        assert_eq!(session.stats().cache_hits, 4);
+        assert_eq!(session.cached_prepared_queries(), 2);
+    }
+
+    #[test]
+    fn cache_capacity_zero_disables_caching() {
+        let mut session = HostSession::with_graph(
+            CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]),
+            SessionConfig { prepared_cache_capacity: 0, ..SessionConfig::default() },
+        );
+        let q = QueryRequest::new(0, 3, 3);
+        session.run_query(q).unwrap();
+        session.run_query(q).unwrap();
+        assert_eq!(session.stats().cache_hits, 0);
+        assert_eq!(session.cached_prepared_queries(), 0);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_and_clears_on_new_graph() {
+        let g = chung_lu(120, 5.0, 2.2, 17).to_csr();
+        let mut session = HostSession::with_graph(
+            g,
+            SessionConfig { prepared_cache_capacity: 2, ..SessionConfig::default() },
+        );
+        let (a, b, c) =
+            (QueryRequest::new(0, 60, 4), QueryRequest::new(1, 61, 4), QueryRequest::new(2, 62, 4));
+        session.run_query(a).unwrap();
+        session.run_query(b).unwrap();
+        session.run_query(a).unwrap(); // refresh a; b is now LRU
+        session.run_query(c).unwrap(); // evicts b
+        assert_eq!(session.cached_prepared_queries(), 2);
+        session.run_query(a).unwrap();
+        assert_eq!(session.stats().cache_hits, 2, "a twice; b must have been evicted");
+        // Replacing the graph must invalidate everything.
+        session.set_graph(GraphHandle::from_csr(
+            "fresh",
+            CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]),
+        ));
+        assert_eq!(session.cached_prepared_queries(), 0);
+        let outcome = session.run_query(QueryRequest::new(0, 3, 3)).unwrap();
+        assert_eq!(outcome.num_paths, 1);
+    }
+
+    #[test]
     fn oversized_payload_is_rejected_by_capacity_check() {
         let g = chung_lu(500, 6.0, 2.2, 3).to_csr();
         let mut config = SessionConfig::default();
@@ -315,5 +477,11 @@ mod tests {
         let mut session = HostSession::with_graph(g, config);
         let err = session.run_query(QueryRequest::new(0, 250, 5)).unwrap_err();
         assert!(matches!(err, HostError::DeviceCapacity(_)));
+        // Permanently rejectable queries must not occupy cache slots (and a
+        // repeat of one is a re-rejection, not a cache hit).
+        assert_eq!(session.cached_prepared_queries(), 0);
+        assert!(session.run_query(QueryRequest::new(0, 250, 5)).is_err());
+        assert_eq!(session.stats().cache_hits, 0);
+        assert_eq!(session.stats().rejected, 2);
     }
 }

@@ -3,11 +3,12 @@
 
 use crate::queries::{generate_queries, QueryPair};
 use pefp_baselines::Join;
-use pefp_core::{prepare, run_prepared, PefpVariant};
+use pefp_core::{prepare_with, run_prepared, PefpVariant, PrepareContext};
 use pefp_fpga::DeviceConfig;
 use pefp_graph::{CsrGraph, Dataset, ScaleProfile, VertexId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration shared by all experiments of one harness invocation.
@@ -97,7 +98,7 @@ fn safe_ratio(num: f64, den: f64) -> f64 {
 pub struct Runner {
     /// Harness configuration.
     pub config: ExperimentConfig,
-    graphs: HashMap<Dataset, CsrGraph>,
+    graphs: HashMap<Dataset, Arc<CsrGraph>>,
     queries: HashMap<(Dataset, u32), Vec<QueryPair>>,
 }
 
@@ -108,10 +109,11 @@ impl Runner {
     }
 
     /// Returns (generating and caching on first use) the stand-in graph for a
-    /// dataset at the configured scale.
-    pub fn graph(&mut self, dataset: Dataset) -> &CsrGraph {
+    /// dataset at the configured scale. Shared, so callers clone the `Arc`
+    /// rather than the CSR arrays.
+    pub fn graph(&mut self, dataset: Dataset) -> &Arc<CsrGraph> {
         let scale = self.config.scale;
-        self.graphs.entry(dataset).or_insert_with(|| dataset.generate(scale).to_csr())
+        self.graphs.entry(dataset).or_insert_with(|| Arc::new(dataset.generate(scale).to_csr()))
     }
 
     /// Returns the cached query workload for `(dataset, k)`.
@@ -153,8 +155,11 @@ impl Runner {
         if queries.is_empty() {
             return acc;
         }
+        // One context for the whole point: BFS scratch and the reverse CSR
+        // amortise across the query set, like a real batch server.
+        let mut ctx = PrepareContext::new();
         for q in &queries {
-            let prep = prepare(&g, q.s, q.t, k, variant);
+            let prep = prepare_with(&mut ctx, &g, q.s, q.t, k, variant);
             let result = run_prepared(&prep, options.clone(), &device);
             acc.preprocess_ms += result.preprocess_millis;
             acc.query_ms += result.query_millis;

@@ -2,9 +2,10 @@
 //!
 //! Presents the same registration API (`criterion_group!`, `criterion_main!`,
 //! benchmark groups, `Bencher::iter`) but replaces the statistical machinery
-//! with a simple mean-of-N wall-clock measurement printed to stdout. Good
-//! enough to keep every bench target compiling and runnable; swap in the real
-//! crate for publication-quality numbers.
+//! with per-sample wall-clock timing reduced to min / median / mean, printed
+//! to stdout. Good enough to keep every bench target compiling and runnable
+//! and to make before/after deltas less noisy than a single mean; swap in the
+//! real crate for publication-quality numbers.
 
 use std::fmt;
 use std::time::Instant;
@@ -103,7 +104,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut bencher = Bencher { iters: 0, nanos: 0.0, sample_size: self.sample_size };
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
         f(&mut bencher);
         bencher.report(&self.name, &id);
         self
@@ -119,7 +120,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut bencher = Bencher { iters: 0, nanos: 0.0, sample_size: self.sample_size };
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
         f(&mut bencher, input);
         bencher.report(&self.name, &id);
         self
@@ -131,31 +132,69 @@ impl BenchmarkGroup<'_> {
 
 /// Timing loop handle passed to each benchmark closure.
 pub struct Bencher {
-    iters: u64,
-    nanos: f64,
+    samples: Vec<f64>,
     sample_size: usize,
 }
 
 impl Bencher {
-    /// Times `sample_size` calls of `routine` and records the mean.
+    /// Times `sample_size` individual calls of `routine`, recording one
+    /// wall-clock sample per call so the report can quote order statistics.
+    ///
+    /// Per-sample timing reads the clock twice per call, which adds a fixed
+    /// few-tens-of-ns floor to every sample. For sub-microsecond routines
+    /// treat absolute values as inflated by that constant; before/after
+    /// *deltas* remain fair because both sides pay it. The real criterion
+    /// crate amortises this by timing inner batches; this shim prefers the
+    /// simpler scheme.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // One untimed warm-up call.
         std::hint::black_box(routine());
-        let started = Instant::now();
+        self.samples.reserve(self.sample_size);
         for _ in 0..self.sample_size {
+            let started = Instant::now();
             std::hint::black_box(routine());
+            self.samples.push(started.elapsed().as_nanos() as f64);
         }
-        self.nanos += started.elapsed().as_nanos() as f64;
-        self.iters += self.sample_size as u64;
     }
 
     fn report(&self, group: &str, id: &BenchmarkId) {
-        if self.iters == 0 {
+        let Some(stats) = SampleStats::from_samples(&self.samples) else {
             println!("{group}/{id}: no samples");
-        } else {
-            let mean = self.nanos / self.iters as f64;
-            println!("{group}/{id}: mean {:.1} ns over {} iters", mean, self.iters);
+            return;
+        };
+        println!(
+            "{group}/{id}: min {:.1} ns, median {:.1} ns, mean {:.1} ns over {} iters",
+            stats.min,
+            stats.median,
+            stats.mean,
+            self.samples.len()
+        );
+    }
+}
+
+/// Order statistics over one benchmark's samples (all in nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Fastest sample.
+    pub min: f64,
+    /// Median sample (mean of the two central samples for even counts).
+    pub median: f64,
+    /// Arithmetic mean of all samples.
+    pub mean: f64,
+}
+
+impl SampleStats {
+    /// Reduces a sample set to min/median/mean; `None` when empty.
+    pub fn from_samples(samples: &[f64]) -> Option<SampleStats> {
+        if samples.is_empty() {
+            return None;
         }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        let n = sorted.len();
+        let median =
+            if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0 };
+        Some(SampleStats { min: sorted[0], median, mean: sorted.iter().sum::<f64>() / n as f64 })
     }
 }
 
@@ -180,4 +219,20 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SampleStats;
+
+    #[test]
+    fn stats_reduce_min_median_mean() {
+        let s = SampleStats::from_samples(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.mean, 2.5);
+        let odd = SampleStats::from_samples(&[5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(odd.median, 3.0);
+        assert!(SampleStats::from_samples(&[]).is_none());
+    }
 }

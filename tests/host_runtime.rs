@@ -68,7 +68,7 @@ fn payload_survives_the_wire_for_every_dataset_standin() {
         let bytes = encode_payload(&prepared);
         let decoded = decode_payload(&bytes)
             .unwrap_or_else(|e| panic!("{}: decode failed: {e}", dataset.code()));
-        assert_eq!(decoded.graph, prepared.graph, "{}", dataset.code());
+        assert_eq!(decoded.graph, *prepared.graph, "{}", dataset.code());
         assert_eq!(decoded.barrier, prepared.barrier, "{}", dataset.code());
         assert_eq!(decoded.header.k, 4);
     }

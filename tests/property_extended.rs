@@ -5,12 +5,14 @@
 use proptest::prelude::*;
 
 use pefp::baselines::{naive_dfs_enumerate, yen_enumerate};
-use pefp::core::{count_simple_paths, count_st_walks, pre_bfs};
+use pefp::core::{count_simple_paths, count_st_walks, pre_bfs, pre_bfs_with, PrepareContext};
 use pefp::enumerate_paths;
+use pefp::graph::generators::chung_lu;
 use pefp::graph::paths::canonicalize;
 use pefp::graph::{CsrGraph, VertexId};
 use pefp::host::binfmt::{decode_payload, encode_payload};
 use pefp::streaming::DynamicGraph;
+use std::sync::Arc;
 
 /// Strategy: a random directed graph with up to `max_n` vertices and a
 /// bounded number of random edges (self-loops filtered out).
@@ -84,7 +86,7 @@ proptest! {
         let prepared = pre_bfs(&g, VertexId(s), VertexId(t), k);
         let bytes = encode_payload(&prepared);
         let decoded = decode_payload(&bytes).unwrap();
-        prop_assert_eq!(decoded.graph, prepared.graph);
+        prop_assert_eq!(&decoded.graph, &*prepared.graph);
         prop_assert_eq!(decoded.barrier, prepared.barrier);
         prop_assert_eq!(decoded.header.k, prepared.k);
     }
@@ -132,5 +134,35 @@ proptest! {
             Vec::new()
         };
         prop_assert_eq!(pruned, original);
+    }
+
+    /// A dirty, reused `PrepareContext` produces byte-identical prepared
+    /// queries (graph, barrier, mapping, feasibility) to the one-shot
+    /// `pre_bfs` across random Chung-Lu graphs and query triples: epoch
+    /// stamping must never leak state from one query into the next.
+    #[test]
+    fn dirty_prepare_context_matches_one_shot(
+        (n, degree, seed, queries) in (40usize..160, 2u32..8, 0u64..1_000,
+            proptest::collection::vec((0u32..1_000_000, 0u32..1_000_000, 0u32..6), 1..8)),
+    ) {
+        let g = Arc::new(chung_lu(n, degree as f64, 2.2, seed).to_csr());
+        let mut ctx = PrepareContext::new();
+        for (raw_s, raw_t, k) in queries {
+            let s = VertexId(raw_s % n as u32);
+            let t = VertexId(raw_t % n as u32);
+            let with_ctx = pre_bfs_with(&mut ctx, &g, s, t, k);
+            let one_shot = pre_bfs(&g, s, t, k);
+            prop_assert_eq!(&*with_ctx.graph, &*one_shot.graph);
+            prop_assert_eq!(&with_ctx.barrier, &one_shot.barrier);
+            prop_assert_eq!(with_ctx.feasible, one_shot.feasible);
+            prop_assert_eq!((with_ctx.s, with_ctx.t, with_ctx.k),
+                            (one_shot.s, one_shot.t, one_shot.k));
+            let ctx_map = with_ctx.mapping.as_ref().map(|m| &m.old_of_new);
+            let one_map = one_shot.mapping.as_ref().map(|m| &m.old_of_new);
+            prop_assert_eq!(ctx_map, one_map);
+        }
+        // However many queries ran, the context built the reverse CSR at
+        // most once for the shared graph.
+        prop_assert!(ctx.stats().reverse_builds <= 1);
     }
 }
