@@ -18,7 +18,10 @@
 //!
 //! All entry points take a [`pefp_graph::CsrGraph`], a source, a target and a
 //! hop constraint `k`, and return the complete set of simple paths of length
-//! `<= k` as `Vec<Vec<VertexId>>`.
+//! `<= k` as `Vec<Vec<VertexId>>`. The oracle additionally offers a streaming
+//! form ([`naive_dfs_stream`]) that pushes into a [`pefp_graph::PathSink`]
+//! instead of materialising, so baseline-vs-PEFP memory comparisons share one
+//! result pipeline.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -34,7 +37,7 @@ pub mod yen;
 pub use bc_dfs::{bc_dfs_enumerate, BcDfs};
 pub use hp_index::HpIndex;
 pub use join::{Join, JoinPreprocess};
-pub use naive::{naive_bfs_enumerate, naive_dfs_enumerate};
+pub use naive::{naive_bfs_enumerate, naive_dfs_enumerate, naive_dfs_stream};
 pub use tdfs::tdfs_enumerate;
 pub use tdfs2::tdfs2_enumerate;
 pub use yen::yen_enumerate;

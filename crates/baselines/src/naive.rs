@@ -7,45 +7,72 @@
 //! against in tests.
 
 use pefp_graph::paths::Path;
+use pefp_graph::sink::{CollectSink, PathSink};
 use pefp_graph::{CsrGraph, VertexId};
+use std::ops::ControlFlow;
 
 /// Enumerates all s-t simple paths with at most `k` hops by depth-first
 /// search, checking the simple-path property against the current stack.
 pub fn naive_dfs_enumerate(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> Vec<Path> {
-    let mut results = Vec::new();
+    let mut sink = CollectSink::new();
+    naive_dfs_stream(g, s, t, k, &mut sink);
+    sink.into_paths()
+}
+
+/// Streaming form of [`naive_dfs_enumerate`]: each result path is pushed into
+/// `sink` as it is found (the search stack plus `t`, no per-path allocation),
+/// and a sink break stops the search immediately.
+///
+/// This gives the CPU baseline the same result pipeline as the PEFP engine,
+/// so memory comparisons between the two are apples-to-apples. Returns the
+/// number of emission attempts, matching the engine's `EngineStats::results`
+/// convention: when the sink breaks, the breaking path is included (for
+/// `FirstN(n >= 1)` it was delivered; a sink that refuses its very first
+/// path, i.e. a saturated `FirstN(0)`, still counts one).
+pub fn naive_dfs_stream<S: PathSink + ?Sized>(
+    g: &CsrGraph,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+    sink: &mut S,
+) -> u64 {
     if s.index() >= g.num_vertices() || t.index() >= g.num_vertices() {
-        return results;
+        return 0;
     }
+    let mut emitted = 0u64;
     if s == t {
         // A single vertex is a 0-hop path from s to itself.
-        results.push(vec![s]);
-        return results;
+        let _ = sink.emit(&[s]);
+        return 1;
     }
     let mut stack = vec![s];
     let mut on_path = vec![false; g.num_vertices()];
     on_path[s.index()] = true;
-    dfs(g, t, k, &mut stack, &mut on_path, &mut results);
-    results
+    let _ = dfs(g, t, k, &mut stack, &mut on_path, sink, &mut emitted);
+    emitted
 }
 
-fn dfs(
+fn dfs<S: PathSink + ?Sized>(
     g: &CsrGraph,
     t: VertexId,
     k: u32,
     stack: &mut Vec<VertexId>,
     on_path: &mut [bool],
-    results: &mut Vec<Path>,
-) {
+    sink: &mut S,
+    emitted: &mut u64,
+) -> ControlFlow<()> {
     let current = *stack.last().expect("stack never empty");
     let hops = (stack.len() - 1) as u32;
     if hops >= k {
-        return;
+        return ControlFlow::Continue(());
     }
     for &next in g.successors(current) {
         if next == t {
-            let mut path = stack.clone();
-            path.push(t);
-            results.push(path);
+            stack.push(t);
+            *emitted += 1;
+            let flow = sink.emit(stack);
+            stack.pop();
+            flow?;
             continue;
         }
         if on_path[next.index()] {
@@ -53,10 +80,12 @@ fn dfs(
         }
         stack.push(next);
         on_path[next.index()] = true;
-        dfs(g, t, k, stack, on_path, results);
+        let flow = dfs(g, t, k, stack, on_path, sink, emitted);
         stack.pop();
         on_path[next.index()] = false;
+        flow?;
     }
+    ControlFlow::Continue(())
 }
 
 /// Enumerates all s-t simple paths with at most `k` hops by breadth-first
@@ -164,6 +193,29 @@ mod tests {
         assert_eq!(r, vec![vec![VertexId(1)]]);
         let r = naive_bfs_enumerate(&g, VertexId(1), VertexId(1), 3);
         assert_eq!(r, vec![vec![VertexId(1)]]);
+    }
+
+    #[test]
+    fn streaming_oracle_matches_and_stops_early() {
+        use pefp_graph::sink::{CollectSink, CountingSink, FirstN};
+        let g = pefp_graph::generators::chung_lu(100, 5.0, 2.2, 11).to_csr();
+        let (s, t, k) = (VertexId(0), VertexId(40), 5);
+        let expected = naive_dfs_enumerate(&g, s, t, k);
+
+        let mut counter = CountingSink::new();
+        assert_eq!(naive_dfs_stream(&g, s, t, k, &mut counter), expected.len() as u64);
+        assert_eq!(counter.count(), expected.len() as u64);
+
+        let mut collect = CollectSink::new();
+        naive_dfs_stream(&g, s, t, k, &mut collect);
+        assert_eq!(collect.into_paths(), expected);
+
+        if expected.len() >= 2 {
+            let mut first = FirstN::new(2, CollectSink::new());
+            let emitted = naive_dfs_stream(&g, s, t, k, &mut first);
+            assert_eq!(emitted, 2, "the DFS must stop at the sink's break");
+            assert_eq!(first.into_inner().paths(), &expected[..2]);
+        }
     }
 
     #[test]

@@ -18,16 +18,19 @@ use crate::path::TempPath;
 impl PefpEngine<'_> {
     /// `NextBatch(P, PD)` — Algorithm 3.
     ///
-    /// Returns the next processing-area batch, refilling the buffer from DRAM
-    /// when it has run dry. An empty return value terminates the engine loop.
-    pub(super) fn next_batch(&mut self) -> Vec<TempPath> {
+    /// Fills `batch` (cleared first) with the next processing-area batch,
+    /// refilling the buffer from DRAM when it has run dry; the caller reuses
+    /// the vector across batches so steady state allocates nothing. An empty
+    /// `batch` on return terminates the engine loop.
+    pub(super) fn next_batch(&mut self, batch: &mut Vec<TempPath>) {
+        batch.clear();
         if self.buffer.is_empty() {
             if self.dram_paths.is_empty() {
-                return Vec::new();
+                return;
             }
             self.refill_buffer_from_dram();
         }
-        self.fill_processing_area()
+        self.fill_processing_area(batch)
     }
 
     /// Fetches Θ1 paths from the tail of the DRAM path set into the buffer
@@ -35,17 +38,17 @@ impl PefpEngine<'_> {
     /// contiguous, matching the paper's fragmentation-avoidance argument.
     fn refill_buffer_from_dram(&mut self) {
         let n = self.opts.dram_fetch_batch.min(self.dram_paths.len());
-        let fetched: Vec<TempPath> = self.dram_paths.split_off(self.dram_paths.len() - n);
-        let words: u64 = fetched.iter().map(TempPath::words).sum();
+        let start = self.dram_paths.len() - n;
+        let words: u64 = self.dram_paths[start..].iter().map(TempPath::words).sum();
         self.device.charge_dram_batch_fetch(words);
-        self.buffer.extend(fetched);
+        // Drain in place: no intermediate vector per refill.
+        self.buffer.extend(self.dram_paths.drain(start..));
     }
 
     /// `Batch-DFS(P, Θ2)` — Algorithm 4 — or its FIFO counterpart.
-    fn fill_processing_area(&mut self) -> Vec<TempPath> {
-        let theta2 = self.opts.processing_capacity;
-        let mut batch = Vec::new();
+    fn fill_processing_area(&mut self, batch: &mut Vec<TempPath>) {
         let mut cnt: u32 = 0;
+        let theta2 = self.opts.processing_capacity;
         while cnt < theta2 {
             // Select the next donor path according to the batching strategy.
             let donor = match self.opts.batch_strategy {
@@ -69,7 +72,6 @@ impl PefpEngine<'_> {
                 }
             }
         }
-        batch
     }
 
     fn pop_donor(&mut self) {

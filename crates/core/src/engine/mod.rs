@@ -25,8 +25,10 @@ use crate::path::{TempPath, MAX_K};
 use crate::result::{EngineOutput, EngineStats};
 use memory::MemoryLayout;
 use pefp_fpga::Device;
+use pefp_graph::sink::{CollectSink, CountingSink, FirstN, PathSink};
 use pefp_graph::{CsrGraph, VertexId};
 use std::collections::VecDeque;
+use std::ops::ControlFlow;
 use verify::Verdict;
 
 /// Device-side enumeration engine for one prepared query.
@@ -51,10 +53,9 @@ pub struct PefpEngine<'a> {
     buffer: VecDeque<TempPath>,
     /// DRAM-resident intermediate path set `PD`.
     dram_paths: Vec<TempPath>,
-    /// Collected result paths (device ids); empty in counting mode.
-    results: Vec<Vec<VertexId>>,
-    /// Number of results emitted (also filled in counting mode).
-    num_results: u64,
+    /// Reusable emission buffer: the result path handed to the sink, so the
+    /// hot loop allocates nothing per result.
+    emit_buf: Vec<VertexId>,
     /// Behavioural counters.
     stats: EngineStats,
 }
@@ -93,8 +94,7 @@ impl<'a> PefpEngine<'a> {
             layout,
             buffer: VecDeque::new(),
             dram_paths: Vec::new(),
-            results: Vec::new(),
-            num_results: 0,
+            emit_buf: Vec::with_capacity(MAX_K + 1),
             stats: EngineStats::default(),
         }
     }
@@ -109,12 +109,56 @@ impl<'a> PefpEngine<'a> {
         self.device.report()
     }
 
-    /// Runs the full enumeration (Algorithm 1) and returns the results.
+    /// Runs the full enumeration (Algorithm 1), materialising or counting
+    /// results according to [`EngineOptions::collect_paths`].
+    ///
+    /// This is a thin wrapper over [`Self::run_with_sink`]: collect mode uses
+    /// a [`CollectSink`], counting mode a [`CountingSink`] — one shared code
+    /// path, so `EngineStats::results` is consistent in both modes.
     pub fn run(&mut self) -> EngineOutput {
+        if self.opts.collect_paths {
+            let mut sink = CollectSink::new();
+            let mut out = self.run_with_sink(&mut sink);
+            out.paths = sink.into_paths();
+            out
+        } else {
+            self.run_with_sink(&mut CountingSink::new())
+        }
+    }
+
+    /// Runs the full enumeration (Algorithm 1), pushing every result path
+    /// (device ids) into `sink` instead of materialising it.
+    ///
+    /// The returned [`EngineOutput`] carries the counters only
+    /// (`paths` is empty); `num_paths` counts emissions into the sink (see
+    /// [`Self::emit_result_path`] for the breaking-path convention). When the
+    /// sink breaks — or the [`EngineOptions::max_results`] cap is hit — the
+    /// engine stops expanding immediately and
+    /// [`EngineStats::early_terminated`] is set.
+    pub fn run_with_sink<S: PathSink + ?Sized>(&mut self, sink: &mut S) -> EngineOutput {
+        match self.opts.max_results {
+            // A zero cap short-circuits: nothing may reach the sink.
+            Some(0) => {
+                self.stats.early_terminated = true;
+                self.take_output()
+            }
+            Some(n) => {
+                let mut capped = FirstN::new(n, sink);
+                self.run_inner(&mut capped)
+            }
+            None => self.run_inner(sink),
+        }
+    }
+
+    /// The Algorithm 1 loop, generic over the result consumer.
+    fn run_inner<S: PathSink + ?Sized>(&mut self, sink: &mut S) -> EngineOutput {
         // Trivial queries never reach the device in the real system; handle
         // them here so the engine is total.
         if self.s == self.t {
-            self.emit_result_path(&[self.s]);
+            let path = [self.s];
+            if self.emit_result_path(sink, &path).is_break() {
+                self.stats.early_terminated = true;
+            }
             return self.take_output();
         }
         if self.k == 0 {
@@ -136,11 +180,16 @@ impl<'a> PefpEngine<'a> {
         }
         self.device.charge_cycles(1);
 
-        // Lines 3-15: expand, verify, write back, fetch next batch.
+        // Lines 3-15: expand, verify, write back, fetch next batch. The
+        // processing-area vector is reused across batches, so the loop
+        // allocates nothing once the buffers reached their high-water marks.
         while !processing.is_empty() {
             self.stats.batches += 1;
-            self.process_batch(&processing);
-            processing = self.next_batch();
+            if self.process_batch(&processing, sink).is_break() {
+                self.stats.early_terminated = true;
+                break;
+            }
+            self.next_batch(&mut processing);
         }
         self.take_output()
     }
@@ -156,12 +205,20 @@ impl<'a> PefpEngine<'a> {
     /// uncached graph/barrier lookups (as an initiation-interval stall),
     /// intermediate paths written to DRAM, and result paths shipped to the
     /// host — appear as extra DRAM cost.
-    fn process_batch(&mut self, batch: &[TempPath]) {
+    /// Returns [`ControlFlow::Break`] when the sink terminated the
+    /// enumeration; the device is still charged for the work performed up to
+    /// that point.
+    fn process_batch<S: PathSink + ?Sized>(
+        &mut self,
+        batch: &[TempPath],
+        sink: &mut S,
+    ) -> ControlFlow<()> {
+        let mut flow = ControlFlow::Continue(());
         let mut total_inputs: u64 = 0;
         let mut result_words: u64 = 0;
         let mut dram_intermediate_words: u64 = 0;
 
-        for path in batch {
+        'batch: for path in batch {
             let window = path.window_start()..path.window_end();
             let window_len = (window.end - window.start) as u64;
             if window_len == 0 {
@@ -186,10 +243,18 @@ impl<'a> PefpEngine<'a> {
                 self.stats.expansions += 1;
                 match verify::verify(path, nbr, self.t, self.k, self.barrier[nbr.index()]) {
                     Verdict::Result => {
-                        let mut full = path.to_vec();
+                        // Reuse the emission buffer: no allocation per result.
+                        let mut full = std::mem::take(&mut self.emit_buf);
+                        full.clear();
+                        full.extend_from_slice(path.vertices());
                         full.push(nbr);
                         result_words += full.len() as u64;
-                        self.emit_result_path(&full);
+                        let emitted = self.emit_result_path(sink, &full);
+                        self.emit_buf = full;
+                        if emitted.is_break() {
+                            flow = ControlFlow::Break(());
+                            break 'batch;
+                        }
                     }
                     Verdict::Valid => {
                         let extended = path.extended(self.graph, nbr);
@@ -223,16 +288,26 @@ impl<'a> PefpEngine<'a> {
         if dram_intermediate_words > 0 {
             self.device.charge_write(pefp_fpga::MemoryKind::Dram, dram_intermediate_words);
         }
+        flow
     }
 
-    /// Emits one result path (device ids). The DRAM write that ships results
-    /// back to the host is charged per batch by [`Self::process_batch`].
-    fn emit_result_path(&mut self, path: &[VertexId]) {
-        self.num_results += 1;
+    /// Emits one result path (device ids) into the sink. The DRAM write that
+    /// ships results back to the host is charged per batch by
+    /// [`Self::process_batch`].
+    ///
+    /// `stats.results` counts emission *attempts*: when the sink breaks, the
+    /// breaking path is included in the count (for a `FirstN(n >= 1)` cap the
+    /// n-th path is both delivered and the break). A sink that refuses its
+    /// very first path (a saturated `FirstN(0)`) therefore still counts one
+    /// emission; the `max_results: Some(0)` cap is special-cased in
+    /// [`Self::run_with_sink`] so the built-in path never hits that edge.
+    fn emit_result_path<S: PathSink + ?Sized>(
+        &mut self,
+        sink: &mut S,
+        path: &[VertexId],
+    ) -> ControlFlow<()> {
         self.stats.results += 1;
-        if self.opts.collect_paths {
-            self.results.push(path.to_vec());
-        }
+        sink.emit(path)
     }
 
     /// Writes a freshly validated intermediate path to the buffer area,
@@ -278,11 +353,7 @@ impl<'a> PefpEngine<'a> {
     }
 
     fn take_output(&mut self) -> EngineOutput {
-        EngineOutput {
-            paths: std::mem::take(&mut self.results),
-            num_paths: self.num_results,
-            stats: self.stats,
-        }
+        EngineOutput { paths: Vec::new(), num_paths: self.stats.results, stats: self.stats }
     }
 }
 
@@ -343,6 +414,7 @@ mod tests {
                         buffer_capacity: 32,
                         dram_fetch_batch: 16,
                         collect_paths: true,
+                        max_results: None,
                     };
                     let out = run_engine(&g, s, t, k, opts);
                     assert_eq!(
@@ -381,12 +453,132 @@ mod tests {
     }
 
     #[test]
+    fn sink_run_matches_collect_run() {
+        let g = pefp_graph::generators::chung_lu(120, 6.0, 2.1, 99).to_csr();
+        let prep = pre_bfs(&g, VertexId(0), VertexId(60), 5);
+        let collected = {
+            let device = Device::new(DeviceConfig::alveo_u200());
+            let mut engine = PefpEngine::new(
+                &prep.graph,
+                &prep.barrier,
+                prep.s,
+                prep.t,
+                prep.k,
+                EngineOptions::default(),
+                device,
+            );
+            engine.run()
+        };
+        let mut sink = pefp_graph::CollectSink::new();
+        let streamed = {
+            let device = Device::new(DeviceConfig::alveo_u200());
+            let mut engine = PefpEngine::new(
+                &prep.graph,
+                &prep.barrier,
+                prep.s,
+                prep.t,
+                prep.k,
+                EngineOptions::default(),
+                device,
+            );
+            engine.run_with_sink(&mut sink)
+        };
+        assert_eq!(sink.into_paths(), collected.paths);
+        assert_eq!(streamed.num_paths, collected.num_paths);
+        assert_eq!(streamed.stats, collected.stats);
+        assert!(streamed.paths.is_empty(), "sink runs never materialise internally");
+    }
+
+    #[test]
+    fn first_n_sink_terminates_the_engine_early() {
+        use pefp_graph::{CollectSink, FirstN};
+        // A dense layered DAG with 4^5 = 1024 result paths.
+        let g = pefp_graph::generators::layered_dag(5, 4, 4, 1).to_csr();
+        let s = pefp_graph::generators::layered_source();
+        let t = pefp_graph::generators::layered_sink(5, 4);
+        let opts = EngineOptions {
+            processing_capacity: 16,
+            buffer_capacity: 32,
+            dram_fetch_batch: 16,
+            ..EngineOptions::default()
+        };
+        let prep = pre_bfs(&g, s, t, 6);
+        let full = {
+            let device = Device::new(DeviceConfig::alveo_u200());
+            let mut engine = PefpEngine::new(
+                &prep.graph,
+                &prep.barrier,
+                prep.s,
+                prep.t,
+                prep.k,
+                opts.clone(),
+                device,
+            );
+            engine.run()
+        };
+        assert_eq!(full.num_paths, 1024);
+        assert!(!full.stats.early_terminated);
+
+        let mut sink = FirstN::new(3, CollectSink::new());
+        let capped = {
+            let device = Device::new(DeviceConfig::alveo_u200());
+            let mut engine =
+                PefpEngine::new(&prep.graph, &prep.barrier, prep.s, prep.t, prep.k, opts, device);
+            engine.run_with_sink(&mut sink)
+        };
+        assert_eq!(capped.num_paths, 3);
+        assert!(capped.stats.early_terminated);
+        // The first 3 paths in enumeration order, exactly.
+        assert_eq!(sink.into_inner().paths(), &full.paths[..3]);
+        assert!(
+            capped.stats.batches < full.stats.batches,
+            "early termination must skip batches ({} vs {})",
+            capped.stats.batches,
+            full.stats.batches
+        );
+        assert!(capped.stats.expansions < full.stats.expansions);
+    }
+
+    #[test]
+    fn max_results_option_caps_via_first_n() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let opts = EngineOptions { max_results: Some(1), ..EngineOptions::default() };
+        let out = run_engine(&g, 0, 3, 3, opts);
+        assert_eq!(out.num_paths, 1);
+        assert_eq!(out.paths.len(), 1);
+        assert!(out.stats.early_terminated);
+
+        // A zero cap emits nothing at all.
+        let opts = EngineOptions { max_results: Some(0), ..EngineOptions::default() };
+        let out = run_engine(&g, 0, 3, 3, opts);
+        assert_eq!(out.num_paths, 0);
+        assert!(out.paths.is_empty());
+        assert!(out.stats.early_terminated);
+        assert_eq!(out.stats.expansions, 0, "a zero cap must not expand anything");
+    }
+
+    #[test]
     fn trivial_queries() {
         let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
         let out = run_engine(&g, 1, 1, 3, EngineOptions::default());
         assert_eq!(out.num_paths, 1);
         let out = run_engine(&g, 0, 2, 0, EngineOptions::default());
         assert_eq!(out.num_paths, 0);
+    }
+
+    #[test]
+    fn trivial_query_honours_the_sink_break() {
+        // A capped trivial (s == t) query is flagged as cut short exactly
+        // like a capped non-trivial one.
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let opts = EngineOptions { max_results: Some(1), ..EngineOptions::default() };
+        let out = run_engine(&g, 1, 1, 3, opts);
+        assert_eq!(out.num_paths, 1);
+        assert!(out.stats.early_terminated);
+        let out =
+            run_engine(&g, 1, 1, 3, EngineOptions { max_results: Some(5), ..Default::default() });
+        assert_eq!(out.num_paths, 1);
+        assert!(!out.stats.early_terminated);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //!   pipelines, all charged against the simulated device.
 //! * [`variants`] — the full system plus the four ablation variants
 //!   (No-Pre-BFS, No-Batch-DFS, No-Cache, No-DataSep) and the high-level
-//!   [`run_query`] entry point.
+//!   [`run_query`] / [`run_query_with_sink`] entry points. The `_with_sink`
+//!   forms stream results through a [`PathSink`] instead of materialising
+//!   `Vec<Vec<VertexId>>` at every layer boundary.
 //!
 //! ## Quick example
 //!
@@ -57,7 +59,7 @@ pub mod variants;
 pub use counting::{count_simple_paths, count_st_walks, walk_profile, QueryEstimate};
 pub use engine::PefpEngine;
 pub use labeled::{filter_by_labels, run_labeled_query};
-pub use multi_query::{run_query_batch, BatchReport};
+pub use multi_query::{run_query_batch, run_query_batch_with_sinks, BatchReport};
 pub use options::{BatchStrategy, EngineOptions, VerificationPipeline};
 pub use path::{TempPath, MAX_K};
 pub use planner::{plan_query, QueryPlan};
@@ -67,5 +69,10 @@ pub use preprocess::{
 };
 pub use result::{EngineOutput, EngineStats, PefpRunResult};
 pub use variants::{
-    prepare, prepare_with, run_prepared, run_query, run_query_with_options, PefpVariant,
+    prepare, prepare_with, run_prepared, run_prepared_with_sink, run_query, run_query_with_options,
+    run_query_with_sink, PefpVariant,
 };
+
+// The streaming-result vocabulary used by the sink-generic entry points,
+// re-exported so `pefp-core` callers need not name `pefp-graph` directly.
+pub use pefp_graph::sink::{CollectSink, CountingSink, FirstN, FnSink, PathSink, TranslateSink};

@@ -15,8 +15,9 @@
 
 use crate::preprocess::{PrepareContext, PreparedQuery};
 use crate::result::PefpRunResult;
-use crate::variants::{prepare_with, run_prepared, PefpVariant};
+use crate::variants::{prepare_with, run_prepared, run_prepared_with_sink, PefpVariant};
 use pefp_fpga::{Device, DeviceConfig};
+use pefp_graph::sink::PathSink;
 use pefp_graph::{CsrGraph, VertexId};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -74,23 +75,8 @@ pub fn run_query_batch(
     device_config: &DeviceConfig,
     workers: usize,
 ) -> (BatchReport, Vec<PefpRunResult>) {
-    let workers = workers.max(1);
-    let start = std::time::Instant::now();
-    let prepared: Vec<PreparedQuery> = if workers == 1 || queries.len() <= 1 {
-        let mut ctx = PrepareContext::new();
-        queries.iter().map(|&(s, t)| prepare_with(&mut ctx, g, s, t, k, variant)).collect()
-    } else {
-        parallel_prepare(g, queries, k, variant, workers)
-    };
-    let preprocess_millis = start.elapsed().as_secs_f64() * 1e3;
-
-    // One DMA transfer for the whole batch (the per-query transfer inside
-    // `run_prepared` is excluded from the batch accounting by charging the
-    // aggregate here and reporting `query_millis - pcie` per query below).
-    let batch_bytes: usize = prepared.iter().map(PreparedQuery::transfer_bytes).sum();
-    let mut transfer_probe = Device::new(device_config.clone());
-    transfer_probe.charge_pcie_transfer(batch_bytes);
-    let transfer_millis = transfer_probe.report().pcie_millis;
+    let (prepared, preprocess_millis, transfer_millis) =
+        stage_batch(g, queries, k, variant, device_config, workers);
 
     let mut results = Vec::with_capacity(prepared.len());
     let mut per_query_device_millis = Vec::with_capacity(prepared.len());
@@ -114,6 +100,86 @@ pub fn run_query_batch(
         per_query_device_millis,
     };
     (report, results)
+}
+
+/// Streaming form of [`run_query_batch`]: query `i`'s result paths (original
+/// vertex ids) are pushed into `sinks[i]` instead of being materialised, so a
+/// high-volume batch never holds `O(#paths × k)` result memory at any layer.
+///
+/// A sink that breaks terminates *its own* query early (the engine stops
+/// expanding); the rest of the batch continues. Only the aggregate
+/// [`BatchReport`] is returned — per-query counts are whatever each sink
+/// recorded, and `total_paths` counts the paths actually emitted.
+///
+/// # Panics
+///
+/// Panics when `sinks.len() != queries.len()`.
+pub fn run_query_batch_with_sinks<S: PathSink>(
+    g: &Arc<CsrGraph>,
+    queries: &[(VertexId, VertexId)],
+    k: u32,
+    variant: PefpVariant,
+    device_config: &DeviceConfig,
+    workers: usize,
+    sinks: &mut [S],
+) -> BatchReport {
+    assert_eq!(sinks.len(), queries.len(), "one sink per query");
+    let (prepared, preprocess_millis, transfer_millis) =
+        stage_batch(g, queries, k, variant, device_config, workers);
+
+    let mut per_query_device_millis = Vec::with_capacity(prepared.len());
+    let mut total_paths = 0u64;
+    let mut device_millis = 0.0;
+    for (prep, sink) in prepared.iter().zip(sinks.iter_mut()) {
+        let result = run_prepared_with_sink(prep, variant.engine_options(), device_config, sink);
+        let kernel_only = result.device.kernel_millis;
+        per_query_device_millis.push(kernel_only);
+        device_millis += kernel_only;
+        total_paths += result.num_paths;
+    }
+
+    BatchReport {
+        queries: queries.len(),
+        total_paths,
+        preprocess_millis,
+        transfer_millis,
+        device_millis,
+        per_query_device_millis,
+    }
+}
+
+/// The batch work shared by the collect and streaming entry points: host
+/// preprocessing (sequential or across workers) and the single batched DMA
+/// transfer. Returns the prepared queries, the elapsed preprocessing time
+/// (ms) and the simulated transfer time (ms).
+///
+/// (The per-query transfer inside the device runners is excluded from the
+/// batch accounting by charging the aggregate here and reporting kernel-only
+/// time per query.)
+fn stage_batch(
+    g: &Arc<CsrGraph>,
+    queries: &[(VertexId, VertexId)],
+    k: u32,
+    variant: PefpVariant,
+    device_config: &DeviceConfig,
+    workers: usize,
+) -> (Vec<PreparedQuery>, f64, f64) {
+    let workers = workers.max(1);
+    let start = std::time::Instant::now();
+    let prepared: Vec<PreparedQuery> = if workers == 1 || queries.len() <= 1 {
+        let mut ctx = PrepareContext::new();
+        queries.iter().map(|&(s, t)| prepare_with(&mut ctx, g, s, t, k, variant)).collect()
+    } else {
+        parallel_prepare(g, queries, k, variant, workers)
+    };
+    let preprocess_millis = start.elapsed().as_secs_f64() * 1e3;
+
+    let batch_bytes: usize = prepared.iter().map(PreparedQuery::transfer_bytes).sum();
+    let mut transfer_probe = Device::new(device_config.clone());
+    transfer_probe.charge_pcie_transfer(batch_bytes);
+    let transfer_millis = transfer_probe.report().pcie_millis;
+
+    (prepared, preprocess_millis, transfer_millis)
 }
 
 /// Preprocesses the queries on `workers` scoped threads, preserving order.
@@ -204,6 +270,54 @@ mod tests {
         assert!(per_query_ms < 0.3, "per-query transfer {per_query_ms} ms is too large");
         assert!(report.total_millis() >= report.device_millis);
         assert!(report.avg_device_millis() > 0.0);
+    }
+
+    #[test]
+    fn sink_batch_streams_the_same_results_without_materialising() {
+        use pefp_graph::sink::{CollectSink, FirstN};
+
+        let g = Arc::new(chung_lu(150, 5.0, 2.2, 99).to_csr());
+        let queries = sample_queries(&g, 5);
+        let device = DeviceConfig::alveo_u200();
+        let (report, results) = run_query_batch(&g, &queries, 4, PefpVariant::Full, &device, 1);
+
+        let mut sinks: Vec<CollectSink> = vec![CollectSink::new(); queries.len()];
+        let sink_report =
+            run_query_batch_with_sinks(&g, &queries, 4, PefpVariant::Full, &device, 2, &mut sinks);
+        assert_eq!(sink_report.total_paths, report.total_paths);
+        assert_eq!(sink_report.queries, report.queries);
+        for (sink, result) in sinks.into_iter().zip(&results) {
+            assert_eq!(sink.into_paths(), result.paths);
+        }
+
+        // Early termination is per query: capping every sink at one path
+        // leaves the rest of the batch untouched.
+        let mut capped: Vec<FirstN<CollectSink>> =
+            queries.iter().map(|_| FirstN::new(1, CollectSink::new())).collect();
+        let capped_report =
+            run_query_batch_with_sinks(&g, &queries, 4, PefpVariant::Full, &device, 1, &mut capped);
+        let nonempty = results.iter().filter(|r| r.num_paths > 0).count() as u64;
+        assert_eq!(capped_report.total_paths, nonempty);
+        for (cap, result) in capped.iter().zip(&results) {
+            assert_eq!(cap.emitted(), u64::from(result.num_paths > 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one sink per query")]
+    fn sink_batch_requires_one_sink_per_query() {
+        let g = Arc::new(chung_lu(40, 4.0, 2.2, 1).to_csr());
+        let queries = sample_queries(&g, 3);
+        let mut sinks = vec![pefp_graph::sink::CountingSink::new(); 2];
+        run_query_batch_with_sinks(
+            &g,
+            &queries,
+            3,
+            PefpVariant::Full,
+            &DeviceConfig::alveo_u200(),
+            1,
+            &mut sinks,
+        );
     }
 
     #[test]

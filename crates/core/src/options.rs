@@ -51,7 +51,14 @@ pub struct EngineOptions {
     pub dram_fetch_batch: usize,
     /// Collect the actual result paths (`true`) or only count them (`false`);
     /// counting mode avoids result materialisation in the largest sweeps.
+    /// Both modes run through the same `PathSink` emission path.
     pub collect_paths: bool,
+    /// Stop the enumeration after this many result paths (`None` = enumerate
+    /// everything). Backed by the `FirstN` sink combinator, so the engine
+    /// stops *expanding* once the cap is reached rather than filtering
+    /// afterwards; `EngineStats::early_terminated` records that a run was cut
+    /// short.
+    pub max_results: Option<u64>,
 }
 
 impl EngineOptions {
@@ -65,6 +72,7 @@ impl EngineOptions {
             buffer_capacity: 8192,
             dram_fetch_batch: 4096,
             collect_paths: true,
+            max_results: None,
         }
     }
 

@@ -128,6 +128,7 @@ pub fn plan_query(prepared: &PreparedQuery, config: &DeviceConfig) -> QueryPlan 
         buffer_capacity,
         dram_fetch_batch,
         collect_paths: true,
+        max_results: None,
     };
 
     let areas = OnChipAreas {

@@ -27,14 +27,21 @@ pub struct EngineStats {
     pub peak_buffer_paths: usize,
     /// Peak number of paths spilled to DRAM at any one time.
     pub peak_dram_paths: usize,
+    /// Whether the enumeration was cut short by the result sink (a `FirstN`
+    /// cap or `EngineOptions::max_results`); when set, `results` is the
+    /// number of paths emitted before termination, not the full count.
+    pub early_terminated: bool,
 }
 
 /// Raw output of one engine run (device ids).
 #[derive(Debug, Clone, Default)]
 pub struct EngineOutput {
-    /// Result paths in device vertex ids (empty when counting only).
+    /// Result paths in device vertex ids. Filled only by the collect-mode
+    /// wrapper ([`crate::PefpEngine::run`] with `collect_paths = true`);
+    /// empty in counting mode and for sink-streaming runs, where results
+    /// flow through the caller's `PathSink` instead.
     pub paths: Vec<Path>,
-    /// Number of result paths (always filled, even in counting mode).
+    /// Number of result paths emitted (always filled, in every mode).
     pub num_paths: u64,
     /// Behavioural counters.
     pub stats: EngineStats,
@@ -43,7 +50,9 @@ pub struct EngineOutput {
 /// Complete result of a high-level PEFP query (preprocessing + device run).
 #[derive(Debug, Clone)]
 pub struct PefpRunResult {
-    /// Result paths translated back to original graph vertex ids.
+    /// Result paths translated back to original graph vertex ids. Empty for
+    /// counting-mode and sink-streaming runs (`run_prepared_with_sink` /
+    /// `run_query_with_sink`), where paths flow through the caller's sink.
     pub paths: Vec<Path>,
     /// Number of result paths.
     pub num_paths: u64,

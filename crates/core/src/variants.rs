@@ -22,6 +22,7 @@ use crate::preprocess::{
 };
 use crate::result::PefpRunResult;
 use pefp_fpga::{Device, DeviceConfig};
+use pefp_graph::sink::{CollectSink, CountingSink, PathSink, TranslateSink};
 use pefp_graph::{CsrGraph, VertexId};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -150,10 +151,39 @@ pub fn run_query_with_options(
 
 /// Runs the device phase for an already prepared query. Splitting this out
 /// lets the benchmarks amortise preprocessing across repeated device runs.
+///
+/// Collect-everything wrapper over [`run_prepared_with_sink`]: with
+/// `collect_paths` set the paths are gathered by a [`CollectSink`] (already
+/// translated to original ids), otherwise a [`CountingSink`] counts them —
+/// either way the same streaming pipeline runs underneath.
 pub fn run_prepared(
     prep: &PreparedQuery,
     options: EngineOptions,
     device_config: &DeviceConfig,
+) -> PefpRunResult {
+    if options.collect_paths {
+        let mut sink = CollectSink::new();
+        let mut result = run_prepared_with_sink(prep, options, device_config, &mut sink);
+        result.paths = sink.into_paths();
+        result
+    } else {
+        run_prepared_with_sink(prep, options, device_config, &mut CountingSink::new())
+    }
+}
+
+/// Runs the device phase for an already prepared query, streaming every
+/// result path into `sink` in *original* graph vertex ids.
+///
+/// The translation from device ids happens inside a [`TranslateSink`] wrapper
+/// with a reused scratch buffer, so no intermediate device-id path vector is
+/// ever materialised between the engine and the caller. The returned
+/// [`PefpRunResult`] carries timings, the device report and the engine
+/// counters; its `paths` field is always empty.
+pub fn run_prepared_with_sink<S: PathSink + ?Sized>(
+    prep: &PreparedQuery,
+    options: EngineOptions,
+    device_config: &DeviceConfig,
+    sink: &mut S,
 ) -> PefpRunResult {
     let mut device = Device::new(device_config.clone());
     // Host -> device DMA of the subgraph, barrier and query parameters.
@@ -163,7 +193,13 @@ pub fn run_prepared(
     let (output, report) = if prep.feasible {
         let mut engine =
             PefpEngine::new(&prep.graph, &prep.barrier, prep.s, prep.t, prep.k, options, device);
-        let output = engine.run();
+        let output = match &prep.mapping {
+            Some(mapping) => {
+                let mut translate = TranslateSink::new(mapping, sink);
+                engine.run_with_sink(&mut translate)
+            }
+            None => engine.run_with_sink(sink),
+        };
         let report = engine.device_report();
         (output, report)
     } else {
@@ -171,16 +207,37 @@ pub fn run_prepared(
     };
     let host_engine_millis = host_start.elapsed().as_secs_f64() * 1e3;
 
-    let paths: Vec<Vec<VertexId>> = output.paths.iter().map(|p| prep.translate_path(p)).collect();
     PefpRunResult {
         num_paths: output.num_paths,
-        paths,
+        paths: Vec::new(),
         preprocess_millis: prep.host_millis,
         query_millis: report.total_millis,
         host_engine_millis,
         device: report,
         stats: output.stats,
     }
+}
+
+/// Runs one complete PEFP query — preprocessing, PCIe transfer, device
+/// enumeration — streaming every result path into `sink` in original graph
+/// vertex ids instead of materialising the result set.
+///
+/// `options.collect_paths` is irrelevant here: the engine always pushes into
+/// the caller's sink. Combine with [`pefp_graph::FirstN`] or
+/// [`EngineOptions::max_results`] for early termination.
+#[allow(clippy::too_many_arguments)]
+pub fn run_query_with_sink<S: PathSink + ?Sized>(
+    g: &CsrGraph,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+    variant: PefpVariant,
+    options: EngineOptions,
+    device_config: &DeviceConfig,
+    sink: &mut S,
+) -> PefpRunResult {
+    let prep = prepare(g, s, t, k, variant);
+    run_prepared_with_sink(&prep, options, device_config, sink)
 }
 
 #[cfg(test)]

@@ -12,6 +12,9 @@
 //!   paper ships to FPGA DRAM (Section V). All enumeration algorithms run on CSR.
 //! * [`induced`] — induced-subgraph extraction with old→new vertex remapping,
 //!   used by the Pre-BFS preprocessing.
+//! * [`sink`] — the [`PathSink`] streaming-result trait and its combinators
+//!   (counting, collecting, first-`n` early termination, id translation),
+//!   shared by every enumeration producer in the workspace.
 //! * [`generators`] — deterministic synthetic graph generators (power-law /
 //!   Chung–Lu, Erdős–Rényi, copying model, small world, grid, DAG layers).
 //! * [`datasets`] — the catalog of the paper's 12 evaluation datasets (Table II)
@@ -52,6 +55,7 @@ pub mod labels;
 pub mod paths;
 pub mod sampling;
 pub mod scc;
+pub mod sink;
 pub mod stats;
 
 pub use bfs::{constrained_distance, khop_bfs, khop_bfs_multi, BfsScratch, UNREACHED};
@@ -70,4 +74,5 @@ pub use labels::{Label, LabelConstraint, VertexLabels};
 pub use paths::Path;
 pub use sampling::{sample_reachable_pairs, sample_simple_paths};
 pub use scc::{strongly_connected_components, SccDecomposition};
+pub use sink::{CollectSink, CountingSink, FirstN, FnSink, PathSink, TranslateSink};
 pub use stats::GraphStats;

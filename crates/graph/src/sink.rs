@@ -1,0 +1,305 @@
+//! Streaming result consumption: the [`PathSink`] trait and its combinators.
+//!
+//! The paper's result sets explode (§VI sweeps reach 10⁸+ paths; the DRAM
+//! spill logic exists precisely because results do not fit on-chip), so no
+//! layer of the system should be forced to materialise every path as a
+//! `Vec<Vec<VertexId>>` just to hand it to the next layer. A [`PathSink`] is
+//! the push-based alternative: enumeration calls [`PathSink::emit`] once per
+//! result path, the sink decides what to keep, and the returned
+//! [`ControlFlow`] lets the sink terminate the enumeration early.
+//!
+//! The combinators cover the common shapes:
+//!
+//! * [`CountingSink`] — count paths without storing any of them;
+//! * [`CollectSink`] — materialise everything (the legacy behaviour, used by
+//!   the collect-everything wrappers);
+//! * [`FirstN`] — forward the first `n` paths to an inner sink, then stop the
+//!   enumeration;
+//! * [`TranslateSink`] — remap device/subgraph vertex ids back to original
+//!   ids through an [`InducedSubgraph`] before forwarding, reusing one
+//!   scratch buffer so no per-path intermediate vector is allocated;
+//! * [`FnSink`] — adapt a closure.
+//!
+//! The slice passed to `emit` is only valid for the duration of the call;
+//! sinks that keep paths must copy them (that copy is the *one* allocation a
+//! collecting pipeline pays per path).
+
+use crate::ids::VertexId;
+use crate::induced::InducedSubgraph;
+use crate::paths::Path;
+use std::ops::ControlFlow;
+
+/// A consumer of enumerated paths.
+///
+/// Implementors receive each result path exactly once, in enumeration order.
+/// Returning [`ControlFlow::Break`] asks the producer to stop enumerating;
+/// producers must not call `emit` again after a break.
+pub trait PathSink {
+    /// Consumes one result path. The slice is only valid during the call.
+    fn emit(&mut self, path: &[VertexId]) -> ControlFlow<()>;
+}
+
+impl<S: PathSink + ?Sized> PathSink for &mut S {
+    #[inline]
+    fn emit(&mut self, path: &[VertexId]) -> ControlFlow<()> {
+        (**self).emit(path)
+    }
+}
+
+/// Counts paths without storing them; never terminates the enumeration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    count: u64,
+}
+
+impl CountingSink {
+    /// A sink with a zero count.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// Number of paths emitted so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl PathSink for CountingSink {
+    #[inline]
+    fn emit(&mut self, _path: &[VertexId]) -> ControlFlow<()> {
+        self.count += 1;
+        ControlFlow::Continue(())
+    }
+}
+
+/// Materialises every emitted path — the collect-everything legacy behaviour,
+/// now explicitly opt-in.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CollectSink {
+    paths: Vec<Path>,
+}
+
+impl CollectSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        CollectSink::default()
+    }
+
+    /// An empty sink with space reserved for `n` paths.
+    pub fn with_capacity(n: usize) -> Self {
+        CollectSink { paths: Vec::with_capacity(n) }
+    }
+
+    /// The collected paths, in emission order.
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// Number of paths collected.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Consumes the sink, returning the collected paths.
+    pub fn into_paths(self) -> Vec<Path> {
+        self.paths
+    }
+}
+
+impl PathSink for CollectSink {
+    #[inline]
+    fn emit(&mut self, path: &[VertexId]) -> ControlFlow<()> {
+        self.paths.push(path.to_vec());
+        ControlFlow::Continue(())
+    }
+}
+
+/// Forwards the first `n` paths to the inner sink, then breaks: the
+/// early-termination combinator behind `max_results`-style limits.
+///
+/// The break is returned *with* the `n`-th path, so a producer that honours
+/// the contract performs no further expansion work once the quota is met.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FirstN<S> {
+    inner: S,
+    limit: u64,
+    emitted: u64,
+}
+
+impl<S: PathSink> FirstN<S> {
+    /// Caps `inner` at the first `limit` paths.
+    pub fn new(limit: u64, inner: S) -> Self {
+        FirstN { inner, limit, emitted: 0 }
+    }
+
+    /// Number of paths forwarded so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// The configured cap.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Consumes the combinator, returning the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: PathSink> PathSink for FirstN<S> {
+    #[inline]
+    fn emit(&mut self, path: &[VertexId]) -> ControlFlow<()> {
+        if self.emitted >= self.limit {
+            return ControlFlow::Break(());
+        }
+        let flow = self.inner.emit(path);
+        self.emitted += 1;
+        if flow.is_break() || self.emitted >= self.limit {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+}
+
+/// Remaps subgraph (device) vertex ids back to original graph ids before
+/// forwarding to the inner sink.
+///
+/// One scratch buffer is reused across emissions, so translation itself
+/// allocates nothing in steady state — the whole point of streaming results
+/// out of the engine instead of materialising a device-id vector first.
+#[derive(Debug)]
+pub struct TranslateSink<'a, S> {
+    mapping: &'a InducedSubgraph,
+    inner: S,
+    buf: Path,
+}
+
+impl<'a, S: PathSink> TranslateSink<'a, S> {
+    /// Wraps `inner` so every emitted path is translated through `mapping`.
+    pub fn new(mapping: &'a InducedSubgraph, inner: S) -> Self {
+        TranslateSink { mapping, inner, buf: Vec::new() }
+    }
+
+    /// Consumes the combinator, returning the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: PathSink> PathSink for TranslateSink<'_, S> {
+    #[inline]
+    fn emit(&mut self, path: &[VertexId]) -> ControlFlow<()> {
+        self.buf.clear();
+        self.buf.extend(path.iter().map(|&v| self.mapping.to_old(v)));
+        self.inner.emit(&self.buf)
+    }
+}
+
+/// Adapts a closure into a [`PathSink`].
+///
+/// A named wrapper instead of a blanket `impl PathSink for FnMut(..)` so the
+/// `&mut S` forwarding impl stays coherent.
+#[derive(Debug, Clone)]
+pub struct FnSink<F>(pub F);
+
+impl<F: FnMut(&[VertexId]) -> ControlFlow<()>> PathSink for FnSink<F> {
+    #[inline]
+    fn emit(&mut self, path: &[VertexId]) -> ControlFlow<()> {
+        (self.0)(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use crate::induced::induce_subgraph;
+
+    fn p(ids: &[u32]) -> Path {
+        ids.iter().map(|&v| VertexId(v)).collect()
+    }
+
+    #[test]
+    fn counting_sink_counts_without_storing() {
+        let mut sink = CountingSink::new();
+        for _ in 0..5 {
+            assert_eq!(sink.emit(&p(&[0, 1])), ControlFlow::Continue(()));
+        }
+        assert_eq!(sink.count(), 5);
+    }
+
+    #[test]
+    fn collect_sink_preserves_order_and_content() {
+        let mut sink = CollectSink::with_capacity(2);
+        let _ = sink.emit(&p(&[0, 1, 3]));
+        let _ = sink.emit(&p(&[0, 2, 3]));
+        assert_eq!(sink.len(), 2);
+        assert!(!sink.is_empty());
+        assert_eq!(sink.paths()[0], p(&[0, 1, 3]));
+        assert_eq!(sink.into_paths(), vec![p(&[0, 1, 3]), p(&[0, 2, 3])]);
+    }
+
+    #[test]
+    fn first_n_caps_and_breaks_on_the_nth_path() {
+        let mut sink = FirstN::new(2, CollectSink::new());
+        assert_eq!(sink.emit(&p(&[0])), ControlFlow::Continue(()));
+        // The 2nd path is forwarded AND the producer is told to stop.
+        assert_eq!(sink.emit(&p(&[1])), ControlFlow::Break(()));
+        assert_eq!(sink.emitted(), 2);
+        assert_eq!(sink.limit(), 2);
+        // A producer ignoring the break gets refused without forwarding.
+        assert_eq!(sink.emit(&p(&[2])), ControlFlow::Break(()));
+        assert_eq!(sink.into_inner().len(), 2);
+    }
+
+    #[test]
+    fn first_n_zero_never_forwards() {
+        let mut sink = FirstN::new(0, CollectSink::new());
+        assert_eq!(sink.emit(&p(&[0])), ControlFlow::Break(()));
+        assert_eq!(sink.emitted(), 0);
+        assert!(sink.into_inner().is_empty());
+    }
+
+    #[test]
+    fn first_n_propagates_an_inner_break() {
+        let mut sink = FirstN::new(10, FirstN::new(1, CountingSink::new()));
+        assert_eq!(sink.emit(&p(&[0])), ControlFlow::Break(()));
+        assert_eq!(sink.emitted(), 1);
+    }
+
+    #[test]
+    fn translate_sink_remaps_back_to_original_ids() {
+        // Keep 0, 2, 4 of a 5-vertex graph: new ids 0, 1, 2.
+        let g = CsrGraph::from_edges(5, &[(0, 2), (2, 4)]);
+        let ind = induce_subgraph(&g, |v| v.0 % 2 == 0);
+        let mut sink = TranslateSink::new(&ind, CollectSink::new());
+        let _ = sink.emit(&p(&[0, 1, 2]));
+        let _ = sink.emit(&p(&[0, 1, 2]));
+        let collected = sink.into_inner().into_paths();
+        assert_eq!(collected, vec![p(&[0, 2, 4]), p(&[0, 2, 4])]);
+    }
+
+    #[test]
+    fn fn_sink_and_mut_ref_forwarding() {
+        let mut seen = 0u32;
+        {
+            let mut sink = FnSink(|path: &[VertexId]| {
+                seen += path.len() as u32;
+                ControlFlow::Continue(())
+            });
+            // Emit through a &mut reference, as the engine does for caller sinks.
+            let by_ref: &mut dyn PathSink = &mut sink;
+            let _ = by_ref.emit(&p(&[0, 1]));
+            let _ = by_ref.emit(&p(&[2]));
+        }
+        assert_eq!(seen, 3);
+    }
+}

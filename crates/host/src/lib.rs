@@ -15,10 +15,15 @@
 //!   query payload written to device DRAM.
 //! * [`dma`] — descriptor-based DMA framing of a payload over the PCIe model.
 //! * [`session`] — a long-lived host session: one loaded graph, many queries,
-//!   per-query records and aggregate statistics.
+//!   per-query records and aggregate statistics. Results can be collected or
+//!   streamed through a caller-supplied [`pefp_graph::PathSink`]
+//!   (`run_query_streaming`), with emitted-vs-materialised counts tracked in
+//!   [`SessionStats`].
 //! * [`scheduler`] — batch scheduling of many queries into a single transfer
 //!   (the methodology of Section VII-A), with optional parallel host-side
-//!   preprocessing.
+//!   preprocessing, a streaming per-path callback form
+//!   (`run_batch_streaming`) and a modelled multi-compute-unit makespan next
+//!   to the single-CU total.
 //!
 //! ## Quick example
 //!

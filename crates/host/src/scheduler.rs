@@ -13,9 +13,12 @@ use crate::dma::{DmaEngine, DmaTransferReport};
 use crate::error::HostError;
 use crate::loader::GraphHandle;
 use crate::query::QueryRequest;
-use pefp_core::{prepare_with, run_prepared, PefpVariant, PrepareContext, PreparedQuery};
-use pefp_fpga::{DeviceConfig, Pcie};
+use pefp_core::{prepare_with, run_prepared_with_sink, PefpVariant, PrepareContext, PreparedQuery};
+use pefp_fpga::{schedule_batch, DeviceConfig, MultiCuConfig, MultiCuSchedule, Pcie};
+use pefp_graph::sink::FnSink;
+use pefp_graph::VertexId;
 use std::collections::HashMap;
+use std::ops::ControlFlow;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -30,6 +33,11 @@ pub struct SchedulerConfig {
     pub preprocess_threads: usize,
     /// Collapse duplicate `(s, t, k)` requests into one execution.
     pub dedup: bool,
+    /// Multi-compute-unit deployment modelled for the batch: per-query kernel
+    /// times are LPT-scheduled onto the CUs (with the DRAM bandwidth-sharing
+    /// correction of [`pefp_fpga::multi_cu`]) and the predicted makespan is
+    /// reported next to the single-CU total in [`BatchOutcome::multi_cu`].
+    pub multi_cu: MultiCuConfig,
 }
 
 impl Default for SchedulerConfig {
@@ -39,6 +47,7 @@ impl Default for SchedulerConfig {
             variant: PefpVariant::Full,
             preprocess_threads: 1,
             dedup: true,
+            multi_cu: MultiCuConfig::default(),
         }
     }
 }
@@ -64,16 +73,35 @@ pub struct BatchOutcome {
     pub preprocess_millis: f64,
     /// The single batched DMA transfer.
     pub transfer: DmaTransferReport,
-    /// Total simulated device time (ms).
+    /// Total simulated device time (ms) on a single compute unit.
     pub device_millis: f64,
     /// Number of requests that were served from a duplicate's result.
     pub deduplicated: usize,
+    /// Predicted multi-CU execution of the batch: the unique queries'
+    /// kernel-cycle counts scheduled onto [`SchedulerConfig::multi_cu`]. With
+    /// the default single-CU config the makespan equals the serial total.
+    pub multi_cu: MultiCuSchedule,
 }
 
 impl BatchOutcome {
     /// Total batch time in milliseconds (preprocess + transfer + device).
     pub fn total_millis(&self) -> f64 {
         self.preprocess_millis + self.transfer.total_millis + self.device_millis
+    }
+
+    /// Predicted device time of the batch on the configured multi-CU card, in
+    /// milliseconds: the single-CU total scaled by the modelled makespan.
+    pub fn multi_cu_device_millis(&self) -> f64 {
+        if self.multi_cu.serial_cycles == 0 {
+            return self.device_millis;
+        }
+        self.device_millis * self.multi_cu.makespan_cycles as f64
+            / self.multi_cu.serial_cycles as f64
+    }
+
+    /// Predicted speedup of the configured multi-CU card over one CU.
+    pub fn multi_cu_speedup(&self) -> f64 {
+        self.multi_cu.speedup()
     }
 
     /// Average per-query total time in milliseconds.
@@ -160,12 +188,65 @@ impl BatchScheduler {
     /// Runs a batch of queries against `graph` and returns the batch outcome.
     ///
     /// Every request is validated first; the whole batch is rejected if any
-    /// request is invalid (matching the all-or-nothing transfer).
+    /// request is invalid (matching the all-or-nothing transfer). Results are
+    /// counted, never materialised — this is [`Self::run_batch_streaming`]
+    /// with a discard-everything callback.
     pub fn run_batch(
         &self,
         graph: &GraphHandle,
         requests: &[QueryRequest],
     ) -> Result<BatchOutcome, HostError> {
+        self.run_batch_streaming(graph, requests, |_, _| ControlFlow::Continue(()))
+    }
+
+    /// Streaming form of [`Self::run_batch`]: every result path (original
+    /// graph vertex ids) is pushed to `on_path` together with the request
+    /// that produced it, so the host never materialises a result set.
+    ///
+    /// Returning [`ControlFlow::Break`] from the callback terminates *that
+    /// request's* enumeration early; the rest of the batch still runs. With
+    /// deduplication on, a duplicated request's paths are streamed once, for
+    /// the first occurrence; its [`BatchQueryResult`] rows still cover every
+    /// slot.
+    pub fn run_batch_streaming<F>(
+        &self,
+        graph: &GraphHandle,
+        requests: &[QueryRequest],
+        mut on_path: F,
+    ) -> Result<BatchOutcome, HostError>
+    where
+        F: FnMut(&QueryRequest, &[VertexId]) -> ControlFlow<()>,
+    {
+        let staged = self.stage_batch(graph, requests)?;
+
+        let options = self.config.variant.engine_options();
+        let mut unique_results = Vec::with_capacity(staged.unique.len());
+        let mut unique_cycles = Vec::with_capacity(staged.unique.len());
+        let mut device_millis = 0.0;
+        for (q, prep) in staged.unique.iter().zip(&staged.prepared) {
+            let mut sink = FnSink(|path: &[VertexId]| on_path(q, path));
+            let result =
+                run_prepared_with_sink(prep, options.clone(), &self.config.device, &mut sink);
+            device_millis += result.query_millis;
+            unique_cycles.push(result.device.cycles);
+            unique_results.push(BatchQueryResult {
+                request: *q,
+                num_paths: result.num_paths,
+                device_millis: result.query_millis,
+            });
+        }
+
+        Ok(staged.into_outcome(unique_results, unique_cycles, device_millis, &self.config.multi_cu))
+    }
+
+    /// The host-side work shared by the counting and streaming batch runs:
+    /// validation, deduplication, (parallel) preprocessing and the single
+    /// batched DMA transfer.
+    fn stage_batch(
+        &self,
+        graph: &GraphHandle,
+        requests: &[QueryRequest],
+    ) -> Result<StagedBatch, HostError> {
         for q in requests {
             q.validate(&graph.csr)?;
         }
@@ -205,24 +286,41 @@ impl BatchScheduler {
         let mut dma = DmaEngine::with_defaults(pcie);
         let transfer = dma.transfer(total_bytes);
 
-        // Device execution, one query at a time (the device is a single
-        // kernel; per-query results are what Fig. 8 averages over).
-        let mut options = self.config.variant.engine_options();
-        options.collect_paths = false;
-        let mut unique_results = Vec::with_capacity(unique.len());
-        let mut device_millis = 0.0;
-        for (q, prep) in unique.iter().zip(&prepared) {
-            let result = run_prepared(prep, options.clone(), &self.config.device);
-            device_millis += result.query_millis;
-            unique_results.push(BatchQueryResult {
-                request: *q,
-                num_paths: result.num_paths,
-                device_millis: result.query_millis,
-            });
-        }
+        Ok(StagedBatch { unique, slot_of, prepared, preprocess_millis, transfer, deduplicated })
+    }
+}
 
-        let results = slot_of.iter().map(|&slot| unique_results[slot]).collect();
-        Ok(BatchOutcome { results, preprocess_millis, transfer, device_millis, deduplicated })
+/// A validated, deduplicated, preprocessed and transferred batch, ready for
+/// device execution.
+struct StagedBatch {
+    unique: Vec<QueryRequest>,
+    slot_of: Vec<usize>,
+    prepared: Vec<PreparedQuery>,
+    preprocess_millis: f64,
+    transfer: DmaTransferReport,
+    deduplicated: usize,
+}
+
+impl StagedBatch {
+    /// Assembles the outcome: per-slot result rows plus the multi-CU schedule
+    /// of the unique queries' kernel cycles.
+    fn into_outcome(
+        self,
+        unique_results: Vec<BatchQueryResult>,
+        unique_cycles: Vec<u64>,
+        device_millis: f64,
+        multi_cu: &MultiCuConfig,
+    ) -> BatchOutcome {
+        let results = self.slot_of.iter().map(|&slot| unique_results[slot]).collect();
+        let multi_cu = schedule_batch(&unique_cycles, multi_cu);
+        BatchOutcome {
+            results,
+            preprocess_millis: self.preprocess_millis,
+            transfer: self.transfer,
+            device_millis,
+            deduplicated: self.deduplicated,
+            multi_cu,
+        }
     }
 }
 
@@ -304,6 +402,99 @@ mod tests {
         let seq_counts: Vec<u64> = sequential.results.iter().map(|r| r.num_paths).collect();
         let par_counts: Vec<u64> = parallel.results.iter().map(|r| r.num_paths).collect();
         assert_eq!(seq_counts, par_counts);
+    }
+
+    #[test]
+    fn batch_reports_a_multi_cu_schedule_next_to_the_serial_total() {
+        let handle = handle();
+        let reqs = requests(&handle, 4, 8);
+        assert!(reqs.len() >= 4, "need a few queries to schedule");
+
+        // Default config: one CU, makespan == serial total, speedup 1.
+        let single =
+            BatchScheduler::new(SchedulerConfig::default()).run_batch(&handle, &reqs).unwrap();
+        assert_eq!(single.multi_cu.compute_units, 1);
+        assert_eq!(single.multi_cu.makespan_cycles, single.multi_cu.serial_cycles);
+        assert!((single.multi_cu_speedup() - 1.0).abs() < 1e-12);
+        assert!((single.multi_cu_device_millis() - single.device_millis).abs() < 1e-9);
+
+        // Four contention-free CUs: strictly faster on a multi-query batch.
+        let multi = BatchScheduler::new(SchedulerConfig {
+            multi_cu: MultiCuConfig { compute_units: 4, per_cu_bandwidth_share: 0.0 },
+            ..SchedulerConfig::default()
+        })
+        .run_batch(&handle, &reqs)
+        .unwrap();
+        assert_eq!(multi.multi_cu.compute_units, 4);
+        assert_eq!(multi.multi_cu.serial_cycles, single.multi_cu.serial_cycles);
+        assert!(
+            multi.multi_cu.makespan_cycles < multi.multi_cu.serial_cycles,
+            "4 CUs must beat 1 on {} queries",
+            reqs.len()
+        );
+        assert!(multi.multi_cu_speedup() > 1.0);
+        assert!(multi.multi_cu_device_millis() < multi.device_millis);
+        // The serial numbers are untouched by the model.
+        assert_eq!(multi.total_paths(), single.total_paths());
+    }
+
+    #[test]
+    fn streaming_batch_delivers_every_path_with_its_request() {
+        use pefp_graph::paths::canonicalize;
+        use std::collections::HashMap;
+
+        let handle = handle();
+        let reqs = requests(&handle, 3, 6);
+        assert!(!reqs.is_empty());
+        let scheduler = BatchScheduler::new(SchedulerConfig::default());
+
+        let mut streamed: HashMap<QueryRequest, Vec<Vec<VertexId>>> = HashMap::new();
+        let outcome = scheduler
+            .run_batch_streaming(&handle, &reqs, |req, path| {
+                streamed.entry(*req).or_default().push(path.to_vec());
+                ControlFlow::Continue(())
+            })
+            .unwrap();
+        assert_eq!(outcome.results.len(), reqs.len());
+
+        for req in &reqs {
+            let oracle = naive_dfs_enumerate(&handle.csr, req.s, req.t, req.k);
+            let got = streamed.remove(req).unwrap_or_default();
+            assert_eq!(canonicalize(got), canonicalize(oracle), "query {req:?}");
+        }
+
+        // The counting and streaming paths agree on every aggregate.
+        let counted = scheduler.run_batch(&handle, &reqs).unwrap();
+        assert_eq!(outcome.total_paths(), counted.total_paths());
+        assert_eq!(outcome.multi_cu.serial_cycles, counted.multi_cu.serial_cycles);
+    }
+
+    #[test]
+    fn streaming_batch_break_only_stops_one_request() {
+        let handle = handle();
+        let reqs = requests(&handle, 3, 4);
+        assert!(reqs.len() >= 2);
+        let scheduler = BatchScheduler::new(SchedulerConfig::default());
+        let full = scheduler.run_batch(&handle, &reqs).unwrap();
+        let victim = full.results.iter().find(|r| r.num_paths > 1).map(|r| r.request);
+        let Some(victim) = victim else { return };
+
+        let outcome = scheduler
+            .run_batch_streaming(&handle, &reqs, |req, _path| {
+                if *req == victim {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            })
+            .unwrap();
+        for (got, want) in outcome.results.iter().zip(&full.results) {
+            if got.request == victim {
+                assert_eq!(got.num_paths, 1, "the break lands after the first path");
+            } else {
+                assert_eq!(got.num_paths, want.num_paths, "other requests run to completion");
+            }
+        }
     }
 
     #[test]

@@ -8,23 +8,42 @@
 //! ```text
 //! > QUERY 0 42 5          enumerate 0 -> 42 paths with at most 5 hops
 //! > COUNT 0 42 5          same, but only report the number of paths
+//! > STREAM 0 42 5 [n]     stream up to n paths (default 100), chunk-wise
 //! > STATS                  session statistics so far
 //! > GRAPH                  one-line summary of the loaded graph
 //! > HELP                   list the commands
 //! > QUIT                   stop serving
 //! ```
 //!
-//! Every request produces exactly one reply line starting with `OK` or `ERR`,
-//! so the protocol is trivially scriptable.
+//! Every reply line starts with `OK` or `ERR`, so the protocol is trivially
+//! scriptable; `STREAM` is the one command whose reply spans several lines
+//! (one per chunk of paths, then a final `OK end` line).
+//!
+//! Since the result pipeline went streaming, the server never materialises a
+//! query's full result set: `QUERY` keeps only the first
+//! [`MAX_INLINE_PATHS`] paths for its sample line while counting the rest,
+//! and `STREAM` formats paths chunk-by-chunk through a bounded sink.
 
 use crate::error::HostError;
 use crate::query::QueryRequest;
 use crate::session::HostSession;
+use pefp_graph::sink::{CountingSink, FirstN, PathSink};
+use pefp_graph::VertexId;
 use std::io::{BufRead, Write};
+use std::ops::ControlFlow;
 
 /// Maximum number of paths printed inline on an `OK` reply; the rest are
-/// summarised by their count.
+/// summarised by their count. Also the chunk size of `STREAM` reply lines.
 pub const MAX_INLINE_PATHS: usize = 5;
+
+/// Default cap on the number of paths a `STREAM` command emits.
+pub const DEFAULT_STREAM_LIMIT: u64 = 100;
+
+/// Hard ceiling on a `STREAM` command's limit. The reply is assembled before
+/// it is written, so the formatted chunks live in memory until the command
+/// finishes; the ceiling keeps that bounded regardless of what the client
+/// asks for.
+pub const MAX_STREAM_LIMIT: u64 = 10_000;
 
 /// The reply to one protocol line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,28 +52,80 @@ pub enum Reply {
     Ok(String),
     /// Failed command with an error message.
     Err(String),
+    /// A successful `STREAM` command: one payload per chunk of paths, each
+    /// rendered as its own `OK` line.
+    Stream(Vec<String>),
     /// The client asked to stop (`QUIT`); contains the farewell payload.
     Quit(String),
 }
 
 impl Reply {
-    /// Renders the reply as the single protocol line sent to the client.
+    /// Renders the reply as the protocol line(s) sent to the client. Only
+    /// [`Reply::Stream`] spans multiple lines; every line carries its own
+    /// `OK`/`ERR` prefix.
     pub fn render(&self) -> String {
         match self {
             Reply::Ok(msg) => format!("OK {msg}"),
             Reply::Err(msg) => format!("ERR {msg}"),
+            Reply::Stream(chunks) => {
+                chunks.iter().map(|c| format!("OK {c}")).collect::<Vec<_>>().join("\n")
+            }
             Reply::Quit(msg) => format!("OK {msg}"),
         }
     }
 }
 
-fn format_paths(paths: &[Vec<pefp_graph::VertexId>]) -> String {
-    paths
-        .iter()
-        .take(MAX_INLINE_PATHS)
-        .map(|p| p.iter().map(|v| v.0.to_string()).collect::<Vec<_>>().join("->"))
-        .collect::<Vec<_>>()
-        .join(" ")
+fn format_path(path: &[VertexId]) -> String {
+    path.iter().map(|v| v.0.to_string()).collect::<Vec<_>>().join("->")
+}
+
+fn format_paths(paths: &[Vec<VertexId>]) -> String {
+    paths.iter().take(MAX_INLINE_PATHS).map(|p| format_path(p)).collect::<Vec<_>>().join(" ")
+}
+
+/// Keeps the first [`MAX_INLINE_PATHS`] paths for the `QUERY` sample line and
+/// counts the rest — the whole result set is never materialised.
+#[derive(Debug, Default)]
+struct SampleSink {
+    first: Vec<Vec<VertexId>>,
+}
+
+impl PathSink for SampleSink {
+    fn emit(&mut self, path: &[VertexId]) -> ControlFlow<()> {
+        if self.first.len() < MAX_INLINE_PATHS {
+            self.first.push(path.to_vec());
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Formats streamed paths into reply chunks of [`MAX_INLINE_PATHS`] paths
+/// each; memory stays O(emitted / chunk) formatted text, with no path vector
+/// retained.
+#[derive(Debug, Default)]
+struct ChunkSink {
+    chunks: Vec<String>,
+    current: Vec<String>,
+}
+
+impl ChunkSink {
+    fn finish(mut self) -> Vec<String> {
+        if !self.current.is_empty() {
+            self.chunks.push(format!("paths {}", self.current.join(" ")));
+        }
+        self.chunks
+    }
+}
+
+impl PathSink for ChunkSink {
+    fn emit(&mut self, path: &[VertexId]) -> ControlFlow<()> {
+        self.current.push(format_path(path));
+        if self.current.len() >= MAX_INLINE_PATHS {
+            self.chunks.push(format!("paths {}", self.current.join(" ")));
+            self.current.clear();
+        }
+        ControlFlow::Continue(())
+    }
 }
 
 /// Executes one protocol line against `session` and returns the reply.
@@ -69,7 +140,8 @@ pub fn handle_line(session: &mut HostSession, line: &str) -> Reply {
 
     match command.as_str() {
         "HELP" => Reply::Ok(
-            "commands: QUERY <s> <t> <k> | COUNT <s> <t> <k> | GRAPH | STATS | HELP | QUIT"
+            "commands: QUERY <s> <t> <k> | COUNT <s> <t> <k> | STREAM <s> <t> <k> [limit] | \
+             GRAPH | STATS | HELP | QUIT"
                 .to_string(),
         ),
         "QUIT" | "EXIT" => Reply::Quit("bye".to_string()),
@@ -80,10 +152,12 @@ pub fn handle_line(session: &mut HostSession, line: &str) -> Reply {
         "STATS" => {
             let stats = session.stats();
             Reply::Ok(format!(
-                "queries={} rejected={} paths={} avg_total_ms={:.3}",
+                "queries={} rejected={} paths={} emitted={} materialised={} avg_total_ms={:.3}",
                 stats.queries,
                 stats.rejected,
                 stats.total_paths,
+                stats.emitted_paths,
+                stats.materialised_paths,
                 stats.avg_total_millis()
             ))
         }
@@ -93,7 +167,18 @@ pub fn handle_line(session: &mut HostSession, line: &str) -> Reply {
                 Ok(r) => r,
                 Err(e) => return Reply::Err(e.to_string()),
             };
-            match session.run_query(request) {
+            // Both commands stream: COUNT through a pure counter, QUERY
+            // through a sink that keeps only the sample paths. The full
+            // result set is never held by the server.
+            let (outcome, sample) = if command == "COUNT" {
+                let mut sink = CountingSink::new();
+                (session.run_query_streaming(request, &mut sink), Vec::new())
+            } else {
+                let mut sink = SampleSink::default();
+                let outcome = session.run_query_streaming(request, &mut sink);
+                (outcome, sink.first)
+            };
+            match outcome {
                 Ok(outcome) => {
                     let timing = format!(
                         "t1_ms={:.3} transfer_ms={:.3} t2_ms={:.3}",
@@ -101,15 +186,45 @@ pub fn handle_line(session: &mut HostSession, line: &str) -> Reply {
                         outcome.transfer.total_millis,
                         outcome.device_millis
                     );
-                    if command == "COUNT" || outcome.paths.is_empty() {
+                    if sample.is_empty() {
                         Reply::Ok(format!("paths={} {timing}", outcome.num_paths))
                     } else {
                         Reply::Ok(format!(
                             "paths={} {timing} sample: {}",
                             outcome.num_paths,
-                            format_paths(&outcome.paths)
+                            format_paths(&sample)
                         ))
                     }
+                }
+                Err(e) => Reply::Err(e.to_string()),
+            }
+        }
+        "STREAM" => {
+            let (spec, limit) = match rest.len() {
+                4 => match rest[3].parse::<u64>() {
+                    Ok(limit) => (rest[..3].join(" "), limit),
+                    Err(_) => {
+                        return Reply::Err(format!("invalid stream limit {:?}", rest[3]));
+                    }
+                },
+                _ => (rest.join(" "), DEFAULT_STREAM_LIMIT),
+            };
+            let request = match QueryRequest::parse(&spec) {
+                Ok(r) => r,
+                Err(e) => return Reply::Err(e.to_string()),
+            };
+            let limit = limit.min(MAX_STREAM_LIMIT);
+            if limit == 0 {
+                // A saturated FirstN would refuse the first path after the
+                // engine already found it; skip the run entirely instead.
+                return Reply::Stream(vec!["end streamed=0 limit=0".to_string()]);
+            }
+            let mut sink = FirstN::new(limit, ChunkSink::default());
+            match session.run_query_streaming(request, &mut sink) {
+                Ok(outcome) => {
+                    let mut chunks = sink.into_inner().finish();
+                    chunks.push(format!("end streamed={} limit={limit}", outcome.num_paths));
+                    Reply::Stream(chunks)
                 }
                 Err(e) => Reply::Err(e.to_string()),
             }
@@ -203,6 +318,44 @@ mod tests {
             Reply::Ok(msg) => assert!(msg.contains("4 vertices")),
             other => panic!("unexpected reply {other:?}"),
         }
+    }
+
+    #[test]
+    fn stream_command_chunks_paths_and_honours_the_limit() {
+        let mut s = session();
+        match handle_line(&mut s, "STREAM 0 3 3") {
+            Reply::Stream(chunks) => {
+                assert_eq!(chunks.len(), 2, "one path chunk + the end line: {chunks:?}");
+                assert!(chunks[0].starts_with("paths "));
+                assert!(chunks[0].contains("0->1->3") && chunks[0].contains("0->2->3"));
+                assert_eq!(chunks[1], "end streamed=2 limit=100");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // An explicit limit terminates the enumeration early.
+        match handle_line(&mut s, "STREAM 0 3 3 1") {
+            Reply::Stream(chunks) => {
+                assert_eq!(chunks.len(), 2);
+                assert_eq!(chunks[0].matches("->").count(), 2, "exactly one 3-vertex path");
+                assert_eq!(chunks[1], "end streamed=1 limit=1");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // Every rendered line is prefixed, including stream chunks.
+        let rendered = handle_line(&mut s, "STREAM 0 3 3").render();
+        assert!(rendered.lines().count() > 1);
+        assert!(rendered.lines().all(|l| l.starts_with("OK ")));
+        // Bad limits and bad specs are single-line errors.
+        assert!(matches!(handle_line(&mut s, "STREAM 0 3 3 x"), Reply::Err(_)));
+        assert!(matches!(handle_line(&mut s, "STREAM 0 3"), Reply::Err(_)));
+        // A zero limit streams nothing and never runs the engine.
+        match handle_line(&mut s, "STREAM 0 3 3 0") {
+            Reply::Stream(chunks) => assert_eq!(chunks, vec!["end streamed=0 limit=0"]),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // The server never materialised a result set for any of the above.
+        assert_eq!(s.stats().materialised_paths, 0);
+        assert!(s.stats().emitted_paths >= 5);
     }
 
     #[test]

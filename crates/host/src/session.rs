@@ -12,8 +12,12 @@ use crate::dma::{DmaEngine, DmaTransferReport};
 use crate::error::HostError;
 use crate::loader::GraphHandle;
 use crate::query::QueryRequest;
-use pefp_core::{plan_query, prepare_with, run_prepared, PefpVariant, PrepareContext};
+use pefp_core::{
+    plan_query, prepare_with, run_prepared, run_prepared_with_sink, EngineOptions, PefpVariant,
+    PrepareContext,
+};
 use pefp_fpga::{DeviceConfig, Pcie};
+use pefp_graph::sink::PathSink;
 use pefp_graph::{CsrGraph, Path};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -106,7 +110,8 @@ pub struct QueryOutcome {
     /// Number of result paths.
     pub num_paths: u64,
     /// The result paths in the original graph's vertex ids (empty when the
-    /// session runs in counting mode).
+    /// session runs in counting mode and for streaming queries, whose paths
+    /// flow through the caller's sink instead).
     pub paths: Vec<Path>,
     /// Host-side preprocessing time (Pre-BFS) in milliseconds — the paper's `T1`.
     pub preprocess_millis: f64,
@@ -134,6 +139,12 @@ pub struct SessionStats {
     pub cache_hits: u64,
     /// Total result paths across all queries.
     pub total_paths: u64,
+    /// Paths that were materialised into `QueryOutcome::paths` vectors
+    /// (collect-mode queries). High-volume deployments want this near zero.
+    pub materialised_paths: u64,
+    /// Paths streamed through caller-supplied [`PathSink`]s without the
+    /// session ever materialising them.
+    pub emitted_paths: u64,
     /// Sum of preprocessing times (ms).
     pub preprocess_millis: f64,
     /// Sum of transfer times (ms).
@@ -233,8 +244,51 @@ impl HostSession {
         self.run_query(request)
     }
 
-    /// Runs an already-parsed query.
+    /// Runs an already-parsed query, materialising results according to
+    /// [`SessionConfig::collect_paths`] (collect-everything wrapper over the
+    /// streaming pipeline).
     pub fn run_query(&mut self, request: QueryRequest) -> Result<QueryOutcome, HostError> {
+        let staged = self.stage_query(request)?;
+        let mut options = staged.options.clone();
+        options.collect_paths = self.config.collect_paths;
+        let result = run_prepared(&staged.prepared, options, &self.config.device);
+        self.stats.materialised_paths += result.paths.len() as u64;
+        Ok(self.record_outcome(
+            request,
+            staged,
+            result.num_paths,
+            result.paths,
+            result.query_millis,
+        ))
+    }
+
+    /// Runs an already-parsed query, streaming every result path (original
+    /// graph vertex ids) into `sink` instead of materialising the result set.
+    ///
+    /// The returned outcome's `paths` is always empty and `num_paths` counts
+    /// the paths handed to the sink — fewer than the full result set when the
+    /// sink terminated the enumeration early (e.g. a
+    /// [`pefp_graph::FirstN`] cap).
+    pub fn run_query_streaming<S: PathSink + ?Sized>(
+        &mut self,
+        request: QueryRequest,
+        sink: &mut S,
+    ) -> Result<QueryOutcome, HostError> {
+        let staged = self.stage_query(request)?;
+        let result = run_prepared_with_sink(
+            &staged.prepared,
+            staged.options.clone(),
+            &self.config.device,
+            sink,
+        );
+        self.stats.emitted_paths += result.num_paths;
+        Ok(self.record_outcome(request, staged, result.num_paths, Vec::new(), result.query_millis))
+    }
+
+    /// The host-side work shared by the collect and streaming entry points:
+    /// validation, cached-or-fresh preprocessing, payload capacity check, DMA
+    /// transfer, and engine-option selection.
+    fn stage_query(&mut self, request: QueryRequest) -> Result<StagedQuery, HostError> {
         let Some(handle) = self.graph.as_ref() else {
             self.stats.rejected += 1;
             return Err(HostError::NoGraphLoaded);
@@ -286,24 +340,33 @@ impl HostSession {
         let transfer = self.dma.transfer(bytes);
 
         // Engine options: planner or the variant's fixed configuration.
-        let mut options = if self.config.use_planner {
+        let options = if self.config.use_planner {
             plan_query(&prepared, &self.config.device).options
         } else {
             self.config.variant.engine_options()
         };
-        options.collect_paths = self.config.collect_paths;
 
-        let result = run_prepared(&prepared, options, &self.config.device);
+        Ok(StagedQuery { prepared, preprocess_millis, transfer, options, cache_hit })
+    }
 
+    /// Folds one served query into the outcome record and session statistics.
+    fn record_outcome(
+        &mut self,
+        request: QueryRequest,
+        staged: StagedQuery,
+        num_paths: u64,
+        paths: Vec<Path>,
+        device_millis: f64,
+    ) -> QueryOutcome {
         let outcome = QueryOutcome {
             request,
-            num_paths: result.num_paths,
-            paths: result.paths,
-            preprocess_millis,
-            transfer,
-            device_millis: result.query_millis,
+            num_paths,
+            paths,
+            preprocess_millis: staged.preprocess_millis,
+            transfer: staged.transfer,
+            device_millis,
         };
-        if cache_hit {
+        if staged.cache_hit {
             self.stats.cache_hits += 1;
         }
         self.stats.queries += 1;
@@ -311,8 +374,17 @@ impl HostSession {
         self.stats.preprocess_millis += outcome.preprocess_millis;
         self.stats.transfer_millis += outcome.transfer.total_millis;
         self.stats.device_millis += outcome.device_millis;
-        Ok(outcome)
+        outcome
     }
+}
+
+/// A query that cleared the host-side pipeline and is ready for the device.
+struct StagedQuery {
+    prepared: Arc<pefp_core::PreparedQuery>,
+    preprocess_millis: f64,
+    transfer: DmaTransferReport,
+    options: EngineOptions,
+    cache_hit: bool,
 }
 
 #[cfg(test)]
@@ -396,6 +468,36 @@ mod tests {
         let outcome = session.run_query(QueryRequest::new(0, 3, 3)).unwrap();
         assert_eq!(outcome.num_paths, 2);
         assert!(outcome.paths.is_empty());
+    }
+
+    #[test]
+    fn streaming_query_emits_without_materialising() {
+        use pefp_graph::{CollectSink, CountingSink, FirstN};
+        let g = chung_lu(200, 5.0, 2.2, 41).to_csr();
+        let mut session = HostSession::with_graph(g, SessionConfig::default());
+        let q = QueryRequest::new(0, 100, 4);
+        let collected = session.run_query(q).unwrap();
+        assert!(collected.num_paths > 0, "want a non-trivial query");
+
+        let mut sink = CollectSink::new();
+        let streamed = session.run_query_streaming(q, &mut sink).unwrap();
+        assert_eq!(streamed.num_paths, collected.num_paths);
+        assert!(streamed.paths.is_empty(), "streaming outcomes never materialise");
+        assert_eq!(sink.into_paths(), collected.paths);
+
+        // A FirstN cap terminates the engine early; the session records only
+        // the emitted paths.
+        let mut capped = FirstN::new(1, CountingSink::new());
+        let early = session.run_query_streaming(q, &mut capped).unwrap();
+        assert_eq!(early.num_paths, 1);
+        assert_eq!(capped.emitted(), 1);
+
+        let stats = session.stats();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.materialised_paths, collected.num_paths);
+        assert_eq!(stats.emitted_paths, collected.num_paths + 1);
+        assert_eq!(stats.total_paths, 2 * collected.num_paths + 1);
+        assert_eq!(stats.cache_hits, 2, "streaming shares the prepared-query cache");
     }
 
     #[test]

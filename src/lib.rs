@@ -46,8 +46,9 @@ pub use pefp_host as host;
 /// Re-export of `pefp-streaming` (dynamic graphs and real-time cycle detection).
 pub use pefp_streaming as streaming;
 
-use pefp_core::{run_query, PefpRunResult, PefpVariant};
+use pefp_core::{run_query, run_query_with_sink, PefpRunResult, PefpVariant};
 use pefp_fpga::DeviceConfig;
+use pefp_graph::sink::PathSink;
 use pefp_graph::{CsrGraph, VertexId};
 
 /// Enumerates all s-t simple paths with at most `k` hops using the full PEFP
@@ -58,6 +59,40 @@ use pefp_graph::{CsrGraph, VertexId};
 /// [`core::run_query_with_options`].
 pub fn enumerate_paths(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> PefpRunResult {
     run_query(g, s, t, k, PefpVariant::Full, &DeviceConfig::alveo_u200())
+}
+
+/// Streaming form of [`enumerate_paths`]: result paths are pushed into `sink`
+/// (original vertex ids) instead of being materialised, so high-volume result
+/// sets cost O(1) memory at every layer boundary. A sink break (e.g. a
+/// [`graph::FirstN`] cap) stops the enumeration early.
+///
+/// ```
+/// use pefp::{enumerate_paths_with_sink, graph::CountingSink};
+/// use pefp::graph::{CsrGraph, VertexId};
+///
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+/// let mut sink = CountingSink::new();
+/// let result = enumerate_paths_with_sink(&g, VertexId(0), VertexId(3), 3, &mut sink);
+/// assert_eq!(sink.count(), 2);
+/// assert!(result.paths.is_empty());
+/// ```
+pub fn enumerate_paths_with_sink<S: PathSink + ?Sized>(
+    g: &CsrGraph,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+    sink: &mut S,
+) -> PefpRunResult {
+    run_query_with_sink(
+        g,
+        s,
+        t,
+        k,
+        PefpVariant::Full,
+        PefpVariant::Full.engine_options(),
+        &DeviceConfig::alveo_u200(),
+        sink,
+    )
 }
 
 #[cfg(test)]
