@@ -1,0 +1,45 @@
+//! Multi-CU dispatch: measured batch execution at 1/2/4 compute units.
+//!
+//! The cases mirror the bench-regression gate (`pefp_bench::gate`): the 56
+//! hub-pair queries at k=6 on the 10k Chung-Lu profile, executed in
+//! dispatch mode — real OS threads, one per CU, behind the shared-DRAM
+//! arbiter. Wall-clock here includes host preprocessing and the thread
+//! fan-out; the simulated speedup (serial cycles / measured makespan) is
+//! printed alongside so both domains are visible in one run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pefp_bench::gate::{dispatch_scheduler, gate_batch, gate_graph};
+use std::hint::black_box;
+
+fn bench_multi_cu(c: &mut Criterion) {
+    let handle = gate_graph();
+    let requests = gate_batch(&handle);
+
+    let mut group = c.benchmark_group("multi_cu");
+    group.sample_size(10);
+    for cus in [1usize, 2, 4] {
+        let scheduler = dispatch_scheduler(cus);
+        // One untimed run to report the simulated-cycle domain.
+        let outcome = scheduler.run_batch(&handle, &requests).expect("dispatch batch");
+        let measured = outcome.measured.as_ref().expect("dispatch is measured");
+        println!(
+            "multi_cu/dispatch/{cus}: measured makespan {} cycles, serial {} cycles, \
+             speedup {:.2}x, predicted {} cycles (model error {:.1}%)",
+            measured.makespan_cycles,
+            measured.serial_cycles,
+            measured.speedup(),
+            measured.predicted.makespan_cycles,
+            measured.model_error() * 100.0
+        );
+        group.bench_with_input(BenchmarkId::new("dispatch", cus), &requests, |b, requests| {
+            b.iter(|| {
+                let outcome = scheduler.run_batch(&handle, requests).expect("dispatch batch");
+                black_box(outcome.total_paths())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_cu);
+criterion_main!(benches);

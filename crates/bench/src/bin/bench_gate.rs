@@ -1,0 +1,79 @@
+//! CI bench-regression gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p pefp-bench --release --bin bench_gate -- --write BENCH_04.json
+//! cargo run -p pefp-bench --release --bin bench_gate -- --check BENCH_04.json
+//! ```
+//!
+//! `--write` measures the gate cases (see `pefp_bench::gate`) and records
+//! them, together with the machine's calibration time, as the committed
+//! baseline. `--check` re-measures the same cases and fails (exit code 1)
+//! when a median regresses more than 25% against the calibrated baseline, a
+//! deterministic cycle count grows more than 25%, or a hard floor (the
+//! ≥1.5× measured 4-CU speedup) is violated.
+
+use pefp_bench::gate;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, path) = match args.as_slice() {
+        [mode, path] if mode == "--write" || mode == "--check" => (mode.as_str(), path.as_str()),
+        _ => {
+            eprintln!("usage: bench_gate --write <BENCH_04.json> | --check <BENCH_04.json>");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!("# calibrating machine speed ...");
+    let calibration_ns = gate::calibration_median_ns();
+    eprintln!("# calibration median: {calibration_ns:.0} ns");
+    eprintln!("# running gate cases ...");
+    let cases = gate::run_gate_cases();
+    for case in &cases {
+        let cycles = case.cycles.map(|c| format!(", {c} cycles")).unwrap_or_default();
+        let floor = case
+            .floor
+            .as_ref()
+            .map(|f| format!(", {} {:.2} (floor {:.2})", f.label, f.value, f.min))
+            .unwrap_or_default();
+        eprintln!("#   {}: median {:.0} ns{cycles}{floor}", case.name, case.median_ns);
+    }
+
+    match mode {
+        "--write" => {
+            let note = "bench-regression baseline: medians over 5 samples on the 10k Chung-Lu \
+                        batch profile (56 hub-pair dispatch queries at k=6; k=7 hub-to-hub \
+                        streaming query). Wall-clock budgets are rescaled at check time by \
+                        calibration_now/calibration_ns; cycles are deterministic.";
+            let json = gate::to_json(calibration_ns, &cases, note).render_pretty();
+            std::fs::write(path, json).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("# wrote {path}");
+        }
+        "--check" => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            let baseline = gate::parse_baseline(&text).unwrap_or_else(|e| {
+                eprintln!("error: {path} is not a valid baseline: {e}");
+                std::process::exit(2);
+            });
+            let failures = gate::compare(&baseline, calibration_ns, &cases);
+            if failures.is_empty() {
+                println!("bench gate PASSED ({} cases)", cases.len());
+            } else {
+                for failure in &failures {
+                    eprintln!("REGRESSION: {failure}");
+                }
+                eprintln!("bench gate FAILED ({} of {} cases)", failures.len(), cases.len());
+                std::process::exit(1);
+            }
+        }
+        _ => unreachable!(),
+    }
+}

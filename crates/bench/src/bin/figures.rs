@@ -19,6 +19,7 @@
 use pefp_bench::{make_runner, parse_scale};
 use pefp_graph::ScaleProfile;
 use pefp_workload::figures::{run_figure, FigureSpec};
+use pefp_workload::ToJson;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -82,7 +83,9 @@ fn main() {
         if let Some(dir) = &json_dir {
             std::fs::create_dir_all(dir).expect("create json output directory");
             let path = format!("{dir}/{}.json", spec.id());
-            let json = serde_json::to_string_pretty(&result).expect("serialise figure result");
+            // Hand-rolled JSON (pefp_workload::json): the offline serde shim
+            // cannot produce machine-readable output.
+            let json = result.to_json().render_pretty();
             std::fs::write(&path, json).expect("write figure json");
             eprintln!("# wrote {path}");
         }

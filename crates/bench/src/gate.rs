@@ -1,0 +1,419 @@
+//! Bench-regression gate: the workloads, measurements and comparison rules
+//! behind `BENCH_04.json` and the `bench_gate` binary.
+//!
+//! CI cannot eyeball criterion output, so the gate reduces the performance
+//! surface to a handful of **cases**, each carrying up to three kinds of
+//! signal:
+//!
+//! * `median_ns` — median wall-clock of the case's routine. Wall time is
+//!   machine-dependent, so the check scales the committed baseline by a
+//!   **calibration ratio**: a fixed reference query is re-timed at check
+//!   time, and `calibration_now / calibration_baseline` rescales every
+//!   wall-clock threshold before the 25% regression rule is applied.
+//! * `cycles` — simulated device cycles, which are *deterministic* (the cost
+//!   model is exact), so a >25% increase is always a real cost-model or
+//!   engine regression, never noise.
+//! * `floor` — a hard lower bound on a measured figure of merit (e.g. the
+//!   ≥1.5× dispatch speedup at 4 CUs), independent of the baseline.
+//!
+//! The same workload builders feed the `multi_cu` criterion bench target so
+//! the humans and the gate look at identical work.
+
+use pefp_fpga::MultiCuConfig;
+use pefp_graph::generators::chung_lu;
+use pefp_graph::sink::CountingSink;
+use pefp_host::{BatchScheduler, GraphHandle, QueryRequest, SchedulerConfig};
+use pefp_workload::JsonValue;
+use std::time::Instant;
+
+/// Number of timed samples per case (median over these).
+pub const GATE_SAMPLES: usize = 5;
+
+/// Allowed relative regression before the gate fails (25%).
+pub const GATE_TOLERANCE: f64 = 0.25;
+
+/// A hard lower bound attached to a case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateFloor {
+    /// What the figure of merit is (e.g. `measured_speedup`).
+    pub label: String,
+    /// The value this run produced.
+    pub value: f64,
+    /// The minimum acceptable value.
+    pub min: f64,
+}
+
+/// One measured gate case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateCase {
+    /// Case identifier, stable across runs (`multi_cu/dispatch_cus4`, …).
+    pub name: String,
+    /// Median wall-clock nanoseconds over [`GATE_SAMPLES`] runs.
+    pub median_ns: f64,
+    /// Deterministic simulated cycles of the case, when it has them.
+    pub cycles: Option<u64>,
+    /// Hard floor on a measured figure of merit, when the case has one.
+    pub floor: Option<GateFloor>,
+}
+
+/// The graph every gate case queries: the 10k Chung-Lu profile used by the
+/// `streaming_results` and `multi_cu` benches.
+pub fn gate_graph() -> GraphHandle {
+    GraphHandle::from_csr("chung_lu_10k", chung_lu(10_000, 8.0, 2.2, 3).to_csr())
+}
+
+/// The batch the dispatch cases run: every ordered pair of the 8 heaviest
+/// hubs of [`gate_graph`] (the generator gives the lowest ids the highest
+/// degrees) at k=6 — 56 queries totalling ~77k simulated
+/// cycles, with the largest query only ~16% of the total, so an LPT schedule
+/// on 4 CUs has real headroom (unlike uniformly sampled pairs, whose pruned
+/// subgraphs are so small the batch finishes before the workers overlap).
+pub fn gate_batch(_handle: &GraphHandle) -> Vec<QueryRequest> {
+    let mut requests = Vec::new();
+    for s in 0..8u32 {
+        for t in 0..8u32 {
+            if s != t {
+                requests.push(QueryRequest::new(s, t, 6));
+            }
+        }
+    }
+    requests
+}
+
+/// A dispatch-mode scheduler for `cus` compute units at the default
+/// bandwidth share.
+pub fn dispatch_scheduler(cus: usize) -> BatchScheduler {
+    BatchScheduler::new(SchedulerConfig {
+        dispatch: true,
+        multi_cu: MultiCuConfig { compute_units: cus, ..MultiCuConfig::default() },
+        ..SchedulerConfig::default()
+    })
+}
+
+fn median_ns<F: FnMut()>(mut routine: F) -> f64 {
+    routine(); // warm-up
+    let mut samples: Vec<f64> = (0..GATE_SAMPLES)
+        .map(|_| {
+            let started = Instant::now();
+            routine();
+            started.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+/// Times the fixed calibration workload: one mid-size PEFP query, end to end.
+/// The ratio of this number between two machines rescales their wall-clock
+/// thresholds.
+pub fn calibration_median_ns() -> f64 {
+    let handle = gate_graph();
+    let scheduler = BatchScheduler::new(SchedulerConfig::default());
+    let requests = gate_batch(&handle);
+    let probe = &requests[..4.min(requests.len())];
+    median_ns(|| {
+        let outcome = scheduler.run_batch(&handle, probe).expect("calibration batch");
+        std::hint::black_box(outcome.total_paths());
+    })
+}
+
+/// Runs every gate case and returns the measurements.
+pub fn run_gate_cases() -> Vec<GateCase> {
+    let handle = gate_graph();
+    let requests = gate_batch(&handle);
+    let mut cases = Vec::new();
+
+    // Dispatch cases: measured multi-CU execution at 1/2/4 CUs. Wall clock
+    // covers the whole batch (preprocess + dispatch); cycles pin the
+    // deterministic uncontended serial total; the 4-CU case additionally
+    // enforces the >= 1.5x measured-speedup acceptance floor.
+    for cus in [1usize, 2, 4] {
+        let scheduler = dispatch_scheduler(cus);
+        let mut last = None;
+        let median = median_ns(|| {
+            last = Some(scheduler.run_batch(&handle, &requests).expect("dispatch batch"));
+        });
+        let outcome = last.expect("at least one sample ran");
+        let measured = outcome.measured.as_ref().expect("dispatch is measured");
+        cases.push(GateCase {
+            name: format!("multi_cu/dispatch_cus{cus}"),
+            median_ns: median,
+            cycles: Some(measured.serial_cycles),
+            floor: (cus == 4).then(|| GateFloor {
+                label: "measured_speedup".to_string(),
+                value: measured.speedup(),
+                min: 1.5,
+            }),
+        });
+    }
+
+    // Streaming cases: the k=7 hub-to-hub query of the streaming_results
+    // bench, in counting and collect-equivalent (streamed) form.
+    {
+        use pefp_core::{pre_bfs, run_prepared_with_sink, EngineOptions, PefpVariant};
+        use pefp_fpga::DeviceConfig;
+        use pefp_graph::VertexId;
+
+        let cfg = DeviceConfig::alveo_u200();
+        let prep = pre_bfs(&handle.csr, VertexId(0), VertexId(3), 7);
+        let opts = EngineOptions { collect_paths: false, ..PefpVariant::Full.engine_options() };
+        let mut cycles = 0u64;
+        let median = median_ns(|| {
+            let mut sink = CountingSink::new();
+            let result = run_prepared_with_sink(&prep, opts.clone(), &cfg, &mut sink);
+            cycles = result.device.cycles;
+            std::hint::black_box(sink.count());
+        });
+        cases.push(GateCase {
+            name: "streaming_results/counting_k7".to_string(),
+            median_ns: median,
+            cycles: Some(cycles),
+            floor: None,
+        });
+    }
+
+    cases
+}
+
+/// Serialises a gate run (calibration + cases) as the `BENCH_04.json`
+/// document.
+pub fn to_json(calibration_ns: f64, cases: &[GateCase], meta_note: &str) -> JsonValue {
+    let case_values: Vec<JsonValue> = cases
+        .iter()
+        .map(|case| {
+            let mut pairs = vec![
+                ("name", JsonValue::String(case.name.clone())),
+                ("median_ns", JsonValue::Number(case.median_ns)),
+            ];
+            if let Some(cycles) = case.cycles {
+                pairs.push(("cycles", JsonValue::Number(cycles as f64)));
+            }
+            if let Some(floor) = &case.floor {
+                pairs.push((
+                    "floor",
+                    JsonValue::object(vec![
+                        ("label", JsonValue::String(floor.label.clone())),
+                        ("value", JsonValue::Number(floor.value)),
+                        ("min", JsonValue::Number(floor.min)),
+                    ]),
+                ));
+            }
+            JsonValue::object(pairs)
+        })
+        .collect();
+    JsonValue::object(vec![
+        (
+            "_meta",
+            JsonValue::object(vec![
+                ("artefact", JsonValue::String("BENCH_04".to_string())),
+                ("note", JsonValue::String(meta_note.to_string())),
+                ("tolerance", JsonValue::Number(GATE_TOLERANCE)),
+            ]),
+        ),
+        ("calibration_ns", JsonValue::Number(calibration_ns)),
+        ("cases", JsonValue::Array(case_values)),
+    ])
+}
+
+/// One baseline case parsed back from `BENCH_04.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineCase {
+    /// Case identifier.
+    pub name: String,
+    /// Wall-clock median recorded by the baseline machine.
+    pub median_ns: f64,
+    /// Deterministic cycles recorded by the baseline.
+    pub cycles: Option<u64>,
+}
+
+/// A parsed `BENCH_04.json` baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Calibration wall-clock of the baseline machine.
+    pub calibration_ns: f64,
+    /// The recorded cases.
+    pub cases: Vec<BaselineCase>,
+}
+
+/// Parses a `BENCH_04.json` document.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    let calibration_ns =
+        doc.get("calibration_ns").and_then(JsonValue::as_number).ok_or("missing calibration_ns")?;
+    let cases = doc
+        .get("cases")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing cases")?
+        .iter()
+        .map(|case| {
+            Ok(BaselineCase {
+                name: case
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("case without name")?
+                    .to_string(),
+                median_ns: case
+                    .get("median_ns")
+                    .and_then(JsonValue::as_number)
+                    .ok_or("case without median_ns")?,
+                cycles: case.get("cycles").and_then(JsonValue::as_number).map(|c| c as u64),
+            })
+        })
+        .collect::<Result<Vec<_>, &str>>()?;
+    Ok(Baseline { calibration_ns, cases })
+}
+
+/// Compares a fresh gate run against the committed baseline. Returns the
+/// human-readable failure list (empty = gate passes).
+///
+/// Rules, per case:
+/// * hard floors must hold (`floor.value >= floor.min`);
+/// * deterministic cycles may not exceed the baseline by more than
+///   [`GATE_TOLERANCE`];
+/// * the wall-clock median may not exceed the *calibrated* baseline
+///   (baseline median x `calibration_now / calibration_baseline`) by more
+///   than [`GATE_TOLERANCE`].
+///
+/// A case missing from the baseline is reported, so the baseline is
+/// regenerated whenever the case set grows.
+pub fn compare(baseline: &Baseline, calibration_now: f64, cases: &[GateCase]) -> Vec<String> {
+    let mut failures = Vec::new();
+    let scale =
+        if baseline.calibration_ns > 0.0 { calibration_now / baseline.calibration_ns } else { 1.0 };
+    for case in cases {
+        if let Some(floor) = &case.floor {
+            if floor.value < floor.min {
+                failures.push(format!(
+                    "{}: {} {:.3} below the hard floor {:.3}",
+                    case.name, floor.label, floor.value, floor.min
+                ));
+            }
+        }
+        let Some(base) = baseline.cases.iter().find(|b| b.name == case.name) else {
+            failures.push(format!(
+                "{}: not in the committed baseline (regenerate BENCH_04.json with --write)",
+                case.name
+            ));
+            continue;
+        };
+        if let (Some(now), Some(before)) = (case.cycles, base.cycles) {
+            if now as f64 > before as f64 * (1.0 + GATE_TOLERANCE) {
+                failures.push(format!(
+                    "{}: simulated cycles regressed {} -> {} (> {:.0}%)",
+                    case.name,
+                    before,
+                    now,
+                    GATE_TOLERANCE * 100.0
+                ));
+            }
+        }
+        let allowed = base.median_ns * scale * (1.0 + GATE_TOLERANCE);
+        if case.median_ns > allowed {
+            failures.push(format!(
+                "{}: median {:.0} ns exceeds calibrated budget {:.0} ns \
+                 (baseline {:.0} ns x machine scale {:.2} x {:.0}% tolerance)",
+                case.name,
+                case.median_ns,
+                allowed,
+                base.median_ns,
+                scale,
+                (1.0 + GATE_TOLERANCE) * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(name: &str, median_ns: f64, cycles: Option<u64>) -> GateCase {
+        GateCase { name: name.to_string(), median_ns, cycles, floor: None }
+    }
+
+    fn baseline() -> Baseline {
+        Baseline {
+            calibration_ns: 1_000.0,
+            cases: vec![
+                BaselineCase { name: "a".to_string(), median_ns: 10_000.0, cycles: Some(500) },
+                BaselineCase { name: "b".to_string(), median_ns: 20_000.0, cycles: None },
+            ],
+        }
+    }
+
+    #[test]
+    fn identical_run_passes() {
+        let cases = vec![case("a", 10_000.0, Some(500)), case("b", 20_000.0, None)];
+        assert!(compare(&baseline(), 1_000.0, &cases).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_regression_beyond_tolerance_fails() {
+        let cases = vec![case("a", 12_600.0, Some(500))];
+        let failures = compare(&baseline(), 1_000.0, &cases);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("calibrated budget"));
+        // 24% over passes.
+        assert!(compare(&baseline(), 1_000.0, &[case("a", 12_400.0, Some(500))]).is_empty());
+    }
+
+    #[test]
+    fn calibration_rescales_the_wall_clock_budget() {
+        // A machine twice as slow may take twice as long without failing.
+        let cases = vec![case("a", 24_000.0, Some(500))];
+        assert!(compare(&baseline(), 2_000.0, &cases).is_empty());
+        // ... but a fast machine gets a tighter budget.
+        let failures = compare(&baseline(), 500.0, &cases);
+        assert_eq!(failures.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_cycle_regressions_ignore_calibration() {
+        let cases = vec![case("a", 10_000.0, Some(700))];
+        let failures = compare(&baseline(), 1_000.0, &cases);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("cycles regressed"));
+    }
+
+    #[test]
+    fn floors_and_missing_cases_are_reported() {
+        let mut with_floor = case("a", 10_000.0, Some(500));
+        with_floor.floor =
+            Some(GateFloor { label: "measured_speedup".to_string(), value: 1.2, min: 1.5 });
+        let failures = compare(&baseline(), 1_000.0, &[with_floor, case("new", 1.0, None)]);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("hard floor"));
+        assert!(failures[1].contains("not in the committed baseline"));
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let cases = vec![
+            GateCase {
+                name: "multi_cu/dispatch_cus4".to_string(),
+                median_ns: 123_456.0,
+                cycles: Some(42),
+                floor: Some(GateFloor {
+                    label: "measured_speedup".to_string(),
+                    value: 2.5,
+                    min: 1.5,
+                }),
+            },
+            case("streaming_results/counting_k7", 9_999.5, None),
+        ];
+        let text = to_json(777.0, &cases, "test").render_pretty();
+        let parsed = parse_baseline(&text).unwrap();
+        assert_eq!(parsed.calibration_ns, 777.0);
+        assert_eq!(parsed.cases.len(), 2);
+        assert_eq!(parsed.cases[0].cycles, Some(42));
+        assert_eq!(parsed.cases[1].median_ns, 9_999.5);
+        // The fresh run compares clean against its own baseline.
+        assert!(compare(&parsed, 777.0, &cases).is_empty());
+    }
+}

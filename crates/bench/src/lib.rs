@@ -12,10 +12,16 @@
 //!   (Fig. 8), `preprocess_time` (Fig. 9), `total_time` (Fig. 10/11),
 //!   `ablations` (Fig. 12–15) and `microbench` (component-level costs).
 //!
-//! Shared helpers for both live in this library crate.
+//! Shared helpers for both live in this library crate, together with the
+//! [`gate`] module backing the **`bench_gate` binary** — the CI
+//! bench-regression comparator that measures a fixed case set and fails when
+//! a median regresses more than 25% against the committed `BENCH_04.json`
+//! baseline.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod gate;
 
 use pefp_fpga::DeviceConfig;
 use pefp_graph::ScaleProfile;

@@ -69,8 +69,8 @@ pub use preprocess::{
 };
 pub use result::{EngineOutput, EngineStats, PefpRunResult};
 pub use variants::{
-    prepare, prepare_with, run_prepared, run_prepared_with_sink, run_query, run_query_with_options,
-    run_query_with_sink, PefpVariant,
+    prepare, prepare_with, run_prepared, run_prepared_on_device, run_prepared_with_sink, run_query,
+    run_query_with_options, run_query_with_sink, PefpVariant,
 };
 
 // The streaming-result vocabulary used by the sink-generic entry points,

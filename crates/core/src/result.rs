@@ -98,6 +98,8 @@ mod tests {
                 counters: MemoryCounters::default(),
                 bram_used: 0,
                 bram_capacity: 0,
+                dram_cycles: 0,
+                contention_cycles: 0,
             },
             stats: EngineStats::default(),
         };

@@ -185,7 +185,23 @@ pub fn run_prepared_with_sink<S: PathSink + ?Sized>(
     device_config: &DeviceConfig,
     sink: &mut S,
 ) -> PefpRunResult {
-    let mut device = Device::new(device_config.clone());
+    run_prepared_on_device(prep, options, Device::new(device_config.clone()), sink)
+}
+
+/// [`run_prepared_with_sink`] against a caller-supplied device instead of a
+/// freshly instantiated one — the entry point for multi-CU execution, where
+/// each device is one compute unit of a [`pefp_fpga::CuCluster`] and shares
+/// the card's DRAM arbiter with its siblings.
+///
+/// The device is consumed: it accounts exactly one query (matching the
+/// single-CU pipeline, which builds a fresh device per query) and its report
+/// is returned inside the [`PefpRunResult`].
+pub fn run_prepared_on_device<S: PathSink + ?Sized>(
+    prep: &PreparedQuery,
+    options: EngineOptions,
+    mut device: Device,
+    sink: &mut S,
+) -> PefpRunResult {
     // Host -> device DMA of the subgraph, barrier and query parameters.
     device.charge_pcie_transfer(prep.transfer_bytes());
 
@@ -301,6 +317,45 @@ mod tests {
         let r = run_query(&g, VertexId(0), VertexId(5), 8, PefpVariant::Full, &cfg);
         assert_eq!(r.num_paths, 0);
         assert!(r.paths.is_empty());
+    }
+
+    #[test]
+    fn cluster_device_run_matches_the_standalone_device() {
+        use pefp_fpga::{CuCluster, MultiCuConfig};
+        let g = chung_lu(150, 5.0, 2.2, 77).to_csr();
+        let (s, t, k) = (VertexId(0), VertexId(70), 4);
+        let cfg = DeviceConfig::alveo_u200();
+        let prep = prepare(&g, s, t, k, PefpVariant::Full);
+        let opts = PefpVariant::Full.engine_options();
+
+        let mut standalone_sink = pefp_graph::CollectSink::new();
+        let standalone = run_prepared_with_sink(&prep, opts.clone(), &cfg, &mut standalone_sink);
+
+        // An idle cluster (no other active CU) must be cycle-identical.
+        let cluster = CuCluster::new(
+            cfg.clone(),
+            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5 },
+        );
+        let mut cu_sink = pefp_graph::CollectSink::new();
+        let on_cu =
+            run_prepared_on_device(&prep, opts.clone(), cluster.device_for_cu(1), &mut cu_sink);
+        assert_eq!(cu_sink.into_paths(), standalone_sink.into_paths());
+        assert_eq!(on_cu.device.cycles, standalone.device.cycles);
+        assert_eq!(on_cu.device.contention_cycles, 0);
+        assert_eq!(on_cu.device.dram_cycles, standalone.device.dram_cycles);
+
+        // With the bus saturated by other CUs, the same query takes longer —
+        // by exactly the inflated DRAM share — but the results are untouched.
+        let _others: Vec<_> = (0..4).map(|_| cluster.arbiter().activate()).collect();
+        let mut contended_sink = pefp_graph::CollectSink::new();
+        let contended =
+            run_prepared_on_device(&prep, opts, cluster.device_for_cu(0), &mut contended_sink);
+        assert_eq!(contended.num_paths, standalone.num_paths);
+        assert!(contended.device.contention_cycles > 0);
+        assert_eq!(
+            contended.device.cycles,
+            standalone.device.cycles + contended.device.contention_cycles
+        );
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Shared-DRAM bandwidth arbiter for multi-CU deployments.
+//!
+//! The card's off-chip DRAM is one memory system shared by every compute
+//! unit: replicating the PEFP kernel multiplies compute but not bandwidth, so
+//! once the aggregated refill traffic of the active CUs exceeds what the
+//! memory controllers deliver, every transfer slows down proportionally. PR 3
+//! modelled this with a closed-form end-of-batch correction
+//! (`max(1, active_cus × per_cu_bandwidth_share)` applied to *all* cycles);
+//! this module replaces that with **per-refill accounting**: each CU's
+//! [`crate::Device`] reports every DRAM transfer it performs to the shared
+//! [`DramArbiter`], which inflates *that transfer's* cycle cost by the
+//! contention factor derived from how many CUs are concurrently active. Only
+//! cycles genuinely spent on the DRAM bus are penalised — BRAM traffic and
+//! pipeline compute are private to each CU and run at full speed — which is
+//! why measured multi-CU makespans beat the old closed-form prediction on
+//! cache-friendly workloads.
+//!
+//! The arbiter is shared across OS threads (one per CU in the host's
+//! dispatch mode), so all of its state is atomic; the accounting is
+//! intentionally lock-free and approximate in the same way real memory
+//! controllers are: the factor seen by a refill depends on the set of CUs
+//! active at that moment.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Aggregate refill traffic metered by a [`DramArbiter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArbiterStats {
+    /// Number of DRAM transfers (reads + writes) metered.
+    pub refills: u64,
+    /// Total 32-bit words moved across the shared bus.
+    pub words: u64,
+    /// Extra cycles injected into CU clocks by bandwidth contention.
+    pub penalty_cycles: u64,
+}
+
+/// Shared-DRAM bandwidth meter for one multi-CU card.
+///
+/// One arbiter per card; every CU's device holds a handle to it (see
+/// [`crate::multi_cu::CuCluster`]). A CU marks itself active for the duration
+/// of a query via [`DramArbiter::activate`]; every DRAM transfer then pays
+/// `base_cycles × (factor − 1)` extra cycles, where
+/// `factor = max(1, active_cus × per_cu_bandwidth_share)` — the same
+/// saturation law as the PR-3 closed form, but applied per refill to DRAM
+/// cycles only.
+#[derive(Debug)]
+pub struct DramArbiter {
+    /// Fraction of the card's total DRAM bandwidth one CU can absorb alone.
+    share: f64,
+    /// CUs currently executing a query (holding a [`CuActivation`]).
+    active: AtomicUsize,
+    refills: AtomicU64,
+    words: AtomicU64,
+    penalty_cycles: AtomicU64,
+}
+
+impl DramArbiter {
+    /// Creates an arbiter where each CU can absorb `per_cu_bandwidth_share`
+    /// of the total DRAM bandwidth on its own (0.5 means two concurrently
+    /// active CUs already saturate the memory system).
+    pub fn new(per_cu_bandwidth_share: f64) -> Self {
+        assert!(
+            per_cu_bandwidth_share.is_finite() && per_cu_bandwidth_share >= 0.0,
+            "bandwidth share must be a finite non-negative fraction"
+        );
+        DramArbiter {
+            share: per_cu_bandwidth_share,
+            active: AtomicUsize::new(0),
+            refills: AtomicU64::new(0),
+            words: AtomicU64::new(0),
+            penalty_cycles: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured per-CU bandwidth share.
+    pub fn per_cu_bandwidth_share(&self) -> f64 {
+        self.share
+    }
+
+    /// Marks one CU active until the returned guard is dropped.
+    pub fn activate(self: &Arc<Self>) -> CuActivation {
+        self.active.fetch_add(1, Ordering::SeqCst);
+        CuActivation { arbiter: Arc::clone(self) }
+    }
+
+    /// Number of CUs currently holding an activation.
+    pub fn active_cus(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// The contention factor a refill issued right now would pay:
+    /// `max(1, active_cus × share)`.
+    pub fn contention_factor(&self) -> f64 {
+        (self.active_cus().max(1) as f64 * self.share).max(1.0)
+    }
+
+    /// Meters one DRAM transfer of `words` words whose uncontended cost is
+    /// `base_cycles`, and returns the *extra* cycles the issuing CU must
+    /// stall for under the current contention.
+    pub fn record_refill(&self, words: u64, base_cycles: u64) -> u64 {
+        self.refills.fetch_add(1, Ordering::Relaxed);
+        self.words.fetch_add(words, Ordering::Relaxed);
+        let extra = ((self.contention_factor() - 1.0) * base_cycles as f64).round() as u64;
+        if extra > 0 {
+            self.penalty_cycles.fetch_add(extra, Ordering::Relaxed);
+        }
+        extra
+    }
+
+    /// Aggregate traffic metered so far.
+    pub fn stats(&self) -> ArbiterStats {
+        ArbiterStats {
+            refills: self.refills.load(Ordering::Relaxed),
+            words: self.words.load(Ordering::Relaxed),
+            penalty_cycles: self.penalty_cycles.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII guard marking one CU as active on the shared bus.
+#[derive(Debug)]
+pub struct CuActivation {
+    arbiter: Arc<DramArbiter>,
+}
+
+impl Drop for CuActivation {
+    fn drop(&mut self) {
+        self.arbiter.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One CU's handle to the card's shared arbiter, carried by its
+/// [`crate::Device`]. Cloning the handle keeps pointing at the same arbiter.
+#[derive(Debug, Clone)]
+pub struct ArbiterHandle {
+    arbiter: Arc<DramArbiter>,
+    cu: usize,
+}
+
+impl ArbiterHandle {
+    /// Creates a handle for compute unit `cu`.
+    pub fn new(arbiter: Arc<DramArbiter>, cu: usize) -> Self {
+        ArbiterHandle { arbiter, cu }
+    }
+
+    /// The compute unit this handle belongs to.
+    pub fn cu(&self) -> usize {
+        self.cu
+    }
+
+    /// The shared arbiter.
+    pub fn arbiter(&self) -> &Arc<DramArbiter> {
+        &self.arbiter
+    }
+
+    /// Meters one DRAM transfer; see [`DramArbiter::record_refill`].
+    pub fn record_refill(&self, words: u64, base_cycles: u64) -> u64 {
+        self.arbiter.record_refill(words, base_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_arbiter_charges_no_penalty() {
+        let a = Arc::new(DramArbiter::new(0.5));
+        // No activation, or a single active CU at share <= 1: factor is 1.
+        assert_eq!(a.record_refill(64, 40), 0);
+        let _g = a.activate();
+        assert_eq!(a.record_refill(64, 40), 0);
+        let stats = a.stats();
+        assert_eq!(stats.refills, 2);
+        assert_eq!(stats.words, 128);
+        assert_eq!(stats.penalty_cycles, 0);
+    }
+
+    #[test]
+    fn saturated_bus_inflates_refills_proportionally() {
+        let a = Arc::new(DramArbiter::new(0.5));
+        let guards: Vec<_> = (0..4).map(|_| a.activate()).collect();
+        assert_eq!(a.active_cus(), 4);
+        // 4 CUs x 0.5 share = factor 2: every refill doubles in cost.
+        assert!((a.contention_factor() - 2.0).abs() < 1e-12);
+        assert_eq!(a.record_refill(16, 100), 100);
+        assert_eq!(a.stats().penalty_cycles, 100);
+        drop(guards);
+        assert_eq!(a.active_cus(), 0);
+        assert_eq!(a.record_refill(16, 100), 0);
+    }
+
+    #[test]
+    fn activation_guard_is_scoped() {
+        let a = Arc::new(DramArbiter::new(1.0));
+        {
+            let _one = a.activate();
+            {
+                let _two = a.activate();
+                assert!((a.contention_factor() - 2.0).abs() < 1e-12);
+            }
+            assert!((a.contention_factor() - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(a.active_cus(), 0);
+    }
+
+    #[test]
+    fn zero_share_never_penalises() {
+        let a = Arc::new(DramArbiter::new(0.0));
+        let _guards: Vec<_> = (0..8).map(|_| a.activate()).collect();
+        assert_eq!(a.record_refill(1024, 10_000), 0);
+    }
+
+    #[test]
+    fn handles_share_one_arbiter_across_threads() {
+        let a = Arc::new(DramArbiter::new(0.5));
+        let handles: Vec<ArbiterHandle> =
+            (0..4).map(|cu| ArbiterHandle::new(Arc::clone(&a), cu)).collect();
+        std::thread::scope(|scope| {
+            for h in &handles {
+                scope.spawn(move || {
+                    let _active = h.arbiter().activate();
+                    for _ in 0..100 {
+                        h.record_refill(8, 10);
+                    }
+                });
+            }
+        });
+        let stats = a.stats();
+        assert_eq!(stats.refills, 400);
+        assert_eq!(stats.words, 3_200);
+        // With up to 4 concurrently active CUs at share 0.5 the factor is at
+        // most 2, so at most base cycles again in penalties.
+        assert!(stats.penalty_cycles <= 4_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth share")]
+    fn negative_share_is_rejected() {
+        DramArbiter::new(-0.1);
+    }
+}

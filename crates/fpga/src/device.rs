@@ -6,6 +6,7 @@
 //! [`DeviceReport`] containing the simulated time and traffic statistics for
 //! one query.
 
+use crate::arbiter::ArbiterHandle;
 use crate::bram::Bram;
 use crate::clock::CycleClock;
 use crate::config::{DeviceConfig, MemoryKind};
@@ -28,6 +29,14 @@ pub struct Device {
     /// cycles because DMA overlaps with neither the host nor the kernel in
     /// the paper's measurements).
     pcie_seconds: f64,
+    /// Handle to the card's shared DRAM arbiter when this device is one CU of
+    /// a [`crate::multi_cu::CuCluster`]; `None` for a standalone device.
+    arbiter: Option<ArbiterHandle>,
+    /// Uncontended cycles spent on DRAM transfers (the shared-bus share of
+    /// the clock, before contention stalls).
+    dram_busy_cycles: u64,
+    /// Extra stall cycles injected by the shared-DRAM arbiter.
+    contention_cycles: u64,
 }
 
 /// Summary of one query's device activity.
@@ -47,6 +56,12 @@ pub struct DeviceReport {
     pub bram_used: usize,
     /// BRAM capacity in bytes.
     pub bram_capacity: usize,
+    /// Uncontended cycles spent on DRAM transfers — the share of `cycles` a
+    /// saturated multi-CU memory system can slow down.
+    pub dram_cycles: u64,
+    /// Stall cycles injected by a shared-DRAM arbiter (0 for a standalone
+    /// device; included in `cycles`).
+    pub contention_cycles: u64,
 }
 
 impl Device {
@@ -71,7 +86,34 @@ impl Device {
             clock: CycleClock::new(),
             counters: MemoryCounters::new(),
             pcie_seconds: 0.0,
+            arbiter: None,
+            dram_busy_cycles: 0,
+            contention_cycles: 0,
         }
+    }
+
+    /// Wires this device to a shared DRAM arbiter: every DRAM transfer is
+    /// metered and pays the contention stalls the arbiter dictates. Used by
+    /// [`crate::multi_cu::CuCluster`] when the device is one CU of a card.
+    pub fn attach_arbiter(&mut self, handle: ArbiterHandle) {
+        self.arbiter = Some(handle);
+    }
+
+    /// The shared-arbiter handle, when this device is part of a cluster.
+    pub fn arbiter(&self) -> Option<&ArbiterHandle> {
+        self.arbiter.as_ref()
+    }
+
+    /// Advances the clock for a DRAM transfer of `words` words costing
+    /// `base_cycles` uncontended, adding any stall the shared arbiter imposes.
+    fn advance_dram(&mut self, base_cycles: u64, words: u64) {
+        self.dram_busy_cycles += base_cycles;
+        let stall = match &self.arbiter {
+            Some(handle) => handle.record_refill(words, base_cycles),
+            None => 0,
+        };
+        self.contention_cycles += stall;
+        self.clock.advance(base_cycles + stall);
     }
 
     /// A device with the paper's Alveo U200 profile.
@@ -100,6 +142,8 @@ impl Device {
         self.clock.reset();
         self.counters = MemoryCounters::new();
         self.pcie_seconds = 0.0;
+        self.dram_busy_cycles = 0;
+        self.contention_cycles = 0;
     }
 
     /// Fully resets the device, including BRAM allocations.
@@ -120,7 +164,8 @@ impl Device {
             MemoryKind::Dram => {
                 self.counters.dram_reads += 1;
                 self.counters.dram_words_read += words;
-                self.clock.advance(self.dram.read_cost(words));
+                let base = self.dram.read_cost(words);
+                self.advance_dram(base, words);
             }
         }
     }
@@ -135,7 +180,8 @@ impl Device {
             MemoryKind::Dram => {
                 self.counters.dram_writes += 1;
                 self.counters.dram_words_written += words;
-                self.clock.advance(self.dram.write_cost(words));
+                let base = self.dram.write_cost(words);
+                self.advance_dram(base, words);
             }
         }
     }
@@ -151,7 +197,8 @@ impl Device {
             MemoryKind::Dram => {
                 self.counters.dram_reads += accesses;
                 self.counters.dram_words_read += accesses;
-                self.clock.advance(self.dram.random_read_cost(accesses));
+                let base = self.dram.random_read_cost(accesses);
+                self.advance_dram(base, accesses);
             }
         }
     }
@@ -187,7 +234,8 @@ impl Device {
         self.counters.cache_misses += 1;
         self.counters.dram_reads += 1;
         self.counters.dram_words_read += words;
-        self.clock.advance(self.dram.read_cost(words));
+        let base = self.dram.read_cost(words);
+        self.advance_dram(base, words);
     }
 
     /// Records a buffer-area flush of `words` to DRAM.
@@ -195,7 +243,8 @@ impl Device {
         self.counters.buffer_flushes += 1;
         self.counters.dram_writes += 1;
         self.counters.dram_words_written += words;
-        self.clock.advance(self.dram.write_cost(words));
+        let base = self.dram.write_cost(words);
+        self.advance_dram(base, words);
     }
 
     /// Records fetching a batch of `words` back from DRAM into BRAM.
@@ -203,7 +252,8 @@ impl Device {
         self.counters.dram_batch_fetches += 1;
         self.counters.dram_reads += 1;
         self.counters.dram_words_read += words;
-        self.clock.advance(self.dram.read_cost(words));
+        let base = self.dram.read_cost(words);
+        self.advance_dram(base, words);
     }
 
     // ---- compute charging -------------------------------------------------------
@@ -265,6 +315,8 @@ impl Device {
             counters: self.counters,
             bram_used: self.bram.used(),
             bram_capacity: self.bram.capacity(),
+            dram_cycles: self.dram_busy_cycles,
+            contention_cycles: self.contention_cycles,
         }
     }
 }
@@ -351,6 +403,44 @@ mod tests {
         let mut cfg = DeviceConfig::alveo_u200();
         cfg.clock_mhz = 0.0;
         Device::new(cfg);
+    }
+
+    #[test]
+    fn report_splits_dram_cycles_out_of_the_total() {
+        let mut d = Device::alveo_u200();
+        d.charge_pipelined_loop(1000, 3); // compute only
+        let compute = d.cycles();
+        d.charge_read(MemoryKind::Dram, 128);
+        d.charge_buffer_flush(64);
+        let r = d.report();
+        assert_eq!(r.contention_cycles, 0, "standalone devices never stall");
+        assert_eq!(r.dram_cycles, r.cycles - compute, "DRAM share = total - compute");
+        assert!(r.dram_cycles > 0);
+    }
+
+    #[test]
+    fn attached_arbiter_stalls_dram_transfers_under_contention() {
+        use crate::arbiter::{ArbiterHandle, DramArbiter};
+        use std::sync::Arc;
+
+        let arbiter = Arc::new(DramArbiter::new(0.5));
+        let mut contended = Device::alveo_u200();
+        contended.attach_arbiter(ArbiterHandle::new(Arc::clone(&arbiter), 0));
+        let mut free = Device::alveo_u200();
+
+        // Four active CUs at share 0.5: factor 2 on every DRAM transfer.
+        let _guards: Vec<_> = (0..4).map(|_| arbiter.activate()).collect();
+        contended.charge_read(MemoryKind::Dram, 256);
+        free.charge_read(MemoryKind::Dram, 256);
+        let (c, f) = (contended.report(), free.report());
+        assert_eq!(c.dram_cycles, f.dram_cycles, "base DRAM cost is unchanged");
+        assert_eq!(c.contention_cycles, c.dram_cycles, "factor 2 doubles the transfer");
+        assert_eq!(c.cycles, 2 * f.cycles);
+        // BRAM and compute are private to the CU: no stall.
+        contended.reset_query_state();
+        contended.charge_read(MemoryKind::Bram, 4);
+        contended.charge_pipelined_loop(100, 3);
+        assert_eq!(contended.report().contention_cycles, 0);
     }
 
     #[test]

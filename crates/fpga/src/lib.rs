@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arbiter;
 pub mod banks;
 pub mod bram;
 pub mod clock;
@@ -48,6 +49,7 @@ pub mod pipeline;
 pub mod power;
 pub mod resources;
 
+pub use arbiter::{ArbiterHandle, ArbiterStats, CuActivation, DramArbiter};
 pub use banks::{BankReport, DramBanks, Interleaving};
 pub use bram::{Bram, BramAllocation};
 pub use clock::CycleClock;
@@ -57,7 +59,10 @@ pub use device::{Device, DeviceReport};
 pub use dram::Dram;
 pub use fifo::{FifoChannel, FifoStats};
 pub use hls::{KernelReport, ModuleLatency};
-pub use multi_cu::{max_compute_units, schedule_batch, MultiCuConfig, MultiCuSchedule};
+pub use multi_cu::{
+    max_compute_units, predict_dispatch, schedule_batch, CuCluster, CuWorkload, MultiCuConfig,
+    MultiCuSchedule,
+};
 pub use pcie::Pcie;
 pub use pipeline::{dataflow_cycles, pipeline_cycles, PipelineSpec};
 pub use power::{EnergyReport, PowerModel};

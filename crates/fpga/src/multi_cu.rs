@@ -6,13 +6,28 @@
 //! terminology) on the same card, each with its own BRAM areas, and to
 //! distribute the queries of a batch across them. The card's DRAM bandwidth
 //! is shared, so the speedup saturates once the aggregated traffic of the CUs
-//! exceeds what the memory system can deliver. This module models exactly
-//! that trade-off: longest-processing-time scheduling of per-query kernel
-//! times onto `n` CUs plus a bandwidth-sharing correction, together with a
-//! resource check for how many CUs actually fit the card.
+//! exceeds what the memory system can deliver.
+//!
+//! Two generations of that model live here:
+//!
+//! * [`schedule_batch`] (PR 3) — the closed-form *prediction*:
+//!   longest-processing-time scheduling of per-query kernel times onto `n`
+//!   CUs, inflated end-to-end by the bandwidth-sharing factor.
+//! * [`CuCluster`] + [`predict_dispatch`] (this PR) — *execution*: the
+//!   cluster instantiates `n` independent simulated devices (own BRAM
+//!   areas, counters and clock) behind one shared [`DramArbiter`] that
+//!   meters every refill, and the traffic-aware predictor inflates only the
+//!   DRAM-bus share of each CU's cycles, matching what the arbiter actually
+//!   charges when every CU is busy.
+//!
+//! [`max_compute_units`] is the resource check for how many CUs fit the card.
 
+use crate::arbiter::{ArbiterHandle, DramArbiter};
+use crate::config::DeviceConfig;
+use crate::device::Device;
 use crate::resources::{ModuleCosts, OnChipAreas, ResourceBudget, ResourceEstimate};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration of a multi-CU deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -86,6 +101,116 @@ pub fn schedule_batch(query_cycles: &[u64], config: &MultiCuConfig) -> MultiCuSc
         makespan_cycles,
         serial_cycles,
         contention_factor,
+    }
+}
+
+/// Uncontended cost of one query as observed on a single CU, used by the
+/// traffic-aware [`predict_dispatch`] model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CuWorkload {
+    /// Total kernel cycles of the query without bandwidth contention.
+    pub cycles: u64,
+    /// The subset of `cycles` spent on the shared DRAM bus (burst reads and
+    /// writes of intermediate paths, spills and results) — the only part a
+    /// saturated memory system can slow down.
+    pub dram_cycles: u64,
+}
+
+/// Predicts a dispatch-mode batch execution: LPT assignment of the queries'
+/// uncontended cycle counts onto the CUs, with the contention factor
+/// `max(1, active_cus × per_cu_bandwidth_share)` applied to each CU's
+/// *DRAM-bus cycles only* — the same per-refill law the [`DramArbiter`]
+/// enforces during real execution, assuming every CU stays busy for the
+/// whole makespan.
+pub fn predict_dispatch(work: &[CuWorkload], config: &MultiCuConfig) -> MultiCuSchedule {
+    let cus = config.compute_units.max(1);
+    let serial_cycles: u64 = work.iter().map(|w| w.cycles).sum();
+
+    let mut sorted: Vec<CuWorkload> = work.to_vec();
+    sorted.sort_unstable_by_key(|w| std::cmp::Reverse(w.cycles));
+    let mut per_cu = vec![CuWorkload::default(); cus];
+    for w in sorted {
+        let min_idx = per_cu
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, load)| load.cycles)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        per_cu[min_idx].cycles += w.cycles;
+        per_cu[min_idx].dram_cycles += w.dram_cycles;
+    }
+
+    let active_cus = per_cu.iter().filter(|load| load.cycles > 0).count().max(1);
+    let contention_factor = (active_cus as f64 * config.per_cu_bandwidth_share).max(1.0);
+    let per_cu_cycles: Vec<u64> = per_cu
+        .iter()
+        .map(|load| load.cycles + ((contention_factor - 1.0) * load.dram_cycles as f64) as u64)
+        .collect();
+    let makespan_cycles = per_cu_cycles.iter().copied().max().unwrap_or(0);
+
+    MultiCuSchedule {
+        compute_units: cus,
+        per_cu_cycles,
+        makespan_cycles,
+        serial_cycles,
+        contention_factor,
+    }
+}
+
+/// `n` independent simulated compute units behind one shared DRAM arbiter.
+///
+/// Each device built by [`CuCluster::device_for_cu`] owns its BRAM areas,
+/// traffic counters and cycle clock — exactly like the single-CU
+/// [`Device::new`] — but reports every DRAM transfer to the cluster's
+/// [`DramArbiter`], which injects contention stalls while other CUs are
+/// active. The cluster is `Send + Sync`, so the host can hand one CU to each
+/// worker thread.
+#[derive(Debug)]
+pub struct CuCluster {
+    device_config: DeviceConfig,
+    multi_cu: MultiCuConfig,
+    arbiter: Arc<DramArbiter>,
+}
+
+impl CuCluster {
+    /// Builds a cluster of `multi_cu.compute_units` CUs with the given
+    /// per-device profile.
+    pub fn new(device_config: DeviceConfig, multi_cu: MultiCuConfig) -> Self {
+        let arbiter = Arc::new(DramArbiter::new(multi_cu.per_cu_bandwidth_share));
+        CuCluster { device_config, multi_cu, arbiter }
+    }
+
+    /// Number of compute units in the cluster.
+    pub fn compute_units(&self) -> usize {
+        self.multi_cu.compute_units.max(1)
+    }
+
+    /// The multi-CU deployment configuration.
+    pub fn multi_cu_config(&self) -> &MultiCuConfig {
+        &self.multi_cu
+    }
+
+    /// The per-CU device profile.
+    pub fn device_config(&self) -> &DeviceConfig {
+        &self.device_config
+    }
+
+    /// The shared arbiter (for activation guards and aggregate stats).
+    pub fn arbiter(&self) -> &Arc<DramArbiter> {
+        &self.arbiter
+    }
+
+    /// Instantiates a fresh device for compute unit `cu` (zeroed clock and
+    /// counters, own BRAM), wired to the cluster's shared DRAM arbiter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cu` is out of range.
+    pub fn device_for_cu(&self, cu: usize) -> Device {
+        assert!(cu < self.compute_units(), "compute unit {cu} out of range");
+        let mut device = Device::new(self.device_config.clone());
+        device.attach_arbiter(ArbiterHandle::new(Arc::clone(&self.arbiter), cu));
+        device
     }
 }
 
@@ -216,6 +341,67 @@ mod tests {
             ResourceBudget::alveo_u200()
         )
         .fits());
+    }
+
+    #[test]
+    fn dispatch_prediction_only_inflates_the_dram_share() {
+        let work = vec![CuWorkload { cycles: 1_000, dram_cycles: 100 }; 8];
+        let config = MultiCuConfig { compute_units: 4, per_cu_bandwidth_share: 0.5 };
+        let predicted = predict_dispatch(&work, &config);
+        // Two queries per CU; factor 2 doubles only the 200 DRAM cycles.
+        assert_eq!(predicted.per_cu_cycles, vec![2_200; 4]);
+        assert_eq!(predicted.makespan_cycles, 2_200);
+        assert_eq!(predicted.serial_cycles, 8_000);
+        // The closed form would have predicted 4_000 for the same batch.
+        let closed = schedule_batch(&[1_000; 8], &config);
+        assert_eq!(closed.makespan_cycles, 4_000);
+        assert!(predicted.makespan_cycles < closed.makespan_cycles);
+    }
+
+    #[test]
+    fn dispatch_prediction_matches_closed_form_when_all_cycles_are_dram() {
+        let work: Vec<CuWorkload> =
+            (1..=8).map(|i| CuWorkload { cycles: i * 100, dram_cycles: i * 100 }).collect();
+        let config = MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.75 };
+        let cycles: Vec<u64> = work.iter().map(|w| w.cycles).collect();
+        let traffic = predict_dispatch(&work, &config);
+        let closed = schedule_batch(&cycles, &config);
+        assert_eq!(traffic.makespan_cycles, closed.makespan_cycles);
+        assert_eq!(traffic.contention_factor, closed.contention_factor);
+    }
+
+    #[test]
+    fn empty_dispatch_prediction_is_a_noop() {
+        let predicted = predict_dispatch(&[], &MultiCuConfig::default());
+        assert_eq!(predicted.makespan_cycles, 0);
+        assert_eq!(predicted.serial_cycles, 0);
+        assert_eq!(predicted.speedup(), 1.0);
+    }
+
+    #[test]
+    fn cluster_devices_share_one_arbiter_but_own_their_clocks() {
+        let cluster = CuCluster::new(
+            DeviceConfig::alveo_u200(),
+            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5 },
+        );
+        assert_eq!(cluster.compute_units(), 2);
+        let mut a = cluster.device_for_cu(0);
+        let mut b = cluster.device_for_cu(1);
+        a.charge_cycles(10);
+        assert_eq!(a.cycles(), 10);
+        assert_eq!(b.cycles(), 0, "each CU has its own clock");
+        // Both devices meter traffic into the same arbiter.
+        a.charge_read(crate::MemoryKind::Dram, 64);
+        b.charge_write(crate::MemoryKind::Dram, 64);
+        assert_eq!(cluster.arbiter().stats().refills, 2);
+        assert_eq!(cluster.arbiter().stats().words, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cluster_rejects_out_of_range_cu() {
+        let cluster = CuCluster::new(DeviceConfig::alveo_u200(), MultiCuConfig::default());
+        let _ = cluster.device_for_cu(1);
     }
 
     #[test]

@@ -54,6 +54,6 @@ pub use dma::{DmaEngine, DmaTransferReport};
 pub use error::HostError;
 pub use loader::{load_dataset, load_edge_list_file, GraphHandle};
 pub use query::QueryRequest;
-pub use scheduler::{BatchOutcome, BatchScheduler, SchedulerConfig};
+pub use scheduler::{BatchOutcome, BatchScheduler, MeasuredMultiCu, SchedulerConfig};
 pub use server::{handle_line, serve, Reply};
 pub use session::{HostSession, QueryOutcome, SessionConfig, SessionStats};

@@ -13,13 +13,19 @@ use crate::dma::{DmaEngine, DmaTransferReport};
 use crate::error::HostError;
 use crate::loader::GraphHandle;
 use crate::query::QueryRequest;
-use pefp_core::{prepare_with, run_prepared_with_sink, PefpVariant, PrepareContext, PreparedQuery};
-use pefp_fpga::{schedule_batch, DeviceConfig, MultiCuConfig, MultiCuSchedule, Pcie};
+use pefp_core::{
+    count_st_walks, prepare_with, run_prepared_on_device, run_prepared_with_sink, PefpVariant,
+    PrepareContext, PreparedQuery,
+};
+use pefp_fpga::{
+    predict_dispatch, schedule_batch, ArbiterStats, CuCluster, CuWorkload, DeviceConfig,
+    MultiCuConfig, MultiCuSchedule, Pcie,
+};
 use pefp_graph::sink::FnSink;
 use pefp_graph::VertexId;
 use std::collections::HashMap;
 use std::ops::ControlFlow;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Scheduler configuration.
@@ -33,11 +39,19 @@ pub struct SchedulerConfig {
     pub preprocess_threads: usize,
     /// Collapse duplicate `(s, t, k)` requests into one execution.
     pub dedup: bool,
-    /// Multi-compute-unit deployment modelled for the batch: per-query kernel
-    /// times are LPT-scheduled onto the CUs (with the DRAM bandwidth-sharing
+    /// Multi-compute-unit deployment for the batch: per-query kernel times
+    /// are LPT-scheduled onto the CUs (with the DRAM bandwidth-sharing
     /// correction of [`pefp_fpga::multi_cu`]) and the predicted makespan is
     /// reported next to the single-CU total in [`BatchOutcome::multi_cu`].
+    /// With [`SchedulerConfig::dispatch`] set, this is also the cluster the
+    /// batch *executes* on.
     pub multi_cu: MultiCuConfig,
+    /// Execute batches on a real [`CuCluster`] — one OS thread per compute
+    /// unit pulling from an LPT-ordered work queue, contending for shared
+    /// DRAM bandwidth — instead of back-to-back on a single device.
+    /// [`BatchOutcome::measured`] then carries the measured per-CU busy
+    /// cycles and makespan next to the modelled prediction.
+    pub dispatch: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -48,7 +62,58 @@ impl Default for SchedulerConfig {
             preprocess_threads: 1,
             dedup: true,
             multi_cu: MultiCuConfig::default(),
+            dispatch: false,
         }
+    }
+}
+
+/// Measured multi-CU execution of one batch (dispatch mode): what actually
+/// happened when the unique queries ran concurrently on the cluster, next to
+/// the traffic-aware prediction, so the model error is a first-class number.
+#[derive(Debug, Clone)]
+pub struct MeasuredMultiCu {
+    /// Number of compute units the batch executed on.
+    pub compute_units: usize,
+    /// Simulated cycles each CU was busy (contention stalls included),
+    /// indexed by CU.
+    pub per_cu_busy_cycles: Vec<u64>,
+    /// Number of queries each CU executed.
+    pub per_cu_queries: Vec<usize>,
+    /// Measured batch makespan: the busiest CU's cycles.
+    pub makespan_cycles: u64,
+    /// Sum of the queries' *uncontended* cycles — what one CU would need.
+    pub serial_cycles: u64,
+    /// Total contention stalls the shared-DRAM arbiter injected.
+    pub contention_cycles: u64,
+    /// Aggregate refill traffic metered by the arbiter.
+    pub arbiter: ArbiterStats,
+    /// The traffic-aware prediction ([`pefp_fpga::predict_dispatch`]) from
+    /// the same uncontended per-query costs, for model-error accounting.
+    pub predicted: MultiCuSchedule,
+    /// Host wall-clock spent in the dispatch phase (ms) — the time the real
+    /// OS threads took, as opposed to the simulated cycle domain above.
+    pub wall_millis: f64,
+}
+
+impl MeasuredMultiCu {
+    /// Measured speedup over a single CU (uncontended serial cycles divided
+    /// by the measured makespan).
+    pub fn speedup(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            1.0
+        } else {
+            self.serial_cycles as f64 / self.makespan_cycles as f64
+        }
+    }
+
+    /// Relative error of the predicted makespan against the measured one
+    /// (0.0 = perfect model; 0.3 = off by 30%).
+    pub fn model_error(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 0.0;
+        }
+        (self.predicted.makespan_cycles as f64 - self.makespan_cycles as f64).abs()
+            / self.makespan_cycles as f64
     }
 }
 
@@ -73,7 +138,8 @@ pub struct BatchOutcome {
     pub preprocess_millis: f64,
     /// The single batched DMA transfer.
     pub transfer: DmaTransferReport,
-    /// Total simulated device time (ms) on a single compute unit.
+    /// Total simulated device time (ms) summed over the queries — the
+    /// single-CU serial total (in dispatch mode, contention stalls included).
     pub device_millis: f64,
     /// Number of requests that were served from a duplicate's result.
     pub deduplicated: usize,
@@ -81,6 +147,9 @@ pub struct BatchOutcome {
     /// kernel-cycle counts scheduled onto [`SchedulerConfig::multi_cu`]. With
     /// the default single-CU config the makespan equals the serial total.
     pub multi_cu: MultiCuSchedule,
+    /// Measured multi-CU execution, present when the batch ran in dispatch
+    /// mode (real concurrent execution on a [`CuCluster`]).
+    pub measured: Option<MeasuredMultiCu>,
 }
 
 impl BatchOutcome {
@@ -190,18 +259,31 @@ impl BatchScheduler {
     /// Every request is validated first; the whole batch is rejected if any
     /// request is invalid (matching the all-or-nothing transfer). Results are
     /// counted, never materialised — this is [`Self::run_batch_streaming`]
-    /// with a discard-everything callback.
+    /// (or its dispatch-mode sibling, when [`SchedulerConfig::dispatch`] is
+    /// set) with a discard-everything callback.
     pub fn run_batch(
         &self,
         graph: &GraphHandle,
         requests: &[QueryRequest],
     ) -> Result<BatchOutcome, HostError> {
-        self.run_batch_streaming(graph, requests, |_, _| ControlFlow::Continue(()))
+        if self.config.dispatch {
+            self.run_batch_dispatch_streaming(graph, requests, |_, _| ControlFlow::Continue(()))
+        } else {
+            self.run_batch_streaming(graph, requests, |_, _| ControlFlow::Continue(()))
+        }
     }
 
-    /// Streaming form of [`Self::run_batch`]: every result path (original
-    /// graph vertex ids) is pushed to `on_path` together with the request
-    /// that produced it, so the host never materialises a result set.
+    /// Serial streaming batch: every result path (original graph vertex ids)
+    /// is pushed to `on_path` together with the request that produced it, so
+    /// the host never materialises a result set.
+    ///
+    /// This entry point always runs serially on a single device and ignores
+    /// [`SchedulerConfig::dispatch`] (the outcome's `measured` is `None`):
+    /// its callback need not be [`Send`], so it cannot be handed to the CU
+    /// worker threads. For dispatch-mode streaming use
+    /// [`Self::run_batch_dispatch_streaming`], whose callback bound is the
+    /// only difference. Only [`Self::run_batch`], with its trivially-`Send`
+    /// discard callback, switches between the two on the config flag.
     ///
     /// Returning [`ControlFlow::Break`] from the callback terminates *that
     /// request's* enumeration early; the rest of the batch still runs. With
@@ -236,7 +318,168 @@ impl BatchScheduler {
             });
         }
 
-        Ok(staged.into_outcome(unique_results, unique_cycles, device_millis, &self.config.multi_cu))
+        Ok(staged.into_outcome(
+            unique_results,
+            unique_cycles,
+            device_millis,
+            &self.config.multi_cu,
+            None,
+        ))
+    }
+
+    /// Dispatch-mode [`Self::run_batch`]: the unique queries execute
+    /// concurrently on a real [`CuCluster`], and the outcome additionally
+    /// carries [`BatchOutcome::measured`]. Results are counted, never
+    /// materialised.
+    pub fn run_batch_dispatch(
+        &self,
+        graph: &GraphHandle,
+        requests: &[QueryRequest],
+    ) -> Result<BatchOutcome, HostError> {
+        self.run_batch_dispatch_streaming(graph, requests, |_, _| ControlFlow::Continue(()))
+    }
+
+    /// Streaming dispatch: runs the batch's unique queries on
+    /// [`SchedulerConfig::multi_cu`] compute units, one OS thread per CU.
+    ///
+    /// Each worker owns one CU of a [`CuCluster`] (its own simulated BRAM,
+    /// counters and clock, behind the shared DRAM arbiter) and pulls the next
+    /// query from a shared work queue ordered longest-estimated-first — the
+    /// greedy LPT policy [`pefp_fpga::schedule_batch`] models, driven by the
+    /// walk-count estimate on each prepared subgraph. Pops are gated on
+    /// *simulated* CU load (see [`DispatchQueue`]), so the assignment tracks
+    /// the device clocks being co-simulated rather than the host scheduler's
+    /// whims, while the engine runs themselves still execute concurrently.
+    /// Every result path is pushed to `on_path` (serialised through a mutex,
+    /// so the callback sees one path at a time even though queries run
+    /// concurrently); returning [`ControlFlow::Break`] terminates *that
+    /// request's* enumeration, as in [`Self::run_batch_streaming`].
+    pub fn run_batch_dispatch_streaming<F>(
+        &self,
+        graph: &GraphHandle,
+        requests: &[QueryRequest],
+        on_path: F,
+    ) -> Result<BatchOutcome, HostError>
+    where
+        F: FnMut(&QueryRequest, &[VertexId]) -> ControlFlow<()> + Send,
+    {
+        let staged = self.stage_batch(graph, requests)?;
+        let cus = self.config.multi_cu.compute_units.max(1);
+        let cluster = CuCluster::new(self.config.device.clone(), self.config.multi_cu);
+        let options = self.config.variant.engine_options();
+
+        // LPT work queue: longest estimated enumeration first. The estimate
+        // is the k-hop s-t walk count on the prepared subgraph (an upper
+        // bound on the result volume) plus its edge count, so heavyweight
+        // queries start early and stragglers stay short.
+        let mut order: Vec<usize> = (0..staged.unique.len()).collect();
+        let estimates: Vec<u64> = staged
+            .prepared
+            .iter()
+            .map(|prep| {
+                if !prep.feasible {
+                    return 0;
+                }
+                count_st_walks(&prep.graph, prep.s, prep.t, prep.k)
+                    .saturating_add(prep.graph.num_edges() as u64)
+            })
+            .collect();
+        order.sort_by(|&a, &b| estimates[b].cmp(&estimates[a]).then(a.cmp(&b)));
+
+        let queue = DispatchQueue::new(order, estimates, cus);
+        let emit = Mutex::new(on_path);
+        let staged_ref = &staged;
+        let cluster_ref = &cluster;
+        let queue_ref = &queue;
+        let emit_ref = &emit;
+        let options_ref = &options;
+
+        let wall_start = Instant::now();
+        let per_worker: Vec<Vec<(usize, pefp_core::PefpRunResult)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..cus)
+                .map(|cu| {
+                    scope.spawn(move || {
+                        // The CU counts as bus-active until it drains
+                        // the queue: a worker parked on the queue gate
+                        // is *busy in simulated time* (its next job just
+                        // has not been wall-executed yet), so dropping
+                        // activation there would understate contention
+                        // whenever the host has fewer cores than CUs.
+                        let _active = cluster_ref.arbiter().activate();
+                        let mut rows = Vec::new();
+                        while let Some((job, estimate)) = queue_ref.pop(cu) {
+                            let request = staged_ref.unique[job];
+                            let prep = &staged_ref.prepared[job];
+                            let mut sink = FnSink(|path: &[VertexId]| {
+                                let mut cb = emit_ref.lock().expect("path callback poisoned");
+                                (*cb)(&request, path)
+                            });
+                            let result = run_prepared_on_device(
+                                prep,
+                                options_ref.clone(),
+                                cluster_ref.device_for_cu(cu),
+                                &mut sink,
+                            );
+                            queue_ref.complete(cu, estimate, result.device.cycles);
+                            rows.push((job, result));
+                        }
+                        rows
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("CU worker panicked")).collect()
+        });
+        let wall_millis = wall_start.elapsed().as_secs_f64() * 1e3;
+
+        // Fold the per-worker rows back into per-unique-query order and the
+        // measured per-CU accounting.
+        let mut unique_results: Vec<Option<BatchQueryResult>> = vec![None; staged.unique.len()];
+        let mut workloads: Vec<CuWorkload> = vec![CuWorkload::default(); staged.unique.len()];
+        let mut per_cu_busy_cycles = vec![0u64; cus];
+        let mut per_cu_queries = vec![0usize; cus];
+        let mut device_millis = 0.0;
+        let mut contention_cycles = 0u64;
+        for (cu, rows) in per_worker.into_iter().enumerate() {
+            for (job, result) in rows {
+                per_cu_busy_cycles[cu] += result.device.cycles;
+                per_cu_queries[cu] += 1;
+                device_millis += result.query_millis;
+                contention_cycles += result.device.contention_cycles;
+                workloads[job] = CuWorkload {
+                    cycles: result.device.cycles - result.device.contention_cycles,
+                    dram_cycles: result.device.dram_cycles,
+                };
+                unique_results[job] = Some(BatchQueryResult {
+                    request: staged.unique[job],
+                    num_paths: result.num_paths,
+                    device_millis: result.query_millis,
+                });
+            }
+        }
+        let unique_results: Vec<BatchQueryResult> =
+            unique_results.into_iter().map(|r| r.expect("every unique query executed")).collect();
+        let unique_cycles: Vec<u64> = workloads.iter().map(|w| w.cycles).collect();
+
+        let makespan_cycles = per_cu_busy_cycles.iter().copied().max().unwrap_or(0);
+        let measured = MeasuredMultiCu {
+            compute_units: cus,
+            per_cu_busy_cycles,
+            per_cu_queries,
+            makespan_cycles,
+            serial_cycles: unique_cycles.iter().sum(),
+            contention_cycles,
+            arbiter: cluster.arbiter().stats(),
+            predicted: predict_dispatch(&workloads, &self.config.multi_cu),
+            wall_millis,
+        };
+
+        Ok(staged.into_outcome(
+            unique_results,
+            unique_cycles,
+            device_millis,
+            &self.config.multi_cu,
+            Some(measured),
+        ))
     }
 
     /// The host-side work shared by the counting and streaming batch runs:
@@ -290,6 +533,88 @@ impl BatchScheduler {
     }
 }
 
+/// The dispatch work queue: LPT-ordered jobs, popped in *simulated-time*
+/// order.
+///
+/// Real hardware hands the next queued query to whichever CU becomes free
+/// first — free in *device* time. When N simulated device clocks are
+/// co-simulated by N host threads, "whoever locks the queue first" instead
+/// reflects the host scheduler (on a single-core runner one thread can drain
+/// the entire queue), which would corrupt the measured makespan. This queue
+/// therefore gates each pop on the poppers' simulated load: a CU may take
+/// the next job only while it is the least-loaded CU, counting in-flight
+/// jobs at their LPT estimate until their true cycle count replaces it on
+/// completion. Engine execution itself happens outside the lock, fully
+/// concurrently.
+struct DispatchQueue {
+    state: Mutex<DispatchState>,
+    wakeup: Condvar,
+    order: Vec<usize>,
+    estimates: Vec<u64>,
+}
+
+struct DispatchState {
+    /// Next position in `order` to hand out.
+    next: usize,
+    /// Per-CU simulated load: completed cycles plus in-flight estimates.
+    load: Vec<u64>,
+    /// Workers that observed queue exhaustion and exited.
+    done: Vec<bool>,
+}
+
+impl DispatchQueue {
+    fn new(order: Vec<usize>, estimates: Vec<u64>, cus: usize) -> Self {
+        DispatchQueue {
+            state: Mutex::new(DispatchState {
+                next: 0,
+                load: vec![0; cus],
+                done: vec![false; cus],
+            }),
+            wakeup: Condvar::new(),
+            order,
+            estimates,
+        }
+    }
+
+    /// Takes the next job for `cu`, blocking while a less-loaded CU should
+    /// pop first. Returns the job index and the estimate charged to the CU's
+    /// load (to be replaced by the true cycle count via [`Self::complete`]),
+    /// or `None` once the queue is empty.
+    fn pop(&self, cu: usize) -> Option<(usize, u64)> {
+        let mut state = self.state.lock().expect("dispatch queue poisoned");
+        loop {
+            if state.next >= self.order.len() {
+                state.done[cu] = true;
+                self.wakeup.notify_all();
+                return None;
+            }
+            let my_load = state.load[cu];
+            let am_least_loaded = (0..state.load.len()).filter(|&w| w != cu).all(|w| {
+                state.done[w] || state.load[w] > my_load || (state.load[w] == my_load && w > cu)
+            });
+            if am_least_loaded {
+                let job = self.order[state.next];
+                state.next += 1;
+                // Charge the estimate so concurrent poppers see this CU as
+                // busy; `complete` swaps in the measured cycles. At least 1,
+                // so even a zero-estimate job marks the CU as loaded.
+                let estimate = self.estimates[job].max(1);
+                state.load[cu] += estimate;
+                self.wakeup.notify_all();
+                return Some((job, estimate));
+            }
+            state = self.wakeup.wait(state).expect("dispatch queue poisoned");
+        }
+    }
+
+    /// Replaces `cu`'s in-flight estimate with the measured cycle count.
+    fn complete(&self, cu: usize, estimate: u64, actual_cycles: u64) {
+        let mut state = self.state.lock().expect("dispatch queue poisoned");
+        state.load[cu] = state.load[cu] - estimate + actual_cycles;
+        self.wakeup.notify_all();
+    }
+}
+
 /// A validated, deduplicated, preprocessed and transferred batch, ready for
 /// device execution.
 struct StagedBatch {
@@ -303,13 +628,15 @@ struct StagedBatch {
 
 impl StagedBatch {
     /// Assembles the outcome: per-slot result rows plus the multi-CU schedule
-    /// of the unique queries' kernel cycles.
+    /// of the unique queries' (uncontended) kernel cycles, and the measured
+    /// execution when the batch ran in dispatch mode.
     fn into_outcome(
         self,
         unique_results: Vec<BatchQueryResult>,
         unique_cycles: Vec<u64>,
         device_millis: f64,
         multi_cu: &MultiCuConfig,
+        measured: Option<MeasuredMultiCu>,
     ) -> BatchOutcome {
         let results = self.slot_of.iter().map(|&slot| unique_results[slot]).collect();
         let multi_cu = schedule_batch(&unique_cycles, multi_cu);
@@ -320,6 +647,7 @@ impl StagedBatch {
             device_millis,
             deduplicated: self.deduplicated,
             multi_cu,
+            measured,
         }
     }
 }
@@ -495,6 +823,128 @@ mod tests {
                 assert_eq!(got.num_paths, want.num_paths, "other requests run to completion");
             }
         }
+    }
+
+    #[test]
+    fn dispatch_counts_match_the_serial_batch_on_every_cu_width() {
+        let handle = handle();
+        let reqs = requests(&handle, 4, 10);
+        assert!(reqs.len() >= 4);
+        let serial =
+            BatchScheduler::new(SchedulerConfig::default()).run_batch(&handle, &reqs).unwrap();
+        for cus in [1usize, 2, 4] {
+            let scheduler = BatchScheduler::new(SchedulerConfig {
+                dispatch: true,
+                multi_cu: MultiCuConfig { compute_units: cus, per_cu_bandwidth_share: 0.5 },
+                ..SchedulerConfig::default()
+            });
+            let outcome = scheduler.run_batch(&handle, &reqs).unwrap();
+            assert_eq!(outcome.results.len(), reqs.len());
+            for (got, want) in outcome.results.iter().zip(&serial.results) {
+                assert_eq!(got.request, want.request);
+                assert_eq!(got.num_paths, want.num_paths, "cus = {cus}");
+            }
+            let measured = outcome.measured.as_ref().expect("dispatch reports measurements");
+            assert_eq!(measured.compute_units, cus);
+            assert_eq!(
+                measured.per_cu_queries.iter().sum::<usize>(),
+                serial.results.len() - serial.deduplicated
+            );
+            assert!(measured.makespan_cycles <= measured.serial_cycles);
+            assert_eq!(
+                measured.serial_cycles, serial.multi_cu.serial_cycles,
+                "uncontended cycles are deterministic"
+            );
+            // A single CU cannot contend with itself: measured == serial.
+            if cus == 1 {
+                assert_eq!(measured.makespan_cycles, measured.serial_cycles);
+                assert_eq!(measured.contention_cycles, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_streams_every_path_and_honours_break() {
+        use pefp_graph::paths::canonicalize;
+        use std::collections::HashMap;
+
+        let handle = handle();
+        let reqs = requests(&handle, 3, 6);
+        assert!(!reqs.is_empty());
+        let scheduler = BatchScheduler::new(SchedulerConfig {
+            dispatch: true,
+            multi_cu: MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5 },
+            ..SchedulerConfig::default()
+        });
+        let streamed = Mutex::new(HashMap::<QueryRequest, Vec<Vec<VertexId>>>::new());
+        let outcome = scheduler
+            .run_batch_dispatch_streaming(&handle, &reqs, |req, path| {
+                streamed.lock().unwrap().entry(*req).or_default().push(path.to_vec());
+                ControlFlow::Continue(())
+            })
+            .unwrap();
+        assert_eq!(outcome.results.len(), reqs.len());
+        let mut streamed = streamed.into_inner().unwrap();
+        for req in &reqs {
+            let oracle = naive_dfs_enumerate(&handle.csr, req.s, req.t, req.k);
+            let got = streamed.remove(req).unwrap_or_default();
+            assert_eq!(canonicalize(got), canonicalize(oracle), "query {req:?}");
+        }
+
+        // Break terminates only the victim request's enumeration.
+        let full =
+            BatchScheduler::new(SchedulerConfig::default()).run_batch(&handle, &reqs).unwrap();
+        let Some(victim) = full.results.iter().find(|r| r.num_paths > 1).map(|r| r.request) else {
+            return;
+        };
+        let outcome = scheduler
+            .run_batch_dispatch_streaming(&handle, &reqs, |req, _path| {
+                if *req == victim {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            })
+            .unwrap();
+        for (got, want) in outcome.results.iter().zip(&full.results) {
+            if got.request == victim {
+                assert_eq!(got.num_paths, 1);
+            } else {
+                assert_eq!(got.num_paths, want.num_paths);
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_measurement_and_prediction_share_the_cycle_domain() {
+        // Queries on this tiny graph finish in microseconds, so how many a
+        // given CU wins from the queue is timing-dependent; this test only
+        // asserts the invariants that hold for *every* interleaving. The
+        // tight predicted-vs-measured bound lives in the integration tests,
+        // on a batch heavy enough that all CUs overlap.
+        let handle = handle();
+        let reqs = requests(&handle, 4, 16);
+        assert!(reqs.len() >= 8);
+        let scheduler = BatchScheduler::new(SchedulerConfig {
+            dispatch: true,
+            multi_cu: MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5 },
+            ..SchedulerConfig::default()
+        });
+        let outcome = scheduler.run_batch(&handle, &reqs).unwrap();
+        let measured = outcome.measured.unwrap();
+        // Two CUs at share 0.5 never saturate the bus: no contention, so the
+        // per-CU busy cycles partition the serial total exactly.
+        assert_eq!(measured.contention_cycles, 0);
+        assert_eq!(measured.per_cu_busy_cycles.iter().sum::<u64>(), measured.serial_cycles);
+        assert!(measured.makespan_cycles <= measured.serial_cycles);
+        assert!(measured.makespan_cycles * 2 >= measured.serial_cycles, "2 CUs cap at 2x");
+        let predicted = &measured.predicted;
+        assert!(predicted.makespan_cycles > 0);
+        assert!(predicted.makespan_cycles <= predicted.serial_cycles);
+        assert!(predicted.makespan_cycles * 2 >= predicted.serial_cycles);
+        assert_eq!(predicted.serial_cycles, measured.serial_cycles);
+        assert!(measured.speedup() >= 1.0);
+        assert!(measured.wall_millis > 0.0);
     }
 
     #[test]

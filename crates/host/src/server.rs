@@ -9,6 +9,7 @@
 //! > QUERY 0 42 5          enumerate 0 -> 42 paths with at most 5 hops
 //! > COUNT 0 42 5          same, but only report the number of paths
 //! > STREAM 0 42 5 [n]     stream up to n paths (default 100), chunk-wise
+//! > BATCH 0 42 5 1 9 4 CUS=4   run a batch of (s t k) triples on 4 CUs
 //! > STATS                  session statistics so far
 //! > GRAPH                  one-line summary of the loaded graph
 //! > HELP                   list the commands
@@ -26,7 +27,9 @@
 
 use crate::error::HostError;
 use crate::query::QueryRequest;
+use crate::scheduler::{BatchScheduler, SchedulerConfig};
 use crate::session::HostSession;
+use pefp_fpga::MultiCuConfig;
 use pefp_graph::sink::{CountingSink, FirstN, PathSink};
 use pefp_graph::VertexId;
 use std::io::{BufRead, Write};
@@ -141,7 +144,7 @@ pub fn handle_line(session: &mut HostSession, line: &str) -> Reply {
     match command.as_str() {
         "HELP" => Reply::Ok(
             "commands: QUERY <s> <t> <k> | COUNT <s> <t> <k> | STREAM <s> <t> <k> [limit] | \
-             GRAPH | STATS | HELP | QUIT"
+             BATCH <s> <t> <k> [<s> <t> <k> ...] [CUS=<n>] | GRAPH | STATS | HELP | QUIT"
                 .to_string(),
         ),
         "QUIT" | "EXIT" => Reply::Quit("bye".to_string()),
@@ -229,7 +232,95 @@ pub fn handle_line(session: &mut HostSession, line: &str) -> Reply {
                 Err(e) => Reply::Err(e.to_string()),
             }
         }
+        "BATCH" => handle_batch(session, &rest),
         other => Reply::Err(format!("unknown command {other:?}; try HELP")),
+    }
+}
+
+/// Hard ceiling on a `BATCH` command's `CUS=` value. Dispatch mode spawns
+/// one OS thread per CU, so an unbounded client-supplied count would let a
+/// single protocol line exhaust the process's thread budget.
+pub const MAX_BATCH_CUS: usize = 64;
+
+/// Hard ceiling on the number of `(s t k)` triples one `BATCH` line may
+/// carry, bounding the host-side staging work a single command can demand.
+pub const MAX_BATCH_QUERIES: usize = 4096;
+
+/// `BATCH s t k [s t k ...] [CUS=n]`: counts the result paths of every triple
+/// in one dispatch-mode batch on `n` simulated compute units (default 1,
+/// capped at [`MAX_BATCH_CUS`]).
+///
+/// The batch runs through a [`BatchScheduler`] built from the session's
+/// device and variant configuration; it bypasses the session's per-query
+/// bookkeeping (one batch, not `n` session queries), and the reply reports
+/// the measured makespan, speedup and model error of the execution.
+fn handle_batch(session: &mut HostSession, args: &[&str]) -> Reply {
+    let Some(handle) = session.graph() else {
+        return Reply::Err(HostError::NoGraphLoaded.to_string());
+    };
+    let (cus, triples) = match args.last() {
+        Some(last) => match last.strip_prefix("CUS=") {
+            Some(n) => match n.parse::<usize>() {
+                // Clamp like STREAM clamps its limit; the reply's `cus=`
+                // field reports the clamped value, so the cap is visible.
+                Ok(n) if n >= 1 => (n.min(MAX_BATCH_CUS), &args[..args.len() - 1]),
+                _ => {
+                    return Reply::Err(format!("invalid CUS value {n:?} (want a positive integer)"))
+                }
+            },
+            None => (1, args),
+        },
+        None => (1, args),
+    };
+    if triples.is_empty() || triples.len() % 3 != 0 {
+        return Reply::Err(format!(
+            "BATCH expects (s t k) triples, got {} argument(s); try HELP",
+            triples.len()
+        ));
+    }
+    if triples.len() / 3 > MAX_BATCH_QUERIES {
+        return Reply::Err(format!(
+            "BATCH accepts at most {MAX_BATCH_QUERIES} queries, got {}",
+            triples.len() / 3
+        ));
+    }
+    let mut requests = Vec::with_capacity(triples.len() / 3);
+    for triple in triples.chunks_exact(3) {
+        match QueryRequest::parse(&triple.join(" ")) {
+            Ok(request) => requests.push(request),
+            Err(e) => return Reply::Err(e.to_string()),
+        }
+    }
+
+    let scheduler = BatchScheduler::new(SchedulerConfig {
+        device: session.config().device.clone(),
+        variant: session.config().variant,
+        dispatch: true,
+        multi_cu: MultiCuConfig { compute_units: cus, ..MultiCuConfig::default() },
+        ..SchedulerConfig::default()
+    });
+    match scheduler.run_batch(handle, &requests) {
+        Ok(outcome) => {
+            let measured = outcome.measured.as_ref().expect("dispatch batches are measured");
+            Reply::Ok(format!(
+                "queries={} unique={} paths={} cus={} makespan_cycles={} serial_cycles={} \
+                 measured_speedup={:.2}x predicted_makespan_cycles={} model_err={:.1}% \
+                 t1_ms={:.3} transfer_ms={:.3} wall_ms={:.3}",
+                outcome.results.len(),
+                outcome.results.len() - outcome.deduplicated,
+                outcome.total_paths(),
+                measured.compute_units,
+                measured.makespan_cycles,
+                measured.serial_cycles,
+                measured.speedup(),
+                measured.predicted.makespan_cycles,
+                measured.model_error() * 100.0,
+                outcome.preprocess_millis,
+                outcome.transfer.total_millis,
+                measured.wall_millis,
+            ))
+        }
+        Err(e) => Reply::Err(e.to_string()),
     }
 }
 
@@ -356,6 +447,60 @@ mod tests {
         // The server never materialised a result set for any of the above.
         assert_eq!(s.stats().materialised_paths, 0);
         assert!(s.stats().emitted_paths >= 5);
+    }
+
+    #[test]
+    fn batch_command_runs_triples_on_the_requested_cus() {
+        let mut s = session();
+        match handle_line(&mut s, "BATCH 0 3 3 0 3 2 1 3 2 CUS=2") {
+            Reply::Ok(msg) => {
+                assert!(msg.contains("queries=3"), "{msg}");
+                assert!(msg.contains("paths=5"), "2 + 2 + 1 paths: {msg}");
+                assert!(msg.contains("cus=2"), "{msg}");
+                assert!(msg.contains("makespan_cycles="), "{msg}");
+                assert!(msg.contains("measured_speedup="), "{msg}");
+                assert!(msg.contains("model_err="), "{msg}");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // CUS defaults to 1 and duplicates are deduplicated.
+        match handle_line(&mut s, "BATCH 0 3 3 0 3 3") {
+            Reply::Ok(msg) => {
+                assert!(msg.contains("queries=2"), "{msg}");
+                assert!(msg.contains("unique=1"), "{msg}");
+                assert!(msg.contains("cus=1"), "{msg}");
+                assert!(msg.contains("paths=4"), "both slots answered: {msg}");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_cus_is_clamped_to_the_thread_budget() {
+        let mut s = session();
+        // An absurd CUS value must not spawn an absurd number of threads;
+        // the reply reports the clamped width.
+        match handle_line(&mut s, "BATCH 0 3 3 CUS=1000000") {
+            Reply::Ok(msg) => {
+                assert!(msg.contains(&format!("cus={MAX_BATCH_CUS}")), "{msg}");
+                assert!(msg.contains("paths=2"), "{msg}");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_command_rejects_malformed_input() {
+        let mut s = session();
+        assert!(matches!(handle_line(&mut s, "BATCH"), Reply::Err(_)));
+        assert!(matches!(handle_line(&mut s, "BATCH 0 3"), Reply::Err(_)));
+        assert!(matches!(handle_line(&mut s, "BATCH 0 3 3 CUS=0"), Reply::Err(_)));
+        assert!(matches!(handle_line(&mut s, "BATCH 0 3 3 CUS=x"), Reply::Err(_)));
+        assert!(matches!(handle_line(&mut s, "BATCH 0 99 3"), Reply::Err(_)));
+        let mut empty = HostSession::new(SessionConfig::default());
+        assert!(matches!(handle_line(&mut empty, "BATCH 0 3 3"), Reply::Err(_)));
+        // The session is still usable afterwards.
+        assert!(matches!(handle_line(&mut s, "BATCH 0 3 3"), Reply::Ok(_)));
     }
 
     #[test]

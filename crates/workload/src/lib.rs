@@ -18,11 +18,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod figures;
+pub mod json;
 pub mod queries;
 pub mod report;
 pub mod runner;
 
 pub use figures::{FigureResult, FigureSpec};
+pub use json::{JsonValue, ToJson};
 pub use queries::{generate_queries, QueryPair};
 pub use report::{Series, TableReport};
 pub use runner::{ExperimentConfig, MethodTiming, QueryComparison, Runner};

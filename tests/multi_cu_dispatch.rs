@@ -1,0 +1,155 @@
+//! Multi-CU dispatch correctness and measurement quality.
+//!
+//! The dispatch executor runs batch queries concurrently on N simulated
+//! compute units behind a shared-DRAM arbiter. These tests pin down the two
+//! things that must never drift:
+//!
+//! * **correctness** — the enumerated path sets are identical (as sorted
+//!   sets) across 1/2/4 CUs, the serial batch pipeline and the naive DFS
+//!   oracle; concurrency must never change *what* is enumerated;
+//! * **measurement** — the measured makespan stays within the serial total,
+//!   the 4-CU speedup on the 10k Chung-Lu batch profile clears the 1.5x
+//!   acceptance floor, and the traffic-aware prediction lands within 30% of
+//!   the measured makespan.
+
+use pefp::baselines::naive_dfs_stream;
+use pefp::graph::generators::chung_lu;
+use pefp::graph::paths::canonicalize;
+use pefp::graph::sampling::sample_reachable_pairs;
+use pefp::graph::sink::CollectSink;
+use pefp::graph::VertexId;
+use pefp::host::{BatchScheduler, GraphHandle, QueryRequest, SchedulerConfig};
+use pefp_bench::gate::dispatch_scheduler;
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+use std::sync::Mutex;
+
+/// The 10k Chung-Lu batch profile, shared with the `multi_cu` bench and the
+/// CI bench-regression gate — the speedup/model-error assertions below hold
+/// for exactly the batch the gate measures.
+fn hub_batch() -> (GraphHandle, Vec<QueryRequest>) {
+    let handle = pefp_bench::gate::gate_graph();
+    let requests = pefp_bench::gate::gate_batch(&handle);
+    (handle, requests)
+}
+
+#[test]
+fn dispatch_path_sets_are_identical_across_cu_widths_and_oracles() {
+    let handle = GraphHandle::from_csr("test", chung_lu(500, 6.0, 2.2, 11).to_csr());
+    let requests: Vec<QueryRequest> = sample_reachable_pairs(&handle.csr, 4, 8, 7)
+        .into_iter()
+        .map(|(s, t)| QueryRequest { s, t, k: 4 })
+        .collect();
+    assert!(requests.len() >= 4, "need a real batch");
+
+    // Reference: the serial batch pipeline.
+    let serial = BatchScheduler::new(SchedulerConfig::default());
+    let mut serial_paths: HashMap<QueryRequest, Vec<Vec<VertexId>>> = HashMap::new();
+    serial
+        .run_batch_streaming(&handle, &requests, |req, path| {
+            serial_paths.entry(*req).or_default().push(path.to_vec());
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+    let serial_paths: HashMap<QueryRequest, Vec<Vec<VertexId>>> =
+        serial_paths.into_iter().map(|(k, v)| (k, canonicalize(v))).collect();
+
+    // Independent oracle: naive streaming DFS per query.
+    for req in &requests {
+        let mut sink = CollectSink::new();
+        naive_dfs_stream(&handle.csr, req.s, req.t, req.k, &mut sink);
+        assert_eq!(
+            serial_paths.get(req).cloned().unwrap_or_default(),
+            canonicalize(sink.into_paths()),
+            "serial batch vs naive oracle on {req:?}"
+        );
+    }
+
+    // Dispatch on 1, 2 and 4 CUs: identical sorted path sets.
+    for cus in [1usize, 2, 4] {
+        let streamed = Mutex::new(HashMap::<QueryRequest, Vec<Vec<VertexId>>>::new());
+        let outcome = dispatch_scheduler(cus)
+            .run_batch_dispatch_streaming(&handle, &requests, |req, path| {
+                streamed.lock().unwrap().entry(*req).or_default().push(path.to_vec());
+                ControlFlow::Continue(())
+            })
+            .unwrap();
+        let streamed = streamed.into_inner().unwrap();
+        for req in &requests {
+            assert_eq!(
+                canonicalize(streamed.get(req).cloned().unwrap_or_default()),
+                serial_paths.get(req).cloned().unwrap_or_default(),
+                "dispatch on {cus} CUs diverged on {req:?}"
+            );
+        }
+        // The measured makespan can never exceed the serial total.
+        let measured = outcome.measured.expect("dispatch outcomes are measured");
+        assert!(
+            measured.makespan_cycles <= measured.serial_cycles,
+            "{cus} CUs: makespan {} > serial {}",
+            measured.makespan_cycles,
+            measured.serial_cycles
+        );
+    }
+}
+
+#[test]
+fn four_cu_dispatch_clears_the_speedup_floor_on_the_10k_profile() {
+    let (handle, requests) = hub_batch();
+    let outcome = dispatch_scheduler(4).run_batch(&handle, &requests).unwrap();
+    let measured = outcome.measured.as_ref().expect("dispatch outcomes are measured");
+
+    assert_eq!(measured.compute_units, 4);
+    assert_eq!(measured.per_cu_queries.iter().sum::<usize>(), requests.len());
+    assert!(measured.per_cu_queries.iter().all(|&q| q > 0), "{:?}", measured.per_cu_queries);
+    assert!(measured.makespan_cycles <= measured.serial_cycles);
+    assert!(
+        measured.speedup() >= 1.5,
+        "measured 4-CU speedup {:.2} below the 1.5x acceptance floor \
+         (makespan {} vs serial {})",
+        measured.speedup(),
+        measured.makespan_cycles,
+        measured.serial_cycles
+    );
+    // The shared bus saturates at 4 CUs x 0.5 share: contention must show up.
+    assert!(measured.contention_cycles > 0);
+    assert!(measured.arbiter.refills > 0);
+    assert!(measured.arbiter.penalty_cycles > 0);
+
+    // The serial-cycle accounting is deterministic and matches a serial run.
+    let serial =
+        BatchScheduler::new(SchedulerConfig::default()).run_batch(&handle, &requests).unwrap();
+    assert_eq!(measured.serial_cycles, serial.multi_cu.serial_cycles);
+    assert_eq!(outcome.total_paths(), serial.total_paths());
+}
+
+#[test]
+fn predicted_makespan_is_within_30_percent_of_measured() {
+    let (handle, requests) = hub_batch();
+    for cus in [2usize, 4] {
+        let outcome = dispatch_scheduler(cus).run_batch(&handle, &requests).unwrap();
+        let measured = outcome.measured.expect("dispatch outcomes are measured");
+        assert!(measured.predicted.makespan_cycles > 0);
+        assert!(
+            measured.model_error() <= 0.30,
+            "{cus} CUs: predicted {} vs measured {} — model error {:.1}% exceeds 30%",
+            measured.predicted.makespan_cycles,
+            measured.makespan_cycles,
+            measured.model_error() * 100.0
+        );
+    }
+}
+
+#[test]
+fn single_cu_dispatch_equals_the_serial_pipeline_exactly() {
+    let (handle, requests) = hub_batch();
+    let outcome = dispatch_scheduler(1).run_batch(&handle, &requests).unwrap();
+    let measured = outcome.measured.expect("dispatch outcomes are measured");
+    // One CU cannot contend with itself: the measurement collapses to the
+    // serial execution, cycle for cycle.
+    assert_eq!(measured.contention_cycles, 0);
+    assert_eq!(measured.makespan_cycles, measured.serial_cycles);
+    assert_eq!(measured.per_cu_queries, vec![requests.len()]);
+    assert!((measured.speedup() - 1.0).abs() < 1e-12);
+    assert_eq!(measured.predicted.makespan_cycles, measured.makespan_cycles);
+}

@@ -1,0 +1,118 @@
+//! End-to-end tests of the query server's streaming and batch commands.
+//!
+//! The unit tests in `pefp-host::server` cover the protocol on a diamond
+//! graph; these tests drive `STREAM` against a query with a four-digit result
+//! set so the chunking, default limit, explicit limits and the hard ceiling
+//! are all exercised for real, plus the `BATCH ... CUS=n` command end to end.
+
+use pefp::graph::generators::{layered_dag, layered_sink, layered_source};
+use pefp::host::server::{
+    handle_line, serve, Reply, DEFAULT_STREAM_LIMIT, MAX_INLINE_PATHS, MAX_STREAM_LIMIT,
+};
+use pefp::host::{HostSession, SessionConfig};
+use std::io::Cursor;
+
+/// A dense layered DAG with 4^5 = 1024 source→sink paths, all of length 6.
+fn layered_session() -> (HostSession, u32, u32) {
+    let g = layered_dag(5, 4, 4, 1).to_csr();
+    let s = layered_source().0;
+    let t = layered_sink(5, 4).0;
+    (HostSession::with_graph(g, SessionConfig::default()), s, t)
+}
+
+fn expect_stream(reply: Reply) -> Vec<String> {
+    match reply {
+        Reply::Stream(chunks) => chunks,
+        other => panic!("expected a stream reply, got {other:?}"),
+    }
+}
+
+#[test]
+fn stream_applies_the_default_limit_in_full_chunks() {
+    let (mut session, s, t) = layered_session();
+    let chunks = expect_stream(handle_line(&mut session, &format!("STREAM {s} {t} 6")));
+    // 100 paths in chunks of MAX_INLINE_PATHS, plus the end line.
+    let expected_chunks = (DEFAULT_STREAM_LIMIT as usize).div_ceil(MAX_INLINE_PATHS);
+    assert_eq!(chunks.len(), expected_chunks + 1);
+    for chunk in &chunks[..expected_chunks] {
+        assert!(chunk.starts_with("paths "), "{chunk}");
+        assert_eq!(chunk.matches("->").count(), 6 * MAX_INLINE_PATHS, "6 hops per path");
+    }
+    assert_eq!(chunks.last().unwrap(), &format!("end streamed=100 limit={DEFAULT_STREAM_LIMIT}"));
+}
+
+#[test]
+fn stream_with_explicit_limit_stops_exactly_there() {
+    let (mut session, s, t) = layered_session();
+    let chunks = expect_stream(handle_line(&mut session, &format!("STREAM {s} {t} 6 7")));
+    // 7 paths: one full chunk of 5, one partial chunk of 2, one end line.
+    assert_eq!(chunks.len(), 3);
+    assert_eq!(chunks[0].matches("->").count(), 6 * MAX_INLINE_PATHS);
+    assert_eq!(chunks[1].matches("->").count(), 6 * 2);
+    assert_eq!(chunks[2], "end streamed=7 limit=7");
+    // The session recorded only the emitted paths, nothing materialised.
+    assert_eq!(session.stats().materialised_paths, 0);
+    assert_eq!(session.stats().emitted_paths, 7);
+}
+
+#[test]
+fn stream_limit_is_clamped_to_the_hard_ceiling() {
+    let (mut session, s, t) = layered_session();
+    let over_the_top = MAX_STREAM_LIMIT * 5;
+    let chunks =
+        expect_stream(handle_line(&mut session, &format!("STREAM {s} {t} 6 {over_the_top}")));
+    // The ceiling exceeds the 1024-path result set, so everything streams.
+    assert_eq!(chunks.last().unwrap(), &format!("end streamed=1024 limit={MAX_STREAM_LIMIT}"));
+    assert_eq!(chunks.len(), 1024usize.div_ceil(MAX_INLINE_PATHS) + 1);
+    // Every streamed path is distinct.
+    let mut seen = std::collections::HashSet::new();
+    for chunk in &chunks[..chunks.len() - 1] {
+        for path in chunk.trim_start_matches("paths ").split(' ') {
+            assert!(seen.insert(path.to_string()), "duplicate path {path}");
+        }
+    }
+    assert_eq!(seen.len(), 1024);
+}
+
+#[test]
+fn stream_zero_limit_never_runs_the_engine() {
+    let (mut session, s, t) = layered_session();
+    let chunks = expect_stream(handle_line(&mut session, &format!("STREAM {s} {t} 6 0")));
+    assert_eq!(chunks, vec!["end streamed=0 limit=0".to_string()]);
+    assert_eq!(session.stats().queries, 0, "a zero limit is answered host-side");
+}
+
+#[test]
+fn stream_renders_one_prefixed_line_per_chunk_through_serve() {
+    let (mut session, s, t) = layered_session();
+    let script = format!("STREAM {s} {t} 6 12\nQUIT\n");
+    let mut output = Vec::new();
+    let served = serve(&mut session, Cursor::new(script), &mut output).unwrap();
+    assert_eq!(served, 2);
+    let text = String::from_utf8(output).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // 3 path chunks (5 + 5 + 2) + end line + bye.
+    assert_eq!(lines.len(), 5, "{lines:?}");
+    assert!(lines.iter().all(|l| l.starts_with("OK ")), "{lines:?}");
+    assert!(lines[3].contains("end streamed=12 limit=12"));
+}
+
+#[test]
+fn batch_command_counts_the_whole_result_set_on_multiple_cus() {
+    let (mut session, s, t) = layered_session();
+    // The layered query twice (deduplicated) plus an infeasible k=5 variant
+    // (every source->sink path needs exactly 6 hops).
+    let line = format!("BATCH {s} {t} 6 {s} {t} 6 {s} {t} 5 CUS=2");
+    match handle_line(&mut session, &line) {
+        Reply::Ok(msg) => {
+            assert!(msg.contains("queries=3"), "{msg}");
+            assert!(msg.contains("unique=2"), "{msg}");
+            assert!(msg.contains("cus=2"), "{msg}");
+            // 1024 paths for each layered slot, none for the k=5 variant.
+            assert!(msg.contains("paths=2048"), "{msg}");
+            assert!(msg.contains("measured_speedup="), "{msg}");
+            assert!(msg.contains("predicted_makespan_cycles="), "{msg}");
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+}
