@@ -5,14 +5,21 @@
 //! ```text
 //! cargo run -p pefp-bench --release --bin bench_gate -- --write BENCH_04.json
 //! cargo run -p pefp-bench --release --bin bench_gate -- --check BENCH_04.json
+//! cargo run -p pefp-bench --release --bin bench_gate -- --check BENCH_05.json
 //! ```
 //!
-//! `--write` measures the gate cases (see `pefp_bench::gate`) and records
-//! them, together with the machine's calibration time, as the committed
-//! baseline. `--check` re-measures the same cases and fails (exit code 1)
-//! when a median regresses more than 25% against the calibrated baseline, a
-//! deterministic cycle count grows more than 25%, or a hard floor (the
-//! ≥1.5× measured 4-CU speedup) is violated.
+//! The suite is selected by the baseline's file name:
+//!
+//! * `BENCH_04*` — the multi-CU dispatch + streaming cases of PR 4.
+//! * `BENCH_05*` — the host-concurrency cases: 1 vs 4 closed-loop sessions on
+//!   one shared 4-CU `HostRuntime`, with the ≥2× aggregate-throughput floor.
+//!
+//! `--write` measures the suite's cases and records them, together with the
+//! machine's calibration time, as the committed baseline. `--check`
+//! re-measures the same cases and fails (exit code 1) when a median regresses
+//! more than 25% against the calibrated baseline, a deterministic cycle count
+//! grows more than 25%, or a hard floor (the ≥1.5× measured 4-CU dispatch
+//! speedup; the ≥2× 4-session throughput) is violated.
 
 use pefp_bench::gate;
 
@@ -21,16 +28,41 @@ fn main() {
     let (mode, path) = match args.as_slice() {
         [mode, path] if mode == "--write" || mode == "--check" => (mode.as_str(), path.as_str()),
         _ => {
-            eprintln!("usage: bench_gate --write <BENCH_04.json> | --check <BENCH_04.json>");
+            eprintln!("usage: bench_gate --write <BENCH_0x.json> | --check <BENCH_0x.json>");
             std::process::exit(2);
         }
+    };
+    let file_name = std::path::Path::new(path).file_name().and_then(|n| n.to_str()).unwrap_or(path);
+    let (artefact, run_cases, note): (&str, fn() -> Vec<gate::GateCase>, &str) = if file_name
+        .starts_with("BENCH_05")
+    {
+        (
+            "BENCH_05",
+            gate::run_host_concurrency_cases,
+            "host-concurrency baseline: medians over 5 samples of 1 vs 4 closed-loop \
+                 sessions sharing one 4-CU HostRuntime on the 10k Chung-Lu 56-hub-pair k=6 \
+                 pool. The sessions1 virtual makespan is deterministic; sessions4 carries the \
+                 >=2x aggregate-throughput (queries per virtual-makespan cycle) floor.",
+        )
+    } else if file_name.starts_with("BENCH_04") {
+        (
+            "BENCH_04",
+            gate::run_gate_cases,
+            "bench-regression baseline: medians over 5 samples on the 10k Chung-Lu batch \
+                 profile (56 hub-pair dispatch queries at k=6; k=7 hub-to-hub streaming query). \
+                 Wall-clock budgets are rescaled at check time by calibration_now/calibration_ns; \
+                 cycles are deterministic.",
+        )
+    } else {
+        eprintln!("error: cannot infer the suite from {file_name:?} (want BENCH_04* or BENCH_05*)");
+        std::process::exit(2);
     };
 
     eprintln!("# calibrating machine speed ...");
     let calibration_ns = gate::calibration_median_ns();
     eprintln!("# calibration median: {calibration_ns:.0} ns");
-    eprintln!("# running gate cases ...");
-    let cases = gate::run_gate_cases();
+    eprintln!("# running {artefact} gate cases ...");
+    let cases = run_cases();
     for case in &cases {
         let cycles = case.cycles.map(|c| format!(", {c} cycles")).unwrap_or_default();
         let floor = case
@@ -43,11 +75,7 @@ fn main() {
 
     match mode {
         "--write" => {
-            let note = "bench-regression baseline: medians over 5 samples on the 10k Chung-Lu \
-                        batch profile (56 hub-pair dispatch queries at k=6; k=7 hub-to-hub \
-                        streaming query). Wall-clock budgets are rescaled at check time by \
-                        calibration_now/calibration_ns; cycles are deterministic.";
-            let json = gate::to_json(calibration_ns, &cases, note).render_pretty();
+            let json = gate::to_json_named(artefact, calibration_ns, &cases, note).render_pretty();
             std::fs::write(path, json).unwrap_or_else(|e| {
                 eprintln!("error: cannot write {path}: {e}");
                 std::process::exit(2);
@@ -65,7 +93,7 @@ fn main() {
             });
             let failures = gate::compare(&baseline, calibration_ns, &cases);
             if failures.is_empty() {
-                println!("bench gate PASSED ({} cases)", cases.len());
+                println!("bench gate PASSED ({artefact}, {} cases)", cases.len());
             } else {
                 for failure in &failures {
                     eprintln!("REGRESSION: {failure}");

@@ -22,8 +22,11 @@
 use pefp_fpga::MultiCuConfig;
 use pefp_graph::generators::chung_lu;
 use pefp_graph::sink::CountingSink;
-use pefp_host::{BatchScheduler, GraphHandle, QueryRequest, SchedulerConfig};
+use pefp_host::{
+    BatchScheduler, GraphHandle, HostRuntime, QueryRequest, RuntimeConfig, SchedulerConfig,
+};
 use pefp_workload::JsonValue;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Number of timed samples per case (median over these).
@@ -180,9 +183,118 @@ pub fn run_gate_cases() -> Vec<GateCase> {
     cases
 }
 
+/// A 4-CU multi-tenant [`HostRuntime`] over `handle`, as the
+/// `host_concurrency` bench and the `BENCH_05` gate cases use it.
+/// `shared_cache` toggles the runtime-wide prepared-query LRU; with it off,
+/// every session preprocesses its own queries — exactly what per-session
+/// caches would do on the gate workload, whose sessions never repeat a query.
+pub fn concurrency_runtime(handle: &GraphHandle, shared_cache: bool) -> Arc<HostRuntime> {
+    HostRuntime::launch(
+        handle.clone(),
+        RuntimeConfig {
+            compute_units: 4,
+            queue_capacity: 4096,
+            shared_cache_capacity: if shared_cache { 256 } else { 0 },
+            ..RuntimeConfig::default()
+        },
+    )
+}
+
+/// Runs `sessions` closed-loop clients against `runtime`: each client thread
+/// attaches its own session and runs the full `pool` (rotated by client
+/// index, so the tenants interleave rather than march in lockstep), one
+/// query at a time in counting mode. Returns the total result paths.
+pub fn run_concurrency_clients(
+    runtime: &Arc<HostRuntime>,
+    sessions: usize,
+    pool: &[QueryRequest],
+) -> u64 {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|c| {
+                let runtime = Arc::clone(runtime);
+                scope.spawn(move || {
+                    let session = runtime.register_session();
+                    let mut total = 0u64;
+                    for i in 0..pool.len() {
+                        let q = pool[(i + c * 7) % pool.len()];
+                        let ticket =
+                            runtime.submit_query(session, q, false).expect("submit rejected");
+                        total += ticket.wait().expect("concurrency query").num_paths;
+                    }
+                    total
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client panicked")).sum()
+    })
+}
+
+/// Runs the `BENCH_05` host-concurrency cases: 1 vs 4 closed-loop sessions
+/// sharing one 4-CU runtime on the [`gate_batch`] workload. Wall-clock medians
+/// cover the whole round (runtime launch + clients); the 1-session case pins
+/// the deterministic virtual makespan (serial, uncontended: one tenant keeps
+/// one CU busy at a time); the 4-session case carries the acceptance floor —
+/// aggregate throughput (queries per virtual-makespan cycle) must be at least
+/// 2× the single-session figure.
+pub fn run_host_concurrency_cases() -> Vec<GateCase> {
+    let handle = gate_graph();
+    let pool = gate_batch(&handle);
+    let mut cases = Vec::new();
+    let mut qps = Vec::new();
+
+    for sessions in [1usize, 4] {
+        let mut makespans: Vec<u64> = Vec::new();
+        let median = median_ns(|| {
+            let runtime = concurrency_runtime(&handle, true);
+            let paths = run_concurrency_clients(&runtime, sessions, &pool);
+            std::hint::black_box(paths);
+            makespans.push(runtime.stats().virtual_makespan_cycles);
+        });
+        // `median_ns` runs a warm-up plus GATE_SAMPLES timed rounds; the
+        // floor uses the median makespan over the timed rounds (the 4-session
+        // makespan carries wall-overlap-dependent contention stalls, so a
+        // single unlucky sample must not decide a hard CI gate).
+        makespans.remove(0);
+        makespans.sort_unstable();
+        let makespan = makespans[makespans.len() / 2];
+        let total_queries = (sessions * pool.len()) as f64;
+        qps.push(total_queries / makespan.max(1) as f64);
+        cases.push(GateCase {
+            name: format!("host_concurrency/sessions{sessions}"),
+            median_ns: median,
+            // One closed-loop tenant never contends with itself: its virtual
+            // makespan is the deterministic uncontended serial total. With 4
+            // tenants the contention stalls depend on wall-time overlap, so
+            // only the floor below (not an exact cycle count) is checked.
+            cycles: (sessions == 1).then_some(makespan),
+            floor: None,
+        });
+    }
+
+    let speedup = if qps[0] > 0.0 { qps[1] / qps[0] } else { 0.0 };
+    cases.last_mut().expect("two cases ran").floor = Some(GateFloor {
+        label: "aggregate_qps_speedup_vs_1_session".to_string(),
+        value: speedup,
+        min: 2.0,
+    });
+    cases
+}
+
 /// Serialises a gate run (calibration + cases) as the `BENCH_04.json`
-/// document.
+/// document ([`to_json_named`] with the historical artefact name).
 pub fn to_json(calibration_ns: f64, cases: &[GateCase], meta_note: &str) -> JsonValue {
+    to_json_named("BENCH_04", calibration_ns, cases, meta_note)
+}
+
+/// Serialises a gate run (calibration + cases) as a `BENCH_0x.json` document
+/// with an explicit artefact name (`BENCH_04`, `BENCH_05`, …).
+pub fn to_json_named(
+    artefact: &str,
+    calibration_ns: f64,
+    cases: &[GateCase],
+    meta_note: &str,
+) -> JsonValue {
     let case_values: Vec<JsonValue> = cases
         .iter()
         .map(|case| {
@@ -210,7 +322,7 @@ pub fn to_json(calibration_ns: f64, cases: &[GateCase], meta_note: &str) -> Json
         (
             "_meta",
             JsonValue::object(vec![
-                ("artefact", JsonValue::String("BENCH_04".to_string())),
+                ("artefact", JsonValue::String(artefact.to_string())),
                 ("note", JsonValue::String(meta_note.to_string())),
                 ("tolerance", JsonValue::Number(GATE_TOLERANCE)),
             ]),

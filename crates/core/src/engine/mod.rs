@@ -20,7 +20,7 @@ pub mod batch;
 pub mod memory;
 pub mod verify;
 
-use crate::options::{BatchStrategy, EngineOptions};
+use crate::options::{BatchStrategy, CancelToken, EngineOptions};
 use crate::path::{TempPath, MAX_K};
 use crate::result::{EngineOutput, EngineStats};
 use memory::MemoryLayout;
@@ -208,6 +208,14 @@ impl<'a> PefpEngine<'a> {
         // processing-area vector is reused across batches, so the loop
         // allocates nothing once the buffers reached their high-water marks.
         while !processing.is_empty() {
+            // Co-operative cancellation boundary: a host that abandoned the
+            // query (dropped ticket, disconnected client) flips the token and
+            // the engine stops before fetching another batch.
+            if self.opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                self.stats.cancelled = true;
+                self.stats.early_terminated = true;
+                break;
+            }
             self.stats.batches += 1;
             if self.process_batch(&processing, sink).is_break() {
                 self.stats.early_terminated = true;
@@ -439,6 +447,7 @@ mod tests {
                         dram_fetch_batch: 16,
                         collect_paths: true,
                         max_results: None,
+                        cancel: None,
                     };
                     let out = run_engine(&g, s, t, k, opts);
                     assert_eq!(
@@ -579,6 +588,50 @@ mod tests {
         assert!(out.paths.is_empty());
         assert!(out.stats.early_terminated);
         assert_eq!(out.stats.expansions, 0, "a zero cap must not expand anything");
+    }
+
+    #[test]
+    fn cancel_token_stops_the_engine_between_batches() {
+        use crate::options::CancelToken;
+        use pefp_graph::sink::FnSink;
+        // A dense layered DAG with 4^5 = 1024 result paths, small batches so
+        // there are many batch boundaries to cancel at.
+        let g = pefp_graph::generators::layered_dag(5, 4, 4, 1).to_csr();
+        let s = pefp_graph::generators::layered_source();
+        let t = pefp_graph::generators::layered_sink(5, 4);
+        let prep = pre_bfs(&g, s, t, 6);
+        let token = CancelToken::new();
+        let opts = EngineOptions {
+            processing_capacity: 8,
+            buffer_capacity: 16,
+            dram_fetch_batch: 8,
+            cancel: Some(token.clone()),
+            ..EngineOptions::default()
+        };
+        let mut emitted = 0u64;
+        let mut sink = FnSink(|_path: &[VertexId]| {
+            emitted += 1;
+            if emitted == 1 {
+                // Cancel from "another thread": the engine keeps emitting for
+                // the rest of this batch, then stops at the boundary.
+                token.cancel();
+            }
+            ControlFlow::Continue(())
+        });
+        let out = {
+            let device = Device::new(DeviceConfig::alveo_u200());
+            let mut engine =
+                PefpEngine::new(&prep.graph, &prep.barrier, prep.s, prep.t, prep.k, opts, device);
+            engine.run_with_sink(&mut sink)
+        };
+        assert!(out.stats.cancelled);
+        assert!(out.stats.early_terminated);
+        assert!(out.num_paths < 1024, "cancellation must stop the enumeration early");
+        // An uncancelled token leaves the run untouched.
+        let opts = EngineOptions { cancel: Some(CancelToken::new()), ..EngineOptions::default() };
+        let out = run_engine(&g, s.0, t.0, 6, opts);
+        assert_eq!(out.num_paths, 1024);
+        assert!(!out.stats.cancelled);
     }
 
     #[test]

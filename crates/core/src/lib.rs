@@ -60,7 +60,7 @@ pub use counting::{count_simple_paths, count_st_walks, walk_profile, QueryEstima
 pub use engine::PefpEngine;
 pub use labeled::{filter_by_labels, run_labeled_query};
 pub use multi_query::{run_query_batch, run_query_batch_with_sinks, BatchReport};
-pub use options::{BatchStrategy, EngineOptions, VerificationPipeline};
+pub use options::{BatchStrategy, CancelToken, EngineOptions, VerificationPipeline};
 pub use path::{TempPath, MAX_K};
 pub use planner::{plan_query, QueryPlan};
 pub use preprocess::{

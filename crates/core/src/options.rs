@@ -1,6 +1,48 @@
 //! Engine configuration.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag the engine polls between batches.
+///
+/// The host hands a clone of the token to a running query (via
+/// [`EngineOptions::cancel`]) and keeps another; flipping the flag —
+/// explicitly through [`CancelToken::cancel`] or implicitly when a
+/// `pefp-host` job ticket is dropped — makes the engine stop expanding at the
+/// next batch boundary, with `EngineStats::cancelled` set. Clones share one
+/// flag; equality is flag identity, so two default tokens are *not* equal.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Wraps an existing shared flag (e.g. one owned by a job ticket).
+    pub fn from_flag(flag: Arc<AtomicBool>) -> Self {
+        CancelToken(flag)
+    }
+
+    /// Requests cancellation: every engine holding a clone of this token
+    /// stops at its next batch boundary.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
 
 /// Order in which batches are drawn from the buffer area.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,6 +101,12 @@ pub struct EngineOptions {
     /// afterwards; `EngineStats::early_terminated` records that a run was cut
     /// short.
     pub max_results: Option<u64>,
+    /// Co-operative cancellation: when set, the engine checks the token
+    /// between batches and abandons the enumeration once it is cancelled
+    /// (`EngineStats::cancelled`). `None` (the default) runs to completion.
+    /// The host runtime wires a dropped job ticket's flag through here so an
+    /// abandoned query stops consuming its compute unit.
+    pub cancel: Option<CancelToken>,
 }
 
 impl EngineOptions {
@@ -73,6 +121,7 @@ impl EngineOptions {
             dram_fetch_batch: 4096,
             collect_paths: true,
             max_results: None,
+            cancel: None,
         }
     }
 
@@ -127,5 +176,17 @@ mod tests {
         let defaults = EngineOptions::default();
         let o = EngineOptions { dram_fetch_batch: defaults.buffer_capacity + 1, ..defaults };
         assert_eq!(o.validate().len(), 1);
+    }
+
+    #[test]
+    fn cancel_tokens_share_their_flag_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        // Equality is flag identity: clones agree, fresh tokens differ.
+        assert_eq!(token, clone);
+        assert_ne!(token, CancelToken::new());
     }
 }

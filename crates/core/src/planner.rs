@@ -129,6 +129,7 @@ pub fn plan_query(prepared: &PreparedQuery, config: &DeviceConfig) -> QueryPlan 
         dram_fetch_batch,
         collect_paths: true,
         max_results: None,
+        cancel: None,
     };
 
     let areas = OnChipAreas {

@@ -31,6 +31,10 @@ pub struct EngineStats {
     /// cap or `EngineOptions::max_results`); when set, `results` is the
     /// number of paths emitted before termination, not the full count.
     pub early_terminated: bool,
+    /// Whether the enumeration was abandoned through the
+    /// [`crate::CancelToken`] in `EngineOptions::cancel` (polled between
+    /// batches). Cancelled runs also set `early_terminated`.
+    pub cancelled: bool,
 }
 
 /// Raw output of one engine run (device ids).

@@ -35,6 +35,10 @@ pub struct DramBanks {
     words_per_bank: Vec<u64>,
     conflicts: u64,
     accesses: u64,
+    /// Bank the previous burst ended on (conflict detection state).
+    last_end_bank: Option<usize>,
+    /// Reused per-burst distribution buffer (no allocation per access).
+    per_bank_scratch: Vec<u64>,
 }
 
 /// Summary of bank activity for a query.
@@ -71,6 +75,8 @@ impl DramBanks {
             words_per_bank: vec![0; num_banks],
             conflicts: 0,
             accesses: 0,
+            last_end_bank: None,
+            per_bank_scratch: vec![0; num_banks],
         }
     }
 
@@ -83,6 +89,13 @@ impl DramBanks {
     /// Number of banks.
     pub fn num_banks(&self) -> usize {
         self.num_banks
+    }
+
+    /// Per-access latency in cycles — also the extra cost a bank conflict
+    /// adds, which is how [`crate::DramArbiter`] converts conflict counts
+    /// into conflict cycles.
+    pub fn read_latency(&self) -> u64 {
+        self.read_latency
     }
 
     /// The bank a word address maps to under the configured interleaving.
@@ -99,41 +112,44 @@ impl DramBanks {
     /// returns its cost in cycles. Bursts that span several banks overlap
     /// their transfers: the cost is the largest per-bank share plus one
     /// latency, matching a shell that issues the per-bank requests in
-    /// parallel. Consecutive calls that start on the bank the previous call
-    /// ended on are charged one extra latency (a bank conflict).
+    /// parallel. A burst that starts on the bank the *previous* burst ended
+    /// on is charged one extra latency (a bank conflict: the row buffer is
+    /// still busy draining).
     pub fn burst_cost(&mut self, start_word: u64, words: u64) -> u64 {
         if words == 0 {
             return 0;
         }
         self.accesses += 1;
         let start_bank = self.bank_of(start_word);
-        // Distribute the words over banks stripe by stripe.
-        let mut per_bank = vec![0u64; self.num_banks];
+        // Distribute the words over banks stripe by stripe (reused scratch —
+        // this sits on the arbiter's per-refill path).
+        self.per_bank_scratch.iter_mut().for_each(|w| *w = 0);
         let mut remaining = words;
         let mut addr = start_word;
         while remaining > 0 {
             let bank = self.bank_of(addr);
             let stripe_off = addr % self.stripe_words;
             let in_stripe = (self.stripe_words - stripe_off).min(remaining);
-            per_bank[bank] += in_stripe;
+            self.per_bank_scratch[bank] += in_stripe;
             self.words_per_bank[bank] += in_stripe;
             addr += in_stripe;
             remaining -= in_stripe;
         }
-        let max_share = per_bank.iter().copied().max().unwrap_or(0);
+        let max_share = self.per_bank_scratch.iter().copied().max().unwrap_or(0);
         let mut cost = self.read_latency + max_share.div_ceil(self.burst_words_per_cycle);
 
-        // Conflict: this burst starts on the same bank the previous one ended
-        // on (tracked by checking the previously-touched last bank).
-        if self.accesses > 1 && start_bank == self.last_bank_touched(start_word, words) {
+        if self.last_end_bank == Some(start_bank) {
             self.conflicts += 1;
             cost += self.read_latency;
         }
+        self.last_end_bank = Some(self.bank_of(start_word + words - 1));
         cost
     }
 
-    fn last_bank_touched(&self, start_word: u64, words: u64) -> usize {
-        self.bank_of(start_word + words.saturating_sub(1))
+    /// Number of bank conflicts recorded so far (cheaper than a full
+    /// [`DramBanks::report`] on the arbiter's per-refill path).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
     }
 
     /// Report of the activity so far.
@@ -151,6 +167,7 @@ impl DramBanks {
         self.words_per_bank.iter_mut().for_each(|w| *w = 0);
         self.conflicts = 0;
         self.accesses = 0;
+        self.last_end_bank = None;
     }
 }
 

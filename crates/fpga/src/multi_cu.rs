@@ -23,11 +23,12 @@
 //! [`max_compute_units`] is the resource check for how many CUs fit the card.
 
 use crate::arbiter::{ArbiterHandle, DramArbiter};
+use crate::banks::{DramBanks, Interleaving};
 use crate::config::DeviceConfig;
 use crate::device::Device;
 use crate::resources::{ModuleCosts, OnChipAreas, ResourceBudget, ResourceEstimate};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Configuration of a multi-CU deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -170,14 +171,64 @@ pub struct CuCluster {
     device_config: DeviceConfig,
     multi_cu: MultiCuConfig,
     arbiter: Arc<DramArbiter>,
+    /// CU lease table (`true` = checked out): concurrent jobs reserve a CU
+    /// through [`CuCluster::checkout`] so no two ever alias one device slot.
+    leased: Mutex<Vec<bool>>,
+    /// Woken when a lease is returned.
+    returned: Condvar,
 }
 
 impl CuCluster {
     /// Builds a cluster of `multi_cu.compute_units` CUs with the given
-    /// per-device profile.
+    /// per-device profile. The shared arbiter routes every refill through a
+    /// U200-style 4-bank round-robin interleaving map (stripe width and
+    /// latencies from the device profile), so per-bank conflict accounting is
+    /// available in [`DramArbiter::stats`] next to the bandwidth-sharing law.
     pub fn new(device_config: DeviceConfig, multi_cu: MultiCuConfig) -> Self {
-        let arbiter = Arc::new(DramArbiter::new(multi_cu.per_cu_bandwidth_share));
-        CuCluster { device_config, multi_cu, arbiter }
+        let banks = DramBanks::new(
+            4,
+            512,
+            device_config.dram_read_latency,
+            device_config.dram_burst_words_per_cycle,
+            Interleaving::RoundRobin,
+        );
+        let arbiter = Arc::new(DramArbiter::with_banks(multi_cu.per_cu_bandwidth_share, banks));
+        let cus = multi_cu.compute_units.max(1);
+        CuCluster {
+            device_config,
+            multi_cu,
+            arbiter,
+            leased: Mutex::new(vec![false; cus]),
+            returned: Condvar::new(),
+        }
+    }
+
+    /// Reserves a free compute unit, blocking until one is returned. The
+    /// lease is exclusive: while it lives, no other `checkout` can hand out
+    /// the same CU, so concurrent jobs never alias a device. Dropping the
+    /// lease checks the CU back in.
+    pub fn checkout(&self) -> CuLease<'_> {
+        let mut leased = self.leased.lock().expect("lease table poisoned");
+        loop {
+            if let Some(cu) = leased.iter().position(|taken| !taken) {
+                leased[cu] = true;
+                return CuLease { cluster: self, cu };
+            }
+            leased = self.returned.wait(leased).expect("lease table poisoned");
+        }
+    }
+
+    /// Non-blocking [`CuCluster::checkout`]: `None` when every CU is leased.
+    pub fn try_checkout(&self) -> Option<CuLease<'_>> {
+        let mut leased = self.leased.lock().expect("lease table poisoned");
+        let cu = leased.iter().position(|taken| !taken)?;
+        leased[cu] = true;
+        Some(CuLease { cluster: self, cu })
+    }
+
+    /// Number of CUs currently checked out.
+    pub fn leased_cus(&self) -> usize {
+        self.leased.lock().expect("lease table poisoned").iter().filter(|&&t| t).count()
     }
 
     /// Number of compute units in the cluster.
@@ -211,6 +262,37 @@ impl CuCluster {
         let mut device = Device::new(self.device_config.clone());
         device.attach_arbiter(ArbiterHandle::new(Arc::clone(&self.arbiter), cu));
         device
+    }
+}
+
+/// An exclusive claim on one compute unit of a [`CuCluster`], handed out by
+/// [`CuCluster::checkout`] and returned on drop. Holding the lease is the
+/// only sanctioned way for concurrent jobs to obtain devices: two live leases
+/// always name different CUs.
+#[derive(Debug)]
+pub struct CuLease<'a> {
+    cluster: &'a CuCluster,
+    cu: usize,
+}
+
+impl CuLease<'_> {
+    /// The compute unit this lease reserves.
+    pub fn cu(&self) -> usize {
+        self.cu
+    }
+
+    /// Instantiates a fresh device for the leased CU (zeroed clock and
+    /// counters, own BRAM, shared arbiter) — see [`CuCluster::device_for_cu`].
+    pub fn device(&self) -> Device {
+        self.cluster.device_for_cu(self.cu)
+    }
+}
+
+impl Drop for CuLease<'_> {
+    fn drop(&mut self) {
+        let mut leased = self.cluster.leased.lock().expect("lease table poisoned");
+        leased[self.cu] = false;
+        self.cluster.returned.notify_one();
     }
 }
 
@@ -402,6 +484,55 @@ mod tests {
     fn cluster_rejects_out_of_range_cu() {
         let cluster = CuCluster::new(DeviceConfig::alveo_u200(), MultiCuConfig::default());
         let _ = cluster.device_for_cu(1);
+    }
+
+    #[test]
+    fn leases_are_exclusive_and_returned_on_drop() {
+        let cluster = CuCluster::new(
+            DeviceConfig::alveo_u200(),
+            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5 },
+        );
+        let a = cluster.checkout();
+        let b = cluster.checkout();
+        assert_ne!(a.cu(), b.cu(), "two live leases never alias a CU");
+        assert_eq!(cluster.leased_cus(), 2);
+        assert!(cluster.try_checkout().is_none(), "no third CU to lease");
+        let freed = a.cu();
+        drop(a);
+        assert_eq!(cluster.leased_cus(), 1);
+        let c = cluster.try_checkout().expect("returned CU is leasable again");
+        assert_eq!(c.cu(), freed);
+        // The lease builds devices for its own CU.
+        assert_eq!(c.device().cycles(), 0);
+    }
+
+    #[test]
+    fn blocking_checkout_waits_for_a_returned_lease() {
+        let cluster =
+            Arc::new(CuCluster::new(DeviceConfig::alveo_u200(), MultiCuConfig::default()));
+        let lease = cluster.checkout();
+        std::thread::scope(|scope| {
+            let cluster = Arc::clone(&cluster);
+            let waiter = scope.spawn(move || cluster.checkout().cu());
+            // Give the waiter a moment to park, then return the only CU.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(lease);
+            assert_eq!(waiter.join().expect("waiter panicked"), 0);
+        });
+    }
+
+    #[test]
+    fn cluster_arbiter_meters_bank_activity() {
+        let cluster = CuCluster::new(
+            DeviceConfig::alveo_u200(),
+            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5 },
+        );
+        assert!(cluster.arbiter().has_banks());
+        let mut device = cluster.device_for_cu(0);
+        device.charge_read(crate::MemoryKind::Dram, 2048);
+        let report = cluster.arbiter().bank_report().expect("banks attached");
+        assert_eq!(report.accesses, 1);
+        assert!(report.max_bank_words >= 512, "a 2048-word burst spans all four 512-word stripes");
     }
 
     #[test]

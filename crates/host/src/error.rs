@@ -19,6 +19,12 @@ pub enum HostError {
     DeviceCapacity(String),
     /// No graph has been loaded into the session yet.
     NoGraphLoaded,
+    /// The runtime's admission queue is full; the submission was rejected
+    /// instead of blocking (backpressure — retry later or shed load).
+    QueueFull,
+    /// The job was cancelled (its ticket was dropped or explicitly cancelled,
+    /// or the runtime shut down) before it produced a result.
+    Cancelled,
 }
 
 impl fmt::Display for HostError {
@@ -30,6 +36,8 @@ impl fmt::Display for HostError {
             HostError::PayloadCorrupt(msg) => write!(f, "corrupt device payload: {msg}"),
             HostError::DeviceCapacity(msg) => write!(f, "device capacity exceeded: {msg}"),
             HostError::NoGraphLoaded => write!(f, "no graph loaded in this session"),
+            HostError::QueueFull => write!(f, "admission queue full: submission rejected"),
+            HostError::Cancelled => write!(f, "job cancelled before completion"),
         }
     }
 }
@@ -49,6 +57,8 @@ mod tests {
             (HostError::PayloadCorrupt("x".into()), "corrupt device payload"),
             (HostError::DeviceCapacity("x".into()), "device capacity exceeded"),
             (HostError::NoGraphLoaded, "no graph loaded"),
+            (HostError::QueueFull, "admission queue full"),
+            (HostError::Cancelled, "cancelled"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

@@ -14,11 +14,15 @@
 //! * [`binfmt`] — the versioned, checksummed binary layout of the prepared
 //!   query payload written to device DRAM.
 //! * [`dma`] — descriptor-based DMA framing of a payload over the PCIe model.
-//! * [`session`] — a long-lived host session: one loaded graph, many queries,
-//!   per-query records and aggregate statistics. Results can be collected or
-//!   streamed through a caller-supplied [`pefp_graph::PathSink`]
-//!   (`run_query_streaming`), with emitted-vs-materialised counts tracked in
-//!   [`SessionStats`].
+//! * [`runtime`] — the concurrent [`HostRuntime`]: a persistent worker pool
+//!   (one worker per simulated CU) behind a bounded, session-fair admission
+//!   queue, sharing one `(s, t, k)`-keyed prepared-query cache across every
+//!   attached session. Jobs complete through cancellable [`JobTicket`]s.
+//! * [`session`] — a per-client [`HostSession`] handle over a runtime (a
+//!   private single-CU one by default): per-query records and aggregate
+//!   statistics. Results can be collected or streamed through a
+//!   caller-supplied [`pefp_graph::PathSink`] (`run_query_streaming`), with
+//!   emitted-vs-materialised counts tracked in [`SessionStats`].
 //! * [`scheduler`] — batch scheduling of many queries into a single transfer
 //!   (the methodology of Section VII-A), with optional parallel host-side
 //!   preprocessing, a streaming per-path callback form
@@ -45,6 +49,7 @@ pub mod dma;
 pub mod error;
 pub mod loader;
 pub mod query;
+pub mod runtime;
 pub mod scheduler;
 pub mod server;
 pub mod session;
@@ -54,6 +59,10 @@ pub use dma::{DmaEngine, DmaTransferReport};
 pub use error::HostError;
 pub use loader::{load_dataset, load_edge_list_file, GraphHandle};
 pub use query::QueryRequest;
+pub use runtime::{
+    BatchTicket, HostRuntime, JobTicket, RuntimeBatchOutcome, RuntimeConfig, RuntimeStats,
+    SessionId,
+};
 pub use scheduler::{BatchOutcome, BatchScheduler, MeasuredMultiCu, SchedulerConfig};
-pub use server::{handle_line, serve, Reply};
+pub use server::{handle_line, serve, serve_shared, Reply};
 pub use session::{HostSession, QueryOutcome, SessionConfig, SessionStats};

@@ -1,0 +1,1354 @@
+//! The concurrent host runtime: one shared CU cluster, many sessions.
+//!
+//! The paper drives a single FPGA kernel from one CPU process; a production
+//! deployment multiplexes many tenants onto one card. [`HostRuntime`] is that
+//! multiplexer: a long-lived object owning the loaded graph, a **shared**
+//! `(s, t, k)`-keyed [`pefp_core::PreparedQuery`] LRU (lock-striped, so
+//! sessions asking the same questions share preprocessing), and a persistent
+//! pool of worker threads — one per simulated compute unit, created once —
+//! fed by a bounded admission queue.
+//!
+//! ```text
+//!  client A ──┐ submit                    ┌── worker 0 ── CU 0 ─┐
+//!  client B ──┼──► admission queue ──────►├── worker 1 ── CU 1 ─┼─ shared
+//!  client C ──┘  (bounded, fair:          └── worker n ── CU n ─┘  DRAM
+//!                 round-robin across                               arbiter
+//!                 sessions, LPT within)
+//! ```
+//!
+//! Scheduling is fair in two dimensions: the queue serves **sessions
+//! round-robin** (a tenant flooding the queue cannot starve the others) and
+//! **longest-estimated-first within a session** (the LPT policy the batch
+//! scheduler uses, so a session's heavyweight queries start early). The queue
+//! is bounded: [`HostRuntime::submit_query`] returns
+//! [`HostError::QueueFull`] instead of blocking forever — backpressure the
+//! caller can act on.
+//!
+//! Work arrives as **jobs** and completes through [`JobTicket`]s. Dropping a
+//! ticket cancels its job: queued jobs are skipped, and a running job's
+//! engine observes the flipped [`pefp_core::CancelToken`] at its next batch
+//! boundary and stops. Streaming jobs deliver result paths through a bounded
+//! channel, so a slow client backpressures its own query without stalling the
+//! other compute units.
+//!
+//! [`crate::HostSession`] is a thin per-client handle over this runtime; the
+//! single-session entry points (`run_query`, `serve`, …) build a private
+//! one-CU runtime, so the paper-shaped workflow is the degenerate case of the
+//! multi-tenant one.
+
+use crate::binfmt::payload_bytes;
+use crate::dma::DmaEngine;
+use crate::error::HostError;
+use crate::loader::GraphHandle;
+use crate::query::QueryRequest;
+use crate::scheduler::BatchQueryResult;
+use crate::session::QueryOutcome;
+use pefp_core::{
+    plan_query, prepare_with, run_prepared_on_device, CancelToken, PefpVariant, PrepareContext,
+    PreparedQuery,
+};
+use pefp_fpga::{CuCluster, CuLease, DeviceConfig, MultiCuConfig, Pcie};
+use pefp_graph::sink::{CollectSink, CountingSink, FnSink};
+use pefp_graph::VertexId;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Identifies one client session within a runtime. Handed out by
+/// [`HostRuntime::register_session`]; the admission queue uses it for
+/// round-robin fairness and the virtual clock for per-tenant serialisation.
+pub type SessionId = u64;
+
+/// Configuration of a [`HostRuntime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Per-CU device profile.
+    pub device: DeviceConfig,
+    /// PEFP variant every job runs.
+    pub variant: PefpVariant,
+    /// Size engine options per query with the host-side planner instead of
+    /// the variant's fixed defaults.
+    pub use_planner: bool,
+    /// Number of simulated compute units — also the number of persistent
+    /// worker threads (one per CU, created once at launch).
+    pub compute_units: usize,
+    /// Fraction of the card's DRAM bandwidth one CU can absorb alone (the
+    /// shared arbiter's saturation law; see [`pefp_fpga::DramArbiter`]).
+    pub per_cu_bandwidth_share: f64,
+    /// Capacity of the bounded admission queue. Submissions beyond it fail
+    /// with [`HostError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Total capacity of the shared `(s, t, k)`-keyed prepared-query LRU
+    /// (0 disables caching).
+    pub shared_cache_capacity: usize,
+    /// Number of independently locked stripes the shared cache is split into.
+    /// More stripes mean less lock contention but per-stripe (not global) LRU
+    /// eviction; 1 reproduces the exact single-map LRU of a private session.
+    pub cache_stripes: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            device: DeviceConfig::alveo_u200(),
+            variant: PefpVariant::Full,
+            use_planner: false,
+            compute_units: 1,
+            per_cu_bandwidth_share: MultiCuConfig::default().per_cu_bandwidth_share,
+            queue_capacity: 1024,
+            shared_cache_capacity: 128,
+            cache_stripes: 8,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// The single-session shape used when a [`crate::HostSession`] owns its
+    /// own private runtime: one CU, one cache stripe (exact LRU semantics),
+    /// and the session's device/variant/cache settings.
+    pub fn for_session(config: &crate::session::SessionConfig) -> Self {
+        RuntimeConfig {
+            device: config.device.clone(),
+            variant: config.variant,
+            use_planner: config.use_planner,
+            compute_units: 1,
+            shared_cache_capacity: config.prepared_cache_capacity,
+            cache_stripes: 1,
+            ..RuntimeConfig::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job tickets
+// ---------------------------------------------------------------------------
+
+/// Shared completion state between a submitted job and its ticket.
+#[derive(Debug)]
+struct TicketInner<T> {
+    slot: Mutex<Option<Result<T, HostError>>>,
+    done: Condvar,
+    cancel: Arc<AtomicBool>,
+}
+
+impl<T> TicketInner<T> {
+    fn new() -> Arc<Self> {
+        Arc::new(TicketInner {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+            cancel: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    fn complete(&self, result: Result<T, HostError>) {
+        let mut slot = self.slot.lock().expect("ticket poisoned");
+        *slot = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// A claim on the result of one submitted job.
+///
+/// Await the result with [`JobTicket::wait`]. Dropping the ticket without
+/// waiting **cancels** the job: if it is still queued it is skipped, and if
+/// it is running the engine stops at its next batch boundary — the abandoned
+/// query stops burning its compute unit.
+#[derive(Debug)]
+pub struct JobTicket<T> {
+    inner: Arc<TicketInner<T>>,
+    /// Whether dropping this ticket should cancel the job (cleared by
+    /// `wait`, which consumes the ticket deliberately).
+    armed: bool,
+}
+
+impl<T> JobTicket<T> {
+    /// Blocks until the job completes and returns its result.
+    pub fn wait(mut self) -> Result<T, HostError> {
+        self.armed = false;
+        let mut slot = self.inner.slot.lock().expect("ticket poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.inner.done.wait(slot).expect("ticket poisoned");
+        }
+    }
+
+    /// Requests cancellation without consuming the ticket: a queued job is
+    /// skipped, a running job stops at its next batch boundary (its result so
+    /// far is still delivered).
+    pub fn cancel(&self) {
+        self.inner.cancel.store(true, Ordering::Release);
+    }
+
+    /// Whether the job has already produced its result.
+    pub fn is_finished(&self) -> bool {
+        self.inner.slot.lock().expect("ticket poisoned").is_some()
+    }
+}
+
+impl<T> Drop for JobTicket<T> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.inner.cancel.store(true, Ordering::Release);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Jobs and the admission queue
+// ---------------------------------------------------------------------------
+
+/// How a job delivers its result paths.
+enum JobKind {
+    /// Materialise the paths into the outcome (`QueryOutcome::paths`).
+    Collect,
+    /// Count only.
+    Count,
+    /// Push every path (original graph ids) into a bounded channel as it is
+    /// found. A full channel backpressures only this job's CU; a dropped
+    /// receiver terminates the enumeration.
+    Stream(SyncSender<Vec<VertexId>>),
+}
+
+/// One unit of work flowing through the admission queue.
+struct Job {
+    session: SessionId,
+    request: QueryRequest,
+    kind: JobKind,
+    ticket: Arc<TicketInner<QueryOutcome>>,
+}
+
+/// A job queued with its scheduling metadata.
+struct QueuedJob {
+    seq: u64,
+    estimate: u64,
+    job: Job,
+}
+
+/// The jobs one session currently has queued.
+struct SessionLane {
+    session: SessionId,
+    jobs: Vec<QueuedJob>,
+}
+
+struct QueueState {
+    capacity: usize,
+    len: usize,
+    next_seq: u64,
+    /// Lanes in round-robin order; the front lane is served next.
+    lanes: VecDeque<SessionLane>,
+    shutdown: bool,
+}
+
+/// Bounded MPMC admission queue with per-session fairness: sessions are
+/// served round-robin, and within a session the job with the largest
+/// estimate runs first (LPT). `submit` never blocks — a full queue is a
+/// [`HostError::QueueFull`] the caller handles.
+struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    job_ready: Condvar,
+}
+
+impl AdmissionQueue {
+    fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(QueueState {
+                capacity: capacity.max(1),
+                len: 0,
+                next_seq: 0,
+                lanes: VecDeque::new(),
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a group of jobs atomically (all admitted or none, so a batch
+    /// cannot be half-accepted). Returns `QueueFull` when the group does not
+    /// fit the remaining capacity — but first reclaims the slots of queued
+    /// jobs whose tickets were already cancelled, so dead work cannot wedge
+    /// the queue shut. On success, returns how many cancelled jobs were
+    /// pruned (their tickets are completed with [`HostError::Cancelled`]).
+    fn submit_many(&self, jobs: Vec<(Job, u64)>) -> Result<u64, HostError> {
+        let mut state = self.state.lock().expect("admission queue poisoned");
+        if state.shutdown {
+            return Err(HostError::Cancelled);
+        }
+        let mut pruned = 0u64;
+        if state.len + jobs.len() > state.capacity {
+            pruned = Self::prune_cancelled(&mut state);
+            if state.len + jobs.len() > state.capacity {
+                return Err(HostError::QueueFull);
+            }
+        }
+        for (job, estimate) in jobs {
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            let queued = QueuedJob { seq, estimate, job };
+            match state.lanes.iter_mut().find(|lane| lane.session == queued.job.session) {
+                Some(lane) => lane.jobs.push(queued),
+                None => state
+                    .lanes
+                    .push_back(SessionLane { session: queued.job.session, jobs: vec![queued] }),
+            }
+            state.len += 1;
+            self.job_ready.notify_one();
+        }
+        Ok(pruned)
+    }
+
+    fn submit(&self, job: Job, estimate: u64) -> Result<u64, HostError> {
+        self.submit_many(vec![(job, estimate)])
+    }
+
+    /// Drops every queued job whose ticket was cancelled, completing its
+    /// ticket with [`HostError::Cancelled`], and returns how many were
+    /// removed. The ticket mutex is a leaf lock (never held while taking the
+    /// queue lock), so completing under the queue lock cannot deadlock.
+    fn prune_cancelled(state: &mut QueueState) -> u64 {
+        let mut removed = 0u64;
+        for lane in state.lanes.iter_mut() {
+            lane.jobs.retain(|queued| {
+                if queued.job.ticket.cancel.load(Ordering::Acquire) {
+                    queued.job.ticket.complete(Err(HostError::Cancelled));
+                    removed += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        state.lanes.retain(|lane| !lane.jobs.is_empty());
+        state.len -= removed as usize;
+        removed
+    }
+
+    /// Takes the next job: the front lane's largest-estimate entry (ties to
+    /// the earliest submission), after which the lane rotates to the back.
+    /// Blocks while the queue is empty; returns `None` on shutdown.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("admission queue poisoned");
+        loop {
+            if state.shutdown {
+                return None;
+            }
+            if state.len > 0 {
+                let mut lane = state.lanes.pop_front().expect("len > 0 implies a lane");
+                let pick = lane
+                    .jobs
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, j)| (j.estimate, std::cmp::Reverse(j.seq)))
+                    .map(|(i, _)| i)
+                    .expect("lanes are never empty");
+                let queued = lane.jobs.swap_remove(pick);
+                if !lane.jobs.is_empty() {
+                    state.lanes.push_back(lane);
+                }
+                state.len -= 1;
+                return Some(queued.job);
+            }
+            state = self.job_ready.wait(state).expect("admission queue poisoned");
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.state.lock().expect("admission queue poisoned").len
+    }
+
+    /// Stops the queue: wakes every worker (which then exit) and returns the
+    /// jobs still queued so their tickets can be failed.
+    fn shutdown(&self) -> Vec<Job> {
+        let mut state = self.state.lock().expect("admission queue poisoned");
+        state.shutdown = true;
+        state.len = 0;
+        let drained =
+            state.lanes.drain(..).flat_map(|lane| lane.jobs.into_iter().map(|q| q.job)).collect();
+        self.job_ready.notify_all();
+        drained
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared prepared-query cache (lock-striped LRU)
+// ---------------------------------------------------------------------------
+
+/// One stripe: an `(s, t, k)`-keyed LRU with its own lock.
+#[derive(Debug)]
+struct CacheShard {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<QueryRequest, (u64, Arc<PreparedQuery>)>,
+}
+
+impl CacheShard {
+    fn get(&mut self, key: &QueryRequest) -> Option<Arc<PreparedQuery>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(stamp, prep)| {
+            *stamp = tick;
+            Arc::clone(prep)
+        })
+    }
+
+    fn insert(&mut self, key: QueryRequest, prep: Arc<PreparedQuery>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(oldest) =
+                self.entries.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| *k)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (self.tick, prep));
+    }
+}
+
+/// The shared prepared-query LRU: `(s, t, k)` keys hashed onto independently
+/// locked stripes, so concurrent sessions rarely contend on the same lock.
+/// Entries are `Arc`s over O(touched)-sized subgraphs, so even a full cache
+/// stays proportional to the served working set.
+#[derive(Debug)]
+struct SharedPreparedCache {
+    shards: Vec<Mutex<CacheShard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedPreparedCache {
+    fn new(capacity: usize, stripes: usize) -> Self {
+        let stripes = if capacity == 0 { 1 } else { stripes.clamp(1, capacity) };
+        let base = capacity / stripes;
+        let remainder = capacity % stripes;
+        let shards = (0..stripes)
+            .map(|i| {
+                let cap = base + usize::from(i < remainder);
+                Mutex::new(CacheShard { capacity: cap, tick: 0, entries: HashMap::new() })
+            })
+            .collect();
+        SharedPreparedCache { shards, hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+    }
+
+    fn shard_of(&self, key: &QueryRequest) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    fn get(&self, key: &QueryRequest) -> Option<Arc<PreparedQuery>> {
+        let hit = self.shards[self.shard_of(key)].lock().expect("cache shard poisoned").get(key);
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    fn insert(&self, key: QueryRequest, prep: Arc<PreparedQuery>) {
+        self.shards[self.shard_of(&key)].lock().expect("cache shard poisoned").insert(key, prep);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").entries.len()).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime statistics
+// ---------------------------------------------------------------------------
+
+/// Live counters of a runtime (atomics updated by workers).
+#[derive(Debug)]
+struct RuntimeCounters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    queue_full: AtomicU64,
+    cancelled: AtomicU64,
+    per_cu_busy_cycles: Vec<AtomicU64>,
+    per_cu_jobs: Vec<AtomicU64>,
+    next_session: AtomicU64,
+}
+
+/// Per-tenant virtual time: each session's jobs are serialised on the
+/// session's own clock (a tenant is a closed loop), and each job is placed on
+/// the **virtually least-loaded CU**, occupying
+/// `max(session ready, CU free) .. + cycles`. Charging the virtual CU rather
+/// than the physical one matters for the same reason the batch scheduler's
+/// dispatch queue gates pops on simulated load: on a busy or small host the
+/// OS may run many jobs on few threads back to back, and binding virtual
+/// time to that wall assignment would collide tenants onto one virtual CU
+/// and corrupt the makespan. The largest completion time is the runtime's
+/// simulated makespan — a machine-independent throughput denominator
+/// (queries / makespan) for the `host_concurrency` bench and gate.
+#[derive(Debug)]
+struct VirtualClock {
+    session_ready: HashMap<SessionId, u64>,
+    cu_free: Vec<u64>,
+    makespan: u64,
+    total_cycles: u64,
+}
+
+/// A point-in-time snapshot of a runtime's behaviour, served by
+/// [`HostRuntime::stats`] (and the server's `STATS` command, as JSON).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeStats {
+    /// Number of compute units (= persistent workers).
+    pub compute_units: usize,
+    /// Jobs currently waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Jobs accepted into the queue so far.
+    pub submitted: u64,
+    /// Jobs that ran to a result (including early-terminated ones).
+    pub completed: u64,
+    /// Jobs rejected at submission (validation) or staging (capacity).
+    pub rejected: u64,
+    /// Submissions refused with [`HostError::QueueFull`].
+    pub queue_full_rejections: u64,
+    /// Jobs cancelled before or during execution.
+    pub cancelled_jobs: u64,
+    /// Shared-cache lookups served from the cache.
+    pub cache_hits: u64,
+    /// Shared-cache lookups that had to preprocess.
+    pub cache_misses: u64,
+    /// Prepared queries currently resident in the shared cache.
+    pub cached_prepared_queries: usize,
+    /// Simulated busy cycles per CU (contention stalls included), in the
+    /// virtual placement domain — the same clock the makespan lives in, so
+    /// `busy / makespan` is a true utilisation fraction.
+    pub per_cu_busy_cycles: Vec<u64>,
+    /// Jobs placed per CU (virtual placement domain).
+    pub per_cu_jobs: Vec<u64>,
+    /// Virtual-time makespan over all completed jobs (see the queueing model
+    /// in the module docs): total device work serialised per session and per
+    /// CU. `total_device_cycles / makespan` ≈ achieved CU parallelism.
+    pub virtual_makespan_cycles: u64,
+    /// Sum of all completed jobs' device cycles.
+    pub total_device_cycles: u64,
+}
+
+impl RuntimeStats {
+    /// Fraction of cache lookups served from the shared cache (0 when no
+    /// lookup happened yet).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Per-CU utilisation over the virtual makespan (busy cycles divided by
+    /// the makespan; all zeros before any job completed).
+    pub fn per_cu_utilisation(&self) -> Vec<f64> {
+        if self.virtual_makespan_cycles == 0 {
+            return vec![0.0; self.per_cu_busy_cycles.len()];
+        }
+        self.per_cu_busy_cycles
+            .iter()
+            .map(|&busy| busy as f64 / self.virtual_makespan_cycles as f64)
+            .collect()
+    }
+}
+
+impl pefp_workload::ToJson for RuntimeStats {
+    fn to_json(&self) -> pefp_workload::JsonValue {
+        use pefp_workload::JsonValue;
+        JsonValue::object(vec![
+            ("compute_units", JsonValue::Number(self.compute_units as f64)),
+            ("queue_depth", JsonValue::Number(self.queue_depth as f64)),
+            ("queue_capacity", JsonValue::Number(self.queue_capacity as f64)),
+            ("submitted", JsonValue::Number(self.submitted as f64)),
+            ("completed", JsonValue::Number(self.completed as f64)),
+            ("rejected", JsonValue::Number(self.rejected as f64)),
+            ("queue_full_rejections", JsonValue::Number(self.queue_full_rejections as f64)),
+            ("cancelled_jobs", JsonValue::Number(self.cancelled_jobs as f64)),
+            ("cache_hits", JsonValue::Number(self.cache_hits as f64)),
+            ("cache_misses", JsonValue::Number(self.cache_misses as f64)),
+            ("cache_hit_rate", JsonValue::Number(self.cache_hit_rate())),
+            ("cached_prepared_queries", JsonValue::Number(self.cached_prepared_queries as f64)),
+            (
+                "per_cu_busy_cycles",
+                JsonValue::numbers(
+                    &self.per_cu_busy_cycles.iter().map(|&c| c as f64).collect::<Vec<_>>(),
+                ),
+            ),
+            (
+                "per_cu_jobs",
+                JsonValue::numbers(&self.per_cu_jobs.iter().map(|&c| c as f64).collect::<Vec<_>>()),
+            ),
+            ("per_cu_utilisation", JsonValue::numbers(&self.per_cu_utilisation())),
+            ("virtual_makespan_cycles", JsonValue::Number(self.virtual_makespan_cycles as f64)),
+            ("total_device_cycles", JsonValue::Number(self.total_device_cycles as f64)),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The runtime
+// ---------------------------------------------------------------------------
+
+/// Everything the worker threads share.
+struct RuntimeShared {
+    config: RuntimeConfig,
+    graph: GraphHandle,
+    cluster: CuCluster,
+    queue: AdmissionQueue,
+    cache: SharedPreparedCache,
+    counters: RuntimeCounters,
+    virt: Mutex<VirtualClock>,
+}
+
+/// The long-lived multi-session host runtime. See the module docs for the
+/// architecture; construct with [`HostRuntime::launch`], hand
+/// [`crate::HostSession::attach`] handles to clients, and drop the last
+/// reference to shut the worker pool down.
+pub struct HostRuntime {
+    shared: Arc<RuntimeShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for HostRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostRuntime")
+            .field("compute_units", &self.shared.config.compute_units)
+            .field("queue_depth", &self.shared.queue.depth())
+            .finish()
+    }
+}
+
+impl HostRuntime {
+    /// Builds the runtime around `graph` and starts its persistent worker
+    /// pool (one thread per compute unit, created once — jobs never pay a
+    /// thread spawn).
+    pub fn launch(graph: GraphHandle, config: RuntimeConfig) -> Arc<HostRuntime> {
+        let cus = config.compute_units.max(1);
+        let cluster = CuCluster::new(
+            config.device.clone(),
+            MultiCuConfig {
+                compute_units: cus,
+                per_cu_bandwidth_share: config.per_cu_bandwidth_share,
+            },
+        );
+        let shared = Arc::new(RuntimeShared {
+            queue: AdmissionQueue::new(config.queue_capacity),
+            cache: SharedPreparedCache::new(config.shared_cache_capacity, config.cache_stripes),
+            counters: RuntimeCounters {
+                submitted: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                queue_full: AtomicU64::new(0),
+                cancelled: AtomicU64::new(0),
+                per_cu_busy_cycles: (0..cus).map(|_| AtomicU64::new(0)).collect(),
+                per_cu_jobs: (0..cus).map(|_| AtomicU64::new(0)).collect(),
+                next_session: AtomicU64::new(0),
+            },
+            virt: Mutex::new(VirtualClock {
+                session_ready: HashMap::new(),
+                cu_free: vec![0; cus],
+                makespan: 0,
+                total_cycles: 0,
+            }),
+            cluster,
+            graph,
+            config,
+        });
+        let workers = (0..cus)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        Arc::new(HostRuntime { shared, workers: Mutex::new(workers) })
+    }
+
+    /// The graph this runtime serves.
+    pub fn graph(&self) -> &GraphHandle {
+        &self.shared.graph
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.shared.config
+    }
+
+    /// Number of compute units (= worker threads).
+    pub fn compute_units(&self) -> usize {
+        self.shared.config.compute_units.max(1)
+    }
+
+    /// Registers a new client session and returns its id.
+    pub fn register_session(&self) -> SessionId {
+        self.shared.counters.next_session.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Prepared queries currently resident in the shared cache.
+    pub fn cached_prepared_queries(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// Jobs currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// Snapshot of the runtime's counters.
+    pub fn stats(&self) -> RuntimeStats {
+        let c = &self.shared.counters;
+        let virt = self.shared.virt.lock().expect("virtual clock poisoned");
+        RuntimeStats {
+            compute_units: self.compute_units(),
+            queue_depth: self.shared.queue.depth(),
+            queue_capacity: self.shared.config.queue_capacity.max(1),
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            queue_full_rejections: c.queue_full.load(Ordering::Relaxed),
+            cancelled_jobs: c.cancelled.load(Ordering::Relaxed),
+            cache_hits: self.shared.cache.hits.load(Ordering::Relaxed),
+            cache_misses: self.shared.cache.misses.load(Ordering::Relaxed),
+            cached_prepared_queries: self.shared.cache.len(),
+            per_cu_busy_cycles: c
+                .per_cu_busy_cycles
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            per_cu_jobs: c.per_cu_jobs.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            virtual_makespan_cycles: virt.makespan,
+            total_device_cycles: virt.total_cycles,
+        }
+    }
+
+    /// Submits a query job. `collect` materialises result paths into the
+    /// outcome; otherwise they are only counted. Fails fast with
+    /// `QueryInvalid` (bad request) or [`HostError::QueueFull`]
+    /// (backpressure); staging errors (device capacity) arrive through the
+    /// ticket.
+    pub fn submit_query(
+        &self,
+        session: SessionId,
+        request: QueryRequest,
+        collect: bool,
+    ) -> Result<JobTicket<QueryOutcome>, HostError> {
+        let kind = if collect { JobKind::Collect } else { JobKind::Count };
+        self.submit(session, request, kind)
+    }
+
+    /// Submits a streaming query job: every result path (original graph ids)
+    /// is delivered through the returned bounded channel while the job runs.
+    /// A full channel backpressures only this job's CU; dropping the receiver
+    /// (or cancelling/dropping the ticket) terminates the enumeration at the
+    /// next emission or batch boundary.
+    pub fn submit_query_streaming(
+        &self,
+        session: SessionId,
+        request: QueryRequest,
+        channel_capacity: usize,
+    ) -> Result<(JobTicket<QueryOutcome>, Receiver<Vec<VertexId>>), HostError> {
+        let (tx, rx) = std::sync::mpsc::sync_channel(channel_capacity.max(1));
+        let ticket = self.submit(session, request, JobKind::Stream(tx))?;
+        Ok((ticket, rx))
+    }
+
+    /// Submits a whole batch as one fairness unit: the requests are
+    /// validated up front (any invalid request rejects the batch), duplicates
+    /// collapse to one execution, and the unique queries enter the admission
+    /// queue atomically — either the batch fits or `QueueFull` is returned
+    /// and nothing runs. Within the session the queue's LPT order lets the
+    /// heavyweight queries start first.
+    ///
+    /// One submission must fit [`RuntimeConfig::queue_capacity`]; a batch
+    /// with more unique queries than that can *never* be admitted atomically,
+    /// so callers should split it into capacity-sized waves (as
+    /// [`crate::HostSession::run_batch`] does) rather than retry on
+    /// `QueueFull`.
+    pub fn submit_batch(
+        &self,
+        session: SessionId,
+        requests: &[QueryRequest],
+    ) -> Result<BatchTicket, HostError> {
+        for request in requests {
+            if let Err(e) = request.validate(&self.shared.graph.csr) {
+                self.shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        }
+        let mut unique: Vec<QueryRequest> = Vec::new();
+        let mut slot_of = Vec::with_capacity(requests.len());
+        let mut index: HashMap<QueryRequest, usize> = HashMap::new();
+        for request in requests {
+            let slot = *index.entry(*request).or_insert_with(|| {
+                unique.push(*request);
+                unique.len() - 1
+            });
+            slot_of.push(slot);
+        }
+        let deduplicated = requests.len() - unique.len();
+
+        let mut jobs = Vec::with_capacity(unique.len());
+        let mut tickets = Vec::with_capacity(unique.len());
+        for request in &unique {
+            let ticket = TicketInner::new();
+            tickets.push(JobTicket { inner: Arc::clone(&ticket), armed: true });
+            jobs.push((
+                Job { session, request: *request, kind: JobKind::Count, ticket },
+                self.estimate(request),
+            ));
+        }
+        let n = jobs.len() as u64;
+        match self.shared.queue.submit_many(jobs) {
+            Ok(pruned) => {
+                self.shared.counters.cancelled.fetch_add(pruned, Ordering::Relaxed);
+                self.shared.counters.submitted.fetch_add(n, Ordering::Relaxed);
+                Ok(BatchTicket { tickets, requests: unique, slot_of, deduplicated })
+            }
+            Err(HostError::QueueFull) => {
+                self.shared.counters.queue_full.fetch_add(1, Ordering::Relaxed);
+                Err(HostError::QueueFull)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn submit(
+        &self,
+        session: SessionId,
+        request: QueryRequest,
+        kind: JobKind,
+    ) -> Result<JobTicket<QueryOutcome>, HostError> {
+        if let Err(e) = request.validate(&self.shared.graph.csr) {
+            self.shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        let inner = TicketInner::new();
+        let ticket = JobTicket { inner: Arc::clone(&inner), armed: true };
+        let job = Job { session, request, kind, ticket: inner };
+        match self.shared.queue.submit(job, self.estimate(&request)) {
+            Ok(pruned) => {
+                self.shared.counters.cancelled.fetch_add(pruned, Ordering::Relaxed);
+                self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(ticket)
+            }
+            Err(HostError::QueueFull) => {
+                self.shared.counters.queue_full.fetch_add(1, Ordering::Relaxed);
+                Err(HostError::QueueFull)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Cheap submission-time LPT estimate of a query's device work: the
+    /// source's fan-out times the hop budget. A proxy, not a prediction —
+    /// it only has to *rank* a session's queued jobs so the heavy ones start
+    /// early (the true cycle count is unknowable before preprocessing).
+    fn estimate(&self, request: &QueryRequest) -> u64 {
+        (self.shared.graph.csr.out_degree(request.s) as u64 + 1) * request.k as u64
+    }
+}
+
+impl Drop for HostRuntime {
+    fn drop(&mut self) {
+        for job in self.shared.queue.shutdown() {
+            job.ticket.complete(Err(HostError::Cancelled));
+        }
+        let workers = std::mem::take(&mut *self.workers.lock().expect("worker table poisoned"));
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// A claim on the results of a submitted batch.
+#[derive(Debug)]
+pub struct BatchTicket {
+    tickets: Vec<JobTicket<QueryOutcome>>,
+    requests: Vec<QueryRequest>,
+    slot_of: Vec<usize>,
+    deduplicated: usize,
+}
+
+impl BatchTicket {
+    /// Blocks until every query of the batch completed and assembles the
+    /// per-slot results (duplicates answered from their unique execution).
+    /// The first failing query fails the batch; the remaining tickets are
+    /// dropped, which cancels their jobs.
+    pub fn wait(self) -> Result<RuntimeBatchOutcome, HostError> {
+        let mut unique_rows = Vec::with_capacity(self.tickets.len());
+        let mut preprocess_millis = 0.0;
+        let mut transfer_millis = 0.0;
+        let mut device_millis = 0.0;
+        let mut cache_hits = 0u64;
+        for (ticket, request) in self.tickets.into_iter().zip(&self.requests) {
+            let outcome = ticket.wait()?;
+            preprocess_millis += outcome.preprocess_millis;
+            transfer_millis += outcome.transfer.total_millis;
+            device_millis += outcome.device_millis;
+            cache_hits += u64::from(outcome.cache_hit);
+            unique_rows.push(BatchQueryResult {
+                request: *request,
+                num_paths: outcome.num_paths,
+                device_millis: outcome.device_millis,
+            });
+        }
+        let results = self.slot_of.iter().map(|&slot| unique_rows[slot]).collect();
+        Ok(RuntimeBatchOutcome {
+            results,
+            deduplicated: self.deduplicated,
+            cache_hits,
+            preprocess_millis,
+            transfer_millis,
+            device_millis,
+        })
+    }
+}
+
+/// The outcome of a batch submitted through [`HostRuntime::submit_batch`].
+/// Unlike the discrete-event [`crate::BatchOutcome`] of the batch scheduler,
+/// this is the multi-tenant path: the batch's queries shared the admission
+/// queue and CU pool with every other session's work.
+#[derive(Debug, Clone)]
+pub struct RuntimeBatchOutcome {
+    /// Per-query results, in submission order (duplicates resolved to the
+    /// same numbers).
+    pub results: Vec<BatchQueryResult>,
+    /// Requests served from a duplicate's execution.
+    pub deduplicated: usize,
+    /// Unique queries whose preprocessing came from the shared cache.
+    pub cache_hits: u64,
+    /// Summed host preprocessing time (ms).
+    pub preprocess_millis: f64,
+    /// Summed DMA transfer time (ms).
+    pub transfer_millis: f64,
+    /// Summed simulated device time (ms).
+    pub device_millis: f64,
+}
+
+impl RuntimeBatchOutcome {
+    /// Total result paths across the batch.
+    pub fn total_paths(&self) -> u64 {
+        self.results.iter().map(|r| r.num_paths).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: Arc<RuntimeShared>) {
+    // Per-worker preprocessing context and DMA engine, created once: BFS
+    // scratch and the graph's prebuilt reverse CSR amortise across every job
+    // this worker ever runs.
+    let mut ctx =
+        PrepareContext::with_reverse(&shared.graph.csr, Arc::clone(&shared.graph.reverse));
+    let pcie = Pcie::new(shared.config.device.pcie_gbps, shared.config.device.pcie_setup_us);
+    let mut dma = DmaEngine::with_defaults(pcie);
+    while let Some(job) = shared.queue.pop() {
+        // Lease a CU for the duration of the job: concurrent jobs can never
+        // alias a device slot, whatever the worker/CU ratio.
+        let lease = shared.cluster.checkout();
+        execute_job(&shared, &mut ctx, &mut dma, &lease, job);
+    }
+}
+
+fn execute_job(
+    shared: &RuntimeShared,
+    ctx: &mut PrepareContext,
+    dma: &mut DmaEngine,
+    lease: &CuLease<'_>,
+    job: Job,
+) {
+    let Job { session, request, kind, ticket } = job;
+    if ticket.cancel.load(Ordering::Acquire) {
+        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        ticket.complete(Err(HostError::Cancelled));
+        return;
+    }
+
+    // Stage: shared-cache lookup or fresh preprocessing.
+    let stage_started = Instant::now();
+    let (prepared, cache_hit) = match shared.cache.get(&request) {
+        Some(hit) => (hit, true),
+        None => {
+            let prep = Arc::new(prepare_with(
+                ctx,
+                &shared.graph.csr,
+                request.s,
+                request.t,
+                request.k,
+                shared.config.variant,
+            ));
+            (prep, false)
+        }
+    };
+    let preprocess_millis =
+        if cache_hit { stage_started.elapsed().as_secs_f64() * 1e3 } else { prepared.host_millis };
+
+    // Capacity check before the transfer; oversized (permanently rejectable)
+    // payloads never occupy cache slots.
+    let bytes = payload_bytes(&prepared);
+    if bytes > shared.config.device.dram_bytes {
+        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        ticket.complete(Err(HostError::DeviceCapacity(format!(
+            "prepared payload is {bytes} bytes but device DRAM holds {}",
+            shared.config.device.dram_bytes
+        ))));
+        return;
+    }
+    if !cache_hit {
+        shared.cache.insert(request, Arc::clone(&prepared));
+    }
+    let transfer = dma.transfer(bytes);
+
+    let mut options = if shared.config.use_planner {
+        plan_query(&prepared, &shared.config.device).options
+    } else {
+        shared.config.variant.engine_options()
+    };
+    // Wire the ticket's cancel flag into the engine: a dropped/cancelled
+    // ticket stops the enumeration at the next batch boundary.
+    options.cancel = Some(CancelToken::from_flag(Arc::clone(&ticket.cancel)));
+
+    // Execute on the leased CU, marked active on the shared bus for the
+    // arbiter's contention law. The guard must die before the ticket
+    // completes: a closed-loop client submits its next job the moment the
+    // ticket resolves, and a still-live activation would overstate the
+    // active-CU count (and thus the contention factor) for that job.
+    let active = shared.cluster.arbiter().activate();
+    let (result, paths) = match &kind {
+        JobKind::Collect => {
+            let mut sink = CollectSink::new();
+            let result = run_prepared_on_device(&prepared, options, lease.device(), &mut sink);
+            (result, sink.into_paths())
+        }
+        JobKind::Count => {
+            options.collect_paths = false;
+            let mut sink = CountingSink::new();
+            (run_prepared_on_device(&prepared, options, lease.device(), &mut sink), Vec::new())
+        }
+        JobKind::Stream(tx) => {
+            let cancel = &ticket.cancel;
+            let mut sink = FnSink(|path: &[VertexId]| {
+                let mut path = path.to_vec();
+                loop {
+                    if cancel.load(Ordering::Acquire) {
+                        return ControlFlow::Break(());
+                    }
+                    match tx.try_send(path) {
+                        Ok(()) => return ControlFlow::Continue(()),
+                        Err(TrySendError::Disconnected(_)) => return ControlFlow::Break(()),
+                        Err(TrySendError::Full(back)) => {
+                            // Bounded-channel backpressure: stall this CU (and
+                            // only this CU) until the client drains or goes
+                            // away, re-checking the cancel flag meanwhile. The
+                            // short sleep keeps a wedged client from pegging a
+                            // host core while costing ~nothing in latency.
+                            path = back;
+                            std::thread::sleep(std::time::Duration::from_micros(50));
+                        }
+                    }
+                }
+            });
+            (run_prepared_on_device(&prepared, options, lease.device(), &mut sink), Vec::new())
+        }
+    };
+    drop(active);
+
+    // Accounting: wall counters and the virtual clock. Per-CU load is
+    // charged to the *virtual* CU chosen below, not `lease.cu()`: the
+    // physical lease assignment reflects host-scheduler noise (on a 1-core
+    // machine one worker can serve most jobs), while the virtual placement
+    // is the device-domain view the makespan is computed in — so
+    // busy/makespan utilisation stays a true ≤ 1 fraction.
+    let cycles = result.device.cycles;
+    shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+    if result.stats.cancelled {
+        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+    {
+        let mut virt = shared.virt.lock().expect("virtual clock poisoned");
+        let ready = virt.session_ready.get(&session).copied().unwrap_or(0);
+        // Best-fit placement: of the CUs already free when this session is
+        // ready, take the one that frees *latest* (least virtual idle time —
+        // typically the CU this session's previous job kept warm); only when
+        // every CU is still busy does the job wait for the earliest one.
+        // Plain least-loaded placement would strand un-backfillable idle
+        // gaps whenever one tenant races ahead in wall time, halving the
+        // apparent packing efficiency.
+        let virt_cu = virt
+            .cu_free
+            .iter()
+            .enumerate()
+            .filter(|(_, &free)| free <= ready)
+            .max_by_key(|(_, &free)| free)
+            .or_else(|| virt.cu_free.iter().enumerate().min_by_key(|(_, &free)| free))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let start = ready.max(virt.cu_free[virt_cu]);
+        let end = start + cycles;
+        virt.session_ready.insert(session, end);
+        virt.cu_free[virt_cu] = end;
+        virt.makespan = virt.makespan.max(end);
+        virt.total_cycles += cycles;
+        shared.counters.per_cu_busy_cycles[virt_cu].fetch_add(cycles, Ordering::Relaxed);
+        shared.counters.per_cu_jobs[virt_cu].fetch_add(1, Ordering::Relaxed);
+        // A session whose ready time no CU will ever be earlier than again
+        // can no longer influence a placement (`max(ready, free) == free`):
+        // drop it, so a long-lived runtime serving millions of short-lived
+        // sessions does not accumulate dead map entries.
+        let min_free = virt.cu_free.iter().copied().min().unwrap_or(0);
+        virt.session_ready.retain(|_, ready| *ready > min_free);
+    }
+
+    ticket.complete(Ok(QueryOutcome {
+        request,
+        num_paths: result.num_paths,
+        paths,
+        preprocess_millis,
+        transfer,
+        device_millis: result.query_millis,
+        cache_hit,
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pefp_graph::CsrGraph;
+
+    fn diamond_runtime(config: RuntimeConfig) -> Arc<HostRuntime> {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        HostRuntime::launch(GraphHandle::from_csr("diamond", g), config)
+    }
+
+    #[test]
+    fn queue_serves_sessions_round_robin_with_lpt_within() {
+        let queue = AdmissionQueue::new(16);
+        let job = |session: SessionId, s: u32| Job {
+            session,
+            request: QueryRequest::new(s, 3, 3),
+            kind: JobKind::Count,
+            ticket: TicketInner::new(),
+        };
+        // Session 0 queues estimates [5, 9, 1]; session 1 queues [7, 7].
+        queue.submit(job(0, 100), 5).unwrap();
+        queue.submit(job(0, 101), 9).unwrap();
+        queue.submit(job(0, 102), 1).unwrap();
+        queue.submit(job(1, 200), 7).unwrap();
+        queue.submit(job(1, 201), 7).unwrap();
+        let order: Vec<(SessionId, u32)> =
+            (0..5).map(|_| queue.pop().map(|j| (j.session, j.request.s.0)).unwrap()).collect();
+        // Round-robin across sessions; LPT within each; FIFO on ties.
+        assert_eq!(order, vec![(0, 101), (1, 200), (0, 100), (1, 201), (0, 102)]);
+        assert_eq!(queue.depth(), 0);
+    }
+
+    #[test]
+    fn queue_is_bounded_and_rejects_instead_of_blocking() {
+        let queue = AdmissionQueue::new(2);
+        let job = || Job {
+            session: 0,
+            request: QueryRequest::new(0, 3, 3),
+            kind: JobKind::Count,
+            ticket: TicketInner::new(),
+        };
+        queue.submit(job(), 1).unwrap();
+        queue.submit(job(), 1).unwrap();
+        assert!(matches!(queue.submit(job(), 1), Err(HostError::QueueFull)));
+        // Group admission is all-or-nothing.
+        queue.pop().unwrap();
+        assert!(matches!(
+            queue.submit_many(vec![(job(), 1), (job(), 1)]),
+            Err(HostError::QueueFull)
+        ));
+        queue.submit(job(), 1).unwrap();
+        assert_eq!(queue.depth(), 2);
+    }
+
+    #[test]
+    fn cancelled_queued_jobs_free_their_queue_slots() {
+        let queue = AdmissionQueue::new(2);
+        let job = || Job {
+            session: 0,
+            request: QueryRequest::new(0, 3, 3),
+            kind: JobKind::Count,
+            ticket: TicketInner::new(),
+        };
+        let dead_a = job();
+        let dead_b = job();
+        let (ticket_a, ticket_b) = (Arc::clone(&dead_a.ticket), Arc::clone(&dead_b.ticket));
+        queue.submit(dead_a, 1).unwrap();
+        queue.submit(dead_b, 1).unwrap();
+        // Full of live jobs: refused.
+        assert!(matches!(queue.submit(job(), 1), Err(HostError::QueueFull)));
+        // Cancel both queued jobs; the next submission reclaims their slots.
+        ticket_a.cancel.store(true, Ordering::Release);
+        ticket_b.cancel.store(true, Ordering::Release);
+        assert_eq!(queue.submit(job(), 1).unwrap(), 2, "two dead jobs pruned");
+        assert_eq!(queue.depth(), 1);
+        // The pruned tickets resolved as cancelled.
+        assert!(matches!(ticket_a.slot.lock().unwrap().take(), Some(Err(HostError::Cancelled))));
+        assert!(matches!(ticket_b.slot.lock().unwrap().take(), Some(Err(HostError::Cancelled))));
+    }
+
+    #[test]
+    fn striped_cache_respects_total_capacity_and_counts_hits() {
+        let cache = SharedPreparedCache::new(8, 4);
+        assert_eq!(cache.shards.len(), 4);
+        let g = Arc::new(CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]));
+        let mut ctx = PrepareContext::new();
+        for s in 0..2u32 {
+            let req = QueryRequest::new(s, 3, 3);
+            let prep = Arc::new(prepare_with(&mut ctx, &g, req.s, req.t, req.k, PefpVariant::Full));
+            assert!(cache.get(&req).is_none());
+            cache.insert(req, prep);
+            assert!(cache.get(&req).is_some());
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.hits.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.misses.load(Ordering::Relaxed), 2);
+        // Capacity 0 disables caching entirely, whatever the stripe count.
+        let disabled = SharedPreparedCache::new(0, 8);
+        assert_eq!(disabled.shards.len(), 1);
+        let req = QueryRequest::new(0, 3, 3);
+        let prep = Arc::new(prepare_with(&mut ctx, &g, req.s, req.t, req.k, PefpVariant::Full));
+        disabled.insert(req, prep);
+        assert_eq!(disabled.len(), 0);
+    }
+
+    #[test]
+    fn runtime_serves_jobs_and_tracks_stats() {
+        let runtime = diamond_runtime(RuntimeConfig::default());
+        let session = runtime.register_session();
+        let outcome = runtime
+            .submit_query(session, QueryRequest::new(0, 3, 3), true)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(outcome.num_paths, 2);
+        assert_eq!(outcome.paths.len(), 2);
+        assert!(!outcome.cache_hit);
+        let again = runtime
+            .submit_query(session, QueryRequest::new(0, 3, 3), false)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(again.num_paths, 2);
+        assert!(again.paths.is_empty(), "count jobs never materialise");
+        assert!(again.cache_hit, "second submission hits the shared cache");
+        let stats = runtime.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.per_cu_jobs, vec![2]);
+        assert!(stats.virtual_makespan_cycles > 0);
+        assert_eq!(
+            stats.total_device_cycles, stats.virtual_makespan_cycles,
+            "one session is serial"
+        );
+        assert_eq!(stats.per_cu_utilisation(), vec![1.0]);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_at_submission() {
+        let runtime = diamond_runtime(RuntimeConfig::default());
+        let session = runtime.register_session();
+        assert!(matches!(
+            runtime.submit_query(session, QueryRequest::new(0, 99, 3), true),
+            Err(HostError::QueryInvalid(_))
+        ));
+        assert_eq!(runtime.stats().rejected, 1);
+        assert_eq!(runtime.stats().submitted, 0);
+    }
+
+    #[test]
+    fn streaming_jobs_deliver_paths_through_the_channel() {
+        let runtime = diamond_runtime(RuntimeConfig::default());
+        let session = runtime.register_session();
+        let (ticket, rx) =
+            runtime.submit_query_streaming(session, QueryRequest::new(0, 3, 3), 16).unwrap();
+        let paths: Vec<Vec<VertexId>> = rx.iter().collect();
+        assert_eq!(paths.len(), 2);
+        let outcome = ticket.wait().unwrap();
+        assert_eq!(outcome.num_paths, 2);
+        assert!(outcome.paths.is_empty());
+    }
+
+    #[test]
+    fn dropped_ticket_cancels_a_queued_job() {
+        let runtime = diamond_runtime(RuntimeConfig::default());
+        let session = runtime.register_session();
+        // Wedge the single worker with an undrained streaming job so the next
+        // submission stays queued.
+        let (stream_ticket, rx) =
+            runtime.submit_query_streaming(session, QueryRequest::new(0, 3, 3), 1).unwrap();
+        let queued = runtime.submit_query(session, QueryRequest::new(0, 3, 2), false).unwrap();
+        let inner = Arc::clone(&queued.inner);
+        drop(queued); // cancels while (probably) still queued
+        drop(rx); // unwedge the worker
+        let outcome = stream_ticket.wait().unwrap();
+        assert!(outcome.num_paths <= 2);
+        // The cancelled job resolves (either skipped or run-to-completion if
+        // the worker grabbed it before the drop landed).
+        let mut slot = inner.slot.lock().unwrap();
+        while slot.is_none() {
+            slot = inner.done.wait(slot).unwrap();
+        }
+        let stats = runtime.stats();
+        assert!(stats.completed + stats.cancelled_jobs >= 2);
+    }
+
+    #[test]
+    fn batch_submission_collapses_duplicates_and_answers_every_slot() {
+        let runtime = diamond_runtime(RuntimeConfig::default());
+        let session = runtime.register_session();
+        let reqs = vec![
+            QueryRequest::new(0, 3, 3),
+            QueryRequest::new(0, 3, 2),
+            QueryRequest::new(0, 3, 3),
+        ];
+        let outcome = runtime.submit_batch(session, &reqs).unwrap().wait().unwrap();
+        assert_eq!(outcome.results.len(), 3);
+        assert_eq!(outcome.deduplicated, 1);
+        assert_eq!(outcome.results[0].num_paths, 2);
+        assert_eq!(outcome.results[1].num_paths, 2);
+        assert_eq!(outcome.results[2].num_paths, 2);
+        assert_eq!(outcome.total_paths(), 6);
+        // An invalid member rejects the whole batch.
+        assert!(matches!(
+            runtime.submit_batch(session, &[QueryRequest::new(0, 99, 3)]),
+            Err(HostError::QueryInvalid(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_payloads_fail_through_the_ticket_and_stay_uncached() {
+        let mut config = RuntimeConfig::default();
+        config.device.dram_bytes = 64;
+        let g = pefp_graph::generators::chung_lu(500, 6.0, 2.2, 3).to_csr();
+        let runtime = HostRuntime::launch(GraphHandle::from_csr("big", g), config);
+        let session = runtime.register_session();
+        let err = runtime
+            .submit_query(session, QueryRequest::new(0, 250, 5), false)
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(err, HostError::DeviceCapacity(_)));
+        assert_eq!(runtime.cached_prepared_queries(), 0);
+        assert_eq!(runtime.stats().rejected, 1);
+    }
+}

@@ -10,7 +10,7 @@
 //! > COUNT 0 42 5          same, but only report the number of paths
 //! > STREAM 0 42 5 [n]     stream up to n paths (default 100), chunk-wise
 //! > BATCH 0 42 5 1 9 4 CUS=4   run a batch of (s t k) triples on 4 CUs
-//! > STATS                  session statistics so far
+//! > STATS                  session + runtime statistics, as one-line JSON
 //! > GRAPH                  one-line summary of the loaded graph
 //! > HELP                   list the commands
 //! > QUIT                   stop serving
@@ -24,16 +24,27 @@
 //! query's full result set: `QUERY` keeps only the first
 //! [`MAX_INLINE_PATHS`] paths for its sample line while counting the rest,
 //! and `STREAM` formats paths chunk-by-chunk through a bounded sink.
+//!
+//! The server is **multi-client**: [`serve`] drives one reader/writer pair
+//! through one session, and [`serve_shared`] spawns a reader thread per
+//! connection, every one of them a [`HostSession::attach`] handle funnelling
+//! into one shared [`HostRuntime`] — many tenants, one admission queue, one
+//! CU cluster. `STATS` then reports the runtime's queue depth, per-CU
+//! utilisation and shared-cache hit rate (real JSON via
+//! [`pefp_workload::ToJson`]) next to the per-session counters.
 
 use crate::error::HostError;
 use crate::query::QueryRequest;
+use crate::runtime::HostRuntime;
 use crate::scheduler::{BatchScheduler, SchedulerConfig};
 use crate::session::HostSession;
 use pefp_fpga::MultiCuConfig;
-use pefp_graph::sink::{CountingSink, FirstN, PathSink};
+use pefp_graph::sink::{FirstN, PathSink};
 use pefp_graph::VertexId;
+use pefp_workload::{JsonValue, ToJson};
 use std::io::{BufRead, Write};
 use std::ops::ControlFlow;
+use std::sync::Arc;
 
 /// Maximum number of paths printed inline on an `OK` reply; the rest are
 /// summarised by their count. Also the chunk size of `STREAM` reply lines.
@@ -144,7 +155,8 @@ pub fn handle_line(session: &mut HostSession, line: &str) -> Reply {
     match command.as_str() {
         "HELP" => Reply::Ok(
             "commands: QUERY <s> <t> <k> | COUNT <s> <t> <k> | STREAM <s> <t> <k> [limit] | \
-             BATCH <s> <t> <k> [<s> <t> <k> ...] [CUS=<n>] | GRAPH | STATS | HELP | QUIT"
+             BATCH <s> <t> <k> [<s> <t> <k> ...] [CUS=<n>] (no CUS: fair shared-runtime batch; \
+             CUS=n: measured dispatch on n CUs) | GRAPH | STATS | HELP | QUIT"
                 .to_string(),
         ),
         "QUIT" | "EXIT" => Reply::Quit("bye".to_string()),
@@ -153,16 +165,14 @@ pub fn handle_line(session: &mut HostSession, line: &str) -> Reply {
             None => Reply::Err(HostError::NoGraphLoaded.to_string()),
         },
         "STATS" => {
-            let stats = session.stats();
-            Reply::Ok(format!(
-                "queries={} rejected={} paths={} emitted={} materialised={} avg_total_ms={:.3}",
-                stats.queries,
-                stats.rejected,
-                stats.total_paths,
-                stats.emitted_paths,
-                stats.materialised_paths,
-                stats.avg_total_millis()
-            ))
+            // Real JSON (hand-rolled, the serde shims cannot): the session's
+            // counters plus — when a graph is loaded — the runtime's queue
+            // depth, per-CU utilisation and shared-cache hit rate.
+            let mut pairs = vec![("session", session.stats().to_json())];
+            if let Some(runtime) = session.runtime() {
+                pairs.push(("runtime", runtime.stats().to_json()));
+            }
+            Reply::Ok(format!("stats {}", JsonValue::object(pairs).render()))
         }
         "QUERY" | "COUNT" => {
             let spec = rest.join(" ");
@@ -170,12 +180,12 @@ pub fn handle_line(session: &mut HostSession, line: &str) -> Reply {
                 Ok(r) => r,
                 Err(e) => return Reply::Err(e.to_string()),
             };
-            // Both commands stream: COUNT through a pure counter, QUERY
-            // through a sink that keeps only the sample paths. The full
+            // COUNT runs a counting job — the result set is tallied on the
+            // worker, no path ever crosses a thread. QUERY streams through a
+            // sink that keeps only the sample paths. Either way the full
             // result set is never held by the server.
             let (outcome, sample) = if command == "COUNT" {
-                let mut sink = CountingSink::new();
-                (session.run_query_streaming(request, &mut sink), Vec::new())
+                (session.run_query_counting(request), Vec::new())
             } else {
                 let mut sink = SampleSink::default();
                 let outcome = session.run_query_streaming(request, &mut sink);
@@ -247,30 +257,36 @@ pub const MAX_BATCH_CUS: usize = 64;
 pub const MAX_BATCH_QUERIES: usize = 4096;
 
 /// `BATCH s t k [s t k ...] [CUS=n]`: counts the result paths of every triple
-/// in one dispatch-mode batch on `n` simulated compute units (default 1,
-/// capped at [`MAX_BATCH_CUS`]).
+/// in one batch.
 ///
-/// The batch runs through a [`BatchScheduler`] built from the session's
-/// device and variant configuration; it bypasses the session's per-query
-/// bookkeeping (one batch, not `n` session queries), and the reply reports
-/// the measured makespan, speedup and model error of the execution.
+/// Without `CUS=`, the batch is submitted through the session's shared
+/// [`HostRuntime`] (`HostSession::run_batch`): it enters the admission queue
+/// as one fairness unit, shares the prepared-query cache and CU pool with
+/// every other tenant, and is subject to `QueueFull` backpressure — the
+/// multi-tenant production path.
+///
+/// With `CUS=n` (capped at [`MAX_BATCH_CUS`]), the batch instead runs the
+/// *measured* dispatch mode on a private [`BatchScheduler`] cluster of `n`
+/// CUs — an explicit benchmarking request whose reply reports the measured
+/// makespan, speedup and model error of the discrete-event execution; it
+/// bypasses the session's per-query bookkeeping.
 fn handle_batch(session: &mut HostSession, args: &[&str]) -> Reply {
-    let Some(handle) = session.graph() else {
+    if session.graph().is_none() {
         return Reply::Err(HostError::NoGraphLoaded.to_string());
-    };
+    }
     let (cus, triples) = match args.last() {
         Some(last) => match last.strip_prefix("CUS=") {
             Some(n) => match n.parse::<usize>() {
                 // Clamp like STREAM clamps its limit; the reply's `cus=`
                 // field reports the clamped value, so the cap is visible.
-                Ok(n) if n >= 1 => (n.min(MAX_BATCH_CUS), &args[..args.len() - 1]),
+                Ok(n) if n >= 1 => (Some(n.min(MAX_BATCH_CUS)), &args[..args.len() - 1]),
                 _ => {
                     return Reply::Err(format!("invalid CUS value {n:?} (want a positive integer)"))
                 }
             },
-            None => (1, args),
+            None => (None, args),
         },
-        None => (1, args),
+        None => (None, args),
     };
     if triples.is_empty() || triples.len() % 3 != 0 {
         return Reply::Err(format!(
@@ -292,6 +308,27 @@ fn handle_batch(session: &mut HostSession, args: &[&str]) -> Reply {
         }
     }
 
+    // Default path: the multi-tenant runtime batch.
+    let Some(cus) = cus else {
+        return match session.run_batch(&requests) {
+            Ok(outcome) => Reply::Ok(format!(
+                "queries={} unique={} paths={} cache_hits={} queue=runtime \
+                 t1_ms={:.3} transfer_ms={:.3} t2_ms={:.3}",
+                outcome.results.len(),
+                outcome.results.len() - outcome.deduplicated,
+                outcome.total_paths(),
+                outcome.cache_hits,
+                outcome.preprocess_millis,
+                outcome.transfer_millis,
+                outcome.device_millis,
+            )),
+            Err(e) => Reply::Err(e.to_string()),
+        };
+    };
+
+    // Explicit CUS=n: the measured discrete-event dispatch mode on a
+    // private cluster.
+    let handle = session.graph().expect("graph checked above").clone();
     let scheduler = BatchScheduler::new(SchedulerConfig {
         device: session.config().device.clone(),
         variant: session.config().variant,
@@ -299,7 +336,7 @@ fn handle_batch(session: &mut HostSession, args: &[&str]) -> Reply {
         multi_cu: MultiCuConfig { compute_units: cus, ..MultiCuConfig::default() },
         ..SchedulerConfig::default()
     });
-    match scheduler.run_batch(handle, &requests) {
+    match scheduler.run_batch(&handle, &requests) {
         Ok(outcome) => {
             let measured = outcome.measured.as_ref().expect("dispatch batches are measured");
             Reply::Ok(format!(
@@ -342,6 +379,36 @@ pub fn serve<R: BufRead, W: Write>(
         }
     }
     Ok(served)
+}
+
+/// Serves many clients concurrently against one shared [`HostRuntime`]: one
+/// reader thread per connection, each running the [`serve`] loop over its own
+/// [`HostSession::attach`] handle, all funnelling into the runtime's
+/// admission queue. Returns the number of lines processed per connection (in
+/// input order); the first I/O error aborts only its own connection and is
+/// reported after every other client finished.
+pub fn serve_shared<R, W>(
+    runtime: &Arc<HostRuntime>,
+    connections: Vec<(R, W)>,
+) -> std::io::Result<Vec<usize>>
+where
+    R: BufRead + Send,
+    W: Write + Send,
+{
+    let outcomes: Vec<std::io::Result<usize>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = connections
+            .into_iter()
+            .map(|(reader, writer)| {
+                let runtime = Arc::clone(runtime);
+                scope.spawn(move || {
+                    let mut session = HostSession::attach(runtime);
+                    serve(&mut session, reader, writer)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    outcomes.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -395,13 +462,24 @@ mod tests {
     }
 
     #[test]
-    fn stats_and_graph_commands_summarise_the_session() {
+    fn stats_command_emits_parseable_json_for_session_and_runtime() {
         let mut s = session();
         handle_line(&mut s, "QUERY 0 3 3");
         match handle_line(&mut s, "STATS") {
             Reply::Ok(msg) => {
-                assert!(msg.contains("queries=1"));
-                assert!(msg.contains("paths=2"));
+                let json = msg.strip_prefix("stats ").expect("stats payload");
+                let doc = JsonValue::parse(json).expect("STATS must be real JSON");
+                let session_stats = doc.get("session").expect("session section");
+                assert_eq!(session_stats.get("queries").and_then(JsonValue::as_number), Some(1.0));
+                assert_eq!(
+                    session_stats.get("total_paths").and_then(JsonValue::as_number),
+                    Some(2.0)
+                );
+                let runtime = doc.get("runtime").expect("runtime section");
+                assert_eq!(runtime.get("queue_depth").and_then(JsonValue::as_number), Some(0.0));
+                assert_eq!(runtime.get("completed").and_then(JsonValue::as_number), Some(1.0));
+                assert!(runtime.get("per_cu_utilisation").is_some());
+                assert!(runtime.get("cache_hit_rate").is_some());
             }
             other => panic!("unexpected reply {other:?}"),
         }
@@ -409,6 +487,33 @@ mod tests {
             Reply::Ok(msg) => assert!(msg.contains("4 vertices")),
             other => panic!("unexpected reply {other:?}"),
         }
+    }
+
+    #[test]
+    fn serve_shared_funnels_many_clients_into_one_runtime() {
+        use crate::loader::GraphHandle;
+        use crate::runtime::{HostRuntime, RuntimeConfig};
+        use pefp_graph::CsrGraph;
+
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let runtime = HostRuntime::launch(
+            GraphHandle::from_csr("shared", g),
+            RuntimeConfig { compute_units: 2, ..RuntimeConfig::default() },
+        );
+        let connections: Vec<(Cursor<String>, Vec<u8>)> = (0..3)
+            .map(|_| (Cursor::new("QUERY 0 3 3\nCOUNT 0 3 2\nQUIT\n".to_string()), Vec::new()))
+            .collect();
+        let served = serve_shared(&runtime, connections).unwrap();
+        assert_eq!(served, vec![3, 3, 3]);
+        let stats = runtime.stats();
+        assert_eq!(stats.completed, 6, "3 clients x 2 queries each");
+        // The tenants share one prepared-query cache: (0,3,3) and (0,3,2)
+        // need preparing once each (plus any cold-key race between clients),
+        // and the bulk of the repetition is served from the cache.
+        assert_eq!(stats.cache_hits + stats.cache_misses, 6);
+        assert!(stats.cache_misses >= 2);
+        assert!(stats.cache_hits >= 2, "shared cache must absorb cross-tenant repeats");
+        assert_eq!(stats.per_cu_jobs.iter().sum::<u64>(), 6);
     }
 
     #[test]
@@ -463,16 +568,21 @@ mod tests {
             }
             other => panic!("unexpected reply {other:?}"),
         }
-        // CUS defaults to 1 and duplicates are deduplicated.
+        // Without CUS= the batch runs through the shared runtime (fair
+        // admission queue, shared cache); duplicates are deduplicated.
         match handle_line(&mut s, "BATCH 0 3 3 0 3 3") {
             Reply::Ok(msg) => {
                 assert!(msg.contains("queries=2"), "{msg}");
                 assert!(msg.contains("unique=1"), "{msg}");
-                assert!(msg.contains("cus=1"), "{msg}");
+                assert!(msg.contains("queue=runtime"), "{msg}");
                 assert!(msg.contains("paths=4"), "both slots answered: {msg}");
             }
             other => panic!("unexpected reply {other:?}"),
         }
+        // The runtime batch shows up in the session's own statistics (the
+        // dispatch-mode batches above bypassed them).
+        assert_eq!(s.stats().queries, 2);
+        assert_eq!(s.stats().total_paths, 4);
     }
 
     #[test]

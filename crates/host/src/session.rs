@@ -1,28 +1,32 @@
 //! Long-lived host sessions.
 //!
-//! A session owns one loaded graph and serves many queries against it — the
-//! shape of the paper's fraud-detection deployment, where the graph stays
-//! resident and `s-t k`-path queries arrive continuously. Each query walks
-//! the full workflow of Fig. 2: parse → Pre-BFS → serialise → DMA transfer →
-//! device enumeration → result collection, and the session keeps a per-query
-//! record plus aggregate statistics.
+//! A session is one client's handle onto a [`HostRuntime`]: it parses and
+//! validates queries, submits them as jobs, awaits their tickets and keeps
+//! per-client statistics. Each query still walks the full workflow of Fig. 2
+//! — parse → Pre-BFS → serialise → DMA transfer → device enumeration →
+//! result collection — but the preprocessing cache, worker pool and compute
+//! units behind it are owned by the runtime and may be shared with other
+//! sessions ([`HostSession::attach`]). The classic standalone shape
+//! ([`HostSession::with_graph`]) simply owns a private single-CU runtime, so
+//! the paper's one-process deployment is the degenerate case.
 
-use crate::binfmt::{encode_payload, payload_bytes};
-use crate::dma::{DmaEngine, DmaTransferReport};
+use crate::dma::DmaTransferReport;
 use crate::error::HostError;
 use crate::loader::GraphHandle;
 use crate::query::QueryRequest;
-use pefp_core::{
-    plan_query, prepare_with, run_prepared, run_prepared_with_sink, EngineOptions, PefpVariant,
-    PrepareContext,
-};
-use pefp_fpga::{DeviceConfig, Pcie};
+use crate::runtime::{HostRuntime, RuntimeConfig, SessionId};
+use pefp_core::PefpVariant;
+use pefp_fpga::DeviceConfig;
 use pefp_graph::sink::PathSink;
 use pefp_graph::{CsrGraph, Path};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+
+/// Bounded per-query path channel between a streaming job's worker and the
+/// session draining it into the caller's sink: deep enough to keep the CU
+/// busy while the client formats, small enough that an abandoned client
+/// backpressures its query almost immediately.
+const STREAM_CHANNEL_PATHS: usize = 256;
 
 /// Session-wide configuration.
 #[derive(Debug, Clone)]
@@ -54,54 +58,6 @@ impl Default for SessionConfig {
     }
 }
 
-/// A small `(s, t, k)`-keyed LRU of prepared queries. Entries are `Arc`s:
-/// the induced subgraph inside a cached entry is O(touched), so even a full
-/// cache stays proportional to the served working set, not to `|V|`.
-#[derive(Debug, Default)]
-struct PreparedCache {
-    capacity: usize,
-    tick: u64,
-    entries: HashMap<QueryRequest, (u64, Arc<pefp_core::PreparedQuery>)>,
-}
-
-impl PreparedCache {
-    fn new(capacity: usize) -> Self {
-        PreparedCache { capacity, tick: 0, entries: HashMap::new() }
-    }
-
-    fn get(&mut self, key: &QueryRequest) -> Option<Arc<pefp_core::PreparedQuery>> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.entries.get_mut(key).map(|(stamp, prep)| {
-            *stamp = tick;
-            Arc::clone(prep)
-        })
-    }
-
-    fn insert(&mut self, key: QueryRequest, prep: Arc<pefp_core::PreparedQuery>) {
-        if self.capacity == 0 {
-            return;
-        }
-        self.tick += 1;
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
-            if let Some(oldest) =
-                self.entries.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| *k)
-            {
-                self.entries.remove(&oldest);
-            }
-        }
-        self.entries.insert(key, (self.tick, prep));
-    }
-
-    fn clear(&mut self) {
-        self.entries.clear();
-    }
-
-    fn len(&self) -> usize {
-        self.entries.len()
-    }
-}
-
 /// The outcome of one query.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
@@ -119,6 +75,9 @@ pub struct QueryOutcome {
     pub transfer: DmaTransferReport,
     /// Simulated device time in milliseconds — the paper's `T2`.
     pub device_millis: f64,
+    /// Whether preprocessing was served from the runtime's shared
+    /// prepared-query cache.
+    pub cache_hit: bool,
 }
 
 impl QueryOutcome {
@@ -165,61 +124,94 @@ impl SessionStats {
     }
 }
 
-/// A host session: one graph, many queries.
+impl pefp_workload::ToJson for SessionStats {
+    fn to_json(&self) -> pefp_workload::JsonValue {
+        use pefp_workload::JsonValue;
+        JsonValue::object(vec![
+            ("queries", JsonValue::Number(self.queries as f64)),
+            ("rejected", JsonValue::Number(self.rejected as f64)),
+            ("cache_hits", JsonValue::Number(self.cache_hits as f64)),
+            ("total_paths", JsonValue::Number(self.total_paths as f64)),
+            ("materialised_paths", JsonValue::Number(self.materialised_paths as f64)),
+            ("emitted_paths", JsonValue::Number(self.emitted_paths as f64)),
+            ("preprocess_millis", JsonValue::Number(self.preprocess_millis)),
+            ("transfer_millis", JsonValue::Number(self.transfer_millis)),
+            ("device_millis", JsonValue::Number(self.device_millis)),
+            ("avg_total_millis", JsonValue::Number(self.avg_total_millis())),
+        ])
+    }
+}
+
+/// A host session: one client, many queries.
 ///
-/// The session owns one [`PrepareContext`] (epoch-stamped BFS scratch plus
-/// the graph's shared reverse CSR), so per-query preprocessing work is
-/// proportional to the touched subgraph, and an `(s, t, k)`-keyed LRU of
-/// prepared queries so repeated requests skip preprocessing entirely.
+/// The session is a thin handle over a [`HostRuntime`]: queries are submitted
+/// as jobs and awaited through their tickets, so the preprocessing cache,
+/// persistent worker pool and compute units are the runtime's — shared with
+/// every other attached session. [`HostSession::with_graph`] /
+/// [`HostSession::set_graph`] build a private single-CU runtime, preserving
+/// the classic one-process shape.
 #[derive(Debug)]
 pub struct HostSession {
     config: SessionConfig,
-    graph: Option<GraphHandle>,
-    dma: DmaEngine,
+    runtime: Option<Arc<HostRuntime>>,
+    session: SessionId,
     stats: SessionStats,
-    ctx: PrepareContext,
-    cache: PreparedCache,
 }
 
 impl HostSession {
     /// Creates an empty session (no graph loaded yet).
     pub fn new(config: SessionConfig) -> Self {
-        let pcie = Pcie::new(config.device.pcie_gbps, config.device.pcie_setup_us);
-        let cache = PreparedCache::new(config.prepared_cache_capacity);
-        HostSession {
-            config,
-            graph: None,
-            dma: DmaEngine::with_defaults(pcie),
-            stats: SessionStats::default(),
-            ctx: PrepareContext::new(),
-            cache,
-        }
+        HostSession { config, runtime: None, session: 0, stats: SessionStats::default() }
     }
 
-    /// Creates a session already holding `graph` (owned or shared).
+    /// Creates a session already holding `graph` (owned or shared) through a
+    /// private single-CU runtime.
     pub fn with_graph(graph: impl Into<Arc<CsrGraph>>, config: SessionConfig) -> Self {
         let mut session = HostSession::new(config);
         session.set_graph(GraphHandle::from_csr("inline", graph));
         session
     }
 
-    /// Installs (or replaces) the session's graph; cached prepared queries
-    /// belong to the old graph and are dropped, and the new graph's prebuilt
-    /// reverse CSR is wired into the preprocessing context.
-    pub fn set_graph(&mut self, handle: GraphHandle) {
-        self.cache.clear();
-        self.ctx.install_reverse(&handle.csr, Arc::clone(&handle.reverse));
-        self.graph = Some(handle);
+    /// Attaches a new session to an existing (shared, multi-tenant) runtime:
+    /// the session gets its own statistics and fairness lane but shares the
+    /// runtime's graph, prepared-query cache and CU pool with its siblings.
+    pub fn attach(runtime: Arc<HostRuntime>) -> Self {
+        let rc = runtime.config();
+        let config = SessionConfig {
+            device: rc.device.clone(),
+            variant: rc.variant,
+            use_planner: rc.use_planner,
+            collect_paths: true,
+            prepared_cache_capacity: rc.shared_cache_capacity,
+        };
+        let session = runtime.register_session();
+        HostSession { config, runtime: Some(runtime), session, stats: SessionStats::default() }
     }
 
-    /// Number of prepared queries currently cached.
+    /// Installs (or replaces) the session's graph by launching a fresh
+    /// private runtime around it (one CU, exact-LRU cache sized by
+    /// [`SessionConfig::prepared_cache_capacity`]). Prepared queries cached
+    /// for the old graph die with its runtime.
+    pub fn set_graph(&mut self, handle: GraphHandle) {
+        let runtime = HostRuntime::launch(handle, RuntimeConfig::for_session(&self.config));
+        self.session = runtime.register_session();
+        self.runtime = Some(runtime);
+    }
+
+    /// The runtime this session submits to, if a graph is loaded.
+    pub fn runtime(&self) -> Option<&Arc<HostRuntime>> {
+        self.runtime.as_ref()
+    }
+
+    /// Number of prepared queries currently cached in the runtime's shared
+    /// cache (for an attached session this counts every tenant's entries).
     pub fn cached_prepared_queries(&self) -> usize {
-        self.cache.len()
+        self.runtime.as_deref().map_or(0, HostRuntime::cached_prepared_queries)
     }
 
     /// The loaded graph, if any.
     pub fn graph(&self) -> Option<&GraphHandle> {
-        self.graph.as_ref()
+        self.runtime.as_deref().map(HostRuntime::graph)
     }
 
     /// The session configuration.
@@ -244,26 +236,122 @@ impl HostSession {
         self.run_query(request)
     }
 
-    /// Runs an already-parsed query, materialising results according to
-    /// [`SessionConfig::collect_paths`] (collect-everything wrapper over the
-    /// streaming pipeline).
+    /// Runs an already-parsed query as one job, materialising results
+    /// according to [`SessionConfig::collect_paths`]. Blocks until the
+    /// runtime's workers complete the job.
     pub fn run_query(&mut self, request: QueryRequest) -> Result<QueryOutcome, HostError> {
-        let staged = self.stage_query(request)?;
-        let mut options = staged.options.clone();
-        options.collect_paths = self.config.collect_paths;
-        let result = run_prepared(&staged.prepared, options, &self.config.device);
-        self.stats.materialised_paths += result.paths.len() as u64;
-        Ok(self.record_outcome(
-            request,
-            staged,
-            result.num_paths,
-            result.paths,
-            result.query_millis,
-        ))
+        let collect = self.config.collect_paths;
+        self.submit_and_wait(request, collect)
+    }
+
+    /// Runs an already-parsed query in counting mode regardless of
+    /// [`SessionConfig::collect_paths`]: the result set is counted on the
+    /// worker — no path is materialised, streamed or shipped between
+    /// threads. The cheapest way to answer "how many".
+    pub fn run_query_counting(&mut self, request: QueryRequest) -> Result<QueryOutcome, HostError> {
+        self.submit_and_wait(request, false)
+    }
+
+    fn submit_and_wait(
+        &mut self,
+        request: QueryRequest,
+        collect: bool,
+    ) -> Result<QueryOutcome, HostError> {
+        let Some(runtime) = &self.runtime else {
+            self.stats.rejected += 1;
+            return Err(HostError::NoGraphLoaded);
+        };
+        let ticket = match runtime.submit_query(self.session, request, collect) {
+            Ok(ticket) => ticket,
+            Err(e) => {
+                self.stats.rejected += 1;
+                return Err(e);
+            }
+        };
+        match ticket.wait() {
+            Ok(outcome) => Ok(self.record_outcome(outcome, false)),
+            Err(e) => {
+                self.stats.rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Submits a whole batch through the runtime's admission queue (one
+    /// fairness unit: duplicates collapse, the heavy queries start first, and
+    /// an over-full queue rejects atomically with [`HostError::QueueFull`]).
+    /// Results are counted, never materialised.
+    ///
+    /// A batch larger than the admission queue's capacity is split into
+    /// capacity-sized waves submitted and awaited back to back — otherwise a
+    /// big batch could never be admitted at all, turning backpressure into a
+    /// permanent failure. Deduplication then applies per wave, not across the
+    /// whole batch; cross-wave repeats still hit the shared prepared cache.
+    pub fn run_batch(
+        &mut self,
+        requests: &[QueryRequest],
+    ) -> Result<crate::runtime::RuntimeBatchOutcome, HostError> {
+        let Some(runtime) = &self.runtime else {
+            self.stats.rejected += 1;
+            return Err(HostError::NoGraphLoaded);
+        };
+        let runtime = Arc::clone(runtime);
+        if requests.is_empty() {
+            return Ok(crate::runtime::RuntimeBatchOutcome {
+                results: Vec::new(),
+                deduplicated: 0,
+                cache_hits: 0,
+                preprocess_millis: 0.0,
+                transfer_millis: 0.0,
+                device_millis: 0.0,
+            });
+        }
+        let wave = runtime.config().queue_capacity.max(1);
+        let mut merged: Option<crate::runtime::RuntimeBatchOutcome> = None;
+        for chunk in requests.chunks(wave) {
+            let ticket = match runtime.submit_batch(self.session, chunk) {
+                Ok(ticket) => ticket,
+                Err(e) => {
+                    self.stats.rejected += 1;
+                    return Err(e);
+                }
+            };
+            match ticket.wait() {
+                Ok(outcome) => {
+                    self.stats.queries += outcome.results.len() as u64;
+                    self.stats.cache_hits += outcome.cache_hits;
+                    self.stats.total_paths += outcome.total_paths();
+                    self.stats.preprocess_millis += outcome.preprocess_millis;
+                    self.stats.transfer_millis += outcome.transfer_millis;
+                    self.stats.device_millis += outcome.device_millis;
+                    merged = Some(match merged.take() {
+                        None => outcome,
+                        Some(mut acc) => {
+                            acc.results.extend(outcome.results);
+                            acc.deduplicated += outcome.deduplicated;
+                            acc.cache_hits += outcome.cache_hits;
+                            acc.preprocess_millis += outcome.preprocess_millis;
+                            acc.transfer_millis += outcome.transfer_millis;
+                            acc.device_millis += outcome.device_millis;
+                            acc
+                        }
+                    });
+                }
+                Err(e) => {
+                    self.stats.rejected += 1;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(merged.expect("non-empty request list produced at least one wave"))
     }
 
     /// Runs an already-parsed query, streaming every result path (original
     /// graph vertex ids) into `sink` instead of materialising the result set.
+    /// The paths flow from the job's worker through a bounded channel into
+    /// the caller's sink on this thread, so the sink needs no `Send` bound; a
+    /// sink break cancels the job, which stops the device-side enumeration at
+    /// its next batch boundary.
     ///
     /// The returned outcome's `paths` is always empty and `num_paths` counts
     /// the paths handed to the sink — fewer than the full result set when the
@@ -274,117 +362,59 @@ impl HostSession {
         request: QueryRequest,
         sink: &mut S,
     ) -> Result<QueryOutcome, HostError> {
-        let staged = self.stage_query(request)?;
-        let result = run_prepared_with_sink(
-            &staged.prepared,
-            staged.options.clone(),
-            &self.config.device,
-            sink,
-        );
-        self.stats.emitted_paths += result.num_paths;
-        Ok(self.record_outcome(request, staged, result.num_paths, Vec::new(), result.query_millis))
-    }
-
-    /// The host-side work shared by the collect and streaming entry points:
-    /// validation, cached-or-fresh preprocessing, payload capacity check, DMA
-    /// transfer, and engine-option selection.
-    fn stage_query(&mut self, request: QueryRequest) -> Result<StagedQuery, HostError> {
-        let Some(handle) = self.graph.as_ref() else {
+        let Some(runtime) = &self.runtime else {
             self.stats.rejected += 1;
             return Err(HostError::NoGraphLoaded);
         };
-        if let Err(e) = request.validate(&handle.csr) {
-            self.stats.rejected += 1;
-            return Err(e);
-        }
-
-        // Host-side preprocessing (Pre-BFS or the variant's fallback), served
-        // from the LRU when the same (s, t, k) was prepared before.
-        let preprocess_started = Instant::now();
-        let (prepared, cache_hit) = match self.cache.get(&request) {
-            Some(hit) => (hit, true),
-            None => {
-                let prep = Arc::new(prepare_with(
-                    &mut self.ctx,
-                    &handle.csr,
-                    request.s,
-                    request.t,
-                    request.k,
-                    self.config.variant,
-                ));
-                (prep, false)
+        let (ticket, paths) =
+            match runtime.submit_query_streaming(self.session, request, STREAM_CHANNEL_PATHS) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    self.stats.rejected += 1;
+                    return Err(e);
+                }
+            };
+        let mut delivered = 0u64;
+        for path in paths.iter() {
+            delivered += 1;
+            if sink.emit(&path).is_break() {
+                // The breaking path counts as delivered (FirstN semantics);
+                // cancel the job and stop draining — dropping the receiver
+                // below unblocks the worker if it is mid-emission.
+                ticket.cancel();
+                break;
             }
-        };
-        let preprocess_millis = if cache_hit {
-            preprocess_started.elapsed().as_secs_f64() * 1e3
-        } else {
-            prepared.host_millis
-        };
-
-        // Serialise and "transfer" the prepared payload. The encode step also
-        // exercises the binary format so corruption bugs surface in tests.
-        let bytes = payload_bytes(&prepared);
-        debug_assert_eq!(bytes, encode_payload(&prepared).len());
-        if bytes > self.config.device.dram_bytes {
-            self.stats.rejected += 1;
-            return Err(HostError::DeviceCapacity(format!(
-                "prepared payload is {bytes} bytes but device DRAM holds {}",
-                self.config.device.dram_bytes
-            )));
         }
-        // Cache only payloads the device can actually accept, so oversized
-        // (permanently rejectable) queries never occupy LRU slots.
-        if !cache_hit {
-            self.cache.insert(request, Arc::clone(&prepared));
+        drop(paths);
+        match ticket.wait() {
+            Ok(outcome) => {
+                let outcome = QueryOutcome { num_paths: delivered, paths: Vec::new(), ..outcome };
+                Ok(self.record_outcome(outcome, true))
+            }
+            Err(e) => {
+                self.stats.rejected += 1;
+                Err(e)
+            }
         }
-        let transfer = self.dma.transfer(bytes);
-
-        // Engine options: planner or the variant's fixed configuration.
-        let options = if self.config.use_planner {
-            plan_query(&prepared, &self.config.device).options
-        } else {
-            self.config.variant.engine_options()
-        };
-
-        Ok(StagedQuery { prepared, preprocess_millis, transfer, options, cache_hit })
     }
 
-    /// Folds one served query into the outcome record and session statistics.
-    fn record_outcome(
-        &mut self,
-        request: QueryRequest,
-        staged: StagedQuery,
-        num_paths: u64,
-        paths: Vec<Path>,
-        device_millis: f64,
-    ) -> QueryOutcome {
-        let outcome = QueryOutcome {
-            request,
-            num_paths,
-            paths,
-            preprocess_millis: staged.preprocess_millis,
-            transfer: staged.transfer,
-            device_millis,
-        };
-        if staged.cache_hit {
+    /// Folds one served query into the session statistics.
+    fn record_outcome(&mut self, outcome: QueryOutcome, streamed: bool) -> QueryOutcome {
+        if outcome.cache_hit {
             self.stats.cache_hits += 1;
         }
         self.stats.queries += 1;
         self.stats.total_paths += outcome.num_paths;
+        if streamed {
+            self.stats.emitted_paths += outcome.num_paths;
+        } else {
+            self.stats.materialised_paths += outcome.paths.len() as u64;
+        }
         self.stats.preprocess_millis += outcome.preprocess_millis;
         self.stats.transfer_millis += outcome.transfer.total_millis;
         self.stats.device_millis += outcome.device_millis;
         outcome
     }
-}
-
-/// A query that cleared the host-side pipeline and is ready for the device.
-struct StagedQuery {
-    prepared: Arc<pefp_core::PreparedQuery>,
-    preprocess_millis: f64,
-    transfer: DmaTransferReport,
-    options: EngineOptions,
-    cache_hit: bool,
 }
 
 #[cfg(test)]
@@ -569,6 +599,29 @@ mod tests {
         assert_eq!(session.cached_prepared_queries(), 0);
         let outcome = session.run_query(QueryRequest::new(0, 3, 3)).unwrap();
         assert_eq!(outcome.num_paths, 1);
+    }
+
+    #[test]
+    fn batches_larger_than_the_queue_are_served_in_waves() {
+        let g = chung_lu(120, 5.0, 2.2, 17).to_csr();
+        let runtime = HostRuntime::launch(
+            GraphHandle::from_csr("waves", g),
+            RuntimeConfig { queue_capacity: 2, ..RuntimeConfig::default() },
+        );
+        let mut session = HostSession::attach(runtime);
+        // 7 unique queries against a 2-slot queue: 4 waves, no QueueFull.
+        let requests: Vec<QueryRequest> = (0..7).map(|i| QueryRequest::new(i, 60 + i, 4)).collect();
+        let outcome = session.run_batch(&requests).unwrap();
+        assert_eq!(outcome.results.len(), 7);
+        for (req, row) in requests.iter().zip(&outcome.results) {
+            assert_eq!(row.request, *req);
+            let oracle = session.run_query_counting(*req).unwrap();
+            assert_eq!(row.num_paths, oracle.num_paths, "{req:?}");
+        }
+        // An empty batch is a cheap no-op, like the dispatch scheduler's.
+        let empty = session.run_batch(&[]).unwrap();
+        assert!(empty.results.is_empty());
+        assert_eq!(empty.total_paths(), 0);
     }
 
     #[test]

@@ -461,6 +461,75 @@ impl ToJson for FigureResult {
     }
 }
 
+// --- device/report types -----------------------------------------------------
+//
+// The serde shims cannot serialise these (their derives are no-ops), so the
+// device-facing report types get explicit `ToJson` impls here; the host
+// server's `STATS` command and report tooling emit real JSON through them
+// instead of `{:#?}` debug text.
+
+impl ToJson for pefp_fpga::MemoryCounters {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("bram_reads", JsonValue::Number(self.bram_reads as f64)),
+            ("bram_writes", JsonValue::Number(self.bram_writes as f64)),
+            ("dram_reads", JsonValue::Number(self.dram_reads as f64)),
+            ("dram_writes", JsonValue::Number(self.dram_writes as f64)),
+            ("dram_words_read", JsonValue::Number(self.dram_words_read as f64)),
+            ("dram_words_written", JsonValue::Number(self.dram_words_written as f64)),
+            ("buffer_flushes", JsonValue::Number(self.buffer_flushes as f64)),
+            ("dram_batch_fetches", JsonValue::Number(self.dram_batch_fetches as f64)),
+            ("cache_hits", JsonValue::Number(self.cache_hits as f64)),
+            ("cache_misses", JsonValue::Number(self.cache_misses as f64)),
+        ])
+    }
+}
+
+impl ToJson for pefp_fpga::DeviceReport {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("cycles", JsonValue::Number(self.cycles as f64)),
+            ("kernel_millis", JsonValue::Number(self.kernel_millis)),
+            ("pcie_millis", JsonValue::Number(self.pcie_millis)),
+            ("total_millis", JsonValue::Number(self.total_millis)),
+            ("counters", self.counters.to_json()),
+            ("bram_used", JsonValue::Number(self.bram_used as f64)),
+            ("bram_capacity", JsonValue::Number(self.bram_capacity as f64)),
+            ("dram_cycles", JsonValue::Number(self.dram_cycles as f64)),
+            ("contention_cycles", JsonValue::Number(self.contention_cycles as f64)),
+        ])
+    }
+}
+
+impl ToJson for pefp_fpga::ArbiterStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("refills", JsonValue::Number(self.refills as f64)),
+            ("words", JsonValue::Number(self.words as f64)),
+            ("penalty_cycles", JsonValue::Number(self.penalty_cycles as f64)),
+            ("bank_conflicts", JsonValue::Number(self.bank_conflicts as f64)),
+            ("bank_conflict_cycles", JsonValue::Number(self.bank_conflict_cycles as f64)),
+        ])
+    }
+}
+
+impl ToJson for pefp_fpga::MultiCuSchedule {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("compute_units", JsonValue::Number(self.compute_units as f64)),
+            (
+                "per_cu_cycles",
+                JsonValue::numbers(
+                    &self.per_cu_cycles.iter().map(|&c| c as f64).collect::<Vec<_>>(),
+                ),
+            ),
+            ("makespan_cycles", JsonValue::Number(self.makespan_cycles as f64)),
+            ("serial_cycles", JsonValue::Number(self.serial_cycles as f64)),
+            ("contention_factor", JsonValue::Number(self.contention_factor)),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -544,5 +613,34 @@ mod tests {
         );
         let tables = parsed.get("tables").and_then(JsonValue::as_array).unwrap();
         assert_eq!(tables[0].get("rows").and_then(JsonValue::as_array).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn device_report_serialises_to_parseable_json() {
+        use pefp_core::{run_query, PefpVariant};
+        use pefp_fpga::DeviceConfig;
+        use pefp_graph::{CsrGraph, VertexId};
+
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let result = run_query(
+            &g,
+            VertexId(0),
+            VertexId(3),
+            3,
+            PefpVariant::Full,
+            &DeviceConfig::alveo_u200(),
+        );
+        let text = result.device.to_json().render_pretty();
+        let parsed = JsonValue::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("cycles").and_then(JsonValue::as_number),
+            Some(result.device.cycles as f64)
+        );
+        let counters = parsed.get("counters").expect("nested counters object");
+        assert!(counters.get("dram_words_read").and_then(JsonValue::as_number).is_some());
+
+        let stats = pefp_fpga::ArbiterStats::default().to_json().render();
+        let parsed = JsonValue::parse(&stats).unwrap();
+        assert_eq!(parsed.get("bank_conflict_cycles").and_then(JsonValue::as_number), Some(0.0));
     }
 }

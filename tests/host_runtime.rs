@@ -1,6 +1,8 @@
 //! Cross-crate integration tests of the host runtime: text query → session →
 //! payload serialisation → DMA → simulated device → results, checked against
-//! the CPU baselines.
+//! the CPU baselines — plus the concurrency-correctness suite of the
+//! multi-tenant `HostRuntime` (N client threads sharing one CU cluster,
+//! cancellation mid-stream, admission-queue backpressure).
 
 use pefp::baselines::{naive_dfs_enumerate, Join};
 use pefp::core::pre_bfs;
@@ -9,9 +11,10 @@ use pefp::graph::sampling::sample_reachable_pairs;
 use pefp::graph::{Dataset, ScaleProfile};
 use pefp::host::binfmt::{decode_payload, encode_payload};
 use pefp::host::{
-    BatchScheduler, GraphHandle, HostError, HostSession, QueryRequest, SchedulerConfig,
-    SessionConfig,
+    BatchScheduler, GraphHandle, HostError, HostRuntime, HostSession, QueryRequest, RuntimeConfig,
+    SchedulerConfig, SessionConfig,
 };
+use std::sync::Arc;
 
 fn dataset_handle(dataset: Dataset) -> GraphHandle {
     GraphHandle::from_csr(
@@ -98,6 +101,137 @@ fn batch_scheduler_agrees_with_interactive_sessions() {
         let interactive = session.run_query(*req).unwrap();
         assert_eq!(interactive.num_paths, batch_row.num_paths, "{req:?}");
     }
+}
+
+/// N client threads × M queries against one shared 4-CU runtime produce path
+/// sets byte-identical to serial `HostSession` runs of the same queries.
+#[test]
+fn concurrent_sessions_match_serial_results_byte_for_byte() {
+    let handle = dataset_handle(Dataset::SocEpinions);
+    let k = 4;
+    let queries: Vec<QueryRequest> = sample_reachable_pairs(&handle.csr, k, 12, 0xC0FFEE)
+        .into_iter()
+        .map(|(s, t)| QueryRequest { s, t, k })
+        .collect();
+    assert!(queries.len() >= 4, "need a non-trivial workload");
+
+    // Serial oracle: a classic private-runtime session, one query at a time.
+    let mut serial = HostSession::with_graph(handle.csr.clone(), SessionConfig::default());
+    let expected: Vec<Vec<pefp::graph::Path>> =
+        queries.iter().map(|q| canonicalize(serial.run_query(*q).unwrap().paths)).collect();
+
+    // Concurrent run: 4 client threads, each a session on one shared 4-CU
+    // runtime, every client running the full query list in a rotated order
+    // so the threads genuinely interleave on the cluster.
+    let runtime = HostRuntime::launch(
+        handle.clone(),
+        RuntimeConfig { compute_units: 4, ..RuntimeConfig::default() },
+    );
+    let clients = 4;
+    let per_client: Vec<Vec<Vec<Vec<pefp::graph::VertexId>>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let runtime = Arc::clone(&runtime);
+                let queries = queries.clone();
+                scope.spawn(move || {
+                    let mut session = HostSession::attach(runtime);
+                    (0..queries.len())
+                        .map(|i| {
+                            let q = queries[(i + c) % queries.len()];
+                            let outcome = session.run_query(q).unwrap();
+                            canonicalize(outcome.paths)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+    });
+    for (c, results) in per_client.iter().enumerate() {
+        for (i, got) in results.iter().enumerate() {
+            let want = &expected[(i + c) % queries.len()];
+            assert_eq!(got, want, "client {c}, slot {i}: concurrent != serial");
+        }
+    }
+    let stats = runtime.stats();
+    let total = (clients * queries.len()) as u64;
+    assert_eq!(stats.completed, total);
+    assert_eq!(stats.cache_hits + stats.cache_misses, total);
+    // Every unique query misses at least once; two clients racing on the
+    // same cold key may both miss, but the shared cache still absorbs the
+    // bulk of the cross-tenant repetition.
+    assert!(stats.cache_misses as usize >= queries.len());
+    assert!(stats.cache_hits >= total / 2, "shared cache must serve most repeats");
+    assert!(
+        stats.virtual_makespan_cycles < stats.total_device_cycles,
+        "4 tenants on 4 CUs must overlap in virtual time"
+    );
+}
+
+/// Cancellation mid-stream (a sink break) stops the emission: the session
+/// reports exactly the delivered prefix and the runtime keeps serving.
+#[test]
+fn cancellation_mid_stream_stops_emission() {
+    use pefp::graph::generators::{layered_dag, layered_sink, layered_source};
+    use pefp::graph::{CollectSink, FirstN};
+
+    // 4^5 = 1024 result paths; the stream is cut after 8.
+    let g = layered_dag(5, 4, 4, 1).to_csr();
+    let (s, t) = (layered_source().0, layered_sink(5, 4).0);
+    let runtime = HostRuntime::launch(
+        GraphHandle::from_csr("layered", g),
+        RuntimeConfig { compute_units: 2, ..RuntimeConfig::default() },
+    );
+    let mut session = HostSession::attach(Arc::clone(&runtime));
+    let mut sink = FirstN::new(8, CollectSink::new());
+    let outcome = session.run_query_streaming(QueryRequest::new(s, t, 6), &mut sink).unwrap();
+    assert_eq!(outcome.num_paths, 8, "exactly the delivered prefix is reported");
+    assert_eq!(sink.into_inner().paths().len(), 8);
+    assert_eq!(session.stats().emitted_paths, 8);
+
+    // The runtime survives the cancellation and serves the next query fully.
+    let full = session.run_query(QueryRequest::new(s, t, 6)).unwrap();
+    assert_eq!(full.num_paths, 1024);
+    let stats = runtime.stats();
+    assert_eq!(stats.completed, 2);
+}
+
+/// Backpressure: with a 1-slot admission queue and the only worker wedged on
+/// an undrained streaming job, the next submission is queued and the one
+/// after that surfaces `QueueFull` instead of blocking.
+#[test]
+fn queue_full_surfaces_under_a_one_slot_queue() {
+    use pefp::graph::generators::{layered_dag, layered_sink, layered_source};
+
+    let g = layered_dag(5, 4, 4, 1).to_csr();
+    let (s, t) = (layered_source().0, layered_sink(5, 4).0);
+    let runtime = HostRuntime::launch(
+        GraphHandle::from_csr("layered", g),
+        RuntimeConfig { compute_units: 1, queue_capacity: 1, ..RuntimeConfig::default() },
+    );
+    let session = runtime.register_session();
+
+    // Wedge the worker: a streaming job whose 1-path channel nobody drains.
+    let (stream_ticket, rx) =
+        runtime.submit_query_streaming(session, QueryRequest::new(s, t, 6), 1).unwrap();
+    // Wait until the worker actually picked the job up (first path arrives).
+    let first = rx.recv().expect("the streaming job must start");
+    assert!(!first.is_empty());
+
+    // One job fits the queue; the second is refused with QueueFull.
+    let queued = runtime.submit_query(session, QueryRequest::new(s, t, 5), false).unwrap();
+    let refused = runtime.submit_query(session, QueryRequest::new(s, t, 4), false);
+    assert!(matches!(refused, Err(HostError::QueueFull)));
+    assert_eq!(runtime.stats().queue_full_rejections, 1);
+
+    // Unwedge: cancel the stream and drop the receiver; everything drains.
+    stream_ticket.cancel();
+    drop(rx);
+    let streamed = stream_ticket.wait().unwrap();
+    assert!(streamed.num_paths <= 1024);
+    let queued = queued.wait().unwrap();
+    assert_eq!(queued.num_paths, 0, "no source→sink path uses fewer than 6 hops");
+    assert_eq!(runtime.queue_depth(), 0);
 }
 
 #[test]
