@@ -6,6 +6,7 @@
 //! cargo run -p pefp-bench --release --bin bench_gate -- --write BENCH_04.json
 //! cargo run -p pefp-bench --release --bin bench_gate -- --check BENCH_04.json
 //! cargo run -p pefp-bench --release --bin bench_gate -- --check BENCH_05.json
+//! cargo run -p pefp-bench --release --bin bench_gate -- --check BENCH_06.json
 //! ```
 //!
 //! The suite is selected by the baseline's file name:
@@ -13,6 +14,9 @@
 //! * `BENCH_04*` — the multi-CU dispatch + streaming cases of PR 4.
 //! * `BENCH_05*` — the host-concurrency cases: 1 vs 4 closed-loop sessions on
 //!   one shared 4-CU `HostRuntime`, with the ≥2× aggregate-throughput floor.
+//! * `BENCH_06*` — the closed-loop fraud stream: a `RuntimeCycleDetector`
+//!   ingesting the fixed 400-transaction workload through incremental graph
+//!   deltas, gated on sustained tx/sec at the fixed p99 latency budget.
 //!
 //! `--write` measures the suite's cases and records them, together with the
 //! machine's calibration time, as the committed baseline. `--check`
@@ -44,6 +48,16 @@ fn main() {
                  pool. The sessions1 virtual makespan is deterministic; sessions4 carries the \
                  >=2x aggregate-throughput (queries per virtual-makespan cycle) floor.",
         )
+    } else if file_name.starts_with("BENCH_06") {
+        (
+            "BENCH_06",
+            gate::run_fraud_stream_cases,
+            "fraud-stream baseline: medians over 5 samples of the 400-transaction \
+                 closed-loop RuntimeCycleDetector round (256 accounts, 5% fraud rings, k=6, \
+                 window 10k) on a 2-CU HostRuntime with incremental epoch updates. Device \
+                 cycles are deterministic; the floor gates sustained tx/sec under the fixed \
+                 50 ms p99 detection-latency budget.",
+        )
     } else if file_name.starts_with("BENCH_04") {
         (
             "BENCH_04",
@@ -54,7 +68,9 @@ fn main() {
                  cycles are deterministic.",
         )
     } else {
-        eprintln!("error: cannot infer the suite from {file_name:?} (want BENCH_04* or BENCH_05*)");
+        eprintln!(
+            "error: cannot infer the suite from {file_name:?} (want BENCH_04*, BENCH_05* or BENCH_06*)"
+        );
         std::process::exit(2);
     };
 

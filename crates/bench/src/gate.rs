@@ -281,6 +281,87 @@ pub fn run_host_concurrency_cases() -> Vec<GateCase> {
     cases
 }
 
+/// Transactions per closed-loop `BENCH_06` round.
+pub const FRAUD_STREAM_TXS: usize = 400;
+
+/// The fixed p99 detection-latency budget (wall milliseconds per ingested
+/// transaction, covering window expiry, the runtime cycle query and the
+/// insert delta). Generous enough for any CI machine; the *throughput*
+/// under this budget is what the floor gates.
+pub const FRAUD_P99_BUDGET_MS: f64 = 50.0;
+
+/// Minimum sustained transactions/second the fraud stream must keep while
+/// meeting [`FRAUD_P99_BUDGET_MS`]. A round whose p99 violates the budget
+/// reports zero sustained throughput and therefore fails this floor.
+pub const FRAUD_SUSTAINED_TX_PER_SEC_FLOOR: f64 = 100.0;
+
+/// The deterministic transaction stream every `BENCH_06` round ingests:
+/// 256 accounts, 5% injected fraud rings of size 4, fixed seed.
+pub fn fraud_stream_workload() -> Vec<pefp_streaming::Transaction> {
+    use pefp_streaming::{TransactionGenerator, TransactionGeneratorConfig};
+    TransactionGenerator::new(TransactionGeneratorConfig {
+        num_accounts: 256,
+        fraud_probability: 0.05,
+        ring_size: 4,
+        seed: 7,
+    })
+    .stream(FRAUD_STREAM_TXS)
+}
+
+/// Runs the `BENCH_06` fraud-stream case: a closed-loop
+/// [`pefp_streaming::RuntimeCycleDetector`] ingesting the fixed
+/// [`fraud_stream_workload`] through a shared `HostRuntime` — every
+/// transaction becomes an incremental `GraphDelta` (window expiries + the
+/// new edge) and a pre-insert cycle query against the current epoch.
+///
+/// Signals, per the gate's three-signal scheme:
+/// * `median_ns` — wall clock of the whole round (calibrated 25% rule);
+/// * `cycles` — total simulated device cycles of the round's queries, which
+///   are deterministic because the stream, the window and therefore every
+///   epoch's snapshot are fixed;
+/// * `floor` — sustained tx/sec while p99 per-transaction detection latency
+///   stays within [`FRAUD_P99_BUDGET_MS`]; a budget violation zeroes the
+///   sustained figure, so the latency bound is part of the hard gate.
+pub fn run_fraud_stream_cases() -> Vec<GateCase> {
+    use pefp_streaming::{RuntimeCycleDetector, RuntimeDetectorConfig};
+
+    let txs = fraud_stream_workload();
+    let mut sustained = 0.0_f64;
+    let mut cycles = 0u64;
+    let median = median_ns(|| {
+        let mut detector = RuntimeCycleDetector::new(RuntimeDetectorConfig {
+            max_cycle_hops: 6,
+            window_size: 10_000,
+            runtime: RuntimeConfig { compute_units: 2, ..RuntimeConfig::default() },
+        });
+        let round = Instant::now();
+        let mut latencies_ms: Vec<f64> = txs
+            .iter()
+            .map(|tx| {
+                let started = Instant::now();
+                std::hint::black_box(detector.ingest(tx).cycles.len());
+                started.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        let elapsed = round.elapsed().as_secs_f64();
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let p99 = latencies_ms[(latencies_ms.len() * 99).div_ceil(100) - 1];
+        sustained =
+            if p99 <= FRAUD_P99_BUDGET_MS { txs.len() as f64 / elapsed.max(1e-9) } else { 0.0 };
+        cycles = detector.runtime().stats().total_device_cycles;
+    });
+    vec![GateCase {
+        name: "fraud_stream/closed_loop".to_string(),
+        median_ns: median,
+        cycles: Some(cycles),
+        floor: Some(GateFloor {
+            label: format!("sustained_tx_per_sec_at_p99_{FRAUD_P99_BUDGET_MS}ms"),
+            value: sustained,
+            min: FRAUD_SUSTAINED_TX_PER_SEC_FLOOR,
+        }),
+    }]
+}
+
 /// Serialises a gate run (calibration + cases) as the `BENCH_04.json`
 /// document ([`to_json_named`] with the historical artefact name).
 pub fn to_json(calibration_ns: f64, cases: &[GateCase], meta_note: &str) -> JsonValue {

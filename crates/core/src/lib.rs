@@ -64,13 +64,13 @@ pub use options::{BatchStrategy, CancelToken, EngineOptions, VerificationPipelin
 pub use path::{TempPath, MAX_K};
 pub use planner::{plan_query, QueryPlan};
 pub use preprocess::{
-    no_prebfs_preprocess, no_prebfs_with, pre_bfs, pre_bfs_with, PrepareContext, PrepareStats,
-    PreparedQuery,
+    no_prebfs_preprocess, no_prebfs_snapshot_with, no_prebfs_with, pre_bfs, pre_bfs_snapshot_with,
+    pre_bfs_with, PrepareContext, PrepareStats, PreparedQuery, TouchedSet,
 };
 pub use result::{EngineOutput, EngineStats, PefpRunResult};
 pub use variants::{
-    prepare, prepare_with, run_prepared, run_prepared_on_device, run_prepared_with_sink, run_query,
-    run_query_with_options, run_query_with_sink, PefpVariant,
+    prepare, prepare_snapshot_with, prepare_with, run_prepared, run_prepared_on_device,
+    run_prepared_with_sink, run_query, run_query_with_options, run_query_with_sink, PefpVariant,
 };
 
 // The streaming-result vocabulary used by the sink-generic entry points,

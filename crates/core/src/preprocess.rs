@@ -38,10 +38,65 @@
 //! reverse BFS, no subgraph extraction).
 
 use pefp_graph::bfs::{BfsScratch, UNREACHED};
+use pefp_graph::delta::GraphSnapshot;
 use pefp_graph::induced::{induce_subgraph_from_vertices_with, InducedSubgraph, RemapScratch};
+use pefp_graph::view::GraphView;
 use pefp_graph::{CsrGraph, VertexId};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The set of data-graph vertices a preparation *depended on* — the sound
+/// invalidation key for cached [`PreparedQuery`]s under incremental updates.
+///
+/// For Pre-BFS this is the union of the forward and backward `(k-1)`-hop BFS
+/// frontiers plus the endpoints, in **original** graph ids. It is a superset
+/// of the pruned subgraph `G'`: Theorem 1 keeps only frontier vertices, but
+/// an edge insert `u -> v` with `u` outside the forward frontier and `v`
+/// outside the backward frontier can change neither BFS, hence neither `G'`,
+/// the barrier, nor the result set — while an insert touching either frontier
+/// can (e.g. bridging a forward-reachable dead end to a vertex that reaches
+/// `t`, where *neither* endpoint lies in `G'`). Intersecting a delta's
+/// touched vertices against this set is therefore conservative and exact
+/// enough: every invalidated result intersects it, and `G'` ⊆ touched means
+/// every entry whose pruned subgraph meets the delta is evicted too.
+///
+/// Preparations that ship the whole graph (no-Pre-BFS ablation, trivial
+/// queries) depend on everything and use [`TouchedSet::All`].
+#[derive(Debug, Clone)]
+pub enum TouchedSet {
+    /// The preparation read the entire graph; any update invalidates it.
+    All,
+    /// Sorted, deduplicated original-id vertices the preparation read.
+    Vertices(Vec<VertexId>),
+}
+
+impl TouchedSet {
+    /// Whether any vertex of `sorted` (ascending, deduplicated) is in the set.
+    pub fn intersects(&self, sorted: &[VertexId]) -> bool {
+        match self {
+            TouchedSet::All => true,
+            TouchedSet::Vertices(mine) => {
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < mine.len() && j < sorted.len() {
+                    match mine[i].cmp(&sorted[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => return true,
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Whether `v` is in the set.
+    pub fn contains(&self, v: VertexId) -> bool {
+        match self {
+            TouchedSet::All => true,
+            TouchedSet::Vertices(mine) => mine.binary_search(&v).is_ok(),
+        }
+    }
+}
 
 /// Everything the device needs to run one query.
 ///
@@ -69,6 +124,9 @@ pub struct PreparedQuery {
     /// `false` when preprocessing already proved the result set is empty
     /// (e.g. `t` unreachable); the device run can then be skipped.
     pub feasible: bool,
+    /// Original-id vertices this preparation depended on — the invalidation
+    /// key host-side caches intersect against graph-update deltas.
+    pub touched: TouchedSet,
     /// Host wall-clock time spent preprocessing, in milliseconds.
     pub host_millis: f64,
 }
@@ -212,15 +270,19 @@ pub fn pre_bfs(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> PreparedQuery 
 /// two bounded BFS frontiers reach: the Theorem 1 cut iterates the forward
 /// frontier (every kept vertex other than the force-kept endpoints has a
 /// finite `sd(s, ·)`), and the subgraph is induced from the kept list.
-fn pre_bfs_core(
+fn pre_bfs_core<GF, GR>(
     ctx: &mut PrepareContext,
-    g: &CsrGraph,
-    rev: &CsrGraph,
+    g: &GF,
+    rev: &GR,
     s: VertexId,
     t: VertexId,
     k: u32,
     start: Instant,
-) -> PreparedQuery {
+) -> PreparedQuery
+where
+    GF: GraphView + ?Sized,
+    GR: GraphView + ?Sized,
+{
     // (k-1)-hop bidirectional BFS.
     let bound = k - 1;
     ctx.forward.run(g, s, bound);
@@ -271,6 +333,17 @@ fn pre_bfs_core(
             .iter()
             .any(|&v| v == t || (ctx.backward.dist(v) != UNREACHED && ctx.backward.dist(v) < k));
 
+    // The dependency set for incremental invalidation: both frontiers plus
+    // the force-kept endpoints, in original ids.
+    let mut touched: Vec<VertexId> =
+        Vec::with_capacity(ctx.forward.touched_len() + ctx.backward.touched_len() + 2);
+    touched.push(s);
+    touched.push(t);
+    touched.extend_from_slice(ctx.forward.touched());
+    touched.extend_from_slice(ctx.backward.touched());
+    touched.sort_unstable();
+    touched.dedup();
+
     let host_millis = start.elapsed().as_secs_f64() * 1e3;
     PreparedQuery {
         graph: Arc::clone(&mapping.graph),
@@ -279,6 +352,7 @@ fn pre_bfs_core(
         k,
         barrier,
         feasible,
+        touched: TouchedSet::Vertices(touched),
         mapping: Some(mapping),
         host_millis,
     }
@@ -317,7 +391,17 @@ pub fn no_prebfs_with(
     }
     let feasible = barrier[s.index()] <= k;
     let host_millis = start.elapsed().as_secs_f64() * 1e3;
-    PreparedQuery { graph: Arc::clone(g), mapping: None, s, t, k, barrier, feasible, host_millis }
+    PreparedQuery {
+        graph: Arc::clone(g),
+        mapping: None,
+        s,
+        t,
+        k,
+        barrier,
+        feasible,
+        touched: TouchedSet::All,
+        host_millis,
+    }
 }
 
 /// One-shot form of [`no_prebfs_with`] with the original borrowed-graph
@@ -325,6 +409,75 @@ pub fn no_prebfs_with(
 /// full graph, so that copy existed before the context API too).
 pub fn no_prebfs_preprocess(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> PreparedQuery {
     no_prebfs_with(&mut PrepareContext::new(), &Arc::new(g.clone()), s, t, k)
+}
+
+/// Pre-BFS preprocessing against an epoch-versioned [`GraphSnapshot`]: the
+/// bidirectional BFS and the induced-subgraph extraction traverse the
+/// snapshot's copy-on-write overlay directly (both directions are first-class
+/// views), so no full CSR is ever materialised on this path. The produced
+/// `G'` is a fresh dense CSR either way, so the device side is oblivious to
+/// where the preparation read from.
+pub fn pre_bfs_snapshot_with(
+    ctx: &mut PrepareContext,
+    snapshot: &GraphSnapshot,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+) -> PreparedQuery {
+    let start = Instant::now();
+    let n = snapshot.num_vertices();
+    assert!(s.index() < n, "source {s} out of range");
+    assert!(t.index() < n, "target {t} out of range");
+    ctx.stats.queries += 1;
+    if k == 0 || s == t {
+        ctx.stats.last_touched = 0;
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        return trivial_prepared(snapshot.full_csr(), s, t, k, elapsed);
+    }
+    pre_bfs_core(ctx, &snapshot.forward(), &snapshot.reverse(), s, t, k, start)
+}
+
+/// No-Pre-BFS preprocessing against an epoch-versioned [`GraphSnapshot`].
+/// The ablation ships the whole graph, so this path materialises the
+/// snapshot once via [`GraphSnapshot::full_csr`] (cached per snapshot — the
+/// cost is paid once per epoch, not per query); the barrier BFS still runs
+/// over the overlay view.
+pub fn no_prebfs_snapshot_with(
+    ctx: &mut PrepareContext,
+    snapshot: &GraphSnapshot,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+) -> PreparedQuery {
+    let start = Instant::now();
+    let n = snapshot.num_vertices();
+    assert!(s.index() < n, "source {s} out of range");
+    assert!(t.index() < n, "target {t} out of range");
+    ctx.stats.queries += 1;
+    if k == 0 || s == t {
+        ctx.stats.last_touched = 0;
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        return trivial_prepared(snapshot.full_csr(), s, t, k, elapsed);
+    }
+    ctx.backward.run(&snapshot.reverse(), t, k);
+    ctx.stats.last_touched = ctx.backward.touched_len();
+    let mut barrier = vec![k + 1; n];
+    for &v in ctx.backward.touched() {
+        barrier[v.index()] = ctx.backward.dist(v);
+    }
+    let feasible = barrier[s.index()] <= k;
+    let host_millis = start.elapsed().as_secs_f64() * 1e3;
+    PreparedQuery {
+        graph: snapshot.full_csr(),
+        mapping: None,
+        s,
+        t,
+        k,
+        barrier,
+        feasible,
+        touched: TouchedSet::All,
+        host_millis,
+    }
 }
 
 /// Shared handling of `k == 0` and `s == t`.
@@ -336,7 +489,17 @@ fn trivial_prepared(
     host_millis: f64,
 ) -> PreparedQuery {
     let barrier = vec![k + 1; graph.num_vertices()];
-    PreparedQuery { graph, mapping: None, s, t, k, barrier, feasible: s == t, host_millis }
+    PreparedQuery {
+        graph,
+        mapping: None,
+        s,
+        t,
+        k,
+        barrier,
+        feasible: s == t,
+        touched: TouchedSet::All,
+        host_millis,
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,8 @@
 use crate::engine::PefpEngine;
 use crate::options::{BatchStrategy, EngineOptions, VerificationPipeline};
 use crate::preprocess::{
-    no_prebfs_preprocess, no_prebfs_with, pre_bfs, pre_bfs_with, PrepareContext, PreparedQuery,
+    no_prebfs_preprocess, no_prebfs_snapshot_with, no_prebfs_with, pre_bfs, pre_bfs_snapshot_with,
+    pre_bfs_with, PrepareContext, PreparedQuery,
 };
 use crate::result::PefpRunResult;
 use pefp_fpga::{Device, DeviceConfig};
@@ -118,6 +119,25 @@ pub fn prepare_with(
         pre_bfs_with(ctx, g, s, t, k)
     } else {
         no_prebfs_with(ctx, g, s, t, k)
+    }
+}
+
+/// [`prepare_with`] against an epoch-versioned graph snapshot: queries are
+/// preprocessed over the snapshot's copy-on-write overlay, so concurrent
+/// updates to newer epochs never show through. The host runtime captures one
+/// snapshot per admitted job and prepares against it here.
+pub fn prepare_snapshot_with(
+    ctx: &mut PrepareContext,
+    snapshot: &pefp_graph::delta::GraphSnapshot,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+    variant: PefpVariant,
+) -> PreparedQuery {
+    if variant.uses_prebfs() {
+        pre_bfs_snapshot_with(ctx, snapshot, s, t, k)
+    } else {
+        no_prebfs_snapshot_with(ctx, snapshot, s, t, k)
     }
 }
 

@@ -6,6 +6,7 @@
 
 use crate::csr::CsrGraph;
 use crate::ids::VertexId;
+use crate::view::GraphView;
 use std::collections::VecDeque;
 
 /// Distance value used for vertices not reached within the hop bound.
@@ -17,7 +18,7 @@ pub const UNREACHED: u32 = u32::MAX;
 
 /// Runs a BFS from `source` that explores at most `max_hops` hops and returns
 /// the distance array (`UNREACHED` for vertices not reached within the bound).
-pub fn khop_bfs(g: &CsrGraph, source: VertexId, max_hops: u32) -> Vec<u32> {
+pub fn khop_bfs<G: GraphView + ?Sized>(g: &G, source: VertexId, max_hops: u32) -> Vec<u32> {
     khop_bfs_multi(g, std::slice::from_ref(&source), max_hops)
 }
 
@@ -27,7 +28,11 @@ pub fn khop_bfs(g: &CsrGraph, source: VertexId, max_hops: u32) -> Vec<u32> {
 /// array (JOIN preprocessing, barrier construction over all of `G`) pay
 /// O(|V|) for the output anyway, so the epoch-stamping of [`BfsScratch`]
 /// would only add bookkeeping here.
-pub fn khop_bfs_multi(g: &CsrGraph, sources: &[VertexId], max_hops: u32) -> Vec<u32> {
+pub fn khop_bfs_multi<G: GraphView + ?Sized>(
+    g: &G,
+    sources: &[VertexId],
+    max_hops: u32,
+) -> Vec<u32> {
     let n = g.num_vertices();
     let mut dist = vec![UNREACHED; n];
     let mut queue = VecDeque::new();
@@ -107,12 +112,12 @@ impl BfsScratch {
     }
 
     /// Runs a hop-bounded BFS from `source`, replacing any previous run.
-    pub fn run(&mut self, g: &CsrGraph, source: VertexId, max_hops: u32) {
+    pub fn run<G: GraphView + ?Sized>(&mut self, g: &G, source: VertexId, max_hops: u32) {
         self.run_multi(g, std::slice::from_ref(&source), max_hops);
     }
 
     /// Multi-source variant of [`BfsScratch::run`].
-    pub fn run_multi(&mut self, g: &CsrGraph, sources: &[VertexId], max_hops: u32) {
+    pub fn run_multi<G: GraphView + ?Sized>(&mut self, g: &G, sources: &[VertexId], max_hops: u32) {
         self.begin(g.num_vertices());
         for &s in sources {
             if self.mark[s.index()] != self.epoch {

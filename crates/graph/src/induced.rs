@@ -15,6 +15,7 @@
 
 use crate::csr::{CsrBuilder, CsrGraph};
 use crate::ids::VertexId;
+use crate::view::GraphView;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -119,9 +120,9 @@ impl RemapScratch {
 /// # Panics
 ///
 /// Panics if any listed vertex is out of range for `g`.
-pub fn induce_subgraph_from_vertices_with(
+pub fn induce_subgraph_from_vertices_with<G: GraphView + ?Sized>(
     scratch: &mut RemapScratch,
-    g: &CsrGraph,
+    g: &G,
     mut kept: Vec<VertexId>,
 ) -> InducedSubgraph {
     kept.sort_unstable();

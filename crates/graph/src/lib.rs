@@ -45,6 +45,7 @@ pub mod components;
 pub mod csr;
 pub mod datasets;
 pub mod degree;
+pub mod delta;
 pub mod digraph;
 pub mod formats;
 pub mod generators;
@@ -57,12 +58,14 @@ pub mod sampling;
 pub mod scc;
 pub mod sink;
 pub mod stats;
+pub mod view;
 
 pub use bfs::{constrained_distance, khop_bfs, khop_bfs_multi, BfsScratch, UNREACHED};
 pub use components::{weakly_connected_components, DisjointSets, WccDecomposition};
 pub use csr::{CsrBuilder, CsrGraph};
 pub use datasets::{Dataset, DatasetSpec, ScaleProfile};
 pub use degree::DegreeDistribution;
+pub use delta::{Epoch, GraphDelta, GraphSnapshot, SnapshotView, VersionedGraph};
 pub use digraph::DiGraph;
 pub use formats::{detect_format, read_graph_auto, read_graph_file, GraphFormat, LoadedGraph};
 pub use ids::VertexId;
@@ -76,3 +79,4 @@ pub use sampling::{sample_reachable_pairs, sample_simple_paths};
 pub use scc::{strongly_connected_components, SccDecomposition};
 pub use sink::{CollectSink, CountingSink, FirstN, FnSink, PathSink, TranslateSink};
 pub use stats::GraphStats;
+pub use view::GraphView;

@@ -1,0 +1,108 @@
+//! Read-only graph abstraction shared by CSR graphs and snapshot overlays.
+//!
+//! The BFS and induced-subgraph machinery originally operated on [`CsrGraph`]
+//! directly. The epoch-versioned snapshot layer ([`crate::delta`]) serves the
+//! *same* traversals over a copy-on-write overlay — a base CSR plus a handful
+//! of replaced adjacency rows — so the traversal primitives are generic over
+//! this trait instead. Both representations hand out adjacency lists as
+//! sorted, deduplicated slices, which is what keeps enumeration order (and
+//! therefore result byte-identity) independent of the representation.
+
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+
+/// A read-only directed graph: a vertex count plus sorted successor slices.
+///
+/// Implementations must return successor lists sorted ascending by vertex id
+/// and free of duplicates — the invariant [`CsrGraph`] already maintains —
+/// because enumeration order, path canonicalisation and snapshot/rebuild
+/// equivalence tests all depend on it.
+pub trait GraphView {
+    /// Number of vertices; valid ids are `0..num_vertices()`.
+    fn num_vertices(&self) -> usize;
+
+    /// Successors (out-neighbours) of `v`, sorted ascending and deduplicated.
+    fn successors(&self, v: VertexId) -> &[VertexId];
+
+    /// Out-degree of `v`.
+    #[inline]
+    fn out_degree(&self, v: VertexId) -> usize {
+        self.successors(v).len()
+    }
+
+    /// Whether the directed edge `from -> to` exists (binary search).
+    #[inline]
+    fn has_edge(&self, from: VertexId, to: VertexId) -> bool {
+        self.successors(from).binary_search(&to).is_ok()
+    }
+}
+
+impl GraphView for CsrGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+
+    #[inline]
+    fn successors(&self, v: VertexId) -> &[VertexId] {
+        CsrGraph::successors(self, v)
+    }
+
+    #[inline]
+    fn out_degree(&self, v: VertexId) -> usize {
+        CsrGraph::out_degree(self, v)
+    }
+}
+
+impl<G: GraphView + ?Sized> GraphView for std::sync::Arc<G> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    #[inline]
+    fn successors(&self, v: VertexId) -> &[VertexId] {
+        (**self).successors(v)
+    }
+
+    #[inline]
+    fn out_degree(&self, v: VertexId) -> usize {
+        (**self).out_degree(v)
+    }
+}
+
+impl<G: GraphView + ?Sized> GraphView for &G {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    #[inline]
+    fn successors(&self, v: VertexId) -> &[VertexId] {
+        (**self).successors(v)
+    }
+
+    #[inline]
+    fn out_degree(&self, v: VertexId) -> usize {
+        (**self).out_degree(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn takes_view<G: GraphView>(g: &G, v: VertexId) -> usize {
+        g.successors(v).len() + g.num_vertices()
+    }
+
+    #[test]
+    fn csr_and_arc_csr_both_implement_the_view() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2)]);
+        assert_eq!(takes_view(&g, VertexId(0)), 5);
+        let shared = std::sync::Arc::new(g);
+        assert_eq!(takes_view(&shared, VertexId(0)), 5);
+        assert!(GraphView::has_edge(&shared, VertexId(0), VertexId(2)));
+        assert_eq!(GraphView::out_degree(&shared, VertexId(1)), 0);
+    }
+}

@@ -53,7 +53,14 @@ impl QueryRequest {
 
     /// Validates the request against a loaded graph.
     pub fn validate(&self, g: &CsrGraph) -> Result<(), HostError> {
-        let n = g.num_vertices();
+        self.validate_for(g.num_vertices())
+    }
+
+    /// Validates the request against a graph of `n` vertices. Runtimes serving
+    /// a versioned graph validate against the *current snapshot's* vertex
+    /// count, which can exceed the base CSR's after edge inserts grew the
+    /// vertex set.
+    pub fn validate_for(&self, n: usize) -> Result<(), HostError> {
         if self.s.index() >= n {
             return Err(HostError::QueryInvalid(format!(
                 "source {} out of range (graph has {n} vertices)",

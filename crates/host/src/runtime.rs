@@ -44,12 +44,13 @@ use crate::query::QueryRequest;
 use crate::scheduler::BatchQueryResult;
 use crate::session::QueryOutcome;
 use pefp_core::{
-    plan_query, prepare_with, run_prepared_on_device, CancelToken, PefpVariant, PrepareContext,
-    PreparedQuery,
+    plan_query, prepare_snapshot_with, run_prepared_on_device, CancelToken, PefpVariant,
+    PrepareContext, PreparedQuery,
 };
 use pefp_fpga::{CuCluster, CuLease, DeviceConfig, MultiCuConfig, Pcie};
 use pefp_graph::sink::{CollectSink, CountingSink, FnSink};
-use pefp_graph::VertexId;
+use pefp_graph::view::GraphView;
+use pefp_graph::{Epoch, GraphDelta, GraphSnapshot, VersionedGraph, VertexId};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
@@ -222,6 +223,11 @@ struct Job {
     session: SessionId,
     request: QueryRequest,
     kind: JobKind,
+    /// The graph epoch this job was admitted under. The job runs against this
+    /// snapshot even if [`HostRuntime::apply_updates`] lands newer epochs
+    /// while it is queued or running — a query's answer is always consistent
+    /// with *one* version of the graph.
+    snapshot: Arc<GraphSnapshot>,
     ticket: Arc<TicketInner<QueryOutcome>>,
 }
 
@@ -412,6 +418,16 @@ impl CacheShard {
         }
         self.entries.insert(key, (self.tick, prep));
     }
+
+    /// Drops every entry whose BFS-touched vertex set intersects `touched`
+    /// (sorted, deduplicated) and returns how many were evicted. Entries whose
+    /// preprocessing never saw a touched vertex answer identically on the new
+    /// epoch, so they survive.
+    fn invalidate(&mut self, touched: &[VertexId]) -> u64 {
+        let before = self.entries.len();
+        self.entries.retain(|_, (_, prep)| !prep.touched.intersects(touched));
+        (before - self.entries.len()) as u64
+    }
 }
 
 /// The shared prepared-query LRU: `(s, t, k)` keys hashed onto independently
@@ -454,8 +470,37 @@ impl SharedPreparedCache {
         hit
     }
 
+    #[cfg(test)]
     fn insert(&self, key: QueryRequest, prep: Arc<PreparedQuery>) {
         self.shards[self.shard_of(&key)].lock().expect("cache shard poisoned").insert(key, prep);
+    }
+
+    /// Inserts `prep` only if the runtime is still on the epoch the entry was
+    /// prepared under, checked *under the shard lock*. This closes the race
+    /// with [`HostRuntime::apply_updates`], which stores the new epoch before
+    /// sweeping the shards: if the worker sees the old epoch here, its insert
+    /// lands before the sweep (same lock) and the sweep evicts it if stale; if
+    /// it sees the new epoch, the entry is simply dropped.
+    fn insert_if_epoch(
+        &self,
+        key: QueryRequest,
+        prep: Arc<PreparedQuery>,
+        prepared_epoch: Epoch,
+        current: &AtomicU64,
+    ) {
+        let mut shard = self.shards[self.shard_of(&key)].lock().expect("cache shard poisoned");
+        if current.load(Ordering::Acquire) == prepared_epoch {
+            shard.insert(key, prep);
+        }
+    }
+
+    /// Sweeps every shard, evicting entries touched by an update. Returns the
+    /// number of evicted entries.
+    fn invalidate(&self, touched: &[VertexId]) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").invalidate(touched))
+            .sum()
     }
 
     fn len(&self) -> usize {
@@ -475,6 +520,8 @@ struct RuntimeCounters {
     rejected: AtomicU64,
     queue_full: AtomicU64,
     cancelled: AtomicU64,
+    graph_updates: AtomicU64,
+    cache_invalidated: AtomicU64,
     per_cu_busy_cycles: Vec<AtomicU64>,
     per_cu_jobs: Vec<AtomicU64>,
     next_session: AtomicU64,
@@ -525,6 +572,12 @@ pub struct RuntimeStats {
     pub cache_misses: u64,
     /// Prepared queries currently resident in the shared cache.
     pub cached_prepared_queries: usize,
+    /// Current graph epoch (0 until the first [`HostRuntime::apply_updates`]).
+    pub epoch: u64,
+    /// Update batches applied through [`HostRuntime::apply_updates`].
+    pub graph_updates: u64,
+    /// Cached prepared queries evicted by update invalidation sweeps.
+    pub cache_invalidated: u64,
     /// Simulated busy cycles per CU (contention stalls included), in the
     /// virtual placement domain — the same clock the makespan lives in, so
     /// `busy / makespan` is a true utilisation fraction.
@@ -580,6 +633,9 @@ impl pefp_workload::ToJson for RuntimeStats {
             ("cache_misses", JsonValue::Number(self.cache_misses as f64)),
             ("cache_hit_rate", JsonValue::Number(self.cache_hit_rate())),
             ("cached_prepared_queries", JsonValue::Number(self.cached_prepared_queries as f64)),
+            ("epoch", JsonValue::Number(self.epoch as f64)),
+            ("graph_updates", JsonValue::Number(self.graph_updates as f64)),
+            ("cache_invalidated", JsonValue::Number(self.cache_invalidated as f64)),
             (
                 "per_cu_busy_cycles",
                 JsonValue::numbers(
@@ -605,6 +661,13 @@ impl pefp_workload::ToJson for RuntimeStats {
 struct RuntimeShared {
     config: RuntimeConfig,
     graph: GraphHandle,
+    /// The epoch-versioned graph. Jobs capture the current snapshot at
+    /// submission; `apply_updates` swings this to the next epoch.
+    versioned: Mutex<VersionedGraph>,
+    /// Mirror of the current epoch, readable without the `versioned` lock.
+    /// Stored (via `fetch_max`) *before* the cache invalidation sweep — the
+    /// ordering the epoch-fenced cache insert relies on.
+    epoch: AtomicU64,
     cluster: CuCluster,
     queue: AdmissionQueue,
     cache: SharedPreparedCache,
@@ -643,15 +706,20 @@ impl HostRuntime {
                 per_cu_bandwidth_share: config.per_cu_bandwidth_share,
             },
         );
+        let versioned = VersionedGraph::new(Arc::clone(&graph.csr), Arc::clone(&graph.reverse));
         let shared = Arc::new(RuntimeShared {
             queue: AdmissionQueue::new(config.queue_capacity),
             cache: SharedPreparedCache::new(config.shared_cache_capacity, config.cache_stripes),
+            epoch: AtomicU64::new(versioned.epoch()),
+            versioned: Mutex::new(versioned),
             counters: RuntimeCounters {
                 submitted: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
                 queue_full: AtomicU64::new(0),
                 cancelled: AtomicU64::new(0),
+                graph_updates: AtomicU64::new(0),
+                cache_invalidated: AtomicU64::new(0),
                 per_cu_busy_cycles: (0..cus).map(|_| AtomicU64::new(0)).collect(),
                 per_cu_jobs: (0..cus).map(|_| AtomicU64::new(0)).collect(),
                 next_session: AtomicU64::new(0),
@@ -675,9 +743,55 @@ impl HostRuntime {
         Arc::new(HostRuntime { shared, workers: Mutex::new(workers) })
     }
 
-    /// The graph this runtime serves.
+    /// The graph this runtime serves (the epoch-0 base; see
+    /// [`HostRuntime::current_snapshot`] for the live version).
     pub fn graph(&self) -> &GraphHandle {
         &self.shared.graph
+    }
+
+    /// The current graph epoch. Starts at 0 and advances by one per
+    /// [`HostRuntime::apply_updates`] batch.
+    pub fn epoch(&self) -> Epoch {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// The snapshot new submissions are admitted under. In-flight jobs may
+    /// still be running against older snapshots (each job pins its own).
+    pub fn current_snapshot(&self) -> Arc<GraphSnapshot> {
+        Arc::clone(self.shared.versioned.lock().expect("versioned graph poisoned").current())
+    }
+
+    /// Applies a batch of edge inserts and removals, producing the next graph
+    /// epoch, and returns it. In-flight and already-queued jobs keep the
+    /// snapshot they were admitted under; jobs submitted after this returns
+    /// see the new epoch.
+    ///
+    /// The shared prepared-query cache is invalidated *incrementally*: only
+    /// entries whose preprocessing BFS touched one of the delta's endpoint
+    /// vertices are evicted (an untouched entry's pruned subgraph — and
+    /// therefore its answer — is provably identical on the new epoch).
+    /// The epoch mirror is advanced before the sweep so a concurrently
+    /// finishing worker cannot re-insert a stale entry behind the sweep (see
+    /// `SharedPreparedCache::insert_if_epoch`).
+    ///
+    /// An empty delta still advances the epoch — a fence callers can use to
+    /// separate "before" from "after".
+    pub fn apply_updates(&self, delta: &GraphDelta) -> Epoch {
+        let snapshot = {
+            let mut versioned = self.shared.versioned.lock().expect("versioned graph poisoned");
+            versioned.apply(delta)
+        };
+        let epoch = snapshot.epoch();
+        // fetch_max, not store: concurrent updates serialise on the versioned
+        // lock but could publish their epochs out of order here.
+        self.shared.epoch.fetch_max(epoch, Ordering::AcqRel);
+        self.shared.counters.graph_updates.fetch_add(1, Ordering::Relaxed);
+        let touched = delta.touched_vertices();
+        if !touched.is_empty() {
+            let evicted = self.shared.cache.invalidate(&touched);
+            self.shared.counters.cache_invalidated.fetch_add(evicted, Ordering::Relaxed);
+        }
+        epoch
     }
 
     /// The runtime configuration.
@@ -721,6 +835,9 @@ impl HostRuntime {
             cache_hits: self.shared.cache.hits.load(Ordering::Relaxed),
             cache_misses: self.shared.cache.misses.load(Ordering::Relaxed),
             cached_prepared_queries: self.shared.cache.len(),
+            epoch: self.shared.epoch.load(Ordering::Acquire),
+            graph_updates: c.graph_updates.load(Ordering::Relaxed),
+            cache_invalidated: c.cache_invalidated.load(Ordering::Relaxed),
             per_cu_busy_cycles: c
                 .per_cu_busy_cycles
                 .iter()
@@ -780,8 +897,9 @@ impl HostRuntime {
         session: SessionId,
         requests: &[QueryRequest],
     ) -> Result<BatchTicket, HostError> {
+        let snapshot = self.current_snapshot();
         for request in requests {
-            if let Err(e) = request.validate(&self.shared.graph.csr) {
+            if let Err(e) = request.validate_for(snapshot.num_vertices()) {
                 self.shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(e);
             }
@@ -804,8 +922,14 @@ impl HostRuntime {
             let ticket = TicketInner::new();
             tickets.push(JobTicket { inner: Arc::clone(&ticket), armed: true });
             jobs.push((
-                Job { session, request: *request, kind: JobKind::Count, ticket },
-                self.estimate(request),
+                Job {
+                    session,
+                    request: *request,
+                    kind: JobKind::Count,
+                    snapshot: Arc::clone(&snapshot),
+                    ticket,
+                },
+                estimate(&snapshot, request),
             ));
         }
         let n = jobs.len() as u64;
@@ -829,14 +953,16 @@ impl HostRuntime {
         request: QueryRequest,
         kind: JobKind,
     ) -> Result<JobTicket<QueryOutcome>, HostError> {
-        if let Err(e) = request.validate(&self.shared.graph.csr) {
+        let snapshot = self.current_snapshot();
+        if let Err(e) = request.validate_for(snapshot.num_vertices()) {
             self.shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(e);
         }
         let inner = TicketInner::new();
         let ticket = JobTicket { inner: Arc::clone(&inner), armed: true };
-        let job = Job { session, request, kind, ticket: inner };
-        match self.shared.queue.submit(job, self.estimate(&request)) {
+        let est = estimate(&snapshot, &request);
+        let job = Job { session, request, kind, snapshot, ticket: inner };
+        match self.shared.queue.submit(job, est) {
             Ok(pruned) => {
                 self.shared.counters.cancelled.fetch_add(pruned, Ordering::Relaxed);
                 self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
@@ -849,14 +975,15 @@ impl HostRuntime {
             Err(e) => Err(e),
         }
     }
+}
 
-    /// Cheap submission-time LPT estimate of a query's device work: the
-    /// source's fan-out times the hop budget. A proxy, not a prediction —
-    /// it only has to *rank* a session's queued jobs so the heavy ones start
-    /// early (the true cycle count is unknowable before preprocessing).
-    fn estimate(&self, request: &QueryRequest) -> u64 {
-        (self.shared.graph.csr.out_degree(request.s) as u64 + 1) * request.k as u64
-    }
+/// Cheap submission-time LPT estimate of a query's device work: the source's
+/// fan-out (in the snapshot the job will run against) times the hop budget. A
+/// proxy, not a prediction — it only has to *rank* a session's queued jobs so
+/// the heavy ones start early (the true cycle count is unknowable before
+/// preprocessing).
+fn estimate(snapshot: &GraphSnapshot, request: &QueryRequest) -> u64 {
+    (snapshot.forward().out_degree(request.s) as u64 + 1) * request.k as u64
 }
 
 impl Drop for HostRuntime {
@@ -970,21 +1097,25 @@ fn execute_job(
     lease: &CuLease<'_>,
     job: Job,
 ) {
-    let Job { session, request, kind, ticket } = job;
+    let Job { session, request, kind, snapshot, ticket } = job;
     if ticket.cancel.load(Ordering::Acquire) {
         shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
         ticket.complete(Err(HostError::Cancelled));
         return;
     }
 
-    // Stage: shared-cache lookup or fresh preprocessing.
+    // Stage: shared-cache lookup or fresh preprocessing against the snapshot
+    // the job pinned at admission. A cached entry may have been prepared on
+    // an older epoch; it is only still resident because no update since has
+    // touched its BFS frontier, which makes its answer identical on every
+    // epoch since — including this job's.
     let stage_started = Instant::now();
     let (prepared, cache_hit) = match shared.cache.get(&request) {
         Some(hit) => (hit, true),
         None => {
-            let prep = Arc::new(prepare_with(
+            let prep = Arc::new(prepare_snapshot_with(
                 ctx,
-                &shared.graph.csr,
+                &snapshot,
                 request.s,
                 request.t,
                 request.k,
@@ -1008,7 +1139,12 @@ fn execute_job(
         return;
     }
     if !cache_hit {
-        shared.cache.insert(request, Arc::clone(&prepared));
+        shared.cache.insert_if_epoch(
+            request,
+            Arc::clone(&prepared),
+            snapshot.epoch(),
+            &shared.epoch,
+        );
     }
     let transfer = dma.transfer(bytes);
 
@@ -1126,6 +1262,7 @@ fn execute_job(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pefp_core::prepare_with;
     use pefp_graph::CsrGraph;
 
     fn diamond_runtime(config: RuntimeConfig) -> Arc<HostRuntime> {
@@ -1133,13 +1270,20 @@ mod tests {
         HostRuntime::launch(GraphHandle::from_csr("diamond", g), config)
     }
 
+    fn diamond_snapshot() -> Arc<GraphSnapshot> {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        Arc::clone(VersionedGraph::from_csr(g).current())
+    }
+
     #[test]
     fn queue_serves_sessions_round_robin_with_lpt_within() {
         let queue = AdmissionQueue::new(16);
+        let snapshot = diamond_snapshot();
         let job = |session: SessionId, s: u32| Job {
             session,
             request: QueryRequest::new(s, 3, 3),
             kind: JobKind::Count,
+            snapshot: Arc::clone(&snapshot),
             ticket: TicketInner::new(),
         };
         // Session 0 queues estimates [5, 9, 1]; session 1 queues [7, 7].
@@ -1158,10 +1302,12 @@ mod tests {
     #[test]
     fn queue_is_bounded_and_rejects_instead_of_blocking() {
         let queue = AdmissionQueue::new(2);
+        let snapshot = diamond_snapshot();
         let job = || Job {
             session: 0,
             request: QueryRequest::new(0, 3, 3),
             kind: JobKind::Count,
+            snapshot: Arc::clone(&snapshot),
             ticket: TicketInner::new(),
         };
         queue.submit(job(), 1).unwrap();
@@ -1180,10 +1326,12 @@ mod tests {
     #[test]
     fn cancelled_queued_jobs_free_their_queue_slots() {
         let queue = AdmissionQueue::new(2);
+        let snapshot = diamond_snapshot();
         let job = || Job {
             session: 0,
             request: QueryRequest::new(0, 3, 3),
             kind: JobKind::Count,
+            snapshot: Arc::clone(&snapshot),
             ticket: TicketInner::new(),
         };
         let dead_a = job();
@@ -1261,6 +1409,56 @@ mod tests {
             "one session is serial"
         );
         assert_eq!(stats.per_cu_utilisation(), vec![1.0]);
+    }
+
+    #[test]
+    fn updates_advance_the_epoch_and_refresh_touched_answers() {
+        let runtime = diamond_runtime(RuntimeConfig::default());
+        let session = runtime.register_session();
+        let req = QueryRequest::new(0, 3, 3);
+        let before = runtime.submit_query(session, req, false).unwrap().wait().unwrap();
+        assert_eq!(before.num_paths, 2);
+        assert_eq!(runtime.epoch(), 0);
+
+        let mut delta = GraphDelta::new();
+        delta.insert_edge(VertexId(0), VertexId(3));
+        assert_eq!(runtime.apply_updates(&delta), 1);
+        assert_eq!(runtime.epoch(), 1);
+
+        let after = runtime.submit_query(session, req, false).unwrap().wait().unwrap();
+        assert_eq!(after.num_paths, 3, "the direct edge 0->3 is a new path");
+        assert!(!after.cache_hit, "the touched cache entry was evicted");
+        let stats = runtime.stats();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(stats.graph_updates, 1);
+        assert!(stats.cache_invalidated >= 1);
+
+        // Removing the edge again restores the original answer.
+        let mut undo = GraphDelta::new();
+        undo.remove_edge(VertexId(0), VertexId(3));
+        assert_eq!(runtime.apply_updates(&undo), 2);
+        let restored = runtime.submit_query(session, req, false).unwrap().wait().unwrap();
+        assert_eq!(restored.num_paths, 2);
+    }
+
+    #[test]
+    fn inserts_can_grow_the_vertex_set_served_by_the_runtime() {
+        let runtime = diamond_runtime(RuntimeConfig::default());
+        let session = runtime.register_session();
+        // Vertex 4 does not exist yet: rejected at validation.
+        assert!(matches!(
+            runtime.submit_query(session, QueryRequest::new(0, 4, 4), false),
+            Err(HostError::QueryInvalid(_))
+        ));
+        let mut delta = GraphDelta::new();
+        delta.insert_edge(VertexId(3), VertexId(4));
+        runtime.apply_updates(&delta);
+        let outcome = runtime
+            .submit_query(session, QueryRequest::new(0, 4, 4), false)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(outcome.num_paths, 2, "0-1-3-4 and 0-2-3-4");
     }
 
     #[test]

@@ -40,7 +40,7 @@ use crate::scheduler::{BatchScheduler, SchedulerConfig};
 use crate::session::HostSession;
 use pefp_fpga::MultiCuConfig;
 use pefp_graph::sink::{FirstN, PathSink};
-use pefp_graph::VertexId;
+use pefp_graph::{GraphDelta, VertexId};
 use pefp_workload::{JsonValue, ToJson};
 use std::io::{BufRead, Write};
 use std::ops::ControlFlow;
@@ -156,7 +156,9 @@ pub fn handle_line(session: &mut HostSession, line: &str) -> Reply {
         "HELP" => Reply::Ok(
             "commands: QUERY <s> <t> <k> | COUNT <s> <t> <k> | STREAM <s> <t> <k> [limit] | \
              BATCH <s> <t> <k> [<s> <t> <k> ...] [CUS=<n>] (no CUS: fair shared-runtime batch; \
-             CUS=n: measured dispatch on n CUs) | GRAPH | STATS | HELP | QUIT"
+             CUS=n: measured dispatch on n CUs) | UPDATE <u> <v> [<u> <v> ...] (insert edges, \
+             advances the graph epoch) | EXPIRE <u> <v> [<u> <v> ...] (remove edges) | \
+             GRAPH | STATS | HELP | QUIT"
                 .to_string(),
         ),
         "QUIT" | "EXIT" => Reply::Quit("bye".to_string()),
@@ -243,7 +245,62 @@ pub fn handle_line(session: &mut HostSession, line: &str) -> Reply {
             }
         }
         "BATCH" => handle_batch(session, &rest),
+        "UPDATE" => handle_update(session, UpdateMode::Insert, &rest),
+        "EXPIRE" => handle_update(session, UpdateMode::Remove, &rest),
         other => Reply::Err(format!("unknown command {other:?}; try HELP")),
+    }
+}
+
+/// Hard ceiling on the number of `(u v)` edge pairs one `UPDATE`/`EXPIRE`
+/// line may carry, bounding the delta one command can stage.
+pub const MAX_UPDATE_EDGES: usize = 4096;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UpdateMode {
+    Insert,
+    Remove,
+}
+
+/// `UPDATE u v [u v ...]` inserts the listed edges; `EXPIRE u v [u v ...]`
+/// removes them. Either way the whole line is applied as **one**
+/// [`GraphDelta`] batch — one new epoch, one cache-invalidation sweep — and
+/// the reply reports the epoch it produced. In-flight queries keep answering
+/// on the snapshot they were admitted under.
+fn handle_update(session: &mut HostSession, mode: UpdateMode, args: &[&str]) -> Reply {
+    let verb = match mode {
+        UpdateMode::Insert => "UPDATE",
+        UpdateMode::Remove => "EXPIRE",
+    };
+    if args.is_empty() || !args.len().is_multiple_of(2) {
+        return Reply::Err(format!(
+            "{verb} expects (u v) edge pairs, got {} argument(s); try HELP",
+            args.len()
+        ));
+    }
+    if args.len() / 2 > MAX_UPDATE_EDGES {
+        return Reply::Err(format!(
+            "{verb} accepts at most {MAX_UPDATE_EDGES} edges, got {}",
+            args.len() / 2
+        ));
+    }
+    let mut delta = GraphDelta::new();
+    for pair in args.chunks_exact(2) {
+        let parse = |tok: &str| {
+            tok.parse::<u32>()
+                .map_err(|_| format!("vertex must be a non-negative integer, got {tok:?}"))
+        };
+        let (u, v) = match (parse(pair[0]), parse(pair[1])) {
+            (Ok(u), Ok(v)) => (VertexId(u), VertexId(v)),
+            (Err(e), _) | (_, Err(e)) => return Reply::Err(e),
+        };
+        match mode {
+            UpdateMode::Insert => delta.insert_edge(u, v),
+            UpdateMode::Remove => delta.remove_edge(u, v),
+        };
+    }
+    match session.apply_updates(&delta) {
+        Ok(epoch) => Reply::Ok(format!("epoch={epoch} edges={}", delta.len())),
+        Err(e) => Reply::Err(e.to_string()),
     }
 }
 
@@ -611,6 +668,55 @@ mod tests {
         assert!(matches!(handle_line(&mut empty, "BATCH 0 3 3"), Reply::Err(_)));
         // The session is still usable afterwards.
         assert!(matches!(handle_line(&mut s, "BATCH 0 3 3"), Reply::Ok(_)));
+    }
+
+    #[test]
+    fn update_and_expire_advance_the_epoch_and_change_answers() {
+        let mut s = session();
+        match handle_line(&mut s, "COUNT 0 3 3") {
+            Reply::Ok(msg) => assert!(msg.contains("paths=2"), "{msg}"),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match handle_line(&mut s, "UPDATE 0 3") {
+            Reply::Ok(msg) => assert_eq!(msg, "epoch=1 edges=1"),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match handle_line(&mut s, "COUNT 0 3 3") {
+            Reply::Ok(msg) => assert!(msg.contains("paths=3"), "new direct edge: {msg}"),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match handle_line(&mut s, "EXPIRE 0 3") {
+            Reply::Ok(msg) => assert_eq!(msg, "epoch=2 edges=1"),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match handle_line(&mut s, "COUNT 0 3 3") {
+            Reply::Ok(msg) => assert!(msg.contains("paths=2"), "removal undone: {msg}"),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // STATS reports the live epoch and the update counters.
+        match handle_line(&mut s, "STATS") {
+            Reply::Ok(msg) => {
+                let json = msg.strip_prefix("stats ").expect("stats payload");
+                let doc = JsonValue::parse(json).expect("STATS must be real JSON");
+                let runtime = doc.get("runtime").expect("runtime section");
+                assert_eq!(runtime.get("epoch").and_then(JsonValue::as_number), Some(2.0));
+                assert_eq!(runtime.get("graph_updates").and_then(JsonValue::as_number), Some(2.0));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_command_rejects_malformed_input() {
+        let mut s = session();
+        assert!(matches!(handle_line(&mut s, "UPDATE"), Reply::Err(_)));
+        assert!(matches!(handle_line(&mut s, "UPDATE 0"), Reply::Err(_)));
+        assert!(matches!(handle_line(&mut s, "UPDATE 0 1 2"), Reply::Err(_)));
+        assert!(matches!(handle_line(&mut s, "EXPIRE 0 x"), Reply::Err(_)));
+        let mut empty = HostSession::new(SessionConfig::default());
+        assert!(matches!(handle_line(&mut empty, "UPDATE 0 1"), Reply::Err(_)));
+        // The session is still usable afterwards.
+        assert!(matches!(handle_line(&mut s, "UPDATE 0 3 1 2"), Reply::Ok(_)));
     }
 
     #[test]

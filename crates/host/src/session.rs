@@ -203,6 +203,18 @@ impl HostSession {
         self.runtime.as_ref()
     }
 
+    /// Applies a batch of edge updates through the attached runtime and
+    /// returns the new graph epoch (see [`HostRuntime::apply_updates`]).
+    pub fn apply_updates(
+        &self,
+        delta: &pefp_graph::GraphDelta,
+    ) -> Result<pefp_graph::Epoch, HostError> {
+        match &self.runtime {
+            Some(runtime) => Ok(runtime.apply_updates(delta)),
+            None => Err(HostError::NoGraphLoaded),
+        }
+    }
+
     /// Number of prepared queries currently cached in the runtime's shared
     /// cache (for an attached session this counts every tenant's entries).
     pub fn cached_prepared_queries(&self) -> usize {

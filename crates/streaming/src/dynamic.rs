@@ -98,10 +98,30 @@ impl DynamicGraph {
     /// Removes every edge whose timestamp is strictly older than `cutoff`.
     /// Returns the number of edges removed.
     pub fn expire_older_than(&mut self, cutoff: u64) -> usize {
+        let mut dropped = Vec::new();
+        self.expire_older_than_into(cutoff, &mut dropped)
+    }
+
+    /// Like [`DynamicGraph::expire_older_than`], but also appends every
+    /// removed edge to `expired` — the removal list an epoch-versioned
+    /// runtime mirror needs to stage the matching
+    /// [`pefp_graph::GraphDelta`].
+    pub fn expire_older_than_into(
+        &mut self,
+        cutoff: u64,
+        expired: &mut Vec<(VertexId, VertexId)>,
+    ) -> usize {
         let mut removed = 0;
-        for succ in &mut self.adjacency {
+        for (from, succ) in self.adjacency.iter_mut().enumerate() {
             let before = succ.len();
-            succ.retain(|_, &mut ts| ts >= cutoff);
+            succ.retain(|&to, &mut ts| {
+                if ts >= cutoff {
+                    true
+                } else {
+                    expired.push((VertexId(from as u32), VertexId(to)));
+                    false
+                }
+            });
             removed += before - succ.len();
         }
         self.num_edges -= removed;

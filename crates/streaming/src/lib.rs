@@ -19,6 +19,10 @@
 //! * [`detector`] — the real-time detector: for every arriving transaction it
 //!   enumerates the newly closed k-hop cycles, with the enumeration delegated
 //!   either to the simulated-FPGA PEFP engine or the CPU baseline.
+//! * [`runtime_detector`] — the same detection protocol running through the
+//!   multi-tenant [`pefp_host::HostRuntime`]: transactions become incremental
+//!   [`pefp_graph::GraphDelta`] batches (epoch-versioned snapshots, touched-
+//!   vertex cache invalidation) instead of per-query CSR rebuilds.
 //!
 //! ## Quick example
 //!
@@ -39,10 +43,12 @@
 
 pub mod detector;
 pub mod dynamic;
+pub mod runtime_detector;
 pub mod transaction;
 pub mod window;
 
 pub use detector::{CycleAlert, CycleDetector, DetectorConfig, DetectorEngine, DetectorStats};
 pub use dynamic::DynamicGraph;
+pub use runtime_detector::{RuntimeCycleDetector, RuntimeDetectorConfig};
 pub use transaction::{Transaction, TransactionGenerator, TransactionGeneratorConfig};
 pub use window::SlidingWindow;

@@ -38,6 +38,13 @@ impl SlidingWindow {
         &self.graph
     }
 
+    /// Mutable access to the windowed graph, for callers seeding it with
+    /// pre-existing edges (e.g. a runtime-backed detector adopting a loaded
+    /// graph).
+    pub fn graph_mut(&mut self) -> &mut DynamicGraph {
+        &mut self.graph
+    }
+
     /// The timestamp of the most recent ingested transaction.
     pub fn latest_timestamp(&self) -> u64 {
         self.latest_timestamp
@@ -63,8 +70,20 @@ impl SlidingWindow {
     /// detector to age the graph *before* querying it for cycles closed by a
     /// transaction at `timestamp`.
     pub fn advance_to(&mut self, timestamp: u64) -> usize {
+        let mut dropped = Vec::new();
+        self.advance_to_collecting(timestamp, &mut dropped)
+    }
+
+    /// Like [`SlidingWindow::advance_to`], but appends every expired edge to
+    /// `expired` so a runtime mirroring the window can stage the matching
+    /// removal delta.
+    pub fn advance_to_collecting(
+        &mut self,
+        timestamp: u64,
+        expired: &mut Vec<(VertexId, VertexId)>,
+    ) -> usize {
         self.latest_timestamp = self.latest_timestamp.max(timestamp);
-        let removed = self.graph.expire_older_than(self.window_start());
+        let removed = self.graph.expire_older_than_into(self.window_start(), expired);
         self.expired_edges += removed as u64;
         removed
     }
@@ -73,11 +92,22 @@ impl SlidingWindow {
     /// edges that fell out of the window. Returns `true` when the edge was
     /// not already present.
     pub fn ingest(&mut self, tx: &Transaction) -> bool {
+        let mut dropped = Vec::new();
+        self.ingest_collecting(tx, &mut dropped)
+    }
+
+    /// Like [`SlidingWindow::ingest`], but appends every edge the insertion
+    /// expired to `expired`.
+    pub fn ingest_collecting(
+        &mut self,
+        tx: &Transaction,
+        expired: &mut Vec<(VertexId, VertexId)>,
+    ) -> bool {
         self.ingested += 1;
         self.latest_timestamp = self.latest_timestamp.max(tx.timestamp);
         let inserted = self.graph.insert_edge(VertexId(tx.from), VertexId(tx.to), tx.timestamp);
         let cutoff = self.window_start();
-        self.expired_edges += self.graph.expire_older_than(cutoff) as u64;
+        self.expired_edges += self.graph.expire_older_than_into(cutoff, expired) as u64;
         inserted
     }
 }

@@ -162,8 +162,13 @@ impl Bencher {
             println!("{group}/{id}: no samples");
             return;
         };
+        let outliers = if stats.outliers > 0 {
+            format!(", {} outlier(s) beyond 1.5*IQR", stats.outliers)
+        } else {
+            String::new()
+        };
         println!(
-            "{group}/{id}: min {:.1} ns, median {:.1} ns, mean {:.1} ns over {} iters",
+            "{group}/{id}: min {:.1} ns, median {:.1} ns, mean {:.1} ns over {} iters{outliers}",
             stats.min,
             stats.median,
             stats.mean,
@@ -181,10 +186,17 @@ pub struct SampleStats {
     pub median: f64,
     /// Arithmetic mean of all samples.
     pub mean: f64,
+    /// First quartile (lower median of the sorted samples).
+    pub q1: f64,
+    /// Third quartile (upper median of the sorted samples).
+    pub q3: f64,
+    /// Samples outside the Tukey fences `[q1 - 1.5·IQR, q3 + 1.5·IQR]`.
+    pub outliers: usize,
 }
 
 impl SampleStats {
-    /// Reduces a sample set to min/median/mean; `None` when empty.
+    /// Reduces a sample set to min/median/mean plus Tukey outlier analysis
+    /// (samples beyond 1.5×IQR from the quartiles); `None` when empty.
     pub fn from_samples(samples: &[f64]) -> Option<SampleStats> {
         if samples.is_empty() {
             return None;
@@ -192,9 +204,38 @@ impl SampleStats {
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
         let n = sorted.len();
-        let median =
-            if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0 };
-        Some(SampleStats { min: sorted[0], median, mean: sorted.iter().sum::<f64>() / n as f64 })
+        let midpoint = |slice: &[f64]| {
+            let m = slice.len();
+            if m % 2 == 1 {
+                slice[m / 2]
+            } else {
+                (slice[m / 2 - 1] + slice[m / 2]) / 2.0
+            }
+        };
+        let median = midpoint(&sorted);
+        // Quartiles by the median-of-halves rule (the odd central sample
+        // belongs to neither half), collapsing to the median for n < 4.
+        let (q1, q3) = if n >= 4 {
+            (midpoint(&sorted[..n / 2]), midpoint(&sorted[n.div_ceil(2)..]))
+        } else {
+            (median, median)
+        };
+        let iqr = q3 - q1;
+        let (low_fence, high_fence) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+        let outliers = sorted.iter().filter(|&&s| s < low_fence || s > high_fence).count();
+        Some(SampleStats {
+            min: sorted[0],
+            median,
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            q1,
+            q3,
+            outliers,
+        })
+    }
+
+    /// Interquartile range of the samples.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
     }
 }
 
@@ -234,5 +275,36 @@ mod tests {
         let odd = SampleStats::from_samples(&[5.0, 1.0, 3.0]).unwrap();
         assert_eq!(odd.median, 3.0);
         assert!(SampleStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn quartiles_follow_the_median_of_halves_rule() {
+        let s = SampleStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap();
+        assert_eq!(s.q1, 2.5);
+        assert_eq!(s.q3, 6.5);
+        assert_eq!(s.iqr(), 4.0);
+        // Odd count: the central sample belongs to neither half.
+        let odd = SampleStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(odd.q1, 1.5);
+        assert_eq!(odd.q3, 4.5);
+        // Tiny samples collapse the quartiles onto the median (zero IQR).
+        let tiny = SampleStats::from_samples(&[1.0, 9.0]).unwrap();
+        assert_eq!((tiny.q1, tiny.q3), (tiny.median, tiny.median));
+    }
+
+    #[test]
+    fn tukey_fences_flag_extreme_samples() {
+        // Nine well-behaved samples and one wild spike: q1 = 3, q3 = 8,
+        // IQR = 5, high fence = 15.5 — only the spike is outside.
+        let mut samples = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        samples.push(100.0);
+        let s = SampleStats::from_samples(&samples).unwrap();
+        assert_eq!(s.outliers, 1);
+        // Without the spike nothing is flagged.
+        samples.pop();
+        assert_eq!(SampleStats::from_samples(&samples).unwrap().outliers, 0);
+        // A low outlier is caught by the lower fence too.
+        let low = vec![-100.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0];
+        assert_eq!(SampleStats::from_samples(&low).unwrap().outliers, 1);
     }
 }

@@ -5,8 +5,17 @@
 //! combinators, the `proptest!` test-definition macro with
 //! `#![proptest_config(..)]`, and the `prop_assert*` / `prop_assume!`
 //! macros. Cases are generated from a deterministic per-test RNG, so failures
-//! reproduce exactly; there is **no shrinking** — a failing case reports the
-//! case number and message only.
+//! reproduce exactly.
+//!
+//! Failing cases are **shrunk** before being reported: the greedy loop in
+//! [`test_runner::shrink_failure`] repeatedly asks the strategy for simpler
+//! candidates (integers halve toward the range start, vectors truncate toward
+//! their minimum length, tuples shrink component-wise) and keeps the first
+//! one that still fails, up to `ProptestConfig::max_shrink_iters` candidate
+//! executions. The panic message then carries the minimal witness, not just
+//! the original random case. Combinator outputs (`prop_map`,
+//! `prop_flat_map`) cannot shrink — their inputs are gone — so those report
+//! the original failing value unchanged.
 
 use std::fmt;
 
@@ -22,8 +31,8 @@ pub use test_runner::TestRng;
 pub struct ProptestConfig {
     /// Number of random cases each test runs.
     pub cases: u32,
-    /// Shrinking iteration budget. Present for config-struct compatibility
-    /// with the real crate; the shim performs no shrinking.
+    /// Maximum number of shrink-candidate executions spent minimising a
+    /// failing case before reporting whatever witness was reached.
     pub max_shrink_iters: u32,
 }
 
@@ -75,7 +84,9 @@ pub mod prelude {
 /// Defines `#[test]` functions whose arguments are drawn from strategies.
 #[macro_export]
 macro_rules! proptest {
-    // Internal: config threaded through, one expansion per test fn.
+    // Internal: config threaded through, one expansion per test fn. All the
+    // argument strategies are packed into one tuple strategy so a failing
+    // case can be shrunk as a unit (component-wise) before being reported.
     (@expand $cfg:expr;
      $($(#[$meta:meta])*
        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*
@@ -84,14 +95,30 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
+                let strategy = ($(($strat),)*);
+                let run = $crate::test_runner::constrain_runner(&strategy, |($($arg,)*)| {
+                    (|| { $body ::std::result::Result::Ok(()) })()
+                });
                 for case in 0..config.cases {
                     let mut rng =
                         $crate::TestRng::for_case(stringify!($name), u64::from(case));
-                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let value = $crate::Strategy::generate(&strategy, &mut rng);
                     let outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                        (|| { $body ::std::result::Result::Ok(()) })();
+                        run(::std::clone::Clone::clone(&value));
                     if let ::std::result::Result::Err(err) = outcome {
-                        panic!("proptest {} failed at case {case}: {err}", stringify!($name));
+                        let (minimal, minimal_err, iters) =
+                            $crate::test_runner::shrink_failure(
+                                &strategy,
+                                value,
+                                err,
+                                config.max_shrink_iters,
+                                &run,
+                            );
+                        panic!(
+                            "proptest {} failed at case {case}: {minimal_err}\n\
+                             minimal failing input ({iters} shrink runs): {minimal:?}",
+                            stringify!($name)
+                        );
                     }
                 }
             }

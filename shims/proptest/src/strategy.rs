@@ -5,19 +5,32 @@ use std::ops::Range;
 
 /// A recipe for generating random values of an output type.
 ///
-/// Unlike the real crate there is no value tree / shrinking: `generate`
-/// produces the final value directly.
+/// Unlike the real crate there is no lazy value tree: `generate` produces the
+/// final value directly, and [`Strategy::shrink`] proposes simpler candidate
+/// values *after the fact* from a failing one. Strategies that cannot shrink
+/// (e.g. [`Strategy::prop_map`] outputs, whose inputs are gone) use the
+/// default empty proposal list and simply report the original failure.
 pub trait Strategy {
     /// The type of generated values.
-    type Value;
+    type Value: Clone;
 
     /// Draws one value from the strategy.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes strictly simpler candidates derived from `value`, most
+    /// aggressive first. The shrinker greedily accepts the first candidate
+    /// that still fails, so aggressive-first ordering (jump to the minimum,
+    /// halve the distance, step by one) converges in O(log range) accepted
+    /// steps. An empty proposal list means the value cannot shrink further.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Transforms generated values with `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
+        O: Clone,
         F: Fn(Self::Value) -> O,
     {
         Map { inner: self, f }
@@ -44,6 +57,7 @@ pub struct Map<S, F> {
 impl<S, O, F> Strategy for Map<S, F>
 where
     S: Strategy,
+    O: Clone,
     F: Fn(S::Value) -> O,
 {
     type Value = O;
@@ -95,6 +109,23 @@ macro_rules! int_range_strategy {
                 let span = (self.end as u128 - self.start as u128) as u64;
                 self.start + rng.below(span) as $t
             }
+
+            /// Candidates toward the range start: the start itself, the
+            /// midpoint between start and the value (binary descent), and
+            /// the value minus one (final linear step).
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value > self.start {
+                    out.push(self.start);
+                    let mid = self.start + (*value - self.start) / 2;
+                    if mid != self.start {
+                        out.push(mid);
+                    }
+                    out.push(*value - 1);
+                    out.dedup();
+                }
+                out
+            }
         }
     )*};
 }
@@ -102,7 +133,7 @@ macro_rules! int_range_strategy {
 int_range_strategy!(u8, u16, u32, u64, usize);
 
 macro_rules! tuple_strategy {
-    ($($name:ident),+) => {
+    ($(($name:ident, $idx:tt)),+) => {
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
             type Value = ($($name::Value,)+);
 
@@ -111,16 +142,31 @@ macro_rules! tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.generate(rng),)+)
             }
+
+            /// Component-wise shrinking: every proposal simplifies exactly
+            /// one component and keeps the others, so a multi-argument
+            /// failure shrinks each argument independently.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     };
 }
 
-tuple_strategy!(A);
-tuple_strategy!(A, B);
-tuple_strategy!(A, B, C);
-tuple_strategy!(A, B, C, D);
-tuple_strategy!(A, B, C, D, E);
-tuple_strategy!(A, B, C, D, E, G);
+tuple_strategy!((A, 0));
+tuple_strategy!((A, 0), (B, 1));
+tuple_strategy!((A, 0), (B, 1), (C, 2));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (G, 5));
 
 #[cfg(test)]
 mod tests {
@@ -144,5 +190,33 @@ mod tests {
             let (n, v) = strat.generate(&mut rng);
             assert!(v < n);
         }
+    }
+
+    #[test]
+    fn int_shrink_proposes_start_midpoint_and_decrement() {
+        let strat = 10u32..100;
+        assert_eq!(strat.shrink(&50), vec![10, 30, 49]);
+        assert_eq!(strat.shrink(&11), vec![10]);
+        assert_eq!(strat.shrink(&12), vec![10, 11]);
+        assert!(strat.shrink(&10).is_empty(), "the range start cannot shrink");
+    }
+
+    #[test]
+    fn tuple_shrink_simplifies_one_component_at_a_time() {
+        let strat = (0u32..10, 0u32..10);
+        let proposals = strat.shrink(&(4, 6));
+        assert!(!proposals.is_empty());
+        for (a, b) in proposals {
+            let changed_a = a != 4;
+            let changed_b = b != 6;
+            assert!(changed_a ^ changed_b, "exactly one component changes: ({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn map_and_just_cannot_shrink() {
+        let mapped = (0u32..10).prop_map(|v| v * 2);
+        assert!(mapped.shrink(&8).is_empty());
+        assert!(Just(5u32).shrink(&5).is_empty());
     }
 }

@@ -1,4 +1,59 @@
-//! Deterministic RNG driving case generation.
+//! Deterministic RNG driving case generation, plus the greedy shrink loop
+//! applied to failing cases.
+
+use crate::strategy::Strategy;
+use crate::TestCaseError;
+
+/// Greedily shrinks a failing input: repeatedly asks the strategy for
+/// simpler candidates of the current witness and adopts the first one on
+/// which `run` still fails, until no candidate fails or `max_iters` `run`
+/// invocations are spent. Returns the minimal witness found, the error it
+/// produced, and the number of candidate executions used.
+///
+/// Because candidate lists are ordered most-aggressive-first (see
+/// [`Strategy::shrink`]), the loop performs a binary descent: for an integer
+/// it first jumps to the range start, then halves the remaining distance,
+/// then steps by one — O(log range) adopted steps for a threshold predicate.
+/// Identity helper that pins a test-body closure's argument type to the
+/// strategy's `Value` through the `Fn` bound — closure parameter inference
+/// cannot otherwise see through the `proptest!` macro's generated call site.
+pub fn constrain_runner<S, F>(_strategy: &S, run: F) -> F
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    run
+}
+
+pub fn shrink_failure<S, F>(
+    strategy: &S,
+    mut value: S::Value,
+    mut err: TestCaseError,
+    max_iters: u32,
+    run: &F,
+) -> (S::Value, TestCaseError, u32)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut iters = 0u32;
+    'descend: loop {
+        for candidate in strategy.shrink(&value) {
+            if iters >= max_iters {
+                break 'descend;
+            }
+            iters += 1;
+            if let Err(candidate_err) = run(candidate.clone()) {
+                value = candidate;
+                err = candidate_err;
+                continue 'descend;
+            }
+        }
+        // Every remaining candidate passes: `value` is a local minimum.
+        break;
+    }
+    (value, err, iters)
+}
 
 /// SplitMix64-based generator; seeded from the test name and case index so
 /// every test sees an independent, reproducible stream.
@@ -49,5 +104,61 @@ mod tests {
         let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
         assert_eq!(xs, ys);
         assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn shrink_failure_finds_the_threshold_witness() {
+        // Predicate fails for v >= 17; any failing start must shrink to 17.
+        let strategy = 0u32..100;
+        let run = |v: u32| {
+            if v >= 17 {
+                Err(TestCaseError::fail(format!("{v} is too big")))
+            } else {
+                Ok(())
+            }
+        };
+        for start in [17u32, 18, 42, 99] {
+            let initial = run(start).expect_err("every start fails the predicate");
+            let (minimal, err, iters) = shrink_failure(&strategy, start, initial, 1024, &run);
+            assert_eq!(minimal, 17, "starting from {start}");
+            assert!(err.to_string().contains("17 is too big"));
+            assert!(iters <= 64, "binary descent stays cheap, used {iters}");
+        }
+    }
+
+    #[test]
+    fn shrink_failure_respects_the_iteration_budget() {
+        let strategy = 0u64..u64::MAX;
+        let run = |v: u64| {
+            if v > 0 {
+                Err(TestCaseError::fail("nonzero"))
+            } else {
+                Ok(())
+            }
+        };
+        let (minimal, _, iters) =
+            shrink_failure(&strategy, u64::MAX - 1, TestCaseError::fail("seed"), 3, &run);
+        assert_eq!(iters, 3);
+        assert!(minimal > 0, "budget ran out before reaching the minimum");
+    }
+
+    #[test]
+    fn shrink_failure_shrinks_vectors_to_a_minimal_slice() {
+        // Fails whenever the vector contains an element >= 5. Truncation
+        // drops the tail, element shrinking floors the survivors: the local
+        // minimum is [0, 5] (halving/remove-last cannot drop a non-tail
+        // element, so the leading slot shrinks to 0 instead of vanishing).
+        let strategy = crate::collection::vec(0u32..100, 0..64);
+        let run = |v: Vec<u32>| {
+            if v.iter().any(|&x| x >= 5) {
+                Err(TestCaseError::fail("contains a big element"))
+            } else {
+                Ok(())
+            }
+        };
+        let seed = vec![1, 9, 3, 88, 2, 41];
+        let (minimal, _, _) =
+            shrink_failure(&strategy, seed, TestCaseError::fail("seed"), 1024, &run);
+        assert_eq!(minimal, vec![0, 5]);
     }
 }

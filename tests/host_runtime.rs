@@ -260,3 +260,97 @@ fn invalid_input_is_rejected_at_every_layer() {
     let bad = vec![QueryRequest::new(0, 1, 3), QueryRequest::new(0, n + 1, 3)];
     assert!(scheduler.run_batch(&handle, &bad).is_err());
 }
+
+/// Snapshot isolation under live updates: a STREAM job admitted in epoch N
+/// keeps emitting epoch-N answers even though an update lands epoch N+1
+/// mid-stream, while a query admitted *after* the update sees epoch N+1.
+#[test]
+fn mid_stream_updates_do_not_leak_into_pinned_jobs() {
+    use pefp::graph::generators::{layered_dag, layered_sink, layered_source};
+    use pefp::graph::{GraphDelta, VertexId};
+
+    // 4^5 = 1024 source→sink paths at k = 6; each of the source's 4
+    // successors carries 4^4 = 256 of them.
+    let handle = GraphHandle::from_csr("layered", layered_dag(5, 4, 4, 1).to_csr());
+    let (s, t) = (layered_source().0, layered_sink(5, 4).0);
+    let first_hop = handle.csr.successors(VertexId(s))[0];
+    let runtime = HostRuntime::launch(
+        handle.clone(),
+        RuntimeConfig { compute_units: 2, ..RuntimeConfig::default() },
+    );
+    let session = runtime.register_session();
+    assert_eq!(runtime.epoch(), 0);
+
+    // Start the stream on a tiny channel so the worker is paced by us, and
+    // wait until it has provably begun (first path delivered).
+    let (ticket, rx) =
+        runtime.submit_query_streaming(session, QueryRequest::new(s, t, 6), 2).unwrap();
+    let mut received = vec![rx.recv().expect("stream must start")];
+
+    // Epoch N+1 lands mid-stream: the first source edge disappears.
+    let mut delta = GraphDelta::new();
+    delta.remove_edge(VertexId(s), first_hop);
+    let epoch = runtime.apply_updates(&delta);
+    assert_eq!(epoch, 1);
+    assert_eq!(runtime.epoch(), 1);
+
+    // A query admitted after the update sees epoch N+1: 3 surviving source
+    // edges × 256 paths each. (2 CUs, so it runs beside the wedged stream.)
+    let post = runtime.submit_query(session, QueryRequest::new(s, t, 6), false).unwrap();
+    assert_eq!(post.wait().unwrap().num_paths, 768);
+
+    // The pinned stream still answers from epoch N: all 1024 paths arrive,
+    // including the 256 through the edge that no longer exists.
+    received.extend(rx.iter());
+    assert_eq!(ticket.wait().unwrap().num_paths, 1024);
+    assert_eq!(received.len(), 1024);
+    let through_removed = received.iter().filter(|p| p[1] == first_hop).count();
+    assert_eq!(through_removed, 256, "epoch-N paths through the removed edge");
+}
+
+/// Exact touched-vertex invalidation: an update touching component A evicts
+/// precisely the cached prepared queries whose touched set intersects it;
+/// the entry for the disjoint component B survives and keeps serving hits.
+#[test]
+fn updates_evict_exactly_the_touched_cache_entries() {
+    use pefp::graph::{CsrGraph, GraphDelta, VertexId};
+
+    // Two disconnected diamonds: A = {0,1,2,3}, B = {4,5,6,7}.
+    let g =
+        CsrGraph::from_edges(8, &[(0, 1), (0, 2), (1, 3), (2, 3), (4, 5), (4, 6), (5, 7), (6, 7)]);
+    let runtime = HostRuntime::launch(
+        GraphHandle::from_csr("two-diamonds", g),
+        RuntimeConfig { compute_units: 1, ..RuntimeConfig::default() },
+    );
+    let session = runtime.register_session();
+    let query_a = QueryRequest::new(0, 3, 3);
+    let query_b = QueryRequest::new(4, 7, 3);
+
+    let run = |q: QueryRequest| {
+        runtime.submit_query(session, q, false).unwrap().wait().unwrap().num_paths
+    };
+    assert_eq!(run(query_a), 2);
+    assert_eq!(run(query_a), 2);
+    assert_eq!(run(query_b), 2);
+    assert_eq!(run(query_b), 2);
+    let stats = runtime.stats();
+    assert_eq!((stats.cache_misses, stats.cache_hits), (2, 2));
+    assert_eq!(stats.cached_prepared_queries, 2);
+
+    // Update inside component A only: edge 1 → 2 creates the 3-hop path
+    // 0-1-2-3 and touches nothing in component B.
+    let mut delta = GraphDelta::new();
+    delta.insert_edge(VertexId(1), VertexId(2));
+    runtime.apply_updates(&delta);
+    let stats = runtime.stats();
+    assert_eq!(stats.cache_invalidated, 1, "only A's entry is evicted");
+    assert_eq!(stats.cached_prepared_queries, 1, "B's entry survives");
+
+    // B still hits the cache; A misses, recomputes, and sees the new path.
+    assert_eq!(run(query_b), 2);
+    assert_eq!(run(query_a), 3);
+    let stats = runtime.stats();
+    assert_eq!((stats.cache_misses, stats.cache_hits), (3, 3));
+    assert_eq!(stats.graph_updates, 1);
+    assert_eq!(stats.epoch, 1);
+}

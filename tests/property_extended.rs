@@ -166,3 +166,50 @@ proptest! {
         prop_assert!(ctx.stats().reverse_builds <= 1);
     }
 }
+
+/// The proptest shim's shrinker minimises a seeded failure: a predicate
+/// failing for every `v >= 17` over `0..100` must shrink any failing start
+/// down to exactly `(17,)` — the smallest witness the range admits — via the
+/// public greedy loop the `proptest!` macro itself invokes on failure.
+#[test]
+fn seeded_proptest_failures_shrink_to_the_minimal_witness() {
+    use proptest::test_runner::shrink_failure;
+
+    let strategy = (0u32..100,);
+    let run = |(v,): (u32,)| {
+        if v >= 17 {
+            Err(TestCaseError::fail(format!("{v} crossed the threshold")))
+        } else {
+            Ok(())
+        }
+    };
+    for start in [17u32, 23, 64, 99] {
+        let initial = run((start,)).expect_err("seed case must fail");
+        let (minimal, err, iters) = shrink_failure(&strategy, (start,), initial, 1024, &run);
+        assert_eq!(minimal, (17,), "starting from {start}");
+        assert!(err.to_string().contains("17 crossed the threshold"));
+        assert!(iters <= 64, "threshold found by binary descent, not scan ({iters} runs)");
+    }
+}
+
+/// Composite witnesses shrink too: a failing (vector, scalar) pair truncates
+/// the vector toward the minimum length and floors the scalar, component by
+/// component, through the same tuple strategy the macro builds.
+#[test]
+fn composite_proptest_failures_shrink_component_wise() {
+    use proptest::test_runner::shrink_failure;
+
+    // Fails when the vector has >= 2 elements AND the scalar is >= 10.
+    let strategy = (proptest::collection::vec(0u32..50, 0..16), 0u32..40);
+    let run = |(v, x): (Vec<u32>, u32)| {
+        if v.len() >= 2 && x >= 10 {
+            Err(TestCaseError::fail("both components are large"))
+        } else {
+            Ok(())
+        }
+    };
+    let seed = (vec![7, 3, 9, 12, 30, 44], 33u32);
+    let initial = run(seed.clone()).expect_err("seed case must fail");
+    let (minimal, _, _) = shrink_failure(&strategy, seed, initial, 2048, &run);
+    assert_eq!(minimal, (vec![0, 0], 10));
+}
