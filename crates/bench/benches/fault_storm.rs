@@ -1,0 +1,76 @@
+//! Fault-storm benchmark: the fixed `BENCH_07` query pool on a 2-CU
+//! `HostRuntime` running under the seeded fault mix (transient DRAM
+//! corruption, flaky PCIe, watchdog-length hangs, hard crashes), with
+//! retries, circuit-breaker quarantine and CPU degradation enabled.
+//!
+//! The untimed header run prints the correctness and fault-telemetry domain
+//! (answers vs the fault-free oracle, faults seen, retries, quarantines,
+//! fallbacks) plus the goodput figure the `bench_gate --check BENCH_07.json`
+//! floor enforces in CI: correct queries per wall second, with a hard 1.0
+//! floor on the correct-answer fraction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pefp_bench::gate::{
+    fault_storm_workload, run_fault_storm_cases, FAULT_STORM_GOODPUT_FLOOR, FAULT_STORM_QUERIES,
+    FAULT_STORM_RATES, FAULT_STORM_SEED,
+};
+use pefp_fpga::FaultPlan;
+use pefp_host::{FaultToleranceConfig, HostRuntime, RuntimeConfig};
+use std::hint::black_box;
+
+fn bench_fault_storm(c: &mut Criterion) {
+    // Untimed gate round reporting the correctness/telemetry domain.
+    {
+        let cases = run_fault_storm_cases();
+        for case in &cases {
+            if let Some(floor) = &case.floor {
+                println!(
+                    "{}: median {:.0} ns, {} {:.2} (floor {:.2})",
+                    case.name, case.median_ns, floor.label, floor.value, floor.min
+                );
+            }
+        }
+        println!(
+            "fault_storm: {} queries, seed {}, goodput floor {} q/s",
+            FAULT_STORM_QUERIES, FAULT_STORM_SEED, FAULT_STORM_GOODPUT_FLOOR
+        );
+    }
+
+    let (handle, requests) = fault_storm_workload();
+    let mut group = c.benchmark_group("fault_storm");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(FAULT_STORM_QUERIES as u64));
+    group.bench_function("round", |b| {
+        b.iter(|| {
+            let runtime = HostRuntime::launch(
+                handle.clone(),
+                RuntimeConfig {
+                    compute_units: 2,
+                    fault_plan: Some(FaultPlan::seeded(FAULT_STORM_SEED, FAULT_STORM_RATES, 2)),
+                    fault_tolerance: FaultToleranceConfig {
+                        retry_backoff: std::time::Duration::ZERO,
+                        watchdog_cycle_budget: Some(50_000_000),
+                        ..FaultToleranceConfig::default()
+                    },
+                    ..RuntimeConfig::default()
+                },
+            );
+            let session = runtime.register_session();
+            let mut total = 0u64;
+            for &req in &requests {
+                total += runtime
+                    .submit_query(session, req, false)
+                    .expect("storm query admitted")
+                    .wait()
+                    .expect("storm query completes despite faults")
+                    .num_paths;
+            }
+            let stats = runtime.stats();
+            black_box((total, stats.device_faults, stats.cpu_fallbacks))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_storm);
+criterion_main!(benches);

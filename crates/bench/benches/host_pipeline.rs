@@ -5,16 +5,17 @@
 //! the setup cost) can be checked against measured numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pefp_bench::bench_scale;
 use pefp_core::{pre_bfs, pre_bfs_with, PefpVariant, PrepareContext};
 use pefp_graph::sampling::sample_reachable_pairs;
-use pefp_graph::{Dataset, ScaleProfile, VertexId};
+use pefp_graph::{Dataset, VertexId};
 use pefp_host::binfmt::{decode_payload, encode_payload};
 use pefp_host::{BatchScheduler, GraphHandle, QueryRequest, SchedulerConfig};
 use std::hint::black_box;
 use std::sync::Arc;
 
 fn bench_payload_codec(c: &mut Criterion) {
-    let g = Dataset::SocEpinions.generate(ScaleProfile::Tiny).to_csr();
+    let g = Dataset::SocEpinions.generate(bench_scale()).to_csr();
     let pairs = sample_reachable_pairs(&g, 5, 1, 3);
     let Some(&(s, t)) = pairs.first() else { return };
     let prepared = pre_bfs(&g, s, t, 5);
@@ -32,10 +33,8 @@ fn bench_payload_codec(c: &mut Criterion) {
 }
 
 fn bench_batch_scheduler(c: &mut Criterion) {
-    let handle = GraphHandle::from_csr(
-        "SE-tiny",
-        Dataset::SocEpinions.generate(ScaleProfile::Tiny).to_csr(),
-    );
+    let handle =
+        GraphHandle::from_csr("SE-tiny", Dataset::SocEpinions.generate(bench_scale()).to_csr());
     let k = 4;
     let requests: Vec<QueryRequest> = sample_reachable_pairs(&handle.csr, k, 16, 9)
         .into_iter()
@@ -71,7 +70,7 @@ fn bench_prebfs_vs_graph_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("host_prebfs");
     group.sample_size(10);
     for dataset in [Dataset::Amazon, Dataset::WikiTalk, Dataset::Skitter] {
-        let g = Arc::new(dataset.generate(ScaleProfile::Tiny).to_csr());
+        let g = Arc::new(dataset.generate(bench_scale()).to_csr());
         let pairs = sample_reachable_pairs(&g, 5, 1, 13);
         let Some(&(s, t)) = pairs.first() else { continue };
         group.bench_with_input(BenchmarkId::new("k5", dataset.code()), &g, |b, g| {

@@ -7,14 +7,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pefp_baselines::Join;
-use pefp_bench::make_runner;
+use pefp_bench::{bench_scale, make_runner};
 use pefp_core::{prepare, run_prepared, PefpVariant};
 use pefp_fpga::DeviceConfig;
-use pefp_graph::{Dataset, ScaleProfile};
+use pefp_graph::Dataset;
 use std::hint::black_box;
 
 fn bench_query_time(c: &mut Criterion) {
-    let mut runner = make_runner(ScaleProfile::Tiny, 3);
+    let mut runner = make_runner(bench_scale(), 3);
     let device = DeviceConfig::alveo_u200();
     let cases = [
         (Dataset::WikiTalk, 4u32),

@@ -8,14 +8,14 @@
 //! comparisons).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pefp_bench::make_runner;
+use pefp_bench::{bench_scale, make_runner};
 use pefp_core::{prepare, run_prepared, PefpVariant};
 use pefp_fpga::DeviceConfig;
-use pefp_graph::{Dataset, ScaleProfile};
+use pefp_graph::Dataset;
 use std::hint::black_box;
 
 fn bench_verification_lanes(c: &mut Criterion) {
-    let mut runner = make_runner(ScaleProfile::Tiny, 3);
+    let mut runner = make_runner(bench_scale(), 3);
     let dataset = Dataset::BerkStan;
     let k = 5;
     let g = runner.graph(dataset).clone();
@@ -37,7 +37,7 @@ fn bench_verification_lanes(c: &mut Criterion) {
 }
 
 fn bench_buffer_capacity(c: &mut Criterion) {
-    let mut runner = make_runner(ScaleProfile::Tiny, 3);
+    let mut runner = make_runner(bench_scale(), 3);
     let dataset = Dataset::Baidu;
     let k = 6;
     let g = runner.graph(dataset).clone();
@@ -60,7 +60,7 @@ fn bench_buffer_capacity(c: &mut Criterion) {
 }
 
 fn bench_processing_capacity(c: &mut Criterion) {
-    let mut runner = make_runner(ScaleProfile::Tiny, 3);
+    let mut runner = make_runner(bench_scale(), 3);
     let dataset = Dataset::WikiTalk;
     let k = 5;
     let g = runner.graph(dataset).clone();

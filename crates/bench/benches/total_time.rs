@@ -8,14 +8,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pefp_baselines::Join;
-use pefp_bench::make_runner;
+use pefp_bench::{bench_scale, make_runner};
 use pefp_core::{run_query, PefpVariant};
 use pefp_fpga::DeviceConfig;
-use pefp_graph::{Dataset, ScaleProfile};
+use pefp_graph::Dataset;
 use std::hint::black_box;
 
 fn bench_total_time(c: &mut Criterion) {
-    let mut runner = make_runner(ScaleProfile::Tiny, 3);
+    let mut runner = make_runner(bench_scale(), 3);
     let device = DeviceConfig::alveo_u200();
     let cases = [
         (Dataset::Amazon, 8u32),

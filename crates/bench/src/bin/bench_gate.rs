@@ -17,6 +17,9 @@
 //! * `BENCH_06*` — the closed-loop fraud stream: a `RuntimeCycleDetector`
 //!   ingesting the fixed 400-transaction workload through incremental graph
 //!   deltas, gated on sustained tx/sec at the fixed p99 latency budget.
+//! * `BENCH_07*` — the fault-storm cases: the fixed 12-query pool on a 2-CU
+//!   fault-tolerant `HostRuntime` under the seeded fault mix, gated on
+//!   goodput and the 1.0 correct-answer fraction vs a fault-free oracle.
 //!
 //! `--write` measures the suite's cases and records them, together with the
 //! machine's calibration time, as the committed baseline. `--check`
@@ -58,6 +61,17 @@ fn main() {
                  cycles are deterministic; the floor gates sustained tx/sec under the fixed \
                  50 ms p99 detection-latency budget.",
         )
+    } else if file_name.starts_with("BENCH_07") {
+        (
+            "BENCH_07",
+            gate::run_fault_storm_cases,
+            "fault-storm baseline: medians over 5 samples of the 12-query pool on a 2-CU \
+                 HostRuntime under the fixed seeded fault mix (DRAM corruption, PCIe errors, \
+                 hangs, crashes) with retries, quarantine and CPU fallback enabled. Floors gate \
+                 goodput (correct queries/sec under faults) and the 1.0 correct-answer fraction \
+                 against a fault-free oracle round; no cycle signal (retry placement is \
+                 scheduling-dependent).",
+        )
     } else if file_name.starts_with("BENCH_04") {
         (
             "BENCH_04",
@@ -69,7 +83,7 @@ fn main() {
         )
     } else {
         eprintln!(
-            "error: cannot infer the suite from {file_name:?} (want BENCH_04*, BENCH_05* or BENCH_06*)"
+            "error: cannot infer the suite from {file_name:?} (want BENCH_04*, BENCH_05*, BENCH_06* or BENCH_07*)"
         );
         std::process::exit(2);
     };

@@ -19,11 +19,13 @@
 //! The same workload builders feed the `multi_cu` criterion bench target so
 //! the humans and the gate look at identical work.
 
-use pefp_fpga::MultiCuConfig;
+use pefp_fpga::{FaultPlan, FaultRates, MultiCuConfig};
 use pefp_graph::generators::chung_lu;
 use pefp_graph::sink::CountingSink;
+use pefp_graph::VertexId;
 use pefp_host::{
-    BatchScheduler, GraphHandle, HostRuntime, QueryRequest, RuntimeConfig, SchedulerConfig,
+    BatchScheduler, FaultToleranceConfig, GraphHandle, HostRuntime, QueryRequest, RuntimeConfig,
+    SchedulerConfig,
 };
 use pefp_workload::JsonValue;
 use std::sync::Arc;
@@ -360,6 +362,135 @@ pub fn run_fraud_stream_cases() -> Vec<GateCase> {
             min: FRAUD_SUSTAINED_TX_PER_SEC_FLOOR,
         }),
     }]
+}
+
+/// Queries per `BENCH_07` fault-storm round.
+pub const FAULT_STORM_QUERIES: usize = 12;
+
+/// Seed of the storm's deterministic [`FaultPlan`].
+pub const FAULT_STORM_SEED: u64 = 1701;
+
+/// The fixed fault mix every `BENCH_07` round runs under: a noisy but
+/// survivable fleet — transient DRAM corruption, flaky PCIe, occasional
+/// hangs (stalls far beyond the engine watchdog budget) and rare hard
+/// crashes.
+pub const FAULT_STORM_RATES: FaultRates = FaultRates {
+    dram_corruption: 0.01,
+    pcie_error: 0.05,
+    cu_stall: 0.002,
+    stall_cycles: 100_000_000,
+    cu_crash: 0.005,
+};
+
+/// Minimum goodput (correct queries per wall second) the storm round must
+/// sustain while every answer stays byte-identical to the fault-free oracle.
+/// The fault-free round runs thousands of queries per second on any CI
+/// machine; this floor only guards against the fault path collapsing into
+/// pathological retry loops, so it is set far below healthy throughput.
+pub const FAULT_STORM_GOODPUT_FLOOR: f64 = 25.0;
+
+/// The graph and query pool of the `BENCH_07` fault storm: a 1k Chung-Lu
+/// graph with [`FAULT_STORM_QUERIES`] mixed hub/non-hub queries at k=4..6.
+pub fn fault_storm_workload() -> (GraphHandle, Vec<QueryRequest>) {
+    let handle = GraphHandle::from_csr("chung_lu_1k", chung_lu(1_000, 6.0, 2.2, 5).to_csr());
+    let mut requests = Vec::new();
+    for i in 0..FAULT_STORM_QUERIES as u32 {
+        let s = (i * 13) % 1_000;
+        let t = (i * 89 + 7) % 1_000;
+        let k = 4 + (i % 3);
+        requests.push(QueryRequest::new(s, t, k));
+    }
+    (handle, requests)
+}
+
+/// The fault-tolerant 2-CU runtime a storm round executes on.
+fn fault_storm_runtime(handle: &GraphHandle, faulty: bool) -> Arc<HostRuntime> {
+    HostRuntime::launch(
+        handle.clone(),
+        RuntimeConfig {
+            compute_units: 2,
+            fault_plan: faulty.then(|| FaultPlan::seeded(FAULT_STORM_SEED, FAULT_STORM_RATES, 2)),
+            fault_tolerance: FaultToleranceConfig {
+                retry_backoff: std::time::Duration::ZERO,
+                watchdog_cycle_budget: Some(50_000_000),
+                ..FaultToleranceConfig::default()
+            },
+            ..RuntimeConfig::default()
+        },
+    )
+}
+
+/// Runs the query pool once, returning each query's sorted path set.
+fn fault_storm_round(runtime: &HostRuntime, requests: &[QueryRequest]) -> Vec<Vec<Vec<VertexId>>> {
+    let session = runtime.register_session();
+    requests
+        .iter()
+        .map(|&req| {
+            let outcome = runtime
+                .submit_query(session, req, true)
+                .expect("storm query admitted")
+                .wait()
+                .expect("storm query completes despite faults");
+            let mut paths = outcome.paths;
+            paths.sort();
+            paths
+        })
+        .collect()
+}
+
+/// Runs the `BENCH_07` fault-storm cases: the fixed query pool on a 2-CU
+/// runtime under [`FAULT_STORM_RATES`], answers compared per query against a
+/// fault-free oracle round.
+///
+/// Signals:
+/// * `median_ns` — wall clock of a full storm round (calibrated 25% rule);
+/// * `floor` on `fault_storm/goodput` — correct queries per wall second
+///   (≥ [`FAULT_STORM_GOODPUT_FLOOR`]): a fault path degenerating into
+///   unbounded retry/backoff loops fails here;
+/// * `floor` on `fault_storm/correctness` — fraction of queries whose sorted
+///   path set is byte-identical to the oracle, with a hard floor of 1.0:
+///   *any* wrong, dropped or duplicated answer under fault injection fails
+///   the gate.
+///
+/// No `cycles` signal: retry placement depends on wall-clock scheduling
+/// noise (which CU takes which attempt), so the simulated cycle total is not
+/// deterministic across rounds.
+pub fn run_fault_storm_cases() -> Vec<GateCase> {
+    let (handle, requests) = fault_storm_workload();
+    let oracle = fault_storm_round(&fault_storm_runtime(&handle, false), &requests);
+    let mut correct_fraction = 1.0_f64;
+    let mut goodput = 0.0_f64;
+    let median = median_ns(|| {
+        let runtime = fault_storm_runtime(&handle, true);
+        let round = Instant::now();
+        let answers = fault_storm_round(&runtime, &requests);
+        let elapsed = round.elapsed().as_secs_f64();
+        let correct = answers.iter().zip(&oracle).filter(|(got, want)| got == want).count();
+        correct_fraction = correct_fraction.min(correct as f64 / requests.len() as f64);
+        goodput = correct as f64 / elapsed.max(1e-9);
+    });
+    vec![
+        GateCase {
+            name: "fault_storm/goodput".to_string(),
+            median_ns: median,
+            cycles: None,
+            floor: Some(GateFloor {
+                label: "correct_queries_per_sec_under_faults".to_string(),
+                value: goodput,
+                min: FAULT_STORM_GOODPUT_FLOOR,
+            }),
+        },
+        GateCase {
+            name: "fault_storm/correctness".to_string(),
+            median_ns: median,
+            cycles: None,
+            floor: Some(GateFloor {
+                label: "worst_round_correct_fraction".to_string(),
+                value: correct_fraction,
+                min: 1.0,
+            }),
+        },
+    ]
 }
 
 /// Serialises a gate run (calibration + cases) as the `BENCH_04.json`

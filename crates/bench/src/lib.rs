@@ -46,6 +46,17 @@ pub fn make_runner(scale: ScaleProfile, queries: usize) -> Runner {
     Runner::new(harness_config(scale, queries))
 }
 
+/// The scale the Criterion benches run at: [`ScaleProfile::Tiny`] (the CI
+/// smoke size) unless the `PEFP_BENCH_SCALE` environment variable names
+/// another profile (`tiny`/`small`/`medium`). The wall-clock budgets per
+/// profile are recorded in this crate's `README.md`.
+pub fn bench_scale() -> ScaleProfile {
+    std::env::var("PEFP_BENCH_SCALE")
+        .ok()
+        .and_then(|v| parse_scale(&v))
+        .unwrap_or(ScaleProfile::Tiny)
+}
+
 /// Parses a `--scale` CLI value.
 pub fn parse_scale(value: &str) -> Option<ScaleProfile> {
     match value.to_ascii_lowercase().as_str() {

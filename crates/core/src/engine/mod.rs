@@ -216,6 +216,14 @@ impl<'a> PefpEngine<'a> {
                 self.stats.early_terminated = true;
                 break;
             }
+            // Fault boundary: a transfer checksum latched a fault (DRAM
+            // corruption, PCIe error, crashed CU) — abort instead of
+            // expanding from potentially corrupted state. Polled in the same
+            // place as cancellation so a faulted batch never emits further
+            // results.
+            if self.poll_device_fault() {
+                break;
+            }
             self.stats.batches += 1;
             if self.process_batch(&processing, sink).is_break() {
                 self.stats.early_terminated = true;
@@ -223,7 +231,29 @@ impl<'a> PefpEngine<'a> {
             }
             self.next_batch(&mut processing);
         }
+        // One final poll so a fault raised during the last batch (or the
+        // result DMA) is reported on the run, not silently dropped.
+        self.poll_device_fault();
         self.take_output()
+    }
+
+    /// Checks the device's fault latch and the simulated-cycle watchdog.
+    /// Returns `true` (and records the fault) when the run must abort.
+    fn poll_device_fault(&mut self) -> bool {
+        if self.stats.device_fault.is_some() {
+            return true;
+        }
+        let event = self.device.pending_fault().or_else(|| {
+            let budget = self.opts.cycle_budget?;
+            (self.device.cycles() > budget)
+                .then(|| self.device.raise_fault(pefp_fpga::FaultKind::CuHang))
+        });
+        if let Some(event) = event {
+            self.stats.device_fault = Some(event);
+            self.stats.early_terminated = true;
+            return true;
+        }
+        false
     }
 
     /// Expands and verifies one batch from the processing area.
@@ -448,6 +478,7 @@ mod tests {
                         collect_paths: true,
                         max_results: None,
                         cancel: None,
+                        cycle_budget: None,
                     };
                     let out = run_engine(&g, s, t, k, opts);
                     assert_eq!(
@@ -632,6 +663,63 @@ mod tests {
         let out = run_engine(&g, s.0, t.0, 6, opts);
         assert_eq!(out.num_paths, 1024);
         assert!(!out.stats.cancelled);
+    }
+
+    #[test]
+    fn dram_fault_aborts_the_run_at_a_batch_boundary() {
+        use pefp_fpga::{FaultKind, FaultPlan, ScriptedFault};
+        let g = pefp_graph::generators::layered_dag(5, 4, 4, 1).to_csr();
+        let s = pefp_graph::generators::layered_source();
+        let t = pefp_graph::generators::layered_sink(5, 4);
+        let prep = pre_bfs(&g, s, t, 6);
+        let plan = FaultPlan::scripted(1);
+        plan.push_script(0, ScriptedFault { after_ops: 3, kind: FaultKind::DramCorruption });
+        let mut device = Device::new(DeviceConfig::alveo_u200());
+        device.attach_fault_injector(plan.injector_for(0));
+        let opts = EngineOptions {
+            processing_capacity: 8,
+            buffer_capacity: 16,
+            dram_fetch_batch: 8,
+            ..EngineOptions::default()
+        };
+        let mut engine =
+            PefpEngine::new(&prep.graph, &prep.barrier, prep.s, prep.t, prep.k, opts, device);
+        let out = engine.run();
+        let fault = out.stats.device_fault.expect("the checksum fault must be observed");
+        assert_eq!(fault.kind, FaultKind::DramCorruption);
+        assert!(out.stats.early_terminated);
+        assert!(out.num_paths < 1024, "the run aborted before enumerating everything");
+        assert_eq!(engine.device_report().fault, Some(fault));
+    }
+
+    #[test]
+    fn cycle_watchdog_raises_a_hang_fault() {
+        use pefp_fpga::{FaultPlan, FaultRates};
+        let g = pefp_graph::generators::layered_dag(5, 4, 4, 1).to_csr();
+        let s = pefp_graph::generators::layered_source();
+        let t = pefp_graph::generators::layered_sink(5, 4);
+        let prep = pre_bfs(&g, s, t, 6);
+        // Every DRAM refill stalls for far longer than the budget: the CU
+        // stops making progress and the watchdog must catch it.
+        let rates = FaultRates { cu_stall: 1.0, stall_cycles: 10_000_000, ..FaultRates::NONE };
+        let plan = FaultPlan::seeded(5, rates, 1);
+        let mut device = Device::new(DeviceConfig::alveo_u200());
+        device.attach_fault_injector(plan.injector_for(0));
+        let opts = EngineOptions { cycle_budget: Some(1_000_000), ..EngineOptions::default() };
+        let mut engine =
+            PefpEngine::new(&prep.graph, &prep.barrier, prep.s, prep.t, prep.k, opts, device);
+        let out = engine.run();
+        let fault = out.stats.device_fault.expect("watchdog must trip");
+        assert_eq!(fault.kind, pefp_fpga::FaultKind::CuHang);
+        assert!(out.stats.early_terminated);
+        // A generous budget on a healthy device never trips.
+        let device = Device::new(DeviceConfig::alveo_u200());
+        let opts = EngineOptions { cycle_budget: Some(u64::MAX), ..EngineOptions::default() };
+        let mut engine =
+            PefpEngine::new(&prep.graph, &prep.barrier, prep.s, prep.t, prep.k, opts, device);
+        let out = engine.run();
+        assert!(out.stats.device_fault.is_none());
+        assert_eq!(out.num_paths, 1024);
     }
 
     #[test]

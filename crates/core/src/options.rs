@@ -107,6 +107,12 @@ pub struct EngineOptions {
     /// The host runtime wires a dropped job ticket's flag through here so an
     /// abandoned query stops consuming its compute unit.
     pub cancel: Option<CancelToken>,
+    /// Simulated-cycle watchdog: when the device's kernel cycle count exceeds
+    /// this budget at a batch boundary, the engine declares the CU hung
+    /// ([`pefp_fpga::FaultKind::CuHang`]) and aborts the run with
+    /// `EngineStats::device_fault` set. `None` (the default) trusts the CU to
+    /// make progress — the pre-fault behaviour.
+    pub cycle_budget: Option<u64>,
 }
 
 impl EngineOptions {
@@ -122,6 +128,7 @@ impl EngineOptions {
             collect_paths: true,
             max_results: None,
             cancel: None,
+            cycle_budget: None,
         }
     }
 

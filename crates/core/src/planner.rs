@@ -130,6 +130,7 @@ pub fn plan_query(prepared: &PreparedQuery, config: &DeviceConfig) -> QueryPlan 
         collect_paths: true,
         max_results: None,
         cancel: None,
+        cycle_budget: None,
     };
 
     let areas = OnChipAreas {

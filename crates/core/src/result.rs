@@ -35,6 +35,12 @@ pub struct EngineStats {
     /// [`crate::CancelToken`] in `EngineOptions::cancel` (polled between
     /// batches). Cancelled runs also set `early_terminated`.
     pub cancelled: bool,
+    /// Device fault that aborted the run: a transfer-checksum fault latched
+    /// by the simulated card, or a [`pefp_fpga::FaultKind::CuHang`] raised by
+    /// the engine's cycle watchdog (`EngineOptions::cycle_budget`). A faulted
+    /// run's results and timings must be discarded; faulted runs also set
+    /// `early_terminated`.
+    pub device_fault: Option<pefp_fpga::FaultEvent>,
 }
 
 /// Raw output of one engine run (device ids).
@@ -79,6 +85,14 @@ impl PefpRunResult {
     pub fn total_millis(&self) -> f64 {
         self.preprocess_millis + self.query_millis
     }
+
+    /// The fault that aborted this run, if any: the engine-observed fault
+    /// when the watchdog or batch-boundary poll caught it, else any fault the
+    /// device latched after the engine's last poll (e.g. on the final batch
+    /// or the result DMA). `None` means the run is trustworthy.
+    pub fn device_fault(&self) -> Option<pefp_fpga::FaultEvent> {
+        self.stats.device_fault.or(self.device.fault)
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +118,8 @@ mod tests {
                 bram_capacity: 0,
                 dram_cycles: 0,
                 contention_cycles: 0,
+                fault: None,
+                injected_stall_cycles: 0,
             },
             stats: EngineStats::default(),
         };

@@ -379,6 +379,28 @@ mod tests {
     }
 
     #[test]
+    fn pcie_fault_on_the_transfer_dma_is_reported_on_the_run() {
+        use pefp_fpga::{CuCluster, FaultKind, FaultPlan, MultiCuConfig, ScriptedFault};
+        let g = chung_lu(120, 5.0, 2.2, 31).to_csr();
+        let prep = prepare(&g, VertexId(0), VertexId(55), 5, PefpVariant::Full);
+        let plan = FaultPlan::scripted(1);
+        plan.push_script(0, ScriptedFault { after_ops: 0, kind: FaultKind::PcieError });
+        let cluster =
+            CuCluster::with_faults(DeviceConfig::alveo_u200(), MultiCuConfig::default(), plan);
+        let mut sink = pefp_graph::CollectSink::new();
+        let result = run_prepared_on_device(
+            &prep,
+            PefpVariant::Full.engine_options(),
+            cluster.device_for_cu(0),
+            &mut sink,
+        );
+        let fault = result.device_fault().expect("the DMA checksum must catch the fault");
+        assert_eq!(fault.kind, FaultKind::PcieError);
+        assert_eq!(result.num_paths, 0, "the engine aborts before emitting anything");
+        assert!(sink.into_paths().is_empty());
+    }
+
+    #[test]
     fn variant_metadata_is_consistent() {
         assert_eq!(PefpVariant::all().len(), 5);
         assert_eq!(PefpVariant::Full.name(), "PEFP");

@@ -12,6 +12,7 @@ use crate::clock::CycleClock;
 use crate::config::{DeviceConfig, MemoryKind};
 use crate::counters::MemoryCounters;
 use crate::dram::Dram;
+use crate::fault::{FaultEvent, FaultInjector, FaultKind, Injection, TransferClass};
 use crate::pcie::Pcie;
 use crate::pipeline::{dataflow_cycles, pipeline_cycles, sequential_cycles};
 use serde::{Deserialize, Serialize};
@@ -37,6 +38,15 @@ pub struct Device {
     dram_busy_cycles: u64,
     /// Extra stall cycles injected by the shared-DRAM arbiter.
     contention_cycles: u64,
+    /// Fault stream for this device instantiation, when the card runs under
+    /// a [`crate::fault::FaultPlan`]; `None` for a fault-free device.
+    injector: Option<FaultInjector>,
+    /// First detected fault, latched until [`Device::reset_query_state`]. The
+    /// simulated transfer checksums raise it; the engine polls it at batch
+    /// boundaries and aborts instead of computing with corrupted data.
+    pending_fault: Option<FaultEvent>,
+    /// Extra cycles injected by transient CU stalls (included in `cycles`).
+    injected_stall_cycles: u64,
 }
 
 /// Summary of one query's device activity.
@@ -62,6 +72,12 @@ pub struct DeviceReport {
     /// Stall cycles injected by a shared-DRAM arbiter (0 for a standalone
     /// device; included in `cycles`).
     pub contention_cycles: u64,
+    /// First fault the transfer checksums detected during the query, if any.
+    /// A report with a fault describes an *aborted* run whose timing and
+    /// results must not be trusted.
+    pub fault: Option<FaultEvent>,
+    /// Extra cycles injected by transient CU stalls (included in `cycles`).
+    pub injected_stall_cycles: u64,
 }
 
 impl Device {
@@ -89,6 +105,9 @@ impl Device {
             arbiter: None,
             dram_busy_cycles: 0,
             contention_cycles: 0,
+            injector: None,
+            pending_fault: None,
+            injected_stall_cycles: 0,
         }
     }
 
@@ -104,6 +123,58 @@ impl Device {
         self.arbiter.as_ref()
     }
 
+    /// Wires this device to a fault plan's per-instantiation stream: every
+    /// DRAM refill and PCIe DMA becomes a fault opportunity, and detected
+    /// faults latch into [`Device::pending_fault`].
+    pub fn attach_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// The first fault the transfer checksums detected, if any. Latched: once
+    /// a run faults it stays faulted until [`Device::reset_query_state`].
+    pub fn pending_fault(&self) -> Option<FaultEvent> {
+        self.pending_fault
+    }
+
+    /// The compute unit this device simulates, when it runs under a fault
+    /// plan or shared arbiter (`None` for a plain standalone device).
+    pub fn cu_index(&self) -> Option<usize> {
+        self.injector
+            .as_ref()
+            .map(FaultInjector::cu)
+            .or_else(|| self.arbiter.as_ref().map(ArbiterHandle::cu))
+    }
+
+    /// Latches a fault detected *outside* the device's own checksums — the
+    /// engine's cycle-progress watchdog uses this to record a hang.
+    pub fn raise_fault(&mut self, kind: FaultKind) -> FaultEvent {
+        let event =
+            FaultEvent { cu: self.cu_index().unwrap_or(0), kind, at_cycle: self.clock.cycles() };
+        if self.pending_fault.is_none() {
+            self.pending_fault = Some(event);
+        }
+        self.pending_fault.unwrap_or(event)
+    }
+
+    /// Draws the fault decision for one transfer and applies it: stalls burn
+    /// extra cycles, detected faults latch into `pending_fault`.
+    fn inject(&mut self, class: TransferClass) {
+        let Some(injector) = &mut self.injector else { return };
+        match injector.draw(class) {
+            None => {}
+            Some(Injection::Stall(cycles)) => {
+                self.injected_stall_cycles += cycles;
+                self.clock.advance(cycles);
+            }
+            Some(Injection::Fault(kind)) => {
+                let event = FaultEvent { cu: injector.cu(), kind, at_cycle: self.clock.cycles() };
+                if self.pending_fault.is_none() {
+                    self.pending_fault = Some(event);
+                }
+            }
+        }
+    }
+
     /// Advances the clock for a DRAM transfer of `words` words costing
     /// `base_cycles` uncontended, adding any stall the shared arbiter imposes.
     fn advance_dram(&mut self, base_cycles: u64, words: u64) {
@@ -114,6 +185,7 @@ impl Device {
         };
         self.contention_cycles += stall;
         self.clock.advance(base_cycles + stall);
+        self.inject(TransferClass::Dram);
     }
 
     /// A device with the paper's Alveo U200 profile.
@@ -144,6 +216,8 @@ impl Device {
         self.pcie_seconds = 0.0;
         self.dram_busy_cycles = 0;
         self.contention_cycles = 0;
+        self.pending_fault = None;
+        self.injected_stall_cycles = 0;
     }
 
     /// Fully resets the device, including BRAM allocations.
@@ -289,6 +363,7 @@ impl Device {
     /// Charges a host→device or device→host DMA transfer of `bytes`.
     pub fn charge_pcie_transfer(&mut self, bytes: usize) {
         self.pcie_seconds += self.pcie.transfer_seconds(bytes);
+        self.inject(TransferClass::Pcie);
     }
 
     // ---- reporting --------------------------------------------------------------
@@ -317,6 +392,8 @@ impl Device {
             bram_capacity: self.bram.capacity(),
             dram_cycles: self.dram_busy_cycles,
             contention_cycles: self.contention_cycles,
+            fault: self.pending_fault,
+            injected_stall_cycles: self.injected_stall_cycles,
         }
     }
 }
@@ -441,6 +518,68 @@ mod tests {
         contended.charge_read(MemoryKind::Bram, 4);
         contended.charge_pipelined_loop(100, 3);
         assert_eq!(contended.report().contention_cycles, 0);
+    }
+
+    #[test]
+    fn scripted_dram_fault_latches_on_the_device() {
+        use crate::fault::{FaultKind, FaultPlan, ScriptedFault};
+        let plan = FaultPlan::scripted(1);
+        plan.push_script(0, ScriptedFault { after_ops: 1, kind: FaultKind::DramCorruption });
+        let mut d = Device::alveo_u200();
+        d.attach_fault_injector(plan.injector_for(0));
+        d.charge_read(MemoryKind::Dram, 64);
+        assert!(d.pending_fault().is_none(), "first transfer passes its checksum");
+        d.charge_read(MemoryKind::Dram, 64);
+        let fault = d.pending_fault().expect("second transfer fails its checksum");
+        assert_eq!(fault.kind, FaultKind::DramCorruption);
+        assert_eq!(fault.cu, 0);
+        assert_eq!(d.report().fault, Some(fault), "the report carries the latched fault");
+        // The latch survives further (also faulty or clean) traffic…
+        d.charge_write(MemoryKind::Dram, 64);
+        assert_eq!(d.pending_fault().unwrap().kind, FaultKind::DramCorruption);
+        // …and clears with the query state.
+        d.reset_query_state();
+        assert!(d.pending_fault().is_none());
+    }
+
+    #[test]
+    fn injected_stall_burns_cycles_without_raising_a_fault() {
+        use crate::fault::{FaultPlan, FaultRates};
+        let rates = FaultRates { cu_stall: 1.0, stall_cycles: 5_000, ..FaultRates::NONE };
+        let plan = FaultPlan::seeded(3, rates, 1);
+        let mut stalled = Device::alveo_u200();
+        stalled.attach_fault_injector(plan.injector_for(0));
+        let mut clean = Device::alveo_u200();
+        stalled.charge_read(MemoryKind::Dram, 64);
+        clean.charge_read(MemoryKind::Dram, 64);
+        assert!(stalled.pending_fault().is_none(), "stalls are latency, not errors");
+        assert_eq!(stalled.cycles(), clean.cycles() + 5_000);
+        assert_eq!(stalled.report().injected_stall_cycles, 5_000);
+    }
+
+    #[test]
+    fn pcie_fault_is_detected_on_the_dma() {
+        use crate::fault::{FaultKind, FaultPlan, ScriptedFault};
+        let plan = FaultPlan::scripted(1);
+        plan.push_script(0, ScriptedFault { after_ops: 0, kind: FaultKind::PcieError });
+        let mut d = Device::alveo_u200();
+        d.attach_fault_injector(plan.injector_for(0));
+        d.charge_pcie_transfer(4096);
+        assert_eq!(d.pending_fault().unwrap().kind, FaultKind::PcieError);
+    }
+
+    #[test]
+    fn raise_fault_records_the_watchdog_verdict() {
+        use crate::fault::FaultKind;
+        let mut d = Device::alveo_u200();
+        d.charge_cycles(777);
+        let event = d.raise_fault(FaultKind::CuHang);
+        assert_eq!(event.kind, FaultKind::CuHang);
+        assert_eq!(event.at_cycle, 777);
+        assert_eq!(d.pending_fault(), Some(event));
+        // An already-latched device keeps its first fault.
+        let second = d.raise_fault(FaultKind::CuCrash);
+        assert_eq!(second, event);
     }
 
     #[test]

@@ -1,0 +1,421 @@
+//! Deterministic fault injection for the simulated device fleet.
+//!
+//! Real U200/U250 deployments (the boards of the paper's Section VIII) see
+//! transient DRAM bit flips, PCIe transfer errors and wedged kernels; the
+//! cost model in this crate is otherwise perfect. This module makes failure
+//! an *input*: a seed-driven [`FaultPlan`] attached to a
+//! [`crate::multi_cu::CuCluster`] decides, per compute unit and per memory
+//! transfer, whether that transfer is corrupted, stalled, or kills the CU
+//! outright.
+//!
+//! Faults are **observable, never silent**. The simulated card checks an
+//! end-to-end checksum on every DRAM refill and PCIe DMA (on real hardware:
+//! ECC plus a CRC over the descriptor ring); a corrupted transfer therefore
+//! surfaces as a [`FaultEvent`] latched on the [`crate::Device`] — the
+//! engine aborts the query at the next batch boundary instead of computing
+//! with bad data. Stalls are *not* latched: they only burn simulated cycles,
+//! and are caught (if excessive) by the cycle-progress watchdog the engine
+//! runs (`EngineOptions::cycle_budget` in `pefp-core`), which reports them
+//! as [`FaultKind::CuHang`].
+//!
+//! Determinism: every device instantiation draws from a SplitMix64 stream
+//! keyed by `(plan seed, cu, per-CU instantiation counter)`, so a chaos test
+//! that replays the same jobs in the same per-CU order sees the same faults —
+//! and a *retry on a different CU* sees an independent stream, which is
+//! exactly why the host retries elsewhere.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The classes of hardware fault the plan can inject and the detectors can
+/// raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A DRAM refill failed its end-to-end checksum (transient bit flip).
+    DramCorruption,
+    /// A host↔device DMA failed its transfer checksum.
+    PcieError,
+    /// The CU stopped making cycle progress; raised by the engine's
+    /// simulated-cycle watchdog, injected as an oversized stall.
+    CuHang,
+    /// The CU died hard: every subsequent transfer on it faults until the
+    /// plan repairs it (see [`FaultPlan::repair`]).
+    CuCrash,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::DramCorruption => write!(f, "DRAM checksum mismatch"),
+            FaultKind::PcieError => write!(f, "PCIe transfer error"),
+            FaultKind::CuHang => write!(f, "CU hang (cycle watchdog)"),
+            FaultKind::CuCrash => write!(f, "CU crash"),
+        }
+    }
+}
+
+/// A detected fault: which CU, what kind, and at which simulated cycle the
+/// detector latched it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Compute unit the fault was detected on.
+    pub cu: usize,
+    /// What the detector saw.
+    pub kind: FaultKind,
+    /// Simulated kernel cycle at detection time.
+    pub at_cycle: u64,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on CU {} at cycle {}", self.kind, self.cu, self.at_cycle)
+    }
+}
+
+impl std::error::Error for FaultEvent {}
+
+/// Per-transfer injection probabilities of a fault mix.
+///
+/// Rates are per *fault opportunity*: each DRAM refill draws for corruption,
+/// stall and crash; each PCIe DMA draws for transfer error and crash.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// Probability a DRAM refill is corrupted (checksum mismatch).
+    pub dram_corruption: f64,
+    /// Probability a PCIe DMA fails its checksum.
+    pub pcie_error: f64,
+    /// Probability a DRAM refill stalls the CU for [`FaultRates::stall_cycles`].
+    pub cu_stall: f64,
+    /// Length of an injected stall in kernel cycles. Small values are latency
+    /// noise; values beyond the engine's cycle budget simulate a hang.
+    pub stall_cycles: u64,
+    /// Probability any transfer kills the CU permanently.
+    pub cu_crash: f64,
+}
+
+impl FaultRates {
+    /// A plan that injects nothing (useful as a scripted-only base).
+    pub const NONE: FaultRates = FaultRates {
+        dram_corruption: 0.0,
+        pcie_error: 0.0,
+        cu_stall: 0.0,
+        stall_cycles: 0,
+        cu_crash: 0.0,
+    };
+
+    /// True when every rate is zero.
+    pub fn is_zero(&self) -> bool {
+        self.dram_corruption == 0.0
+            && self.pcie_error == 0.0
+            && self.cu_stall == 0.0
+            && self.cu_crash == 0.0
+    }
+}
+
+/// One scripted fault: fires on the first fault opportunity after `after_ops`
+/// transfers of a single device instantiation (i.e. one job attempt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptedFault {
+    /// Number of transfers to let through before firing.
+    pub after_ops: u64,
+    /// The fault to raise.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, seed-driven fault schedule for a CU cluster.
+///
+/// The plan is shared (`Arc`) between the cluster and the host's health
+/// tracker: the cluster derives a per-instantiation [`FaultInjector`] for
+/// every device it builds; the host reads [`FaultPlan::is_crashed`] and may
+/// [`FaultPlan::repair`] a CU (simulating an operator reset / xclbin reload)
+/// when probing quarantined CUs back in.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: FaultRates,
+    /// Sticky per-CU crash latches.
+    crashed: Vec<AtomicBool>,
+    /// Per-CU device instantiation counters (one per job attempt), used to
+    /// key the per-attempt SplitMix64 stream.
+    instantiations: Vec<AtomicU64>,
+    /// Per-CU scripted fault queues; one entry is popped per instantiation.
+    scripts: Vec<Mutex<VecDeque<ScriptedFault>>>,
+    /// Total faults injected (all CUs, all kinds), for telemetry.
+    injected: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A seed-driven plan over `cus` compute units with the given mix.
+    pub fn seeded(seed: u64, rates: FaultRates, cus: usize) -> Arc<Self> {
+        let cus = cus.max(1);
+        Arc::new(FaultPlan {
+            seed,
+            rates,
+            crashed: (0..cus).map(|_| AtomicBool::new(false)).collect(),
+            instantiations: (0..cus).map(|_| AtomicU64::new(0)).collect(),
+            scripts: (0..cus).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// A plan that fires only explicitly scripted faults (rates all zero).
+    pub fn scripted(cus: usize) -> Arc<Self> {
+        Self::seeded(0, FaultRates::NONE, cus)
+    }
+
+    /// Queues a scripted fault on `cu`; each device instantiation (job
+    /// attempt) on that CU consumes at most one queued entry, in order.
+    pub fn push_script(&self, cu: usize, fault: ScriptedFault) {
+        self.scripts[cu].lock().expect("fault script poisoned").push_back(fault);
+    }
+
+    /// Whether `cu` is currently crash-latched.
+    pub fn is_crashed(&self, cu: usize) -> bool {
+        self.crashed[cu].load(Ordering::Acquire)
+    }
+
+    /// Clears the crash latch on `cu` — the simulated equivalent of an
+    /// operator resetting the card. The host's probe path calls this before
+    /// re-admitting a quarantined CU so a transient crash can heal; a CU
+    /// whose mix keeps crashing will simply trip the breaker again.
+    pub fn repair(&self, cu: usize) {
+        self.crashed[cu].store(false, Ordering::Release);
+    }
+
+    /// Number of compute units this plan covers.
+    pub fn compute_units(&self) -> usize {
+        self.crashed.len()
+    }
+
+    /// Total faults injected so far across all CUs.
+    pub fn faults_injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Derives the injector for the next device instantiation on `cu`.
+    pub fn injector_for(self: &Arc<Self>, cu: usize) -> FaultInjector {
+        assert!(cu < self.compute_units(), "compute unit {cu} out of range for fault plan");
+        let nth = self.instantiations[cu].fetch_add(1, Ordering::Relaxed);
+        let script = self.scripts[cu].lock().expect("fault script poisoned").pop_front();
+        // Key the stream by (seed, cu, instantiation) through two SplitMix64
+        // scrambles so neighbouring CUs/attempts decorrelate.
+        let mut state = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((cu as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
+            .wrapping_add(nth.wrapping_mul(0x8CB9_2BA7_2F3D_8DD7));
+        splitmix64(&mut state);
+        splitmix64(&mut state);
+        FaultInjector { plan: Arc::clone(self), cu, state, ops: 0, script }
+    }
+}
+
+/// The outcome of one fault-opportunity draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injection {
+    /// Stall the CU for this many extra kernel cycles (transient, undetected).
+    Stall(u64),
+    /// Raise a detected fault of this kind.
+    Fault(FaultKind),
+}
+
+/// The class of transfer a fault opportunity belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferClass {
+    /// A DRAM refill (burst read/write, cache miss, spill, fetch).
+    Dram,
+    /// A host↔device PCIe DMA.
+    Pcie,
+}
+
+/// Per-device-instantiation fault stream, held by [`crate::Device`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: Arc<FaultPlan>,
+    cu: usize,
+    state: u64,
+    ops: u64,
+    script: Option<ScriptedFault>,
+}
+
+impl FaultInjector {
+    /// The compute unit this injector belongs to.
+    pub fn cu(&self) -> usize {
+        self.cu
+    }
+
+    /// Draws the fault decision for one transfer of class `class`.
+    pub fn draw(&mut self, class: TransferClass) -> Option<Injection> {
+        if self.plan.is_crashed(self.cu) {
+            // A dead CU fails every transfer; don't double-count telemetry.
+            return Some(Injection::Fault(FaultKind::CuCrash));
+        }
+        self.ops += 1;
+        if let Some(script) = self.script {
+            if self.ops > script.after_ops {
+                self.script = None;
+                return Some(self.fire(script.kind));
+            }
+        }
+        let rates = self.plan.rates;
+        if rates.is_zero() {
+            return None;
+        }
+        let roll = unit_f64(splitmix64(&mut self.state));
+        match class {
+            TransferClass::Dram => {
+                if roll < rates.dram_corruption {
+                    Some(self.fire(FaultKind::DramCorruption))
+                } else if roll < rates.dram_corruption + rates.cu_stall {
+                    self.plan.injected.fetch_add(1, Ordering::Relaxed);
+                    Some(Injection::Stall(rates.stall_cycles))
+                } else if roll < rates.dram_corruption + rates.cu_stall + rates.cu_crash {
+                    Some(self.fire(FaultKind::CuCrash))
+                } else {
+                    None
+                }
+            }
+            TransferClass::Pcie => {
+                if roll < rates.pcie_error {
+                    Some(self.fire(FaultKind::PcieError))
+                } else if roll < rates.pcie_error + rates.cu_crash {
+                    Some(self.fire(FaultKind::CuCrash))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn fire(&mut self, kind: FaultKind) -> Injection {
+        self.plan.injected.fetch_add(1, Ordering::Relaxed);
+        if kind == FaultKind::CuCrash {
+            self.plan.crashed[self.cu].store(true, Ordering::Release);
+        }
+        Injection::Fault(kind)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_cu_same_attempt_draws_identically() {
+        let rates = FaultRates {
+            dram_corruption: 0.1,
+            pcie_error: 0.1,
+            cu_stall: 0.1,
+            stall_cycles: 100,
+            cu_crash: 0.0,
+        };
+        let a = FaultPlan::seeded(42, rates, 2);
+        let b = FaultPlan::seeded(42, rates, 2);
+        let mut ia = a.injector_for(0);
+        let mut ib = b.injector_for(0);
+        for _ in 0..1000 {
+            assert_eq!(ia.draw(TransferClass::Dram), ib.draw(TransferClass::Dram));
+        }
+    }
+
+    #[test]
+    fn different_cus_see_different_streams() {
+        let rates = FaultRates {
+            dram_corruption: 0.2,
+            pcie_error: 0.0,
+            cu_stall: 0.0,
+            stall_cycles: 0,
+            cu_crash: 0.0,
+        };
+        let plan = FaultPlan::seeded(7, rates, 2);
+        let mut i0 = plan.injector_for(0);
+        let mut i1 = plan.injector_for(1);
+        let d0: Vec<_> = (0..200).map(|_| i0.draw(TransferClass::Dram)).collect();
+        let d1: Vec<_> = (0..200).map(|_| i1.draw(TransferClass::Dram)).collect();
+        assert_ne!(d0, d1, "per-CU streams must decorrelate");
+    }
+
+    #[test]
+    fn rates_produce_roughly_proportional_fault_counts() {
+        let rates = FaultRates {
+            dram_corruption: 0.05,
+            pcie_error: 0.0,
+            cu_stall: 0.0,
+            stall_cycles: 0,
+            cu_crash: 0.0,
+        };
+        let plan = FaultPlan::seeded(11, rates, 1);
+        let mut inj = plan.injector_for(0);
+        let faults = (0..10_000).filter(|_| inj.draw(TransferClass::Dram).is_some()).count();
+        assert!((300..=700).contains(&faults), "~5% of 10k draws expected, got {faults}");
+    }
+
+    #[test]
+    fn crash_is_sticky_until_repaired() {
+        let plan = FaultPlan::scripted(1);
+        plan.push_script(0, ScriptedFault { after_ops: 0, kind: FaultKind::CuCrash });
+        let mut inj = plan.injector_for(0);
+        assert_eq!(inj.draw(TransferClass::Dram), Some(Injection::Fault(FaultKind::CuCrash)));
+        assert!(plan.is_crashed(0));
+        // A fresh instantiation on the crashed CU faults on every transfer.
+        let mut next = plan.injector_for(0);
+        assert_eq!(next.draw(TransferClass::Pcie), Some(Injection::Fault(FaultKind::CuCrash)));
+        plan.repair(0);
+        let mut healed = plan.injector_for(0);
+        assert_eq!(healed.draw(TransferClass::Dram), None);
+    }
+
+    #[test]
+    fn scripted_faults_fire_once_after_the_requested_op() {
+        let plan = FaultPlan::scripted(1);
+        plan.push_script(0, ScriptedFault { after_ops: 2, kind: FaultKind::DramCorruption });
+        let mut inj = plan.injector_for(0);
+        assert_eq!(inj.draw(TransferClass::Dram), None);
+        assert_eq!(inj.draw(TransferClass::Dram), None);
+        assert_eq!(
+            inj.draw(TransferClass::Dram),
+            Some(Injection::Fault(FaultKind::DramCorruption))
+        );
+        assert_eq!(inj.draw(TransferClass::Dram), None, "scripted faults are one-shot");
+        // The next instantiation has no script left.
+        let mut next = plan.injector_for(0);
+        for _ in 0..10 {
+            assert_eq!(next.draw(TransferClass::Dram), None);
+        }
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let plan = FaultPlan::seeded(99, FaultRates::NONE, 4);
+        let mut inj = plan.injector_for(3);
+        for _ in 0..1000 {
+            assert_eq!(inj.draw(TransferClass::Dram), None);
+            assert_eq!(inj.draw(TransferClass::Pcie), None);
+        }
+        assert_eq!(plan.faults_injected(), 0);
+    }
+
+    #[test]
+    fn display_carries_cu_and_cycle_context() {
+        let e = FaultEvent { cu: 3, kind: FaultKind::DramCorruption, at_cycle: 1234 };
+        let text = e.to_string();
+        assert!(text.contains("CU 3"), "{text}");
+        assert!(text.contains("1234"), "{text}");
+        assert!(text.contains("DRAM"), "{text}");
+    }
+}

@@ -41,6 +41,7 @@ pub mod config;
 pub mod counters;
 pub mod device;
 pub mod dram;
+pub mod fault;
 pub mod fifo;
 pub mod hls;
 pub mod multi_cu;
@@ -57,6 +58,7 @@ pub use config::{DeviceConfig, MemoryKind};
 pub use counters::MemoryCounters;
 pub use device::{Device, DeviceReport};
 pub use dram::Dram;
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRates, ScriptedFault};
 pub use fifo::{FifoChannel, FifoStats};
 pub use hls::{KernelReport, ModuleLatency};
 pub use multi_cu::{

@@ -26,9 +26,11 @@ use crate::arbiter::{ArbiterHandle, DramArbiter};
 use crate::banks::{DramBanks, Interleaving};
 use crate::config::DeviceConfig;
 use crate::device::Device;
+use crate::fault::FaultPlan;
 use crate::resources::{ModuleCosts, OnChipAreas, ResourceBudget, ResourceEstimate};
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Configuration of a multi-CU deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -176,6 +178,9 @@ pub struct CuCluster {
     leased: Mutex<Vec<bool>>,
     /// Woken when a lease is returned.
     returned: Condvar,
+    /// Fault schedule applied to every device the cluster builds; `None`
+    /// simulates perfect hardware (the pre-fault behaviour).
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl CuCluster {
@@ -185,6 +190,25 @@ impl CuCluster {
     /// latencies from the device profile), so per-bank conflict accounting is
     /// available in [`DramArbiter::stats`] next to the bandwidth-sharing law.
     pub fn new(device_config: DeviceConfig, multi_cu: MultiCuConfig) -> Self {
+        Self::build(device_config, multi_cu, None)
+    }
+
+    /// Like [`CuCluster::new`], but every device the cluster builds draws its
+    /// faults from `plan` — the simulated equivalent of deploying on a fleet
+    /// where DRAM flips, PCIe errors and kernel hangs actually happen.
+    pub fn with_faults(
+        device_config: DeviceConfig,
+        multi_cu: MultiCuConfig,
+        plan: Arc<FaultPlan>,
+    ) -> Self {
+        Self::build(device_config, multi_cu, Some(plan))
+    }
+
+    fn build(
+        device_config: DeviceConfig,
+        multi_cu: MultiCuConfig,
+        fault_plan: Option<Arc<FaultPlan>>,
+    ) -> Self {
         let banks = DramBanks::new(
             4,
             512,
@@ -194,13 +218,26 @@ impl CuCluster {
         );
         let arbiter = Arc::new(DramArbiter::with_banks(multi_cu.per_cu_bandwidth_share, banks));
         let cus = multi_cu.compute_units.max(1);
+        if let Some(plan) = &fault_plan {
+            assert!(
+                plan.compute_units() >= cus,
+                "fault plan covers {} CUs but the cluster has {cus}",
+                plan.compute_units()
+            );
+        }
         CuCluster {
             device_config,
             multi_cu,
             arbiter,
             leased: Mutex::new(vec![false; cus]),
             returned: Condvar::new(),
+            fault_plan,
         }
+    }
+
+    /// The fault schedule the cluster's devices run under, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault_plan.as_ref()
     }
 
     /// Reserves a free compute unit, blocking until one is returned. The
@@ -224,6 +261,54 @@ impl CuCluster {
         let cu = leased.iter().position(|taken| !taken)?;
         leased[cu] = true;
         Some(CuLease { cluster: self, cu })
+    }
+
+    /// Reserves a *specific* compute unit without blocking: `None` when `cu`
+    /// is currently leased. The host's CU-health layer uses this to steer
+    /// jobs onto healthy CUs and probes onto quarantined ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cu` is out of range.
+    pub fn try_checkout_cu(&self, cu: usize) -> Option<CuLease<'_>> {
+        assert!(cu < self.compute_units(), "compute unit {cu} out of range");
+        let mut leased = self.leased.lock().expect("lease table poisoned");
+        if leased[cu] {
+            return None;
+        }
+        leased[cu] = true;
+        Some(CuLease { cluster: self, cu })
+    }
+
+    /// Reserves any free CU out of `candidates`, waiting up to `timeout` for
+    /// one to be returned. Returns `None` on timeout or when `candidates` is
+    /// empty — unlike [`CuCluster::checkout`], this can never park a caller
+    /// forever on a wedged fleet, and it never hands out a CU outside the
+    /// candidate set (the health layer's quarantine boundary).
+    pub fn checkout_among(&self, candidates: &[usize], timeout: Duration) -> Option<CuLease<'_>> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        let mut leased = self.leased.lock().expect("lease table poisoned");
+        loop {
+            if let Some(&cu) = candidates.iter().find(|&&cu| !leased[cu]) {
+                leased[cu] = true;
+                return Some(CuLease { cluster: self, cu });
+            }
+            let remaining = deadline.checked_duration_since(std::time::Instant::now())?;
+            let (guard, wait) =
+                self.returned.wait_timeout(leased, remaining).expect("lease table poisoned");
+            leased = guard;
+            if wait.timed_out() {
+                // One last scan under the reacquired lock before giving up.
+                if let Some(&cu) = candidates.iter().find(|&&cu| !leased[cu]) {
+                    leased[cu] = true;
+                    return Some(CuLease { cluster: self, cu });
+                }
+                return None;
+            }
+        }
     }
 
     /// Number of CUs currently checked out.
@@ -261,6 +346,9 @@ impl CuCluster {
         assert!(cu < self.compute_units(), "compute unit {cu} out of range");
         let mut device = Device::new(self.device_config.clone());
         device.attach_arbiter(ArbiterHandle::new(Arc::clone(&self.arbiter), cu));
+        if let Some(plan) = &self.fault_plan {
+            device.attach_fault_injector(plan.injector_for(cu));
+        }
         device
     }
 }
@@ -292,7 +380,10 @@ impl Drop for CuLease<'_> {
     fn drop(&mut self) {
         let mut leased = self.cluster.leased.lock().expect("lease table poisoned");
         leased[self.cu] = false;
-        self.cluster.returned.notify_one();
+        // notify_all, not notify_one: `checkout_among` waiters are selective
+        // (a freed CU may be outside the woken waiter's candidate set, which
+        // would strand a waiter the CU *does* match).
+        self.cluster.returned.notify_all();
     }
 }
 
@@ -519,6 +610,74 @@ mod tests {
             drop(lease);
             assert_eq!(waiter.join().expect("waiter panicked"), 0);
         });
+    }
+
+    #[test]
+    fn specific_cu_checkout_respects_the_lease_table() {
+        let cluster = CuCluster::new(
+            DeviceConfig::alveo_u200(),
+            MultiCuConfig { compute_units: 3, per_cu_bandwidth_share: 0.5 },
+        );
+        let lease = cluster.try_checkout_cu(1).expect("CU 1 is free");
+        assert_eq!(lease.cu(), 1);
+        assert!(cluster.try_checkout_cu(1).is_none(), "CU 1 is taken");
+        assert_eq!(cluster.try_checkout_cu(2).expect("CU 2 is free").cu(), 2);
+        drop(lease);
+        assert_eq!(cluster.try_checkout_cu(1).expect("returned").cu(), 1);
+    }
+
+    #[test]
+    fn checkout_among_times_out_instead_of_parking_forever() {
+        let cluster = CuCluster::new(
+            DeviceConfig::alveo_u200(),
+            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5 },
+        );
+        let _held = cluster.try_checkout_cu(0).expect("free");
+        // CU 0 is leased and CU 1 is outside the candidate set: must time out.
+        let start = std::time::Instant::now();
+        assert!(cluster.checkout_among(&[0], Duration::from_millis(30)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        // Empty candidate sets fail fast.
+        assert!(cluster.checkout_among(&[], Duration::from_secs(5)).is_none());
+        // A free candidate is handed out immediately.
+        assert_eq!(cluster.checkout_among(&[1], Duration::ZERO).expect("free").cu(), 1);
+    }
+
+    #[test]
+    fn checkout_among_wakes_when_a_candidate_returns() {
+        let cluster = Arc::new(CuCluster::new(
+            DeviceConfig::alveo_u200(),
+            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5 },
+        ));
+        let lease = cluster.try_checkout_cu(1).expect("free");
+        std::thread::scope(|scope| {
+            let cluster = Arc::clone(&cluster);
+            let waiter = scope.spawn(move || {
+                cluster.checkout_among(&[1], Duration::from_secs(10)).map(|l| l.cu())
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            drop(lease);
+            assert_eq!(waiter.join().expect("waiter panicked"), Some(1));
+        });
+    }
+
+    #[test]
+    fn faulty_cluster_devices_draw_from_the_shared_plan() {
+        use crate::fault::{FaultKind, FaultPlan, ScriptedFault};
+        let plan = FaultPlan::scripted(2);
+        plan.push_script(1, ScriptedFault { after_ops: 0, kind: FaultKind::DramCorruption });
+        let cluster = CuCluster::with_faults(
+            DeviceConfig::alveo_u200(),
+            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5 },
+            Arc::clone(&plan),
+        );
+        let mut healthy = cluster.device_for_cu(0);
+        let mut sick = cluster.device_for_cu(1);
+        healthy.charge_read(crate::MemoryKind::Dram, 64);
+        sick.charge_read(crate::MemoryKind::Dram, 64);
+        assert!(healthy.pending_fault().is_none());
+        assert_eq!(sick.pending_fault().unwrap().kind, FaultKind::DramCorruption);
+        assert_eq!(cluster.fault_plan().unwrap().faults_injected(), 1);
     }
 
     #[test]

@@ -43,11 +43,12 @@ use crate::loader::GraphHandle;
 use crate::query::QueryRequest;
 use crate::scheduler::BatchQueryResult;
 use crate::session::QueryOutcome;
+use pefp_baselines::naive_dfs_stream;
 use pefp_core::{
     plan_query, prepare_snapshot_with, run_prepared_on_device, CancelToken, PefpVariant,
     PrepareContext, PreparedQuery,
 };
-use pefp_fpga::{CuCluster, CuLease, DeviceConfig, MultiCuConfig, Pcie};
+use pefp_fpga::{CuCluster, CuLease, DeviceConfig, FaultEvent, FaultPlan, MultiCuConfig, Pcie};
 use pefp_graph::sink::{CollectSink, CountingSink, FnSink};
 use pefp_graph::view::GraphView;
 use pefp_graph::{Epoch, GraphDelta, GraphSnapshot, VersionedGraph, VertexId};
@@ -57,9 +58,9 @@ use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Identifies one client session within a runtime. Handed out by
 /// [`HostRuntime::register_session`]; the admission queue uses it for
@@ -92,6 +93,60 @@ pub struct RuntimeConfig {
     /// More stripes mean less lock contention but per-stripe (not global) LRU
     /// eviction; 1 reproduces the exact single-map LRU of a private session.
     pub cache_stripes: usize,
+    /// Fault schedule the simulated fleet runs under. `None` (the default)
+    /// simulates perfect hardware; a seeded plan makes every device the
+    /// cluster instantiates draw DRAM/PCIe/stall/crash faults from it (see
+    /// [`pefp_fpga::FaultPlan`]).
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// How the runtime reacts to device faults (retries, quarantine,
+    /// CPU fallback, engine watchdog).
+    pub fault_tolerance: FaultToleranceConfig,
+    /// Wall-clock deadline applied to every job that does not override it at
+    /// submission ([`HostRuntime::submit_query_with_deadline`]). An
+    /// overrunning job is cancelled by the deadline watchdog and fails with
+    /// [`HostError::DeadlineExceeded`]. `None` (the default) never kills.
+    pub default_deadline: Option<Duration>,
+}
+
+/// Knobs of the runtime's fault-tolerance layer.
+#[derive(Debug, Clone)]
+pub struct FaultToleranceConfig {
+    /// Maximum device retries per job after a detected fault. Retries prefer
+    /// a *different* CU than the one that failed (an injected fault stream is
+    /// per-CU, so the same CU may fault identically again).
+    pub max_retries: u32,
+    /// Base backoff between retries; attempt `n` sleeps `n × retry_backoff`
+    /// (bounded, linear — a job makes at most `max_retries` hops).
+    pub retry_backoff: Duration,
+    /// Consecutive failures on one CU before its circuit breaker opens and
+    /// the CU is quarantined (jobs steer around it).
+    pub quarantine_after: u32,
+    /// Number of CU acquisitions to wait before a quarantined CU is probed
+    /// back in with a real job (the probe repairs the simulated crash latch
+    /// first; a CU that keeps faulting trips the breaker again).
+    pub probe_cooldown: u32,
+    /// When no healthy CU remains (or retries are exhausted), run the query
+    /// on the CPU baseline (`pefp_baselines::naive_dfs_stream`) over the same
+    /// pruned subgraph and `PathSink` pipeline instead of failing. Answers
+    /// are identical; only the speed degrades.
+    pub cpu_fallback: bool,
+    /// Engine cycle watchdog: abort a run whose device exceeds this many
+    /// simulated kernel cycles (detects injected hangs). Wired into
+    /// [`pefp_core::EngineOptions::cycle_budget`]; `None` trusts the CU.
+    pub watchdog_cycle_budget: Option<u64>,
+}
+
+impl Default for FaultToleranceConfig {
+    fn default() -> Self {
+        FaultToleranceConfig {
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            quarantine_after: 3,
+            probe_cooldown: 8,
+            cpu_fallback: true,
+            watchdog_cycle_budget: None,
+        }
+    }
 }
 
 impl Default for RuntimeConfig {
@@ -105,6 +160,9 @@ impl Default for RuntimeConfig {
             queue_capacity: 1024,
             shared_cache_capacity: 128,
             cache_stripes: 8,
+            fault_plan: None,
+            fault_tolerance: FaultToleranceConfig::default(),
+            default_deadline: None,
         }
     }
 }
@@ -136,6 +194,14 @@ struct TicketInner<T> {
     slot: Mutex<Option<Result<T, HostError>>>,
     done: Condvar,
     cancel: Arc<AtomicBool>,
+    /// Set once the result landed in `slot`; lets the deadline watchdog skip
+    /// finished jobs without taking the slot mutex.
+    finished: AtomicBool,
+    /// Set by the deadline watchdog (together with `cancel`) so completion
+    /// sites can distinguish a deadline kill from a voluntary cancellation.
+    deadline_exceeded: AtomicBool,
+    /// The registered deadline in milliseconds (0 = none), for error context.
+    deadline_millis: AtomicU64,
 }
 
 impl<T> TicketInner<T> {
@@ -144,13 +210,27 @@ impl<T> TicketInner<T> {
             slot: Mutex::new(None),
             done: Condvar::new(),
             cancel: Arc::new(AtomicBool::new(false)),
+            finished: AtomicBool::new(false),
+            deadline_exceeded: AtomicBool::new(false),
+            deadline_millis: AtomicU64::new(0),
         })
     }
 
     fn complete(&self, result: Result<T, HostError>) {
         let mut slot = self.slot.lock().expect("ticket poisoned");
         *slot = Some(result);
+        self.finished.store(true, Ordering::Release);
         self.done.notify_all();
+    }
+
+    /// The error a cancelled job should fail with: a deadline kill surfaces
+    /// as [`HostError::DeadlineExceeded`], everything else as `Cancelled`.
+    fn cancel_error(&self) -> HostError {
+        if self.deadline_exceeded.load(Ordering::Acquire) {
+            HostError::DeadlineExceeded { millis: self.deadline_millis.load(Ordering::Relaxed) }
+        } else {
+            HostError::Cancelled
+        }
     }
 }
 
@@ -323,7 +403,7 @@ impl AdmissionQueue {
         for lane in state.lanes.iter_mut() {
             lane.jobs.retain(|queued| {
                 if queued.job.ticket.cancel.load(Ordering::Acquire) {
-                    queued.job.ticket.complete(Err(HostError::Cancelled));
+                    queued.job.ticket.complete(Err(queued.job.ticket.cancel_error()));
                     removed += 1;
                     false
                 } else {
@@ -509,6 +589,172 @@ impl SharedPreparedCache {
 }
 
 // ---------------------------------------------------------------------------
+// Deadline watchdog
+// ---------------------------------------------------------------------------
+
+/// One job under deadline supervision. Weak, so a dropped ticket never keeps
+/// its completion state alive through the watchdog.
+struct DeadlineEntry {
+    due: Instant,
+    ticket: Weak<TicketInner<QueryOutcome>>,
+}
+
+/// State of the deadline watchdog thread.
+struct DeadlineState {
+    entries: Vec<DeadlineEntry>,
+    shutdown: bool,
+}
+
+/// The watchdog loop: sleeps until the earliest registered deadline (or a
+/// coarse idle tick), then kills every overdue unfinished job by flipping its
+/// cancel flag — the engine observes it at the next batch boundary and the
+/// completion site converts the cancellation into
+/// [`HostError::DeadlineExceeded`].
+fn deadline_watchdog(shared: Arc<RuntimeShared>) {
+    let mut state = shared.deadlines.lock().expect("deadline table poisoned");
+    loop {
+        if state.shutdown {
+            return;
+        }
+        let now = Instant::now();
+        state.entries.retain(|entry| match entry.ticket.upgrade() {
+            None => false,
+            Some(ticket) => {
+                if ticket.finished.load(Ordering::Acquire) {
+                    false
+                } else if entry.due <= now {
+                    ticket.deadline_exceeded.store(true, Ordering::Release);
+                    ticket.cancel.store(true, Ordering::Release);
+                    shared.counters.deadline_kills.fetch_add(1, Ordering::Relaxed);
+                    false
+                } else {
+                    true
+                }
+            }
+        });
+        let wait = state
+            .entries
+            .iter()
+            .map(|e| e.due)
+            .min()
+            .map(|due| due.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(100))
+            .max(Duration::from_millis(1));
+        let (guard, _) =
+            shared.deadline_cv.wait_timeout(state, wait).expect("deadline table poisoned");
+        state = guard;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-CU health (circuit breaker)
+// ---------------------------------------------------------------------------
+
+/// Health record of one compute unit.
+#[derive(Debug, Clone, Copy, Default)]
+struct CuHealthState {
+    /// Consecutive job failures; reset by any success.
+    consecutive_failures: u32,
+    /// Whether the circuit breaker is open (jobs steer around this CU).
+    quarantined: bool,
+    /// Acquisitions remaining before a probe may try this CU again.
+    probe_cooldown: u32,
+}
+
+/// The runtime's per-CU circuit breaker: `quarantine_after` consecutive
+/// failures open the breaker, after which jobs avoid the CU; every
+/// `probe_cooldown` acquisitions one quarantined CU is offered back as a
+/// *probe* (a real job — correctness is protected by the retry/fallback
+/// machinery, so a probe can never corrupt an answer). A successful probe
+/// closes the breaker; a failed one restarts the cooldown.
+#[derive(Debug)]
+struct CuHealth {
+    states: Mutex<Vec<CuHealthState>>,
+}
+
+impl CuHealth {
+    fn new(cus: usize) -> Self {
+        CuHealth { states: Mutex::new(vec![CuHealthState::default(); cus.max(1)]) }
+    }
+
+    fn record_success(&self, cu: usize) {
+        let mut states = self.states.lock().expect("health table poisoned");
+        states[cu].consecutive_failures = 0;
+        states[cu].quarantined = false;
+    }
+
+    /// Records a failure; returns `true` when this failure newly opened the
+    /// breaker (for the quarantine-event counter).
+    fn record_failure(&self, cu: usize, quarantine_after: u32, cooldown: u32) -> bool {
+        let mut states = self.states.lock().expect("health table poisoned");
+        let state = &mut states[cu];
+        state.consecutive_failures += 1;
+        if state.quarantined {
+            // A failed probe: restart the cooldown.
+            state.probe_cooldown = cooldown.max(1);
+            false
+        } else if state.consecutive_failures >= quarantine_after.max(1) {
+            state.quarantined = true;
+            state.probe_cooldown = cooldown.max(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// CUs the breaker allows, preferring to exclude `avoid` (the CU that
+    /// just failed this job) unless it is the only healthy one left.
+    fn healthy(&self, avoid: Option<usize>) -> Vec<usize> {
+        let states = self.states.lock().expect("health table poisoned");
+        let mut list: Vec<usize> =
+            states.iter().enumerate().filter(|(_, s)| !s.quarantined).map(|(cu, _)| cu).collect();
+        if let Some(avoid) = avoid {
+            if list.len() > 1 {
+                list.retain(|&cu| cu != avoid);
+            }
+        }
+        list
+    }
+
+    fn quarantined_count(&self) -> usize {
+        self.states.lock().expect("health table poisoned").iter().filter(|s| s.quarantined).count()
+    }
+
+    /// Ticks every quarantined CU's cooldown by one acquisition and returns a
+    /// CU that is due for a probe, resetting its cooldown so concurrent
+    /// acquirers do not all probe the same CU. With `force` (no healthy CU
+    /// left) the closest-to-ready quarantined CU is returned regardless of
+    /// its remaining cooldown — the fleet must keep making progress.
+    fn probe_ready(&self, force: bool, cooldown_reset: u32) -> Option<usize> {
+        let mut states = self.states.lock().expect("health table poisoned");
+        let mut ready = None;
+        for (cu, state) in states.iter_mut().enumerate() {
+            if !state.quarantined {
+                continue;
+            }
+            if state.probe_cooldown > 0 {
+                state.probe_cooldown -= 1;
+            }
+            if ready.is_none() && state.probe_cooldown == 0 {
+                ready = Some(cu);
+            }
+        }
+        if ready.is_none() && force {
+            ready = states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.quarantined)
+                .min_by_key(|(_, s)| s.probe_cooldown)
+                .map(|(cu, _)| cu);
+        }
+        if let Some(cu) = ready {
+            states[cu].probe_cooldown = cooldown_reset.max(1);
+        }
+        ready
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Runtime statistics
 // ---------------------------------------------------------------------------
 
@@ -525,6 +771,18 @@ struct RuntimeCounters {
     per_cu_busy_cycles: Vec<AtomicU64>,
     per_cu_jobs: Vec<AtomicU64>,
     next_session: AtomicU64,
+    /// Device faults observed by jobs (each failed attempt counts once).
+    device_faults: AtomicU64,
+    /// Device retries performed after a fault.
+    fault_retries: AtomicU64,
+    /// Times a CU's circuit breaker newly opened.
+    quarantine_events: AtomicU64,
+    /// Queries answered by the CPU fallback engine.
+    cpu_fallbacks: AtomicU64,
+    /// Jobs killed by the deadline watchdog.
+    deadline_kills: AtomicU64,
+    /// Streaming jobs that surfaced [`HostError::FaultAfterEmit`].
+    fault_after_emit: AtomicU64,
 }
 
 /// Per-tenant virtual time: each session's jobs are serialised on the
@@ -590,6 +848,23 @@ pub struct RuntimeStats {
     pub virtual_makespan_cycles: u64,
     /// Sum of all completed jobs' device cycles.
     pub total_device_cycles: u64,
+    /// Device faults observed by jobs (each failed attempt counts once).
+    pub device_faults: u64,
+    /// Faults the plan injected so far (plan telemetry; ≥ `device_faults`
+    /// because undetected stalls also count). 0 without a fault plan.
+    pub faults_injected: u64,
+    /// Device retries performed after faults.
+    pub fault_retries: u64,
+    /// Times a CU's circuit breaker newly opened.
+    pub quarantine_events: u64,
+    /// CUs currently quarantined.
+    pub quarantined_cus: usize,
+    /// Queries answered by the CPU fallback engine.
+    pub cpu_fallbacks: u64,
+    /// Jobs killed by the deadline watchdog.
+    pub deadline_kills: u64,
+    /// Streaming jobs aborted with [`HostError::FaultAfterEmit`].
+    pub fault_after_emit: u64,
 }
 
 impl RuntimeStats {
@@ -649,6 +924,14 @@ impl pefp_workload::ToJson for RuntimeStats {
             ("per_cu_utilisation", JsonValue::numbers(&self.per_cu_utilisation())),
             ("virtual_makespan_cycles", JsonValue::Number(self.virtual_makespan_cycles as f64)),
             ("total_device_cycles", JsonValue::Number(self.total_device_cycles as f64)),
+            ("device_faults", JsonValue::Number(self.device_faults as f64)),
+            ("faults_injected", JsonValue::Number(self.faults_injected as f64)),
+            ("fault_retries", JsonValue::Number(self.fault_retries as f64)),
+            ("quarantine_events", JsonValue::Number(self.quarantine_events as f64)),
+            ("quarantined_cus", JsonValue::Number(self.quarantined_cus as f64)),
+            ("cpu_fallbacks", JsonValue::Number(self.cpu_fallbacks as f64)),
+            ("deadline_kills", JsonValue::Number(self.deadline_kills as f64)),
+            ("fault_after_emit", JsonValue::Number(self.fault_after_emit as f64)),
         ])
     }
 }
@@ -673,6 +956,12 @@ struct RuntimeShared {
     cache: SharedPreparedCache,
     counters: RuntimeCounters,
     virt: Mutex<VirtualClock>,
+    /// Per-CU circuit breaker state.
+    health: CuHealth,
+    /// Jobs under deadline supervision, served by the watchdog thread.
+    deadlines: Mutex<DeadlineState>,
+    /// Wakes the watchdog on registration and shutdown.
+    deadline_cv: Condvar,
 }
 
 /// The long-lived multi-session host runtime. See the module docs for the
@@ -699,13 +988,14 @@ impl HostRuntime {
     /// thread spawn).
     pub fn launch(graph: GraphHandle, config: RuntimeConfig) -> Arc<HostRuntime> {
         let cus = config.compute_units.max(1);
-        let cluster = CuCluster::new(
-            config.device.clone(),
-            MultiCuConfig {
-                compute_units: cus,
-                per_cu_bandwidth_share: config.per_cu_bandwidth_share,
-            },
-        );
+        let multi_cu = MultiCuConfig {
+            compute_units: cus,
+            per_cu_bandwidth_share: config.per_cu_bandwidth_share,
+        };
+        let cluster = match &config.fault_plan {
+            Some(plan) => CuCluster::with_faults(config.device.clone(), multi_cu, Arc::clone(plan)),
+            None => CuCluster::new(config.device.clone(), multi_cu),
+        };
         let versioned = VersionedGraph::new(Arc::clone(&graph.csr), Arc::clone(&graph.reverse));
         let shared = Arc::new(RuntimeShared {
             queue: AdmissionQueue::new(config.queue_capacity),
@@ -723,6 +1013,12 @@ impl HostRuntime {
                 per_cu_busy_cycles: (0..cus).map(|_| AtomicU64::new(0)).collect(),
                 per_cu_jobs: (0..cus).map(|_| AtomicU64::new(0)).collect(),
                 next_session: AtomicU64::new(0),
+                device_faults: AtomicU64::new(0),
+                fault_retries: AtomicU64::new(0),
+                quarantine_events: AtomicU64::new(0),
+                cpu_fallbacks: AtomicU64::new(0),
+                deadline_kills: AtomicU64::new(0),
+                fault_after_emit: AtomicU64::new(0),
             },
             virt: Mutex::new(VirtualClock {
                 session_ready: HashMap::new(),
@@ -730,16 +1026,23 @@ impl HostRuntime {
                 makespan: 0,
                 total_cycles: 0,
             }),
+            health: CuHealth::new(cus),
+            deadlines: Mutex::new(DeadlineState { entries: Vec::new(), shutdown: false }),
+            deadline_cv: Condvar::new(),
             cluster,
             graph,
             config,
         });
-        let workers = (0..cus)
+        let mut workers: Vec<JoinHandle<()>> = (0..cus)
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || worker_loop(shared))
             })
             .collect();
+        workers.push({
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || deadline_watchdog(shared))
+        });
         Arc::new(HostRuntime { shared, workers: Mutex::new(workers) })
     }
 
@@ -846,7 +1149,31 @@ impl HostRuntime {
             per_cu_jobs: c.per_cu_jobs.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
             virtual_makespan_cycles: virt.makespan,
             total_device_cycles: virt.total_cycles,
+            device_faults: c.device_faults.load(Ordering::Relaxed),
+            faults_injected: self
+                .shared
+                .cluster
+                .fault_plan()
+                .map(|plan| plan.faults_injected())
+                .unwrap_or(0),
+            fault_retries: c.fault_retries.load(Ordering::Relaxed),
+            quarantine_events: c.quarantine_events.load(Ordering::Relaxed),
+            quarantined_cus: self.shared.health.quarantined_count(),
+            cpu_fallbacks: c.cpu_fallbacks.load(Ordering::Relaxed),
+            deadline_kills: c.deadline_kills.load(Ordering::Relaxed),
+            fault_after_emit: c.fault_after_emit.load(Ordering::Relaxed),
         }
+    }
+
+    /// Number of CU leases currently checked out (e.g. to assert that a
+    /// cancelled job released its compute unit).
+    pub fn leased_cus(&self) -> usize {
+        self.shared.cluster.leased_cus()
+    }
+
+    /// CUs currently quarantined by the circuit breaker.
+    pub fn quarantined_cus(&self) -> usize {
+        self.shared.health.quarantined_count()
     }
 
     /// Submits a query job. `collect` materialises result paths into the
@@ -861,7 +1188,22 @@ impl HostRuntime {
         collect: bool,
     ) -> Result<JobTicket<QueryOutcome>, HostError> {
         let kind = if collect { JobKind::Collect } else { JobKind::Count };
-        self.submit(session, request, kind)
+        self.submit(session, request, kind, self.shared.config.default_deadline)
+    }
+
+    /// [`HostRuntime::submit_query`] with a per-job deadline overriding
+    /// [`RuntimeConfig::default_deadline`]. The deadline clock starts at
+    /// admission; an overrunning job is killed by the watchdog and fails
+    /// with [`HostError::DeadlineExceeded`].
+    pub fn submit_query_with_deadline(
+        &self,
+        session: SessionId,
+        request: QueryRequest,
+        collect: bool,
+        deadline: Duration,
+    ) -> Result<JobTicket<QueryOutcome>, HostError> {
+        let kind = if collect { JobKind::Collect } else { JobKind::Count };
+        self.submit(session, request, kind, Some(deadline))
     }
 
     /// Submits a streaming query job: every result path (original graph ids)
@@ -876,7 +1218,12 @@ impl HostRuntime {
         channel_capacity: usize,
     ) -> Result<(JobTicket<QueryOutcome>, Receiver<Vec<VertexId>>), HostError> {
         let (tx, rx) = std::sync::mpsc::sync_channel(channel_capacity.max(1));
-        let ticket = self.submit(session, request, JobKind::Stream(tx))?;
+        let ticket = self.submit(
+            session,
+            request,
+            JobKind::Stream(tx),
+            self.shared.config.default_deadline,
+        )?;
         Ok((ticket, rx))
     }
 
@@ -937,6 +1284,11 @@ impl HostRuntime {
             Ok(pruned) => {
                 self.shared.counters.cancelled.fetch_add(pruned, Ordering::Relaxed);
                 self.shared.counters.submitted.fetch_add(n, Ordering::Relaxed);
+                if let Some(deadline) = self.shared.config.default_deadline {
+                    for ticket in &tickets {
+                        self.register_deadline(&ticket.inner, deadline);
+                    }
+                }
                 Ok(BatchTicket { tickets, requests: unique, slot_of, deduplicated })
             }
             Err(HostError::QueueFull) => {
@@ -952,6 +1304,7 @@ impl HostRuntime {
         session: SessionId,
         request: QueryRequest,
         kind: JobKind,
+        deadline: Option<Duration>,
     ) -> Result<JobTicket<QueryOutcome>, HostError> {
         let snapshot = self.current_snapshot();
         if let Err(e) = request.validate_for(snapshot.num_vertices()) {
@@ -966,6 +1319,9 @@ impl HostRuntime {
             Ok(pruned) => {
                 self.shared.counters.cancelled.fetch_add(pruned, Ordering::Relaxed);
                 self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                if let Some(deadline) = deadline {
+                    self.register_deadline(&ticket.inner, deadline);
+                }
                 Ok(ticket)
             }
             Err(HostError::QueueFull) => {
@@ -974,6 +1330,19 @@ impl HostRuntime {
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Puts `ticket` under deadline supervision: the watchdog kills the job
+    /// once `deadline` has elapsed from now.
+    fn register_deadline(&self, ticket: &Arc<TicketInner<QueryOutcome>>, deadline: Duration) {
+        ticket
+            .deadline_millis
+            .store(deadline.as_millis().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+        let mut state = self.shared.deadlines.lock().expect("deadline table poisoned");
+        state
+            .entries
+            .push(DeadlineEntry { due: Instant::now() + deadline, ticket: Arc::downgrade(ticket) });
+        self.shared.deadline_cv.notify_all();
     }
 }
 
@@ -991,6 +1360,8 @@ impl Drop for HostRuntime {
         for job in self.shared.queue.shutdown() {
             job.ticket.complete(Err(HostError::Cancelled));
         }
+        self.shared.deadlines.lock().expect("deadline table poisoned").shutdown = true;
+        self.shared.deadline_cv.notify_all();
         let workers = std::mem::take(&mut *self.workers.lock().expect("worker table poisoned"));
         for worker in workers {
             let _ = worker.join();
@@ -1083,24 +1454,169 @@ fn worker_loop(shared: Arc<RuntimeShared>) {
     let pcie = Pcie::new(shared.config.device.pcie_gbps, shared.config.device.pcie_setup_us);
     let mut dma = DmaEngine::with_defaults(pcie);
     while let Some(job) = shared.queue.pop() {
-        // Lease a CU for the duration of the job: concurrent jobs can never
-        // alias a device slot, whatever the worker/CU ratio.
-        let lease = shared.cluster.checkout();
-        execute_job(&shared, &mut ctx, &mut dma, &lease, job);
+        execute_job(&shared, &mut ctx, &mut dma, job);
     }
 }
 
-fn execute_job(
-    shared: &RuntimeShared,
-    ctx: &mut PrepareContext,
-    dma: &mut DmaEngine,
-    lease: &CuLease<'_>,
-    job: Job,
-) {
+/// Reserves a CU for one job attempt, honouring the circuit breaker: only
+/// non-quarantined CUs are candidates (preferring one different from `avoid`,
+/// the CU that just failed this job), and quarantined CUs whose probe
+/// cooldown elapsed are offered back as probes (with their simulated crash
+/// latch repaired first). Returns `None` only when no healthy CU remains and
+/// no probe could be leased — the caller degrades to the CPU path instead of
+/// parking forever on a dead fleet.
+fn acquire_cu(shared: &RuntimeShared, avoid: Option<usize>) -> Option<(CuLease<'_>, bool)> {
+    let ft = &shared.config.fault_tolerance;
+    loop {
+        let healthy = shared.health.healthy(avoid);
+        if let Some(cu) = shared.health.probe_ready(healthy.is_empty(), ft.probe_cooldown) {
+            if let Some(lease) = shared.cluster.try_checkout_cu(cu) {
+                if let Some(plan) = shared.cluster.fault_plan() {
+                    plan.repair(cu);
+                }
+                return Some((lease, true));
+            }
+        }
+        if healthy.is_empty() {
+            return None;
+        }
+        if let Some(lease) = shared.cluster.checkout_among(&healthy, Duration::from_millis(50)) {
+            return Some((lease, false));
+        }
+        // Timed out waiting for a healthy CU: re-evaluate health and probes —
+        // the healthy set may have shrunk (or grown) while we waited.
+    }
+}
+
+/// One device attempt of a job on a leased CU's device. Returns the run
+/// result, the collected paths (collect mode) and how many paths a streaming
+/// job delivered into its channel — the count that decides between a silent
+/// replay (zero) and [`HostError::FaultAfterEmit`] on a faulted stream.
+fn run_attempt(
+    prepared: &PreparedQuery,
+    options: pefp_core::EngineOptions,
+    device: pefp_fpga::Device,
+    kind: &JobKind,
+    cancel: &Arc<AtomicBool>,
+) -> (pefp_core::PefpRunResult, Vec<pefp_graph::paths::Path>, u64) {
+    match kind {
+        JobKind::Collect => {
+            let mut sink = CollectSink::new();
+            let result = run_prepared_on_device(prepared, options, device, &mut sink);
+            (result, sink.into_paths(), 0)
+        }
+        JobKind::Count => {
+            let mut options = options;
+            options.collect_paths = false;
+            let mut sink = CountingSink::new();
+            let result = run_prepared_on_device(prepared, options, device, &mut sink);
+            (result, Vec::new(), 0)
+        }
+        JobKind::Stream(tx) => {
+            let emitted = std::cell::Cell::new(0u64);
+            let mut sink = FnSink(|path: &[VertexId]| {
+                let mut path = path.to_vec();
+                loop {
+                    if cancel.load(Ordering::Acquire) {
+                        return ControlFlow::Break(());
+                    }
+                    match tx.try_send(path) {
+                        Ok(()) => {
+                            emitted.set(emitted.get() + 1);
+                            return ControlFlow::Continue(());
+                        }
+                        Err(TrySendError::Disconnected(_)) => return ControlFlow::Break(()),
+                        Err(TrySendError::Full(back)) => {
+                            // Bounded-channel backpressure: stall this CU (and
+                            // only this CU) until the client drains or goes
+                            // away, re-checking the cancel flag meanwhile. The
+                            // short sleep keeps a wedged client from pegging a
+                            // host core while costing ~nothing in latency.
+                            path = back;
+                            std::thread::sleep(std::time::Duration::from_micros(50));
+                        }
+                    }
+                }
+            });
+            let result = run_prepared_on_device(prepared, options, device, &mut sink);
+            let delivered = emitted.get();
+            (result, Vec::new(), delivered)
+        }
+    }
+}
+
+/// Runs the query on the CPU baseline over the same pruned subgraph and the
+/// same `PathSink` pipeline the device engine feeds. The Pre-BFS subgraph is
+/// answer-preserving, so the result set is byte-identical to a fault-free
+/// device run — only the speed degrades. Returns the number of result paths
+/// and the collected paths (collect mode, original graph ids).
+fn run_cpu_fallback(
+    prepared: &PreparedQuery,
+    kind: &JobKind,
+    cancel: &Arc<AtomicBool>,
+) -> (u64, Vec<pefp_graph::paths::Path>) {
+    if !prepared.feasible {
+        return (0, Vec::new());
+    }
+    let g = prepared.graph.as_ref();
+    match kind {
+        JobKind::Collect => {
+            let mut paths: Vec<pefp_graph::paths::Path> = Vec::new();
+            let mut sink = FnSink(|path: &[VertexId]| {
+                if cancel.load(Ordering::Acquire) {
+                    return ControlFlow::Break(());
+                }
+                paths.push(prepared.translate_path(path));
+                ControlFlow::Continue(())
+            });
+            naive_dfs_stream(g, prepared.s, prepared.t, prepared.k, &mut sink);
+            let num = paths.len() as u64;
+            (num, paths)
+        }
+        JobKind::Count => {
+            let mut count = 0u64;
+            let mut sink = FnSink(|_: &[VertexId]| {
+                if cancel.load(Ordering::Acquire) {
+                    return ControlFlow::Break(());
+                }
+                count += 1;
+                ControlFlow::Continue(())
+            });
+            naive_dfs_stream(g, prepared.s, prepared.t, prepared.k, &mut sink);
+            (count, Vec::new())
+        }
+        JobKind::Stream(tx) => {
+            let emitted = std::cell::Cell::new(0u64);
+            let mut sink = FnSink(|path: &[VertexId]| {
+                let mut path = prepared.translate_path(path);
+                loop {
+                    if cancel.load(Ordering::Acquire) {
+                        return ControlFlow::Break(());
+                    }
+                    match tx.try_send(path) {
+                        Ok(()) => {
+                            emitted.set(emitted.get() + 1);
+                            return ControlFlow::Continue(());
+                        }
+                        Err(TrySendError::Disconnected(_)) => return ControlFlow::Break(()),
+                        Err(TrySendError::Full(back)) => {
+                            path = back;
+                            std::thread::sleep(std::time::Duration::from_micros(50));
+                        }
+                    }
+                }
+            });
+            naive_dfs_stream(g, prepared.s, prepared.t, prepared.k, &mut sink);
+            (emitted.get(), Vec::new())
+        }
+    }
+}
+
+fn execute_job(shared: &RuntimeShared, ctx: &mut PrepareContext, dma: &mut DmaEngine, job: Job) {
     let Job { session, request, kind, snapshot, ticket } = job;
     if ticket.cancel.load(Ordering::Acquire) {
         shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-        ticket.complete(Err(HostError::Cancelled));
+        ticket.complete(Err(ticket.cancel_error()));
         return;
     }
 
@@ -1148,113 +1664,229 @@ fn execute_job(
     }
     let transfer = dma.transfer(bytes);
 
-    let mut options = if shared.config.use_planner {
+    let mut base_options = if shared.config.use_planner {
         plan_query(&prepared, &shared.config.device).options
     } else {
         shared.config.variant.engine_options()
     };
     // Wire the ticket's cancel flag into the engine: a dropped/cancelled
-    // ticket stops the enumeration at the next batch boundary.
-    options.cancel = Some(CancelToken::from_flag(Arc::clone(&ticket.cancel)));
+    // ticket (or a fired deadline) stops the enumeration at the next batch
+    // boundary.
+    base_options.cancel = Some(CancelToken::from_flag(Arc::clone(&ticket.cancel)));
+    if base_options.cycle_budget.is_none() {
+        base_options.cycle_budget = shared.config.fault_tolerance.watchdog_cycle_budget;
+    }
 
-    // Execute on the leased CU, marked active on the shared bus for the
-    // arbiter's contention law. The guard must die before the ticket
-    // completes: a closed-loop client submits its next job the moment the
-    // ticket resolves, and a still-live activation would overstate the
-    // active-CU count (and thus the contention factor) for that job.
-    let active = shared.cluster.arbiter().activate();
-    let (result, paths) = match &kind {
-        JobKind::Collect => {
-            let mut sink = CollectSink::new();
-            let result = run_prepared_on_device(&prepared, options, lease.device(), &mut sink);
-            (result, sink.into_paths())
+    // Attempt loop: acquire a healthy CU, run, classify. A detected device
+    // fault retries on a *different* CU with bounded backoff (per-CU fault
+    // streams are independent); exhausted retries or an empty healthy set
+    // degrade to the CPU baseline over the same prepared query.
+    let ft = shared.config.fault_tolerance.clone();
+    let epoch = snapshot.epoch();
+    let mut attempt: u32 = 0;
+    let mut avoid: Option<usize> = None;
+    let mut last_fault: Option<FaultEvent> = None;
+    loop {
+        if ticket.cancel.load(Ordering::Acquire) {
+            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            ticket.complete(Err(ticket.cancel_error()));
+            return;
         }
-        JobKind::Count => {
-            options.collect_paths = false;
-            let mut sink = CountingSink::new();
-            (run_prepared_on_device(&prepared, options, lease.device(), &mut sink), Vec::new())
+        let Some((lease, _probe)) = acquire_cu(shared, avoid) else {
+            degrade_to_cpu(
+                shared,
+                &prepared,
+                &kind,
+                &ticket,
+                request,
+                preprocess_millis,
+                transfer,
+                cache_hit,
+                last_fault,
+                attempt,
+                epoch,
+            );
+            return;
+        };
+        let cu = lease.cu();
+
+        // Execute on the leased CU, marked active on the shared bus for the
+        // arbiter's contention law. The guard must die before the ticket
+        // completes: a closed-loop client submits its next job the moment the
+        // ticket resolves, and a still-live activation would overstate the
+        // active-CU count (and thus the contention factor) for that job.
+        let active = shared.cluster.arbiter().activate();
+        let (result, paths, emitted) =
+            run_attempt(&prepared, base_options.clone(), lease.device(), &kind, &ticket.cancel);
+        drop(active);
+        drop(lease);
+
+        // A fired deadline kills the job whatever state the run ended in: the
+        // engine may have stopped via its cancel token (stats.cancelled) or
+        // via a sink break while wedged on a full stream — either way the
+        // ticket owner gets the typed deadline error, not partial results.
+        if ticket.deadline_exceeded.load(Ordering::Acquire) {
+            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            ticket.complete(Err(ticket.cancel_error()));
+            return;
         }
-        JobKind::Stream(tx) => {
-            let cancel = &ticket.cancel;
-            let mut sink = FnSink(|path: &[VertexId]| {
-                let mut path = path.to_vec();
-                loop {
-                    if cancel.load(Ordering::Acquire) {
-                        return ControlFlow::Break(());
-                    }
-                    match tx.try_send(path) {
-                        Ok(()) => return ControlFlow::Continue(()),
-                        Err(TrySendError::Disconnected(_)) => return ControlFlow::Break(()),
-                        Err(TrySendError::Full(back)) => {
-                            // Bounded-channel backpressure: stall this CU (and
-                            // only this CU) until the client drains or goes
-                            // away, re-checking the cancel flag meanwhile. The
-                            // short sleep keeps a wedged client from pegging a
-                            // host core while costing ~nothing in latency.
-                            path = back;
-                            std::thread::sleep(std::time::Duration::from_micros(50));
-                        }
-                    }
+        // A voluntarily cancelled job (dropped ticket, disconnected stream
+        // client) may have stopped via the engine's cancel token *or* via a
+        // sink break while the flag was set — treat both as cancelled, and
+        // never burn retries on a job nobody is waiting for.
+        let was_cancelled = result.stats.cancelled || ticket.cancel.load(Ordering::Acquire);
+        let fault = result.device_fault();
+        if !was_cancelled {
+            if let Some(event) = fault {
+                // A detected fault: the run's results and timings are
+                // untrustworthy and must be discarded (collect/count sinks
+                // are rebuilt per attempt, so a retry recomputes cleanly).
+                shared.counters.device_faults.fetch_add(1, Ordering::Relaxed);
+                if shared.health.record_failure(cu, ft.quarantine_after, ft.probe_cooldown) {
+                    shared.counters.quarantine_events.fetch_add(1, Ordering::Relaxed);
                 }
-            });
-            (run_prepared_on_device(&prepared, options, lease.device(), &mut sink), Vec::new())
+                last_fault = Some(event);
+                avoid = Some(cu);
+                if emitted > 0 {
+                    // The stream already delivered paths to the client: a
+                    // replay would duplicate them and truncating would drop
+                    // the rest, so surface the fault instead — the caller
+                    // restarts the stream from scratch.
+                    shared.counters.fault_after_emit.fetch_add(1, Ordering::Relaxed);
+                    ticket.complete(Err(HostError::FaultAfterEmit { event, emitted }));
+                    return;
+                }
+                if attempt >= ft.max_retries {
+                    degrade_to_cpu(
+                        shared,
+                        &prepared,
+                        &kind,
+                        &ticket,
+                        request,
+                        preprocess_millis,
+                        transfer,
+                        cache_hit,
+                        last_fault,
+                        attempt,
+                        epoch,
+                    );
+                    return;
+                }
+                attempt += 1;
+                shared.counters.fault_retries.fetch_add(1, Ordering::Relaxed);
+                if !ft.retry_backoff.is_zero() {
+                    std::thread::sleep(ft.retry_backoff * attempt);
+                }
+                continue;
+            }
+            shared.health.record_success(cu);
         }
-    };
-    drop(active);
 
-    // Accounting: wall counters and the virtual clock. Per-CU load is
-    // charged to the *virtual* CU chosen below, not `lease.cu()`: the
-    // physical lease assignment reflects host-scheduler noise (on a 1-core
-    // machine one worker can serve most jobs), while the virtual placement
-    // is the device-domain view the makespan is computed in — so
-    // busy/makespan utilisation stays a true ≤ 1 fraction.
-    let cycles = result.device.cycles;
-    shared.counters.completed.fetch_add(1, Ordering::Relaxed);
-    if result.stats.cancelled {
+        // Accounting: wall counters and the virtual clock. Per-CU load is
+        // charged to the *virtual* CU chosen below, not the lease's CU: the
+        // physical lease assignment reflects host-scheduler noise (on a 1-core
+        // machine one worker can serve most jobs), while the virtual placement
+        // is the device-domain view the makespan is computed in — so
+        // busy/makespan utilisation stays a true ≤ 1 fraction.
+        let cycles = result.device.cycles;
+        shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+        if was_cancelled {
+            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+        {
+            let mut virt = shared.virt.lock().expect("virtual clock poisoned");
+            let ready = virt.session_ready.get(&session).copied().unwrap_or(0);
+            // Best-fit placement: of the CUs already free when this session is
+            // ready, take the one that frees *latest* (least virtual idle time —
+            // typically the CU this session's previous job kept warm); only when
+            // every CU is still busy does the job wait for the earliest one.
+            // Plain least-loaded placement would strand un-backfillable idle
+            // gaps whenever one tenant races ahead in wall time, halving the
+            // apparent packing efficiency.
+            let virt_cu = virt
+                .cu_free
+                .iter()
+                .enumerate()
+                .filter(|(_, &free)| free <= ready)
+                .max_by_key(|(_, &free)| free)
+                .or_else(|| virt.cu_free.iter().enumerate().min_by_key(|(_, &free)| free))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let start = ready.max(virt.cu_free[virt_cu]);
+            let end = start + cycles;
+            virt.session_ready.insert(session, end);
+            virt.cu_free[virt_cu] = end;
+            virt.makespan = virt.makespan.max(end);
+            virt.total_cycles += cycles;
+            shared.counters.per_cu_busy_cycles[virt_cu].fetch_add(cycles, Ordering::Relaxed);
+            shared.counters.per_cu_jobs[virt_cu].fetch_add(1, Ordering::Relaxed);
+            // A session whose ready time no CU will ever be earlier than again
+            // can no longer influence a placement (`max(ready, free) == free`):
+            // drop it, so a long-lived runtime serving millions of short-lived
+            // sessions does not accumulate dead map entries.
+            let min_free = virt.cu_free.iter().copied().min().unwrap_or(0);
+            virt.session_ready.retain(|_, ready| *ready > min_free);
+        }
+
+        ticket.complete(Ok(QueryOutcome {
+            request,
+            num_paths: result.num_paths,
+            paths,
+            preprocess_millis,
+            transfer,
+            device_millis: result.query_millis,
+            cache_hit,
+        }));
+        return;
+    }
+}
+
+/// Terminal degradation path: no healthy CU is left (or retries are
+/// exhausted). With [`FaultToleranceConfig::cpu_fallback`] the query runs on
+/// the CPU baseline and still answers correctly; otherwise the job fails with
+/// a typed error carrying the fault context.
+#[allow(clippy::too_many_arguments)]
+fn degrade_to_cpu(
+    shared: &RuntimeShared,
+    prepared: &PreparedQuery,
+    kind: &JobKind,
+    ticket: &TicketInner<QueryOutcome>,
+    request: QueryRequest,
+    preprocess_millis: f64,
+    transfer: crate::dma::DmaTransferReport,
+    cache_hit: bool,
+    last_fault: Option<FaultEvent>,
+    retries: u32,
+    epoch: u64,
+) {
+    if !shared.config.fault_tolerance.cpu_fallback {
+        let err = match last_fault {
+            Some(event) => HostError::DeviceFault { event, epoch, retries },
+            None => HostError::NoHealthyCu { quarantined: shared.health.quarantined_count() },
+        };
+        ticket.complete(Err(err));
+        return;
+    }
+    shared.counters.cpu_fallbacks.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    let (num_paths, paths) = run_cpu_fallback(prepared, kind, &ticket.cancel);
+    if ticket.cancel.load(Ordering::Acquire) {
         shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        if ticket.deadline_exceeded.load(Ordering::Acquire) {
+            ticket.complete(Err(ticket.cancel_error()));
+            return;
+        }
     }
-    {
-        let mut virt = shared.virt.lock().expect("virtual clock poisoned");
-        let ready = virt.session_ready.get(&session).copied().unwrap_or(0);
-        // Best-fit placement: of the CUs already free when this session is
-        // ready, take the one that frees *latest* (least virtual idle time —
-        // typically the CU this session's previous job kept warm); only when
-        // every CU is still busy does the job wait for the earliest one.
-        // Plain least-loaded placement would strand un-backfillable idle
-        // gaps whenever one tenant races ahead in wall time, halving the
-        // apparent packing efficiency.
-        let virt_cu = virt
-            .cu_free
-            .iter()
-            .enumerate()
-            .filter(|(_, &free)| free <= ready)
-            .max_by_key(|(_, &free)| free)
-            .or_else(|| virt.cu_free.iter().enumerate().min_by_key(|(_, &free)| free))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        let start = ready.max(virt.cu_free[virt_cu]);
-        let end = start + cycles;
-        virt.session_ready.insert(session, end);
-        virt.cu_free[virt_cu] = end;
-        virt.makespan = virt.makespan.max(end);
-        virt.total_cycles += cycles;
-        shared.counters.per_cu_busy_cycles[virt_cu].fetch_add(cycles, Ordering::Relaxed);
-        shared.counters.per_cu_jobs[virt_cu].fetch_add(1, Ordering::Relaxed);
-        // A session whose ready time no CU will ever be earlier than again
-        // can no longer influence a placement (`max(ready, free) == free`):
-        // drop it, so a long-lived runtime serving millions of short-lived
-        // sessions does not accumulate dead map entries.
-        let min_free = virt.cu_free.iter().copied().min().unwrap_or(0);
-        virt.session_ready.retain(|_, ready| *ready > min_free);
-    }
-
+    shared.counters.completed.fetch_add(1, Ordering::Relaxed);
     ticket.complete(Ok(QueryOutcome {
         request,
-        num_paths: result.num_paths,
+        num_paths,
         paths,
         preprocess_millis,
         transfer,
-        device_millis: result.query_millis,
+        // Host wall time of the CPU run: the fallback has no simulated device
+        // phase, but the time still counts against deadlines and goodput.
+        device_millis: started.elapsed().as_secs_f64() * 1e3,
         cache_hit,
     }));
 }
@@ -1531,6 +2163,152 @@ mod tests {
             runtime.submit_batch(session, &[QueryRequest::new(0, 99, 3)]),
             Err(HostError::QueryInvalid(_))
         ));
+    }
+
+    #[test]
+    fn scripted_faults_retry_on_the_fleet_and_still_answer_correctly() {
+        use pefp_fpga::{FaultKind, ScriptedFault};
+        // Both CUs fault their first attempt: the job burns one fault per CU
+        // (retry prefers the *other* CU), then succeeds on the third attempt
+        // once the scripts are exhausted.
+        let plan = FaultPlan::scripted(2);
+        plan.push_script(0, ScriptedFault { after_ops: 0, kind: FaultKind::DramCorruption });
+        plan.push_script(1, ScriptedFault { after_ops: 0, kind: FaultKind::DramCorruption });
+        let config = RuntimeConfig {
+            compute_units: 2,
+            fault_plan: Some(Arc::clone(&plan)),
+            ..RuntimeConfig::default()
+        };
+        let runtime = diamond_runtime(config);
+        let session = runtime.register_session();
+        let outcome = runtime
+            .submit_query(session, QueryRequest::new(0, 3, 3), true)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(outcome.num_paths, 2, "retried answer matches the fault-free one");
+        let stats = runtime.stats();
+        assert_eq!(stats.device_faults, 2);
+        assert_eq!(stats.fault_retries, 2);
+        assert_eq!(stats.faults_injected, 2);
+        assert_eq!(stats.cpu_fallbacks, 0);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn crashed_single_cu_is_quarantined_then_probed_back_in() {
+        use pefp_fpga::{FaultKind, ScriptedFault};
+        let plan = FaultPlan::scripted(1);
+        plan.push_script(0, ScriptedFault { after_ops: 0, kind: FaultKind::CuCrash });
+        let config = RuntimeConfig {
+            compute_units: 1,
+            fault_plan: Some(Arc::clone(&plan)),
+            fault_tolerance: FaultToleranceConfig {
+                quarantine_after: 1,
+                ..FaultToleranceConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        let runtime = diamond_runtime(config);
+        let session = runtime.register_session();
+        // Attempt 1 crash-latches CU 0 and trips its breaker; with no healthy
+        // CU left the retry force-probes the quarantined CU, which repairs the
+        // crash latch first — the fleet heals instead of deadlocking.
+        let outcome = runtime
+            .submit_query(session, QueryRequest::new(0, 3, 3), false)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(outcome.num_paths, 2);
+        assert!(!plan.is_crashed(0), "the probe repaired the crash latch");
+        let stats = runtime.stats();
+        assert_eq!(stats.device_faults, 1);
+        assert_eq!(stats.quarantine_events, 1);
+        assert_eq!(stats.quarantined_cus, 0, "the successful probe closed the breaker");
+        assert_eq!(stats.cpu_fallbacks, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_to_the_cpu_baseline() {
+        // Every PCIe DMA faults: no device attempt can ever succeed, so after
+        // the retry budget the job runs on the CPU baseline — same answer.
+        let rates = pefp_fpga::FaultRates { pcie_error: 1.0, ..pefp_fpga::FaultRates::NONE };
+        let config = RuntimeConfig {
+            compute_units: 1,
+            fault_plan: Some(FaultPlan::seeded(7, rates, 1)),
+            fault_tolerance: FaultToleranceConfig {
+                max_retries: 1,
+                retry_backoff: Duration::ZERO,
+                ..FaultToleranceConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        let runtime = diamond_runtime(config);
+        let session = runtime.register_session();
+        let outcome = runtime
+            .submit_query(session, QueryRequest::new(0, 3, 3), true)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(outcome.num_paths, 2, "CPU fallback answers correctly");
+        assert_eq!(outcome.paths.len(), 2);
+        let stats = runtime.stats();
+        assert_eq!(stats.cpu_fallbacks, 1);
+        assert_eq!(stats.device_faults, 2, "initial attempt plus one retry both faulted");
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn disabled_fallback_surfaces_a_typed_device_fault() {
+        use pefp_fpga::{FaultKind, ScriptedFault};
+        let plan = FaultPlan::scripted(1);
+        plan.push_script(0, ScriptedFault { after_ops: 0, kind: FaultKind::PcieError });
+        let config = RuntimeConfig {
+            compute_units: 1,
+            fault_plan: Some(plan),
+            fault_tolerance: FaultToleranceConfig {
+                max_retries: 0,
+                cpu_fallback: false,
+                ..FaultToleranceConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        let runtime = diamond_runtime(config);
+        let session = runtime.register_session();
+        let err = runtime
+            .submit_query(session, QueryRequest::new(0, 3, 3), false)
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        match err {
+            HostError::DeviceFault { event, retries, .. } => {
+                assert_eq!(event.kind, FaultKind::PcieError);
+                assert_eq!(event.cu, 0);
+                assert_eq!(retries, 0);
+            }
+            other => panic!("expected DeviceFault, got {other}"),
+        }
+    }
+
+    #[test]
+    fn deadline_watchdog_kills_an_overrunning_job() {
+        let config = RuntimeConfig {
+            default_deadline: Some(Duration::from_millis(40)),
+            ..RuntimeConfig::default()
+        };
+        let runtime = diamond_runtime(config);
+        let session = runtime.register_session();
+        // A capacity-1 stream the client never drains: the second path wedges
+        // the worker until the watchdog fires the deadline.
+        let (ticket, rx) =
+            runtime.submit_query_streaming(session, QueryRequest::new(0, 3, 3), 1).unwrap();
+        let err = ticket.wait().unwrap_err();
+        assert!(matches!(err, HostError::DeadlineExceeded { millis: 40 }), "{err}");
+        drop(rx);
+        let stats = runtime.stats();
+        assert_eq!(stats.deadline_kills, 1);
+        assert_eq!(stats.cancelled_jobs, 1);
+        assert_eq!(stats.completed, 0);
     }
 
     #[test]

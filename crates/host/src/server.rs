@@ -418,19 +418,187 @@ fn handle_batch(session: &mut HostSession, args: &[&str]) -> Reply {
     }
 }
 
+/// Hard cap on one protocol line's length in bytes. A peer pushing an
+/// unterminated megabyte "line" must not make the server buffer it: past the
+/// cap the rest of the line is drained and discarded, and the client gets a
+/// single `ERR` reply.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Outcome of reading one protocol line under [`MAX_LINE_BYTES`].
+enum LineRead {
+    /// Input exhausted.
+    Eof,
+    /// One complete, valid UTF-8 line (without the newline).
+    Line(String),
+    /// The line exceeded [`MAX_LINE_BYTES`]; the remainder was drained.
+    TooLong,
+    /// The line was not valid UTF-8.
+    NonUtf8,
+}
+
+/// Consumes input up to and including the next newline without buffering it.
+fn drain_line<R: BufRead>(reader: &mut R) -> std::io::Result<()> {
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(());
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                reader.consume(i + 1);
+                return Ok(());
+            }
+            None => {
+                let len = available.len();
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+/// Reads one line as raw bytes, enforcing the length cap *before* any UTF-8
+/// interpretation — untrusted input never reaches `String` unvalidated and
+/// never grows an unbounded buffer.
+fn read_line_capped<R: BufRead>(reader: &mut R) -> std::io::Result<LineRead> {
+    use std::io::Read;
+    let mut buf = Vec::new();
+    let n = reader.by_ref().take(MAX_LINE_BYTES as u64 + 1).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(LineRead::Eof);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    } else if buf.len() > MAX_LINE_BYTES {
+        drain_line(reader)?;
+        return Ok(LineRead::TooLong);
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => Ok(LineRead::Line(line)),
+        Err(_) => Ok(LineRead::NonUtf8),
+    }
+}
+
+/// Formats streamed paths into chunk lines written to the client *as they are
+/// produced* (unlike [`ChunkSink`], which assembles the reply first). A write
+/// failure — the client hung up mid-`STREAM` — breaks the sink, which makes
+/// the session cancel the running job's ticket; the engine stops at its next
+/// boundary and the CU goes back to the pool.
+struct WriterChunkSink<'w, W: Write> {
+    writer: &'w mut W,
+    current: Vec<String>,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> WriterChunkSink<'_, W> {
+    fn write_chunk(&mut self) -> ControlFlow<()> {
+        let line = format!("OK paths {}", self.current.join(" "));
+        self.current.clear();
+        match writeln!(self.writer, "{line}").and_then(|()| self.writer.flush()) {
+            Ok(()) => ControlFlow::Continue(()),
+            Err(e) => {
+                self.error = Some(e);
+                ControlFlow::Break(())
+            }
+        }
+    }
+}
+
+impl<W: Write> PathSink for WriterChunkSink<'_, W> {
+    fn emit(&mut self, path: &[VertexId]) -> ControlFlow<()> {
+        self.current.push(format_path(path));
+        if self.current.len() >= MAX_INLINE_PATHS {
+            self.write_chunk()
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+}
+
+/// Handles one `STREAM` line incrementally against `writer`. Parse errors
+/// become `ERR` replies; an I/O error (client gone) aborts the connection and
+/// cancels the in-flight job through the sink-break → ticket-cancel path.
+fn stream_to_writer<W: Write>(
+    session: &mut HostSession,
+    rest: &[&str],
+    writer: &mut W,
+) -> std::io::Result<()> {
+    let (spec, limit) = match rest.len() {
+        4 => match rest[3].parse::<u64>() {
+            Ok(limit) => (rest[..3].join(" "), limit),
+            Err(_) => {
+                return writeln!(writer, "ERR invalid stream limit {:?}", rest[3]);
+            }
+        },
+        _ => (rest.join(" "), DEFAULT_STREAM_LIMIT),
+    };
+    let request = match QueryRequest::parse(&spec) {
+        Ok(r) => r,
+        Err(e) => return writeln!(writer, "ERR {e}"),
+    };
+    let limit = limit.min(MAX_STREAM_LIMIT);
+    if limit == 0 {
+        return writeln!(writer, "OK end streamed=0 limit=0");
+    }
+    let mut sink = FirstN::new(limit, WriterChunkSink { writer, current: Vec::new(), error: None });
+    let outcome = session.run_query_streaming(request, &mut sink);
+    let inner = sink.into_inner();
+    if let Some(e) = inner.error {
+        return Err(e);
+    }
+    let tail = inner.current;
+    match outcome {
+        Ok(outcome) => {
+            if !tail.is_empty() {
+                writeln!(writer, "OK paths {}", tail.join(" "))?;
+            }
+            writeln!(writer, "OK end streamed={} limit={limit}", outcome.num_paths)
+        }
+        Err(e) => writeln!(writer, "ERR {e}"),
+    }
+}
+
 /// Serves the protocol over a reader/writer pair until `QUIT` or end of
 /// input. Returns the number of lines processed.
+///
+/// Untrusted-input guarantees: lines are read as raw bytes under
+/// [`MAX_LINE_BYTES`] (overlong lines are drained and answered with one
+/// `ERR`), non-UTF-8 lines get an `ERR` reply instead of killing the
+/// connection, and no command can panic the serving thread. `STREAM` replies
+/// are written chunk-by-chunk, so a client that disconnects mid-stream
+/// cancels the running job instead of leaving it to fill a dead buffer.
 pub fn serve<R: BufRead, W: Write>(
     session: &mut HostSession,
-    reader: R,
+    mut reader: R,
     mut writer: W,
 ) -> std::io::Result<usize> {
     let mut served = 0usize;
-    for line in reader.lines() {
-        let line = line?;
+    loop {
+        let line = match read_line_capped(&mut reader)? {
+            LineRead::Eof => break,
+            LineRead::TooLong => {
+                served += 1;
+                writeln!(writer, "ERR line exceeds {MAX_LINE_BYTES} bytes")?;
+                continue;
+            }
+            LineRead::NonUtf8 => {
+                served += 1;
+                writeln!(writer, "ERR line is not valid UTF-8")?;
+                continue;
+            }
+            LineRead::Line(line) => line,
+        };
+        served += 1;
+        let mut parts = line.split_whitespace();
+        if parts.next().is_some_and(|cmd| cmd.eq_ignore_ascii_case("STREAM")) {
+            let rest: Vec<&str> = parts.collect();
+            stream_to_writer(session, &rest, &mut writer)?;
+            continue;
+        }
         let reply = handle_line(session, &line);
         writeln!(writer, "{}", reply.render())?;
-        served += 1;
         if matches!(reply, Reply::Quit(_)) {
             break;
         }
@@ -754,5 +922,170 @@ mod tests {
         let mut s = HostSession::new(SessionConfig::default());
         assert!(matches!(handle_line(&mut s, "QUERY 0 1 2"), Reply::Err(_)));
         assert!(matches!(handle_line(&mut s, "GRAPH"), Reply::Err(_)));
+    }
+
+    #[test]
+    fn overlong_lines_are_drained_and_answered_with_one_err() {
+        let mut s = session();
+        let mut script = Vec::new();
+        script.extend_from_slice(vec![b'A'; MAX_LINE_BYTES + 5000].as_slice());
+        script.extend_from_slice(b"\nQUERY 0 3 3\n");
+        let mut output = Vec::new();
+        let served = serve(&mut s, Cursor::new(script), &mut output).unwrap();
+        assert_eq!(served, 2, "the flooded line counts once, then serving resumes");
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("ERR line exceeds"), "{}", lines[0]);
+        assert!(lines[1].contains("paths=2"), "the connection survived: {}", lines[1]);
+    }
+
+    #[test]
+    fn non_utf8_lines_get_an_err_reply_not_a_dead_connection() {
+        let mut s = session();
+        let mut script: Vec<u8> = Vec::new();
+        script.extend_from_slice(b"QUERY \xff\xfe 3\n");
+        script.extend_from_slice(b"COUNT 0 3 3\n");
+        let mut output = Vec::new();
+        let served = serve(&mut s, Cursor::new(script), &mut output).unwrap();
+        assert_eq!(served, 2);
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.lines().next().unwrap().starts_with("ERR line is not valid UTF-8"));
+        assert!(text.contains("paths=2"));
+    }
+
+    #[test]
+    fn fuzzed_command_bytes_never_panic_or_break_framing() {
+        // Deterministic splitmix-style byte fuzz: random lines (garbage
+        // bytes, truncated commands, huge numbers, control characters) must
+        // all produce prefixed single-line replies and leave the session
+        // serving. QUIT/EXIT opcodes are excluded so the whole script runs.
+        let mut state = 0x9E37_79B9_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut script: Vec<u8> = Vec::new();
+        let mut fed = 0usize;
+        for _ in 0..400 {
+            let len = (next() % 48) as usize;
+            let mut line: Vec<u8> = (0..len).map(|_| (next() % 256) as u8).collect();
+            // Bias half the lines towards almost-valid commands so the parse
+            // paths get exercised, not just the unknown-command arm.
+            if next() % 2 == 0 {
+                let stems: [&[u8]; 8] = [
+                    b"QUERY ", b"COUNT ", b"STREAM ", b"BATCH ", b"UPDATE ", b"EXPIRE ", b"STATS ",
+                    b"GRAPH ",
+                ];
+                let mut biased = stems[(next() % 8) as usize].to_vec();
+                biased.extend_from_slice(&line);
+                line = biased;
+            }
+            line.retain(|&b| b != b'\n');
+            let upper: Vec<u8> = line.iter().map(|b| b.to_ascii_uppercase()).collect();
+            if upper.starts_with(b"QUIT") || upper.starts_with(b"EXIT") {
+                continue;
+            }
+            script.extend_from_slice(&line);
+            script.push(b'\n');
+            fed += 1;
+        }
+        let mut s = session();
+        let mut output = Vec::new();
+        let served = serve(&mut s, Cursor::new(script), &mut output).unwrap();
+        assert_eq!(served, fed, "every fuzzed line got exactly one turn");
+        let text = String::from_utf8(output).unwrap();
+        for line in text.lines() {
+            assert!(
+                line.starts_with("OK ") || line.starts_with("ERR "),
+                "unprefixed reply line: {line:?}"
+            );
+        }
+        // The session still serves real queries afterwards.
+        assert!(matches!(handle_line(&mut s, "QUERY 0 3 3"), Reply::Ok(_)));
+    }
+
+    /// A writer that accepts a bounded number of bytes and then fails every
+    /// write — a client that hung up mid-reply.
+    struct DroppingWriter {
+        budget: usize,
+        written: Vec<u8>,
+    }
+
+    impl Write for DroppingWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.written.len() + buf.len() > self.budget {
+                return Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "client gone"));
+            }
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn client_dropping_mid_stream_cancels_the_running_job_and_frees_the_cu() {
+        use crate::loader::GraphHandle;
+        use crate::runtime::{HostRuntime, RuntimeConfig};
+        use pefp_graph::generators::{layered_dag, layered_sink, layered_source};
+
+        // 6^5 = 7776 paths: far beyond the 256-path stream channel, so the
+        // engine is still enumerating when the client's writer dies on the
+        // first chunk. The sink break cancels the ticket; the engine stops at
+        // its next boundary (the runtime counts it in `cancelled_jobs`, the
+        // aggregate of per-run `EngineStats::cancelled`) and the CU lease is
+        // released back to the pool.
+        let g = layered_dag(5, 6, 6, 1).to_csr();
+        let query = format!("STREAM {} {} 6 10000\n", layered_source().0, layered_sink(5, 6).0);
+        let runtime = HostRuntime::launch(
+            GraphHandle::from_csr("layered", g),
+            RuntimeConfig { compute_units: 1, ..RuntimeConfig::default() },
+        );
+        let writer = DroppingWriter { budget: 10, written: Vec::new() };
+        let err = serve_shared(&runtime, vec![(Cursor::new(query), writer)])
+            .expect_err("the dead client aborts its own connection");
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        let stats = runtime.stats();
+        assert_eq!(stats.cancelled_jobs, 1, "the running stream was cancelled");
+        assert_eq!(runtime.leased_cus(), 0, "the CU lease was released");
+        // The fleet is healthy: the next client's query runs normally.
+        let session = runtime.register_session();
+        let outcome = runtime
+            .submit_query(session, QueryRequest::new(0, 1, 2), false)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(outcome.num_paths >= 1);
+    }
+
+    #[test]
+    fn dropping_a_job_ticket_cancels_a_running_engine() {
+        use crate::loader::GraphHandle;
+        use crate::runtime::{HostRuntime, RuntimeConfig};
+        use pefp_graph::generators::{layered_dag, layered_sink, layered_source};
+        use std::time::{Duration, Instant};
+
+        let g = layered_dag(5, 6, 6, 1).to_csr();
+        let runtime = HostRuntime::launch(
+            GraphHandle::from_csr("layered", g),
+            RuntimeConfig { compute_units: 1, ..RuntimeConfig::default() },
+        );
+        let session = runtime.register_session();
+        let request = QueryRequest::new(layered_source().0, layered_sink(5, 6).0, 6);
+        let (ticket, rx) = runtime.submit_query_streaming(session, request, 1).unwrap();
+        // The first received path proves the engine is running mid-stream.
+        let first = rx.recv().expect("engine delivers at least one path");
+        assert!(!first.is_empty());
+        drop(ticket);
+        drop(rx);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while runtime.stats().cancelled_jobs == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(runtime.stats().cancelled_jobs, 1, "ticket drop cancelled the engine");
+        assert_eq!(runtime.leased_cus(), 0);
     }
 }
