@@ -19,7 +19,9 @@
 
 use pefp_graph::bfs::{khop_bfs, UNREACHED};
 use pefp_graph::paths::Path;
+use pefp_graph::sink::{CollectSink, PathSink};
 use pefp_graph::{CsrGraph, VertexId};
+use std::ops::ControlFlow;
 
 /// Reusable BC-DFS searcher holding the barrier array for one `(graph, t, k)`
 /// combination.
@@ -73,46 +75,71 @@ impl BcDfs {
         t: VertexId,
         max_hops: u32,
     ) -> Vec<Path> {
+        let mut sink = CollectSink::new();
+        let _ = self.enumerate_into(g, s, t, max_hops, &mut sink);
+        sink.into_paths()
+    }
+
+    /// Streams all simple paths from `s` to `t` with at most `max_hops` hops
+    /// into `sink`, using and updating the learned barriers.
+    ///
+    /// Returns [`ControlFlow::Break`] when the sink stopped the enumeration
+    /// early. An aborted subtree is *not* treated as a learning opportunity:
+    /// its exploration was cut short, so "no path found below" would be a lie
+    /// and raising a barrier from it could prune valid paths in later runs on
+    /// the same searcher.
+    pub fn enumerate_into<S: PathSink + ?Sized>(
+        &mut self,
+        g: &CsrGraph,
+        s: VertexId,
+        t: VertexId,
+        max_hops: u32,
+        sink: &mut S,
+    ) -> ControlFlow<()> {
         assert!(max_hops <= self.k, "max_hops {} exceeds the preprocessed k {}", max_hops, self.k);
-        let mut results = Vec::new();
         if s.index() >= g.num_vertices() || t.index() >= g.num_vertices() {
-            return results;
+            return ControlFlow::Continue(());
         }
         if s == t {
-            results.push(vec![s]);
-            return results;
+            return sink.emit(&[s]);
         }
         // The source itself must be able to reach t within the budget.
         if self.bar[s.index()] > max_hops {
             self.pruned += 1;
-            return results;
+            return ControlFlow::Continue(());
         }
         let mut stack = vec![s];
         let mut on_path = vec![false; g.num_vertices()];
         on_path[s.index()] = true;
-        let _ = self.search(g, t, max_hops, &mut stack, &mut on_path, &mut results);
-        results
+        let (_, _, aborted) = self.search(g, t, max_hops, &mut stack, &mut on_path, sink);
+        if aborted {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
     }
 
     /// Recursive search.
     ///
-    /// Returns `(found_any, conflicted)` for the subtree rooted at the current
-    /// stack top: `found_any` is `true` when at least one result path was
-    /// produced, `conflicted` is `true` when some branch was cut because a
-    /// successor was already on the current stack. A barrier may only be
-    /// raised for a failed subtree that is *not* conflicted — otherwise the
-    /// failure could be caused by the particular prefix on the stack rather
-    /// than by the remaining hop budget, and raising the barrier would prune
-    /// valid paths reached through other prefixes.
-    fn search(
+    /// Returns `(found_any, conflicted, aborted)` for the subtree rooted at
+    /// the current stack top: `found_any` is `true` when at least one result
+    /// path was produced, `conflicted` is `true` when some branch was cut
+    /// because a successor was already on the current stack, and `aborted` is
+    /// `true` when the sink broke the enumeration. A barrier may only be
+    /// raised for a failed subtree that is *not* conflicted and *not* aborted
+    /// — otherwise the failure could be caused by the particular prefix on
+    /// the stack (or by the early stop) rather than by the remaining hop
+    /// budget, and raising the barrier would prune valid paths reached
+    /// through other prefixes.
+    fn search<S: PathSink + ?Sized>(
         &mut self,
         g: &CsrGraph,
         t: VertexId,
         max_hops: u32,
         stack: &mut Vec<VertexId>,
         on_path: &mut [bool],
-        results: &mut Vec<Path>,
-    ) -> (bool, bool) {
+        sink: &mut S,
+    ) -> (bool, bool, bool) {
         let current = *stack.last().expect("stack never empty");
         let hops = (stack.len() - 1) as u32;
         self.expanded += 1;
@@ -122,8 +149,10 @@ impl BcDfs {
             if next == t {
                 let mut path = stack.clone();
                 path.push(t);
-                results.push(path);
                 found_any = true;
+                if sink.emit(&path).is_break() {
+                    return (found_any, conflicted, true);
+                }
                 continue;
             }
             if on_path[next.index()] {
@@ -138,13 +167,17 @@ impl BcDfs {
             }
             stack.push(next);
             on_path[next.index()] = true;
-            let (found_below, conflict_below) =
-                self.search(g, t, max_hops, stack, on_path, results);
+            let (found_below, conflict_below, aborted_below) =
+                self.search(g, t, max_hops, stack, on_path, sink);
             stack.pop();
             on_path[next.index()] = false;
             if found_below {
                 found_any = true;
-            } else if !conflict_below {
+            }
+            if aborted_below {
+                return (found_any, conflicted | conflict_below, true);
+            }
+            if !found_below && !conflict_below {
                 // Learning from the mistake: `max_hops - (hops + 1)` remaining
                 // hops were provably not enough below `next` (independently of
                 // the current prefix), so any future visit needs a strictly
@@ -157,8 +190,21 @@ impl BcDfs {
             }
             conflicted |= conflict_below;
         }
-        (found_any, conflicted)
+        (found_any, conflicted, false)
     }
+}
+
+/// One-shot streaming wrapper: builds a [`BcDfs`] and streams a single
+/// query's result paths into `sink`. Returns [`ControlFlow::Break`] when the
+/// sink stopped the enumeration early.
+pub fn bc_dfs_stream<S: PathSink + ?Sized>(
+    g: &CsrGraph,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+    sink: &mut S,
+) -> ControlFlow<()> {
+    BcDfs::new(g, t, k).enumerate_into(g, s, t, k, sink)
 }
 
 /// One-shot convenience wrapper: builds a [`BcDfs`] and runs a single query.
@@ -253,6 +299,34 @@ mod tests {
     fn larger_query_than_preprocessing_panics() {
         let g = CsrGraph::from_edges(2, &[(0, 1)]);
         BcDfs::new(&g, VertexId(1), 2).enumerate(&g, VertexId(0), VertexId(1), 3);
+    }
+
+    #[test]
+    fn streaming_matches_collected_enumeration() {
+        let g = chung_lu(90, 4.0, 2.2, 7).to_csr();
+        for &(s, t, k) in &[(0u32, 7u32, 4u32), (1, 50, 5), (5, 6, 6)] {
+            let mut sink = CollectSink::new();
+            let flow = bc_dfs_stream(&g, VertexId(s), VertexId(t), k, &mut sink);
+            assert_eq!(flow, ControlFlow::Continue(()));
+            let expected = canonicalize(bc_dfs_enumerate(&g, VertexId(s), VertexId(t), k));
+            assert_eq!(canonicalize(sink.into_paths()), expected);
+        }
+    }
+
+    #[test]
+    fn early_stop_does_not_poison_barriers() {
+        use pefp_graph::sink::FirstN;
+        // Diamond: two paths 0->1->3 and 0->2->3. Stop after the first one,
+        // then re-run the same searcher to completion: the aborted subtree
+        // must not have raised any barrier that hides the second path.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let mut searcher = BcDfs::new(&g, VertexId(3), 3);
+        let mut sink = FirstN::new(1, CollectSink::new());
+        let flow = searcher.enumerate_into(&g, VertexId(0), VertexId(3), 3, &mut sink);
+        assert_eq!(flow, ControlFlow::Break(()));
+        assert_eq!(sink.emitted(), 1);
+        let full = searcher.enumerate(&g, VertexId(0), VertexId(3), 3);
+        assert_eq!(full.len(), 2);
     }
 
     #[test]

@@ -21,8 +21,10 @@
 use crate::bc_dfs::BcDfs;
 use pefp_graph::bfs::{khop_bfs, khop_bfs_multi, UNREACHED};
 use pefp_graph::paths::Path;
+use pefp_graph::sink::{CollectSink, PathSink};
 use pefp_graph::{CsrGraph, VertexId};
 use std::collections::HashMap;
+use std::ops::ControlFlow;
 
 /// Output of JOIN's preprocessing phase.
 #[derive(Debug, Clone)]
@@ -86,19 +88,35 @@ impl Join {
         k: u32,
         prep: &JoinPreprocess,
     ) -> Vec<Path> {
+        let mut sink = CollectSink::new();
+        let _ = self.query_into(g, s, t, k, prep, &mut sink);
+        sink.into_paths()
+    }
+
+    /// Query phase, streaming each joined result into `sink` as it is
+    /// produced. The prefix/suffix sides are still materialised (the join is
+    /// inherently a materialising algorithm), but the *result* set never is,
+    /// and the sink can stop the join early ([`ControlFlow::Break`]).
+    pub fn query_into<S: PathSink + ?Sized>(
+        &mut self,
+        g: &CsrGraph,
+        s: VertexId,
+        t: VertexId,
+        k: u32,
+        prep: &JoinPreprocess,
+        sink: &mut S,
+    ) -> ControlFlow<()> {
         assert_eq!(prep.k, k, "preprocessing was computed for a different k");
         self.join_candidates = 0;
         self.join_rejected = 0;
-        let mut results = Vec::new();
         if s.index() >= g.num_vertices() || t.index() >= g.num_vertices() {
-            return results;
+            return ControlFlow::Continue(());
         }
         if s == t {
-            results.push(vec![s]);
-            return results;
+            return sink.emit(&[s]);
         }
         if prep.middle_vertices.is_empty() {
-            return results;
+            return ControlFlow::Continue(());
         }
         let half_floor = k / 2;
         let half_ceil = k - half_floor;
@@ -111,7 +129,7 @@ impl Join {
         // Prefixes: s ⇝ u (u ∈ M) with at most ⌊k/2⌋ hops, grouped by u.
         let prefixes = self.enumerate_prefixes(g, s, half_floor, &is_middle);
         if prefixes.is_empty() {
-            return results;
+            return ControlFlow::Continue(());
         }
 
         // Suffixes: u ⇝ t with at most ⌈k/2⌉ hops, only for middle vertices
@@ -151,17 +169,30 @@ impl Join {
                     }
                     let mut path = pre.clone();
                     path.extend_from_slice(&suf[1..]);
-                    results.push(path);
+                    sink.emit(&path)?;
                 }
             }
         }
-        results
+        ControlFlow::Continue(())
     }
 
     /// Convenience: preprocessing followed by a query.
     pub fn enumerate(&mut self, g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> Vec<Path> {
         let prep = self.preprocess(g, s, t, k);
         self.query(g, s, t, k, &prep)
+    }
+
+    /// Convenience: preprocessing followed by a streaming query into `sink`.
+    pub fn enumerate_into<S: PathSink + ?Sized>(
+        &mut self,
+        g: &CsrGraph,
+        s: VertexId,
+        t: VertexId,
+        k: u32,
+        sink: &mut S,
+    ) -> ControlFlow<()> {
+        let prep = self.preprocess(g, s, t, k);
+        self.query_into(g, s, t, k, &prep, sink)
     }
 
     /// Enumerates all simple paths from `s` of length `≤ max_hops` ending at a
@@ -250,6 +281,19 @@ impl Join {
     }
 }
 
+/// One-shot streaming wrapper: preprocesses and streams a single JOIN query's
+/// result paths into `sink`. Returns [`ControlFlow::Break`] when the sink
+/// stopped the enumeration early.
+pub fn join_stream<S: PathSink + ?Sized>(
+    g: &CsrGraph,
+    s: VertexId,
+    t: VertexId,
+    k: u32,
+    sink: &mut S,
+) -> ControlFlow<()> {
+    Join::new().enumerate_into(g, s, t, k, sink)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +377,23 @@ mod tests {
         let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
         let mut join = Join::new();
         assert_eq!(join.enumerate(&g, VertexId(1), VertexId(1), 3), vec![vec![VertexId(1)]]);
+    }
+
+    #[test]
+    fn streaming_matches_collected_enumeration() {
+        use pefp_graph::sink::FirstN;
+        let g = chung_lu(80, 5.0, 2.2, 11).to_csr();
+        let (s, t, k) = (VertexId(0), VertexId(17), 4);
+        let expected = canonicalize(Join::new().enumerate(&g, s, t, k));
+        let mut sink = CollectSink::new();
+        assert_eq!(join_stream(&g, s, t, k, &mut sink), ControlFlow::Continue(()));
+        assert_eq!(canonicalize(sink.into_paths()), expected);
+        // A saturated FirstN stops the join early.
+        if expected.len() > 1 {
+            let mut first = FirstN::new(1, CollectSink::new());
+            assert_eq!(join_stream(&g, s, t, k, &mut first), ControlFlow::Break(()));
+            assert_eq!(first.emitted(), 1);
+        }
     }
 
     #[test]

@@ -18,10 +18,11 @@
 //!
 //! All entry points take a [`pefp_graph::CsrGraph`], a source, a target and a
 //! hop constraint `k`, and return the complete set of simple paths of length
-//! `<= k` as `Vec<Vec<VertexId>>`. The oracle additionally offers a streaming
-//! form ([`naive_dfs_stream`]) that pushes into a [`pefp_graph::PathSink`]
-//! instead of materialising, so baseline-vs-PEFP memory comparisons share one
-//! result pipeline.
+//! `<= k` as `Vec<Vec<VertexId>>`. The routable engines additionally offer
+//! streaming forms ([`naive_dfs_stream`], [`bc_dfs_stream`], [`join_stream`])
+//! that push into a [`pefp_graph::PathSink`] instead of materialising, so the
+//! host's adaptive engine router can run any of them through the exact result
+//! pipeline the device engine uses.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -34,9 +35,9 @@ pub mod tdfs;
 pub mod tdfs2;
 pub mod yen;
 
-pub use bc_dfs::{bc_dfs_enumerate, BcDfs};
+pub use bc_dfs::{bc_dfs_enumerate, bc_dfs_stream, BcDfs};
 pub use hp_index::HpIndex;
-pub use join::{Join, JoinPreprocess};
+pub use join::{join_stream, Join, JoinPreprocess};
 pub use naive::{naive_bfs_enumerate, naive_dfs_enumerate, naive_dfs_stream};
 pub use tdfs::tdfs_enumerate;
 pub use tdfs2::tdfs2_enumerate;

@@ -1,0 +1,55 @@
+//! Mixed-workload routing: the adaptive router against every fixed engine.
+//!
+//! The cases mirror the `BENCH_08` gate (`pefp_bench::gate`): the 24-tiny +
+//! 5-heavy query pool on the 10k Chung-Lu profile, served closed-loop by a
+//! 2-CU `HostRuntime` under five policies — the adaptive router (builtin
+//! table), device-always (`routing: None`, the pre-router behaviour),
+//! bc-dfs-always, join-always, and the best-CPU oracle (device-excluding
+//! table, cheapest CPU engine per query). The summed serve latency
+//! (transfer + engine time, the quantity the router's cost model predicts)
+//! is printed per policy so the routing win is visible next to the
+//! wall-clock medians.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pefp_bench::gate::{
+    bcdfs_forcing_table, cpu_forcing_table, join_forcing_table, mixed_round_millis, mixed_runtime,
+    mixed_workload_pools,
+};
+use pefp_core::RoutingTable;
+use std::hint::black_box;
+
+fn bench_mixed_workload(c: &mut Criterion) {
+    let (handle, tiny, heavy) = mixed_workload_pools();
+    let mixed: Vec<_> = tiny.iter().chain(heavy.iter()).copied().collect();
+    let policies: [(&str, Option<RoutingTable>); 5] = [
+        ("router", Some(RoutingTable::builtin())),
+        ("device_always", None),
+        ("bc_dfs_always", Some(bcdfs_forcing_table())),
+        ("join_always", Some(join_forcing_table())),
+        ("cpu_best", Some(cpu_forcing_table())),
+    ];
+
+    let mut group = c.benchmark_group("mixed_workload");
+    group.sample_size(10);
+    for (name, routing) in &policies {
+        // One untimed round to report the modelled serve-latency domain.
+        let runtime = mixed_runtime(&handle, routing.clone());
+        let serve_millis = mixed_round_millis(&runtime, &mixed);
+        let stats = runtime.stats();
+        println!(
+            "mixed_workload/{name}: serve latency {serve_millis:.3} ms \
+             ({} cpu-routed, {} device cycles)",
+            stats.cpu_routed, stats.total_device_cycles
+        );
+        group.bench_with_input(BenchmarkId::new("round", *name), &mixed, |b, pool| {
+            b.iter(|| {
+                let runtime = mixed_runtime(&handle, routing.clone());
+                black_box(mixed_round_millis(&runtime, pool))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixed_workload);
+criterion_main!(benches);

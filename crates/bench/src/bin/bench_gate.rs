@@ -20,6 +20,11 @@
 //! * `BENCH_07*` — the fault-storm cases: the fixed 12-query pool on a 2-CU
 //!   fault-tolerant `HostRuntime` under the seeded fault mix, gated on
 //!   goodput and the 1.0 correct-answer fraction vs a fault-free oracle.
+//! * `BENCH_08*` — the mixed-workload router cases: the tiny + heavy pool on
+//!   a 2-CU `HostRuntime`, gated on the adaptive router beating the best
+//!   fixed engine policy (device-always, bc-dfs-always, join-always, and the
+//!   best-CPU oracle) ≥1.2× and routed-CPU tiny queries beating forced-device
+//!   placement ≥5× in summed serve latency.
 //!
 //! `--write` measures the suite's cases and records them, together with the
 //! machine's calibration time, as the committed baseline. `--check`
@@ -72,6 +77,17 @@ fn main() {
                  against a fault-free oracle round; no cycle signal (retry placement is \
                  scheduling-dependent).",
         )
+    } else if file_name.starts_with("BENCH_08") {
+        (
+            "BENCH_08",
+            gate::run_mixed_workload_cases,
+            "mixed-workload baseline: medians over 5 samples of the 24-tiny + 5-heavy query \
+                 pool on a 2-CU HostRuntime under the adaptive router (builtin table). Device \
+                 cycles are deterministic and placement-sensitive. Floors gate the router's \
+                 summed serve latency (transfer + engine) against the best fixed engine policy \
+                 (device-always, bc-dfs-always, join-always, best-CPU oracle; >=1.2x) and \
+                 routed-CPU tiny queries against forced-device placement (>=5x).",
+        )
     } else if file_name.starts_with("BENCH_04") {
         (
             "BENCH_04",
@@ -83,7 +99,7 @@ fn main() {
         )
     } else {
         eprintln!(
-            "error: cannot infer the suite from {file_name:?} (want BENCH_04*, BENCH_05*, BENCH_06* or BENCH_07*)"
+            "error: cannot infer the suite from {file_name:?} (want BENCH_04*, BENCH_05*, BENCH_06*, BENCH_07* or BENCH_08*)"
         );
         std::process::exit(2);
     };

@@ -493,6 +493,197 @@ pub fn run_fault_storm_cases() -> Vec<GateCase> {
     ]
 }
 
+/// Queries in the `BENCH_08` tiny pool: feasible queries whose pruned
+/// subgraph stays below [`MIXED_TINY_WORK_CAP`] dfs-work units — the regime
+/// where PCIe transfer and device fixed costs dominate and the router should
+/// place the query CPU-direct.
+pub const MIXED_TINY_QUERIES: usize = 24;
+
+/// dfs-work ceiling defining the tiny pool.
+pub const MIXED_TINY_WORK_CAP: f64 = 5_000.0;
+
+/// Minimum modelled-latency speedup of the adaptive router over the **best**
+/// fixed engine (device-always or CPU-always) on the mixed pool.
+pub const MIXED_ROUTER_SPEEDUP_FLOOR: f64 = 1.2;
+
+/// Minimum modelled-latency speedup of routed-CPU placement over forced
+/// device placement on the tiny pool.
+pub const MIXED_TINY_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// The `BENCH_08` workload: the [`gate_graph`] plus a tiny pool (scanned
+/// deterministically from mid-id pairs — low ids are the hubs in this
+/// generator — keeping feasible queries under [`MIXED_TINY_WORK_CAP`]) and a
+/// heavy pool of hub-to-hub queries at k = 6..7.
+pub fn mixed_workload_pools() -> (GraphHandle, Vec<QueryRequest>, Vec<QueryRequest>) {
+    use pefp_core::{pre_bfs, RouteFeatures};
+
+    let handle = gate_graph();
+    let mut tiny = Vec::new();
+    let mut i = 0u32;
+    while tiny.len() < MIXED_TINY_QUERIES && i < 2_000 {
+        let s = 2_000 + (i * 97) % 7_000;
+        let t = 1_500 + (i * 131 + 17) % 8_000;
+        let k = 3 + i % 2;
+        i += 1;
+        if s == t {
+            continue;
+        }
+        let prep = pre_bfs(&handle.csr, VertexId(s), VertexId(t), k);
+        if !prep.feasible {
+            continue;
+        }
+        let features = RouteFeatures::compute(&prep);
+        if features.dfs_work <= MIXED_TINY_WORK_CAP && !features.estimate.saturated {
+            tiny.push(QueryRequest::new(s, t, k));
+        }
+    }
+    assert_eq!(tiny.len(), MIXED_TINY_QUERIES, "the tiny-pool scan must fill the pool");
+    let heavy = [(0u32, 3u32, 6u32), (1, 2, 6), (2, 5, 6), (1, 4, 6), (0, 3, 7)]
+        .into_iter()
+        .map(|(s, t, k)| QueryRequest::new(s, t, k))
+        .collect();
+    (handle, tiny, heavy)
+}
+
+/// A 2-CU runtime with the given routing policy (`None` = the pre-router
+/// device-always behaviour) and two CPU workers.
+pub fn mixed_runtime(
+    handle: &GraphHandle,
+    routing: Option<pefp_core::RoutingTable>,
+) -> Arc<HostRuntime> {
+    HostRuntime::launch(
+        handle.clone(),
+        RuntimeConfig { compute_units: 2, routing, cpu_workers: 2, ..RuntimeConfig::default() },
+    )
+}
+
+/// A table that forces every non-saturated query onto the CPU engines (the
+/// router still picks the cheaper of BC-DFS and join per query): the
+/// strongest CPU-only policy of the `BENCH_08` comparison.
+pub fn cpu_forcing_table() -> pefp_core::RoutingTable {
+    pefp_core::RoutingTable {
+        device_fixed_us: 1e9,
+        cpu_work_ceiling: 1e18,
+        ..pefp_core::RoutingTable::builtin()
+    }
+}
+
+/// A table that forces every non-saturated query onto the CPU BC-DFS engine:
+/// the "bc-dfs-always" fixed-engine policy of the `BENCH_08` comparison.
+pub fn bcdfs_forcing_table() -> pefp_core::RoutingTable {
+    pefp_core::RoutingTable { join_fixed_us: 1e12, ..cpu_forcing_table() }
+}
+
+/// A table that forces every non-saturated query onto the CPU join engine:
+/// the "join-always" fixed-engine policy of the `BENCH_08` comparison.
+pub fn join_forcing_table() -> pefp_core::RoutingTable {
+    pefp_core::RoutingTable { bcdfs_fixed_us: 1e12, ..cpu_forcing_table() }
+}
+
+/// One closed-loop round of `pool` on `runtime`, returning the summed
+/// **serve latency** in milliseconds: PCIe transfer + engine time (modelled
+/// device time for device placements, wall time for CPU placements — the
+/// quantity the router's cost model predicts). Preprocessing is excluded:
+/// it is identical host work under every policy.
+pub fn mixed_round_millis(runtime: &Arc<HostRuntime>, pool: &[QueryRequest]) -> f64 {
+    let session = runtime.register_session();
+    pool.iter()
+        .map(|&req| {
+            let outcome = runtime
+                .submit_query(session, req, false)
+                .expect("mixed query admitted")
+                .wait()
+                .expect("mixed query completes");
+            outcome.transfer.total_millis + outcome.device_millis
+        })
+        .sum()
+}
+
+/// Median summed serve latency over three fresh-runtime rounds of `pool`
+/// under `routing`.
+fn mixed_policy_millis(
+    handle: &GraphHandle,
+    routing: Option<pefp_core::RoutingTable>,
+    pool: &[QueryRequest],
+) -> f64 {
+    let mut rounds: Vec<f64> =
+        (0..3).map(|_| mixed_round_millis(&mixed_runtime(handle, routing.clone()), pool)).collect();
+    rounds.sort_by(|a, b| a.partial_cmp(b).expect("finite rounds"));
+    rounds[1]
+}
+
+/// Runs the `BENCH_08` mixed-workload cases: the tiny + heavy pool on one
+/// 2-CU runtime under the adaptive router (builtin table) and every fixed
+/// engine policy — device-always (`routing: None`, the pre-router
+/// behaviour), bc-dfs-always, join-always, and the stronger best-CPU oracle
+/// (device-excluding table, cheapest CPU engine per query).
+///
+/// Signals:
+/// * `median_ns` — wall clock of a full mixed round on the router runtime
+///   (calibrated 25% rule), and of the tiny pool for the second case;
+/// * `cycles` — total simulated device cycles of the router round, which are
+///   deterministic *and placement-sensitive*: a routing change that moves a
+///   query between CPU and device shifts this total, so table drift is
+///   caught even when it stays inside the latency floors;
+/// * `floor` on `mixed_workload/router` — summed serve latency of the best
+///   fixed policy over the router's, ≥ [`MIXED_ROUTER_SPEEDUP_FLOOR`]: the
+///   router must beat *every* fixed policy (device-always, bc-dfs-always,
+///   join-always, and even the best-CPU oracle), not just the worst one;
+/// * `floor` on `mixed_workload/tiny_cpu` — forced-device over routed serve
+///   latency on the tiny pool, ≥ [`MIXED_TINY_SPEEDUP_FLOOR`]: CPU-routed
+///   tiny queries must skip enough transfer + fixed device cost to win big.
+pub fn run_mixed_workload_cases() -> Vec<GateCase> {
+    let (handle, tiny, heavy) = mixed_workload_pools();
+    let mixed: Vec<QueryRequest> = tiny.iter().chain(heavy.iter()).copied().collect();
+    let router = Some(pefp_core::RoutingTable::builtin());
+
+    let mut cycles = 0u64;
+    let mixed_median = median_ns(|| {
+        let runtime = mixed_runtime(&handle, router.clone());
+        std::hint::black_box(mixed_round_millis(&runtime, &mixed));
+        cycles = runtime.stats().total_device_cycles;
+    });
+    let tiny_median = median_ns(|| {
+        let runtime = mixed_runtime(&handle, router.clone());
+        std::hint::black_box(mixed_round_millis(&runtime, &tiny));
+    });
+
+    let router_total = mixed_policy_millis(&handle, router.clone(), &mixed);
+    let device_total = mixed_policy_millis(&handle, None, &mixed);
+    let bcdfs_total = mixed_policy_millis(&handle, Some(bcdfs_forcing_table()), &mixed);
+    let join_total = mixed_policy_millis(&handle, Some(join_forcing_table()), &mixed);
+    let cpu_total = mixed_policy_millis(&handle, Some(cpu_forcing_table()), &mixed);
+    let best_fixed = device_total.min(bcdfs_total).min(join_total).min(cpu_total);
+    let router_speedup = best_fixed / router_total.max(1e-12);
+
+    let tiny_router = mixed_policy_millis(&handle, router, &tiny);
+    let tiny_device = mixed_policy_millis(&handle, None, &tiny);
+    let tiny_speedup = tiny_device / tiny_router.max(1e-12);
+
+    vec![
+        GateCase {
+            name: "mixed_workload/router".to_string(),
+            median_ns: mixed_median,
+            cycles: Some(cycles),
+            floor: Some(GateFloor {
+                label: "serve_latency_speedup_vs_best_fixed_engine".to_string(),
+                value: router_speedup,
+                min: MIXED_ROUTER_SPEEDUP_FLOOR,
+            }),
+        },
+        GateCase {
+            name: "mixed_workload/tiny_cpu".to_string(),
+            median_ns: tiny_median,
+            cycles: None,
+            floor: Some(GateFloor {
+                label: "tiny_pool_routed_speedup_vs_forced_device".to_string(),
+                value: tiny_speedup,
+                min: MIXED_TINY_SPEEDUP_FLOOR,
+            }),
+        },
+    ]
+}
+
 /// Serialises a gate run (calibration + cases) as the `BENCH_04.json`
 /// document ([`to_json_named`] with the historical artefact name).
 pub fn to_json(calibration_ns: f64, cases: &[GateCase], meta_note: &str) -> JsonValue {
@@ -739,5 +930,24 @@ mod tests {
         assert_eq!(parsed.cases[1].median_ns, 9_999.5);
         // The fresh run compares clean against its own baseline.
         assert!(compare(&parsed, 777.0, &cases).is_empty());
+    }
+
+    #[test]
+    fn forcing_tables_validate_and_force_their_engine() {
+        use pefp_core::{pre_bfs, route_query, EngineChoice, RouteContext};
+        use pefp_graph::CsrGraph;
+
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let prepared = pre_bfs(&g, VertexId(0), VertexId(3), 3);
+        let ctx = RouteContext { compute_units: 2 };
+        for (table, want) in [
+            (bcdfs_forcing_table(), EngineChoice::CpuBcDfs),
+            (join_forcing_table(), EngineChoice::CpuJoin),
+        ] {
+            assert!(table.validate().is_empty(), "forcing table must stay valid");
+            let decision = route_query(&prepared, &table, &ctx);
+            assert_eq!(decision.choice, want, "{decision:?}");
+        }
+        assert!(route_query(&prepared, &cpu_forcing_table(), &ctx).choice.is_cpu());
     }
 }

@@ -23,7 +23,30 @@ use pefp_graph::{CsrGraph, VertexId};
 /// This is an upper bound on the number of s-t k-paths; it is exact on DAGs
 /// (where every walk is a simple path).
 pub fn count_st_walks(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> u64 {
-    walk_profile(g, s, t, k).iter().fold(0u64, |acc, &c| acc.saturating_add(c))
+    count_st_walks_checked(g, s, t, k).0
+}
+
+/// Like [`count_st_walks`], but also reports whether any addition saturated.
+///
+/// A saturated count is still a valid upper bound, but it is no longer a
+/// *ranking* signal: two astronomically different workloads both report
+/// `u64::MAX`. Callers that compare estimates (the engine router) must treat
+/// the flag as "beyond CPU scale" rather than trusting the magnitude.
+pub fn count_st_walks_checked(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> (u64, bool) {
+    let (profile, mut saturated) = walk_profile_checked(g, s, t, k);
+    let total = profile.iter().fold(0u64, |acc, &c| sat_add(acc, c, &mut saturated));
+    (total, saturated)
+}
+
+/// Saturating addition that records whether it actually saturated.
+fn sat_add(a: u64, b: u64, saturated: &mut bool) -> u64 {
+    match a.checked_add(b) {
+        Some(v) => v,
+        None => {
+            *saturated = true;
+            u64::MAX
+        }
+    }
 }
 
 /// Number of walks from `s` to `t` of *exactly* `h` hops, for every
@@ -33,10 +56,18 @@ pub fn count_st_walks(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> u64 {
 /// instead of overflowing, so it is safe to call with large `k` on dense
 /// graphs.
 pub fn walk_profile(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> Vec<u64> {
+    walk_profile_checked(g, s, t, k).0
+}
+
+/// Like [`walk_profile`], but also reports whether any per-vertex counter
+/// saturated — once a counter pins at `u64::MAX`, every downstream value is a
+/// floor, not an exact walk count.
+pub fn walk_profile_checked(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> (Vec<u64>, bool) {
     let n = g.num_vertices();
     let mut profile = vec![0u64; k as usize + 1];
+    let mut saturated = false;
     if n == 0 || s.index() >= n || t.index() >= n {
-        return profile;
+        return (profile, saturated);
     }
     let mut current = vec![0u64; n];
     current[s.index()] = 1;
@@ -50,22 +81,29 @@ pub fn walk_profile(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> Vec<u64> 
             }
             for &w in g.successors(VertexId::from_index(v)) {
                 let slot = &mut next[w.index()];
-                *slot = slot.saturating_add(c);
+                *slot = sat_add(*slot, c, &mut saturated);
             }
         }
         *p = next[t.index()];
         std::mem::swap(&mut current, &mut next);
     }
-    profile
+    (profile, saturated)
 }
 
 /// Total number of walks of length at most `k` starting at `s` (an upper
 /// bound on the number of intermediate paths the BFS-style engine can ever
 /// hold for this query), saturating at `u64::MAX`.
 pub fn count_walks_from(g: &CsrGraph, s: VertexId, k: u32) -> u64 {
+    count_walks_from_checked(g, s, k).0
+}
+
+/// Like [`count_walks_from`], but also reports whether any addition
+/// saturated along the way.
+pub fn count_walks_from_checked(g: &CsrGraph, s: VertexId, k: u32) -> (u64, bool) {
     let n = g.num_vertices();
+    let mut saturated = false;
     if n == 0 || s.index() >= n {
-        return 0;
+        return (0, saturated);
     }
     let mut current = vec![0u64; n];
     current[s.index()] = 1;
@@ -80,19 +118,19 @@ pub fn count_walks_from(g: &CsrGraph, s: VertexId, k: u32) -> u64 {
             }
             for &w in g.successors(VertexId::from_index(v)) {
                 let slot = &mut next[w.index()];
-                *slot = slot.saturating_add(c);
+                *slot = sat_add(*slot, c, &mut saturated);
             }
         }
         for &c in next.iter() {
-            frontier_total = frontier_total.saturating_add(c);
+            frontier_total = sat_add(frontier_total, c, &mut saturated);
         }
-        total = total.saturating_add(frontier_total);
+        total = sat_add(total, frontier_total, &mut saturated);
         if frontier_total == 0 {
             break;
         }
         std::mem::swap(&mut current, &mut next);
     }
-    total
+    (total, saturated)
 }
 
 /// Exact number of s-t simple paths with at most `k` hops, computed by a
@@ -146,6 +184,11 @@ pub struct QueryEstimate {
     /// Upper bound on the number of intermediate paths generated during
     /// BFS-style expansion (walks of any length ≤ k from `s`).
     pub max_intermediate_paths: u64,
+    /// Whether either counter saturated at `u64::MAX`. A saturated estimate
+    /// is still an upper bound, but its *magnitude* carries no ranking
+    /// information — all overflowing workloads collapse to the same value, so
+    /// cost models must treat the flag, not the number, as the signal.
+    pub saturated: bool,
 }
 
 impl QueryEstimate {
@@ -153,9 +196,12 @@ impl QueryEstimate {
     /// Pre-BFS, where the bounds are dramatically tighter than on the
     /// original graph.
     pub fn compute(g: &CsrGraph, s: VertexId, t: VertexId, k: u32) -> QueryEstimate {
+        let (max_results, results_saturated) = count_st_walks_checked(g, s, t, k);
+        let (max_intermediate_paths, walks_saturated) = count_walks_from_checked(g, s, k);
         QueryEstimate {
-            max_results: count_st_walks(g, s, t, k),
-            max_intermediate_paths: count_walks_from(g, s, k),
+            max_results,
+            max_intermediate_paths,
+            saturated: results_saturated || walks_saturated,
         }
     }
 
@@ -262,6 +308,20 @@ mod tests {
         let g = CsrGraph::from_edges(12, &edges);
         let walks = count_st_walks(&g, vid(0), vid(1), 30);
         assert!(walks > 1u64 << 60);
+        let (checked, saturated) = count_st_walks_checked(&g, vid(0), vid(1), 30);
+        assert_eq!(checked, walks);
+        assert!(saturated, "a complete K12 at k=30 must overflow u64");
+        let est = QueryEstimate::compute(&g, vid(0), vid(1), 30);
+        assert!(est.saturated);
+    }
+
+    #[test]
+    fn small_workloads_never_report_saturation() {
+        let g = chung_lu(150, 5.0, 2.2, 33).to_csr();
+        let est = QueryEstimate::compute(&g, vid(1), vid(75), 4);
+        assert!(!est.saturated);
+        let (_, saturated) = count_walks_from_checked(&g, vid(1), 4);
+        assert!(!saturated);
     }
 
     #[test]

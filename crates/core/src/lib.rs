@@ -54,9 +54,13 @@ pub mod path;
 pub mod planner;
 pub mod preprocess;
 pub mod result;
+pub mod routing;
 pub mod variants;
 
-pub use counting::{count_simple_paths, count_st_walks, walk_profile, QueryEstimate};
+pub use counting::{
+    count_simple_paths, count_st_walks, count_st_walks_checked, count_walks_from,
+    count_walks_from_checked, walk_profile, walk_profile_checked, QueryEstimate,
+};
 pub use engine::PefpEngine;
 pub use labeled::{filter_by_labels, run_labeled_query};
 pub use multi_query::{run_query_batch, run_query_batch_with_sinks, BatchReport};
@@ -68,6 +72,10 @@ pub use preprocess::{
     pre_bfs_with, PrepareContext, PrepareStats, PreparedQuery, TouchedSet,
 };
 pub use result::{EngineOutput, EngineStats, PefpRunResult};
+pub use routing::{
+    route_query, EngineChoice, EngineCosts, RouteContext, RouteDecision, RouteFeatures,
+    RoutingTable,
+};
 pub use variants::{
     prepare, prepare_snapshot_with, prepare_with, run_prepared, run_prepared_on_device,
     run_prepared_with_sink, run_query, run_query_with_options, run_query_with_sink, PefpVariant,

@@ -37,6 +37,20 @@ pub struct DmaTransferReport {
     pub total_millis: f64,
 }
 
+impl DmaTransferReport {
+    /// The report of a job that never crossed the PCIe link (a CPU-routed
+    /// query): zero bytes, zero descriptors, zero time.
+    pub fn none() -> DmaTransferReport {
+        DmaTransferReport {
+            bytes: 0,
+            descriptors: 0,
+            wire_millis: 0.0,
+            setup_millis: 0.0,
+            total_millis: 0.0,
+        }
+    }
+}
+
 /// A DMA engine with a fixed maximum descriptor size and per-descriptor setup
 /// cost, transferring over a [`Pcie`] link.
 #[derive(Debug, Clone)]

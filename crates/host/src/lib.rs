@@ -60,8 +60,8 @@ pub use error::HostError;
 pub use loader::{load_dataset, load_edge_list_file, GraphHandle};
 pub use query::QueryRequest;
 pub use runtime::{
-    BatchTicket, FaultToleranceConfig, HostRuntime, JobTicket, RuntimeBatchOutcome, RuntimeConfig,
-    RuntimeStats, SessionId,
+    BatchTicket, EngineLaneStats, FaultToleranceConfig, HostRuntime, JobTicket,
+    RuntimeBatchOutcome, RuntimeConfig, RuntimeStats, SessionId,
 };
 pub use scheduler::{BatchOutcome, BatchScheduler, MeasuredMultiCu, SchedulerConfig};
 pub use server::{handle_line, serve, serve_shared, Reply};

@@ -43,10 +43,11 @@ use crate::loader::GraphHandle;
 use crate::query::QueryRequest;
 use crate::scheduler::BatchQueryResult;
 use crate::session::QueryOutcome;
-use pefp_baselines::naive_dfs_stream;
+use pefp_baselines::{naive_dfs_stream, BcDfs, Join};
 use pefp_core::{
-    plan_query, prepare_snapshot_with, run_prepared_on_device, CancelToken, PefpVariant,
-    PrepareContext, PreparedQuery,
+    plan_query, prepare_snapshot_with, route_query, run_prepared_on_device, CancelToken,
+    EngineChoice, PefpVariant, PrepareContext, PreparedQuery, RouteContext, RouteDecision,
+    RoutingTable,
 };
 use pefp_fpga::{CuCluster, CuLease, DeviceConfig, FaultEvent, FaultPlan, MultiCuConfig, Pcie};
 use pefp_graph::sink::{CollectSink, CountingSink, FnSink};
@@ -106,6 +107,18 @@ pub struct RuntimeConfig {
     /// overrunning job is cancelled by the deadline watchdog and fails with
     /// [`HostError::DeadlineExceeded`]. `None` (the default) never kills.
     pub default_deadline: Option<Duration>,
+    /// Cost table of the adaptive engine router. `None` (the default) runs
+    /// every job on the simulated device exactly as before; `Some(table)`
+    /// routes each prepared query to the cheapest engine — a CPU baseline
+    /// (skipping the PCIe transfer and the CU lease entirely) or the device —
+    /// by the modelled latencies of [`pefp_core::route_query`]. Routing never
+    /// changes answers, only placement.
+    pub routing: Option<RoutingTable>,
+    /// Size of the dedicated CPU worker pool serving router-placed CPU jobs
+    /// (only spawned when [`RuntimeConfig::routing`] is set). CPU-routed jobs
+    /// never occupy a compute-unit lease, so device throughput is unaffected
+    /// by a burst of tiny queries.
+    pub cpu_workers: usize,
 }
 
 /// Knobs of the runtime's fault-tolerance layer.
@@ -163,6 +176,8 @@ impl Default for RuntimeConfig {
             fault_plan: None,
             fault_tolerance: FaultToleranceConfig::default(),
             default_deadline: None,
+            routing: None,
+            cpu_workers: 2,
         }
     }
 }
@@ -463,6 +478,112 @@ impl AdmissionQueue {
 }
 
 // ---------------------------------------------------------------------------
+// CPU engine pool (router-placed jobs)
+// ---------------------------------------------------------------------------
+
+/// The CPU engine a routed (or fault-degraded) job runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CpuEngine {
+    /// Barrier-carrying DFS, seeded with the prepared query's Pre-BFS
+    /// barrier.
+    BcDfs,
+    /// The half-depth JOIN baseline.
+    Join,
+    /// The brute-force DFS oracle — the last resort when no routing table is
+    /// configured.
+    Naive,
+}
+
+/// Engine accounting lanes: the device (single- or multi-CU) plus the three
+/// CPU engines ([`DEVICE_LANE`] and [`CpuEngine::lane`] pick the index).
+const ENGINE_LANES: usize = 4;
+/// Lane names, in lane order (`stats.engines` and the server's `STATS` JSON
+/// use these).
+const ENGINE_LANE_NAMES: [&str; ENGINE_LANES] = ["device", "bc_dfs", "join", "naive"];
+/// The device's accounting lane.
+const DEVICE_LANE: usize = 0;
+
+impl CpuEngine {
+    fn lane(self) -> usize {
+        match self {
+            CpuEngine::BcDfs => 1,
+            CpuEngine::Join => 2,
+            CpuEngine::Naive => 3,
+        }
+    }
+}
+
+/// A job the router placed on a CPU engine, preprocessing already done. CPU
+/// jobs ride a dedicated handoff queue and worker pool — they never occupy a
+/// CU lease, so a burst of tiny queries cannot stall device work.
+struct CpuJob {
+    request: QueryRequest,
+    kind: JobKind,
+    prepared: Arc<PreparedQuery>,
+    engine: CpuEngine,
+    preprocess_millis: f64,
+    cache_hit: bool,
+    ticket: Arc<TicketInner<QueryOutcome>>,
+}
+
+struct CpuQueueState {
+    jobs: VecDeque<CpuJob>,
+    shutdown: bool,
+}
+
+/// Handoff queue between the device workers (which pop, preprocess and route
+/// jobs) and the CPU pool. Admission control already happened at the bounded
+/// admission queue, so this queue never rejects for capacity; it only fails a
+/// push after shutdown.
+struct CpuQueue {
+    state: Mutex<CpuQueueState>,
+    ready: Condvar,
+}
+
+impl CpuQueue {
+    fn new() -> Self {
+        CpuQueue {
+            state: Mutex::new(CpuQueueState { jobs: VecDeque::new(), shutdown: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: CpuJob) -> Result<(), CpuJob> {
+        let mut state = self.state.lock().expect("cpu queue poisoned");
+        if state.shutdown {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next CPU job; `None` on shutdown.
+    fn pop(&self) -> Option<CpuJob> {
+        let mut state = self.state.lock().expect("cpu queue poisoned");
+        loop {
+            if state.shutdown {
+                return None;
+            }
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            state = self.ready.wait(state).expect("cpu queue poisoned");
+        }
+    }
+
+    /// Stops the queue and returns the jobs still queued so their tickets can
+    /// be failed.
+    fn shutdown(&self) -> Vec<CpuJob> {
+        let mut state = self.state.lock().expect("cpu queue poisoned");
+        state.shutdown = true;
+        let drained = state.jobs.drain(..).collect();
+        self.ready.notify_all();
+        drained
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Shared prepared-query cache (lock-striped LRU)
 // ---------------------------------------------------------------------------
 
@@ -548,6 +669,18 @@ impl SharedPreparedCache {
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
         hit
+    }
+
+    /// Reads an entry without bumping its LRU recency or the hit/miss
+    /// counters. Used by the admission-time cost estimate and `EXPLAIN`,
+    /// which must not skew the serving statistics.
+    fn peek(&self, key: &QueryRequest) -> Option<Arc<PreparedQuery>> {
+        self.shards[self.shard_of(key)]
+            .lock()
+            .expect("cache shard poisoned")
+            .entries
+            .get(key)
+            .map(|(_, prep)| Arc::clone(prep))
     }
 
     #[cfg(test)]
@@ -783,6 +916,20 @@ struct RuntimeCounters {
     deadline_kills: AtomicU64,
     /// Streaming jobs that surfaced [`HostError::FaultAfterEmit`].
     fault_after_emit: AtomicU64,
+    /// Jobs the router placed on a CPU engine (fault degradations excluded).
+    cpu_routed: AtomicU64,
+    /// Jobs answered per engine lane (see [`ENGINE_LANE_NAMES`]).
+    engine_jobs: [AtomicU64; ENGINE_LANES],
+    /// Summed serving latency per engine lane, in microseconds: modelled
+    /// device time for the device lane, host wall time for the CPU lanes.
+    engine_micros: [AtomicU64; ENGINE_LANES],
+}
+
+/// Records one answered job against an engine lane.
+fn record_engine(shared: &RuntimeShared, lane: usize, millis: f64) {
+    shared.counters.engine_jobs[lane].fetch_add(1, Ordering::Relaxed);
+    shared.counters.engine_micros[lane]
+        .fetch_add((millis * 1e3).max(0.0).round() as u64, Ordering::Relaxed);
 }
 
 /// Per-tenant virtual time: each session's jobs are serialised on the
@@ -802,6 +949,30 @@ struct VirtualClock {
     cu_free: Vec<u64>,
     makespan: u64,
     total_cycles: u64,
+}
+
+/// Per-engine serving statistics: one row per engine lane, in the fixed lane
+/// order `device`, `bc_dfs`, `join`, `naive`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineLaneStats {
+    /// Engine name (`"device"`, `"bc_dfs"`, `"join"` or `"naive"`).
+    pub engine: &'static str,
+    /// Jobs this engine answered.
+    pub jobs: u64,
+    /// Summed serving latency in milliseconds: modelled device time for the
+    /// device lane, host wall time for the CPU lanes.
+    pub total_millis: f64,
+}
+
+impl EngineLaneStats {
+    /// Mean serving latency in milliseconds (0 with no jobs).
+    pub fn mean_millis(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.total_millis / self.jobs as f64
+        }
+    }
 }
 
 /// A point-in-time snapshot of a runtime's behaviour, served by
@@ -865,6 +1036,12 @@ pub struct RuntimeStats {
     pub deadline_kills: u64,
     /// Streaming jobs aborted with [`HostError::FaultAfterEmit`].
     pub fault_after_emit: u64,
+    /// Jobs the adaptive router placed on a CPU engine (fault degradations
+    /// not included; 0 when [`RuntimeConfig::routing`] is `None`).
+    pub cpu_routed: u64,
+    /// Per-engine serving counters, in lane order `device`, `bc_dfs`,
+    /// `join`, `naive`.
+    pub engines: Vec<EngineLaneStats>,
 }
 
 impl RuntimeStats {
@@ -932,6 +1109,25 @@ impl pefp_workload::ToJson for RuntimeStats {
             ("cpu_fallbacks", JsonValue::Number(self.cpu_fallbacks as f64)),
             ("deadline_kills", JsonValue::Number(self.deadline_kills as f64)),
             ("fault_after_emit", JsonValue::Number(self.fault_after_emit as f64)),
+            ("cpu_routed", JsonValue::Number(self.cpu_routed as f64)),
+            (
+                "engines",
+                JsonValue::Object(
+                    self.engines
+                        .iter()
+                        .map(|lane| {
+                            (
+                                lane.engine.to_string(),
+                                JsonValue::object(vec![
+                                    ("jobs", JsonValue::Number(lane.jobs as f64)),
+                                    ("total_millis", JsonValue::Number(lane.total_millis)),
+                                    ("mean_millis", JsonValue::Number(lane.mean_millis())),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -953,6 +1149,9 @@ struct RuntimeShared {
     epoch: AtomicU64,
     cluster: CuCluster,
     queue: AdmissionQueue,
+    /// Handoff queue feeding the dedicated CPU worker pool (router-placed
+    /// jobs only; empty and unused when routing is disabled).
+    cpu_queue: CpuQueue,
     cache: SharedPreparedCache,
     counters: RuntimeCounters,
     virt: Mutex<VirtualClock>,
@@ -999,6 +1198,7 @@ impl HostRuntime {
         let versioned = VersionedGraph::new(Arc::clone(&graph.csr), Arc::clone(&graph.reverse));
         let shared = Arc::new(RuntimeShared {
             queue: AdmissionQueue::new(config.queue_capacity),
+            cpu_queue: CpuQueue::new(),
             cache: SharedPreparedCache::new(config.shared_cache_capacity, config.cache_stripes),
             epoch: AtomicU64::new(versioned.epoch()),
             versioned: Mutex::new(versioned),
@@ -1019,6 +1219,9 @@ impl HostRuntime {
                 cpu_fallbacks: AtomicU64::new(0),
                 deadline_kills: AtomicU64::new(0),
                 fault_after_emit: AtomicU64::new(0),
+                cpu_routed: AtomicU64::new(0),
+                engine_jobs: std::array::from_fn(|_| AtomicU64::new(0)),
+                engine_micros: std::array::from_fn(|_| AtomicU64::new(0)),
             },
             virt: Mutex::new(VirtualClock {
                 session_ready: HashMap::new(),
@@ -1039,6 +1242,14 @@ impl HostRuntime {
                 std::thread::spawn(move || worker_loop(shared))
             })
             .collect();
+        // The CPU engine pool only exists when the router can place work on
+        // it; without a routing table nothing ever pushes to the CPU queue.
+        let cpu_workers =
+            if shared.config.routing.is_some() { shared.config.cpu_workers.max(1) } else { 0 };
+        for _ in 0..cpu_workers {
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || cpu_worker_loop(shared)));
+        }
         workers.push({
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || deadline_watchdog(shared))
@@ -1162,6 +1373,14 @@ impl HostRuntime {
             cpu_fallbacks: c.cpu_fallbacks.load(Ordering::Relaxed),
             deadline_kills: c.deadline_kills.load(Ordering::Relaxed),
             fault_after_emit: c.fault_after_emit.load(Ordering::Relaxed),
+            cpu_routed: c.cpu_routed.load(Ordering::Relaxed),
+            engines: (0..ENGINE_LANES)
+                .map(|lane| EngineLaneStats {
+                    engine: ENGINE_LANE_NAMES[lane],
+                    jobs: c.engine_jobs[lane].load(Ordering::Relaxed),
+                    total_millis: c.engine_micros[lane].load(Ordering::Relaxed) as f64 / 1e3,
+                })
+                .collect(),
         }
     }
 
@@ -1276,7 +1495,7 @@ impl HostRuntime {
                     snapshot: Arc::clone(&snapshot),
                     ticket,
                 },
-                estimate(&snapshot, request),
+                self.admission_estimate(&snapshot, request),
             ));
         }
         let n = jobs.len() as u64;
@@ -1313,7 +1532,7 @@ impl HostRuntime {
         }
         let inner = TicketInner::new();
         let ticket = JobTicket { inner: Arc::clone(&inner), armed: true };
-        let est = estimate(&snapshot, &request);
+        let est = self.admission_estimate(&snapshot, &request);
         let job = Job { session, request, kind, snapshot, ticket: inner };
         match self.shared.queue.submit(job, est) {
             Ok(pruned) => {
@@ -1330,6 +1549,71 @@ impl HostRuntime {
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Submission-time LPT estimate of one request. With the router
+    /// configured and the query already resident in the shared prepared
+    /// cache, the router's modelled cost (µs) is the ordering key — a real
+    /// latency prediction instead of the degree proxy. Unprepared queries
+    /// fall back to [`estimate`]: preprocessing at admission would serialise
+    /// every submitter on the caller's thread. The two keys only ever *rank*
+    /// jobs within one session's lane, so mixing the scales is benign.
+    fn admission_estimate(&self, snapshot: &GraphSnapshot, request: &QueryRequest) -> u64 {
+        if let Some(table) = &self.shared.config.routing {
+            if let Some(prepared) = self.shared.cache.peek(request) {
+                let ctx = RouteContext { compute_units: self.compute_units() };
+                let decision = route_query(&prepared, table, &ctx);
+                return decision.cost_estimate_us as u64;
+            }
+        }
+        estimate(snapshot, request)
+    }
+
+    /// Explains how the router would place `request`, without running it:
+    /// the chosen engine, the modelled per-engine costs, the feature vector
+    /// and one rationale line per decision step. Works even when
+    /// [`RuntimeConfig::routing`] is `None` — the builtin table is consulted
+    /// so `EXPLAIN` always answers — and is deterministic given the graph
+    /// epoch and the table. Preprocessing is shared with real queries through
+    /// the prepared cache; the lookup is a peek, so `EXPLAIN` never skews the
+    /// hit/miss statistics.
+    pub fn explain(&self, request: QueryRequest) -> Result<RouteDecision, HostError> {
+        let snapshot = self.current_snapshot();
+        request.validate_for(snapshot.num_vertices())?;
+        let prepared = match self.shared.cache.peek(&request) {
+            Some(hit) => hit,
+            None => {
+                let mut ctx = PrepareContext::with_reverse(
+                    &self.shared.graph.csr,
+                    Arc::clone(&self.shared.graph.reverse),
+                );
+                let prep = Arc::new(prepare_snapshot_with(
+                    &mut ctx,
+                    &snapshot,
+                    request.s,
+                    request.t,
+                    request.k,
+                    self.shared.config.variant,
+                ));
+                self.shared.cache.insert_if_epoch(
+                    request,
+                    Arc::clone(&prep),
+                    snapshot.epoch(),
+                    &self.shared.epoch,
+                );
+                prep
+            }
+        };
+        let builtin;
+        let table = match &self.shared.config.routing {
+            Some(table) => table,
+            None => {
+                builtin = RoutingTable::builtin();
+                &builtin
+            }
+        };
+        let ctx = RouteContext { compute_units: self.compute_units() };
+        Ok(route_query(&prepared, table, &ctx))
     }
 
     /// Puts `ticket` under deadline supervision: the watchdog kills the job
@@ -1358,6 +1642,9 @@ fn estimate(snapshot: &GraphSnapshot, request: &QueryRequest) -> u64 {
 impl Drop for HostRuntime {
     fn drop(&mut self) {
         for job in self.shared.queue.shutdown() {
+            job.ticket.complete(Err(HostError::Cancelled));
+        }
+        for job in self.shared.cpu_queue.shutdown() {
             job.ticket.complete(Err(HostError::Cancelled));
         }
         self.shared.deadlines.lock().expect("deadline table poisoned").shutdown = true;
@@ -1545,20 +1832,47 @@ fn run_attempt(
     }
 }
 
-/// Runs the query on the CPU baseline over the same pruned subgraph and the
-/// same `PathSink` pipeline the device engine feeds. The Pre-BFS subgraph is
-/// answer-preserving, so the result set is byte-identical to a fault-free
-/// device run — only the speed degrades. Returns the number of result paths
-/// and the collected paths (collect mode, original graph ids).
-fn run_cpu_fallback(
+/// Runs the query on one of the CPU engines over the same pruned subgraph
+/// and the same `PathSink` pipeline the device engine feeds. The Pre-BFS
+/// subgraph is answer-preserving and every engine enumerates exactly the
+/// k-hop s-t simple paths, so the result *set* is identical to a fault-free
+/// device run — only the speed (and, across engines, the emission order)
+/// differs. Returns the number of result paths and the collected paths
+/// (collect mode, original graph ids).
+fn run_cpu_engine(
     prepared: &PreparedQuery,
     kind: &JobKind,
     cancel: &Arc<AtomicBool>,
+    engine: CpuEngine,
 ) -> (u64, Vec<pefp_graph::paths::Path>) {
     if !prepared.feasible {
         return (0, Vec::new());
     }
     let g = prepared.graph.as_ref();
+    let (s, t, k) = (prepared.s, prepared.t, prepared.k);
+    let run = |sink: &mut dyn pefp_graph::sink::PathSink| match engine {
+        CpuEngine::Naive => {
+            naive_dfs_stream(g, s, t, k, sink);
+        }
+        CpuEngine::BcDfs => {
+            // Seed the barrier from the prepared query: Pre-BFS already
+            // computed sd(·, t) clamped to k+1 over the pruned subgraph,
+            // which is the initial barrier BC-DFS would rebuild — except at
+            // the source. Pre-BFS sweeps only k-1 reverse hops (the device's
+            // barrier check never reads bar[s]), so a feasible source exactly
+            // k hops from t keeps the k+1 sentinel; BC-DFS *does* check the
+            // source barrier, and in that one case sd(s, t) = k exactly.
+            let mut bar = prepared.barrier.clone();
+            if let Some(b) = bar.get_mut(s.index()) {
+                *b = (*b).min(k);
+            }
+            let mut dfs = BcDfs::with_barrier(bar, k);
+            let _ = dfs.enumerate_into(g, s, t, k, sink);
+        }
+        CpuEngine::Join => {
+            let _ = Join::new().enumerate_into(g, s, t, k, sink);
+        }
+    };
     match kind {
         JobKind::Collect => {
             let mut paths: Vec<pefp_graph::paths::Path> = Vec::new();
@@ -1569,7 +1883,7 @@ fn run_cpu_fallback(
                 paths.push(prepared.translate_path(path));
                 ControlFlow::Continue(())
             });
-            naive_dfs_stream(g, prepared.s, prepared.t, prepared.k, &mut sink);
+            run(&mut sink);
             let num = paths.len() as u64;
             (num, paths)
         }
@@ -1582,7 +1896,7 @@ fn run_cpu_fallback(
                 count += 1;
                 ControlFlow::Continue(())
             });
-            naive_dfs_stream(g, prepared.s, prepared.t, prepared.k, &mut sink);
+            run(&mut sink);
             (count, Vec::new())
         }
         JobKind::Stream(tx) => {
@@ -1606,10 +1920,53 @@ fn run_cpu_fallback(
                     }
                 }
             });
-            naive_dfs_stream(g, prepared.s, prepared.t, prepared.k, &mut sink);
+            run(&mut sink);
             (emitted.get(), Vec::new())
         }
     }
+}
+
+/// The CPU pool's worker loop: drain router-placed jobs until shutdown.
+fn cpu_worker_loop(shared: Arc<RuntimeShared>) {
+    while let Some(job) = shared.cpu_queue.pop() {
+        execute_cpu_job(&shared, job);
+    }
+}
+
+/// Runs one router-placed CPU job to completion. CPU jobs never touch the
+/// PCIe link or the virtual device clock (their latency is host wall time,
+/// reported per engine lane); cancellation and deadlines behave exactly as
+/// on the device path.
+fn execute_cpu_job(shared: &RuntimeShared, job: CpuJob) {
+    let CpuJob { request, kind, prepared, engine, preprocess_millis, cache_hit, ticket } = job;
+    if ticket.cancel.load(Ordering::Acquire) {
+        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        ticket.complete(Err(ticket.cancel_error()));
+        return;
+    }
+    let started = Instant::now();
+    let (num_paths, paths) = run_cpu_engine(&prepared, &kind, &ticket.cancel, engine);
+    let wall_millis = started.elapsed().as_secs_f64() * 1e3;
+    if ticket.cancel.load(Ordering::Acquire) {
+        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        if ticket.deadline_exceeded.load(Ordering::Acquire) {
+            ticket.complete(Err(ticket.cancel_error()));
+            return;
+        }
+    }
+    record_engine(shared, engine.lane(), wall_millis);
+    shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+    ticket.complete(Ok(QueryOutcome {
+        request,
+        num_paths,
+        paths,
+        preprocess_millis,
+        // CPU-routed jobs never cross the PCIe link: a zeroed report keeps
+        // `total_millis()` honest about where the time went.
+        transfer: crate::dma::DmaTransferReport::none(),
+        device_millis: wall_millis,
+        cache_hit,
+    }));
 }
 
 fn execute_job(shared: &RuntimeShared, ctx: &mut PrepareContext, dma: &mut DmaEngine, job: Job) {
@@ -1642,6 +1999,37 @@ fn execute_job(shared: &RuntimeShared, ctx: &mut PrepareContext, dma: &mut DmaEn
     };
     let preprocess_millis =
         if cache_hit { stage_started.elapsed().as_secs_f64() * 1e3 } else { prepared.host_millis };
+
+    // Stage: engine routing. With a routing table configured, a query whose
+    // modelled CPU latency beats the device (transfer included) skips the
+    // DRAM capacity check, the PCIe transfer and the CU lease entirely and
+    // is handed to the dedicated CPU pool. Routing is deterministic in the
+    // prepared query and the table, so a cached entry re-routes identically.
+    if let Some(table) = &shared.config.routing {
+        let ctx = RouteContext { compute_units: shared.config.compute_units.max(1) };
+        let decision = route_query(&prepared, table, &ctx);
+        if decision.choice.is_cpu() {
+            if !cache_hit {
+                shared.cache.insert_if_epoch(
+                    request,
+                    Arc::clone(&prepared),
+                    snapshot.epoch(),
+                    &shared.epoch,
+                );
+            }
+            let engine = match decision.choice {
+                EngineChoice::CpuJoin => CpuEngine::Join,
+                _ => CpuEngine::BcDfs,
+            };
+            shared.counters.cpu_routed.fetch_add(1, Ordering::Relaxed);
+            let job =
+                CpuJob { request, kind, prepared, engine, preprocess_millis, cache_hit, ticket };
+            if let Err(job) = shared.cpu_queue.push(job) {
+                job.ticket.complete(Err(HostError::Cancelled));
+            }
+            return;
+        }
+    }
 
     // Capacity check before the transfer; oversized (permanently rejectable)
     // payloads never occupy cache slots.
@@ -1790,6 +2178,7 @@ fn execute_job(shared: &RuntimeShared, ctx: &mut PrepareContext, dma: &mut DmaEn
         // busy/makespan utilisation stays a true ≤ 1 fraction.
         let cycles = result.device.cycles;
         shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+        record_engine(shared, DEVICE_LANE, result.query_millis);
         if was_cancelled {
             shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
         }
@@ -1843,8 +2232,11 @@ fn execute_job(shared: &RuntimeShared, ctx: &mut PrepareContext, dma: &mut DmaEn
 
 /// Terminal degradation path: no healthy CU is left (or retries are
 /// exhausted). With [`FaultToleranceConfig::cpu_fallback`] the query runs on
-/// the CPU baseline and still answers correctly; otherwise the job fails with
-/// a typed error carrying the fault context.
+/// a CPU engine and still answers correctly; otherwise the job fails with a
+/// typed error carrying the fault context. When a routing table is
+/// configured the fallback uses the router's cheaper CPU engine (BC-DFS vs
+/// JOIN) instead of the brute-force oracle; without a table the naive DFS
+/// remains the last resort, preserving the pre-router degradation behaviour.
 #[allow(clippy::too_many_arguments)]
 fn degrade_to_cpu(
     shared: &RuntimeShared,
@@ -1868,8 +2260,25 @@ fn degrade_to_cpu(
         return;
     }
     shared.counters.cpu_fallbacks.fetch_add(1, Ordering::Relaxed);
+    let engine = match &shared.config.routing {
+        Some(table) => {
+            // The same cost model that places healthy work picks the
+            // degradation engine. JOIN materialises half-depth prefixes, so
+            // on saturated estimates its modelled cost blows up and the
+            // streaming BC-DFS wins — exactly the memory-safe choice.
+            let ctx = RouteContext { compute_units: shared.config.compute_units.max(1) };
+            let decision = route_query(prepared, table, &ctx);
+            if decision.costs.bc_dfs_us <= decision.costs.join_us {
+                CpuEngine::BcDfs
+            } else {
+                CpuEngine::Join
+            }
+        }
+        None => CpuEngine::Naive,
+    };
     let started = Instant::now();
-    let (num_paths, paths) = run_cpu_fallback(prepared, kind, &ticket.cancel);
+    let (num_paths, paths) = run_cpu_engine(prepared, kind, &ticket.cancel, engine);
+    let wall_millis = started.elapsed().as_secs_f64() * 1e3;
     if ticket.cancel.load(Ordering::Acquire) {
         shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
         if ticket.deadline_exceeded.load(Ordering::Acquire) {
@@ -1877,6 +2286,7 @@ fn degrade_to_cpu(
             return;
         }
     }
+    record_engine(shared, engine.lane(), wall_millis);
     shared.counters.completed.fetch_add(1, Ordering::Relaxed);
     ticket.complete(Ok(QueryOutcome {
         request,
@@ -1886,7 +2296,7 @@ fn degrade_to_cpu(
         transfer,
         // Host wall time of the CPU run: the fallback has no simulated device
         // phase, but the time still counts against deadlines and goodput.
-        device_millis: started.elapsed().as_secs_f64() * 1e3,
+        device_millis: wall_millis,
         cache_hit,
     }));
 }
@@ -2309,6 +2719,120 @@ mod tests {
         assert_eq!(stats.deadline_kills, 1);
         assert_eq!(stats.cancelled_jobs, 1);
         assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn router_places_tiny_queries_on_a_cpu_engine() {
+        let config = RuntimeConfig {
+            routing: Some(RoutingTable::builtin()),
+            cpu_workers: 1,
+            ..RuntimeConfig::default()
+        };
+        let runtime = diamond_runtime(config);
+        let session = runtime.register_session();
+        let outcome = runtime
+            .submit_query(session, QueryRequest::new(0, 3, 3), true)
+            .unwrap()
+            .wait()
+            .unwrap();
+        // The tiny query skipped the device entirely: right answer, correctly
+        // translated paths, and a zeroed transfer report.
+        assert_eq!(outcome.num_paths, 2);
+        let mut paths = outcome.paths.clone();
+        paths.sort();
+        assert_eq!(
+            paths,
+            vec![
+                vec![VertexId(0), VertexId(1), VertexId(3)],
+                vec![VertexId(0), VertexId(2), VertexId(3)],
+            ]
+        );
+        assert_eq!(outcome.transfer.bytes, 0);
+        assert_eq!(outcome.transfer.total_millis, 0.0);
+        let stats = runtime.stats();
+        assert_eq!(stats.cpu_routed, 1);
+        assert_eq!(stats.completed, 1);
+        let cpu_jobs: u64 =
+            stats.engines.iter().filter(|l| l.engine != "device").map(|l| l.jobs).sum();
+        assert_eq!(cpu_jobs, 1, "one CPU lane served the job: {:?}", stats.engines);
+        assert_eq!(stats.engines[0].jobs, 0, "the device lane stayed idle");
+        // Per-engine stats ride the STATS JSON.
+        use pefp_workload::ToJson;
+        let rendered = stats.to_json().render();
+        assert!(rendered.contains("\"engines\"") && rendered.contains("\"bc_dfs\""), "{rendered}");
+    }
+
+    #[test]
+    fn routed_and_device_answers_agree() {
+        let g = pefp_graph::generators::chung_lu(200, 4.0, 2.2, 1).to_csr();
+        let device_rt =
+            HostRuntime::launch(GraphHandle::from_csr("cl", g.clone()), RuntimeConfig::default());
+        let routed_rt = HostRuntime::launch(
+            GraphHandle::from_csr("cl", g),
+            RuntimeConfig { routing: Some(RoutingTable::builtin()), ..RuntimeConfig::default() },
+        );
+        let (ds, rs) = (device_rt.register_session(), routed_rt.register_session());
+        for (s, t) in [(0u32, 7u32), (3, 11), (5, 50), (20, 4)] {
+            let req = QueryRequest::new(s, t, 4);
+            let device = device_rt.submit_query(ds, req, false).unwrap().wait().unwrap();
+            let routed = routed_rt.submit_query(rs, req, false).unwrap().wait().unwrap();
+            assert_eq!(device.num_paths, routed.num_paths, "query {s}->{t}");
+        }
+    }
+
+    #[test]
+    fn explain_reports_a_decision_without_running_jobs() {
+        let runtime = diamond_runtime(RuntimeConfig::default());
+        // Works without a configured table (the builtin one is consulted).
+        let decision = runtime.explain(QueryRequest::new(0, 3, 3)).unwrap();
+        assert!(decision.choice.is_cpu(), "a diamond query is CPU-cheap: {:?}", decision.choice);
+        assert!(!decision.rationale.is_empty());
+        let again = runtime.explain(QueryRequest::new(0, 3, 3)).unwrap();
+        assert_eq!(decision.choice, again.choice);
+        assert_eq!(decision.cost_estimate_us, again.cost_estimate_us);
+        // EXPLAIN ran nothing and skewed nothing.
+        let stats = runtime.stats();
+        assert_eq!(stats.submitted, 0);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.cache_hits + stats.cache_misses, 0, "peeks never count");
+        // Invalid requests are rejected like submissions.
+        assert!(runtime.explain(QueryRequest::new(0, 99, 3)).is_err());
+    }
+
+    #[test]
+    fn degraded_jobs_use_the_routers_best_cpu_engine() {
+        // Force every query to the device tier (work ceiling 0-ish) on a
+        // device whose DMA always faults: with retries exhausted the job
+        // degrades — through the router's cheaper CPU engine, not the naive
+        // oracle.
+        let mut table = RoutingTable::builtin();
+        table.cpu_work_ceiling = 1e-9;
+        let rates = pefp_fpga::FaultRates { pcie_error: 1.0, ..pefp_fpga::FaultRates::NONE };
+        let config = RuntimeConfig {
+            compute_units: 1,
+            routing: Some(table),
+            fault_plan: Some(FaultPlan::seeded(7, rates, 1)),
+            fault_tolerance: FaultToleranceConfig {
+                max_retries: 0,
+                retry_backoff: Duration::ZERO,
+                ..FaultToleranceConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        let runtime = diamond_runtime(config);
+        let session = runtime.register_session();
+        let outcome = runtime
+            .submit_query(session, QueryRequest::new(0, 3, 3), true)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(outcome.num_paths, 2, "degraded answer matches the fault-free one");
+        let stats = runtime.stats();
+        assert_eq!(stats.cpu_fallbacks, 1);
+        assert_eq!(stats.cpu_routed, 0, "the router placed it on the device");
+        let by_name = |name: &str| stats.engines.iter().find(|l| l.engine == name).unwrap().jobs;
+        assert_eq!(by_name("naive"), 0, "the oracle stays the last resort");
+        assert_eq!(by_name("bc_dfs") + by_name("join"), 1);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! > COUNT 0 42 5          same, but only report the number of paths
 //! > STREAM 0 42 5 [n]     stream up to n paths (default 100), chunk-wise
 //! > BATCH 0 42 5 1 9 4 CUS=4   run a batch of (s t k) triples on 4 CUs
+//! > EXPLAIN 0 42 5         routing decision, costs and rationale, as JSON
 //! > STATS                  session + runtime statistics, as one-line JSON
 //! > GRAPH                  one-line summary of the loaded graph
 //! > HELP                   list the commands
@@ -156,7 +157,9 @@ pub fn handle_line(session: &mut HostSession, line: &str) -> Reply {
         "HELP" => Reply::Ok(
             "commands: QUERY <s> <t> <k> | COUNT <s> <t> <k> | STREAM <s> <t> <k> [limit] | \
              BATCH <s> <t> <k> [<s> <t> <k> ...] [CUS=<n>] (no CUS: fair shared-runtime batch; \
-             CUS=n: measured dispatch on n CUs) | UPDATE <u> <v> [<u> <v> ...] (insert edges, \
+             CUS=n: measured dispatch on n CUs) | EXPLAIN <s> <t> <k> (routing decision, \
+             per-engine costs, features and rationale as JSON, without running) | \
+             UPDATE <u> <v> [<u> <v> ...] (insert edges, \
              advances the graph epoch) | EXPIRE <u> <v> [<u> <v> ...] (remove edges) | \
              GRAPH | STATS | HELP | QUIT"
                 .to_string(),
@@ -241,6 +244,23 @@ pub fn handle_line(session: &mut HostSession, line: &str) -> Reply {
                     chunks.push(format!("end streamed={} limit={limit}", outcome.num_paths));
                     Reply::Stream(chunks)
                 }
+                Err(e) => Reply::Err(e.to_string()),
+            }
+        }
+        "EXPLAIN" => {
+            // The adaptive router's decision for this query — engine, the
+            // modelled per-engine costs, the feature vector and one rationale
+            // line per decision step, as real JSON. Nothing is executed.
+            let spec = rest.join(" ");
+            let request = match QueryRequest::parse(&spec) {
+                Ok(r) => r,
+                Err(e) => return Reply::Err(e.to_string()),
+            };
+            let Some(runtime) = session.runtime() else {
+                return Reply::Err(HostError::NoGraphLoaded.to_string());
+            };
+            match runtime.explain(request) {
+                Ok(decision) => Reply::Ok(format!("explain {}", decision.to_json().render())),
                 Err(e) => Reply::Err(e.to_string()),
             }
         }
@@ -715,6 +735,33 @@ mod tests {
     }
 
     #[test]
+    fn explain_command_emits_the_routing_decision_as_json() {
+        let mut s = session();
+        match handle_line(&mut s, "EXPLAIN 0 3 3") {
+            Reply::Ok(msg) => {
+                let json = msg.strip_prefix("explain ").expect("explain payload");
+                let doc = JsonValue::parse(json).expect("EXPLAIN must be real JSON");
+                assert!(doc.get("engine").and_then(JsonValue::as_str).is_some());
+                let features = doc.get("features").expect("feature vector");
+                assert_eq!(features.get("k").and_then(JsonValue::as_number), Some(3.0));
+                assert_eq!(features.get("feasible"), Some(&JsonValue::Bool(true)));
+                let costs = doc.get("costs_us").expect("per-engine costs");
+                for engine in ["bc_dfs", "join", "device", "device_multi_cu"] {
+                    assert!(costs.get(engine).is_some(), "missing cost for {engine}");
+                }
+                let rationale = doc.get("rationale").and_then(JsonValue::as_array).unwrap();
+                assert!(!rationale.is_empty(), "rationale must explain the decision");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // EXPLAIN runs nothing: the session served no query.
+        assert_eq!(s.stats().queries, 0);
+        // Malformed and out-of-range requests fail like QUERY's do.
+        assert!(matches!(handle_line(&mut s, "EXPLAIN 0 3"), Reply::Err(_)));
+        assert!(matches!(handle_line(&mut s, "EXPLAIN 0 99 3"), Reply::Err(_)));
+    }
+
+    #[test]
     fn serve_shared_funnels_many_clients_into_one_runtime() {
         use crate::loader::GraphHandle;
         use crate::runtime::{HostRuntime, RuntimeConfig};
@@ -974,11 +1021,18 @@ mod tests {
             // Bias half the lines towards almost-valid commands so the parse
             // paths get exercised, not just the unknown-command arm.
             if next() % 2 == 0 {
-                let stems: [&[u8]; 8] = [
-                    b"QUERY ", b"COUNT ", b"STREAM ", b"BATCH ", b"UPDATE ", b"EXPIRE ", b"STATS ",
+                let stems: [&[u8]; 9] = [
+                    b"QUERY ",
+                    b"COUNT ",
+                    b"STREAM ",
+                    b"BATCH ",
+                    b"UPDATE ",
+                    b"EXPIRE ",
+                    b"STATS ",
                     b"GRAPH ",
+                    b"EXPLAIN ",
                 ];
-                let mut biased = stems[(next() % 8) as usize].to_vec();
+                let mut biased = stems[(next() % 9) as usize].to_vec();
                 biased.extend_from_slice(&line);
                 line = biased;
             }

@@ -21,10 +21,12 @@ pub mod figures;
 pub mod json;
 pub mod queries;
 pub mod report;
+pub mod routing_io;
 pub mod runner;
 
 pub use figures::{FigureResult, FigureSpec};
 pub use json::{JsonValue, ToJson};
 pub use queries::{generate_queries, QueryPair};
 pub use report::{Series, TableReport};
+pub use routing_io::{parse_routing_table, routing_table_from_json};
 pub use runner::{ExperimentConfig, MethodTiming, QueryComparison, Runner};
