@@ -25,6 +25,10 @@
 //!   fixed engine policy (device-always, bc-dfs-always, join-always, and the
 //!   best-CPU oracle) ≥1.2× and routed-CPU tiny queries beating forced-device
 //!   placement ≥5× in summed serve latency.
+//! * `BENCH_09*` — the open-loop TCP load cases: 3000 binary COUNT requests
+//!   offered at 1000/s over 256 loopback connections into a warm 4-CU
+//!   `NetServer` front door, gated on the calibrated p999 latency, a goodput
+//!   floor and the exact 1.0 answered fraction (zero protocol errors).
 //!
 //! `--write` measures the suite's cases and records them, together with the
 //! machine's calibration time, as the committed baseline. `--check`
@@ -88,6 +92,22 @@ fn main() {
                  (device-always, bc-dfs-always, join-always, best-CPU oracle; >=1.2x) and \
                  routed-CPU tiny queries against forced-device placement (>=5x).",
         )
+    } else if file_name.starts_with("BENCH_09") {
+        (
+            "BENCH_09",
+            gate::run_tcp_load_cases,
+            "tcp-load baseline: medians over 5 measured open-loop rounds (after one warm-up) \
+                 of 3000 binary-protocol COUNT requests offered at 1000/s across 256 loopback \
+                 connections into a warm 4-CU NetServer front door on the 10k Chung-Lu gate \
+                 graph. The median p999 must stay under a runner-speed-calibrated budget \
+                 (75 ms at the anchor machine's calibration, scaled by the check machine's \
+                 own calibration probe); a violation zeroes the goodput floor. The p50 \
+                 median carries the calibrated 25% regression rule (the round wall clock is \
+                 pinned by the open-loop schedule and is not a signal). Floors gate the \
+                 worst round's goodput (answers/sec) and the exact 1.0 answered fraction \
+                 (any dropped connection, corrupt frame or unexpected ERR fails). No cycle \
+                 signal (admission interleaving is scheduling-dependent).",
+        )
     } else if file_name.starts_with("BENCH_04") {
         (
             "BENCH_04",
@@ -99,7 +119,7 @@ fn main() {
         )
     } else {
         eprintln!(
-            "error: cannot infer the suite from {file_name:?} (want BENCH_04*, BENCH_05*, BENCH_06*, BENCH_07* or BENCH_08*)"
+            "error: cannot infer the suite from {file_name:?} (want BENCH_04*, BENCH_05*, BENCH_06*, BENCH_07*, BENCH_08* or BENCH_09*)"
         );
         std::process::exit(2);
     };

@@ -19,13 +19,14 @@
 //! The same workload builders feed the `multi_cu` criterion bench target so
 //! the humans and the gate look at identical work.
 
+use crate::loadgen::{run_open_loop, LoadConfig, LoadProtocol};
 use pefp_fpga::{FaultPlan, FaultRates, MultiCuConfig};
 use pefp_graph::generators::chung_lu;
 use pefp_graph::sink::CountingSink;
 use pefp_graph::VertexId;
 use pefp_host::{
-    BatchScheduler, FaultToleranceConfig, GraphHandle, HostRuntime, QueryRequest, RuntimeConfig,
-    SchedulerConfig,
+    BatchScheduler, FaultToleranceConfig, GraphHandle, HostRuntime, NetConfig, NetServer,
+    QueryRequest, RuntimeConfig, SchedulerConfig,
 };
 use pefp_workload::JsonValue;
 use std::sync::Arc;
@@ -679,6 +680,171 @@ pub fn run_mixed_workload_cases() -> Vec<GateCase> {
                 label: "tiny_pool_routed_speedup_vs_forced_device".to_string(),
                 value: tiny_speedup,
                 min: MIXED_TINY_SPEEDUP_FLOOR,
+            }),
+        },
+    ]
+}
+
+/// Concurrent loopback connections the `BENCH_09` load round drives — the
+/// issue's "≥256 concurrent connections" acceptance bar, exactly.
+pub const TCP_LOAD_CONNECTIONS: usize = 256;
+
+/// Offered open-loop arrival rate (requests per second) of a load round.
+pub const TCP_LOAD_RATE_PER_SEC: f64 = 1_000.0;
+
+/// Requests offered per load round (3 seconds of schedule at the fixed
+/// rate).
+pub const TCP_LOAD_REQUESTS: usize = 3_000;
+
+/// Measured load rounds (after one warm-up round); medians are taken across
+/// these.
+pub const TCP_LOAD_ROUNDS: usize = 5;
+
+/// Minimum goodput (well-formed answers per wall second) a round must
+/// sustain. The offered rate is [`TCP_LOAD_RATE_PER_SEC`]; this floor only
+/// guards against the serving path collapsing (lock convoys, thread leaks,
+/// accidental serialisation), so it sits far below the healthy rate.
+pub const TCP_LOAD_GOODPUT_FLOOR: f64 = 300.0;
+
+/// The p999 scheduled-to-completion latency budget, in milliseconds, on the
+/// machine whose calibration probe measures
+/// [`TCP_LOAD_CALIBRATION_ANCHOR_NS`]; the applied budget scales linearly
+/// with the check machine's own calibration. The healthy tail on the anchor
+/// machine is 5–20 ms (it is the 3rd-worst of 3000 samples, so scheduler
+/// noise moves it by several ms run to run — too volatile for the 25%
+/// median rule, hence this generous fraud-stream-style budget); a serving
+/// path that backlogs or loses wakeups pushes p999 into the
+/// hundreds-of-milliseconds range and fails it on any runner.
+pub const TCP_LOAD_P999_BUDGET_MS: f64 = 75.0;
+
+/// Calibration median ([`calibration_median_ns`]) of the machine that set
+/// [`TCP_LOAD_P999_BUDGET_MS`], anchoring the budget's runner-speed scaling.
+pub const TCP_LOAD_CALIBRATION_ANCHOR_NS: f64 = 3.6e6;
+
+/// The fixed query pool a load round cycles through: the first 16 ordered
+/// pairs of [`gate_graph`]'s heaviest hubs at k=3 (the generator gives the
+/// lowest ids the highest degrees) — quick to answer individually, so the
+/// measured tail is queueing and transport, not one giant enumeration.
+pub fn tcp_load_pool() -> Vec<(u32, u32, u32)> {
+    let mut pool = Vec::new();
+    for s in 0..5u32 {
+        for t in 0..5u32 {
+            if s != t && pool.len() < 16 {
+                pool.push((s, t, 3));
+            }
+        }
+    }
+    pool
+}
+
+/// The 4-CU runtime one load round serves from, with an admission queue deep
+/// enough that the [`TCP_LOAD_CONNECTIONS`] synchronous connections (at most
+/// one in-flight request each) never fill it: BUSY replies are a fault under
+/// this profile, not an expected outcome.
+fn tcp_load_runtime() -> Arc<HostRuntime> {
+    HostRuntime::launch(
+        gate_graph(),
+        RuntimeConfig { compute_units: 4, queue_capacity: 4096, ..RuntimeConfig::default() },
+    )
+}
+
+fn median_of(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = samples.len();
+    if n == 0 {
+        0.0
+    } else if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+/// Runs the `BENCH_09` open-loop TCP load cases: [`TCP_LOAD_ROUNDS`] rounds
+/// (after one warm-up round) of [`TCP_LOAD_REQUESTS`] binary-protocol COUNT
+/// requests at [`TCP_LOAD_RATE_PER_SEC`] offered over
+/// [`TCP_LOAD_CONNECTIONS`] loopback connections, each round against a fresh
+/// front door with a pre-warmed prepared-query cache.
+///
+/// Signals:
+/// * `tcp_load/p999` — the median round p999 scheduled-to-completion
+///   latency must stay under the runner-speed-calibrated budget
+///   ([`TCP_LOAD_P999_BUDGET_MS`] scaled by this machine's calibration over
+///   [`TCP_LOAD_CALIBRATION_ANCHOR_NS`]); a violation zeroes the case's
+///   goodput floor value (≥ [`TCP_LOAD_GOODPUT_FLOOR`] answers/s), the same
+///   budget-enforcement shape as the fraud-stream p99 gate. `median_ns`
+///   records the budget the machine applied (the enforcement lives in the
+///   floor: the raw tail is the 3rd-worst of 3000 samples and too volatile
+///   for the 25% median rule);
+/// * `tcp_load/protocol` — `median_ns` is the median round p50 latency
+///   (service-dominated, so it also scales with runner speed — the round's
+///   *wall clock* would not: an open-loop schedule pins it at
+///   `requests / rate` regardless of machine), with an exact `floor` of 1.0
+///   on the worst round's fraction of offered requests answered well-formed
+///   (OK or typed BUSY): a single dropped connection, corrupt frame or
+///   unexpected `ERR` fails the gate.
+///
+/// No `cycles` signal: whether an admission race yields a BUSY (not
+/// executed) depends on wall-clock interleaving, so the simulated device
+/// cycle total is not deterministic across rounds.
+pub fn run_tcp_load_cases() -> Vec<GateCase> {
+    let pool = tcp_load_pool();
+    let mut p999s = Vec::with_capacity(TCP_LOAD_ROUNDS);
+    let mut p50s = Vec::with_capacity(TCP_LOAD_ROUNDS);
+    let mut worst_goodput = f64::INFINITY;
+    let mut worst_answered = 1.0_f64;
+    for round in 0..=TCP_LOAD_ROUNDS {
+        let runtime = tcp_load_runtime();
+        let session = runtime.register_session();
+        for &(s, t, k) in &pool {
+            runtime
+                .submit_query(session, QueryRequest::new(s, t, k), false)
+                .expect("warm query admitted")
+                .wait()
+                .expect("warm query completes");
+        }
+        let server = NetServer::bind(Arc::clone(&runtime), "127.0.0.1:0", NetConfig::default())
+            .expect("bind loopback front door");
+        let config = LoadConfig {
+            connections: TCP_LOAD_CONNECTIONS,
+            rate_per_sec: TCP_LOAD_RATE_PER_SEC,
+            requests: TCP_LOAD_REQUESTS,
+            protocol: LoadProtocol::Binary,
+            pool: pool.clone(),
+        };
+        let report = run_open_loop(server.local_addr(), &config).expect("load round");
+        server.shutdown();
+        if round == 0 {
+            continue; // warm-up round: page in threads, sockets, caches
+        }
+        p999s.push(report.p999_ns as f64);
+        p50s.push(report.p50_ns as f64);
+        worst_goodput = worst_goodput.min(report.goodput_per_sec);
+        let answered = (report.completed_ok + report.busy) as f64 / report.offered.max(1) as f64;
+        worst_answered = worst_answered.min(answered);
+    }
+    let budget_ns =
+        TCP_LOAD_P999_BUDGET_MS * 1e6 * (calibration_median_ns() / TCP_LOAD_CALIBRATION_ANCHOR_NS);
+    let median_p999 = median_of(p999s);
+    vec![
+        GateCase {
+            name: "tcp_load/p999".to_string(),
+            median_ns: budget_ns,
+            cycles: None,
+            floor: Some(GateFloor {
+                label: "goodput_answers_per_sec_under_p999_budget".to_string(),
+                value: if median_p999 <= budget_ns { worst_goodput } else { 0.0 },
+                min: TCP_LOAD_GOODPUT_FLOOR,
+            }),
+        },
+        GateCase {
+            name: "tcp_load/protocol".to_string(),
+            median_ns: median_of(p50s),
+            cycles: None,
+            floor: Some(GateFloor {
+                label: "answered_fraction".to_string(),
+                value: worst_answered,
+                min: 1.0,
             }),
         },
     ]

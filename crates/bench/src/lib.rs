@@ -22,6 +22,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod gate;
+pub mod loadgen;
 pub mod routing_fit;
 
 use pefp_fpga::DeviceConfig;

@@ -66,17 +66,53 @@ pub struct DevicePayload {
     pub barrier: Vec<u32>,
 }
 
-/// FNV-1a over a little-endian u32 stream; cheap enough to recompute on both
-/// ends of the bus and sensitive to word reordering.
-fn fnv1a_words(words: impl Iterator<Item = u32>) -> u32 {
-    let mut hash: u32 = 0x811c_9dc5;
-    for w in words {
-        for b in w.to_le_bytes() {
-            hash ^= b as u32;
-            hash = hash.wrapping_mul(0x0100_0193);
+/// Incremental FNV-1a over a byte stream; cheap enough to recompute on both
+/// ends of a bus and sensitive to byte reordering. The DRAM payload hashes
+/// its body words through it, and the network wire format
+/// ([`crate::wire`]) reuses it for per-frame payload checksums.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u32);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl Fnv1a {
+    /// Starts a hash at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0x811c_9dc5)
+    }
+
+    /// Folds `bytes` into the hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u32;
+            self.0 = self.0.wrapping_mul(0x0100_0193);
         }
     }
-    hash
+
+    /// The hash of everything folded in so far.
+    pub fn finish(&self) -> u32 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// FNV-1a over a little-endian u32 stream.
+fn fnv1a_words(words: impl Iterator<Item = u32>) -> u32 {
+    let mut hash = Fnv1a::new();
+    for w in words {
+        hash.update(&w.to_le_bytes());
+    }
+    hash.finish()
 }
 
 fn body_checksum(graph: &CsrGraph, barrier: &[u32]) -> u32 {

@@ -23,6 +23,12 @@
 //!   statistics. Results can be collected or streamed through a
 //!   caller-supplied [`pefp_graph::PathSink`] (`run_query_streaming`), with
 //!   emitted-vs-materialised counts tracked in [`SessionStats`].
+//! * [`wire`] — the length-prefixed, checksummed binary wire protocol
+//!   (request/reply frames for QUERY/COUNT/STREAM/BATCH/EXPLAIN/UPDATE/STATS)
+//!   served next to the text line protocol.
+//! * [`net`] — the TCP front door: a [`std::net::TcpListener`] accepting
+//!   concurrent text or binary connections into one shared [`HostRuntime`],
+//!   with typed BUSY backpressure and cancellation on client disconnect.
 //! * [`scheduler`] — batch scheduling of many queries into a single transfer
 //!   (the methodology of Section VII-A), with optional parallel host-side
 //!   preprocessing, a streaming per-path callback form
@@ -48,16 +54,19 @@ pub mod binfmt;
 pub mod dma;
 pub mod error;
 pub mod loader;
+pub mod net;
 pub mod query;
 pub mod runtime;
 pub mod scheduler;
 pub mod server;
 pub mod session;
+pub mod wire;
 
 pub use binfmt::{DevicePayload, PayloadHeader};
 pub use dma::{DmaEngine, DmaTransferReport};
 pub use error::HostError;
 pub use loader::{load_dataset, load_edge_list_file, GraphHandle};
+pub use net::{NetConfig, NetServer, NetStats};
 pub use query::QueryRequest;
 pub use runtime::{
     BatchTicket, EngineLaneStats, FaultToleranceConfig, HostRuntime, JobTicket,

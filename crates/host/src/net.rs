@@ -1,0 +1,629 @@
+//! The TCP front door: real sockets in front of the shared [`HostRuntime`].
+//!
+//! Everything below [`crate::server`] is transport-agnostic (`BufRead` +
+//! `Write`); this module supplies the missing production transport. A
+//! [`NetServer`] binds a [`std::net::TcpListener`], accepts up to a
+//! configured number of concurrent connections and spawns one reader thread
+//! per connection, every one of them a [`HostSession::attach`] handle
+//! funnelling into one shared runtime — the same multiplexing
+//! [`crate::server::serve_shared`] does for in-process pairs, now over real
+//! sockets.
+//!
+//! **Protocol sniffing.** The first byte of a connection picks the protocol:
+//! [`wire::FRAME_MAGIC`] (non-ASCII) selects the binary frame protocol of
+//! [`crate::wire`], anything else falls through to the text line protocol of
+//! [`crate::server`]. One port serves both.
+//!
+//! **Backpressure.** An admission-queue rejection
+//! ([`crate::HostError::QueueFull`]) becomes a typed [`wire::Reply::Busy`]
+//! frame (binary) or the usual `ERR admission queue full ...` line (text) —
+//! the connection survives and the client decides when to retry. Beyond
+//! [`NetConfig::max_connections`] concurrent connections, new arrivals get
+//! one `ERR server at connection capacity` line and are closed.
+//!
+//! **Cancellation on disconnect.** Streamed paths are written and flushed
+//! chunk-by-chunk; when the peer closes its socket mid-`STREAM`, the next
+//! flush fails, the sink breaks, the session cancels the running job's
+//! [`crate::JobTicket`] and the engine stops at its next batch boundary —
+//! the CU lease goes back to the pool. PR 7 proved this with an in-process
+//! failing writer; over TCP it is now the default hang-up path.
+//!
+//! **Shutdown.** [`NetServer::shutdown`] (also run on drop) stops the
+//! acceptor, shuts down every live connection socket and joins every
+//! thread; it is idempotent.
+
+use crate::error::HostError;
+use crate::query::QueryRequest;
+use crate::runtime::HostRuntime;
+use crate::server::{
+    self, MAX_BATCH_QUERIES, MAX_INLINE_PATHS, MAX_STREAM_LIMIT, MAX_UPDATE_EDGES,
+};
+use crate::session::HostSession;
+use crate::wire::{self, ErrCode, Reply, Request, WireError};
+use pefp_graph::sink::{FirstN, PathSink};
+use pefp_graph::{GraphDelta, VertexId};
+use pefp_workload::{JsonValue, ToJson};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Configuration of the TCP front door.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Maximum concurrent connections; arrivals beyond it are answered with
+    /// one `ERR server at connection capacity` line and closed.
+    pub max_connections: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig { max_connections: 1024 }
+    }
+}
+
+/// A snapshot of the front door's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted by the listener.
+    pub accepted: u64,
+    /// Connections refused because [`NetConfig::max_connections`] was
+    /// reached.
+    pub rejected_at_capacity: u64,
+    /// Connections currently being served.
+    pub active: u64,
+    /// Connections that spoke the binary frame protocol.
+    pub binary_connections: u64,
+    /// Connections that spoke the text line protocol.
+    pub text_connections: u64,
+    /// Binary request frames served.
+    pub frames: u64,
+    /// Text protocol lines served.
+    pub lines: u64,
+    /// `BUSY` replies sent for admission-queue rejections.
+    pub busy_replies: u64,
+    /// Malformed/unknown/corrupt frames answered with a typed `ERR` frame.
+    pub protocol_errors: u64,
+    /// Connections that ended in a transport error (typically the peer
+    /// hanging up mid-reply) rather than a clean EOF or `QUIT`.
+    pub io_disconnects: u64,
+}
+
+impl ToJson for NetStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("accepted", JsonValue::Number(self.accepted as f64)),
+            ("rejected_at_capacity", JsonValue::Number(self.rejected_at_capacity as f64)),
+            ("active", JsonValue::Number(self.active as f64)),
+            ("binary_connections", JsonValue::Number(self.binary_connections as f64)),
+            ("text_connections", JsonValue::Number(self.text_connections as f64)),
+            ("frames", JsonValue::Number(self.frames as f64)),
+            ("lines", JsonValue::Number(self.lines as f64)),
+            ("busy_replies", JsonValue::Number(self.busy_replies as f64)),
+            ("protocol_errors", JsonValue::Number(self.protocol_errors as f64)),
+            ("io_disconnects", JsonValue::Number(self.io_disconnects as f64)),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rejected_at_capacity: AtomicU64,
+    active: AtomicU64,
+    binary_connections: AtomicU64,
+    text_connections: AtomicU64,
+    frames: AtomicU64,
+    lines: AtomicU64,
+    busy_replies: AtomicU64,
+    protocol_errors: AtomicU64,
+    io_disconnects: AtomicU64,
+}
+
+struct NetShared {
+    runtime: Arc<HostRuntime>,
+    config: NetConfig,
+    shutdown: AtomicBool,
+    counters: Counters,
+    /// Clones of every live connection's stream, for shutdown.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Join handles of the per-connection threads.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    next_conn_id: AtomicU64,
+}
+
+/// A running TCP front door. Dropping it shuts the listener and every
+/// connection down and joins all serving threads.
+pub struct NetServer {
+    shared: Arc<NetShared>,
+    addr: SocketAddr,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// accepting connections into `runtime`.
+    pub fn bind(
+        runtime: Arc<HostRuntime>,
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(NetShared {
+            runtime,
+            config,
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            conns: Mutex::new(HashMap::new()),
+            workers: Mutex::new(Vec::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(NetServer { shared, addr, acceptor: Mutex::new(Some(acceptor)) })
+    }
+
+    /// The address the listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The runtime this front door serves.
+    pub fn runtime(&self) -> &Arc<HostRuntime> {
+        &self.shared.runtime
+    }
+
+    /// A snapshot of the front door's counters.
+    pub fn stats(&self) -> NetStats {
+        let c = &self.shared.counters;
+        NetStats {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            rejected_at_capacity: c.rejected_at_capacity.load(Ordering::Relaxed),
+            active: c.active.load(Ordering::Relaxed),
+            binary_connections: c.binary_connections.load(Ordering::Relaxed),
+            text_connections: c.text_connections.load(Ordering::Relaxed),
+            frames: c.frames.load(Ordering::Relaxed),
+            lines: c.lines.load(Ordering::Relaxed),
+            busy_replies: c.busy_replies.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            io_disconnects: c.io_disconnects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, severs every live connection and joins all serving
+    /// threads. Idempotent; also run on drop.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor: a throwaway loopback connection makes its
+        // blocking accept() return so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.lock().expect("acceptor lock").take() {
+            let _ = handle.join();
+        }
+        // Sever live connections; their reader threads wake with EOF/error.
+        let conns: Vec<TcpStream> = {
+            let mut map = self.shared.conns.lock().expect("conns lock");
+            map.drain().map(|(_, s)| s).collect()
+        };
+        for stream in conns {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let workers: Vec<JoinHandle<()>> = {
+            let mut held = self.shared.workers.lock().expect("workers lock");
+            held.drain(..).collect()
+        };
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<NetShared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        if shared.counters.active.load(Ordering::Relaxed) >= shared.config.max_connections as u64 {
+            shared.counters.rejected_at_capacity.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let _ = writeln!(
+                stream,
+                "ERR server at connection capacity ({})",
+                shared.config.max_connections
+            );
+            continue; // drop closes the socket
+        }
+        shared.counters.active.fetch_add(1, Ordering::Relaxed);
+        let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("conns lock").insert(id, clone);
+        }
+        let conn_shared = Arc::clone(&shared);
+        let worker = std::thread::spawn(move || {
+            handle_connection(stream, id, &conn_shared);
+        });
+        shared.workers.lock().expect("workers lock").push(worker);
+    }
+}
+
+fn handle_connection(stream: TcpStream, id: u64, shared: &Arc<NetShared>) {
+    let _ = stream.set_nodelay(true);
+    if serve_connection(&stream, shared).is_err() {
+        shared.counters.io_disconnects.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.conns.lock().expect("conns lock").remove(&id);
+    shared.counters.active.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Sniffs the protocol from the first byte (without consuming it) and runs
+/// the matching serve loop.
+fn serve_connection(stream: &TcpStream, shared: &Arc<NetShared>) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream.try_clone()?;
+    let Some(&first) = reader.fill_buf()?.first() else {
+        return Ok(()); // the peer connected and left without a byte
+    };
+    let mut session = HostSession::attach(Arc::clone(&shared.runtime));
+    if first == wire::FRAME_MAGIC {
+        shared.counters.binary_connections.fetch_add(1, Ordering::Relaxed);
+        serve_binary(&mut session, &mut reader, &mut writer, shared)
+    } else {
+        shared.counters.text_connections.fetch_add(1, Ordering::Relaxed);
+        let served = server::serve(&mut session, reader, writer)?;
+        shared.counters.lines.fetch_add(served as u64, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+fn write_reply_flush<W: Write>(writer: &mut W, reply: &Reply) -> std::io::Result<()> {
+    reply.write_to(writer)?;
+    writer.flush()
+}
+
+/// Maps a runtime failure onto the wire: `QueueFull` is typed backpressure
+/// ([`Reply::Busy`]), bad queries and everything else are `ERR` frames.
+fn host_error_reply(e: &HostError, shared: &NetShared) -> Reply {
+    match e {
+        HostError::QueueFull => {
+            shared.counters.busy_replies.fetch_add(1, Ordering::Relaxed);
+            Reply::Busy
+        }
+        HostError::QueryParse(_) | HostError::QueryInvalid(_) => {
+            Reply::Error { code: ErrCode::BadQuery, message: e.to_string() }
+        }
+        other => Reply::Error { code: ErrCode::Host, message: other.to_string() },
+    }
+}
+
+fn millis_to_ns(ms: f64) -> u64 {
+    (ms.max(0.0) * 1e6).round() as u64
+}
+
+/// Keeps the first [`MAX_INLINE_PATHS`] paths for a `QUERY` sample while the
+/// rest are only counted (the binary twin of the text protocol's sample
+/// sink).
+#[derive(Default)]
+struct BinarySampleSink {
+    first: Vec<Vec<u32>>,
+}
+
+impl PathSink for BinarySampleSink {
+    fn emit(&mut self, path: &[VertexId]) -> ControlFlow<()> {
+        if self.first.len() < MAX_INLINE_PATHS {
+            self.first.push(path.iter().map(|v| v.0).collect());
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Writes streamed paths as incremental [`Reply::Paths`] frames, flushed per
+/// chunk. A write failure — the peer hung up — breaks the sink, which makes
+/// the session cancel the running job's ticket (see the module docs).
+struct FrameSink<'w, W: Write> {
+    writer: &'w mut W,
+    current: Vec<Vec<u32>>,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> PathSink for FrameSink<'_, W> {
+    fn emit(&mut self, path: &[VertexId]) -> ControlFlow<()> {
+        self.current.push(path.iter().map(|v| v.0).collect());
+        if self.current.len() < wire::STREAM_FRAME_PATHS {
+            return ControlFlow::Continue(());
+        }
+        let chunk = Reply::Paths(std::mem::take(&mut self.current));
+        match chunk.write_to(self.writer).and_then(|()| self.writer.flush()) {
+            Ok(()) => ControlFlow::Continue(()),
+            Err(e) => {
+                self.error = Some(e);
+                ControlFlow::Break(())
+            }
+        }
+    }
+}
+
+/// One binary connection's request loop. Frame-level failures that leave the
+/// stream framed (bad checksum, unknown opcode, malformed payload) get a
+/// typed `ERR` frame and the connection survives; a desynchronised stream
+/// (bad magic, oversized declared length) gets a final `ERR` frame and the
+/// connection closes.
+fn serve_binary<R: BufRead>(
+    session: &mut HostSession,
+    reader: &mut R,
+    writer: &mut TcpStream,
+    shared: &Arc<NetShared>,
+) -> std::io::Result<()> {
+    loop {
+        let request = match wire::read_frame(reader) {
+            Ok(None) => return Ok(()),
+            Ok(Some(raw)) => match Request::decode(&raw) {
+                Ok(request) => request,
+                Err(e) => {
+                    shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let reply = Reply::Error { code: e.err_code(), message: e.to_string() };
+                    write_reply_flush(writer, &reply)?;
+                    continue;
+                }
+            },
+            Err(WireError::Io(e)) => return Err(e),
+            Err(e @ WireError::Checksum { .. }) => {
+                // The corrupt payload was fully consumed: still framed.
+                shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let reply = Reply::Error { code: e.err_code(), message: e.to_string() };
+                write_reply_flush(writer, &reply)?;
+                continue;
+            }
+            Err(e) => {
+                // BadMagic / Oversized: the stream position is lost; one
+                // final ERR frame, then hang up.
+                shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let reply = Reply::Error { code: e.err_code(), message: e.to_string() };
+                let _ = write_reply_flush(writer, &reply);
+                return Ok(());
+            }
+        };
+        shared.counters.frames.fetch_add(1, Ordering::Relaxed);
+        if matches!(request, Request::Quit) {
+            write_reply_flush(writer, &Reply::Bye)?;
+            return Ok(());
+        }
+        handle_request(session, request, writer, shared)?;
+    }
+}
+
+fn handle_request(
+    session: &mut HostSession,
+    request: Request,
+    writer: &mut TcpStream,
+    shared: &Arc<NetShared>,
+) -> std::io::Result<()> {
+    match request {
+        Request::Query { s, t, k } => {
+            let mut sink = BinarySampleSink::default();
+            let outcome = session.run_query_streaming(QueryRequest::new(s, t, k), &mut sink);
+            let reply = match outcome {
+                Ok(outcome) => Reply::Summary {
+                    num_paths: outcome.num_paths,
+                    preprocess_ns: millis_to_ns(outcome.preprocess_millis),
+                    transfer_ns: millis_to_ns(outcome.transfer.total_millis),
+                    device_ns: millis_to_ns(outcome.device_millis),
+                    cache_hit: outcome.cache_hit,
+                    sample: sink.first,
+                },
+                Err(e) => host_error_reply(&e, shared),
+            };
+            write_reply_flush(writer, &reply)
+        }
+        Request::Count { s, t, k } => {
+            let reply = match session.run_query_counting(QueryRequest::new(s, t, k)) {
+                Ok(outcome) => Reply::Summary {
+                    num_paths: outcome.num_paths,
+                    preprocess_ns: millis_to_ns(outcome.preprocess_millis),
+                    transfer_ns: millis_to_ns(outcome.transfer.total_millis),
+                    device_ns: millis_to_ns(outcome.device_millis),
+                    cache_hit: outcome.cache_hit,
+                    sample: Vec::new(),
+                },
+                Err(e) => host_error_reply(&e, shared),
+            };
+            write_reply_flush(writer, &reply)
+        }
+        Request::Stream { s, t, k, limit } => {
+            let limit = limit.min(MAX_STREAM_LIMIT);
+            if limit == 0 {
+                return write_reply_flush(writer, &Reply::End { streamed: 0, limit: 0 });
+            }
+            let mut sink =
+                FirstN::new(limit, FrameSink { writer, current: Vec::new(), error: None });
+            let outcome = session.run_query_streaming(QueryRequest::new(s, t, k), &mut sink);
+            let inner = sink.into_inner();
+            if let Some(e) = inner.error {
+                return Err(e);
+            }
+            let tail = inner.current;
+            match outcome {
+                Ok(outcome) => {
+                    if !tail.is_empty() {
+                        Reply::Paths(tail).write_to(writer)?;
+                    }
+                    write_reply_flush(writer, &Reply::End { streamed: outcome.num_paths, limit })
+                }
+                Err(e) => write_reply_flush(writer, &host_error_reply(&e, shared)),
+            }
+        }
+        Request::Batch { queries } => {
+            if queries.len() > MAX_BATCH_QUERIES {
+                let reply = Reply::Error {
+                    code: ErrCode::BadQuery,
+                    message: format!(
+                        "BATCH accepts at most {MAX_BATCH_QUERIES} queries, got {}",
+                        queries.len()
+                    ),
+                };
+                return write_reply_flush(writer, &reply);
+            }
+            let requests: Vec<QueryRequest> =
+                queries.iter().map(|&(s, t, k)| QueryRequest::new(s, t, k)).collect();
+            let reply = match session.run_batch(&requests) {
+                Ok(outcome) => Reply::BatchOk {
+                    unique: (outcome.results.len() - outcome.deduplicated) as u32,
+                    cache_hits: outcome.cache_hits,
+                    preprocess_ns: millis_to_ns(outcome.preprocess_millis),
+                    transfer_ns: millis_to_ns(outcome.transfer_millis),
+                    device_ns: millis_to_ns(outcome.device_millis),
+                    paths_per_query: outcome.results.iter().map(|r| r.num_paths).collect(),
+                },
+                Err(e) => host_error_reply(&e, shared),
+            };
+            write_reply_flush(writer, &reply)
+        }
+        Request::Explain { s, t, k } => {
+            let reply = match session.runtime() {
+                Some(runtime) => match runtime.explain(QueryRequest::new(s, t, k)) {
+                    Ok(decision) => Reply::Json(decision.to_json().render()),
+                    Err(e) => host_error_reply(&e, shared),
+                },
+                None => host_error_reply(&HostError::NoGraphLoaded, shared),
+            };
+            write_reply_flush(writer, &reply)
+        }
+        Request::Update { remove, edges } => {
+            if edges.is_empty() || edges.len() > MAX_UPDATE_EDGES {
+                let reply = Reply::Error {
+                    code: ErrCode::BadQuery,
+                    message: format!(
+                        "UPDATE expects 1..={MAX_UPDATE_EDGES} edges, got {}",
+                        edges.len()
+                    ),
+                };
+                return write_reply_flush(writer, &reply);
+            }
+            let mut delta = GraphDelta::new();
+            for &(u, v) in &edges {
+                if remove {
+                    delta.remove_edge(VertexId(u), VertexId(v));
+                } else {
+                    delta.insert_edge(VertexId(u), VertexId(v));
+                }
+            }
+            let reply = match session.apply_updates(&delta) {
+                Ok(epoch) => Reply::UpdateOk { epoch, edges: delta.len() as u32 },
+                Err(e) => host_error_reply(&e, shared),
+            };
+            write_reply_flush(writer, &reply)
+        }
+        Request::Stats => {
+            let mut pairs = vec![("session", session.stats().to_json())];
+            if let Some(runtime) = session.runtime() {
+                pairs.push(("runtime", runtime.stats().to_json()));
+            }
+            write_reply_flush(writer, &Reply::Json(JsonValue::object(pairs).render()))
+        }
+        Request::Quit => unreachable!("QUIT is handled by the serve loop"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::GraphHandle;
+    use crate::runtime::RuntimeConfig;
+    use pefp_graph::CsrGraph;
+    use std::io::Read;
+
+    fn diamond_server(config: NetConfig) -> NetServer {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let runtime = HostRuntime::launch(
+            GraphHandle::from_csr("diamond", g),
+            RuntimeConfig { compute_units: 2, ..RuntimeConfig::default() },
+        );
+        NetServer::bind(runtime, "127.0.0.1:0", config).expect("bind loopback")
+    }
+
+    #[test]
+    fn one_port_serves_both_protocols() {
+        let server = diamond_server(NetConfig::default());
+        // Text client.
+        let mut text = TcpStream::connect(server.local_addr()).unwrap();
+        writeln!(text, "COUNT 0 3 3").unwrap();
+        writeln!(text, "QUIT").unwrap();
+        let mut response = String::new();
+        text.try_clone().unwrap().read_to_string(&mut response).unwrap();
+        assert!(response.contains("paths=2"), "{response}");
+        // Binary client on the same port.
+        let mut bin = TcpStream::connect(server.local_addr()).unwrap();
+        Request::Count { s: 0, t: 3, k: 3 }.write_to(&mut bin).unwrap();
+        let mut reader = BufReader::new(bin.try_clone().unwrap());
+        match Reply::read_from(&mut reader).unwrap().unwrap() {
+            Reply::Summary { num_paths, sample, .. } => {
+                assert_eq!(num_paths, 2);
+                assert!(sample.is_empty());
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        Request::Quit.write_to(&mut bin).unwrap();
+        assert_eq!(Reply::read_from(&mut reader).unwrap().unwrap(), Reply::Bye);
+        let stats = server.stats();
+        assert_eq!(stats.binary_connections, 1);
+        assert_eq!(stats.text_connections, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn connections_beyond_the_cap_get_an_err_line() {
+        let server = diamond_server(NetConfig { max_connections: 1 });
+        let held = TcpStream::connect(server.local_addr()).unwrap();
+        // The first connection only counts as active once its thread starts;
+        // poke it so the server is definitely serving it.
+        let mut held_writer = held.try_clone().unwrap();
+        writeln!(held_writer, "GRAPH").unwrap();
+        let mut held_reader = BufReader::new(held.try_clone().unwrap());
+        let mut line = String::new();
+        held_reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("OK"), "{line}");
+
+        let over = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(over);
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.starts_with("ERR server at connection capacity"), "{reply}");
+        assert_eq!(server.stats().rejected_at_capacity, 1);
+        drop(held);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_severs_live_connections() {
+        let server = diamond_server(NetConfig::default());
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        writeln!(conn, "GRAPH").unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        server.shutdown();
+        server.shutdown();
+        // The severed connection reads EOF, not a hang.
+        let mut rest = String::new();
+        let _ = reader.read_to_string(&mut rest);
+    }
+}

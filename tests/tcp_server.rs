@@ -1,0 +1,296 @@
+//! End-to-end tests of the TCP front door over real sockets: protocol fuzz
+//! against a live listener, cancellation on client disconnect mid-STREAM,
+//! byte-identical answers across the binary, text and in-process paths, and
+//! typed BUSY backpressure when the admission queue is full.
+
+use pefp::graph::generators::{layered_dag, layered_sink, layered_source};
+use pefp::graph::CsrGraph;
+use pefp::host::net::{NetConfig, NetServer};
+use pefp::host::wire::{write_frame, Reply, Request, FRAME_MAGIC, MAX_FRAME_PAYLOAD};
+use pefp::host::{GraphHandle, HostRuntime, QueryRequest, RuntimeConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn front_door(name: &str, g: CsrGraph, config: RuntimeConfig) -> NetServer {
+    let runtime = HostRuntime::launch(GraphHandle::from_csr(name, g), config);
+    NetServer::bind(runtime, "127.0.0.1:0", NetConfig::default()).expect("bind loopback")
+}
+
+fn diamond() -> CsrGraph {
+    CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+}
+
+fn connect(server: &NetServer) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(server.local_addr()).expect("connect loopback");
+    (BufReader::new(stream.try_clone().expect("clone stream")), stream)
+}
+
+/// Asserts the connection still answers a valid query after whatever abuse
+/// preceded it.
+fn expect_count_answers(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream) {
+    Request::Count { s: 0, t: 3, k: 3 }.write_to(writer).expect("send COUNT");
+    match Reply::read_from(reader).expect("read reply").expect("reply present") {
+        Reply::Summary { num_paths, .. } => assert_eq!(num_paths, 2),
+        other => panic!("expected a Summary, got {other:?}"),
+    }
+}
+
+#[test]
+fn seeded_frame_fuzz_gets_typed_errors_and_the_listener_survives() {
+    let server = front_door("diamond", diamond(), RuntimeConfig::default());
+
+    // Deterministic splitmix-style generator: the fuzz bytes are reproducible
+    // run to run.
+    let mut state = 0x5EED_CAFE_F00D_u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as u32
+    };
+
+    // Well-formed frames (magic + valid checksum) carrying garbage opcodes
+    // and payloads: every one of them must yield exactly one reply frame —
+    // typed ERR or a valid answer when the bytes happen to parse — and the
+    // connection must keep serving afterwards.
+    let (mut reader, mut writer) = connect(&server);
+    for round in 0..48 {
+        let opcode = loop {
+            let candidate = (next() % 256) as u8;
+            if candidate != 0x08 {
+                break candidate; // QUIT would (correctly) end the connection
+            }
+        };
+        let len = (next() % 48) as usize;
+        let payload: Vec<u8> = (0..len).map(|_| (next() % 256) as u8).collect();
+        write_frame(&mut writer, opcode, (next() % 4) as u16, &payload).expect("send fuzz frame");
+        writer.flush().expect("flush fuzz frame");
+        let reply = Reply::read_from(&mut reader)
+            .unwrap_or_else(|e| panic!("fuzz round {round}: transport died: {e}"))
+            .unwrap_or_else(|| panic!("fuzz round {round}: connection closed"));
+        match reply {
+            Reply::Error { .. }
+            | Reply::Summary { .. }
+            | Reply::End { .. }
+            | Reply::Paths(_)
+            | Reply::Json(_)
+            | Reply::BatchOk { .. }
+            | Reply::UpdateOk { .. }
+            | Reply::Busy => {}
+            Reply::Bye => panic!("fuzz round {round}: QUIT was excluded, got Bye"),
+        }
+    }
+    expect_count_answers(&mut reader, &mut writer);
+
+    // A corrupted payload byte is caught by the checksum; the stream stays
+    // framed and the connection survives.
+    let mut frame = Request::Count { s: 0, t: 3, k: 3 }.encode();
+    let last = frame.len() - 1;
+    frame[last] ^= 0x40;
+    writer.write_all(&frame).expect("send corrupt frame");
+    writer.flush().expect("flush corrupt frame");
+    match Reply::read_from(&mut reader).expect("read reply").expect("reply present") {
+        Reply::Error { message, .. } => {
+            assert!(message.contains("checksum"), "unexpected message: {message}")
+        }
+        other => panic!("expected a checksum ERR, got {other:?}"),
+    }
+    expect_count_answers(&mut reader, &mut writer);
+
+    // An oversized declared length is rejected with a typed ERR before any
+    // allocation; the stream is desynchronised so the server hangs up, and
+    // the listener accepts the next connection as if nothing happened.
+    let mut header = vec![FRAME_MAGIC, 0x02, 0, 0];
+    header.extend_from_slice(&((MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes()));
+    header.extend_from_slice(&[0, 0, 0, 0]);
+    writer.write_all(&header).expect("send oversized header");
+    writer.flush().expect("flush oversized header");
+    match Reply::read_from(&mut reader).expect("read reply").expect("reply present") {
+        Reply::Error { message, .. } => {
+            assert!(message.contains("exceeds"), "unexpected message: {message}")
+        }
+        other => panic!("expected an oversized ERR, got {other:?}"),
+    }
+    assert!(
+        Reply::read_from(&mut reader).expect("clean close").is_none(),
+        "the server hangs up after a desynchronised stream"
+    );
+
+    // Mid-stream garbage that does not start with the magic byte: one final
+    // typed ERR, hang-up, and the listener still serves fresh connections.
+    let (mut reader, mut writer) = connect(&server);
+    expect_count_answers(&mut reader, &mut writer);
+    writer.write_all(&[0x00, 0xFF, 0x13, 0x37]).expect("send garbage");
+    writer.flush().expect("flush garbage");
+    match Reply::read_from(&mut reader).expect("read reply").expect("reply present") {
+        Reply::Error { message, .. } => {
+            assert!(message.contains("magic"), "unexpected message: {message}")
+        }
+        other => panic!("expected a bad-magic ERR, got {other:?}"),
+    }
+    let (mut reader, mut writer) = connect(&server);
+    expect_count_answers(&mut reader, &mut writer);
+    // Almost every fuzz frame (random opcodes rarely land on a valid layout)
+    // plus the checksum/oversized/bad-magic probes land in the counter.
+    assert!(server.stats().protocol_errors >= 40, "the fuzz frames were counted");
+    server.shutdown();
+}
+
+#[test]
+fn client_disconnect_mid_stream_cancels_the_engine_over_real_sockets() {
+    // 6^5 = 7776 paths, streamed with a limit above the total so the FirstN
+    // sink never breaks on its own: the only way `cancelled_jobs` can become
+    // 1 is the disconnect below.
+    let g = layered_dag(5, 6, 6, 1).to_csr();
+    let server =
+        front_door("layered", g, RuntimeConfig { compute_units: 1, ..RuntimeConfig::default() });
+    let runtime = Arc::clone(server.runtime());
+
+    let (mut reader, mut writer) = connect(&server);
+    let request =
+        Request::Stream { s: layered_source().0, t: layered_sink(5, 6).0, k: 6, limit: 10_000 };
+    request.write_to(&mut writer).expect("send STREAM");
+    match Reply::read_from(&mut reader).expect("read first chunk").expect("chunk present") {
+        Reply::Paths(chunk) => assert!(!chunk.is_empty(), "the engine is streaming"),
+        other => panic!("expected a Paths chunk, got {other:?}"),
+    }
+    // Hang up mid-stream: dropping both halves closes the socket; the
+    // server's next flush fails, the sink breaks, the session cancels the
+    // running job's ticket.
+    drop(reader);
+    drop(writer);
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while runtime.stats().cancelled_jobs == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(runtime.stats().cancelled_jobs, 1, "the disconnect cancelled the running stream");
+    assert_eq!(runtime.leased_cus(), 0, "the CU lease went back to the pool");
+
+    // The runtime serves the next connection normally.
+    let (mut reader, mut writer) = connect(&server);
+    Request::Count { s: layered_source().0, t: layered_sink(5, 6).0, k: 6 }
+        .write_to(&mut writer)
+        .expect("send COUNT");
+    match Reply::read_from(&mut reader).expect("read reply").expect("reply present") {
+        Reply::Summary { num_paths, .. } => assert_eq!(num_paths, 7776),
+        other => panic!("expected a Summary, got {other:?}"),
+    }
+    assert!(server.stats().io_disconnects >= 1, "the hang-up was counted");
+    server.shutdown();
+}
+
+#[test]
+fn binary_text_and_in_process_stream_answers_are_byte_identical() {
+    // 4^3 = 64 source-to-sink paths.
+    let g = layered_dag(3, 4, 4, 2).to_csr();
+    let server = front_door(
+        "layered_small",
+        g,
+        RuntimeConfig { compute_units: 2, ..RuntimeConfig::default() },
+    );
+    let runtime = Arc::clone(server.runtime());
+    let (s, t, k) = (layered_source().0, layered_sink(3, 4).0, 4u32);
+
+    // In-process reference: the collected result set.
+    let session = runtime.register_session();
+    let reference: Vec<Vec<u32>> = runtime
+        .submit_query(session, QueryRequest::new(s, t, k), true)
+        .expect("admit reference query")
+        .wait()
+        .expect("run reference query")
+        .paths
+        .into_iter()
+        .map(|path| path.into_iter().map(|v| v.0).collect())
+        .collect();
+    assert_eq!(reference.len(), 64);
+
+    // Binary STREAM over TCP.
+    let (mut reader, mut writer) = connect(&server);
+    Request::Stream { s, t, k, limit: 10_000 }.write_to(&mut writer).expect("send STREAM");
+    let mut binary: Vec<Vec<u32>> = Vec::new();
+    let streamed = loop {
+        match Reply::read_from(&mut reader).expect("read frame").expect("frame present") {
+            Reply::Paths(chunk) => binary.extend(chunk),
+            Reply::End { streamed, .. } => break streamed,
+            other => panic!("unexpected frame {other:?}"),
+        }
+    };
+    assert_eq!(streamed, 64);
+
+    // Text STREAM over the same TCP port.
+    let (mut reader, mut writer) = connect(&server);
+    writeln!(writer, "STREAM {s} {t} {k} 10000").expect("send text STREAM");
+    writer.flush().expect("flush text STREAM");
+    let mut text: Vec<Vec<u32>> = Vec::new();
+    loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("read line") > 0, "server closed early");
+        let line = line.trim_end();
+        if line.starts_with("OK end") {
+            assert!(line.contains("streamed=64"), "unexpected end line: {line}");
+            break;
+        }
+        let chunk = line.strip_prefix("OK paths ").unwrap_or_else(|| panic!("bad line {line}"));
+        for path in chunk.split(' ') {
+            text.push(path.split("->").map(|v| v.parse().expect("vertex id")).collect());
+        }
+    }
+
+    // Same PathSink pipeline underneath -> identical sequences, not just
+    // identical sets.
+    assert_eq!(binary, reference, "binary STREAM matches the in-process answer");
+    assert_eq!(text, reference, "text STREAM matches the in-process answer");
+    server.shutdown();
+}
+
+#[test]
+fn queue_full_surfaces_as_a_typed_busy_frame_and_the_connection_survives() {
+    // One CU, a one-slot admission queue: wedge the CU with a streaming job
+    // whose 1-path channel nobody drains (the engine blocks on backpressure
+    // holding its lease), park a second job in the only queue slot, and the
+    // TCP request below is deterministically rejected with QueueFull.
+    let g = layered_dag(5, 6, 6, 1).to_csr();
+    let server = front_door(
+        "layered",
+        g,
+        RuntimeConfig { compute_units: 1, queue_capacity: 1, ..RuntimeConfig::default() },
+    );
+    let runtime = Arc::clone(server.runtime());
+    let session = runtime.register_session();
+    let wedge_request = QueryRequest::new(layered_source().0, layered_sink(5, 6).0, 6);
+    let (wedge_ticket, wedge_rx) =
+        runtime.submit_query_streaming(session, wedge_request, 1).expect("admit wedge");
+    let first = wedge_rx.recv().expect("the wedge engine is running");
+    assert!(!first.is_empty());
+    let parked =
+        runtime.submit_query(session, QueryRequest::new(0, 1, 2), false).expect("park a job");
+
+    let (mut reader, mut writer) = connect(&server);
+    Request::Count { s: 0, t: 1, k: 2 }.write_to(&mut writer).expect("send COUNT");
+    match Reply::read_from(&mut reader).expect("read reply").expect("reply present") {
+        Reply::Busy => {}
+        other => panic!("expected BUSY backpressure, got {other:?}"),
+    }
+    assert_eq!(server.stats().busy_replies, 1);
+
+    // Release the wedge; the same connection recovers with plain retries.
+    drop(wedge_ticket);
+    drop(wedge_rx);
+    parked.wait().expect("the parked job completes");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        Request::Count { s: 0, t: 1, k: 2 }.write_to(&mut writer).expect("send retry");
+        match Reply::read_from(&mut reader).expect("read reply").expect("reply present") {
+            Reply::Summary { .. } => break,
+            Reply::Busy if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10))
+            }
+            other => panic!("expected Summary or transient BUSY, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}

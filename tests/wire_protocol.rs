@@ -1,0 +1,174 @@
+//! Property tests for the binary wire protocol (`pefp_host::wire`).
+//!
+//! Every frame type — all eight requests and all ten replies — must survive
+//! an encode → decode → re-encode cycle with the decoded value equal to the
+//! original and the re-encoded bytes *identical* to the first encoding
+//! (there is exactly one wire form per value, so checksums, logs and replay
+//! tooling can compare frames byte-wise). Decoding arbitrary byte prefixes
+//! of valid frames must never panic or over-allocate: truncation is an
+//! `Io`/EOF-shaped error, never garbage output.
+
+use pefp::host::wire::{read_frame, ErrCode, Reply, Request, WireError};
+use proptest::prelude::*;
+
+/// Bounded `(s, t, k)` query triples (values are arbitrary on the wire; the
+/// protocol layer does not validate against a graph).
+fn arb_triple() -> impl Strategy<Value = (u32, u32, u32)> {
+    (0u32..50_000, 0u32..50_000, 0u32..16)
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u32..8,
+        arb_triple(),
+        0u64..20_000,
+        prop::collection::vec(arb_triple(), 0..40),
+        (prop::collection::vec((0u32..50_000, 0u32..50_000), 0..40), 0u32..2),
+    )
+        .prop_map(|(tag, (s, t, k), limit, queries, (edges, remove))| match tag {
+            0 => Request::Query { s, t, k },
+            1 => Request::Count { s, t, k },
+            2 => Request::Stream { s, t, k, limit },
+            3 => Request::Batch { queries },
+            4 => Request::Explain { s, t, k },
+            5 => Request::Update { remove: remove == 1, edges },
+            6 => Request::Stats,
+            _ => Request::Quit,
+        })
+}
+
+/// Printable-ASCII strings for JSON bodies and error messages.
+fn arb_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(32u8..127, 0..48)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ASCII"))
+}
+
+fn arb_paths() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0u32..100_000, 0..12), 0..20)
+}
+
+fn arb_err_code() -> impl Strategy<Value = ErrCode> {
+    (1u16..8).prop_map(|v| ErrCode::from_u16(v).expect("all wire codes covered"))
+}
+
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    (
+        0u32..10,
+        ((0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40), 0u32..2),
+        arb_paths(),
+        (0u32..5_000, prop::collection::vec(0u64..100_000, 0..40), 0u64..1 << 30, 0u32..5_000),
+        (arb_text(), arb_err_code()),
+    )
+        .prop_map(
+            |(
+                tag,
+                ((num_paths, preprocess_ns, transfer_ns, device_ns), cache_hit),
+                paths,
+                (unique, paths_per_query, epoch, edges),
+                (text, code),
+            )| {
+                match tag {
+                    0 => Reply::Summary {
+                        num_paths,
+                        preprocess_ns,
+                        transfer_ns,
+                        device_ns,
+                        cache_hit: cache_hit == 1,
+                        sample: paths,
+                    },
+                    1 => Reply::Paths(paths),
+                    2 => Reply::End { streamed: num_paths, limit: device_ns },
+                    3 => Reply::BatchOk {
+                        unique,
+                        cache_hits: num_paths,
+                        preprocess_ns,
+                        transfer_ns,
+                        device_ns,
+                        paths_per_query,
+                    },
+                    4 => Reply::Json(text),
+                    5 => Reply::UpdateOk { epoch, edges },
+                    6 => Reply::Bye,
+                    7 => Reply::Busy,
+                    _ => Reply::Error { code, message: text },
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    /// Requests decode back to themselves and re-encode byte-identically.
+    #[test]
+    fn every_request_frame_round_trips_byte_identically(request in arb_request()) {
+        let mut bytes = Vec::new();
+        request.write_to(&mut bytes).expect("encode to memory");
+        let mut cursor = &bytes[..];
+        let decoded = Request::read_from(&mut cursor)
+            .expect("valid frame decodes")
+            .expect("frame present");
+        prop_assert!(cursor.is_empty(), "decoding consumed the whole frame");
+        prop_assert_eq!(&decoded, &request);
+        let mut re_encoded = Vec::new();
+        decoded.write_to(&mut re_encoded).expect("re-encode to memory");
+        prop_assert_eq!(re_encoded, bytes);
+    }
+
+    /// Replies decode back to themselves and re-encode byte-identically.
+    #[test]
+    fn every_reply_frame_round_trips_byte_identically(reply in arb_reply()) {
+        let mut bytes = Vec::new();
+        reply.write_to(&mut bytes).expect("encode to memory");
+        let mut cursor = &bytes[..];
+        let decoded = Reply::read_from(&mut cursor)
+            .expect("valid frame decodes")
+            .expect("frame present");
+        prop_assert!(cursor.is_empty(), "decoding consumed the whole frame");
+        prop_assert_eq!(&decoded, &reply);
+        let mut re_encoded = Vec::new();
+        decoded.write_to(&mut re_encoded).expect("re-encode to memory");
+        prop_assert_eq!(re_encoded, bytes);
+    }
+
+    /// Any strict prefix of a valid frame is a clean truncation error (EOF at
+    /// the frame boundary, `Io` mid-frame) — never a panic, never a value.
+    #[test]
+    fn truncated_request_frames_never_panic_or_decode(
+        request in arb_request(),
+        cut_seed in 0u64..1 << 32,
+    ) {
+        let mut bytes = Vec::new();
+        request.write_to(&mut bytes).expect("encode to memory");
+        prop_assume!(bytes.len() > 1);
+        let cut = 1 + (cut_seed as usize) % (bytes.len() - 1);
+        let mut cursor = &bytes[..cut];
+        match read_frame(&mut cursor) {
+            Err(WireError::Io(_)) => {}
+            Ok(None) => prop_assert!(false, "a strict prefix cannot be a clean EOF"),
+            Ok(Some(_)) => prop_assert!(false, "a strict prefix cannot be a whole frame"),
+            Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+        }
+    }
+
+    /// Flipping any payload byte is caught by the frame checksum.
+    #[test]
+    fn any_payload_corruption_fails_the_checksum(
+        request in arb_request(),
+        flip_seed in 0u64..1 << 32,
+        xor in 1u32..256,
+    ) {
+        let mut bytes = Vec::new();
+        request.write_to(&mut bytes).expect("encode to memory");
+        // Byte 12 onward is payload (the 12-byte header carries the
+        // checksum); requests without a payload have nothing to corrupt.
+        prop_assume!(bytes.len() > 12);
+        let idx = 12 + (flip_seed as usize) % (bytes.len() - 12);
+        bytes[idx] ^= xor as u8;
+        let mut cursor = &bytes[..];
+        match read_frame(&mut cursor) {
+            Err(WireError::Checksum { .. }) => {}
+            other => prop_assert!(false, "corruption at byte {idx} slipped through: {other:?}"),
+        }
+    }
+}
