@@ -1,0 +1,56 @@
+//! Bank-aware CSR placement under charged DRAM banking: natural vs
+//! heat-clustered row layout at 2 and 4 compute units.
+//!
+//! The cases mirror the `BENCH_10` gate (`pefp_bench::gate`): the 56
+//! hub-pair queries at k=6 on the 10k Chung-Lu profile, run in dispatch
+//! mode with BRAM graph caching off (rows stream from DRAM) and
+//! bank-conflict/turnaround charging on — the one configuration where a
+//! row's bank assignment costs simulated time. The untimed header line
+//! reports the simulated domain: charged conflict cycles and the LPT
+//! makespan under both placements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pefp_bench::gate::{charged_nocache_scheduler, gate_batch, gate_graph, BANK_LAYOUT_CUS};
+use pefp_graph::PlacementPolicy;
+use std::hint::black_box;
+
+fn bench_bank_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bank_layout");
+    group.sample_size(10);
+    for cus in BANK_LAYOUT_CUS {
+        for policy in [PlacementPolicy::Natural, PlacementPolicy::BankAware] {
+            let handle = gate_graph().with_placement(policy);
+            let requests = gate_batch(&handle);
+            let scheduler = charged_nocache_scheduler(cus);
+            // One untimed run to report the simulated-cycle domain.
+            let outcome = scheduler.run_batch(&handle, &requests).expect("charged batch");
+            let measured = outcome.measured.as_ref().expect("dispatch is measured");
+            let conflicts: u64 = measured.per_cu_bank_conflict_cycles.iter().sum();
+            let turnarounds: u64 = measured.per_cu_turnaround_cycles.iter().sum();
+            println!(
+                "bank_layout/{}/{cus}: {conflicts} charged conflict cycles, \
+                 {turnarounds} turnaround cycles, LPT makespan {} cycles \
+                 (measured {}, model error {:.1}%)",
+                policy.name(),
+                measured.predicted.makespan_cycles,
+                measured.makespan_cycles,
+                measured.model_error() * 100.0
+            );
+            group.bench_with_input(
+                BenchmarkId::new(policy.name(), cus),
+                &requests,
+                |b, requests| {
+                    b.iter(|| {
+                        let outcome =
+                            scheduler.run_batch(&handle, requests).expect("charged batch");
+                        black_box(outcome.total_paths())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bank_layout);
+criterion_main!(benches);

@@ -29,6 +29,12 @@
 //!   offered at 1000/s over 256 loopback connections into a warm 4-CU
 //!   `NetServer` front door, gated on the calibrated p999 latency, a goodput
 //!   floor and the exact 1.0 answered fraction (zero protocol errors).
+//! * `BENCH_10*` — the bank-layout cases: the hub-pair batch under
+//!   bank-conflict charging with the BRAM graph cache off, natural vs
+//!   bank-aware CSR placement at 2/4 CUs, gated on the ≥20% charged
+//!   conflict-cycle reduction, the charged makespan win, the ≤30% LPT model
+//!   error under charging, and exact banking-off cycle equality with the
+//!   sibling `BENCH_04.json` anchor.
 //!
 //! `--write` measures the suite's cases and records them, together with the
 //! machine's calibration time, as the committed baseline. `--check`
@@ -49,12 +55,52 @@ fn main() {
         }
     };
     let file_name = std::path::Path::new(path).file_name().and_then(|n| n.to_str()).unwrap_or(path);
-    let (artefact, run_cases, note): (&str, fn() -> Vec<gate::GateCase>, &str) = if file_name
-        .starts_with("BENCH_05")
+    type CaseRunner = Box<dyn Fn() -> Vec<gate::GateCase>>;
+    let (artefact, run_cases, note): (&str, CaseRunner, &str) = if file_name.starts_with("BENCH_10")
     {
+        // The banking-off determinism floor pins this suite to the committed
+        // BENCH_04 dispatch_cus1 cycle count: read the anchor from the
+        // sibling baseline so the two files cannot drift apart silently.
+        let sibling = std::path::Path::new(path).with_file_name("BENCH_04.json");
+        let anchor = std::fs::read_to_string(&sibling)
+            .map_err(|e| e.to_string())
+            .and_then(|text| gate::parse_baseline(&text))
+            .ok()
+            .and_then(|baseline| {
+                baseline
+                    .cases
+                    .iter()
+                    .find(|case| case.name == "multi_cu/dispatch_cus1")
+                    .and_then(|case| case.cycles)
+            });
+        match anchor {
+            Some(anchor) => {
+                eprintln!("# BENCH_04 dispatch_cus1 anchor: {anchor} cycles");
+            }
+            None => {
+                eprintln!(
+                    "error: {} must hold a multi_cu/dispatch_cus1 case with cycles \
+                     (the BENCH_10 banking-off determinism floor anchors against it)",
+                    sibling.display()
+                );
+                std::process::exit(2);
+            }
+        }
+        (
+            "BENCH_10",
+            Box::new(move || gate::run_bank_layout_cases(anchor)) as CaseRunner,
+            "bank-layout baseline: the 10k Chung-Lu 56-hub-pair k=6 batch under \
+                 bank-conflict charging (BRAM graph cache off, so adjacency rows stream \
+                 from banked DRAM), natural vs bank-aware CSR placement at 2/4 CUs. \
+                 Floors gate the >=20% charged-conflict-cycle reduction, the charged \
+                 makespan win and the <=30% LPT model error under charging; the \
+                 banking-off case must reproduce the committed BENCH_04 dispatch_cus1 \
+                 cycle count bit-identically (exact-equality floor).",
+        )
+    } else if file_name.starts_with("BENCH_05") {
         (
             "BENCH_05",
-            gate::run_host_concurrency_cases,
+            Box::new(gate::run_host_concurrency_cases) as CaseRunner,
             "host-concurrency baseline: medians over 5 samples of 1 vs 4 closed-loop \
                  sessions sharing one 4-CU HostRuntime on the 10k Chung-Lu 56-hub-pair k=6 \
                  pool. The sessions1 virtual makespan is deterministic; sessions4 carries the \
@@ -63,7 +109,7 @@ fn main() {
     } else if file_name.starts_with("BENCH_06") {
         (
             "BENCH_06",
-            gate::run_fraud_stream_cases,
+            Box::new(gate::run_fraud_stream_cases) as CaseRunner,
             "fraud-stream baseline: medians over 5 samples of the 400-transaction \
                  closed-loop RuntimeCycleDetector round (256 accounts, 5% fraud rings, k=6, \
                  window 10k) on a 2-CU HostRuntime with incremental epoch updates. Device \
@@ -73,7 +119,7 @@ fn main() {
     } else if file_name.starts_with("BENCH_07") {
         (
             "BENCH_07",
-            gate::run_fault_storm_cases,
+            Box::new(gate::run_fault_storm_cases) as CaseRunner,
             "fault-storm baseline: medians over 5 samples of the 12-query pool on a 2-CU \
                  HostRuntime under the fixed seeded fault mix (DRAM corruption, PCIe errors, \
                  hangs, crashes) with retries, quarantine and CPU fallback enabled. Floors gate \
@@ -84,7 +130,7 @@ fn main() {
     } else if file_name.starts_with("BENCH_08") {
         (
             "BENCH_08",
-            gate::run_mixed_workload_cases,
+            Box::new(gate::run_mixed_workload_cases) as CaseRunner,
             "mixed-workload baseline: medians over 5 samples of the 24-tiny + 5-heavy query \
                  pool on a 2-CU HostRuntime under the adaptive router (builtin table). Device \
                  cycles are deterministic and placement-sensitive. Floors gate the router's \
@@ -95,7 +141,7 @@ fn main() {
     } else if file_name.starts_with("BENCH_09") {
         (
             "BENCH_09",
-            gate::run_tcp_load_cases,
+            Box::new(gate::run_tcp_load_cases) as CaseRunner,
             "tcp-load baseline: medians over 5 measured open-loop rounds (after one warm-up) \
                  of 3000 binary-protocol COUNT requests offered at 1000/s across 256 loopback \
                  connections into a warm 4-CU NetServer front door on the 10k Chung-Lu gate \
@@ -111,7 +157,7 @@ fn main() {
     } else if file_name.starts_with("BENCH_04") {
         (
             "BENCH_04",
-            gate::run_gate_cases,
+            Box::new(gate::run_gate_cases) as CaseRunner,
             "bench-regression baseline: medians over 5 samples on the 10k Chung-Lu batch \
                  profile (56 hub-pair dispatch queries at k=6; k=7 hub-to-hub streaming query). \
                  Wall-clock budgets are rescaled at check time by calibration_now/calibration_ns; \
@@ -119,7 +165,7 @@ fn main() {
         )
     } else {
         eprintln!(
-            "error: cannot infer the suite from {file_name:?} (want BENCH_04*, BENCH_05*, BENCH_06*, BENCH_07*, BENCH_08* or BENCH_09*)"
+            "error: cannot infer the suite from {file_name:?} (want BENCH_04*, BENCH_05*, BENCH_06*, BENCH_07*, BENCH_08*, BENCH_09* or BENCH_10*)"
         );
         std::process::exit(2);
     };

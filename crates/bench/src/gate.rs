@@ -850,6 +850,178 @@ pub fn run_tcp_load_cases() -> Vec<GateCase> {
     ]
 }
 
+/// Compute-unit counts the charged `BENCH_10` comparison runs at.
+pub const BANK_LAYOUT_CUS: [usize; 2] = [2, 4];
+
+/// Minimum relative reduction in charged bank-conflict cycles the bank-aware
+/// CSR placement must deliver over the natural layout on the hub-pair batch.
+pub const BANK_CONFLICT_REDUCTION_FLOOR: f64 = 0.20;
+
+/// Maximum LPT model error ([`MeasuredMultiCu::model_error`]) allowed while
+/// bank-conflict charging is on — the same ≤30% bound the uncharged
+/// dispatch model is held to.
+pub const BANK_CHARGED_MODEL_ERROR_CAP: f64 = 0.30;
+
+/// A dispatch scheduler for the charged `BENCH_10` rounds: `cus` compute
+/// units at the default bandwidth share, BRAM graph caching disabled (the
+/// adjacency rows stream from DRAM, so the CSR bank layout is what the banks
+/// actually see) and bank-conflict/turnaround charging on.
+pub fn charged_nocache_scheduler(cus: usize) -> BatchScheduler {
+    BatchScheduler::new(SchedulerConfig {
+        dispatch: true,
+        variant: pefp_core::PefpVariant::NoCache,
+        multi_cu: MultiCuConfig {
+            compute_units: cus,
+            charge_banked: true,
+            ..MultiCuConfig::default()
+        },
+        ..SchedulerConfig::default()
+    })
+}
+
+/// One charged dispatch round; returns (summed charged bank-conflict cycles,
+/// charged LPT-model makespan cycles, LPT model error). The makespan figure
+/// is the *predicted* schedule over the measured per-query workloads, not
+/// the measured greedy makespan: the greedy queue's assignment depends on
+/// wall-clock worker timing, and its run-to-run spread (±5% at 4 CUs)
+/// drowns the per-CU share of the conflict cycles. The LPT figure is
+/// deterministic in the workloads and moves exactly with the charged stall
+/// the placement controls — and `model_error` keeps it honest against the
+/// measured makespan.
+fn charged_round(
+    scheduler: &BatchScheduler,
+    handle: &GraphHandle,
+    requests: &[QueryRequest],
+) -> (u64, u64, f64) {
+    let outcome = scheduler.run_batch(handle, requests).expect("bank-layout batch");
+    let measured = outcome.measured.as_ref().expect("dispatch is measured");
+    let conflicts: u64 = measured.per_cu_bank_conflict_cycles.iter().sum();
+    (conflicts, measured.predicted.makespan_cycles, measured.model_error())
+}
+
+fn median_u64(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Runs the `BENCH_10` bank-layout cases: the [`gate_batch`] hub-pair batch
+/// under bank-conflict charging, natural vs bank-aware CSR placement.
+///
+/// `bench04_dispatch_cus1_cycles` is the committed `BENCH_04`
+/// `multi_cu/dispatch_cus1` cycle count (the `bench_gate` binary reads it
+/// from the sibling `BENCH_04.json`): with banking disabled the dispatch
+/// path must reproduce it **bit-identically** — the memory-model extension
+/// is opt-in and must not perturb a single uncharged cycle.
+///
+/// Signals:
+/// * `bank_layout/banking_off_determinism` — the 1-CU uncharged dispatch
+///   serial cycles, as `cycles` (25% rule) *and* as an exact-equality floor
+///   against the `BENCH_04` anchor (1.0 = bit-identical, 0.0 = drifted);
+/// * `bank_layout/conflict_reduction_cusN` — charged conflict cycles of the
+///   bank-aware layout vs the natural layout, as a relative-reduction floor
+///   (≥ [`BANK_CONFLICT_REDUCTION_FLOOR`]). Medians over the timed rounds:
+///   with ≥2 CUs racing on one arbiter the interleaving (and therefore the
+///   exact conflict total) is scheduling-dependent;
+/// * `bank_layout/makespan_win_cusN` — natural-over-aware charged LPT
+///   makespan ratio (the model schedule over the measured workloads; see
+///   [`charged_round`] for why not the noisy greedy figure), floored at
+///   1.0: the placement must win (or at worst tie) the schedule-level
+///   figure, not just the conflict counter;
+/// * `bank_layout/model_error` — worst observed LPT model accuracy under
+///   charging across both CU counts and both layouts, `1 - model_error`,
+///   floored at
+///   `1 -` [`BANK_CHARGED_MODEL_ERROR_CAP`].
+pub fn run_bank_layout_cases(bench04_dispatch_cus1_cycles: Option<u64>) -> Vec<GateCase> {
+    let natural = gate_graph();
+    let aware = gate_graph().with_placement(pefp_graph::PlacementPolicy::BankAware);
+    let requests = gate_batch(&natural);
+    let mut cases = Vec::new();
+
+    // Uncharged single-CU dispatch: deterministic, and pinned to BENCH_04.
+    {
+        let scheduler = dispatch_scheduler(1);
+        let mut serial = 0u64;
+        let median = median_ns(|| {
+            let outcome = scheduler.run_batch(&natural, &requests).expect("uncharged batch");
+            serial = outcome.measured.as_ref().expect("dispatch is measured").serial_cycles;
+        });
+        cases.push(GateCase {
+            name: "bank_layout/banking_off_determinism".to_string(),
+            median_ns: median,
+            cycles: Some(serial),
+            floor: bench04_dispatch_cus1_cycles.map(|anchor| GateFloor {
+                label: format!("cycles_bit_identical_to_bench04_anchor_{anchor}"),
+                value: if serial == anchor { 1.0 } else { 0.0 },
+                min: 1.0,
+            }),
+        });
+    }
+
+    let mut worst_model_accuracy = f64::INFINITY;
+    for cus in BANK_LAYOUT_CUS {
+        let scheduler = charged_nocache_scheduler(cus);
+        let mut nat_rounds = Vec::new();
+        let nat_median = median_ns(|| {
+            nat_rounds.push(charged_round(&scheduler, &natural, &requests));
+        });
+        let mut aware_rounds = Vec::new();
+        let aware_median = median_ns(|| {
+            aware_rounds.push(charged_round(&scheduler, &aware, &requests));
+        });
+        // Drop the warm-up round each: the floors use medians over the timed
+        // rounds only, like the host-concurrency makespan floor.
+        nat_rounds.remove(0);
+        aware_rounds.remove(0);
+
+        let nat_conflicts = median_u64(nat_rounds.iter().map(|r| r.0).collect());
+        let aware_conflicts = median_u64(aware_rounds.iter().map(|r| r.0).collect());
+        let reduction = if nat_conflicts == 0 {
+            0.0
+        } else {
+            1.0 - aware_conflicts as f64 / nat_conflicts as f64
+        };
+        cases.push(GateCase {
+            name: format!("bank_layout/conflict_reduction_cus{cus}"),
+            median_ns: nat_median,
+            cycles: None,
+            floor: Some(GateFloor {
+                label: "charged_conflict_cycle_reduction".to_string(),
+                value: reduction,
+                min: BANK_CONFLICT_REDUCTION_FLOOR,
+            }),
+        });
+
+        let nat_makespan = median_u64(nat_rounds.iter().map(|r| r.1).collect());
+        let aware_makespan = median_u64(aware_rounds.iter().map(|r| r.1).collect());
+        cases.push(GateCase {
+            name: format!("bank_layout/makespan_win_cus{cus}"),
+            median_ns: aware_median,
+            cycles: None,
+            floor: Some(GateFloor {
+                label: "charged_makespan_ratio_natural_over_aware".to_string(),
+                value: nat_makespan as f64 / aware_makespan.max(1) as f64,
+                min: 1.0,
+            }),
+        });
+
+        for (_, _, error) in nat_rounds.iter().chain(aware_rounds.iter()) {
+            worst_model_accuracy = worst_model_accuracy.min(1.0 - error);
+        }
+    }
+
+    cases.push(GateCase {
+        name: "bank_layout/model_error".to_string(),
+        median_ns: cases[0].median_ns,
+        cycles: None,
+        floor: Some(GateFloor {
+            label: "lpt_model_accuracy_under_charging".to_string(),
+            value: worst_model_accuracy,
+            min: 1.0 - BANK_CHARGED_MODEL_ERROR_CAP,
+        }),
+    });
+    cases
+}
+
 /// Serialises a gate run (calibration + cases) as the `BENCH_04.json`
 /// document ([`to_json_named`] with the historical artefact name).
 pub fn to_json(calibration_ns: f64, cases: &[GateCase], meta_note: &str) -> JsonValue {
@@ -1105,7 +1277,7 @@ mod tests {
 
         let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
         let prepared = pre_bfs(&g, VertexId(0), VertexId(3), 3);
-        let ctx = RouteContext { compute_units: 2 };
+        let ctx = RouteContext { compute_units: 2, charge_banked: false };
         for (table, want) in [
             (bcdfs_forcing_table(), EngineChoice::CpuBcDfs),
             (join_forcing_table(), EngineChoice::CpuJoin),

@@ -287,7 +287,7 @@ pub fn fit_table(measurements: &[FitMeasurement]) -> RoutingTable {
 /// Routes every sweep query under `table` (at [`SWEEP_COMPUTE_UNITS`] CUs)
 /// and returns `(case name, engine name)` pairs. Fully deterministic.
 pub fn sweep_decisions(table: &RoutingTable) -> Vec<(String, &'static str)> {
-    let ctx = RouteContext { compute_units: SWEEP_COMPUTE_UNITS };
+    let ctx = RouteContext { compute_units: SWEEP_COMPUTE_UNITS, charge_banked: false };
     sweep_specs()
         .into_iter()
         .map(|spec| {

@@ -26,7 +26,7 @@ use crate::result::{EngineOutput, EngineStats};
 use memory::MemoryLayout;
 use pefp_fpga::Device;
 use pefp_graph::sink::{CollectSink, CountingSink, FirstN, PathSink};
-use pefp_graph::{CsrGraph, VertexId};
+use pefp_graph::{CsrGraph, RowPlacement, VertexId};
 use std::collections::VecDeque;
 use std::ops::ControlFlow;
 use verify::Verdict;
@@ -49,6 +49,10 @@ pub struct PefpEngine<'a> {
     device: Device,
     /// Placement decisions (what ended up cached in BRAM).
     layout: MemoryLayout,
+    /// DRAM addresses of the adjacency rows, planned only when the device
+    /// charges banked DRAM stalls *and* the graph missed the BRAM cache —
+    /// the one configuration where a row's bank assignment costs time.
+    placement: Option<RowPlacement>,
     /// Buffer area `P` (front = oldest / bottom of the stack).
     buffer: VecDeque<TempPath>,
     /// DRAM-resident intermediate path set `PD`.
@@ -58,6 +62,58 @@ pub struct PefpEngine<'a> {
     emit_buf: Vec<VertexId>,
     /// Behavioural counters.
     stats: EngineStats,
+}
+
+/// Per-vertex fetch-heat estimate for bank-aware row placement: how often
+/// the enumeration is expected to fetch each adjacency row.
+///
+/// A row is fetched each time its vertex heads an expanded path, and the
+/// paths reaching `v` are the admissible `s`-walks: length `ℓ` walks with
+/// `ℓ + bar(v) ≤ k` (anything longer is pruned by the barrier before it is
+/// ever expanded). The walk counts satisfy the obvious recurrence
+/// `w_ℓ(v) = Σ_{u→v} w_{ℓ-1}(u)`, evaluated here in `k` sparse passes over
+/// the CSR — `O(k·|E|)`, noise against the enumeration itself. Walks
+/// overcount simple paths (they revisit vertices), but the *ranking* is what
+/// placement consumes, and the overcount inflates exactly the rows the DFS
+/// re-reads most. Counts are renormalised whenever they overflow `1e12`:
+/// only relative heat matters.
+fn placement_heat(graph: &CsrGraph, barrier: &[u32], s: VertexId, k: u32) -> Vec<f64> {
+    let n = graph.num_vertices();
+    let mut heat = vec![0.0f64; n];
+    let mut walks = vec![0.0f64; n];
+    let mut next = vec![0.0f64; n];
+    walks[s.index()] = 1.0;
+    heat[s.index()] = 1.0;
+    for step in 1..=k {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        for v in graph.vertices() {
+            let wv = walks[v.index()];
+            if wv == 0.0 {
+                continue;
+            }
+            for &u in graph.successors(v) {
+                if step + barrier[u.index()] <= k {
+                    next[u.index()] += wv;
+                }
+            }
+        }
+        // A walk of length k cannot be extended, so its head is never
+        // expanded (never fetched): it contributes no heat.
+        if step < k {
+            for (h, &w) in heat.iter_mut().zip(next.iter()) {
+                *h += w;
+            }
+        }
+        let max = next.iter().copied().fold(0.0f64, f64::max);
+        if max == 0.0 {
+            break;
+        }
+        if max > 1e12 {
+            next.iter_mut().for_each(|x| *x /= max);
+        }
+        std::mem::swap(&mut walks, &mut next);
+    }
+    heat
 }
 
 impl<'a> PefpEngine<'a> {
@@ -83,6 +139,14 @@ impl<'a> PefpEngine<'a> {
         assert!(s.index() < graph.num_vertices(), "source {s} out of range");
         assert!(t.index() < graph.num_vertices(), "target {t} out of range");
         let layout = MemoryLayout::plan(&mut device, graph, &opts);
+        let placement = if !layout.graph_cached && device.charges_banked_dram() {
+            device.bank_geometry().map(|(banks, stripe)| {
+                let heat = placement_heat(graph, barrier, s, k);
+                RowPlacement::plan_with_heat(graph, opts.bank_placement, banks, stripe, &heat)
+            })
+        } else {
+            None
+        };
         PefpEngine {
             graph,
             barrier,
@@ -92,6 +156,7 @@ impl<'a> PefpEngine<'a> {
             opts,
             device,
             layout,
+            placement,
             buffer: VecDeque::new(),
             dram_paths: Vec::new(),
             emit_buf: Vec::with_capacity(MAX_K + 1),
@@ -293,6 +358,17 @@ impl<'a> PefpEngine<'a> {
                 self.device.note_cache_hits(1);
             } else {
                 self.device.note_cache_misses(1, window_len);
+                // Under banked charging the row fetch is timed at its
+                // *placed* address: the start bank decides whether this
+                // burst conflicts with the previous one. The base fetch
+                // latency stays folded into the pipeline initiation
+                // interval below; only the bank stall is charged here.
+                if let Some(placement) = &self.placement {
+                    let head = path.last();
+                    let row_start = self.graph.neighbor_range(head).start;
+                    let addr = placement.row_address(head) + u64::from(window.start - row_start);
+                    self.device.charge_placed_row_fetch(addr, window_len);
+                }
             }
             if self.layout.barrier_cached {
                 self.device.note_cache_hits(window_len);
@@ -479,6 +555,7 @@ mod tests {
                         max_results: None,
                         cancel: None,
                         cycle_budget: None,
+                        bank_placement: pefp_graph::PlacementPolicy::Natural,
                     };
                     let out = run_engine(&g, s, t, k, opts);
                     assert_eq!(

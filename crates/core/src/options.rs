@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use pefp_graph::PlacementPolicy;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -113,6 +114,11 @@ pub struct EngineOptions {
     /// `EngineStats::device_fault` set. `None` (the default) trusts the CU to
     /// make progress — the pre-fault behaviour.
     pub cycle_budget: Option<u64>,
+    /// DRAM layout of the subgraph's adjacency rows. Only observable when
+    /// the device *charges* banked DRAM stalls and the graph is not cached
+    /// in BRAM; it changes charged conflict cycles, never results (see
+    /// [`pefp_graph::RowPlacement`]).
+    pub bank_placement: PlacementPolicy,
 }
 
 impl EngineOptions {
@@ -129,6 +135,7 @@ impl EngineOptions {
             max_results: None,
             cancel: None,
             cycle_budget: None,
+            bank_placement: PlacementPolicy::Natural,
         }
     }
 

@@ -131,6 +131,7 @@ pub fn plan_query(prepared: &PreparedQuery, config: &DeviceConfig) -> QueryPlan 
         max_results: None,
         cancel: None,
         cycle_budget: None,
+        bank_placement: pefp_graph::PlacementPolicy::Natural,
     };
 
     let areas = OnChipAreas {

@@ -118,6 +118,8 @@ mod tests {
                 bram_capacity: 0,
                 dram_cycles: 0,
                 contention_cycles: 0,
+                bank_conflict_cycles: 0,
+                turnaround_cycles: 0,
                 fault: None,
                 injected_stall_cycles: 0,
             },

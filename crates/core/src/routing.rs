@@ -245,16 +245,29 @@ impl Default for RoutingTable {
     }
 }
 
+/// Extra device compute per banked-charging run, as a fraction. When the
+/// runtime charges bank-conflict and turnaround stalls to CU clocks
+/// ([`RouteContext::charge_banked`]), every device placement pays conflict
+/// stalls the uncharged model never saw; the router folds that in as a
+/// constant fraction of device compute. The value is a conservative
+/// mid-point of the charged-over-uncharged cycle inflation observed on the
+/// bench batches — deliberately a constant, not a table field, so the
+/// committed `docs/routing_table.json` calibration stays untouched.
+pub const BANK_CONFLICT_COST_FRACTION: f64 = 0.08;
+
 /// Runtime context the router needs beyond the query itself.
 #[derive(Debug, Clone, Copy)]
 pub struct RouteContext {
     /// Compute units available for multi-CU placement.
     pub compute_units: usize,
+    /// Whether the runtime charges banked DRAM stalls to CU clocks; adds the
+    /// [`BANK_CONFLICT_COST_FRACTION`] term to the device engines' costs.
+    pub charge_banked: bool,
 }
 
 impl Default for RouteContext {
     fn default() -> Self {
-        RouteContext { compute_units: 1 }
+        RouteContext { compute_units: 1, charge_banked: false }
     }
 }
 
@@ -381,6 +394,28 @@ pub fn route_query(
             choice = candidate;
         }
     }
+    // When banked charging is live, surface the conflict-cost term in the
+    // rationale whenever it changed the outcome: re-score without the term
+    // and compare winners.
+    if ctx.charge_banked {
+        let uncharged =
+            engine_costs(&features, table, &RouteContext { charge_banked: false, ..*ctx });
+        let mut base_choice = EngineChoice::CpuBcDfs;
+        for candidate in EngineChoice::all() {
+            if uncharged.of(candidate) < uncharged.of(base_choice) {
+                base_choice = candidate;
+            }
+        }
+        if base_choice != choice {
+            rationale.push(format!(
+                "bank-conflict cost term (+{:.0}% device compute under banked charging) flips \
+                 the decision: {} → {}",
+                BANK_CONFLICT_COST_FRACTION * 100.0,
+                base_choice.name(),
+                choice.name(),
+            ));
+        }
+    }
     rationale.push(format!("cheapest engine: {} at {:.1} µs", choice.name(), costs.of(choice)));
     let cost_estimate_us = costs.of(choice);
     RouteDecision { choice, features, costs, cost_estimate_us, rationale }
@@ -411,7 +446,10 @@ fn engine_costs(features: &RouteFeatures, table: &RoutingTable, ctx: &RouteConte
     let transfer = table.transfer_us(features.transfer_bytes);
     let bc_dfs_us = table.bcdfs_fixed_us + table.bcdfs_us_per_unit * features.dfs_work;
     let join_us = table.join_fixed_us + table.join_us_per_unit * features.join_work;
-    let device_compute = table.device_us_per_unit * features.dfs_work;
+    // Charged bank stalls inflate device compute (and only device compute:
+    // the CPU engines never touch the card's DRAM banks).
+    let bank_factor = if ctx.charge_banked { 1.0 + BANK_CONFLICT_COST_FRACTION } else { 1.0 };
+    let device_compute = table.device_us_per_unit * features.dfs_work * bank_factor;
     let device_us = table.device_fixed_us + transfer + device_compute;
     let device_multi_us =
         if ctx.compute_units > 1 && features.dfs_work >= table.multi_cu_work_cutoff {
@@ -433,7 +471,11 @@ mod tests {
 
     fn route(g: &CsrGraph, s: u32, t: u32, k: u32, cus: usize) -> RouteDecision {
         let prepared = pre_bfs(g, VertexId(s), VertexId(t), k);
-        route_query(&prepared, &RoutingTable::builtin(), &RouteContext { compute_units: cus })
+        route_query(
+            &prepared,
+            &RoutingTable::builtin(),
+            &RouteContext { compute_units: cus, charge_banked: false },
+        )
     }
 
     #[test]
@@ -518,7 +560,7 @@ mod tests {
     #[test]
     fn cost_model_is_monotone_in_work() {
         let table = RoutingTable::builtin();
-        let ctx = RouteContext { compute_units: 1 };
+        let ctx = RouteContext { compute_units: 1, charge_banked: false };
         let small = RouteFeatures {
             vertices: 10,
             edges: 20,
@@ -542,5 +584,57 @@ mod tests {
         assert!(big_costs.bc_dfs_us > small_costs.bc_dfs_us);
         assert!(big_costs.join_us > small_costs.join_us);
         assert!(big_costs.device_us > small_costs.device_us);
+    }
+
+    #[test]
+    fn banked_charging_inflates_only_device_costs() {
+        let g = chung_lu(400, 6.0, 2.2, 9).to_csr();
+        let prepared = pre_bfs(&g, VertexId(0), VertexId(200), 4);
+        let table = RoutingTable::builtin();
+        let base = route_query(
+            &prepared,
+            &table,
+            &RouteContext { compute_units: 2, charge_banked: false },
+        );
+        let charged =
+            route_query(&prepared, &table, &RouteContext { compute_units: 2, charge_banked: true });
+        assert!(base.features.feasible && base.features.dfs_work > 0.0);
+        // CPU engines never touch the card's DRAM banks.
+        assert_eq!(base.costs.bc_dfs_us, charged.costs.bc_dfs_us);
+        assert_eq!(base.costs.join_us, charged.costs.join_us);
+        assert!(charged.costs.device_us > base.costs.device_us);
+    }
+
+    #[test]
+    fn conflict_cost_flip_is_explained_in_the_rationale() {
+        let g = chung_lu(400, 6.0, 2.2, 9).to_csr();
+        let prepared = pre_bfs(&g, VertexId(0), VertexId(200), 4);
+        let mut table = RoutingTable::builtin();
+        let base = route_query(&prepared, &table, &RouteContext::default());
+        assert!(base.features.feasible && !base.features.estimate.saturated);
+        assert!(base.features.dfs_work <= table.cpu_work_ceiling);
+        // Pin the BC-DFS cost halfway between the uncharged and charged
+        // device cost, so the conflict-cost term alone decides the winner.
+        let transfer = table.transfer_us(base.features.transfer_bytes);
+        let compute = base.costs.device_us - table.device_fixed_us - transfer;
+        assert!(compute > 0.0);
+        table.bcdfs_us_per_unit = 1e-15;
+        table.bcdfs_fixed_us =
+            table.device_fixed_us + transfer + compute * (1.0 + BANK_CONFLICT_COST_FRACTION / 2.0);
+        table.join_fixed_us = 1e9; // keep JOIN out of the race
+
+        let ctx = RouteContext { compute_units: 1, charge_banked: false };
+        let uncharged = route_query(&prepared, &table, &ctx);
+        assert_eq!(uncharged.choice, EngineChoice::DeviceSingleCu);
+        assert!(!uncharged.rationale.iter().any(|r| r.contains("bank-conflict")));
+
+        let charged =
+            route_query(&prepared, &table, &RouteContext { compute_units: 1, charge_banked: true });
+        assert_eq!(charged.choice, EngineChoice::CpuBcDfs);
+        assert!(
+            charged.rationale.iter().any(|r| r.contains("bank-conflict cost term")),
+            "flip must be explained: {:?}",
+            charged.rationale
+        );
     }
 }

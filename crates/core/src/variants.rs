@@ -354,7 +354,7 @@ mod tests {
         // An idle cluster (no other active CU) must be cycle-identical.
         let cluster = CuCluster::new(
             cfg.clone(),
-            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5 },
+            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5, charge_banked: false },
         );
         let mut cu_sink = pefp_graph::CollectSink::new();
         let on_cu =

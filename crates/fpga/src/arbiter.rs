@@ -21,7 +21,7 @@
 //! controllers are: the factor seen by a refill depends on the set of CUs
 //! active at that moment.
 
-use crate::banks::{BankReport, DramBanks};
+use crate::banks::{BankReport, BurstDirection, DramBanks};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -38,10 +38,38 @@ pub struct ArbiterStats {
     /// (only metered when the arbiter routes traffic through a
     /// [`DramBanks`] interleaving model; 0 otherwise).
     pub bank_conflicts: u64,
-    /// Extra cycles those bank conflicts would cost (one bank latency each).
-    /// Surfaced for the richer-arbiter ablations; *not* charged to CU clocks,
-    /// so the headline bandwidth-sharing law stays the sole timing effect.
+    /// Extra cycles those bank conflicts cost (one bank latency each).
+    /// Always metered; charged to CU clocks only when the arbiter was built
+    /// with banked charging enabled ([`DramArbiter::with_banks_charged`]) —
+    /// otherwise the headline bandwidth-sharing law stays the sole timing
+    /// effect, preserving the pre-charging cycle counts exactly.
     pub bank_conflict_cycles: u64,
+    /// Refills that flipped the bus direction (read↔write turnaround).
+    pub turnarounds: u64,
+    /// Extra cycles those direction flips cost. Metered and charged under
+    /// the same rules as `bank_conflict_cycles`.
+    pub turnaround_cycles: u64,
+}
+
+/// Per-refill cost breakdown returned by
+/// [`DramArbiter::record_refill_directed`]: the contention stall is always
+/// charged by the caller; the banked components are charged only when
+/// [`DramArbiter::charges_banks`] is true (they are still metered either way).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefillBreakdown {
+    /// Bandwidth-sharing stall (`base × (factor − 1)`).
+    pub contention: u64,
+    /// Bank-conflict latency of this refill.
+    pub conflict: u64,
+    /// Read↔write turnaround latency of this refill.
+    pub turnaround: u64,
+}
+
+impl RefillBreakdown {
+    /// The banked share of the stall (conflict + turnaround).
+    pub fn banked_stall(&self) -> u64 {
+        self.conflict + self.turnaround
+    }
 }
 
 /// Shared-DRAM bandwidth meter for one multi-CU card.
@@ -68,8 +96,15 @@ pub struct DramArbiter {
     /// DRAM path set), so same-bank back-to-back conflicts become visible in
     /// [`ArbiterStats`].
     banks: Option<Mutex<BankCursor>>,
+    /// Whether the banked components (conflicts, turnarounds) are *charged*
+    /// to CU clocks rather than only metered. Off by default: charging is an
+    /// opt-in timing-model change gated by
+    /// [`crate::multi_cu::MultiCuConfig::charge_banked`].
+    charge_banked: bool,
     bank_conflicts: AtomicU64,
     bank_conflict_cycles: AtomicU64,
+    turnarounds: AtomicU64,
+    turnaround_cycles: AtomicU64,
 }
 
 /// The bank model plus the running word address of the refill stream.
@@ -95,8 +130,11 @@ impl DramArbiter {
             words: AtomicU64::new(0),
             penalty_cycles: AtomicU64::new(0),
             banks: None,
+            charge_banked: false,
             bank_conflicts: AtomicU64::new(0),
             bank_conflict_cycles: AtomicU64::new(0),
+            turnarounds: AtomicU64::new(0),
+            turnaround_cycles: AtomicU64::new(0),
         }
     }
 
@@ -109,9 +147,34 @@ impl DramArbiter {
         arbiter
     }
 
+    /// [`DramArbiter::with_banks`] with banked *charging* enabled: the
+    /// conflict and turnaround cycles every refill accrues are returned to
+    /// the issuing device as stall cycles to pay on its own clock, instead
+    /// of being surfaced as observational counters only.
+    pub fn with_banks_charged(per_cu_bandwidth_share: f64, banks: DramBanks) -> Self {
+        let mut arbiter = DramArbiter::with_banks(per_cu_bandwidth_share, banks);
+        arbiter.charge_banked = true;
+        arbiter
+    }
+
     /// Whether refills are routed through a bank interleaving model.
     pub fn has_banks(&self) -> bool {
         self.banks.is_some()
+    }
+
+    /// Whether banked latency (conflicts + turnarounds) is charged to CU
+    /// clocks rather than only metered.
+    pub fn charges_banks(&self) -> bool {
+        self.charge_banked && self.banks.is_some()
+    }
+
+    /// Bank geometry `(num_banks, stripe_words)` when a bank model is
+    /// attached — what a layout pass needs to place rows deliberately.
+    pub fn bank_geometry(&self) -> Option<(usize, u64)> {
+        self.banks.as_ref().map(|cursor| {
+            let cursor = cursor.lock().expect("bank cursor poisoned");
+            (cursor.banks.num_banks(), cursor.banks.stripe_words())
+        })
     }
 
     /// The bank model's activity report, when one is attached.
@@ -145,32 +208,68 @@ impl DramArbiter {
 
     /// Meters one DRAM transfer of `words` words whose uncontended cost is
     /// `base_cycles`, and returns the *extra* cycles the issuing CU must
-    /// stall for under the current contention.
+    /// stall for under the current contention. Pre-charging entry point: the
+    /// transfer is treated as a read on the tail-append refill stream, so
+    /// observational bank metering is byte-identical to the historical
+    /// behaviour.
     pub fn record_refill(&self, words: u64, base_cycles: u64) -> u64 {
+        self.record_refill_directed(BurstDirection::Read, None, words, base_cycles).contention
+    }
+
+    /// Meters one DRAM transfer with an explicit bus direction and an
+    /// optional placed word address. `None` appends the transfer to the
+    /// arbiter's sequential refill stream (buffer spills, batch fetches,
+    /// result writes — the historical tail-append cursor); `Some(addr)`
+    /// meters a burst at a deliberately *placed* address (an adjacency row
+    /// under a CSR layout) without disturbing the tail cursor.
+    ///
+    /// The contention component of the returned breakdown must always be
+    /// paid by the caller; the conflict and turnaround components only when
+    /// [`DramArbiter::charges_banks`] is true.
+    pub fn record_refill_directed(
+        &self,
+        dir: BurstDirection,
+        addr: Option<u64>,
+        words: u64,
+        base_cycles: u64,
+    ) -> RefillBreakdown {
         self.refills.fetch_add(1, Ordering::Relaxed);
         self.words.fetch_add(words, Ordering::Relaxed);
+        let mut breakdown = RefillBreakdown::default();
         if let Some(cursor) = &self.banks {
-            // Stats-only bank metering: the critical section is a handful of
-            // arithmetic ops on the reused bank state (no allocation, no
-            // report building), so the lock does not meaningfully serialise
-            // the refill path it observes.
+            // The critical section is a handful of arithmetic ops on the
+            // reused bank state (no allocation, no report building), so the
+            // lock does not meaningfully serialise the refill path.
             let mut cursor = cursor.lock().expect("bank cursor poisoned");
-            let before = cursor.banks.conflicts();
-            let start = cursor.next_word;
-            cursor.banks.burst_cost(start, words);
-            cursor.next_word = start + words;
-            let new_conflicts = cursor.banks.conflicts() - before;
-            if new_conflicts > 0 {
-                let penalty = new_conflicts * cursor.banks.read_latency();
-                self.bank_conflicts.fetch_add(new_conflicts, Ordering::Relaxed);
-                self.bank_conflict_cycles.fetch_add(penalty, Ordering::Relaxed);
+            // Placed bursts (adjacency rows at deliberate addresses) contend
+            // for the per-bank row buffers; tail-append bursts are the
+            // sequential stream region, which the controller prefetches —
+            // they pay service + turnaround but no row conflicts.
+            let charge = match addr {
+                Some(placed) => cursor.banks.burst_cost_directed(dir, placed, words),
+                None => {
+                    let start = cursor.next_word;
+                    cursor.next_word = start + words;
+                    cursor.banks.stream_cost_directed(dir, start, words)
+                }
+            };
+            if charge.conflict > 0 {
+                self.bank_conflicts.fetch_add(1, Ordering::Relaxed);
+                self.bank_conflict_cycles.fetch_add(charge.conflict, Ordering::Relaxed);
             }
+            if charge.turnaround > 0 {
+                self.turnarounds.fetch_add(1, Ordering::Relaxed);
+                self.turnaround_cycles.fetch_add(charge.turnaround, Ordering::Relaxed);
+            }
+            breakdown.conflict = charge.conflict;
+            breakdown.turnaround = charge.turnaround;
         }
-        let extra = ((self.contention_factor() - 1.0) * base_cycles as f64).round() as u64;
-        if extra > 0 {
-            self.penalty_cycles.fetch_add(extra, Ordering::Relaxed);
+        breakdown.contention =
+            ((self.contention_factor() - 1.0) * base_cycles as f64).round() as u64;
+        if breakdown.contention > 0 {
+            self.penalty_cycles.fetch_add(breakdown.contention, Ordering::Relaxed);
         }
-        extra
+        breakdown
     }
 
     /// Aggregate traffic metered so far.
@@ -181,6 +280,8 @@ impl DramArbiter {
             penalty_cycles: self.penalty_cycles.load(Ordering::Relaxed),
             bank_conflicts: self.bank_conflicts.load(Ordering::Relaxed),
             bank_conflict_cycles: self.bank_conflict_cycles.load(Ordering::Relaxed),
+            turnarounds: self.turnarounds.load(Ordering::Relaxed),
+            turnaround_cycles: self.turnaround_cycles.load(Ordering::Relaxed),
         }
     }
 }
@@ -224,6 +325,23 @@ impl ArbiterHandle {
     /// Meters one DRAM transfer; see [`DramArbiter::record_refill`].
     pub fn record_refill(&self, words: u64, base_cycles: u64) -> u64 {
         self.arbiter.record_refill(words, base_cycles)
+    }
+
+    /// Meters one directed (and optionally placed) DRAM transfer; see
+    /// [`DramArbiter::record_refill_directed`].
+    pub fn record_refill_directed(
+        &self,
+        dir: BurstDirection,
+        addr: Option<u64>,
+        words: u64,
+        base_cycles: u64,
+    ) -> RefillBreakdown {
+        self.arbiter.record_refill_directed(dir, addr, words, base_cycles)
+    }
+
+    /// Whether the arbiter charges banked latency to CU clocks.
+    pub fn charges_banks(&self) -> bool {
+        self.arbiter.charges_banks()
     }
 }
 
@@ -328,9 +446,8 @@ mod tests {
         let report = a.bank_report().expect("banks attached");
         assert_eq!(report.accesses, 1);
         assert_eq!(report.max_bank_words, report.min_bank_words, "striped evenly");
-        // Tail-append refills walk the round-robin stripes: each sub-stripe
-        // refill starts on the bank *after* the previous one ended — never a
-        // conflict (a conflict is starting on the previous burst's end bank).
+        // Tail-append refills are the sequential stream region: prefetchable
+        // by the controller, they never pay row conflicts.
         for _ in 0..8 {
             a.record_refill(8, 10);
         }
@@ -344,16 +461,63 @@ mod tests {
         let latency = 8;
         let banks = DramBanks::new(4, 8, latency, 8, Interleaving::SingleBank);
         let a = Arc::new(DramArbiter::with_banks(0.5, banks));
-        for _ in 0..5 {
-            a.record_refill(8, 10);
+        // Placed row reads on SingleBank: every read lands on bank 0, and
+        // each opens a different stripe — a row miss for every read after
+        // the first.
+        for row in 0..5u64 {
+            a.record_refill_directed(BurstDirection::Read, Some(row * 8), 8, 10);
         }
         let stats = a.stats();
-        // Every refill after the first collides with bank 0.
         assert_eq!(stats.bank_conflicts, 4);
         assert_eq!(stats.bank_conflict_cycles, 4 * latency);
         assert_eq!(stats.refills, 5);
         // The conflicts are observational: the bandwidth-sharing law is still
         // the only source of injected penalty cycles.
         assert_eq!(stats.penalty_cycles, 0);
+        assert!(!a.charges_banks(), "with_banks alone never charges banked latency");
+    }
+
+    #[test]
+    fn charged_arbiter_returns_the_banked_stall_in_the_breakdown() {
+        use crate::banks::{DramBanks, Interleaving};
+        let latency = 8;
+        let banks =
+            DramBanks::new(4, 8, latency, 8, Interleaving::SingleBank).with_turnaround_penalty(4);
+        let a = Arc::new(DramArbiter::with_banks_charged(0.5, banks));
+        assert!(a.charges_banks());
+        assert_eq!(a.bank_geometry(), Some((4, 8)));
+        let first = a.record_refill_directed(BurstDirection::Read, Some(0), 8, 10);
+        assert_eq!(first.banked_stall(), 0, "nothing to collide or flip against yet");
+        let conflict = a.record_refill_directed(BurstDirection::Read, Some(8), 8, 10);
+        assert_eq!(conflict.conflict, latency, "row 1 evicts row 0 on bank 0");
+        assert_eq!(conflict.turnaround, 0);
+        let flip = a.record_refill_directed(BurstDirection::Write, None, 8, 10);
+        assert_eq!(flip.conflict, 0, "writes drain via the write buffer — no row conflict");
+        assert_eq!(flip.turnaround, 4);
+        let stats = a.stats();
+        assert_eq!(stats.bank_conflicts, 1);
+        assert_eq!(stats.turnarounds, 1);
+        assert_eq!(stats.turnaround_cycles, 4);
+    }
+
+    #[test]
+    fn placed_refills_do_not_disturb_the_tail_cursor() {
+        use crate::banks::{DramBanks, Interleaving};
+        // 4 banks, 8-word stripes, round-robin.
+        let banks = DramBanks::new(4, 8, 8, 8, Interleaving::RoundRobin);
+        let a = Arc::new(DramArbiter::with_banks_charged(0.5, banks));
+        a.record_refill_directed(BurstDirection::Read, None, 8, 10); // tail: words 0..8
+                                                                     // A placed row read opens stripe 0 on bank 0; a second placed read
+                                                                     // of stripe 4 (also bank 0) right after it is a row miss.
+        let opened = a.record_refill_directed(BurstDirection::Read, Some(0), 4, 10);
+        assert_eq!(opened.conflict, 0, "bank 0 had no row-tracked state yet");
+        let placed = a.record_refill_directed(BurstDirection::Read, Some(32), 4, 10);
+        assert_eq!(placed.conflict, 8);
+        // …and the tail stream resumes where it left off (words 8..16): the
+        // placed bursts did not advance its cursor, and stream traffic pays
+        // no row conflicts.
+        let resumed = a.record_refill_directed(BurstDirection::Read, None, 8, 10);
+        assert_eq!(resumed.conflict, 0);
+        assert_eq!(a.stats().words, 8 + 4 + 4 + 8);
     }
 }

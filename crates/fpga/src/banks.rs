@@ -22,6 +22,40 @@ pub enum Interleaving {
     SingleBank,
 }
 
+/// Direction of a DRAM burst. The paper's device keeps *separate* read and
+/// write buffers (§VI) precisely because flipping the shared bus between
+/// directions costs a turnaround delay; the bank model charges that flip when
+/// consecutive bursts disagree on direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BurstDirection {
+    /// DRAM → chip.
+    Read,
+    /// Chip → DRAM.
+    Write,
+}
+
+/// Cost breakdown of one burst, split into the components the arbiter either
+/// always folds into the base transfer cost (`service`) or only charges to CU
+/// clocks when banked charging is enabled (`conflict`, `turnaround`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstCharge {
+    /// Latency + per-bank service share — the cost the flat [`crate::Dram`]
+    /// model already approximates.
+    pub service: u64,
+    /// Extra latency because the burst's start bank held a different open
+    /// row (row-buffer miss: precharge + activate).
+    pub conflict: u64,
+    /// Extra latency because the burst flipped the bus direction.
+    pub turnaround: u64,
+}
+
+impl BurstCharge {
+    /// The banked stall beyond the flat service cost.
+    pub fn stall(&self) -> u64 {
+        self.conflict + self.turnaround
+    }
+}
+
 /// A set of DRAM banks with per-bank occupancy and conflict accounting.
 #[derive(Debug, Clone)]
 pub struct DramBanks {
@@ -30,13 +64,35 @@ pub struct DramBanks {
     read_latency: u64,
     burst_words_per_cycle: u64,
     interleaving: Interleaving,
+    /// Cycles a burst pays when it flips the bus direction relative to the
+    /// previous burst (read↔write turnaround). An *uncalibrated extension* of
+    /// the paper's model — see `docs/paper_fidelity.md`.
+    turnaround_penalty: u64,
     /// Words stored per bank (capacity accounting only; contents live in the
     /// engine's ordinary Rust structures).
     words_per_bank: Vec<u64>,
     conflicts: u64,
     accesses: u64,
-    /// Bank the previous burst ended on (conflict detection state).
-    last_end_bank: Option<usize>,
+    turnarounds: u64,
+    /// Per-bank open row (= stripe index): each bank has its own row buffer,
+    /// and a burst that starts on a bank whose open row differs from the
+    /// burst's stripe pays a conflict (precharge + activate) — unless the
+    /// bank has been idle long enough for interleaving to hide it (see
+    /// `last_tick`). A burst whose stripe is already open in its start bank
+    /// is a row-buffer hit.
+    open_rows: Vec<Option<u64>>,
+    /// Global stripe-chunk counter: every stripe-sized chunk of every burst
+    /// advances it by one.
+    tick: u64,
+    /// Tick of the last chunk served by each bank. A row miss on a bank that
+    /// has been idle for ≥ `num_banks` chunks is hidden (the controller
+    /// overlaps the precharge + activate with the other banks' transfers —
+    /// the very point of bank interleaving), so sequential streams that wrap
+    /// the banks stay conflict-free; only rapid re-use of one bank with a
+    /// different row stalls.
+    last_tick: Vec<u64>,
+    /// Direction of the previous burst (turnaround detection state).
+    last_dir: Option<BurstDirection>,
     /// Reused per-burst distribution buffer (no allocation per access).
     per_bank_scratch: Vec<u64>,
 }
@@ -46,8 +102,10 @@ pub struct DramBanks {
 pub struct BankReport {
     /// Number of burst accesses issued.
     pub accesses: u64,
-    /// Number of accesses that collided with the previously used bank.
+    /// Number of accesses whose start bank held a different open row.
     pub conflicts: u64,
+    /// Number of accesses that flipped the bus direction (read↔write).
+    pub turnarounds: u64,
     /// Words resident per bank at the time of the report.
     pub max_bank_words: u64,
     /// Words resident in the least loaded bank.
@@ -72,12 +130,37 @@ impl DramBanks {
             read_latency,
             burst_words_per_cycle: burst_words_per_cycle.max(1),
             interleaving,
+            // Default turnaround: half an access latency — roughly the
+            // tWTR/tRTW share of a DDR4 row cycle. Uncalibrated; override
+            // with [`DramBanks::with_turnaround_penalty`].
+            turnaround_penalty: read_latency / 2,
             words_per_bank: vec![0; num_banks],
             conflicts: 0,
             accesses: 0,
-            last_end_bank: None,
+            turnarounds: 0,
+            open_rows: vec![None; num_banks],
+            tick: 0,
+            last_tick: vec![0; num_banks],
+            last_dir: None,
             per_bank_scratch: vec![0; num_banks],
         }
+    }
+
+    /// Overrides the read↔write turnaround penalty (cycles per direction
+    /// flip; 0 disables the asymmetry entirely).
+    pub fn with_turnaround_penalty(mut self, cycles: u64) -> Self {
+        self.turnaround_penalty = cycles;
+        self
+    }
+
+    /// The configured turnaround penalty in cycles.
+    pub fn turnaround_penalty(&self) -> u64 {
+        self.turnaround_penalty
+    }
+
+    /// The configured stripe width in 32-bit words.
+    pub fn stripe_words(&self) -> u64 {
+        self.stripe_words
     }
 
     /// The U200 configuration: 4 banks, 512-word stripes, the same latency
@@ -112,17 +195,88 @@ impl DramBanks {
     /// returns its cost in cycles. Bursts that span several banks overlap
     /// their transfers: the cost is the largest per-bank share plus one
     /// latency, matching a shell that issues the per-bank requests in
-    /// parallel. A burst that starts on the bank the *previous* burst ended
-    /// on is charged one extra latency (a bank conflict: the row buffer is
-    /// still busy draining).
+    /// parallel. Each bank keeps its own open row (the last stripe a burst
+    /// touched in it); a burst that starts on a bank holding a *different*
+    /// open row is charged one extra latency (a bank conflict: precharge the
+    /// old row, activate the new one) — but only when that bank served a
+    /// chunk within the last `num_banks` stripe-chunks of traffic. A bank
+    /// idle longer than that hides the activation behind the other banks'
+    /// transfers (the point of interleaving), so sequential streams that
+    /// wrap the banks stay conflict-free; conflicts come from distinct hot
+    /// rows rapidly alternating on one bank. A burst whose stripe is already
+    /// open in its start bank is a row-buffer hit and costs nothing extra.
+    /// At most one conflict is charged per burst (at its start). Only reads
+    /// contend: writes drain lazily from the controller's write buffer in
+    /// row-sized batches, so they neither pay conflicts nor evict open rows
+    /// (they still pay the read↔write turnaround when the bus flips).
     pub fn burst_cost(&mut self, start_word: u64, words: u64) -> u64 {
+        let charge = self.burst_cost_directed(BurstDirection::Read, start_word, words);
+        charge.service + charge.conflict
+    }
+
+    /// [`DramBanks::burst_cost`] with an explicit bus direction and the cost
+    /// split into its components: the flat service share, the bank-conflict
+    /// latency and the read↔write turnaround penalty when the direction
+    /// flipped relative to the previous burst.
+    pub fn burst_cost_directed(
+        &mut self,
+        dir: BurstDirection,
+        start_word: u64,
+        words: u64,
+    ) -> BurstCharge {
+        self.cost_directed(dir, start_word, words, true)
+    }
+
+    /// [`DramBanks::burst_cost_directed`] for *stream* traffic — the
+    /// sequential spill/refill/result region (tail-append bursts). Each
+    /// modelled bank is a DRAM channel with many internal banks, and a
+    /// sequential stream is prefetchable: the controller streams it through
+    /// internal banks of its own, so it neither pays row conflicts nor
+    /// evicts the adjacency rows' open-row state. It still pays service and
+    /// the read↔write turnaround, and is metered in the occupancy report.
+    pub fn stream_cost_directed(
+        &mut self,
+        dir: BurstDirection,
+        start_word: u64,
+        words: u64,
+    ) -> BurstCharge {
+        self.cost_directed(dir, start_word, words, false)
+    }
+
+    fn cost_directed(
+        &mut self,
+        dir: BurstDirection,
+        start_word: u64,
+        words: u64,
+        row_tracked: bool,
+    ) -> BurstCharge {
         if words == 0 {
-            return 0;
+            return BurstCharge { service: 0, conflict: 0, turnaround: 0 };
         }
         self.accesses += 1;
+        let track = row_tracked && dir == BurstDirection::Read;
         let start_bank = self.bank_of(start_word);
+        let start_stripe = start_word / self.stripe_words;
+        // Row-buffer check before the burst rewrites the open rows. Only
+        // *reads* contend for row buffers: the DFS stalls on them, while
+        // writes drain lazily from the controller's write buffer (the shell
+        // keeps separate read/write paths) and reorder into row-sized
+        // batches, so they neither pay nor evict open rows here. A read
+        // miss stalls only when the start bank served a chunk recently
+        // enough that the precharge + activate cannot hide behind the other
+        // banks' transfers.
+        let mut conflict = 0;
+        if track {
+            let recent =
+                (self.tick + 1).saturating_sub(self.last_tick[start_bank]) < self.num_banks as u64;
+            if recent && self.open_rows[start_bank].is_some_and(|open| open != start_stripe) {
+                self.conflicts += 1;
+                conflict = self.read_latency;
+            }
+        }
         // Distribute the words over banks stripe by stripe (reused scratch —
-        // this sits on the arbiter's per-refill path).
+        // this sits on the arbiter's per-refill path); each stripe a *read*
+        // sweeps becomes its bank's open row.
         self.per_bank_scratch.iter_mut().for_each(|w| *w = 0);
         let mut remaining = words;
         let mut addr = start_word;
@@ -132,18 +286,24 @@ impl DramBanks {
             let in_stripe = (self.stripe_words - stripe_off).min(remaining);
             self.per_bank_scratch[bank] += in_stripe;
             self.words_per_bank[bank] += in_stripe;
+            if track {
+                self.open_rows[bank] = Some(addr / self.stripe_words);
+                self.tick += 1;
+                self.last_tick[bank] = self.tick;
+            }
             addr += in_stripe;
             remaining -= in_stripe;
         }
         let max_share = self.per_bank_scratch.iter().copied().max().unwrap_or(0);
-        let mut cost = self.read_latency + max_share.div_ceil(self.burst_words_per_cycle);
+        let service = self.read_latency + max_share.div_ceil(self.burst_words_per_cycle);
 
-        if self.last_end_bank == Some(start_bank) {
-            self.conflicts += 1;
-            cost += self.read_latency;
+        let mut turnaround = 0;
+        if self.last_dir.is_some_and(|last| last != dir) {
+            self.turnarounds += 1;
+            turnaround = self.turnaround_penalty;
         }
-        self.last_end_bank = Some(self.bank_of(start_word + words - 1));
-        cost
+        self.last_dir = Some(dir);
+        BurstCharge { service, conflict, turnaround }
     }
 
     /// Number of bank conflicts recorded so far (cheaper than a full
@@ -152,11 +312,17 @@ impl DramBanks {
         self.conflicts
     }
 
+    /// Number of read↔write direction flips recorded so far.
+    pub fn turnarounds(&self) -> u64 {
+        self.turnarounds
+    }
+
     /// Report of the activity so far.
     pub fn report(&self) -> BankReport {
         BankReport {
             accesses: self.accesses,
             conflicts: self.conflicts,
+            turnarounds: self.turnarounds,
             max_bank_words: self.words_per_bank.iter().copied().max().unwrap_or(0),
             min_bank_words: self.words_per_bank.iter().copied().min().unwrap_or(0),
         }
@@ -167,7 +333,11 @@ impl DramBanks {
         self.words_per_bank.iter_mut().for_each(|w| *w = 0);
         self.conflicts = 0;
         self.accesses = 0;
-        self.last_end_bank = None;
+        self.turnarounds = 0;
+        self.open_rows.iter_mut().for_each(|r| *r = None);
+        self.tick = 0;
+        self.last_tick.iter_mut().for_each(|t| *t = 0);
+        self.last_dir = None;
     }
 }
 
@@ -217,11 +387,16 @@ mod tests {
     fn repeated_same_bank_bursts_record_conflicts() {
         let mut banks = DramBanks::new(4, 8, 8, 8, Interleaving::SingleBank);
         banks.burst_cost(0, 8);
-        let c2 = banks.burst_cost(0, 8);
+        // A different stripe on the same bank closes the open row: conflict.
+        let c2 = banks.burst_cost(8, 8);
         let report = banks.report();
         assert_eq!(report.conflicts, 1);
         // The conflicting burst pays the latency twice.
         assert_eq!(c2, 8 + 1 + 8);
+        // Re-reading the stripe the last burst ended in is a row-buffer hit.
+        let c3 = banks.burst_cost(8, 8);
+        assert_eq!(c3, 8 + 1);
+        assert_eq!(banks.report().conflicts, 1);
     }
 
     #[test]
@@ -247,5 +422,48 @@ mod tests {
     #[should_panic(expected = "at least one DRAM bank")]
     fn zero_banks_are_rejected() {
         DramBanks::new(0, 8, 8, 8, Interleaving::RoundRobin);
+    }
+
+    #[test]
+    fn direction_flip_pays_the_turnaround_penalty_once_per_flip() {
+        let mut banks =
+            DramBanks::new(4, 8, 8, 8, Interleaving::RoundRobin).with_turnaround_penalty(5);
+        let first = banks.burst_cost_directed(BurstDirection::Read, 0, 8);
+        assert_eq!(first.turnaround, 0, "the first burst has no direction to flip from");
+        let same = banks.burst_cost_directed(BurstDirection::Read, 8, 8);
+        assert_eq!(same.turnaround, 0);
+        let flip = banks.burst_cost_directed(BurstDirection::Write, 16, 8);
+        assert_eq!(flip.turnaround, 5);
+        let flip_back = banks.burst_cost_directed(BurstDirection::Read, 24, 8);
+        assert_eq!(flip_back.turnaround, 5);
+        assert_eq!(banks.turnarounds(), 2);
+        assert_eq!(banks.report().turnarounds, 2);
+    }
+
+    #[test]
+    fn legacy_burst_cost_is_the_read_path_without_turnarounds() {
+        // The undirected entry point pins every burst to Read, so direction
+        // flips can never occur and the pre-turnaround costs are reproduced
+        // exactly (conflict latency included, as before).
+        let mut legacy = DramBanks::new(4, 8, 8, 8, Interleaving::SingleBank);
+        let mut directed = DramBanks::new(4, 8, 8, 8, Interleaving::SingleBank);
+        for (start, words) in [(0u64, 8u64), (0, 8), (4, 12), (100, 3)] {
+            let cost = legacy.burst_cost(start, words);
+            let charge = directed.burst_cost_directed(BurstDirection::Read, start, words);
+            assert_eq!(cost, charge.service + charge.conflict);
+            assert_eq!(charge.turnaround, 0);
+        }
+        assert_eq!(legacy.turnarounds(), 0);
+    }
+
+    #[test]
+    fn zero_turnaround_penalty_disables_the_asymmetry() {
+        let mut banks =
+            DramBanks::new(4, 8, 8, 8, Interleaving::RoundRobin).with_turnaround_penalty(0);
+        banks.burst_cost_directed(BurstDirection::Read, 0, 8);
+        let flip = banks.burst_cost_directed(BurstDirection::Write, 8, 8);
+        assert_eq!(flip.turnaround, 0);
+        // The flip is still *counted* — only its charge is zero.
+        assert_eq!(banks.turnarounds(), 1);
     }
 }

@@ -7,6 +7,7 @@
 //! one query.
 
 use crate::arbiter::ArbiterHandle;
+use crate::banks::BurstDirection;
 use crate::bram::Bram;
 use crate::clock::CycleClock;
 use crate::config::{DeviceConfig, MemoryKind};
@@ -38,6 +39,12 @@ pub struct Device {
     dram_busy_cycles: u64,
     /// Extra stall cycles injected by the shared-DRAM arbiter.
     contention_cycles: u64,
+    /// Bank-conflict stall cycles charged to this device's clock (0 unless
+    /// the attached arbiter charges banked latency).
+    bank_conflict_cycles: u64,
+    /// Read↔write turnaround stall cycles charged to this device's clock
+    /// (0 unless the attached arbiter charges banked latency).
+    turnaround_cycles: u64,
     /// Fault stream for this device instantiation, when the card runs under
     /// a [`crate::fault::FaultPlan`]; `None` for a fault-free device.
     injector: Option<FaultInjector>,
@@ -72,6 +79,12 @@ pub struct DeviceReport {
     /// Stall cycles injected by a shared-DRAM arbiter (0 for a standalone
     /// device; included in `cycles`).
     pub contention_cycles: u64,
+    /// Bank-conflict stall cycles charged by the arbiter's bank model
+    /// (0 unless banked charging is enabled; included in `cycles`).
+    pub bank_conflict_cycles: u64,
+    /// Read↔write turnaround stall cycles charged by the arbiter's bank
+    /// model (0 unless banked charging is enabled; included in `cycles`).
+    pub turnaround_cycles: u64,
     /// First fault the transfer checksums detected during the query, if any.
     /// A report with a fault describes an *aborted* run whose timing and
     /// results must not be trusted.
@@ -105,6 +118,8 @@ impl Device {
             arbiter: None,
             dram_busy_cycles: 0,
             contention_cycles: 0,
+            bank_conflict_cycles: 0,
+            turnaround_cycles: 0,
             injector: None,
             pending_fault: None,
             injected_stall_cycles: 0,
@@ -176,16 +191,58 @@ impl Device {
     }
 
     /// Advances the clock for a DRAM transfer of `words` words costing
-    /// `base_cycles` uncontended, adding any stall the shared arbiter imposes.
-    fn advance_dram(&mut self, base_cycles: u64, words: u64) {
+    /// `base_cycles` uncontended, adding any stall the shared arbiter imposes
+    /// — the contention share always, the banked share (conflicts and
+    /// read↔write turnarounds) only when the arbiter charges banked latency.
+    fn advance_dram(&mut self, dir: BurstDirection, base_cycles: u64, words: u64) {
         self.dram_busy_cycles += base_cycles;
-        let stall = match &self.arbiter {
-            Some(handle) => handle.record_refill(words, base_cycles),
-            None => 0,
-        };
-        self.contention_cycles += stall;
+        let mut stall = 0;
+        if let Some(handle) = &self.arbiter {
+            let breakdown = handle.record_refill_directed(dir, None, words, base_cycles);
+            self.contention_cycles += breakdown.contention;
+            stall = breakdown.contention;
+            if handle.charges_banks() {
+                self.bank_conflict_cycles += breakdown.conflict;
+                self.turnaround_cycles += breakdown.turnaround;
+                stall += breakdown.banked_stall();
+            }
+        }
         self.clock.advance(base_cycles + stall);
         self.inject(TransferClass::Dram);
+    }
+
+    /// Whether the attached arbiter charges banked DRAM latency (bank
+    /// conflicts and read↔write turnarounds) to this device's clock.
+    pub fn charges_banked_dram(&self) -> bool {
+        self.arbiter.as_ref().is_some_and(ArbiterHandle::charges_banks)
+    }
+
+    /// Bank geometry `(num_banks, stripe_words)` of the attached arbiter's
+    /// interleaving model, when one exists.
+    pub fn bank_geometry(&self) -> Option<(usize, u64)> {
+        self.arbiter.as_ref().and_then(|handle| handle.arbiter().bank_geometry())
+    }
+
+    /// Charges the *banked* stall of fetching a placed adjacency row of
+    /// `words` words at word address `row_addr`: the burst is routed through
+    /// the arbiter's bank map and only its conflict + turnaround share
+    /// advances the clock (the base fetch latency is already folded into the
+    /// expansion pipeline's initiation interval, like every other uncached
+    /// graph access).
+    ///
+    /// A complete no-op — no clock, no bank state, no counters — unless the
+    /// arbiter charges banked latency, so runs with charging disabled stay
+    /// bit-identical to the pre-placement timing model.
+    pub fn charge_placed_row_fetch(&mut self, row_addr: u64, words: u64) {
+        let Some(handle) = &self.arbiter else { return };
+        if !handle.charges_banks() || words == 0 {
+            return;
+        }
+        let breakdown =
+            handle.record_refill_directed(BurstDirection::Read, Some(row_addr), words, 0);
+        self.bank_conflict_cycles += breakdown.conflict;
+        self.turnaround_cycles += breakdown.turnaround;
+        self.clock.advance(breakdown.banked_stall());
     }
 
     /// A device with the paper's Alveo U200 profile.
@@ -216,6 +273,8 @@ impl Device {
         self.pcie_seconds = 0.0;
         self.dram_busy_cycles = 0;
         self.contention_cycles = 0;
+        self.bank_conflict_cycles = 0;
+        self.turnaround_cycles = 0;
         self.pending_fault = None;
         self.injected_stall_cycles = 0;
     }
@@ -239,7 +298,7 @@ impl Device {
                 self.counters.dram_reads += 1;
                 self.counters.dram_words_read += words;
                 let base = self.dram.read_cost(words);
-                self.advance_dram(base, words);
+                self.advance_dram(BurstDirection::Read, base, words);
             }
         }
     }
@@ -255,7 +314,7 @@ impl Device {
                 self.counters.dram_writes += 1;
                 self.counters.dram_words_written += words;
                 let base = self.dram.write_cost(words);
-                self.advance_dram(base, words);
+                self.advance_dram(BurstDirection::Write, base, words);
             }
         }
     }
@@ -272,7 +331,7 @@ impl Device {
                 self.counters.dram_reads += accesses;
                 self.counters.dram_words_read += accesses;
                 let base = self.dram.random_read_cost(accesses);
-                self.advance_dram(base, accesses);
+                self.advance_dram(BurstDirection::Read, base, accesses);
             }
         }
     }
@@ -309,7 +368,7 @@ impl Device {
         self.counters.dram_reads += 1;
         self.counters.dram_words_read += words;
         let base = self.dram.read_cost(words);
-        self.advance_dram(base, words);
+        self.advance_dram(BurstDirection::Read, base, words);
     }
 
     /// Records a buffer-area flush of `words` to DRAM.
@@ -318,7 +377,7 @@ impl Device {
         self.counters.dram_writes += 1;
         self.counters.dram_words_written += words;
         let base = self.dram.write_cost(words);
-        self.advance_dram(base, words);
+        self.advance_dram(BurstDirection::Write, base, words);
     }
 
     /// Records fetching a batch of `words` back from DRAM into BRAM.
@@ -327,7 +386,7 @@ impl Device {
         self.counters.dram_reads += 1;
         self.counters.dram_words_read += words;
         let base = self.dram.read_cost(words);
-        self.advance_dram(base, words);
+        self.advance_dram(BurstDirection::Read, base, words);
     }
 
     // ---- compute charging -------------------------------------------------------
@@ -392,6 +451,8 @@ impl Device {
             bram_capacity: self.bram.capacity(),
             dram_cycles: self.dram_busy_cycles,
             contention_cycles: self.contention_cycles,
+            bank_conflict_cycles: self.bank_conflict_cycles,
+            turnaround_cycles: self.turnaround_cycles,
             fault: self.pending_fault,
             injected_stall_cycles: self.injected_stall_cycles,
         }
@@ -580,6 +641,181 @@ mod tests {
         // An already-latched device keeps its first fault.
         let second = d.raise_fault(FaultKind::CuCrash);
         assert_eq!(second, event);
+    }
+
+    #[test]
+    fn uncharged_banked_arbiter_never_touches_the_clock() {
+        use crate::arbiter::{ArbiterHandle, DramArbiter};
+        use crate::banks::{DramBanks, Interleaving};
+        use std::sync::Arc;
+
+        // Tail streams never conflict (they are prefetchable), but the
+        // read/write alternation forces turnarounds — and with charging off
+        // the metered cycles must stay observational.
+        let banks = DramBanks::new(4, 8, 8, 8, Interleaving::SingleBank);
+        let arbiter = Arc::new(DramArbiter::with_banks(0.5, banks));
+        let mut banked = Device::alveo_u200();
+        banked.attach_arbiter(ArbiterHandle::new(Arc::clone(&arbiter), 0));
+        let mut plain = Device::alveo_u200();
+        for d in [&mut banked, &mut plain] {
+            d.charge_read(MemoryKind::Dram, 64);
+            d.charge_write(MemoryKind::Dram, 64);
+            d.charge_read(MemoryKind::Dram, 64);
+        }
+        assert_eq!(arbiter.stats().bank_conflict_cycles, 0, "streams never conflict");
+        assert!(arbiter.stats().turnaround_cycles > 0, "turnarounds are metered");
+        assert_eq!(banked.cycles(), plain.cycles(), "…but never charged");
+        let report = banked.report();
+        assert_eq!(report.bank_conflict_cycles, 0);
+        assert_eq!(report.turnaround_cycles, 0);
+        // Placed row fetches are a complete no-op with charging off: neither
+        // the clock nor the bank cursor moves.
+        let accesses_before = arbiter.bank_report().unwrap().accesses;
+        banked.charge_placed_row_fetch(0, 16);
+        assert_eq!(banked.cycles(), plain.cycles());
+        assert_eq!(arbiter.bank_report().unwrap().accesses, accesses_before);
+    }
+
+    #[test]
+    fn charged_banked_arbiter_stalls_the_clock_by_the_banked_share() {
+        use crate::arbiter::{ArbiterHandle, DramArbiter};
+        use crate::banks::{DramBanks, Interleaving};
+        use std::sync::Arc;
+
+        let make = |charged: bool| {
+            let banks =
+                DramBanks::new(4, 8, 8, 8, Interleaving::SingleBank).with_turnaround_penalty(4);
+            let arbiter = if charged {
+                Arc::new(DramArbiter::with_banks_charged(0.5, banks))
+            } else {
+                Arc::new(DramArbiter::with_banks(0.5, banks))
+            };
+            let mut device = Device::alveo_u200();
+            device.attach_arbiter(ArbiterHandle::new(arbiter, 0));
+            device
+        };
+        let mut charged = make(true);
+        let mut free = make(false);
+        for d in [&mut charged, &mut free] {
+            d.charge_read(MemoryKind::Dram, 64);
+            d.charge_write(MemoryKind::Dram, 64);
+            d.charge_read(MemoryKind::Dram, 64);
+        }
+        let (c, f) = (charged.report(), free.report());
+        // Tail streams never conflict, but the read→write and write→read
+        // flips cost 2 turnarounds × 4 cycles.
+        assert_eq!(c.bank_conflict_cycles, 0);
+        assert_eq!(c.turnaround_cycles, 8);
+        assert_eq!(c.cycles, f.cycles + 8, "the banked share is charged on top");
+        assert_eq!(c.dram_cycles, f.dram_cycles, "base DRAM cost is unchanged");
+        // Placed row fetches charge only their banked stall: the first one
+        // opens row 0 on bank 0 for free, the second lands on bank 0
+        // (SingleBank) with a different row open there — one conflict
+        // latency, no base cost.
+        let before = charged.cycles();
+        charged.charge_placed_row_fetch(0, 16);
+        assert_eq!(charged.cycles(), before, "opening a fresh row is free");
+        charged.charge_placed_row_fetch(64, 16);
+        assert_eq!(charged.cycles(), before + 8, "one conflict latency, no base cost");
+        assert_eq!(charged.report().bank_conflict_cycles, 8);
+    }
+
+    #[test]
+    fn charged_clock_is_the_uncharged_clock_plus_the_metered_stall() {
+        use crate::arbiter::{ArbiterHandle, DramArbiter};
+        use crate::banks::{DramBanks, Interleaving};
+        use std::sync::Arc;
+
+        // Property: over any op sequence the charged clock equals the
+        // uncharged clock plus exactly the conflict + turnaround cycles the
+        // charged run metered — charging is pure additive stall, so zero
+        // conflicts and zero turnarounds imply bit-identical clocks.
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let make = |charged: bool| {
+            let banks =
+                DramBanks::new(4, 8, 8, 8, Interleaving::SingleBank).with_turnaround_penalty(4);
+            let arbiter = if charged {
+                Arc::new(DramArbiter::with_banks_charged(0.5, banks))
+            } else {
+                Arc::new(DramArbiter::with_banks(0.5, banks))
+            };
+            let mut device = Device::alveo_u200();
+            device.attach_arbiter(ArbiterHandle::new(arbiter, 0));
+            device
+        };
+        for seed in [1u64, 7, 42, 1234] {
+            let mut charged = make(true);
+            let mut free = make(false);
+            for d in [&mut charged, &mut free] {
+                let mut state = seed; // identical op stream on both devices
+                for _ in 0..200 {
+                    let roll = splitmix64(&mut state);
+                    let words = 1 + (roll >> 8) % 64;
+                    match roll % 3 {
+                        0 => d.charge_read(MemoryKind::Dram, words),
+                        1 => d.charge_write(MemoryKind::Dram, words),
+                        _ => d.charge_placed_row_fetch((roll >> 16) % 4096, words),
+                    }
+                }
+            }
+            let (c, f) = (charged.report(), free.report());
+            let stall = c.bank_conflict_cycles + c.turnaround_cycles;
+            assert!(stall > 0, "seed {seed}: the random stream must exercise the bank model");
+            assert_eq!(
+                c.cycles,
+                f.cycles + stall,
+                "seed {seed}: every charged cycle must be metered, and vice versa"
+            );
+            assert_eq!(f.bank_conflict_cycles, 0, "uncharged stays observational");
+            assert_eq!(f.turnaround_cycles, 0, "uncharged stays observational");
+        }
+    }
+
+    #[test]
+    fn conflict_free_round_robin_reads_charge_nothing() {
+        use crate::arbiter::{ArbiterHandle, DramArbiter};
+        use crate::banks::{DramBanks, Interleaving};
+        use std::sync::Arc;
+
+        // The equality side of the property: a reads-only workload whose
+        // placed fetches keep every bank's row open (one hot row per bank,
+        // revisited) hits zero conflicts and zero turnarounds under
+        // round-robin interleaving — with nothing metered, charging on is
+        // bit-identical to charging off.
+        let make = |charged: bool| {
+            let banks = DramBanks::new(4, 8, 8, 8, Interleaving::RoundRobin);
+            let arbiter = if charged {
+                Arc::new(DramArbiter::with_banks_charged(0.5, banks))
+            } else {
+                Arc::new(DramArbiter::with_banks(0.5, banks))
+            };
+            let mut device = Device::alveo_u200();
+            device.attach_arbiter(ArbiterHandle::new(Arc::clone(&arbiter), 0));
+            (device, arbiter)
+        };
+        let (mut charged, arbiter) = make(true);
+        let (mut free, _) = make(false);
+        for d in [&mut charged, &mut free] {
+            for _ in 0..8 {
+                d.charge_read(MemoryKind::Dram, 64);
+                for bank in 0..4u64 {
+                    // Round-robin places stripe `bank` on bank `bank`; the
+                    // same four rows stay open across every round.
+                    d.charge_placed_row_fetch(bank * 8, 8);
+                }
+            }
+        }
+        assert_eq!(arbiter.stats().bank_conflict_cycles, 0, "hot rows never conflict");
+        assert_eq!(arbiter.stats().turnaround_cycles, 0, "reads-only: no direction flips");
+        assert_eq!(charged.cycles(), free.cycles(), "nothing metered, nothing charged");
+        assert_eq!(charged.report().bank_conflict_cycles, 0);
+        assert_eq!(charged.report().turnaround_cycles, 0);
     }
 
     #[test]

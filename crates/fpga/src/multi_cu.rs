@@ -40,11 +40,16 @@ pub struct MultiCuConfig {
     /// Fraction of the total DRAM bandwidth one CU can absorb on its own
     /// (e.g. 0.5 means two CUs already saturate the memory system).
     pub per_cu_bandwidth_share: f64,
+    /// Charge the bank model's conflict and read↔write turnaround cycles to
+    /// CU clocks instead of only metering them. Off by default: the
+    /// pre-charging cycle counts (and the BENCH_04 baseline) are reproduced
+    /// exactly when this is false.
+    pub charge_banked: bool,
 }
 
 impl Default for MultiCuConfig {
     fn default() -> Self {
-        MultiCuConfig { compute_units: 1, per_cu_bandwidth_share: 0.5 }
+        MultiCuConfig { compute_units: 1, per_cu_bandwidth_share: 0.5, charge_banked: false }
     }
 }
 
@@ -117,6 +122,10 @@ pub struct CuWorkload {
     /// writes of intermediate paths, spills and results) — the only part a
     /// saturated memory system can slow down.
     pub dram_cycles: u64,
+    /// Banked stall cycles (conflicts + turnarounds) the query paid under
+    /// charging, *excluded* from `cycles`. 0 with banked charging off, so
+    /// the predictor reproduces its pre-charging output exactly.
+    pub bank_stall_cycles: u64,
 }
 
 /// Predicts a dispatch-mode batch execution: LPT assignment of the queries'
@@ -124,30 +133,40 @@ pub struct CuWorkload {
 /// `max(1, active_cus × per_cu_bandwidth_share)` applied to each CU's
 /// *DRAM-bus cycles only* — the same per-refill law the [`DramArbiter`]
 /// enforces during real execution, assuming every CU stays busy for the
-/// whole makespan.
+/// whole makespan. When banked charging is on, each query additionally
+/// carries the conflict + turnaround stall it was observed to pay
+/// ([`CuWorkload::bank_stall_cycles`]), added back verbatim: bank stalls
+/// are latency the CU really idles through, independent of how many
+/// neighbours share the bus.
 pub fn predict_dispatch(work: &[CuWorkload], config: &MultiCuConfig) -> MultiCuSchedule {
     let cus = config.compute_units.max(1);
-    let serial_cycles: u64 = work.iter().map(|w| w.cycles).sum();
+    let serial_cycles: u64 = work.iter().map(|w| w.cycles + w.bank_stall_cycles).sum();
 
     let mut sorted: Vec<CuWorkload> = work.to_vec();
-    sorted.sort_unstable_by_key(|w| std::cmp::Reverse(w.cycles));
+    sorted.sort_unstable_by_key(|w| std::cmp::Reverse(w.cycles + w.bank_stall_cycles));
     let mut per_cu = vec![CuWorkload::default(); cus];
     for w in sorted {
         let min_idx = per_cu
             .iter()
             .enumerate()
-            .min_by_key(|(_, load)| load.cycles)
+            .min_by_key(|(_, load)| load.cycles + load.bank_stall_cycles)
             .map(|(i, _)| i)
             .unwrap_or(0);
         per_cu[min_idx].cycles += w.cycles;
         per_cu[min_idx].dram_cycles += w.dram_cycles;
+        per_cu[min_idx].bank_stall_cycles += w.bank_stall_cycles;
     }
 
-    let active_cus = per_cu.iter().filter(|load| load.cycles > 0).count().max(1);
+    let active_cus =
+        per_cu.iter().filter(|load| load.cycles + load.bank_stall_cycles > 0).count().max(1);
     let contention_factor = (active_cus as f64 * config.per_cu_bandwidth_share).max(1.0);
     let per_cu_cycles: Vec<u64> = per_cu
         .iter()
-        .map(|load| load.cycles + ((contention_factor - 1.0) * load.dram_cycles as f64) as u64)
+        .map(|load| {
+            load.cycles
+                + load.bank_stall_cycles
+                + ((contention_factor - 1.0) * load.dram_cycles as f64) as u64
+        })
         .collect();
     let makespan_cycles = per_cu_cycles.iter().copied().max().unwrap_or(0);
 
@@ -216,7 +235,11 @@ impl CuCluster {
             device_config.dram_burst_words_per_cycle,
             Interleaving::RoundRobin,
         );
-        let arbiter = Arc::new(DramArbiter::with_banks(multi_cu.per_cu_bandwidth_share, banks));
+        let arbiter = Arc::new(if multi_cu.charge_banked {
+            DramArbiter::with_banks_charged(multi_cu.per_cu_bandwidth_share, banks)
+        } else {
+            DramArbiter::with_banks(multi_cu.per_cu_bandwidth_share, banks)
+        });
         let cus = multi_cu.compute_units.max(1);
         if let Some(plan) = &fault_plan {
             assert!(
@@ -438,7 +461,8 @@ mod tests {
 
     #[test]
     fn balanced_work_splits_evenly_without_contention() {
-        let config = MultiCuConfig { compute_units: 4, per_cu_bandwidth_share: 0.0 };
+        let config =
+            MultiCuConfig { compute_units: 4, per_cu_bandwidth_share: 0.0, charge_banked: false };
         let schedule = schedule_batch(&[100; 8], &config);
         assert_eq!(schedule.per_cu_cycles, vec![200; 4]);
         assert_eq!(schedule.makespan_cycles, 200);
@@ -448,7 +472,8 @@ mod tests {
     #[test]
     fn lpt_handles_skewed_batches_sensibly() {
         // One giant query dominates: the makespan cannot beat it.
-        let config = MultiCuConfig { compute_units: 4, per_cu_bandwidth_share: 0.0 };
+        let config =
+            MultiCuConfig { compute_units: 4, per_cu_bandwidth_share: 0.0, charge_banked: false };
         let schedule = schedule_batch(&[1_000, 10, 10, 10, 10], &config);
         assert_eq!(schedule.makespan_cycles, 1_000);
         assert!(schedule.speedup() < 1.05);
@@ -458,7 +483,8 @@ mod tests {
     fn bandwidth_contention_caps_the_speedup() {
         // With each CU able to absorb half the bandwidth, 4 active CUs double
         // every CU's cycles: the ideal 4x speedup collapses to 2x.
-        let config = MultiCuConfig { compute_units: 4, per_cu_bandwidth_share: 0.5 };
+        let config =
+            MultiCuConfig { compute_units: 4, per_cu_bandwidth_share: 0.5, charge_banked: false };
         let schedule = schedule_batch(&[100; 8], &config);
         assert_eq!(schedule.contention_factor, 2.0);
         assert_eq!(schedule.makespan_cycles, 400);
@@ -467,8 +493,10 @@ mod tests {
 
     #[test]
     fn empty_batch_is_a_noop() {
-        let schedule =
-            schedule_batch(&[], &MultiCuConfig { compute_units: 8, per_cu_bandwidth_share: 0.5 });
+        let schedule = schedule_batch(
+            &[],
+            &MultiCuConfig { compute_units: 8, per_cu_bandwidth_share: 0.5, charge_banked: false },
+        );
         assert_eq!(schedule.makespan_cycles, 0);
         assert_eq!(schedule.serial_cycles, 0);
         assert_eq!(schedule.speedup(), 1.0);
@@ -479,7 +507,11 @@ mod tests {
         let work: Vec<u64> = (1..=40).map(|i| i * 17).collect();
         let mut previous = u64::MAX;
         for cus in 1..=8 {
-            let config = MultiCuConfig { compute_units: cus, per_cu_bandwidth_share: 0.0 };
+            let config = MultiCuConfig {
+                compute_units: cus,
+                per_cu_bandwidth_share: 0.0,
+                charge_banked: false,
+            };
             let schedule = schedule_batch(&work, &config);
             assert!(schedule.makespan_cycles <= previous, "cus = {cus}");
             previous = schedule.makespan_cycles;
@@ -518,8 +550,9 @@ mod tests {
 
     #[test]
     fn dispatch_prediction_only_inflates_the_dram_share() {
-        let work = vec![CuWorkload { cycles: 1_000, dram_cycles: 100 }; 8];
-        let config = MultiCuConfig { compute_units: 4, per_cu_bandwidth_share: 0.5 };
+        let work = vec![CuWorkload { cycles: 1_000, dram_cycles: 100, bank_stall_cycles: 0 }; 8];
+        let config =
+            MultiCuConfig { compute_units: 4, per_cu_bandwidth_share: 0.5, charge_banked: false };
         let predicted = predict_dispatch(&work, &config);
         // Two queries per CU; factor 2 doubles only the 200 DRAM cycles.
         assert_eq!(predicted.per_cu_cycles, vec![2_200; 4]);
@@ -533,9 +566,11 @@ mod tests {
 
     #[test]
     fn dispatch_prediction_matches_closed_form_when_all_cycles_are_dram() {
-        let work: Vec<CuWorkload> =
-            (1..=8).map(|i| CuWorkload { cycles: i * 100, dram_cycles: i * 100 }).collect();
-        let config = MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.75 };
+        let work: Vec<CuWorkload> = (1..=8)
+            .map(|i| CuWorkload { cycles: i * 100, dram_cycles: i * 100, bank_stall_cycles: 0 })
+            .collect();
+        let config =
+            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.75, charge_banked: false };
         let cycles: Vec<u64> = work.iter().map(|w| w.cycles).collect();
         let traffic = predict_dispatch(&work, &config);
         let closed = schedule_batch(&cycles, &config);
@@ -555,7 +590,7 @@ mod tests {
     fn cluster_devices_share_one_arbiter_but_own_their_clocks() {
         let cluster = CuCluster::new(
             DeviceConfig::alveo_u200(),
-            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5 },
+            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5, charge_banked: false },
         );
         assert_eq!(cluster.compute_units(), 2);
         let mut a = cluster.device_for_cu(0);
@@ -581,7 +616,7 @@ mod tests {
     fn leases_are_exclusive_and_returned_on_drop() {
         let cluster = CuCluster::new(
             DeviceConfig::alveo_u200(),
-            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5 },
+            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5, charge_banked: false },
         );
         let a = cluster.checkout();
         let b = cluster.checkout();
@@ -616,7 +651,7 @@ mod tests {
     fn specific_cu_checkout_respects_the_lease_table() {
         let cluster = CuCluster::new(
             DeviceConfig::alveo_u200(),
-            MultiCuConfig { compute_units: 3, per_cu_bandwidth_share: 0.5 },
+            MultiCuConfig { compute_units: 3, per_cu_bandwidth_share: 0.5, charge_banked: false },
         );
         let lease = cluster.try_checkout_cu(1).expect("CU 1 is free");
         assert_eq!(lease.cu(), 1);
@@ -630,7 +665,7 @@ mod tests {
     fn checkout_among_times_out_instead_of_parking_forever() {
         let cluster = CuCluster::new(
             DeviceConfig::alveo_u200(),
-            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5 },
+            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5, charge_banked: false },
         );
         let _held = cluster.try_checkout_cu(0).expect("free");
         // CU 0 is leased and CU 1 is outside the candidate set: must time out.
@@ -647,7 +682,7 @@ mod tests {
     fn checkout_among_wakes_when_a_candidate_returns() {
         let cluster = Arc::new(CuCluster::new(
             DeviceConfig::alveo_u200(),
-            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5 },
+            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5, charge_banked: false },
         ));
         let lease = cluster.try_checkout_cu(1).expect("free");
         std::thread::scope(|scope| {
@@ -668,7 +703,7 @@ mod tests {
         plan.push_script(1, ScriptedFault { after_ops: 0, kind: FaultKind::DramCorruption });
         let cluster = CuCluster::with_faults(
             DeviceConfig::alveo_u200(),
-            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5 },
+            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5, charge_banked: false },
             Arc::clone(&plan),
         );
         let mut healthy = cluster.device_for_cu(0);
@@ -684,7 +719,7 @@ mod tests {
     fn cluster_arbiter_meters_bank_activity() {
         let cluster = CuCluster::new(
             DeviceConfig::alveo_u200(),
-            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5 },
+            MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5, charge_banked: false },
         );
         assert!(cluster.arbiter().has_banks());
         let mut device = cluster.device_for_cu(0);

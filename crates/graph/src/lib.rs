@@ -54,6 +54,7 @@ pub mod induced;
 pub mod io;
 pub mod labels;
 pub mod paths;
+pub mod placement;
 pub mod sampling;
 pub mod scc;
 pub mod sink;
@@ -75,6 +76,7 @@ pub use induced::{
 };
 pub use labels::{Label, LabelConstraint, VertexLabels};
 pub use paths::Path;
+pub use placement::{PlacementPolicy, RowPlacement};
 pub use sampling::{sample_reachable_pairs, sample_simple_paths};
 pub use scc::{strongly_connected_components, SccDecomposition};
 pub use sink::{CollectSink, CountingSink, FirstN, FnSink, PathSink, TranslateSink};

@@ -1,0 +1,287 @@
+//! Bank-aware CSR row placement.
+//!
+//! The device stores `G'` in banked off-chip DRAM (paper §VI): each bank has
+//! one row buffer, and a burst that lands on a bank whose open row (stripe)
+//! differs from its own pays a conflict stall (precharge + activate). The
+//! natural CSR layout scatters the hot adjacency rows — the hub rows a DFS
+//! wavefront re-reads constantly — across stripes with no regard for which
+//! bank they share, so two hot rows that alternate on one bank thrash its
+//! row buffer and conflict on every switch once the simulator *charges*
+//! those stalls (the arbiter with banked charging on).
+//!
+//! [`RowPlacement`] is the layout transform that exploits the charged signal:
+//! it assigns every vertex's adjacency row a DRAM word address, either
+//! mirroring the CSR order ([`PlacementPolicy::Natural`]) or clustering by
+//! *heat* ([`PlacementPolicy::BankAware`]) — rows are packed densely in
+//! descending order of how often the enumeration will fetch them, so the
+//! handful of rows that dominate the fetch stream collapse into the fewest
+//! possible stripes. Rows that alternate in the stream then either share a
+//! stripe (a row-buffer hit) or sit in so few stripes that the banks' open
+//! rows cover most of the hot set. The caller supplies the heat estimate
+//! ([`RowPlacement::plan_with_heat`]); `pefp-core` derives it from the
+//! query's hop budget and barrier with a walk-count recurrence, and the
+//! plain [`RowPlacement::plan`] falls back to out-degree. Cold rows tie at
+//! zero heat and keep their id order, preserving the natural layout's
+//! locality for the tail. Placement moves bytes, never edges: enumeration
+//! output is byte-identical under any policy, only the charged conflict
+//! cycles change.
+
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// How adjacency rows of a graph are laid out across DRAM banks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// CSR order: row `v` starts at word `offsets[v]`, rows densely packed.
+    /// This is the layout every run used before placement existed.
+    #[default]
+    Natural,
+    /// Heat-clustered: rows are packed densely in descending fetch-heat
+    /// order (ties by id), concentrating the hottest rows into the fewest
+    /// stripes so the banks' open rows cover most of the fetch stream.
+    BankAware,
+}
+
+impl PlacementPolicy {
+    /// Stable lower-case name (`natural` / `bank_aware`) for CLIs and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlacementPolicy::Natural => "natural",
+            PlacementPolicy::BankAware => "bank_aware",
+        }
+    }
+
+    /// Parses [`PlacementPolicy::name`] output (case-insensitive).
+    pub fn parse(s: &str) -> Option<PlacementPolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "natural" => Some(PlacementPolicy::Natural),
+            "bank_aware" | "bankaware" | "bank-aware" => Some(PlacementPolicy::BankAware),
+            _ => None,
+        }
+    }
+}
+
+/// A planned DRAM word address for every adjacency row of one graph.
+///
+/// Addresses are what the bank model times: `bank_of(addr)` decides which
+/// bank a row fetch starts on and therefore whether it conflicts with the
+/// previous burst. The placement never rewrites the CSR arrays themselves —
+/// the engine keeps reading `successors(v)` from host memory — it only
+/// relocates the *simulated* copy of each row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowPlacement {
+    policy: PlacementPolicy,
+    /// Start word address of each vertex's adjacency row.
+    addr: Vec<u64>,
+    /// One past the highest word address any row occupies.
+    total_words: u64,
+}
+
+impl RowPlacement {
+    /// Plans row addresses for `csr` under `policy` on a memory system of
+    /// `num_banks` banks with `stripe_words`-word stripes (the geometry
+    /// `pefp-fpga`'s `DramBanks` exposes), with out-degree as the heat
+    /// estimate. Callers that know the fetch distribution better — the
+    /// enumeration engine does, from the query's hop budget and barrier —
+    /// should use [`RowPlacement::plan_with_heat`] instead.
+    pub fn plan(
+        csr: &CsrGraph,
+        policy: PlacementPolicy,
+        num_banks: usize,
+        stripe_words: u64,
+    ) -> RowPlacement {
+        let heat: Vec<f64> = csr.vertices().map(|v| csr.out_degree(v) as f64).collect();
+        Self::plan_with_heat(csr, policy, num_banks, stripe_words, &heat)
+    }
+
+    /// [`RowPlacement::plan`] with an explicit per-vertex heat estimate: how
+    /// often the enumeration is expected to fetch each adjacency row.
+    /// Bank-aware placement packs rows densely in descending heat order
+    /// (ties by id, so the plan is deterministic), which concentrates the
+    /// hot fetch set into the fewest stripes; zero-heat rows keep their id
+    /// order at the tail. Degenerate geometries (fewer than two banks,
+    /// zero-width stripes) always fall back to the natural layout: there is
+    /// no row-buffer structure to lay out for.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `heat.len()` differs from the vertex count.
+    pub fn plan_with_heat(
+        csr: &CsrGraph,
+        policy: PlacementPolicy,
+        num_banks: usize,
+        stripe_words: u64,
+        heat: &[f64],
+    ) -> RowPlacement {
+        let n = csr.num_vertices();
+        let (offsets, _) = csr.raw_parts();
+        if policy == PlacementPolicy::Natural || num_banks < 2 || stripe_words == 0 {
+            let addr: Vec<u64> = offsets[..n].iter().map(|&o| o as u64).collect();
+            return RowPlacement { policy, addr, total_words: csr.num_edges() as u64 };
+        }
+        assert_eq!(heat.len(), n, "heat estimate must cover every vertex");
+
+        // Hot rows conflict when they alternate in the fetch stream while
+        // holding different stripes of one bank. The fewer stripes the hot
+        // set spans, the more of it the banks' open rows cover at once — so
+        // sort by heat and pack densely, exactly like the natural layout but
+        // in fetch-frequency order instead of id order. Total footprint
+        // stays `num_edges`: no alignment gaps.
+        let mut order: Vec<VertexId> = csr.vertices().collect();
+        order.sort_by(|&a, &b| {
+            heat[b.index()]
+                .partial_cmp(&heat[a.index()])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut addr = vec![0u64; n];
+        let mut cursor = 0u64;
+        for &v in &order {
+            addr[v.index()] = cursor;
+            cursor += csr.out_degree(v) as u64;
+        }
+        RowPlacement { policy, addr, total_words: cursor }
+    }
+
+    /// The policy this placement was planned under.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// Start word address of `v`'s adjacency row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is out of range for the planned graph.
+    #[inline]
+    pub fn row_address(&self, v: VertexId) -> u64 {
+        self.addr[v.index()]
+    }
+
+    /// One past the highest word address any row occupies (the placed
+    /// footprint; ≥ the edge count, since bank-aware stripes leave gaps).
+    pub fn total_words(&self) -> u64 {
+        self.total_words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One obvious hub (vertex 0, degree 6) plus low-degree tails.
+    fn hubby() -> CsrGraph {
+        CsrGraph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (0, 6),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+            ],
+        )
+    }
+
+    #[test]
+    fn natural_placement_is_the_csr_offsets() {
+        let g = hubby();
+        let p = RowPlacement::plan(&g, PlacementPolicy::Natural, 4, 512);
+        let (offsets, _) = g.raw_parts();
+        for v in g.vertices() {
+            assert_eq!(p.row_address(v), offsets[v.index()] as u64);
+        }
+        assert_eq!(p.total_words(), g.num_edges() as u64);
+    }
+
+    #[test]
+    fn bank_aware_packs_rows_in_descending_heat_order() {
+        // Heat inverts the id order: the hottest row (vertex 2) leads, and
+        // the rest follow by falling heat — packed densely, no gaps.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 0)]);
+        // degrees: v0=2, v1=2, v2=1, v3=1
+        let heat = [1.0, 5.0, 9.0, 0.0];
+        let p = RowPlacement::plan_with_heat(&g, PlacementPolicy::BankAware, 4, 8, &heat);
+        assert_eq!(p.row_address(VertexId(2)), 0);
+        assert_eq!(p.row_address(VertexId(1)), 1);
+        assert_eq!(p.row_address(VertexId(0)), 3);
+        assert_eq!(p.row_address(VertexId(3)), 5);
+        assert_eq!(p.total_words(), g.num_edges() as u64, "dense: no alignment gaps");
+    }
+
+    #[test]
+    fn zero_heat_ties_keep_id_order_at_the_tail() {
+        let g = hubby();
+        let heat: Vec<f64> = g.vertices().map(|v| if v.index() == 3 { 1.0 } else { 0.0 }).collect();
+        let p = RowPlacement::plan_with_heat(&g, PlacementPolicy::BankAware, 4, 8, &heat);
+        // Vertex 3 leads; everyone else follows in id order.
+        assert_eq!(p.row_address(VertexId(3)), 0);
+        let mut cold: Vec<(u64, VertexId)> =
+            g.vertices().filter(|&v| v.index() != 3).map(|v| (p.row_address(v), v)).collect();
+        cold.sort_unstable();
+        let ids: Vec<u32> = cold.iter().map(|&(_, v)| v.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn plan_defaults_heat_to_out_degree() {
+        let g = hubby();
+        let by_plan = RowPlacement::plan(&g, PlacementPolicy::BankAware, 4, 8);
+        let heat: Vec<f64> = g.vertices().map(|v| g.out_degree(v) as f64).collect();
+        let by_heat = RowPlacement::plan_with_heat(&g, PlacementPolicy::BankAware, 4, 8, &heat);
+        for v in g.vertices() {
+            assert_eq!(by_plan.row_address(v), by_heat.row_address(v));
+        }
+    }
+
+    #[test]
+    fn degenerate_geometry_falls_back_to_natural() {
+        let g = hubby();
+        let natural = RowPlacement::plan(&g, PlacementPolicy::Natural, 4, 512);
+        let single_bank = RowPlacement::plan(&g, PlacementPolicy::BankAware, 1, 512);
+        let no_stripe = RowPlacement::plan(&g, PlacementPolicy::BankAware, 4, 0);
+        for v in g.vertices() {
+            assert_eq!(single_bank.row_address(v), natural.row_address(v));
+            assert_eq!(no_stripe.row_address(v), natural.row_address(v));
+        }
+    }
+
+    #[test]
+    fn every_vertex_gets_a_disjoint_row() {
+        let g = crate::generators::chung_lu(300, 6.0, 2.2, 9).to_csr();
+        for policy in [PlacementPolicy::Natural, PlacementPolicy::BankAware] {
+            let p = RowPlacement::plan(&g, policy, 4, 512);
+            let mut rows: Vec<(u64, u64)> = g
+                .vertices()
+                .filter(|&v| g.out_degree(v) > 0)
+                .map(|v| (p.row_address(v), g.out_degree(v) as u64))
+                .collect();
+            rows.sort_unstable();
+            for pair in rows.windows(2) {
+                assert!(
+                    pair[0].0 + pair[0].1 <= pair[1].0,
+                    "rows overlap under {policy:?}: {pair:?}"
+                );
+            }
+            let end = rows.last().map(|&(a, len)| a + len).unwrap_or(0);
+            assert!(end <= p.total_words());
+        }
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for policy in [PlacementPolicy::Natural, PlacementPolicy::BankAware] {
+            assert_eq!(PlacementPolicy::parse(policy.name()), Some(policy));
+        }
+        assert_eq!(PlacementPolicy::parse("BANK-AWARE"), Some(PlacementPolicy::BankAware));
+        assert_eq!(PlacementPolicy::parse("nope"), None);
+    }
+}

@@ -9,7 +9,7 @@
 
 use crate::error::HostError;
 use pefp_graph::formats::{read_graph_auto, LoadedGraph};
-use pefp_graph::{CsrGraph, Dataset, GraphStats, ScaleProfile};
+use pefp_graph::{CsrGraph, Dataset, GraphStats, PlacementPolicy, ScaleProfile};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -33,6 +33,11 @@ pub struct GraphHandle {
     pub duplicate_edges: usize,
     /// Number of self-loops dropped at load time (0 for generated data).
     pub self_loops: usize,
+    /// DRAM bank layout every engine run over this graph plans its prepared
+    /// subgraphs with (only observable under banked-charging devices; see
+    /// [`pefp_graph::RowPlacement`]). Selected at load/snapshot time via
+    /// [`GraphHandle::with_placement`]; defaults to the natural CSR order.
+    pub placement: PlacementPolicy,
 }
 
 impl GraphHandle {
@@ -50,7 +55,15 @@ impl GraphHandle {
             stats,
             duplicate_edges: 0,
             self_loops: 0,
+            placement: PlacementPolicy::Natural,
         }
+    }
+
+    /// Selects the DRAM bank layout for this graph's adjacency rows
+    /// (builder style, so load sites can opt into bank-aware placement).
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> GraphHandle {
+        self.placement = placement;
+        self
     }
 
     /// Number of vertices.

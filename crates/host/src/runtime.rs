@@ -114,6 +114,10 @@ pub struct RuntimeConfig {
     /// by the modelled latencies of [`pefp_core::route_query`]. Routing never
     /// changes answers, only placement.
     pub routing: Option<RoutingTable>,
+    /// Charge the DRAM bank model's conflict and read↔write turnaround
+    /// stalls to CU clocks (see [`pefp_fpga::MultiCuConfig::charge_banked`]).
+    /// Off by default so pre-charging cycle counts are reproduced exactly.
+    pub charge_banked: bool,
     /// Size of the dedicated CPU worker pool serving router-placed CPU jobs
     /// (only spawned when [`RuntimeConfig::routing`] is set). CPU-routed jobs
     /// never occupy a compute-unit lease, so device throughput is unaffected
@@ -177,6 +181,7 @@ impl Default for RuntimeConfig {
             fault_tolerance: FaultToleranceConfig::default(),
             default_deadline: None,
             routing: None,
+            charge_banked: false,
             cpu_workers: 2,
         }
     }
@@ -903,6 +908,8 @@ struct RuntimeCounters {
     cache_invalidated: AtomicU64,
     per_cu_busy_cycles: Vec<AtomicU64>,
     per_cu_jobs: Vec<AtomicU64>,
+    per_cu_bank_conflict_cycles: Vec<AtomicU64>,
+    per_cu_turnaround_cycles: Vec<AtomicU64>,
     next_session: AtomicU64,
     /// Device faults observed by jobs (each failed attempt counts once).
     device_faults: AtomicU64,
@@ -1013,6 +1020,12 @@ pub struct RuntimeStats {
     pub per_cu_busy_cycles: Vec<u64>,
     /// Jobs placed per CU (virtual placement domain).
     pub per_cu_jobs: Vec<u64>,
+    /// Bank-conflict stall cycles charged per CU — all zeros unless
+    /// [`RuntimeConfig::charge_banked`] is on.
+    pub per_cu_bank_conflict_cycles: Vec<u64>,
+    /// Read↔write turnaround stall cycles charged per CU (zeros unless
+    /// banked charging is on).
+    pub per_cu_turnaround_cycles: Vec<u64>,
     /// Virtual-time makespan over all completed jobs (see the queueing model
     /// in the module docs): total device work serialised per session and per
     /// CU. `total_device_cycles / makespan` ≈ achieved CU parallelism.
@@ -1097,6 +1110,18 @@ impl pefp_workload::ToJson for RuntimeStats {
             (
                 "per_cu_jobs",
                 JsonValue::numbers(&self.per_cu_jobs.iter().map(|&c| c as f64).collect::<Vec<_>>()),
+            ),
+            (
+                "per_cu_bank_conflict_cycles",
+                JsonValue::numbers(
+                    &self.per_cu_bank_conflict_cycles.iter().map(|&c| c as f64).collect::<Vec<_>>(),
+                ),
+            ),
+            (
+                "per_cu_turnaround_cycles",
+                JsonValue::numbers(
+                    &self.per_cu_turnaround_cycles.iter().map(|&c| c as f64).collect::<Vec<_>>(),
+                ),
             ),
             ("per_cu_utilisation", JsonValue::numbers(&self.per_cu_utilisation())),
             ("virtual_makespan_cycles", JsonValue::Number(self.virtual_makespan_cycles as f64)),
@@ -1190,6 +1215,7 @@ impl HostRuntime {
         let multi_cu = MultiCuConfig {
             compute_units: cus,
             per_cu_bandwidth_share: config.per_cu_bandwidth_share,
+            charge_banked: config.charge_banked,
         };
         let cluster = match &config.fault_plan {
             Some(plan) => CuCluster::with_faults(config.device.clone(), multi_cu, Arc::clone(plan)),
@@ -1212,6 +1238,8 @@ impl HostRuntime {
                 cache_invalidated: AtomicU64::new(0),
                 per_cu_busy_cycles: (0..cus).map(|_| AtomicU64::new(0)).collect(),
                 per_cu_jobs: (0..cus).map(|_| AtomicU64::new(0)).collect(),
+                per_cu_bank_conflict_cycles: (0..cus).map(|_| AtomicU64::new(0)).collect(),
+                per_cu_turnaround_cycles: (0..cus).map(|_| AtomicU64::new(0)).collect(),
                 next_session: AtomicU64::new(0),
                 device_faults: AtomicU64::new(0),
                 fault_retries: AtomicU64::new(0),
@@ -1358,6 +1386,16 @@ impl HostRuntime {
                 .map(|a| a.load(Ordering::Relaxed))
                 .collect(),
             per_cu_jobs: c.per_cu_jobs.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            per_cu_bank_conflict_cycles: c
+                .per_cu_bank_conflict_cycles
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            per_cu_turnaround_cycles: c
+                .per_cu_turnaround_cycles
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
             virtual_makespan_cycles: virt.makespan,
             total_device_cycles: virt.total_cycles,
             device_faults: c.device_faults.load(Ordering::Relaxed),
@@ -1561,7 +1599,10 @@ impl HostRuntime {
     fn admission_estimate(&self, snapshot: &GraphSnapshot, request: &QueryRequest) -> u64 {
         if let Some(table) = &self.shared.config.routing {
             if let Some(prepared) = self.shared.cache.peek(request) {
-                let ctx = RouteContext { compute_units: self.compute_units() };
+                let ctx = RouteContext {
+                    compute_units: self.compute_units(),
+                    charge_banked: self.shared.config.charge_banked,
+                };
                 let decision = route_query(&prepared, table, &ctx);
                 return decision.cost_estimate_us as u64;
             }
@@ -1612,7 +1653,10 @@ impl HostRuntime {
                 &builtin
             }
         };
-        let ctx = RouteContext { compute_units: self.compute_units() };
+        let ctx = RouteContext {
+            compute_units: self.compute_units(),
+            charge_banked: self.shared.config.charge_banked,
+        };
         Ok(route_query(&prepared, table, &ctx))
     }
 
@@ -2006,7 +2050,10 @@ fn execute_job(shared: &RuntimeShared, ctx: &mut PrepareContext, dma: &mut DmaEn
     // is handed to the dedicated CPU pool. Routing is deterministic in the
     // prepared query and the table, so a cached entry re-routes identically.
     if let Some(table) = &shared.config.routing {
-        let ctx = RouteContext { compute_units: shared.config.compute_units.max(1) };
+        let ctx = RouteContext {
+            compute_units: shared.config.compute_units.max(1),
+            charge_banked: shared.config.charge_banked,
+        };
         let decision = route_query(&prepared, table, &ctx);
         if decision.choice.is_cpu() {
             if !cache_hit {
@@ -2064,6 +2111,7 @@ fn execute_job(shared: &RuntimeShared, ctx: &mut PrepareContext, dma: &mut DmaEn
     if base_options.cycle_budget.is_none() {
         base_options.cycle_budget = shared.config.fault_tolerance.watchdog_cycle_budget;
     }
+    base_options.bank_placement = shared.graph.placement;
 
     // Attempt loop: acquire a healthy CU, run, classify. A detected device
     // fault retries on a *different* CU with bounded backoff (per-CU fault
@@ -2209,6 +2257,10 @@ fn execute_job(shared: &RuntimeShared, ctx: &mut PrepareContext, dma: &mut DmaEn
             virt.total_cycles += cycles;
             shared.counters.per_cu_busy_cycles[virt_cu].fetch_add(cycles, Ordering::Relaxed);
             shared.counters.per_cu_jobs[virt_cu].fetch_add(1, Ordering::Relaxed);
+            shared.counters.per_cu_bank_conflict_cycles[virt_cu]
+                .fetch_add(result.device.bank_conflict_cycles, Ordering::Relaxed);
+            shared.counters.per_cu_turnaround_cycles[virt_cu]
+                .fetch_add(result.device.turnaround_cycles, Ordering::Relaxed);
             // A session whose ready time no CU will ever be earlier than again
             // can no longer influence a placement (`max(ready, free) == free`):
             // drop it, so a long-lived runtime serving millions of short-lived
@@ -2266,7 +2318,10 @@ fn degrade_to_cpu(
             // degradation engine. JOIN materialises half-depth prefixes, so
             // on saturated estimates its modelled cost blows up and the
             // streaming BC-DFS wins — exactly the memory-safe choice.
-            let ctx = RouteContext { compute_units: shared.config.compute_units.max(1) };
+            let ctx = RouteContext {
+                compute_units: shared.config.compute_units.max(1),
+                charge_banked: shared.config.charge_banked,
+            };
             let decision = route_query(prepared, table, &ctx);
             if decision.costs.bc_dfs_us <= decision.costs.join_us {
                 CpuEngine::BcDfs

@@ -85,6 +85,11 @@ pub struct MeasuredMultiCu {
     pub serial_cycles: u64,
     /// Total contention stalls the shared-DRAM arbiter injected.
     pub contention_cycles: u64,
+    /// Bank-conflict stall cycles each CU was *charged* (zero unless the
+    /// cluster runs with banked charging on), indexed by CU.
+    pub per_cu_bank_conflict_cycles: Vec<u64>,
+    /// Read↔write turnaround stall cycles each CU was charged, indexed by CU.
+    pub per_cu_turnaround_cycles: Vec<u64>,
     /// Aggregate refill traffic metered by the arbiter.
     pub arbiter: ArbiterStats,
     /// The traffic-aware prediction ([`pefp_fpga::predict_dispatch`]) from
@@ -301,7 +306,8 @@ impl BatchScheduler {
     {
         let staged = self.stage_batch(graph, requests)?;
 
-        let options = self.config.variant.engine_options();
+        let mut options = self.config.variant.engine_options();
+        options.bank_placement = graph.placement;
         let mut unique_results = Vec::with_capacity(staged.unique.len());
         let mut unique_cycles = Vec::with_capacity(staged.unique.len());
         let mut device_millis = 0.0;
@@ -366,7 +372,8 @@ impl BatchScheduler {
         let staged = self.stage_batch(graph, requests)?;
         let cus = self.config.multi_cu.compute_units.max(1);
         let cluster = CuCluster::new(self.config.device.clone(), self.config.multi_cu);
-        let options = self.config.variant.engine_options();
+        let mut options = self.config.variant.engine_options();
+        options.bank_placement = graph.placement;
 
         // LPT work queue: longest estimated enumeration first. The estimate
         // is the k-hop s-t walk count on the prepared subgraph (an upper
@@ -437,17 +444,29 @@ impl BatchScheduler {
         let mut workloads: Vec<CuWorkload> = vec![CuWorkload::default(); staged.unique.len()];
         let mut per_cu_busy_cycles = vec![0u64; cus];
         let mut per_cu_queries = vec![0usize; cus];
+        let mut per_cu_bank_conflict_cycles = vec![0u64; cus];
+        let mut per_cu_turnaround_cycles = vec![0u64; cus];
         let mut device_millis = 0.0;
         let mut contention_cycles = 0u64;
         for (cu, rows) in per_worker.into_iter().enumerate() {
             for (job, result) in rows {
                 per_cu_busy_cycles[cu] += result.device.cycles;
                 per_cu_queries[cu] += 1;
+                per_cu_bank_conflict_cycles[cu] += result.device.bank_conflict_cycles;
+                per_cu_turnaround_cycles[cu] += result.device.turnaround_cycles;
                 device_millis += result.query_millis;
                 contention_cycles += result.device.contention_cycles;
+                // Uncontended cost: strip what the shared bus (contention)
+                // and the bank model (charged conflict + turnaround stalls)
+                // injected; the predictor adds both back from its own terms.
+                let bank_stall_cycles =
+                    result.device.bank_conflict_cycles + result.device.turnaround_cycles;
                 workloads[job] = CuWorkload {
-                    cycles: result.device.cycles - result.device.contention_cycles,
+                    cycles: result.device.cycles
+                        - result.device.contention_cycles
+                        - bank_stall_cycles,
                     dram_cycles: result.device.dram_cycles,
+                    bank_stall_cycles,
                 };
                 unique_results[job] = Some(BatchQueryResult {
                     request: staged.unique[job],
@@ -468,6 +487,8 @@ impl BatchScheduler {
             makespan_cycles,
             serial_cycles: unique_cycles.iter().sum(),
             contention_cycles,
+            per_cu_bank_conflict_cycles,
+            per_cu_turnaround_cycles,
             arbiter: cluster.arbiter().stats(),
             predicted: predict_dispatch(&workloads, &self.config.multi_cu),
             wall_millis,
@@ -748,7 +769,11 @@ mod tests {
 
         // Four contention-free CUs: strictly faster on a multi-query batch.
         let multi = BatchScheduler::new(SchedulerConfig {
-            multi_cu: MultiCuConfig { compute_units: 4, per_cu_bandwidth_share: 0.0 },
+            multi_cu: MultiCuConfig {
+                compute_units: 4,
+                per_cu_bandwidth_share: 0.0,
+                charge_banked: false,
+            },
             ..SchedulerConfig::default()
         })
         .run_batch(&handle, &reqs)
@@ -835,7 +860,11 @@ mod tests {
         for cus in [1usize, 2, 4] {
             let scheduler = BatchScheduler::new(SchedulerConfig {
                 dispatch: true,
-                multi_cu: MultiCuConfig { compute_units: cus, per_cu_bandwidth_share: 0.5 },
+                multi_cu: MultiCuConfig {
+                    compute_units: cus,
+                    per_cu_bandwidth_share: 0.5,
+                    charge_banked: false,
+                },
                 ..SchedulerConfig::default()
             });
             let outcome = scheduler.run_batch(&handle, &reqs).unwrap();
@@ -873,7 +902,11 @@ mod tests {
         assert!(!reqs.is_empty());
         let scheduler = BatchScheduler::new(SchedulerConfig {
             dispatch: true,
-            multi_cu: MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5 },
+            multi_cu: MultiCuConfig {
+                compute_units: 2,
+                per_cu_bandwidth_share: 0.5,
+                charge_banked: false,
+            },
             ..SchedulerConfig::default()
         });
         let streamed = Mutex::new(HashMap::<QueryRequest, Vec<Vec<VertexId>>>::new());
@@ -927,7 +960,11 @@ mod tests {
         assert!(reqs.len() >= 8);
         let scheduler = BatchScheduler::new(SchedulerConfig {
             dispatch: true,
-            multi_cu: MultiCuConfig { compute_units: 2, per_cu_bandwidth_share: 0.5 },
+            multi_cu: MultiCuConfig {
+                compute_units: 2,
+                per_cu_bandwidth_share: 0.5,
+                charge_banked: false,
+            },
             ..SchedulerConfig::default()
         });
         let outcome = scheduler.run_batch(&handle, &reqs).unwrap();

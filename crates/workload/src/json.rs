@@ -497,6 +497,8 @@ impl ToJson for pefp_fpga::DeviceReport {
             ("bram_capacity", JsonValue::Number(self.bram_capacity as f64)),
             ("dram_cycles", JsonValue::Number(self.dram_cycles as f64)),
             ("contention_cycles", JsonValue::Number(self.contention_cycles as f64)),
+            ("bank_conflict_cycles", JsonValue::Number(self.bank_conflict_cycles as f64)),
+            ("turnaround_cycles", JsonValue::Number(self.turnaround_cycles as f64)),
         ])
     }
 }
@@ -509,6 +511,8 @@ impl ToJson for pefp_fpga::ArbiterStats {
             ("penalty_cycles", JsonValue::Number(self.penalty_cycles as f64)),
             ("bank_conflicts", JsonValue::Number(self.bank_conflicts as f64)),
             ("bank_conflict_cycles", JsonValue::Number(self.bank_conflict_cycles as f64)),
+            ("turnarounds", JsonValue::Number(self.turnarounds as f64)),
+            ("turnaround_cycles", JsonValue::Number(self.turnaround_cycles as f64)),
         ])
     }
 }

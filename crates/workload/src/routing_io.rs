@@ -179,8 +179,11 @@ mod tests {
         use pefp_graph::{CsrGraph, VertexId};
         let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
         let prepared = pre_bfs(&g, VertexId(0), VertexId(3), 3);
-        let decision =
-            route_query(&prepared, &RoutingTable::builtin(), &RouteContext { compute_units: 2 });
+        let decision = route_query(
+            &prepared,
+            &RoutingTable::builtin(),
+            &RouteContext { compute_units: 2, charge_banked: false },
+        );
         let rendered = decision.to_json().render();
         let parsed = JsonValue::parse(&rendered).expect("EXPLAIN output must be valid JSON");
         assert_eq!(parsed.get("engine").and_then(|v| v.as_str()), Some(decision.choice.name()));

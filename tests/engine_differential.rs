@@ -125,7 +125,7 @@ proptest! {
         // The decision layer: deterministic, finite, and honest about its
         // pick (the chosen engine's cost is the reported estimate).
         let table = RoutingTable::builtin();
-        let rtx = RouteContext { compute_units: 4 };
+        let rtx = RouteContext { compute_units: 4, charge_banked: false };
         let d1 = route_query(&prepared, &table, &rtx);
         let d2 = route_query(&prepared, &table, &rtx);
         prop_assert_eq!(d1.choice, d2.choice);
